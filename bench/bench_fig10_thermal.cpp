@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Regenerates Figure 10 of the paper (Section 5.3): worst-case thermal
+ * maps for the planar baseline, 3D without Thermal Herding, and 3D
+ * with Thermal Herding; the iso-power (4x power density) what-if; and
+ * the same-application comparison including the ROB cooling effect.
+ *
+ * Paper anchors: 360 K planar (scheduler hotspot), 377 K 3D-noTH
+ * (+17 K), 372 K 3D-TH (+12 K; D-cache hotspot under yacr2), 418 K for
+ * 90 W at 2.66 GHz on the stack, ROB ~5 K cooler than planar.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/experiments.h"
+#include "sim/paper_targets.h"
+
+namespace {
+
+void
+printCase(const th::ThermalCase &tc)
+{
+    using namespace th;
+    std::cout << tc.config << " (" << tc.app << ", "
+              << fmtDouble(tc.totalW, 1) << " W): peak "
+              << fmtDouble(tc.report.peakK, 1) << " K at "
+              << tc.report.hottestBlock << " (die "
+              << tc.report.hottestDie << ")\n";
+}
+
+void
+printHotBlocks(const th::ThermalReport &rep, int count)
+{
+    using namespace th;
+    std::vector<const BlockTemp *> sorted;
+    for (const auto &b : rep.blocks)
+        if (b.core != 1) // cores are symmetric; show core 0 + L2
+            sorted.push_back(&b);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const BlockTemp *a, const BlockTemp *b) {
+                  return a->peakK > b->peakK;
+              });
+    Table t({"Block", "Die", "Power (W)", "Avg (K)", "Peak (K)"});
+    for (int i = 0; i < count && i < static_cast<int>(sorted.size());
+         ++i) {
+        const BlockTemp *b = sorted[static_cast<size_t>(i)];
+        t.addRow({blockName(b->id), std::to_string(b->die),
+                  fmtDouble(b->powerW, 2), fmtDouble(b->avgK, 1),
+                  fmtDouble(b->peakK, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace th;
+
+    SimOptions opts;
+    opts.instructions = 150000;
+    opts.warmupInstructions = 90000;
+    System sys(opts);
+
+    std::cout << "Scanning candidate applications for worst-case "
+                 "hotspots...\n\n";
+    const Fig10Data data = runFigure10(sys);
+
+    std::cout << "=== Figure 10(a-c): worst-case temperatures ===\n\n";
+    printCase(data.worstPlanar);
+    printCase(data.worstNoTh3d);
+    printCase(data.worstTh3d);
+
+    const double inc_no_th = data.worstNoTh3d.report.peakK -
+        data.worstPlanar.report.peakK;
+    const double inc_th = data.worstTh3d.report.peakK -
+        data.worstPlanar.report.peakK;
+    std::cout << "\n3D increase without TH: +" << fmtDouble(inc_no_th, 1)
+              << " K (paper +17)\n";
+    std::cout << "3D increase with TH:    +" << fmtDouble(inc_th, 1)
+              << " K (paper +12)\n";
+    if (inc_no_th > 0.0) {
+        std::cout << "reduction of the increase: "
+                  << fmtPercent((inc_no_th - inc_th) / inc_no_th)
+                  << " (paper 29%)\n";
+    }
+
+    std::cout << "\n=== Iso-power what-if: planar wattage on the 3D "
+                 "stack at 2.66 GHz ===\n\n";
+    printCase(data.isoPower);
+    std::cout << "(paper: " << fmtDouble(paper::kPeakIsoPowerK, 0)
+              << " K — a " << fmtDouble(paper::kPeakIsoPowerK - 360.0, 0)
+              << " K rise over the planar chip)\n";
+
+    std::cout << "\n=== Figure 10(d-f): all configurations on "
+              << data.sameApp << " ===\n\n";
+    printCase(data.samePlanar);
+    printHotBlocks(data.samePlanar.report, 6);
+    printCase(data.sameNoTh3d);
+    printHotBlocks(data.sameNoTh3d.report, 6);
+    printCase(data.sameTh3d);
+    printHotBlocks(data.sameTh3d.report, 6);
+
+    std::cout << "ROB peak temperature, 3D-TH minus planar: "
+              << fmtDouble(data.robDeltaK, 1)
+              << " K (paper ~-5: the ROB's 5x/2x low-width read/write "
+                 "ratio herds it cold)\n";
+    return 0;
+}

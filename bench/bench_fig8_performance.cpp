@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates Figure 8 of the paper (Section 5.1.2):
+ *  (a) geometric-mean IPC per benchmark class for the Base / TH /
+ *      Pipe / Fast / 3D configurations,
+ *  (b) performance in instructions per nanosecond (IPns),
+ *  (c) relative speedup of the 3D processor over the baseline.
+ *
+ * Paper anchors: mean speedup 47.0% (min 7% mcf, max 77% patricia,
+ * crafty 65%); SPECfp2000 only 29.5%; other groups 49.4-51.5%.
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/experiments.h"
+#include "sim/paper_targets.h"
+
+int
+main()
+{
+    using namespace th;
+
+    SimOptions opts;
+    opts.instructions = 200000;
+    opts.warmupInstructions = 120000;
+    System sys(opts);
+
+    std::cout << "Running all benchmarks on 5 configurations ("
+              << opts.instructions << " insts each)...\n\n";
+    const Fig8Data data = runFigure8(sys);
+
+    std::cout << "=== Figure 8(a): geometric-mean IPC per class ===\n\n";
+    Table ipc({"Class", "Base", "TH", "Pipe", "Fast", "3D"});
+    for (const auto &g : data.groups) {
+        ipc.addRow({g.suite, fmtDouble(g.ipcGeomean[0], 3),
+                    fmtDouble(g.ipcGeomean[1], 3),
+                    fmtDouble(g.ipcGeomean[2], 3),
+                    fmtDouble(g.ipcGeomean[3], 3),
+                    fmtDouble(g.ipcGeomean[4], 3)});
+    }
+    ipc.addRow({"M-of-M", fmtDouble(data.ipcMeanOfMeans[0], 3),
+                fmtDouble(data.ipcMeanOfMeans[1], 3),
+                fmtDouble(data.ipcMeanOfMeans[2], 3),
+                fmtDouble(data.ipcMeanOfMeans[3], 3),
+                fmtDouble(data.ipcMeanOfMeans[4], 3)});
+    ipc.print(std::cout);
+
+    std::cout << "\n=== Figure 8(b): instructions per nanosecond ===\n\n";
+    Table ipns({"Class", "Base", "TH", "Pipe", "Fast", "3D"});
+    for (const auto &g : data.groups) {
+        ipns.addRow({g.suite, fmtDouble(g.ipnsGeomean[0], 2),
+                     fmtDouble(g.ipnsGeomean[1], 2),
+                     fmtDouble(g.ipnsGeomean[2], 2),
+                     fmtDouble(g.ipnsGeomean[3], 2),
+                     fmtDouble(g.ipnsGeomean[4], 2)});
+    }
+    ipns.print(std::cout);
+
+    std::cout << "\n=== Figure 8(c): 3D speedup over Base per class ===\n\n";
+    Table sp({"Class", "Speedup"});
+    for (const auto &g : data.groups)
+        sp.addRow({g.suite, fmtPercent(g.speedup)});
+    sp.addRow({"Mean-of-means", fmtPercent(data.speedupMeanOfMeans)});
+    sp.print(std::cout);
+
+    std::cout << "\n=== Per-benchmark speedups ===\n\n";
+    Table per({"Benchmark", "Suite", "IPC Base", "IPC 3D", "Speedup"});
+    for (const auto &b : data.benchmarks) {
+        per.addRow({b.name, b.suite, fmtDouble(b.ipc[0], 3),
+                    fmtDouble(b.ipc[4], 3), fmtPercent(b.speedup)});
+    }
+    per.print(std::cout);
+
+    std::cout << "\n=== Anchors vs paper ===\n";
+    std::cout << "mean speedup: " << fmtPercent(data.speedupMeanOfMeans)
+              << " (paper " << fmtPercent(paper::kMeanSpeedup) << ")\n";
+    std::cout << "min: " << data.minBenchmark << " "
+              << fmtPercent(data.minSpeedup) << " (paper mcf "
+              << fmtPercent(paper::kMinSpeedup) << ")\n";
+    std::cout << "max: " << data.maxBenchmark << " "
+              << fmtPercent(data.maxSpeedup) << " (paper patricia "
+              << fmtPercent(paper::kMaxSpeedup) << ")\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates Figure 9 of the paper (Section 5.2): the power
+ * distribution of the dual-core mpeg2 workload on (a) the planar
+ * baseline, (b) 3D without Thermal Herding, (c) 3D with Thermal
+ * Herding, plus the per-application total-power saving range.
+ *
+ * Paper anchors: 90 W -> 72.7 W (-19%) -> 64.3 W (-29%); savings range
+ * 15% (yacr2) to 30% (susan).
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "floorplan/floorplan.h"
+#include "sim/experiments.h"
+#include "sim/paper_targets.h"
+
+namespace {
+
+void
+printBreakdown(const th::PowerBreakdown &b)
+{
+    using namespace th;
+    std::cout << b.config << ": total " << fmtDouble(b.totalW, 1)
+              << " W (clock " << fmtDouble(b.clockW, 1) << ", leakage "
+              << fmtDouble(b.leakW, 1) << ", dynamic "
+              << fmtDouble(b.dynamicW, 1) << ")\n";
+    Table t({"Block", "Watts", "Share of dynamic"});
+    for (int i = 0; i < kNumCoreBlocks; ++i) {
+        const double w = b.blockW[static_cast<size_t>(i)];
+        if (w < 0.005)
+            continue;
+        t.addRow({blockName(static_cast<BlockId>(i)), fmtDouble(w, 2),
+                  fmtPercent(w / b.dynamicW)});
+    }
+    t.addRow({"L2", fmtDouble(b.l2W, 2), fmtPercent(b.l2W / b.dynamicW)});
+    t.print(std::cout);
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace th;
+
+    SimOptions opts;
+    opts.instructions = 150000;
+    opts.warmupInstructions = 90000;
+    System sys(opts);
+
+    std::cout << "Running the power study (reference app: "
+              << System::kPowerReferenceBenchmark << ")...\n\n";
+    const Fig9Data data = runFigure9(sys);
+
+    std::cout << "=== Figure 9(a-c): dual-core mpeg2 power ===\n\n";
+    printBreakdown(data.planar);
+    printBreakdown(data.noTh3d);
+    printBreakdown(data.th3d);
+
+    std::cout << "=== Per-application total power: Base vs 3D-TH ===\n\n";
+    Table t({"Benchmark", "Base (W)", "3D-TH (W)", "Saving"});
+    for (const auto &s : data.savings) {
+        t.addRow({s.name, fmtDouble(s.baseW, 1), fmtDouble(s.th3dW, 1),
+                  fmtPercent(s.saving)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\n=== Anchors vs paper ===\n";
+    std::cout << "planar total: " << fmtDouble(data.planar.totalW, 1)
+              << " W (paper " << fmtDouble(paper::kBaselinePowerW, 1)
+              << ")\n";
+    std::cout << "3D no-TH:     " << fmtDouble(data.noTh3d.totalW, 1)
+              << " W (paper " << fmtDouble(paper::k3dNoThPowerW, 1)
+              << ")\n";
+    std::cout << "3D TH:        " << fmtDouble(data.th3d.totalW, 1)
+              << " W (paper " << fmtDouble(paper::k3dThPowerW, 1)
+              << ")\n";
+    std::cout << "min saving:   " << data.minSaving.name << " "
+              << fmtPercent(data.minSaving.saving) << " (paper yacr2 "
+              << fmtPercent(paper::kMinPowerSaving) << ")\n";
+    std::cout << "max saving:   " << data.maxSaving.name << " "
+              << fmtPercent(data.maxSaving.saving) << " (paper susan "
+              << fmtPercent(paper::kMaxPowerSaving) << ")\n";
+    return 0;
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation library itself:
+ * trace generation rate, core simulation throughput, predictor
+ * operations, circuit-model construction, and the thermal solver.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuit/blocks.h"
+#include "core/branch_predictor.h"
+#include "core/pipeline.h"
+#include "core/width_predictor.h"
+#include "thermal/hotspot.h"
+#include "trace/generator.h"
+#include "trace/suites.h"
+
+namespace {
+
+using namespace th;
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    SyntheticTrace trace(benchmarkByName("gzip"));
+    TraceRecord rec;
+    for (auto _ : state) {
+        trace.next(rec);
+        benchmark::DoNotOptimize(rec);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_CoreSimulation(benchmark::State &state)
+{
+    const auto insts = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        SyntheticTrace trace(benchmarkByName("gzip"));
+        CoreConfig cfg;
+        cfg.thermalHerding = true;
+        Core core(cfg);
+        const CoreResult r = core.run(trace, insts);
+        benchmark::DoNotOptimize(r.perf.ipc());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(insts));
+}
+BENCHMARK(BM_CoreSimulation)->Arg(10000)->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_WidthPredictor(benchmark::State &state)
+{
+    WidthPredictor wp(4096);
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(wp.predict(pc));
+        wp.update(pc, Width::Low);
+        pc += 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WidthPredictor);
+
+void
+BM_HybridBranchPredictor(benchmark::State &state)
+{
+    CoreConfig cfg;
+    HybridPredictor hp(cfg);
+    Addr pc = 0x400000;
+    bool taken = false;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hp.predict(pc));
+        hp.update(pc, taken);
+        taken = !taken;
+        pc = 0x400000 + (pc + 4) % 4096;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridBranchPredictor);
+
+void
+BM_BlockLibraryBuild(benchmark::State &state)
+{
+    for (auto _ : state) {
+        BlockLibrary lib;
+        benchmark::DoNotOptimize(lib.frequencyGain());
+    }
+}
+BENCHMARK(BM_BlockLibraryBuild)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ThermalSolve(benchmark::State &state)
+{
+    ThermalParams params;
+    params.gridN = static_cast<int>(state.range(0));
+    params.maxResidualK = 1e-3;
+    for (auto _ : state) {
+        ThermalGrid grid(params, HotspotModel::stackedStack(), 6.0, 6.0);
+        for (int d = 0; d < kNumDies; ++d)
+            grid.addPower(d, 0.5, 0.5, 5.0, 5.0, 15.0);
+        const ThermalField f = grid.solve();
+        benchmark::DoNotOptimize(f.peak(grid.dieLayers()));
+    }
+}
+BENCHMARK(BM_ThermalSolve)->Arg(16)->Arg(32)->Arg(48)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Table 2 of the paper: 2D vs 3D latency for each major
+ * processor block, the two frequency-critical loops, and the derived
+ * clock frequencies (Section 5.1.1).
+ *
+ * Paper anchors: wakeup-select -32%, ALU+bypass -36% (adder only ~3 of
+ * those 36 points), clock 2.66 GHz -> 3.93 GHz (+47.9%).
+ */
+
+#include <iostream>
+
+#include "circuit/blocks.h"
+#include "common/table.h"
+#include "sim/paper_targets.h"
+
+int
+main()
+{
+    using namespace th;
+
+    BlockLibrary lib;
+
+    std::cout << "=== Table 2: block latencies, 2D vs 3D (4-die) ===\n\n";
+    Table table({"Block", "2D (ps)", "3D (ps)", "Improvement", ""});
+    for (const auto &b : lib.table2()) {
+        table.addRow({b.name, fmtDouble(b.lat2dPs, 1),
+                      fmtDouble(b.lat3dPs, 1),
+                      fmtPercent(b.improvement()),
+                      b.critical ? "<- critical loop" : ""});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n=== Clock frequency (critical-loop analysis) ===\n\n";
+    Table freq({"Quantity", "Measured", "Paper"});
+    freq.addRow({"2D cycle time (ps)", fmtDouble(lib.clockPeriod2dPs(), 1),
+                 fmtDouble(1000.0 / paper::kFreq2dGhz, 1)});
+    freq.addRow({"3D cycle time (ps)", fmtDouble(lib.clockPeriod3dPs(), 1),
+                 fmtDouble(1000.0 / paper::kFreq3dGhz, 1)});
+    freq.addRow({"2D frequency (GHz)", fmtDouble(lib.frequency2dGhz(), 2),
+                 fmtDouble(paper::kFreq2dGhz, 2)});
+    freq.addRow({"3D frequency (GHz)", fmtDouble(lib.frequency3dGhz(), 2),
+                 fmtDouble(paper::kFreq3dGhz, 2)});
+    freq.addRow({"Frequency gain", fmtPercent(lib.frequencyGain() - 1.0),
+                 fmtPercent(paper::kFreqGain - 1.0)});
+    freq.print(std::cout);
+
+    const BlockTiming *wakeup = lib.find("Scheduler (wakeup-select)");
+    const BlockTiming *alu = lib.find("ALU + bypass loop");
+    std::cout << "\nwakeup-select improvement: "
+              << fmtPercent(wakeup->improvement()) << " (paper "
+              << fmtPercent(paper::kWakeupSelectImprovement) << ")\n";
+    std::cout << "ALU+bypass improvement:    "
+              << fmtPercent(alu->improvement()) << " (paper "
+              << fmtPercent(paper::kAluBypassImprovement) << ")\n";
+    return 0;
+}

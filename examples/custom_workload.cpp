@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Custom-workload example: define your own application profile (here,
+ * a hypothetical 16-bit sensor-fusion DSP kernel and a cache-hostile
+ * in-memory database), generate its synthetic trace, and evaluate how
+ * much a Thermal-Herding 3D processor would buy for it.
+ *
+ *   ./build/examples/custom_workload
+ */
+
+#include <iostream>
+
+#include "common/table.h"
+#include "core/pipeline.h"
+#include "power/power_model.h"
+#include "sim/configs.h"
+#include "trace/generator.h"
+#include "trace/suites.h"
+
+namespace {
+
+using namespace th;
+
+/** A DSP kernel crunching 16-bit sensor samples: herding heaven. */
+BenchmarkProfile
+sensorFusionProfile()
+{
+    BenchmarkProfile p;
+    p.name = "sensor-fusion";
+    p.suite = "custom";
+    p.seed = 2026;
+    p.fShift = 0.10;
+    p.fMult = 0.06;
+    p.fLoad = 0.22;
+    p.fStore = 0.10;
+    p.fBranch = 0.08;
+    p.lowWidthBias = 0.93;   // almost everything fits in 16 bits
+    p.takenRate = 0.9;
+    p.branchNoise = 0.004;
+    p.loopTripMean = 256.0;
+    p.warmFrac = 0.04;
+    p.coldFrac = 0.0;
+    p.depDistMean = 7.0;
+    return p;
+}
+
+/** An in-memory key-value store: wide pointers, DRAM-resident data. */
+BenchmarkProfile
+kvStoreProfile()
+{
+    BenchmarkProfile p;
+    p.name = "kv-store";
+    p.suite = "custom";
+    p.seed = 2027;
+    p.fLoad = 0.30;
+    p.fStore = 0.08;
+    p.fBranch = 0.16;
+    p.lowWidthBias = 0.25;   // hashes and pointers are full width
+    p.pointerChaseFrac = 0.6;
+    p.stackFrac = 0.08;
+    p.heapFrac = 0.85;
+    p.coldFrac = 0.12;
+    p.coldBytes = 96ULL << 20;
+    p.warmFrac = 0.20;
+    p.depDistMean = 3.0;
+    return p;
+}
+
+void
+evaluateProfile(const BenchmarkProfile &profile, const BlockLibrary &lib,
+                PowerModel &power)
+{
+    std::cout << "=== " << profile.name << " ===\n\n";
+    Table t({"Config", "IPC", "Insts/ns", "Width acc.", "Power (W)"});
+
+    double base_ipns = 0.0, base_w = 0.0;
+    double full_ipns = 0.0, full_w = 0.0;
+    for (ConfigKind kind : {ConfigKind::Base, ConfigKind::TH,
+                            ConfigKind::Fast, ConfigKind::ThreeD}) {
+        const CoreConfig cfg = makeConfig(kind, lib);
+        SyntheticTrace trace(profile);
+        Core core(cfg);
+        const CoreResult r = core.run(trace, 150000, 90000);
+        const PowerResult p = power.compute(r, cfg);
+        t.addRow({configName(kind), fmtDouble(r.perf.ipc(), 3),
+                  fmtDouble(r.ipns(), 2),
+                  cfg.thermalHerding
+                      ? fmtPercent(r.perf.widthAccuracy())
+                      : std::string("n/a"),
+                  fmtDouble(p.totalW(), 1)});
+        if (kind == ConfigKind::Base) {
+            base_ipns = r.ipns();
+            base_w = p.totalW();
+        }
+        if (kind == ConfigKind::ThreeD) {
+            full_ipns = r.ipns();
+            full_w = p.totalW();
+        }
+    }
+    t.print(std::cout);
+    std::cout << "\n3D vs planar: "
+              << fmtPercent(full_ipns / base_ipns - 1.0)
+              << " faster at " << fmtPercent(1.0 - full_w / base_w)
+              << " less power\n\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace th;
+
+    BlockLibrary lib;
+    PowerModel power(lib);
+
+    // Calibrate power against the paper's reference point (dual-core
+    // mpeg2 planar = 90 W).
+    {
+        const CoreConfig base = makeConfig(ConfigKind::Base, lib);
+        SyntheticTrace ref(benchmarkByName("mpeg2enc"));
+        Core core(base);
+        const CoreResult r = core.run(ref, 150000, 90000);
+        power.calibrate(r, base);
+    }
+
+    evaluateProfile(sensorFusionProfile(), lib, power);
+    evaluateProfile(kvStoreProfile(), lib, power);
+
+    std::cout << "Takeaway: narrow-data kernels enjoy both the full 3D "
+                 "speedup and the\nlargest herding power savings; "
+                 "DRAM-bound pointer chasing gets neither.\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Quickstart: run one benchmark through the full Thermal Herding
+ * evaluation stack — cycle-level core model, power model, and 3D
+ * thermal analysis — on the planar baseline and the 3D processor.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart [benchmark]
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "sim/system.h"
+#include "trace/suites.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace th;
+
+    const std::string bench = argc > 1 ? argv[1] : "mpeg2enc";
+    if (!hasBenchmark(bench)) {
+        std::cerr << "unknown benchmark '" << bench
+                  << "'; try one of:\n";
+        for (const auto &p : allBenchmarks())
+            std::cerr << "  " << p.name << " (" << p.suite << ")\n";
+        return 1;
+    }
+
+    // The System owns the circuit models (which set the 2D/3D clock
+    // frequencies), the calibrated power model, and the thermal model.
+    SimOptions opts;
+    opts.instructions = 150000;
+    opts.warmupInstructions = 90000;
+    System sys(opts);
+
+    std::cout << "Thermal Herding quickstart: " << bench << "\n";
+    std::cout << "3D clock: "
+              << fmtDouble(sys.circuits().frequency3dGhz(), 2)
+              << " GHz (" << fmtPercent(sys.circuits().frequencyGain() - 1)
+              << " over the 2.66 GHz planar baseline)\n\n";
+
+    Table t({"Metric", "Planar (Base)", "3D Thermal Herding"});
+    const Evaluation base = sys.evaluate(bench, ConfigKind::Base);
+    const Evaluation full = sys.evaluate(bench, ConfigKind::ThreeD);
+    const ThermalReport tb = sys.thermal(base);
+    const ThermalReport tf = sys.thermal(full);
+
+    t.addRow({"IPC", fmtDouble(base.core.perf.ipc(), 3),
+              fmtDouble(full.core.perf.ipc(), 3)});
+    t.addRow({"Instructions / ns", fmtDouble(base.core.ipns(), 2),
+              fmtDouble(full.core.ipns(), 2)});
+    t.addRow({"Branch mispredict rate",
+              fmtPercent(base.core.perf.branchMispredRate()),
+              fmtPercent(full.core.perf.branchMispredRate())});
+    t.addRow({"Width prediction accuracy", "n/a",
+              fmtPercent(full.core.perf.widthAccuracy())});
+    t.addRow({"Chip power (W)", fmtDouble(base.power.totalW(), 1),
+              fmtDouble(full.power.totalW(), 1)});
+    t.addRow({"Top-die dynamic share", "n/a",
+              fmtPercent(full.power.topDieFraction())});
+    t.addRow({"Peak temperature (K)", fmtDouble(tb.peakK, 1),
+              fmtDouble(tf.peakK, 1)});
+    t.addRow({"Hottest block", tb.hottestBlock,
+              tf.hottestBlock + " (die " +
+                  std::to_string(tf.hottestDie) + ")"});
+    t.print(std::cout);
+
+    const double speedup = full.core.ipns() / base.core.ipns() - 1.0;
+    std::cout << "\n3D speedup over planar: " << fmtPercent(speedup)
+              << ", power saving: "
+              << fmtPercent(1.0 - full.power.totalW() /
+                            base.power.totalW())
+              << "\n";
+    return 0;
+}

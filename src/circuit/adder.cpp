@@ -1,0 +1,78 @@
+#include "circuit/adder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/types.h"
+
+namespace th {
+
+AdderModel::AdderModel(int bits, const Technology &tech)
+    : bits_(bits), tech_(tech), wires_(tech)
+{
+}
+
+AdderResult
+AdderModel::evaluate(bool stacked) const
+{
+    AdderResult r;
+    const int levels = log2Exact(nextPow2(static_cast<std::uint64_t>(bits_)));
+
+    // PG setup (1 stage), one compound carry-merge gate per level,
+    // final sum XOR. Aggressive (domino-style) merge cells at 3 tau.
+    const double gates_tau =
+        4.0 +                                          // pg: xor-ish
+        static_cast<double>(levels) * 3.0 +            // merge cells
+        4.0;                                           // sum xor
+    r.gateDelay = tech_.tau * gates_tau;
+
+    // Lateral wires: the merge at level k spans 2^(k-1) bit pitches.
+    // In the stacked organisation only spans within one 16-bit slice
+    // remain lateral; longer spans become d2d via hops.
+    const int slice_bits = stacked ? kBitsPerDie : bits_;
+    double wire_mm = 0.0;
+    int via_hops = 0;
+    for (int k = 1; k <= levels; ++k) {
+        const int span = 1 << (k - 1);
+        if (span <= slice_bits) {
+            wire_mm += static_cast<double>(span) * tech_.bitPitch;
+        } else {
+            // Crossing to another die: lateral span within slice plus a
+            // via hop per die boundary crossed.
+            wire_mm += static_cast<double>(slice_bits) * tech_.bitPitch;
+            via_hops += 1;
+        }
+    }
+    r.wireDelay = wires_.unrepeatedDelay(wire_mm, WireLayer::Intermediate,
+                                         tech_.rInv / 16.0, tech_.cInv * 8.0);
+    r.viaDelay = static_cast<double>(via_hops) * tech_.d2dViaDelay;
+
+    // Energy: proportional to cell count (bits * levels) plus wires.
+    const double cell_cap = tech_.cInv * 6.0;
+    const double cells =
+        static_cast<double>(bits_) * static_cast<double>(levels + 2);
+    const double total_wire_mm =
+        wire_mm * static_cast<double>(bits_) * 0.5;
+    r.energyFull = tech_.activityFactor *
+        (tech_.switchEnergy(cell_cap * cells) +
+         wires_.wireEnergy(total_wire_mm, WireLayer::Intermediate, false));
+    // With the upper 48 bits clock-gated only a quarter of the cells
+    // and wires switch.
+    r.energyLow = r.energyFull * 0.25;
+    return r;
+}
+
+AdderResult
+AdderModel::planar() const
+{
+    return evaluate(false);
+}
+
+AdderResult
+AdderModel::stacked() const
+{
+    return evaluate(true);
+}
+
+} // namespace th

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Kogge-Stone tree adder timing/energy model, planar and
+ * significance-partitioned across the 4-die stack (Section 3.2 /
+ * Figure 4 of the paper).
+ */
+
+#ifndef TH_CIRCUIT_ADDER_H
+#define TH_CIRCUIT_ADDER_H
+
+#include "circuit/technology.h"
+#include "circuit/wire.h"
+
+namespace th {
+
+/** Timing/energy results for one adder configuration. */
+struct AdderResult
+{
+    double gateDelay = 0.0; ///< Carry-tree logic delay (ps).
+    double wireDelay = 0.0; ///< Intra-tree lateral wire delay (ps).
+    double viaDelay = 0.0;  ///< d2d crossings on the carry path (ps).
+
+    double total() const { return gateDelay + wireDelay + viaDelay; }
+
+    double energyFull = 0.0; ///< Energy of a 64-bit add (pJ).
+    double energyLow = 0.0;  ///< Energy with upper 48 bits gated (pJ).
+};
+
+/**
+ * Model of a @p bits wide Kogge-Stone adder.
+ *
+ * The planar adder's upper carry-merge levels span long lateral wires
+ * (the level-k merge reaches back 2^k bit positions). Folding the
+ * datapath into 16-bit significance slices per die converts the longest
+ * lateral spans into short vertical d2d hops, trimming only the last
+ * tree levels — which is why the paper attributes just 3 points of the
+ * 36% ALU+bypass improvement to the adder itself.
+ */
+class AdderModel
+{
+  public:
+    explicit AdderModel(int bits = 64,
+                        const Technology &tech = defaultTech());
+
+    /** Planar (2D) implementation. */
+    AdderResult planar() const;
+
+    /** 4-die word-partitioned (16 bits/die) implementation. */
+    AdderResult stacked() const;
+
+  private:
+    AdderResult evaluate(bool stacked) const;
+
+    int bits_;
+    const Technology &tech_;
+    WireModel wires_;
+};
+
+} // namespace th
+
+#endif // TH_CIRCUIT_ADDER_H

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Assembly of the per-block circuit models into the paper's Table 2:
+ * 2D vs 3D latency for each major processor block, the critical-loop
+ * clock-frequency solver, and the per-access energy table consumed by
+ * the power model.
+ */
+
+#ifndef TH_CIRCUIT_BLOCKS_H
+#define TH_CIRCUIT_BLOCKS_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/technology.h"
+
+namespace th {
+
+/** One row of Table 2. */
+struct BlockTiming
+{
+    std::string name;
+    double lat2dPs = 0.0;
+    double lat3dPs = 0.0;
+    bool critical = false; ///< Highlighted (bold) in the paper's table.
+
+    /** Fractional latency improvement, e.g. 0.32 for -32%. */
+    double improvement() const { return 1.0 - lat3dPs / lat2dPs; }
+};
+
+/**
+ * Per-access energies (pJ) for every modelled core structure, for one
+ * implementation style (planar or 4-die stacked).
+ *
+ * "Low" variants are accesses where Thermal Herding confines activity
+ * to the top die; in the planar implementation low == full since there
+ * is no partitioning to exploit. Callers combine these with activity
+ * counts from the core model and the clock frequency to get watts.
+ */
+struct CoreEnergies
+{
+    double rfReadLow = 0.0, rfReadFull = 0.0;
+    double rfWriteLow = 0.0, rfWriteFull = 0.0;
+    double aluLow = 0.0, aluFull = 0.0;
+    double shiftLow = 0.0, shiftFull = 0.0;
+    double multLow = 0.0, multFull = 0.0;
+    double fpOp = 0.0;
+    double bypassLow = 0.0, bypassFull = 0.0;
+    double schedWakeupPerDie = 0.0; ///< Tag broadcast on one die.
+    double schedSelect = 0.0;
+    double schedAlloc = 0.0;
+    double lsqSearchLow = 0.0, lsqSearchFull = 0.0;
+    double lsqWrite = 0.0;
+    double dl1ReadLow = 0.0, dl1ReadFull = 0.0;
+    double dl1WriteLow = 0.0, dl1WriteFull = 0.0;
+    double dl1Fill = 0.0;
+    double il1Access = 0.0;
+    double itlbAccess = 0.0, dtlbAccess = 0.0;
+    double btbLow = 0.0, btbFull = 0.0;
+    double bpredLookup = 0.0, bpredUpdate = 0.0;
+    double robReadLow = 0.0, robReadFull = 0.0;
+    double robWriteLow = 0.0, robWriteFull = 0.0;
+    double decodeUop = 0.0, renameUop = 0.0;
+    double l2Access = 0.0;
+    /**
+     * Catch-all per-uop energy for random control logic and global
+     * wiring not attributable to a named block. Large fraction of real
+     * core dynamic power; shrinks strongly in 3D with the compacted
+     * floorplan.
+     */
+    double miscPerUop = 0.0;
+};
+
+/**
+ * Builds every block's 2D and 3D circuit models and derives Table 2,
+ * the achievable clock frequencies, and the energy tables.
+ */
+class BlockLibrary
+{
+  public:
+    explicit BlockLibrary(const Technology &tech = defaultTech());
+
+    /** All Table 2 rows. */
+    const std::vector<BlockTiming> &table2() const { return table_; }
+
+    /** Look up a row by name; nullptr when absent. */
+    const BlockTiming *find(const std::string &name) const;
+
+    /** Cycle time of the planar design (ps): max of the critical loops. */
+    double clockPeriod2dPs() const { return period_2d_; }
+
+    /** Cycle time of the 3D design (ps). */
+    double clockPeriod3dPs() const { return period_3d_; }
+
+    /** Frequency ratio 3D/2D (paper: 1.479). */
+    double frequencyGain() const { return period_2d_ / period_3d_; }
+
+    /** Planar clock frequency (GHz); the paper's baseline is 2.66. */
+    double frequency2dGhz() const { return base_freq_ghz_; }
+
+    /** 3D clock frequency (GHz); the paper reports 3.93. */
+    double frequency3dGhz() const
+    {
+        return base_freq_ghz_ * frequencyGain();
+    }
+
+    /** Energy table for the planar implementation. */
+    const CoreEnergies &energies2d() const { return energies_2d_; }
+
+    /** Energy table for the 4-die stacked implementation. */
+    const CoreEnergies &energies3d() const { return energies_3d_; }
+
+    const Technology &tech() const { return tech_; }
+
+  private:
+    void build();
+
+    const Technology &tech_;
+    std::vector<BlockTiming> table_;
+    double period_2d_ = 0.0;
+    double period_3d_ = 0.0;
+    double base_freq_ghz_ = 2.66;
+    CoreEnergies energies_2d_;
+    CoreEnergies energies_3d_;
+};
+
+/**
+ * Model of the scheduler wakeup-select loop (the frequency-critical
+ * loop in the paper). Exposed separately for unit testing.
+ */
+struct SchedulerLoop
+{
+    /**
+     * @param entries  RS entries spanned by the tag broadcast.
+     * @param stacked  True for the 4-die entry-stacked organisation.
+     * @param tech     Technology parameters.
+     * @return Loop latency in ps.
+     */
+    static double latencyPs(int entries, bool stacked,
+                            const Technology &tech = defaultTech());
+};
+
+} // namespace th
+
+#endif // TH_CIRCUIT_BLOCKS_H

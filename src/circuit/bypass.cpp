@@ -1,0 +1,60 @@
+#include "circuit/bypass.h"
+
+#include <cmath>
+
+#include "circuit/logical_effort.h"
+#include "common/types.h"
+
+namespace th {
+
+BypassModel::BypassModel(const BypassParams &params, const Technology &tech)
+    : params_(params), tech_(tech), wires_(tech)
+{
+}
+
+BypassResult
+BypassModel::evaluate(double len_mm, int width_bits, int vias) const
+{
+    BypassResult r;
+    r.wireDelay = wires_.repeatedDelay(len_mm, WireLayer::Intermediate);
+    r.viaDelay = static_cast<double>(vias) * tech_.d2dViaDelay;
+
+    LogicPath logic(tech_);
+    // Operand-select mux: fan-in sources, one-hot select.
+    const double effort =
+        static_cast<double>(params_.bypassSources) * 1.5;
+    r.muxDelay = logic.fixedStageDelay(effort, 2, 2.0);
+
+    const double e_per_bit =
+        wires_.wireEnergy(len_mm, WireLayer::Intermediate, true);
+    r.energyFull = tech_.activityFactor * e_per_bit *
+        static_cast<double>(width_bits);
+    r.energyLow = tech_.activityFactor * e_per_bit *
+        static_cast<double>(kBitsPerDie);
+    return r;
+}
+
+BypassResult
+BypassModel::planar() const
+{
+    const double len =
+        static_cast<double>(params_.funcUnits) * params_.fuHeightMm;
+    BypassResult r = evaluate(len, params_.busWidthBits, 0);
+    // Planar: low-width operands still swing the full 64-bit bus (no
+    // partitioning), so low == full.
+    r.energyLow = r.energyFull;
+    return r;
+}
+
+BypassResult
+BypassModel::stacked() const
+{
+    // Figure 5(b): width and height both reduced to ~1/4; the bus
+    // traverses the compacted cluster plus up to two d2d hops for
+    // cross-slice control.
+    const double len =
+        static_cast<double>(params_.funcUnits) * params_.fuHeightMm / 4.0;
+    return evaluate(len, params_.busWidthBits, 2);
+}
+
+} // namespace th

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Bypass network wire model (Section 3.3 / Figure 5): the result bus
+ * that forwards ALU outputs back to consumer inputs across the
+ * execution cluster. The 3D word-partitioned organisation reduces both
+ * the width and height of the bypass network to a quarter of their
+ * planar sizes.
+ */
+
+#ifndef TH_CIRCUIT_BYPASS_H
+#define TH_CIRCUIT_BYPASS_H
+
+#include "circuit/technology.h"
+#include "circuit/wire.h"
+
+namespace th {
+
+/** Timing/energy of one bypass traversal. */
+struct BypassResult
+{
+    double wireDelay = 0.0; ///< Result-bus flight time (ps).
+    double muxDelay = 0.0;  ///< Operand-select mux at the consumer (ps).
+    double viaDelay = 0.0;  ///< d2d hops (3D only, ps).
+
+    double total() const { return wireDelay + muxDelay + viaDelay; }
+
+    double energyFull = 0.0; ///< 64-bit broadcast energy (pJ).
+    double energyLow = 0.0;  ///< 16-bit (top-die-only) broadcast (pJ).
+};
+
+/** Geometry of the execution cluster the bypass bus spans. */
+struct BypassParams
+{
+    int funcUnits = 7;       ///< FUs spanned (3 ALU, 2 shift, mult, mem).
+    double fuHeightMm = 0.26; ///< Planar height of one FU row (mm).
+    int busWidthBits = 64;   ///< Datapath width.
+    int bypassSources = 6;   ///< Mux fan-in at each operand port.
+};
+
+/** Analytical bypass network model. */
+class BypassModel
+{
+  public:
+    explicit BypassModel(const BypassParams &params = BypassParams{},
+                         const Technology &tech = defaultTech());
+
+    /** Planar bypass network. */
+    BypassResult planar() const;
+
+    /**
+     * 4-die stacked bypass: per-die datapath slices compact the
+     * cluster so the bus length drops to roughly a quarter.
+     */
+    BypassResult stacked() const;
+
+    const BypassParams &params() const { return params_; }
+
+  private:
+    BypassResult evaluate(double len_mm, int width_bits, int vias) const;
+
+    BypassParams params_;
+    const Technology &tech_;
+    WireModel wires_;
+};
+
+} // namespace th
+
+#endif // TH_CIRCUIT_BYPASS_H

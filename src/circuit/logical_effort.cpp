@@ -1,0 +1,95 @@
+#include "circuit/logical_effort.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace th {
+
+namespace le {
+
+double
+nandEffort(int inputs)
+{
+    return (static_cast<double>(inputs) + 2.0) / 3.0;
+}
+
+double
+norEffort(int inputs)
+{
+    return (2.0 * static_cast<double>(inputs) + 1.0) / 3.0;
+}
+
+double
+parasitic(int inputs)
+{
+    return static_cast<double>(inputs);
+}
+
+} // namespace le
+
+LogicPath::LogicPath(const Technology &tech)
+    : tech_(tech)
+{
+}
+
+double
+LogicPath::optimalDelay(double path_effort, double parasitic_tau) const
+{
+    if (path_effort < 1.0)
+        path_effort = 1.0;
+    // Optimal stage count for stage effort ~3.6.
+    int stages = std::max(1, static_cast<int>(
+        std::lround(std::log(path_effort) / std::log(3.6))));
+    return fixedStageDelay(path_effort, stages, parasitic_tau);
+}
+
+double
+LogicPath::fixedStageDelay(double path_effort, int stages,
+                           double parasitic_tau) const
+{
+    if (stages < 1)
+        panic("LogicPath stage count must be >= 1 (got %d)", stages);
+    if (path_effort < 1.0)
+        path_effort = 1.0;
+    const double stage_effort =
+        std::pow(path_effort, 1.0 / static_cast<double>(stages));
+    return tech_.tau *
+        (static_cast<double>(stages) * stage_effort + parasitic_tau);
+}
+
+double
+LogicPath::decoderDelay(int rows, double c_load_ff) const
+{
+    if (rows < 2)
+        return tech_.tau * 2.0;
+    const int bits = log2Exact(nextPow2(static_cast<std::uint64_t>(rows)));
+    // Two predecode levels (3-bit NAND groups) + final NOR + wordline
+    // driver. Path logical effort ~ product of gate efforts; branching
+    // = rows fanned out from the address drivers.
+    const double g_path = le::nandEffort(3) * le::norEffort(2) * 1.0;
+    const double branch = static_cast<double>(rows) / 2.0;
+    const double h_elec = std::max(1.0, c_load_ff / (tech_.cInv * 16.0));
+    const double f = g_path * branch * h_elec;
+    const double p = le::parasitic(3) + le::parasitic(2) +
+        2.0 * tech_.pInv + 0.5 * static_cast<double>(bits);
+    return optimalDelay(f, p);
+}
+
+double
+LogicPath::decoderEnergy(int rows) const
+{
+    if (rows < 2)
+        return 0.0;
+    const int bits = log2Exact(nextPow2(static_cast<std::uint64_t>(rows)));
+    // Address drivers + predecode wires + one fired final gate per
+    // access; scales with rows for the predecode fanout wiring.
+    const double c_ff = tech_.cInv *
+        (8.0 * static_cast<double>(bits) +
+         0.4 * static_cast<double>(rows));
+    return tech_.switchEnergy(c_ff);
+}
+
+} // namespace th

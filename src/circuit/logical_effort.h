@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Logical-effort delay estimation for gate chains (decoders, muxes,
+ * priority/select logic).
+ */
+
+#ifndef TH_CIRCUIT_LOGICAL_EFFORT_H
+#define TH_CIRCUIT_LOGICAL_EFFORT_H
+
+#include "circuit/technology.h"
+
+namespace th {
+
+/** Logical effort constants for common gates. */
+namespace le {
+
+/** Logical effort g of a NAND with @p inputs inputs. */
+double nandEffort(int inputs);
+
+/** Logical effort g of a NOR with @p inputs inputs. */
+double norEffort(int inputs);
+
+/** Parasitic delay p of an n-input gate (in tau units). */
+double parasitic(int inputs);
+
+} // namespace le
+
+/**
+ * Delay estimator for a logic path characterised by its total path
+ * effort. Given path effort F (product of logical efforts, branching
+ * efforts, and electrical effort), the optimal N-stage delay is
+ * N * F^(1/N) + P.
+ */
+class LogicPath
+{
+  public:
+    explicit LogicPath(const Technology &tech);
+
+    /**
+     * Minimum delay (ps) of a path with path effort @p path_effort and
+     * total parasitic @p parasitic_tau, choosing the optimal number of
+     * stages (stage effort ~4).
+     */
+    double optimalDelay(double path_effort, double parasitic_tau) const;
+
+    /**
+     * Delay (ps) with a fixed stage count @p stages.
+     */
+    double fixedStageDelay(double path_effort, int stages,
+                           double parasitic_tau) const;
+
+    /**
+     * Delay of a full row decoder for @p rows entries driving a
+     * wordline load of @p c_load_ff fF: predecode + final NOR + driver.
+     */
+    double decoderDelay(int rows, double c_load_ff) const;
+
+    /** Energy (pJ) of a decode operation for @p rows entries. */
+    double decoderEnergy(int rows) const;
+
+    const Technology &tech() const { return tech_; }
+
+  private:
+    const Technology &tech_;
+};
+
+} // namespace th
+
+#endif // TH_CIRCUIT_LOGICAL_EFFORT_H

@@ -1,0 +1,250 @@
+#include "circuit/sram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace th {
+
+namespace {
+
+/**
+ * Maximum cells on one wordline or bitline segment before the layout
+ * inserts segment muxes / hierarchical drivers. Standard practice for
+ * arrays of any size; keeps segment RC bounded.
+ */
+constexpr int kMaxSegmentCells = 256;
+
+/** Extra delay factor per doubling beyond the segment cap. */
+constexpr double kSegmentPenalty = 0.10;
+
+/** Segment-select mux delay when segmentation kicks in (ps). */
+constexpr double kSegmentMuxDelay = 12.0;
+
+/** Hierarchical (divided) bitline factor for word-sliced 3D arrays. */
+constexpr int kDividedBitlineFactor = 2;
+
+} // namespace
+
+SramArray::SramArray(const SramParams &params, Partition3D part,
+                     const Technology &tech)
+    : params_(params), part_(part), tech_(tech), wires_(tech), logic_(tech)
+{
+    if (params_.entries < 1 || params_.bitsPerEntry < 1)
+        fatal("SramArray requires positive entries/bits (got %d x %d)",
+              params_.entries, params_.bitsPerEntry);
+
+    int rows = std::max(1, params_.entries / std::max(1, params_.columnMux));
+    int cols = params_.bitsPerEntry * std::max(1, params_.columnMux);
+
+    route_len_ = params_.routeLenMm;
+    switch (part_) {
+      case Partition3D::None:
+        break;
+      case Partition3D::WordSlice:
+        // Each die holds a 16-bit significance slice of every entry.
+        // Wordlines shrink 4x; the area freed by the short wordlines
+        // is spent on hierarchical (divided) bitlines.
+        cols = std::max(1, cols / kNumDies);
+        route_len_ *= 0.5;
+        break;
+      case Partition3D::RowSlice:
+        rows = std::max(1, rows / kNumDies);
+        route_len_ *= 0.5;
+        break;
+      case Partition3D::Quad:
+        rows = std::max(1, rows / 2);
+        cols = std::max(1, cols / 2);
+        route_len_ *= 0.5;
+        break;
+    }
+    phys_rows_ = rows;
+    phys_cols_ = cols;
+}
+
+double
+SramArray::cellW() const
+{
+    const int ports = params_.readPorts + params_.writePorts;
+    return tech_.sramCellW *
+        (1.0 + tech_.portPitchFactor * static_cast<double>(ports - 1));
+}
+
+double
+SramArray::cellH() const
+{
+    const int ports = params_.readPorts + params_.writePorts;
+    return tech_.sramCellH *
+        (1.0 + tech_.portPitchFactor * static_cast<double>(ports - 1));
+}
+
+int
+SramArray::viaCrossings() const
+{
+    // Signals broadcast/merge through the stack in parallel; the
+    // critical path sees the distribution and the collection hop.
+    return part_ == Partition3D::None ? 0 : 2;
+}
+
+ArrayTiming
+SramArray::readTiming() const
+{
+    ArrayTiming t;
+
+    // --- Wordline: segmented at kMaxSegmentCells. ---
+    const int wl_cells = std::min(phys_cols_, kMaxSegmentCells);
+    const double wl_len = static_cast<double>(wl_cells) * cellW();
+    const double wl_cap =
+        static_cast<double>(wl_cells) * tech_.cWordlineCell +
+        wires_.cPerMm(WireLayer::Intermediate) * wl_len;
+
+    t.decode = logic_.decoderDelay(phys_rows_, wl_cap);
+
+    const double r_wl = wires_.rPerMm(WireLayer::Intermediate) * wl_len;
+    const double r_drv = tech_.rInv / 32.0;
+    t.wordline = (r_drv * wl_cap + 0.38 * r_wl * wl_cap) * 1e-3;
+    if (phys_cols_ > kMaxSegmentCells) {
+        const double doublings =
+            std::log2(static_cast<double>(phys_cols_) /
+                      static_cast<double>(kMaxSegmentCells));
+        t.wordline *= 1.0 + kSegmentPenalty * doublings;
+        t.wordline += kSegmentMuxDelay;
+    }
+
+    // --- Bitline: segmented; divided further for word-sliced 3D. ---
+    int bl_cells = std::min(phys_rows_, kMaxSegmentCells);
+    if (part_ == Partition3D::WordSlice)
+        bl_cells = std::max(1, bl_cells / kDividedBitlineFactor);
+    const double bl_len = static_cast<double>(bl_cells) * cellH();
+    const double bl_cap =
+        static_cast<double>(bl_cells) * tech_.cBitlineCell +
+        wires_.cPerMm(WireLayer::Intermediate) * bl_len;
+    const double dv = tech_.bitlineSwing * tech_.vdd;
+    t.bitline = 1e3 * bl_cap * dv / tech_.cellDriveUa;
+    if (phys_rows_ > kMaxSegmentCells) {
+        const double doublings =
+            std::log2(static_cast<double>(phys_rows_) /
+                      static_cast<double>(kMaxSegmentCells));
+        t.bitline *= 1.0 + kSegmentPenalty * doublings;
+        t.bitline += kSegmentMuxDelay;
+    }
+
+    t.sense = tech_.senseAmpDelay;
+
+    const double mux_effort =
+        std::max(1.0, static_cast<double>(params_.columnMux)) * 2.0;
+    t.output = logic_.optimalDelay(mux_effort, 2.0 * tech_.pInv);
+
+    if (route_len_ > 0.0)
+        t.route = wires_.repeatedDelay(route_len_, WireLayer::Global);
+
+    t.via = static_cast<double>(viaCrossings()) * tech_.d2dViaDelay;
+
+    return t;
+}
+
+double
+SramArray::accessEnergyCols(int cols, bool write) const
+{
+    // Only the selected wordline segment fires.
+    const int wl_cells = std::min(cols, kMaxSegmentCells);
+    const double wl_len = static_cast<double>(wl_cells) * cellW();
+    const double wl_cap =
+        static_cast<double>(wl_cells) * tech_.cWordlineCell +
+        wires_.cPerMm(WireLayer::Intermediate) * wl_len;
+
+    double e = logic_.decoderEnergy(phys_rows_);
+    e += tech_.switchEnergy(wl_cap);
+
+    int bl_cells = std::min(phys_rows_, kMaxSegmentCells);
+    if (part_ == Partition3D::WordSlice)
+        bl_cells = std::max(1, bl_cells / kDividedBitlineFactor);
+    const double bl_len = static_cast<double>(bl_cells) * cellH();
+    const double bl_cap_per_col =
+        static_cast<double>(bl_cells) * tech_.cBitlineCell +
+        wires_.cPerMm(WireLayer::Intermediate) * bl_len;
+
+    if (write) {
+        e += 2.0 * tech_.switchEnergy(bl_cap_per_col) *
+            static_cast<double>(cols);
+    } else {
+        e += tech_.bitlineSwing * tech_.switchEnergy(bl_cap_per_col) *
+            static_cast<double>(cols);
+        e += tech_.senseAmpEnergy * static_cast<double>(cols);
+    }
+
+    if (route_len_ > 0.0) {
+        // Data + address distribution on the routing tree.
+        e += wires_.wireEnergy(route_len_, WireLayer::Global) *
+            static_cast<double>(std::min(cols, 64)) * 0.5;
+    }
+
+    e += tech_.switchEnergy(tech_.d2dViaCap) *
+        static_cast<double>(viaCrossings() * std::min(cols, 64)) * 0.25;
+
+    return e;
+}
+
+ArrayEnergy
+SramArray::accessEnergy() const
+{
+    ArrayEnergy e;
+    const int cols_per_access =
+        std::max(1, phys_cols_ / std::max(1, params_.columnMux));
+
+    switch (part_) {
+      case Partition3D::None:
+      case Partition3D::Quad:
+        // Quad: two dies hold the selected row's halves, but each
+        // fires half the columns — net cell energy comparable, route
+        // halved (already in route_len_).
+        e.read = accessEnergyCols(cols_per_access, false);
+        e.write = accessEnergyCols(cols_per_access, true);
+        if (part_ == Partition3D::Quad) {
+            e.read *= 2.0;
+            e.write *= 2.0;
+        }
+        break;
+      case Partition3D::WordSlice:
+        // All four dies fire their 16-bit slice on a full access.
+        e.read = accessEnergyCols(cols_per_access, false) *
+            static_cast<double>(kNumDies);
+        e.write = accessEnergyCols(cols_per_access, true) *
+            static_cast<double>(kNumDies);
+        break;
+      case Partition3D::RowSlice:
+        // One die has the entry; the others burn decode energy only.
+        e.read = accessEnergyCols(cols_per_access, false) +
+            static_cast<double>(kNumDies - 1) *
+                logic_.decoderEnergy(phys_rows_);
+        e.write = accessEnergyCols(cols_per_access, true) +
+            static_cast<double>(kNumDies - 1) *
+                logic_.decoderEnergy(phys_rows_);
+        break;
+    }
+    return e;
+}
+
+ArrayEnergy
+SramArray::topSliceEnergy() const
+{
+    if (part_ != Partition3D::WordSlice)
+        return accessEnergy();
+    ArrayEnergy e;
+    const int cols_per_access =
+        std::max(1, phys_cols_ / std::max(1, params_.columnMux));
+    e.read = accessEnergyCols(cols_per_access, false);
+    e.write = accessEnergyCols(cols_per_access, true);
+    return e;
+}
+
+double
+SramArray::sliceArea() const
+{
+    return static_cast<double>(phys_rows_) * cellH() *
+           static_cast<double>(phys_cols_) * cellW();
+}
+
+} // namespace th

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Analytical SRAM array timing/energy model (CACTI-style decomposition:
+ * decode, wordline, bitline, sense, output) with 3D die-stacked
+ * partitioning variants as proposed for 3D caches, register files, and
+ * other processor arrays.
+ */
+
+#ifndef TH_CIRCUIT_SRAM_H
+#define TH_CIRCUIT_SRAM_H
+
+#include "circuit/logical_effort.h"
+#include "circuit/technology.h"
+#include "circuit/wire.h"
+
+namespace th {
+
+/**
+ * How an array is folded onto the 4-die stack.
+ *
+ * - None: planar (single-die) implementation.
+ * - WordSlice: each die holds a 16-bit significance slice of every
+ *   entry (the Thermal Herding datapath partition); wordlines shrink 4x.
+ * - RowSlice: each die holds a quarter of the entries (the
+ *   entry-stacked scheduler partition); bitlines shrink 4x.
+ * - Quad: rows and columns each halved (generic 3D array fold used for
+ *   caches); both wordline and bitline shrink 2x.
+ */
+enum class Partition3D { None, WordSlice, RowSlice, Quad };
+
+/** Static parameters of one SRAM array. */
+struct SramParams
+{
+    int entries = 64;        ///< Logical entries (rows before muxing).
+    int bitsPerEntry = 64;   ///< Data bits per entry.
+    int readPorts = 1;       ///< Simultaneous read ports.
+    int writePorts = 1;      ///< Simultaneous write ports.
+    int columnMux = 1;       ///< Column multiplexing degree.
+    /**
+     * Extra repeated global routing to/from the array edge (mm) in the
+     * planar layout, e.g. H-tree segments for banked caches.
+     */
+    double routeLenMm = 0.0;
+};
+
+/** Per-phase timing breakdown of one array access (ps). */
+struct ArrayTiming
+{
+    double decode = 0.0;
+    double wordline = 0.0;
+    double bitline = 0.0;
+    double sense = 0.0;
+    double output = 0.0;
+    double route = 0.0;
+    double via = 0.0;
+
+    double total() const
+    {
+        return decode + wordline + bitline + sense + output + route + via;
+    }
+};
+
+/** Per-access energies (pJ). */
+struct ArrayEnergy
+{
+    double read = 0.0;
+    double write = 0.0;
+};
+
+/**
+ * Analytical model of one SRAM array, planar or folded across the
+ * 4-die stack.
+ */
+class SramArray
+{
+  public:
+    SramArray(const SramParams &params, Partition3D part,
+              const Technology &tech = defaultTech());
+
+    /** Timing of a read access through the critical path. */
+    ArrayTiming readTiming() const;
+
+    /** Total read latency (ps). */
+    double readLatency() const { return readTiming().total(); }
+
+    /** Energy per read/write access of the whole entry width (pJ). */
+    ArrayEnergy accessEnergy() const;
+
+    /**
+     * Energy of reading/writing only the top-die 16-bit slice (pJ).
+     * Only meaningful for WordSlice partitioning; for other partitions
+     * this returns the full access energy.
+     */
+    ArrayEnergy topSliceEnergy() const;
+
+    /** Physical rows per die after folding. */
+    int physRows() const { return phys_rows_; }
+
+    /** Physical columns (bit cells per row) per die after folding. */
+    int physCols() const { return phys_cols_; }
+
+    /** Footprint of one die's slice (mm^2). */
+    double sliceArea() const;
+
+    const SramParams &params() const { return params_; }
+    Partition3D partition() const { return part_; }
+
+  private:
+    /** Cell pitch scaled for port count (mm). */
+    double cellW() const;
+    double cellH() const;
+    /** Number of d2d interface crossings on the critical path. */
+    int viaCrossings() const;
+    /** Energy of an access covering @p cols columns and current rows. */
+    double accessEnergyCols(int cols, bool write) const;
+
+    SramParams params_;
+    Partition3D part_;
+    const Technology &tech_;
+    WireModel wires_;
+    LogicPath logic_;
+    int phys_rows_;
+    int phys_cols_;
+    double route_len_;
+};
+
+} // namespace th
+
+#endif // TH_CIRCUIT_SRAM_H

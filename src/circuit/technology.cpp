@@ -1,0 +1,12 @@
+#include "circuit/technology.h"
+
+namespace th {
+
+const Technology &
+defaultTech()
+{
+    static const Technology tech{};
+    return tech;
+}
+
+} // namespace th

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * 65nm technology parameters for the analytical circuit models.
+ *
+ * The paper used HSpice with Predictive Technology Models (65nm) and
+ * Intel 130nm wire parameters extrapolated to 65nm. We substitute an
+ * analytical logical-effort + RC model whose parameters are set to
+ * representative 65nm values. Absolute picosecond numbers are best-effort;
+ * the quantity the paper's Table 2 cares about — the *relative* 2D vs 3D
+ * latency, driven by the wire/gate delay split — is what these models are
+ * built to capture.
+ */
+
+#ifndef TH_CIRCUIT_TECHNOLOGY_H
+#define TH_CIRCUIT_TECHNOLOGY_H
+
+namespace th {
+
+/**
+ * Process/technology constants. All delays in picoseconds, lengths in
+ * millimetres, capacitances in femtofarads, resistances in ohms,
+ * energies in picojoules, voltages in volts.
+ */
+struct Technology
+{
+    /** Supply voltage (V). 65nm nominal. */
+    double vdd = 1.1;
+
+    /** Logical-effort time unit tau (ps): delay = tau * (p + g*h). */
+    double tau = 5.0;
+
+    /** Parasitic delay of an inverter, in units of tau. */
+    double pInv = 1.0;
+
+    /** FO4 inverter delay (ps); derived as tau * (pInv + 4). */
+    double fo4() const { return tau * (pInv + 4.0); }
+
+    /** Minimum-size inverter output resistance (ohm). */
+    double rInv = 12000.0;
+
+    /** Minimum-size inverter input capacitance (fF). */
+    double cInv = 0.10;
+
+    /** Intermediate-layer wire resistance per mm (ohm/mm). */
+    double wireRInt = 900.0;
+
+    /** Intermediate-layer wire capacitance per mm (fF/mm). */
+    double wireCInt = 220.0;
+
+    /** Global-layer wire resistance per mm (ohm/mm). */
+    double wireRGlob = 250.0;
+
+    /** Global-layer wire capacitance per mm (fF/mm). */
+    double wireCGlob = 270.0;
+
+    /**
+     * Die-to-die via traversal delay (ps) for one face-to-face
+     * interface. Prior work reports this under one FO4; the vias are
+     * ~5um long with ~1um pitch.
+     */
+    double d2dViaDelay = 3.0;
+
+    /** Die-to-die via capacitance (fF) — loads the driver per crossing. */
+    double d2dViaCap = 2.0;
+
+    /**
+     * Backside (back-to-back) via traversal delay (ps); ~20um through
+     * thinned silicon, a little slower than the f2f face.
+     */
+    double b2bViaDelay = 6.0;
+
+    /** 6T SRAM cell width (mm). ~0.9um at 65nm for a robust cell. */
+    double sramCellW = 0.0009;
+
+    /** 6T SRAM cell height (mm). */
+    double sramCellH = 0.0007;
+
+    /** Extra cell pitch per additional port (fraction of base size). */
+    double portPitchFactor = 0.45;
+
+    /** Bitline capacitance contributed per cell (fF). */
+    double cBitlineCell = 0.35;
+
+    /** Wordline capacitance contributed per cell (two access gates, fF). */
+    double cWordlineCell = 0.25;
+
+    /** Bitline swing fraction of VDD needed before the sense amp fires. */
+    double bitlineSwing = 0.12;
+
+    /** SRAM cell read drive current (uA). */
+    double cellDriveUa = 75.0;
+
+    /** Sense amplifier delay (ps). */
+    double senseAmpDelay = 20.0;
+
+    /** Sense amplifier energy per fired column (pJ). */
+    double senseAmpEnergy = 0.004;
+
+    /** Datapath bit pitch (mm/bit) for ALUs and bypass buses. */
+    double bitPitch = 0.0032;
+
+    /** Average switching activity factor used for energy estimates. */
+    double activityFactor = 0.5;
+
+    /** Energy of charging capacitance C (fF) over full swing (pJ). */
+    double switchEnergy(double c_ff) const
+    {
+        return 1e-3 * c_ff * vdd * vdd; // fF * V^2 -> fJ; /1000 -> pJ
+    }
+};
+
+/** The default 65nm technology used throughout the evaluation. */
+const Technology &defaultTech();
+
+} // namespace th
+
+#endif // TH_CIRCUIT_TECHNOLOGY_H

@@ -1,0 +1,85 @@
+#include "circuit/wire.h"
+
+#include <cmath>
+
+namespace th {
+
+WireModel::WireModel(const Technology &tech)
+    : tech_(tech)
+{
+}
+
+double
+WireModel::rPerMm(WireLayer layer) const
+{
+    return layer == WireLayer::Intermediate ? tech_.wireRInt
+                                            : tech_.wireRGlob;
+}
+
+double
+WireModel::cPerMm(WireLayer layer) const
+{
+    return layer == WireLayer::Intermediate ? tech_.wireCInt
+                                            : tech_.wireCGlob;
+}
+
+double
+WireModel::unrepeatedDelay(double len_mm, WireLayer layer,
+                           double r_drv, double c_load) const
+{
+    const double r_w = rPerMm(layer) * len_mm;          // ohm
+    const double c_w = cPerMm(layer) * len_mm;          // fF
+    // Elmore: driver sees all wire + load cap; distributed wire RC gets
+    // the 0.38 factor; wire R drives the endpoint load.
+    const double d_fs = r_drv * (c_w + c_load)          // fs (ohm*fF)
+                      + 0.38 * r_w * c_w
+                      + r_w * c_load;
+    return d_fs * 1e-3; // ohm*fF = fs -> ps
+}
+
+double
+WireModel::unrepeatedDelay(double len_mm, WireLayer layer) const
+{
+    // Default driver: 64x inverter.
+    return unrepeatedDelay(len_mm, layer, tech_.rInv / 64.0, 0.0);
+}
+
+double
+WireModel::repeatedDelayPerMm(WireLayer layer) const
+{
+    const double r0c0 = tech_.rInv * tech_.cInv;        // ohm*fF = fs
+    const double rc = rPerMm(layer) * cPerMm(layer);    // fs/mm^2
+    // Classic optimal-repeater delay/length (Bakoglu):
+    //   2 * sqrt(R0 C0 r c (1 + pInv))
+    const double d_fs = 2.0 * std::sqrt(r0c0 * rc * (1.0 + tech_.pInv));
+    return d_fs * 1e-3; // ps/mm
+}
+
+double
+WireModel::repeatedDelay(double len_mm, WireLayer layer) const
+{
+    return repeatedDelayPerMm(layer) * len_mm;
+}
+
+double
+WireModel::repeatedDelayLoaded(double len_mm, WireLayer layer,
+                               double load_ff_per_mm) const
+{
+    const double c = cPerMm(layer);
+    const double scale = std::sqrt((c + load_ff_per_mm) / c);
+    return repeatedDelayPerMm(layer) * scale * len_mm;
+}
+
+double
+WireModel::wireEnergy(double len_mm, WireLayer layer, bool repeated) const
+{
+    double c_total = cPerMm(layer) * len_mm;            // fF
+    if (repeated) {
+        // Optimal repeaters add roughly half the wire capacitance again
+        // in device capacitance.
+        c_total *= 1.5;
+    }
+    return tech_.switchEnergy(c_total);
+}
+
+} // namespace th

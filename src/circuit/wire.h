@@ -1,0 +1,77 @@
+/**
+ * @file
+ * RC wire delay and energy models: unrepeated (Elmore) and optimally
+ * repeated wires on intermediate and global metal layers.
+ */
+
+#ifndef TH_CIRCUIT_WIRE_H
+#define TH_CIRCUIT_WIRE_H
+
+#include "circuit/technology.h"
+
+namespace th {
+
+/** Which metal layer a wire is routed on. */
+enum class WireLayer { Intermediate, Global };
+
+/**
+ * Analytical wire model over a Technology.
+ *
+ * Delays are in picoseconds, lengths in millimetres, energies in
+ * picojoules per full-swing transition.
+ */
+class WireModel
+{
+  public:
+    explicit WireModel(const Technology &tech);
+
+    /**
+     * Elmore delay of an unrepeated wire of length @p len_mm driven by a
+     * driver of resistance @p r_drv (ohm) into a load of @p c_load (fF).
+     * Uses the 0.38*R*C distributed-wire factor.
+     */
+    double unrepeatedDelay(double len_mm, WireLayer layer,
+                           double r_drv, double c_load) const;
+
+    /** Unrepeated delay with a default (64x inverter) driver, no load. */
+    double unrepeatedDelay(double len_mm, WireLayer layer) const;
+
+    /**
+     * Delay of an optimally repeated wire of length @p len_mm:
+     * 2 * sqrt(R0 * C0 * r * c * (1 + pInv)) per unit length.
+     */
+    double repeatedDelay(double len_mm, WireLayer layer) const;
+
+    /** Delay per mm of optimally repeated wire on @p layer (ps/mm). */
+    double repeatedDelayPerMm(WireLayer layer) const;
+
+    /**
+     * Repeated-wire delay for a bus loaded with distributed gate
+     * capacitance of @p load_ff_per_mm fF/mm (e.g. comparator inputs on
+     * a tag broadcast bus, operand latches on a bypass bus).
+     */
+    double repeatedDelayLoaded(double len_mm, WireLayer layer,
+                               double load_ff_per_mm) const;
+
+    /**
+     * Energy to switch a wire of length @p len_mm full swing, including
+     * repeater input capacitance overhead for repeated wires (pJ).
+     */
+    double wireEnergy(double len_mm, WireLayer layer,
+                      bool repeated = true) const;
+
+    /** Wire resistance per mm for @p layer. */
+    double rPerMm(WireLayer layer) const;
+
+    /** Wire capacitance per mm for @p layer. */
+    double cPerMm(WireLayer layer) const;
+
+    const Technology &tech() const { return tech_; }
+
+  private:
+    const Technology &tech_;
+};
+
+} // namespace th
+
+#endif // TH_CIRCUIT_WIRE_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the width-prediction datapath model.
+ */
+
+#ifndef TH_COMMON_BITUTIL_H
+#define TH_COMMON_BITUTIL_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace th {
+
+/**
+ * Number of significant bits in an unsigned value (0 has zero
+ * significant bits).
+ */
+constexpr int
+significantBits(std::uint64_t v)
+{
+    return 64 - std::countl_zero(v);
+}
+
+/**
+ * Classify a 64-bit value into the paper's low/full width classes.
+ *
+ * A value is low-width when its upper 48 bits are all zero, i.e. it is
+ * representable in the 16 bits stored on the top die. (The wider
+ * "trivially encodable" classes used by the data cache are handled by
+ * PartialValueCode below.)
+ */
+constexpr Width
+classifyWidth(std::uint64_t v)
+{
+    return (v >> kBitsPerDie) == 0 ? Width::Low : Width::Full;
+}
+
+/**
+ * The L1 data cache's 2-bit partial value encoding (Section 3.6).
+ *
+ * Encodes what the upper 48 bits of a 64-bit word look like so that
+ * low-width predicted loads can complete from the top die alone.
+ */
+enum class PartialValueCode : std::uint8_t {
+    UpperZeros = 0, ///< 00: upper 48 bits all zeros.
+    UpperOnes = 1,  ///< 01: upper 48 bits all ones (small negatives).
+    UpperAddr = 2,  ///< 10: upper bits match the referencing address.
+    Explicit = 3    ///< 11: upper bits must be read from the lower dies.
+};
+
+/** Mask covering the bits stored on the top die. */
+inline constexpr std::uint64_t kTopDieMask = (1ULL << kBitsPerDie) - 1;
+
+/** Mask covering the bits stored on the lower three dies. */
+inline constexpr std::uint64_t kUpperMask = ~kTopDieMask;
+
+/**
+ * Compute the partial value code for @p value when accessed through
+ * address @p ref_addr (Section 3.6).
+ */
+constexpr PartialValueCode
+encodePartialValue(std::uint64_t value, Addr ref_addr)
+{
+    const std::uint64_t upper = value & kUpperMask;
+    if (upper == 0)
+        return PartialValueCode::UpperZeros;
+    if (upper == kUpperMask)
+        return PartialValueCode::UpperOnes;
+    if (upper == (ref_addr & kUpperMask))
+        return PartialValueCode::UpperAddr;
+    return PartialValueCode::Explicit;
+}
+
+/**
+ * Reconstruct a value from its top-die bits and partial value code.
+ * Only valid when the code is not Explicit.
+ */
+constexpr std::uint64_t
+decodePartialValue(std::uint64_t low16, PartialValueCode code,
+                   Addr ref_addr)
+{
+    switch (code) {
+      case PartialValueCode::UpperZeros:
+        return low16 & kTopDieMask;
+      case PartialValueCode::UpperOnes:
+        return kUpperMask | (low16 & kTopDieMask);
+      case PartialValueCode::UpperAddr:
+        return (ref_addr & kUpperMask) | (low16 & kTopDieMask);
+      default:
+        return low16;
+    }
+}
+
+/**
+ * True when the 2-bit encoding can represent the value without touching
+ * the lower three dies.
+ */
+constexpr bool
+isTriviallyEncodable(std::uint64_t value, Addr ref_addr)
+{
+    return encodePartialValue(value, ref_addr) != PartialValueCode::Explicit;
+}
+
+/**
+ * Which dies toggle when a value propagates through a
+ * significance-partitioned structure: die 0 always toggles; dies 1..3
+ * toggle only for full-width values.
+ */
+constexpr int
+activeDies(Width w)
+{
+    return w == Width::Low ? 1 : kNumDies;
+}
+
+/** Integer log2 for exact powers of two. */
+constexpr int
+log2Exact(std::uint64_t v)
+{
+    return std::countr_zero(v);
+}
+
+/** Round @p v up to the next power of two (v > 0). */
+constexpr std::uint64_t
+nextPow2(std::uint64_t v)
+{
+    return std::bit_ceil(v);
+}
+
+} // namespace th
+
+#endif // TH_COMMON_BITUTIL_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal logging / error facilities in the gem5 style: panic() for
+ * internal invariant violations, fatal() for user errors, warn() and
+ * inform() for status.
+ */
+
+#ifndef TH_COMMON_LOG_H
+#define TH_COMMON_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace th {
+
+/** Verbosity levels for inform()/warn() output. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/** Set the global log verbosity. Default: Warn. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+/**
+ * Report an internal simulator bug and abort. Use when a condition can
+ * only arise from a defect in this library, never from user input.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid
+ * arguments) and exit with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning about questionable modelling or configuration. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational status message. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Debug-level message (only with LogLevel::Debug). */
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace th
+
+#endif // TH_COMMON_LOG_H

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic trace
+ * generation. xoshiro256** — fast, high quality, and reproducible across
+ * platforms (unlike std::default_random_engine).
+ */
+
+#ifndef TH_COMMON_RNG_H
+#define TH_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace th {
+
+/**
+ * xoshiro256** PRNG with splitmix64 seeding.
+ *
+ * All synthetic workload generation derives from this generator so a
+ * (suite, benchmark, seed) triple always produces the same trace.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit sample. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) (bound > 0). */
+    std::uint64_t range(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t rangeInclusive(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool chance(double p);
+
+    /**
+     * Sample a geometric-ish run length with mean @p mean (>= 1).
+     * Used for burst lengths in branch/value-width processes.
+     */
+    int runLength(double mean);
+
+    /**
+     * Sample from a discrete distribution given cumulative weights.
+     * @param cdf Array of cumulative probabilities ending at 1.0.
+     * @param n   Number of entries.
+     * @return Index in [0, n).
+     */
+    int sampleCdf(const double *cdf, int n);
+
+    /** Approximately normal sample (Irwin-Hall of 4) scaled/shifted. */
+    double gaussian(double mean, double stddev);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace th
+
+#endif // TH_COMMON_RNG_H

@@ -1,0 +1,127 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace th {
+
+Histogram::Histogram(double lo, double hi, int buckets)
+    : lo_(lo), hi_(hi), buckets_(static_cast<size_t>(std::max(1, buckets)), 0)
+{
+    if (hi <= lo)
+        panic("Histogram range must be non-empty (lo=%f hi=%f)", lo, hi);
+}
+
+void
+Histogram::sample(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+
+    const double t = (v - lo_) / (hi_ - lo_);
+    int idx = static_cast<int>(t * static_cast<double>(buckets_.size()));
+    idx = std::clamp(idx, 0, static_cast<int>(buckets_.size()) - 1);
+    ++buckets_[static_cast<size_t>(idx)];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double
+Histogram::fraction(int i) const
+{
+    if (count_ == 0 || i < 0 || i >= static_cast<int>(buckets_.size()))
+        return 0.0;
+    return static_cast<double>(buckets_[static_cast<size_t>(i)]) /
+           static_cast<double>(count_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = max_ = 0.0;
+}
+
+void
+StatRegistry::registerCounter(const std::string &name, const Counter *c)
+{
+    counters_[name] = c;
+}
+
+void
+StatRegistry::registerHistogram(const std::string &name, const Histogram *h)
+{
+    histograms_[name] = h;
+}
+
+std::uint64_t
+StatRegistry::counterValue(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+bool
+StatRegistry::hasCounter(const std::string &name) const
+{
+    return counters_.count(name) > 0;
+}
+
+std::vector<std::string>
+StatRegistry::counterNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &kv : counters_)
+        names.push_back(kv.first);
+    return names;
+}
+
+void
+StatRegistry::dump(std::ostream &os) const
+{
+    for (const auto &kv : counters_)
+        os << kv.first << " " << kv.second->value() << "\n";
+    for (const auto &kv : histograms_) {
+        os << kv.first << ".count " << kv.second->count() << "\n";
+        os << kv.first << ".mean " << kv.second->mean() << "\n";
+    }
+}
+
+double
+geomean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : vals)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(vals.size()));
+}
+
+double
+mean(const std::vector<double> &vals)
+{
+    if (vals.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : vals)
+        sum += v;
+    return sum / static_cast<double>(vals.size());
+}
+
+} // namespace th

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Lightweight statistics collection, in the spirit of the gem5 stats
+ * package: named scalar counters, ratio formulas, and histograms that a
+ * simulation object registers and a reporter dumps at the end of a run.
+ */
+
+#ifndef TH_COMMON_STATS_H
+#define TH_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace th {
+
+/** A named monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void set(std::uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A fixed-bucket histogram over a [lo, hi) range with uniform buckets. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 10) {}
+
+    /**
+     * @param lo       Lower bound of the tracked range.
+     * @param hi       Upper bound (samples >= hi land in the last bucket).
+     * @param buckets  Number of uniform buckets (>= 1).
+     */
+    Histogram(double lo, double hi, int buckets);
+
+    /** Record one sample. */
+    void sample(double v);
+
+    std::uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+    const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /** Fraction of samples in bucket @p i. */
+    double fraction(int i) const;
+
+    void reset();
+
+  private:
+    double lo_, hi_;
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0, max_ = 0.0;
+};
+
+/**
+ * A registry of named statistics owned by simulation components.
+ *
+ * Components register pointers to their Counter/Histogram members under
+ * hierarchical dotted names (e.g. "core.rf.reads_low"). The registry
+ * never owns the statistics; registrants must outlive it or deregister.
+ */
+class StatRegistry
+{
+  public:
+    void registerCounter(const std::string &name, const Counter *c);
+    void registerHistogram(const std::string &name, const Histogram *h);
+
+    /** Look up a counter value by name; returns 0 if absent. */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** True when a counter with this name has been registered. */
+    bool hasCounter(const std::string &name) const;
+
+    /** All registered counter names, sorted. */
+    std::vector<std::string> counterNames() const;
+
+    /** Dump all statistics in "name value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::map<std::string, const Counter *> counters_;
+    std::map<std::string, const Histogram *> histograms_;
+};
+
+/** Geometric mean of a vector of positive values; 0 if empty. */
+double geomean(const std::vector<double> &vals);
+
+/** Arithmetic mean; 0 if empty. */
+double mean(const std::vector<double> &vals);
+
+} // namespace th
+
+#endif // TH_COMMON_STATS_H

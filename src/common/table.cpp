@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace th {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table row arity %zu != header arity %zu",
+              cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "" : "  ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+fmtPercent(double ratio, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, ratio * 100.0);
+    return buf;
+}
+
+} // namespace th

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table formatting used by the benchmark harnesses to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef TH_COMMON_TABLE_H
+#define TH_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace th {
+
+/**
+ * A simple column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Block", "2D (ps)", "3D (ps)", "Improvement"});
+ *   t.addRow({"Scheduler", "376", "255", "32.2%"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a separator under the header. */
+    void print(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with @p decimals decimal places. */
+std::string fmtDouble(double v, int decimals = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.479 -> "47.9%". */
+std::string fmtPercent(double ratio, int decimals = 1);
+
+} // namespace th
+
+#endif // TH_COMMON_TABLE_H

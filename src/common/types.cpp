@@ -1,0 +1,31 @@
+#include "common/types.h"
+
+namespace th {
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:       return "IntAlu";
+      case OpClass::IntShift:     return "IntShift";
+      case OpClass::IntMult:      return "IntMult";
+      case OpClass::FpAdd:        return "FpAdd";
+      case OpClass::FpMult:       return "FpMult";
+      case OpClass::FpDiv:        return "FpDiv";
+      case OpClass::Load:         return "Load";
+      case OpClass::Store:        return "Store";
+      case OpClass::Branch:       return "Branch";
+      case OpClass::Jump:         return "Jump";
+      case OpClass::IndirectJump: return "IndirectJump";
+      case OpClass::Nop:          return "Nop";
+      default:                    return "Unknown";
+    }
+}
+
+const char *
+widthName(Width w)
+{
+    return w == Width::Low ? "low" : "full";
+}
+
+} // namespace th

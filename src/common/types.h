@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fundamental types shared across the Thermal Herding simulation library.
+ */
+
+#ifndef TH_COMMON_TYPES_H
+#define TH_COMMON_TYPES_H
+
+#include <cstdint>
+#include <string>
+
+namespace th {
+
+/** Simulation cycle count. */
+using Cycle = std::uint64_t;
+
+/** Simulated machine address (64-bit, Alpha-like). */
+using Addr = std::uint64_t;
+
+/** Architectural or physical register index. */
+using RegIndex = std::uint16_t;
+
+/** Number of dies in the 3D stack studied by the paper. */
+inline constexpr int kNumDies = 4;
+
+/** Bits of the datapath assigned to each die (significance partition). */
+inline constexpr int kBitsPerDie = 16;
+
+/** Full datapath width in bits. */
+inline constexpr int kDatapathBits = kNumDies * kBitsPerDie;
+
+/**
+ * Broad classes of dynamic instructions in a trace.
+ *
+ * This matches the functional-unit classes in Table 1 of the paper:
+ * 3 ALUs, 2 shifters, 1 integer multiply/complex unit, FP add, FP
+ * multiply, FP divide/sqrt, and the two memory ports.
+ */
+enum class OpClass : std::uint8_t {
+    IntAlu,       ///< Simple integer add/sub/logic/compare.
+    IntShift,     ///< Shift/rotate.
+    IntMult,      ///< Integer multiply or other long-latency complex op.
+    FpAdd,        ///< Floating-point add/sub/convert/compare.
+    FpMult,       ///< Floating-point multiply.
+    FpDiv,        ///< Floating-point divide or square root.
+    Load,         ///< Memory read.
+    Store,        ///< Memory write.
+    Branch,       ///< Conditional direct branch.
+    Jump,         ///< Unconditional direct jump or call.
+    IndirectJump, ///< Register-indirect jump or return.
+    Nop,          ///< No-operation (still occupies fetch/decode slots).
+    NumOpClasses
+};
+
+/** Return a human-readable name for an op class. */
+const char *opClassName(OpClass op);
+
+/** True for Load and Store op classes. */
+constexpr bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::Load || op == OpClass::Store;
+}
+
+/** True for any control-transfer op class. */
+constexpr bool
+isControlOp(OpClass op)
+{
+    return op == OpClass::Branch || op == OpClass::Jump ||
+           op == OpClass::IndirectJump;
+}
+
+/** True for the floating-point op classes. */
+constexpr bool
+isFpOp(OpClass op)
+{
+    return op == OpClass::FpAdd || op == OpClass::FpMult ||
+           op == OpClass::FpDiv;
+}
+
+/**
+ * Value significance class as seen by the Thermal Herding datapath.
+ *
+ * Low means the value is representable in the top die's 16 bits
+ * (upper 48 bits all zero); Full means at least one of the upper 48
+ * bits differs from the trivial encodings.
+ */
+enum class Width : std::uint8_t {
+    Low,  ///< <= 16 significant bits; only the top die is active.
+    Full  ///< > 16 significant bits; all four dies are active.
+};
+
+/** Return "low" or "full". */
+const char *widthName(Width w);
+
+} // namespace th
+
+#endif // TH_COMMON_TYPES_H

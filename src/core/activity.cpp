@@ -1,0 +1,97 @@
+#include "core/activity.h"
+
+#include "common/log.h"
+
+namespace th {
+
+void
+ActivityStats::registerStats(StatRegistry &reg,
+                             const std::string &prefix) const
+{
+    auto r = [&](const std::string &n, const Counter &c) {
+        reg.registerCounter(prefix + "." + n, &c);
+    };
+    r("rf.read_low", rfReadLow);
+    r("rf.read_full", rfReadFull);
+    r("rf.write_low", rfWriteLow);
+    r("rf.write_full", rfWriteFull);
+    r("alu.low", aluLow);
+    r("alu.full", aluFull);
+    r("shift.low", shiftLow);
+    r("shift.full", shiftFull);
+    r("mult.low", multLow);
+    r("mult.full", multFull);
+    r("fp.ops", fpOps);
+    r("bypass.low", bypassLow);
+    r("bypass.full", bypassFull);
+    for (int d = 0; d < kNumDies; ++d) {
+        r("sched.wakeup_die" + std::to_string(d), schedWakeupDie[d]);
+        r("sched.alloc_die" + std::to_string(d), schedAllocDie[d]);
+    }
+    r("sched.select", schedSelect);
+    r("sched.alloc", schedAlloc);
+    r("lsq.search_low", lsqSearchLow);
+    r("lsq.search_full", lsqSearchFull);
+    r("lsq.write", lsqWrite);
+    r("dl1.read_low", dl1ReadLow);
+    r("dl1.read_full", dl1ReadFull);
+    r("dl1.write_low", dl1WriteLow);
+    r("dl1.write_full", dl1WriteFull);
+    r("dl1.fill", dl1Fill);
+    r("il1.access", il1Access);
+    r("itlb.access", itlbAccess);
+    r("dtlb.access", dtlbAccess);
+    r("btb.low", btbLow);
+    r("btb.full", btbFull);
+    r("bpred.lookup", bpredLookup);
+    r("bpred.update", bpredUpdate);
+    r("decode.uops", decodeUops);
+    r("rename.uops", renameUops);
+    r("rob.read_low", robReadLow);
+    r("rob.read_full", robReadFull);
+    r("rob.write_low", robWriteLow);
+    r("rob.write_full", robWriteFull);
+    r("l2.access", l2Access);
+    r("misc.uops", miscUops);
+}
+
+void
+PerfStats::registerStats(StatRegistry &reg, const std::string &prefix) const
+{
+    auto r = [&](const std::string &n, const Counter &c) {
+        reg.registerCounter(prefix + "." + n, &c);
+    };
+    r("cycles", cycles);
+    r("committed", committedInsts);
+    r("fetched", fetchedInsts);
+    r("branches", branches);
+    r("branch_mispredicts", branchMispredicts);
+    r("btb_misses", btbMisses);
+    r("btb_target_stalls", btbTargetStalls);
+    r("width.predictions", widthPredictions);
+    r("width.correct", widthPredCorrect);
+    r("width.unsafe", widthUnsafe);
+    r("width.safe_miss", widthSafeMiss);
+    r("width.rf_group_stalls", rfGroupStalls);
+    r("width.exec_input_stalls", execInputStalls);
+    r("width.exec_replays", execReplays);
+    r("width.dcache_stalls", dcacheWidthStalls);
+    r("mem.loads", loads);
+    r("mem.stores", stores);
+    r("mem.store_forwards", storeForwards);
+    r("mem.dl1_misses", dl1Misses);
+    r("mem.il1_misses", il1Misses);
+    r("mem.l2_misses", l2Misses);
+    r("mem.itlb_misses", itlbMisses);
+    r("mem.dtlb_misses", dtlbMisses);
+    r("lsq.pam_hits", pamHits);
+    r("lsq.pam_misses", pamMisses);
+    r("pve.zeros", pveZeros);
+    r("pve.ones", pveOnes);
+    r("pve.addr", pveAddr);
+    r("pve.explicit", pveExplicit);
+    reg.registerHistogram(prefix + ".value_width_bits",
+                          &valueWidthBits);
+}
+
+} // namespace th

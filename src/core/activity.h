@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-structure activity accounting. Every counter corresponds to an
+ * energy entry in circuit::CoreEnergies; the power model multiplies the
+ * two. "Low" counters are accesses that Thermal Herding confines to the
+ * top die; in non-herding configurations all accesses count as "full".
+ */
+
+#ifndef TH_CORE_ACTIVITY_H
+#define TH_CORE_ACTIVITY_H
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace th {
+
+/** Activity counts gathered by one core over a run. */
+struct ActivityStats
+{
+    // Register file.
+    Counter rfReadLow, rfReadFull, rfWriteLow, rfWriteFull;
+    // Execution.
+    Counter aluLow, aluFull;
+    Counter shiftLow, shiftFull;
+    Counter multLow, multFull;
+    Counter fpOps;
+    Counter bypassLow, bypassFull;
+    // Scheduler: tag broadcasts per die (gated when a die is empty),
+    // select grants, allocations.
+    Counter schedWakeupDie[kNumDies];
+    Counter schedSelect, schedAlloc;
+    /** Allocations landing on each die (herding effectiveness). */
+    Counter schedAllocDie[kNumDies];
+    // Load/store queues.
+    Counter lsqSearchLow, lsqSearchFull, lsqWrite;
+    // L1 data cache.
+    Counter dl1ReadLow, dl1ReadFull, dl1WriteLow, dl1WriteFull;
+    Counter dl1Fill;
+    // Front end.
+    Counter il1Access, itlbAccess, dtlbAccess;
+    Counter btbLow, btbFull;
+    Counter bpredLookup, bpredUpdate;
+    Counter decodeUops, renameUops;
+    // ROB (holds the physical registers in this microarchitecture).
+    Counter robReadLow, robReadFull, robWriteLow, robWriteFull;
+    // L2.
+    Counter l2Access;
+    // Everything else (control logic, global wiring) per uop.
+    Counter miscUops;
+
+    /** Register all counters under @p prefix. */
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+};
+
+/** Performance statistics for one run. */
+struct PerfStats
+{
+    Counter cycles;
+    Counter committedInsts;
+    Counter fetchedInsts;
+
+    /**
+     * Distribution of significant bits in committed integer results —
+     * the paper's motivating observation that most 64-bit values need
+     * 16 bits or fewer (Section 3). 16 buckets of 4 bits each.
+     */
+    Histogram valueWidthBits{0.0, 64.0, 16};
+
+    // Branches.
+    Counter branches, branchMispredicts, btbMisses, btbTargetStalls;
+
+    // Width prediction (Section 3.8: 97% of fetched insts correct).
+    Counter widthPredictions, widthPredCorrect;
+    Counter widthUnsafe;     ///< Predicted low, actually full.
+    Counter widthSafeMiss;   ///< Predicted full, actually low.
+    Counter rfGroupStalls;   ///< Dispatch-group stalls from unsafe preds.
+    Counter execInputStalls; ///< 1-cycle re-enable stalls at execute.
+    Counter execReplays;     ///< Output-width re-executions.
+    Counter dcacheWidthStalls;
+
+    // Memory system.
+    Counter loads, stores, storeForwards;
+    Counter dl1Misses, il1Misses, l2Misses;
+    Counter itlbMisses, dtlbMisses;
+
+    // LSQ partial address memoization (Section 3.5).
+    Counter pamHits, pamMisses;
+
+    // D-cache partial value encoding mix (Section 3.6).
+    Counter pveZeros, pveOnes, pveAddr, pveExplicit;
+
+    double ipc() const
+    {
+        return cycles.value() == 0 ? 0.0 :
+            static_cast<double>(committedInsts.value()) /
+            static_cast<double>(cycles.value());
+    }
+
+    double widthAccuracy() const
+    {
+        return widthPredictions.value() == 0 ? 1.0 :
+            static_cast<double>(widthPredCorrect.value()) /
+            static_cast<double>(widthPredictions.value());
+    }
+
+    double branchMispredRate() const
+    {
+        return branches.value() == 0 ? 0.0 :
+            static_cast<double>(branchMispredicts.value()) /
+            static_cast<double>(branches.value());
+    }
+
+    void registerStats(StatRegistry &reg, const std::string &prefix) const;
+};
+
+} // namespace th
+
+#endif // TH_CORE_ACTIVITY_H

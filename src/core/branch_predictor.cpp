@@ -1,0 +1,174 @@
+#include "core/branch_predictor.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace th {
+
+namespace {
+
+std::size_t
+checkPow2(int n, const char *what)
+{
+    if (n < 1 || (static_cast<unsigned>(n) & (n - 1)) != 0)
+        fatal("%s must be a power of two (got %d)", what, n);
+    return static_cast<std::size_t>(n);
+}
+
+} // namespace
+
+HybridPredictor::HybridPredictor(const CoreConfig &cfg)
+    : bimodal_(checkPow2(cfg.bimodalEntries, "bimodal entries"), 1),
+      localHist_(checkPow2(cfg.localHistEntries, "local hist entries"), 0),
+      localCounters_(checkPow2(cfg.localCounterEntries,
+                               "local counter entries"), 1),
+      global_(static_cast<std::size_t>(1) << cfg.globalHistBits, 1),
+      chooser_(checkPow2(cfg.chooserEntries, "chooser entries"), 1),
+      ghrMask_((1u << cfg.globalHistBits) - 1),
+      localHistMask_(static_cast<std::uint16_t>(
+          (1u << cfg.localHistBits) - 1))
+{
+}
+
+std::size_t
+HybridPredictor::bimodalIndex(Addr pc) const
+{
+    return (pc >> 2) & (bimodal_.size() - 1);
+}
+
+std::size_t
+HybridPredictor::localHistIndex(Addr pc) const
+{
+    return (pc >> 2) & (localHist_.size() - 1);
+}
+
+std::size_t
+HybridPredictor::globalIndex(Addr pc) const
+{
+    return ((pc >> 2) ^ ghr_) & (global_.size() - 1);
+}
+
+std::size_t
+HybridPredictor::chooserIndex(Addr pc) const
+{
+    return (pc >> 2) & (chooser_.size() - 1);
+}
+
+bool
+HybridPredictor::localPredict(Addr pc) const
+{
+    const std::uint16_t hist = localHist_[localHistIndex(pc)];
+    const std::size_t idx =
+        (static_cast<std::size_t>(hist) ^ (pc >> 2)) &
+        (localCounters_.size() - 1);
+    return counterTaken(localCounters_[idx]);
+}
+
+bool
+HybridPredictor::globalPredict(Addr pc) const
+{
+    return counterTaken(global_[globalIndex(pc)]);
+}
+
+bool
+HybridPredictor::predict(Addr pc) const
+{
+    // Hybrid: when the history-based components agree, trust them
+    // (the bimodal table serves as warm-up bias through training);
+    // when they disagree, the chooser arbitrates.
+    const bool g = globalPredict(pc);
+    const bool l = localPredict(pc);
+    if (g == l)
+        return g;
+    return counterTaken(chooser_[chooserIndex(pc)]) ? g : l;
+}
+
+void
+HybridPredictor::update(Addr pc, bool taken)
+{
+    const bool g_correct = globalPredict(pc) == taken;
+    const bool l_correct = localPredict(pc) == taken;
+
+    // Train the chooser towards whichever side was right.
+    if (g_correct != l_correct)
+        bump(chooser_[chooserIndex(pc)], g_correct);
+
+    bump(global_[globalIndex(pc)], taken);
+    bump(bimodal_[bimodalIndex(pc)], taken);
+
+    const std::uint16_t hist = localHist_[localHistIndex(pc)];
+    const std::size_t lidx =
+        (static_cast<std::size_t>(hist) ^ (pc >> 2)) &
+        (localCounters_.size() - 1);
+    bump(localCounters_[lidx], taken);
+    localHist_[localHistIndex(pc)] = static_cast<std::uint16_t>(
+        ((hist << 1) | (taken ? 1 : 0)) & localHistMask_);
+
+    ghr_ = ((ghr_ << 1) | (taken ? 1u : 0u)) & ghrMask_;
+}
+
+Btb::Btb(int entries, int assoc)
+    : assoc_(assoc)
+{
+    if (assoc < 1 || entries < assoc || entries % assoc != 0)
+        fatal("bad BTB geometry: %d entries, %d-way", entries, assoc);
+    numSets_ = checkPow2(entries / assoc, "BTB sets");
+    entries_.assign(static_cast<std::size_t>(entries), Entry{});
+}
+
+std::size_t
+Btb::setIndex(Addr pc) const
+{
+    return (pc >> 2) & (numSets_ - 1);
+}
+
+BtbResult
+Btb::lookup(Addr pc)
+{
+    BtbResult r;
+    const std::size_t base = setIndex(pc) * static_cast<std::size_t>(assoc_);
+    for (int w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.tag == pc) {
+            e.lru = ++lruClock_;
+            r.hit = true;
+            r.target = e.target;
+            r.needsUpperRead =
+                (e.target & kUpperMask) != (pc & kUpperMask);
+            return r;
+        }
+    }
+    return r;
+}
+
+void
+Btb::update(Addr pc, Addr target)
+{
+    const std::size_t base = setIndex(pc) * static_cast<std::size_t>(assoc_);
+    ++lruClock_;
+
+    int victim = 0;
+    std::uint64_t oldest = UINT64_MAX;
+    for (int w = 0; w < assoc_; ++w) {
+        Entry &e = entries_[base + static_cast<std::size_t>(w)];
+        if (e.valid && e.tag == pc) {
+            e.target = target;
+            e.lru = lruClock_;
+            return;
+        }
+        if (!e.valid) {
+            victim = w;
+            oldest = 0;
+        } else if (e.lru < oldest) {
+            victim = w;
+            oldest = e.lru;
+        }
+    }
+    Entry &e = entries_[base + static_cast<std::size_t>(victim)];
+    e.valid = true;
+    e.tag = pc;
+    e.target = target;
+    e.lru = lruClock_;
+}
+
+} // namespace th

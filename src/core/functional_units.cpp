@@ -1,0 +1,78 @@
+#include "core/functional_units.h"
+
+#include "common/log.h"
+
+namespace th {
+
+FuPool::FuPool(const CoreConfig &cfg, const FuLatencies &lat)
+    : lat_(lat)
+{
+    auto init = [](UnitClass &uc, int count, int latency, bool pipelined) {
+        uc.busyUntil.assign(static_cast<size_t>(count), 0);
+        uc.latency = latency;
+        uc.pipelined = pipelined;
+    };
+    init(alu_, cfg.numIntAlu, lat.intAlu, true);
+    init(shift_, cfg.numIntShift, lat.intShift, true);
+    init(mult_, cfg.numIntMult, lat.intMult, true);
+    init(fpAdd_, cfg.numFpAdd, lat.fpAdd, true);
+    init(fpMult_, cfg.numFpMult, lat.fpMult, true);
+    init(fpDiv_, cfg.numFpDiv, lat.fpDiv, false);
+    // Memory ports: AGU occupancy, one cycle per issue.
+    init(loadPorts_, cfg.numLoadPorts, lat.agu, true);
+    init(storePorts_, cfg.numStorePorts, lat.agu, true);
+}
+
+FuPool::UnitClass *
+FuPool::classFor(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::IndirectJump:
+        return &alu_;
+      case OpClass::IntShift:  return &shift_;
+      case OpClass::IntMult:   return &mult_;
+      case OpClass::FpAdd:     return &fpAdd_;
+      case OpClass::FpMult:    return &fpMult_;
+      case OpClass::FpDiv:     return &fpDiv_;
+      case OpClass::Load:      return &loadPorts_;
+      case OpClass::Store:     return &storePorts_;
+      default:                 return nullptr;
+    }
+}
+
+const FuPool::UnitClass *
+FuPool::classFor(OpClass op) const
+{
+    return const_cast<FuPool *>(this)->classFor(op);
+}
+
+int
+FuPool::tryIssue(OpClass op, Cycle cycle)
+{
+    UnitClass *uc = classFor(op);
+    if (uc == nullptr)
+        return 0; // Nops execute nowhere.
+    for (auto &busy : uc->busyUntil) {
+        if (busy <= cycle) {
+            // Pipelined units accept a new op next cycle; unpipelined
+            // ones block for the full latency.
+            busy = cycle + (uc->pipelined
+                            ? 1
+                            : static_cast<Cycle>(uc->latency));
+            return uc->latency;
+        }
+    }
+    return -1;
+}
+
+int
+FuPool::latency(OpClass op) const
+{
+    const UnitClass *uc = classFor(op);
+    return uc == nullptr ? 0 : uc->latency;
+}
+
+} // namespace th

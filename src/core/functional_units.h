@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Functional-unit pool: availability tracking for the Table 1 unit mix
+ * (3 ALU, 2 shift, 1 mult/complex; FP add/mult/div; 1 load/store port
+ * plus 1 load-only port).
+ */
+
+#ifndef TH_CORE_FUNCTIONAL_UNITS_H
+#define TH_CORE_FUNCTIONAL_UNITS_H
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/params.h"
+
+namespace th {
+
+/** Pool of functional units, tracking per-unit busy-until cycles. */
+class FuPool
+{
+  public:
+    FuPool(const CoreConfig &cfg, const FuLatencies &lat);
+
+    /**
+     * Try to claim a unit for @p op at @p cycle.
+     * @return Execution latency in cycles, or -1 when no unit is free.
+     */
+    int tryIssue(OpClass op, Cycle cycle);
+
+    /** Execution latency of @p op (ignoring availability). */
+    int latency(OpClass op) const;
+
+    const FuLatencies &latencies() const { return lat_; }
+
+  private:
+    struct UnitClass
+    {
+        std::vector<Cycle> busyUntil; ///< Per-unit next-free cycle.
+        int latency = 1;
+        bool pipelined = true;
+    };
+
+    UnitClass *classFor(OpClass op);
+    const UnitClass *classFor(OpClass op) const;
+
+    FuLatencies lat_;
+    UnitClass alu_, shift_, mult_, fpAdd_, fpMult_, fpDiv_;
+    UnitClass loadPorts_, storePorts_;
+};
+
+} // namespace th
+
+#endif // TH_CORE_FUNCTIONAL_UNITS_H

@@ -1,0 +1,103 @@
+#include "core/lsq.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace th {
+
+StoreQueue::StoreQueue(int capacity)
+    : capacity_(capacity)
+{
+}
+
+void
+StoreQueue::insert(std::uint64_t seq, Addr addr, std::uint8_t size,
+                   std::uint64_t value)
+{
+    if (full())
+        panic("StoreQueue::insert when full");
+    StoreEntry e;
+    e.seq = seq;
+    e.addr = addr;
+    e.size = size;
+    e.value = value;
+    entries_.push_back(e);
+}
+
+void
+StoreQueue::setAddressKnown(std::uint64_t seq, Cycle when)
+{
+    for (auto &e : entries_) {
+        if (e.seq == seq) {
+            e.addrKnown = true;
+            e.addrKnownAt = when;
+            return;
+        }
+    }
+    panic("StoreQueue::setAddressKnown: seq %llu not found",
+          static_cast<unsigned long long>(seq));
+}
+
+LsqSearchResult
+StoreQueue::searchForLoad(std::uint64_t load_seq, Addr addr,
+                          std::uint8_t size, Cycle now) const
+{
+    LsqSearchResult r;
+    // Scan youngest-to-oldest among stores older than the load; only a
+    // genuinely conflicting store matters (oracle disambiguation).
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+        const StoreEntry &e = *it;
+        if (e.seq >= load_seq)
+            continue;
+        const Addr lo = addr, hi = addr + size;
+        const Addr slo = e.addr, shi = e.addr + e.size;
+        if (!(lo < shi && slo < hi))
+            continue;
+        if (!e.addrKnown || e.addrKnownAt > now) {
+            // The conflicting store hasn't produced its address/data
+            // yet: the load must wait and retry.
+            r.mustWait = true;
+            r.waitUntil = e.addrKnown ? e.addrKnownAt : 0;
+            return r;
+        }
+        if (slo == lo && e.size >= size) {
+            r.forward = true;
+            r.value = e.value;
+        }
+        return r;
+    }
+    return r;
+}
+
+void
+StoreQueue::commitOldest()
+{
+    if (entries_.empty())
+        panic("StoreQueue::commitOldest on empty queue");
+    entries_.pop_front();
+}
+
+bool
+StoreQueue::recordBroadcast(Addr addr, bool is_store, ActivityStats &act,
+                            PerfStats &perf, bool herding)
+{
+    const Addr upper = addr & kUpperMask;
+    const bool memoized = herding && has_last_store_ &&
+        upper == last_store_upper_;
+
+    if (memoized) {
+        act.lsqSearchLow.inc();
+        perf.pamHits.inc();
+    } else {
+        act.lsqSearchFull.inc();
+        perf.pamMisses.inc();
+    }
+
+    if (is_store) {
+        last_store_upper_ = upper;
+        has_last_store_ = true;
+    }
+    return memoized;
+}
+
+} // namespace th

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Load and store queues with partial address memoization (PAM,
+ * Section 3.5): the low 16 address bits are always broadcast on the
+ * top die; one extra bit says whether the upper 48 bits are identical
+ * to the most recent store address, herding most address comparisons
+ * to the top die.
+ */
+
+#ifndef TH_CORE_LSQ_H
+#define TH_CORE_LSQ_H
+
+#include <cstdint>
+#include <deque>
+
+#include "common/types.h"
+#include "core/activity.h"
+
+namespace th {
+
+/** One store-queue entry. */
+struct StoreEntry
+{
+    std::uint64_t seq = 0;   ///< Program-order sequence number.
+    Addr addr = 0;
+    std::uint8_t size = 8;
+    std::uint64_t value = 0;
+    bool addrKnown = false;
+    Cycle addrKnownAt = 0;   ///< Cycle the AGU produced the address.
+    bool committed = false;
+};
+
+/** Result of a load's store-queue search. */
+struct LsqSearchResult
+{
+    /** True when an older store to an overlapping address can forward. */
+    bool forward = false;
+    std::uint64_t value = 0;
+    /**
+     * True when some older store's address is still unknown — the load
+     * must wait (conservative memory disambiguation).
+     */
+    bool mustWait = false;
+    Cycle waitUntil = 0;
+};
+
+/**
+ * Store queue + PAM accounting. The load queue proper only needs
+ * occupancy tracking (held in the pipeline); the interesting machinery
+ * — forwarding, disambiguation, and the PAM broadcasts — lives here.
+ */
+class StoreQueue
+{
+  public:
+    explicit StoreQueue(int capacity);
+
+    bool full() const
+    {
+        return static_cast<int>(entries_.size()) >= capacity_;
+    }
+    int size() const { return static_cast<int>(entries_.size()); }
+
+    /**
+     * Insert at dispatch. The final address/value are recorded for the
+     * simulator's oracle disambiguation (modelling an ideal memory
+     * dependence predictor, as in aggressive cores of this era), but
+     * are not architecturally "known" until the AGU executes.
+     */
+    void insert(std::uint64_t seq, Addr addr, std::uint8_t size,
+                std::uint64_t value);
+
+    /** The store's AGU executed: address becomes known at @p when. */
+    void setAddressKnown(std::uint64_t seq, Cycle when);
+
+    /**
+     * Search on behalf of a load at @p now: oracle disambiguation —
+     * only genuinely conflicting older stores block — plus
+     * store-to-load forwarding.
+     */
+    LsqSearchResult searchForLoad(std::uint64_t load_seq, Addr addr,
+                                  std::uint8_t size, Cycle now) const;
+
+    /** Pop the oldest entry at commit. */
+    void commitOldest();
+
+    /**
+     * Record a PAM address broadcast: returns true when the upper 48
+     * bits matched the most recent store address (top-die-only search).
+     */
+    bool recordBroadcast(Addr addr, bool is_store, ActivityStats &act,
+                         PerfStats &perf, bool herding);
+
+  private:
+    int capacity_;
+    std::deque<StoreEntry> entries_;
+    Addr last_store_upper_ = 0;
+    bool has_last_store_ = false;
+};
+
+} // namespace th
+
+#endif // TH_CORE_LSQ_H

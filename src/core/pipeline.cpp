@@ -1,0 +1,768 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace th {
+
+namespace {
+
+/** FP architectural registers start here (see trace generator). */
+constexpr RegIndex kFpRegBase = 32;
+
+/** Sentinel for "fetch stalled until a branch resolves". */
+constexpr Cycle kFetchBlocked = ~Cycle{0};
+
+bool
+isFpDest(const DynInst &inst)
+{
+    return inst.rec.hasDst && inst.rec.dstReg >= kFpRegBase;
+}
+
+} // namespace
+
+Core::Core(const CoreConfig &cfg)
+    : cfg_(cfg),
+      mem_(cfg_),
+      bpred_(cfg_),
+      btb_(cfg_.btbEntries, cfg_.btbAssoc),
+      ibtb_(cfg_.ibtbEntries, cfg_.ibtbAssoc),
+      wpred_(cfg_.widthPredEntries, cfg_.widthPredKind),
+      sched_(cfg_.rsSize, cfg_.schedAlloc),
+      sq_(cfg_.sqSize),
+      fus_(cfg_, fuLat_),
+      lastWriter_(64, nullptr)
+{
+}
+
+Core::~Core() = default;
+
+CoreResult
+Core::run(TraceSource &trace, std::uint64_t max_insts,
+          std::uint64_t warmup_insts)
+{
+    // Steady-state prefill (stands in for the long warmup windows
+    // SimPoint-selected traces get in the paper's methodology).
+    std::vector<PrefillLine> prefill;
+    trace.prefillLines(prefill);
+    for (const PrefillLine &line : prefill)
+        mem_.prefill(line.addr, line.intoL1);
+
+    const std::uint64_t total = max_insts + warmup_insts;
+    const Cycle limit = 500 * total + 100000;
+    std::uint64_t last_commit_cycle = 0;
+    Cycle measure_start = 0;
+    bool warm = warmup_insts == 0;
+
+    while (committed_ < total && cycle_ < limit) {
+        if (traceEnded_ && rob_.empty() && ifq_.empty() &&
+            decodeQ_.empty())
+            break;
+        ++cycle_;
+        const std::uint64_t before = committed_;
+
+        commitStage();
+        completeStage();
+        issueStage();
+        dispatchStage();
+        decodeStage();
+        fetchStage(trace);
+
+        if (!warm && committed_ >= warmup_insts) {
+            // Discard warm-up statistics; keep all machine state.
+            warm = true;
+            measure_start = cycle_;
+            perf_ = PerfStats{};
+            act_ = ActivityStats{};
+        }
+
+        if (committed_ != before) {
+            last_commit_cycle = cycle_;
+        } else if (cycle_ - last_commit_cycle > 200000) {
+            panic("core deadlock: no commit for 200k cycles "
+                  "(cycle %llu, committed %llu)",
+                  static_cast<unsigned long long>(cycle_),
+                  static_cast<unsigned long long>(committed_));
+        }
+    }
+
+    perf_.cycles.set(cycle_ - measure_start);
+    perf_.committedInsts.set(
+        committed_ > warmup_insts ? committed_ - warmup_insts : 0);
+
+    CoreResult r;
+    r.perf = perf_;
+    r.activity = act_;
+    r.freqGhz = cfg_.freqGhz;
+    return r;
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Core::fetchStage(TraceSource &trace)
+{
+    if (waitingRedirect_ || cycle_ < fetchResumeAt_)
+        return;
+
+    for (int i = 0; i < cfg_.fetchWidth; ++i) {
+        if (static_cast<int>(ifq_.size()) >= cfg_.ifqSize)
+            return;
+        const Cycle before = fetchResumeAt_;
+        fetchOne(trace);
+        if (waitingRedirect_ || fetchResumeAt_ > cycle_ ||
+            fetchResumeAt_ != before) {
+            return; // taken branch, stall, or miss ended the group
+        }
+    }
+}
+
+void
+Core::fetchOne(TraceSource &trace)
+{
+    TraceRecord rec;
+    if (!trace.next(rec)) {
+        fetchResumeAt_ = kFetchBlocked;
+        waitingRedirect_ = false; // trace over; drain
+        traceEnded_ = true;
+        return;
+    }
+
+    // Instruction cache / ITLB at line and page granularity.
+    const Addr line = rec.pc >> 6;
+    if (line != lastFetchLine_) {
+        lastFetchLine_ = line;
+        act_.il1Access.inc();
+        const Addr page = rec.pc >> 12;
+        if (page != lastFetchPage_) {
+            lastFetchPage_ = page;
+            act_.itlbAccess.inc();
+            bool tlb_miss = false;
+            const int extra = mem_.itlbAccess(rec.pc, tlb_miss);
+            if (tlb_miss) {
+                perf_.itlbMisses.inc();
+                fetchResumeAt_ = cycle_ + static_cast<Cycle>(extra);
+            }
+        }
+        const MemAccessResult r = mem_.instAccess(rec.pc);
+        if (!r.l1Hit) {
+            perf_.il1Misses.inc();
+            act_.l2Access.inc();
+            if (!r.l2Hit)
+                perf_.l2Misses.inc();
+            fetchResumeAt_ = std::max(fetchResumeAt_,
+                cycle_ + static_cast<Cycle>(r.cycles - cfg_.il1Cycles));
+        }
+    }
+
+    auto inst = std::make_unique<DynInst>();
+    inst->rec = rec;
+    inst->seq = nextSeq_++;
+    // A miss on this line delays the instruction's arrival in the IFQ.
+    inst->fetchedAt = std::max(cycle_, fetchResumeAt_ == kFetchBlocked
+                               ? cycle_ : fetchResumeAt_);
+    perf_.fetchedInsts.inc();
+
+    if (rec.isControl()) {
+        bool pred_taken;
+        if (rec.op == OpClass::Branch) {
+            perf_.branches.inc();
+            act_.bpredLookup.inc();
+            pred_taken = bpred_.predict(rec.pc);
+        } else {
+            pred_taken = true;
+        }
+
+        // Indirect jumps consult the dedicated iBTB (Table 1);
+        // direct branches and jumps use the main BTB.
+        const bool indirect = rec.op == OpClass::IndirectJump;
+        const BtbResult bres =
+            indirect ? ibtb_.lookup(rec.pc) : btb_.lookup(rec.pc);
+        inst->btbHit = bres.hit;
+
+        // Effective front-end decision: a taken prediction without a
+        // BTB target falls through sequentially.
+        const bool eff_taken = pred_taken && bres.hit;
+
+        if (eff_taken) {
+            if (herding() && cfg_.btbMemoEnabled && bres.needsUpperRead) {
+                // The memoization bit says the upper target bits live
+                // on the lower dies: one-cycle prediction-pipeline
+                // stall (Section 3.7).
+                act_.btbFull.inc();
+                perf_.btbTargetStalls.inc();
+                fetchResumeAt_ = cycle_ + 2;
+            } else {
+                act_.btbLow.inc();
+                fetchResumeAt_ = cycle_ + 1; // taken ends fetch group
+            }
+        } else {
+            act_.btbLow.inc();
+            if (!bres.hit)
+                perf_.btbMisses.inc();
+        }
+
+        inst->mispredicted =
+            (eff_taken != rec.taken) ||
+            (eff_taken && rec.taken && bres.target != rec.target);
+        if (inst->mispredicted) {
+            perf_.branchMispredicts.inc();
+            waitingRedirect_ = true;
+        }
+
+        // Train at fetch with the trace outcome: equivalent to
+        // speculative history update with perfect mispredict fixup
+        // (wrong-path fetches are not simulated). The energy of the
+        // architectural update is accounted at commit.
+        if (rec.op == OpClass::Branch)
+            bpred_.update(rec.pc, rec.taken);
+        if (rec.taken)
+            (indirect ? ibtb_ : btb_).update(rec.pc, rec.target);
+    }
+
+    ifq_.push_back(std::move(inst));
+}
+
+// --------------------------------------------------------------------
+// Decode
+// --------------------------------------------------------------------
+
+void
+Core::decodeStage()
+{
+    const int cap = 2 * cfg_.decodeWidth;
+    for (int i = 0; i < cfg_.decodeWidth; ++i) {
+        if (ifq_.empty() ||
+            static_cast<int>(decodeQ_.size()) >= cap)
+            return;
+        DynInst *front = ifq_.front().get();
+        if (front->fetchedAt >= cycle_)
+            return; // fetched this very cycle
+
+        front->decodedAt = cycle_;
+        act_.decodeUops.inc();
+
+        // Width prediction (Section 3): integer results and store data.
+        const TraceRecord &rec = front->rec;
+        const bool predicts =
+            (rec.hasDst && rec.dstReg < kFpRegBase &&
+             !isControlOp(rec.op)) ||
+            rec.op == OpClass::Store || rec.op == OpClass::Load;
+        if (herding() && predicts) {
+            front->widthPredicted = true;
+            if (rec.isMem()) {
+                // The D-cache's 2-bit encoding broadens "low" to any
+                // trivially encodable upper bits (Section 3.6); the
+                // 1-bit ablation only covers upper-zero values.
+                front->actualLow = cfg_.pveEnabled
+                    ? isTriviallyEncodable(rec.resultValue, rec.effAddr)
+                    : rec.resultWidth() == Width::Low;
+            } else {
+                front->actualLow = rec.resultWidth() == Width::Low;
+            }
+            front->predLow = wpred_.predict(
+                rec.pc, front->actualLow ? Width::Low : Width::Full) ==
+                Width::Low;
+            perf_.widthPredictions.inc();
+            if (front->predLow == front->actualLow) {
+                perf_.widthPredCorrect.inc();
+            } else if (front->predLow) {
+                perf_.widthUnsafe.inc();
+            } else {
+                perf_.widthSafeMiss.inc();
+            }
+        }
+
+        decodeQ_.push_back(std::move(ifq_.front()));
+        ifq_.pop_front();
+    }
+}
+
+// --------------------------------------------------------------------
+// Dispatch
+// --------------------------------------------------------------------
+
+void
+Core::readRegisterOperands(DynInst *inst, bool &unsafe)
+{
+    unsafe = false;
+    for (int s = 0; s < inst->rec.numSrcs; ++s) {
+        DynInst *producer = lastWriter_[inst->rec.srcRegs[s]];
+        inst->producers[s] = producer;
+
+        const bool from_rf = producer == nullptr ||
+            (producer->issued && producer->completeAt <= cycle_);
+        if (!from_rf)
+            continue; // operand arrives via bypass/wakeup later
+
+        const bool src_low =
+            classifyWidth(inst->rec.srcValues[s]) == Width::Low;
+
+        // Producer completed but not committed: value read from the
+        // ROB (which holds the physical registers); otherwise from the
+        // architected register file.
+        const bool from_rob = producer != nullptr;
+        if (herding()) {
+            if (from_rob) {
+                (src_low ? act_.robReadLow : act_.robReadFull).inc();
+            } else {
+                (src_low ? act_.rfReadLow : act_.rfReadFull).inc();
+            }
+            // Unsafe width misprediction detected via the memoization
+            // bit (Section 3.1): predicted low but the RF operand is
+            // actually full width. Memory ops are excluded: their
+            // width prediction governs the *data* access (PVE), while
+            // addresses — almost always full width — are handled by
+            // the LSQ's partial address memoization (Section 3.5).
+            if (!inst->rec.isMem() && inst->predLow &&
+                !inst->widthCorrected && !src_low)
+                unsafe = true;
+        } else {
+            (from_rob ? act_.robReadFull : act_.rfReadFull).inc();
+        }
+    }
+}
+
+void
+Core::dispatchStage()
+{
+    if (cycle_ < dispatchBlockedUntil_)
+        return;
+
+    for (int i = 0; i < cfg_.decodeWidth; ++i) {
+        if (decodeQ_.empty())
+            return;
+        DynInst *inst = decodeQ_.front().get();
+        if (inst->decodedAt >= cycle_)
+            return;
+
+        // Structural resources.
+        if (static_cast<int>(rob_.size()) >= cfg_.robSize)
+            return;
+        const bool needs_rs = !inst->isNop();
+        if (needs_rs && sched_.freeEntries() == 0)
+            return;
+        if (inst->rec.op == OpClass::Load && lqCount_ >= cfg_.lqSize)
+            return;
+        if (inst->rec.op == OpClass::Store && sq_.full())
+            return;
+
+        bool unsafe = false;
+        readRegisterOperands(inst, unsafe);
+        if (unsafe && !inst->rfStallCharged) {
+            // One stall covers every unsafe misprediction in this
+            // dispatch group (Section 3.1): charge the group, correct
+            // the offending predictions, retry next cycle.
+            perf_.rfGroupStalls.inc();
+            dispatchBlockedUntil_ = cycle_ + 1;
+            int marked = 0;
+            for (auto &qp : decodeQ_) {
+                if (marked++ >= cfg_.decodeWidth)
+                    break;
+                qp->rfStallCharged = true;
+                if (qp->widthPredicted && qp->predLow &&
+                    !qp->actualLow) {
+                    qp->widthCorrected = true;
+                    wpred_.correctToFull(qp->rec.pc);
+                }
+            }
+            return;
+        }
+
+        inst->dispatchedAt = cycle_;
+        act_.renameUops.inc();
+
+        if (needs_rs) {
+            const int die = sched_.allocate();
+            if (die < 0)
+                panic("RS allocation failed despite free entries");
+            inst->rsDie = die;
+            inst->inRs = true;
+            act_.schedAlloc.inc();
+            act_.schedAllocDie[die].inc();
+            rs_.push_back(inst);
+        } else {
+            // Nops complete trivially next cycle.
+            inst->issued = true;
+            inst->issuedAt = cycle_;
+            inst->completeAt = cycle_ + 1;
+        }
+
+        if (inst->rec.op == OpClass::Load)
+            ++lqCount_;
+        if (inst->rec.op == OpClass::Store) {
+            sq_.insert(inst->seq, inst->rec.effAddr, inst->rec.memSize,
+                       inst->rec.resultValue);
+            act_.lsqWrite.inc();
+        }
+
+        if (inst->rec.hasDst)
+            lastWriter_[inst->rec.dstReg] = inst;
+
+        rob_.push_back(std::move(decodeQ_.front()));
+        decodeQ_.pop_front();
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue / execute
+// --------------------------------------------------------------------
+
+bool
+Core::srcsReady(const DynInst *inst) const
+{
+    for (int s = 0; s < inst->rec.numSrcs; ++s) {
+        const DynInst *p = inst->producers[s];
+        if (p != nullptr && (!p->issued || p->completeAt > cycle_))
+            return false;
+    }
+    return true;
+}
+
+int
+Core::dcacheLatency(DynInst *inst, Cycle start)
+{
+    const TraceRecord &rec = inst->rec;
+    const MemAccessResult res = mem_.dataAccess(rec.effAddr);
+
+    // Partial value encoding census (Section 3.6).
+    switch (encodePartialValue(rec.resultValue, rec.effAddr)) {
+      case PartialValueCode::UpperZeros: perf_.pveZeros.inc(); break;
+      case PartialValueCode::UpperOnes: perf_.pveOnes.inc(); break;
+      case PartialValueCode::UpperAddr: perf_.pveAddr.inc(); break;
+      case PartialValueCode::Explicit: perf_.pveExplicit.inc(); break;
+    }
+
+    int lat;
+    if (res.l1Hit) {
+        lat = cfg_.dl1Cycles;
+    } else {
+        perf_.dl1Misses.inc();
+        act_.l2Access.inc();
+        act_.dl1Fill.inc();
+        if (!res.l2Hit)
+            perf_.l2Misses.inc();
+
+        // Bound memory-level parallelism: at most maxOutstandingMisses
+        // misses in flight.
+        std::erase_if(missSlots_, [&](Cycle c) { return c <= start; });
+        Cycle begin = start;
+        if (static_cast<int>(missSlots_.size()) >=
+            cfg_.maxOutstandingMisses) {
+            begin = *std::min_element(missSlots_.begin(),
+                                      missSlots_.end());
+        }
+        const Cycle done = begin + static_cast<Cycle>(res.cycles);
+        missSlots_.push_back(done);
+        return static_cast<int>(done - start);
+    }
+
+    // Herded read: a predicted-low load with encodable upper bits only
+    // touches the top die; an unsafe prediction stalls the cache
+    // pipeline one cycle and reads the hitting way's remaining bits.
+    const bool pred_low = herding() && inst->predLow &&
+        !inst->widthCorrected;
+    if (pred_low && inst->actualLow) {
+        act_.dl1ReadLow.inc();
+    } else if (pred_low && !inst->actualLow) {
+        act_.dl1ReadFull.inc();
+        act_.dl1ReadFull.inc(); // second access for the upper bits
+        perf_.dcacheWidthStalls.inc();
+        lat += 1;
+    } else {
+        act_.dl1ReadFull.inc();
+    }
+    return lat;
+}
+
+bool
+Core::issueMemOp(DynInst *inst)
+{
+    const TraceRecord &rec = inst->rec;
+
+    if (rec.op == OpClass::Load) {
+        const LsqSearchResult search =
+            sq_.searchForLoad(inst->seq, rec.effAddr, rec.memSize, cycle_);
+        if (search.mustWait)
+            return false; // conservative disambiguation
+
+        if (fus_.tryIssue(OpClass::Load, cycle_) < 0)
+            return false;
+
+        perf_.loads.inc();
+        sq_.recordBroadcast(rec.effAddr, false, act_, perf_,
+                            herding() && cfg_.pamEnabled);
+
+        Cycle t = cycle_ + static_cast<Cycle>(fuLat_.agu);
+        act_.dtlbAccess.inc();
+        bool tlb_miss = false;
+        t += static_cast<Cycle>(mem_.dtlbAccess(rec.effAddr, tlb_miss));
+        if (tlb_miss)
+            perf_.dtlbMisses.inc();
+
+        if (search.forward) {
+            perf_.storeForwards.inc();
+            t += static_cast<Cycle>(fuLat_.storeFwd);
+        } else {
+            t += static_cast<Cycle>(dcacheLatency(inst, t));
+        }
+
+        // Loads feeding FP registers pay the extra forwarding cycle
+        // in the planar floorplan (Section 3.8).
+        if (isFpDest(*inst))
+            t += static_cast<Cycle>(cfg_.fpLoadExtraCycles());
+
+        finishIssue(inst, t);
+        return true;
+    }
+
+    // Store: issue the AGU once address and data are ready.
+    if (fus_.tryIssue(OpClass::Store, cycle_) < 0)
+        return false;
+
+    perf_.stores.inc();
+    const Cycle done = cycle_ + static_cast<Cycle>(fuLat_.agu);
+    sq_.setAddressKnown(inst->seq, done);
+    sq_.recordBroadcast(rec.effAddr, true, act_, perf_,
+                        herding() && cfg_.pamEnabled);
+
+    act_.dtlbAccess.inc();
+    bool tlb_miss = false;
+    const int extra = mem_.dtlbAccess(rec.effAddr, tlb_miss);
+    if (tlb_miss)
+        perf_.dtlbMisses.inc();
+
+    finishIssue(inst, done + static_cast<Cycle>(extra));
+    return true;
+}
+
+void
+Core::countExecActivity(const DynInst *inst)
+{
+    const bool gated = herding() && inst->predLow &&
+        !inst->widthCorrected && inst->actualLow;
+    switch (inst->rec.op) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Jump:
+      case OpClass::IndirectJump:
+        (gated ? act_.aluLow : act_.aluFull).inc();
+        break;
+      case OpClass::IntShift:
+        (gated ? act_.shiftLow : act_.shiftFull).inc();
+        break;
+      case OpClass::IntMult:
+        (gated ? act_.multLow : act_.multFull).inc();
+        break;
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        act_.fpOps.inc();
+        break;
+      default:
+        break;
+    }
+}
+
+bool
+Core::tryIssueInst(DynInst *inst, int &issued_this_cycle)
+{
+    if (!srcsReady(inst))
+        return false;
+
+    if (inst->rec.isMem()) {
+        if (!issueMemOp(inst))
+            return false;
+        ++issued_this_cycle;
+        return true;
+    }
+
+    const int lat = fus_.tryIssue(inst->rec.op, cycle_);
+    if (lat < 0)
+        return false;
+
+    Cycle done = cycle_ + static_cast<Cycle>(lat);
+
+    if (herding() && inst->widthPredicted && inst->predLow &&
+        !inst->widthCorrected) {
+        // Unsafe execution-stage mispredictions (Section 3.2): full
+        // operands on a gated unit cost a one-cycle re-enable stall;
+        // a full result from low operands is only discovered at the
+        // output and forces re-execution.
+        bool input_full = false;
+        for (int s = 0; s < inst->rec.numSrcs; ++s) {
+            if (classifyWidth(inst->rec.srcValues[s]) == Width::Full)
+                input_full = true;
+        }
+        if (input_full) {
+            perf_.execInputStalls.inc();
+            done += 1;
+        } else if (!inst->actualLow) {
+            perf_.execReplays.inc();
+            done += static_cast<Cycle>(lat);
+        }
+    }
+
+    ++issued_this_cycle;
+    finishIssue(inst, done);
+    return true;
+}
+
+void
+Core::finishIssue(DynInst *inst, Cycle complete_at)
+{
+    inst->issued = true;
+    inst->issuedAt = cycle_;
+    inst->completeAt = complete_at;
+
+    act_.schedSelect.inc();
+    countExecActivity(inst);
+
+    // Release the RS entry: it holds instructions "dispatched but not
+    // yet executed" (Section 3.4).
+    if (inst->inRs) {
+        sched_.release(inst->rsDie);
+        inst->inRs = false;
+    }
+
+    // A mispredicted control instruction redirects the front end
+    // redirectCycles after it resolves.
+    if (inst->mispredicted) {
+        waitingRedirect_ = false;
+        fetchResumeAt_ = complete_at +
+            static_cast<Cycle>(cfg_.redirectCycles());
+    }
+}
+
+void
+Core::issueStage()
+{
+    int issued = 0;
+    for (DynInst *inst : rs_) {
+        if (issued >= cfg_.issueWidth)
+            break;
+        if (inst->issued || inst->dispatchedAt >= cycle_)
+            continue;
+        tryIssueInst(inst, issued);
+    }
+    std::erase_if(rs_, [](const DynInst *i) { return i->issued; });
+}
+
+// --------------------------------------------------------------------
+// Completion (writeback)
+// --------------------------------------------------------------------
+
+void
+Core::completeStage()
+{
+    for (auto &up : rob_) {
+        DynInst *inst = up.get();
+        if (!inst->issued || inst->wbDone || inst->completeAt > cycle_)
+            continue;
+        inst->wbDone = true;
+        if (!inst->rec.hasDst)
+            continue;
+
+        // Result broadcast: scheduler wakeup (gated per die) and
+        // bypass network.
+        sched_.recordBroadcast(act_);
+        const bool low = herding() &&
+            inst->rec.resultWidth() == Width::Low;
+        (low ? act_.bypassLow : act_.bypassFull).inc();
+        // Writing the physical register held in the ROB.
+        (low ? act_.robWriteLow : act_.robWriteFull).inc();
+    }
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+Core::commitStoreToCache(DynInst *inst)
+{
+    const TraceRecord &rec = inst->rec;
+    const MemAccessResult res = mem_.dataAccess(rec.effAddr);
+    if (!res.l1Hit) {
+        perf_.dl1Misses.inc();
+        act_.l2Access.inc();
+        act_.dl1Fill.inc();
+        if (!res.l2Hit)
+            perf_.l2Misses.inc();
+    }
+    // Stores know their width at commit: no unsafe mispredictions
+    // (Section 3.6).
+    const bool low = herding() &&
+        isTriviallyEncodable(rec.resultValue, rec.effAddr);
+    (low ? act_.dl1WriteLow : act_.dl1WriteFull).inc();
+}
+
+void
+Core::onCommitCleanup(DynInst *inst)
+{
+    if (inst->rec.hasDst && lastWriter_[inst->rec.dstReg] == inst)
+        lastWriter_[inst->rec.dstReg] = nullptr;
+    for (DynInst *r : rs_) {
+        for (int s = 0; s < r->rec.numSrcs; ++s)
+            if (r->producers[s] == inst)
+                r->producers[s] = nullptr;
+    }
+}
+
+void
+Core::commitStage()
+{
+    for (int i = 0; i < cfg_.commitWidth; ++i) {
+        if (rob_.empty())
+            return;
+        DynInst *inst = rob_.front().get();
+        if (!inst->issued || inst->completeAt >= cycle_)
+            return; // completes this cycle at the earliest: commit next
+
+        const TraceRecord &rec = inst->rec;
+
+        if (rec.op == OpClass::Store) {
+            sq_.commitOldest();
+            commitStoreToCache(inst);
+        } else if (rec.op == OpClass::Load) {
+            --lqCount_;
+        }
+
+        if (rec.op == OpClass::Branch)
+            act_.bpredUpdate.inc();
+
+        if (inst->widthPredicted) {
+            wpred_.update(rec.pc, inst->actualLow ? Width::Low
+                                                  : Width::Full);
+        }
+
+        // Commit copies the result from the ROB's physical register to
+        // the architected register file.
+        if (rec.hasDst && rec.dstReg < kFpRegBase &&
+            !isControlOp(rec.op)) {
+            // Offset by half a bit so an exactly-16-bit value falls in
+            // the [12,16) bucket: buckets 0-3 are then precisely the
+            // top-die-representable results.
+            perf_.valueWidthBits.sample(
+                static_cast<double>(significantBits(rec.resultValue)) -
+                0.5);
+        }
+        if (rec.hasDst) {
+            const bool low = herding() &&
+                rec.resultWidth() == Width::Low;
+            (low ? act_.robReadLow : act_.robReadFull).inc();
+            (low ? act_.rfWriteLow : act_.rfWriteFull).inc();
+        }
+
+        act_.miscUops.inc();
+        onCommitCleanup(inst);
+        rob_.pop_front();
+        ++committed_;
+    }
+}
+
+} // namespace th

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Cycle-level out-of-order core model (the SimpleScalar/MASE
+ * substitute). Trace-driven: dynamic instructions stream in from a
+ * TraceSource; branch mispredictions are modelled as fetch stalls of
+ * the resolved-redirect length (wrong-path instructions are not
+ * simulated — the standard trace-driven approximation).
+ *
+ * All Thermal Herding mechanisms are integrated here: width prediction
+ * with unsafe-misprediction stalls in the register file, execution
+ * units and data cache; the die-aware scheduler allocation; PAM in the
+ * store queue; the target-memoizing BTB; and per-die activity
+ * accounting for the power model.
+ */
+
+#ifndef TH_CORE_PIPELINE_H
+#define TH_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/activity.h"
+#include "core/branch_predictor.h"
+#include "core/cache.h"
+#include "core/functional_units.h"
+#include "core/lsq.h"
+#include "core/params.h"
+#include "core/scheduler.h"
+#include "core/width_predictor.h"
+#include "trace/trace.h"
+
+namespace th {
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    TraceRecord rec;
+    std::uint64_t seq = 0;
+
+    // Width prediction state.
+    bool widthPredicted = false; ///< This op participates in prediction.
+    bool predLow = false;
+    bool actualLow = false;
+    bool widthCorrected = false; ///< Unsafe pred corrected at RF read.
+
+    // Pipeline timestamps.
+    Cycle fetchedAt = 0;
+    Cycle decodedAt = 0;
+    Cycle dispatchedAt = 0;
+    Cycle issuedAt = 0;
+    Cycle completeAt = 0;
+    bool inRs = false;
+    bool issued = false;
+    int rsDie = -1;
+    bool hasSqEntry = false;
+    bool hasLqEntry = false;
+    bool rfStallCharged = false;
+
+    // Dependencies.
+    DynInst *producers[kMaxSrcs] = {nullptr, nullptr};
+    bool wbDone = false; ///< Writeback accounting performed.
+
+    // Branch state.
+    bool mispredicted = false;
+    bool btbHit = false;
+
+    bool isNop() const { return rec.op == OpClass::Nop; }
+};
+
+/** Results of a core run. */
+struct CoreResult
+{
+    PerfStats perf;
+    ActivityStats activity;
+    double freqGhz = 0.0;
+
+    /** Committed instructions per nanosecond (the paper's IPns). */
+    double ipns() const { return perf.ipc() * freqGhz; }
+
+    /** Wall-clock seconds simulated. */
+    double seconds() const
+    {
+        return static_cast<double>(perf.cycles.value()) / (freqGhz * 1e9);
+    }
+};
+
+/**
+ * The core model. Construct with a configuration, then run() a trace.
+ * Single-use: construct a fresh Core for each run.
+ */
+class Core
+{
+  public:
+    explicit Core(const CoreConfig &cfg);
+    ~Core();
+
+    Core(const Core &) = delete;
+    Core &operator=(const Core &) = delete;
+
+    /**
+     * Simulate until @p max_insts commit (or the trace ends), after a
+     * warm-up period of @p warmup_insts whose statistics are discarded
+     * (caches, predictors, and queues stay warm).
+     * @return Performance and activity statistics for the measured
+     *         portion only.
+     */
+    CoreResult run(TraceSource &trace, std::uint64_t max_insts,
+                   std::uint64_t warmup_insts = 0);
+
+    const CoreConfig &config() const { return cfg_; }
+
+    // Accessors used by unit tests.
+    const PerfStats &perf() const { return perf_; }
+    const ActivityStats &activity() const { return act_; }
+
+  private:
+    // Pipeline stages (called in reverse order each cycle).
+    void commitStage();
+    void completeStage();
+    void issueStage();
+    void dispatchStage();
+    void decodeStage();
+    void fetchStage(TraceSource &trace);
+
+    // Helpers.
+    void fetchOne(TraceSource &trace);
+    bool tryIssueInst(DynInst *inst, int &issued_this_cycle);
+    bool issueMemOp(DynInst *inst);
+    void finishIssue(DynInst *inst, Cycle complete_at);
+    bool srcsReady(const DynInst *inst) const;
+    void readRegisterOperands(DynInst *inst, bool &unsafe);
+    void countExecActivity(const DynInst *inst);
+    void commitStoreToCache(DynInst *inst);
+    void onCommitCleanup(DynInst *inst);
+    int dcacheLatency(DynInst *inst, Cycle start);
+    bool herding() const { return cfg_.thermalHerding; }
+
+    CoreConfig cfg_;
+    FuLatencies fuLat_;
+
+    // Structures.
+    MemoryHierarchy mem_;
+    HybridPredictor bpred_;
+    Btb btb_;
+    Btb ibtb_; ///< Indirect-target BTB (Table 1: 512 entries, 4-way).
+    WidthPredictor wpred_;
+    SchedulerEntries sched_;
+    StoreQueue sq_;
+    FuPool fus_;
+
+    // Queues. unique_ptr ownership travels IFQ -> decode -> ROB; the
+    // RS holds raw pointers into ROB-owned instructions.
+    std::deque<std::unique_ptr<DynInst>> rob_;
+    std::deque<std::unique_ptr<DynInst>> ifq_;
+    std::deque<std::unique_ptr<DynInst>> decodeQ_;
+    std::vector<DynInst *> rs_;
+    int lqCount_ = 0;
+
+    // Register rename state: last in-flight writer per arch register.
+    std::vector<DynInst *> lastWriter_;
+
+    // Fetch state.
+    Cycle fetchResumeAt_ = 0;
+    bool waitingRedirect_ = false;
+    bool traceEnded_ = false;
+    Addr lastFetchLine_ = ~Addr{0};
+    Addr lastFetchPage_ = ~Addr{0};
+
+    // Dispatch group stall (unsafe RF width mispredictions).
+    Cycle dispatchBlockedUntil_ = 0;
+
+    // Outstanding cache misses (MLP limit).
+    std::vector<Cycle> missSlots_;
+
+    Cycle cycle_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    std::uint64_t committed_ = 0;
+
+    PerfStats perf_;
+    ActivityStats act_;
+};
+
+} // namespace th
+
+#endif // TH_CORE_PIPELINE_H

@@ -1,0 +1,80 @@
+#include "core/scheduler.h"
+
+#include "common/log.h"
+
+namespace th {
+
+SchedulerEntries::SchedulerEntries(int total_entries,
+                                   SchedAllocPolicy policy)
+    : per_die_(total_entries / kNumDies), policy_(policy)
+{
+    if (total_entries % kNumDies != 0)
+        fatal("RS entries (%d) must divide evenly across %d dies",
+              total_entries, kNumDies);
+}
+
+int
+SchedulerEntries::allocate()
+{
+    if (policy_ == SchedAllocPolicy::TopDieFirst) {
+        // Herd to the die closest to the heat sink first (Section 3.4).
+        for (int d = 0; d < kNumDies; ++d) {
+            if (occupied_[static_cast<size_t>(d)] < per_die_) {
+                ++occupied_[static_cast<size_t>(d)];
+                return d;
+            }
+        }
+        return -1;
+    }
+
+    // Round-robin baseline: spread entries evenly.
+    for (int i = 0; i < kNumDies; ++i) {
+        const int d = (rr_next_ + i) % kNumDies;
+        if (occupied_[static_cast<size_t>(d)] < per_die_) {
+            ++occupied_[static_cast<size_t>(d)];
+            rr_next_ = (d + 1) % kNumDies;
+            return d;
+        }
+    }
+    return -1;
+}
+
+void
+SchedulerEntries::release(int die)
+{
+    if (die < 0 || die >= kNumDies ||
+        occupied_[static_cast<size_t>(die)] <= 0)
+        panic("SchedulerEntries::release of unoccupied die %d", die);
+    --occupied_[static_cast<size_t>(die)];
+}
+
+int
+SchedulerEntries::occupancy(int die) const
+{
+    return occupied_[static_cast<size_t>(die)];
+}
+
+int
+SchedulerEntries::totalOccupancy() const
+{
+    int total = 0;
+    for (int d = 0; d < kNumDies; ++d)
+        total += occupied_[static_cast<size_t>(d)];
+    return total;
+}
+
+int
+SchedulerEntries::freeEntries() const
+{
+    return per_die_ * kNumDies - totalOccupancy();
+}
+
+void
+SchedulerEntries::recordBroadcast(ActivityStats &act) const
+{
+    for (int d = 0; d < kNumDies; ++d)
+        if (occupied_[static_cast<size_t>(d)] > 0)
+            act.schedWakeupDie[d].inc();
+}
+
+} // namespace th

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Entry-stacked instruction scheduler bookkeeping (Section 3.4): the
+ * 32 reservation-station entries are distributed 8 per die; the
+ * allocator herds instructions towards the top die, and tag broadcasts
+ * to dies with no occupied entries are gated.
+ *
+ * The actual wakeup/select timing lives in the pipeline model; this
+ * class owns entry allocation, per-die occupancy, and the broadcast
+ * gating accounting.
+ */
+
+#ifndef TH_CORE_SCHEDULER_H
+#define TH_CORE_SCHEDULER_H
+
+#include <array>
+
+#include "common/types.h"
+#include "core/activity.h"
+#include "core/params.h"
+
+namespace th {
+
+/** Die-aware reservation station allocator. */
+class SchedulerEntries
+{
+  public:
+    /**
+     * @param total_entries Total RS entries (split evenly over dies).
+     * @param policy        Allocation policy.
+     */
+    SchedulerEntries(int total_entries, SchedAllocPolicy policy);
+
+    /**
+     * Allocate one entry.
+     * @return The die index the entry landed on, or -1 when full.
+     */
+    int allocate();
+
+    /** Release an entry on @p die (at issue time). */
+    void release(int die);
+
+    /** Entries currently occupied on @p die. */
+    int occupancy(int die) const;
+
+    /** Total occupied entries. */
+    int totalOccupancy() const;
+
+    /** Total free entries. */
+    int freeEntries() const;
+
+    /**
+     * Record a tag broadcast: dies with at least one occupied entry
+     * receive the broadcast; empty dies are gated (Section 3.4).
+     */
+    void recordBroadcast(ActivityStats &act) const;
+
+    int entriesPerDie() const { return per_die_; }
+
+  private:
+    int per_die_;
+    SchedAllocPolicy policy_;
+    std::array<int, kNumDies> occupied_{};
+    int rr_next_ = 0;
+};
+
+} // namespace th
+
+#endif // TH_CORE_SCHEDULER_H

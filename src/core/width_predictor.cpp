@@ -1,0 +1,90 @@
+#include "core/width_predictor.h"
+
+#include "common/bitutil.h"
+#include "common/log.h"
+
+namespace th {
+
+const char *
+widthPredKindName(WidthPredKind kind)
+{
+    switch (kind) {
+      case WidthPredKind::TwoBit:      return "2-bit";
+      case WidthPredKind::LastOutcome: return "last-outcome";
+      case WidthPredKind::AlwaysFull:  return "always-full";
+      case WidthPredKind::Oracle:      return "oracle";
+      default:                         return "unknown";
+    }
+}
+
+WidthPredictor::WidthPredictor(int entries, WidthPredKind kind)
+    : kind_(kind)
+{
+    if (entries < 1 ||
+        (static_cast<unsigned>(entries) & (entries - 1)) != 0) {
+        fatal("WidthPredictor entries must be a power of two (got %d)",
+              entries);
+    }
+    // Initialise weakly-full: safe until proven low. (For the
+    // last-outcome policy, 0 encodes "full".)
+    table_.assign(static_cast<size_t>(entries),
+                  kind_ == WidthPredKind::TwoBit ? 1 : 0);
+    mask_ = static_cast<size_t>(entries) - 1;
+}
+
+std::size_t
+WidthPredictor::index(Addr pc) const
+{
+    return (pc >> 2) & mask_;
+}
+
+Width
+WidthPredictor::predict(Addr pc, Width actual) const
+{
+    switch (kind_) {
+      case WidthPredKind::TwoBit:
+        return table_[index(pc)] >= 2 ? Width::Low : Width::Full;
+      case WidthPredKind::LastOutcome:
+        return table_[index(pc)] != 0 ? Width::Low : Width::Full;
+      case WidthPredKind::AlwaysFull:
+        return Width::Full;
+      case WidthPredKind::Oracle:
+        return actual;
+    }
+    return Width::Full;
+}
+
+void
+WidthPredictor::update(Addr pc, Width actual)
+{
+    switch (kind_) {
+      case WidthPredKind::TwoBit: {
+        std::uint8_t &c = table_[index(pc)];
+        if (actual == Width::Low) {
+            if (c < 3)
+                ++c;
+        } else {
+            if (c > 0)
+                --c;
+        }
+        break;
+      }
+      case WidthPredKind::LastOutcome:
+        table_[index(pc)] = actual == Width::Low ? 1 : 0;
+        break;
+      case WidthPredKind::AlwaysFull:
+      case WidthPredKind::Oracle:
+        break;
+    }
+}
+
+void
+WidthPredictor::correctToFull(Addr pc)
+{
+    if (kind_ == WidthPredKind::TwoBit ||
+        kind_ == WidthPredKind::LastOutcome) {
+        table_[index(pc)] = 0;
+    }
+}
+
+} // namespace th

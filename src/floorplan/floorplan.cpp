@@ -1,0 +1,157 @@
+#include "floorplan/floorplan.h"
+
+#include "common/log.h"
+
+namespace th {
+
+const char *
+blockName(BlockId id)
+{
+    switch (id) {
+      case BlockId::ICache:    return "ICache";
+      case BlockId::Fetch:     return "Fetch";
+      case BlockId::BPred:     return "BPred";
+      case BlockId::Btb:       return "BTB";
+      case BlockId::Decode:    return "Decode";
+      case BlockId::Rename:    return "Rename";
+      case BlockId::Rob:       return "ROB";
+      case BlockId::MiscLogic: return "Misc";
+      case BlockId::Scheduler: return "Scheduler";
+      case BlockId::RegFile:   return "RegFile";
+      case BlockId::IntExec:   return "IntExec";
+      case BlockId::FpExec:    return "FpExec";
+      case BlockId::Lsq:       return "LSQ";
+      case BlockId::Dtlb:      return "DTLB";
+      case BlockId::DCache:    return "DCache";
+      case BlockId::CoreBus:   return "CoreBus";
+      case BlockId::L2:        return "L2";
+      default:                 return "Unknown";
+    }
+}
+
+double
+Floorplan::blockArea() const
+{
+    double a = 0.0;
+    for (const auto &b : blocks)
+        a += b.area();
+    return a;
+}
+
+const BlockRect *
+Floorplan::find(BlockId id, int core) const
+{
+    for (const auto &b : blocks)
+        if (b.id == id && b.core == core)
+            return &b;
+    return nullptr;
+}
+
+namespace {
+
+/**
+ * Core-internal layout, relative to the core origin; the core tile is
+ * 6.0 mm wide x 7.0 mm tall in the planar chip. Areas are best-effort
+ * Core-2-class estimates: the scheduler is deliberately compact (high
+ * power density — the paper's planar hotspot), the D-cache region
+ * includes its fill/victim machinery.
+ */
+struct RelBlock
+{
+    BlockId id;
+    double x, y, w, h;
+};
+
+constexpr RelBlock kCoreLayout[] = {
+    {BlockId::ICache,    0.0, 0.0, 2.0, 1.6},
+    {BlockId::Fetch,     2.0, 0.0, 1.0, 1.6},
+    {BlockId::BPred,     3.0, 0.0, 1.6, 1.6},
+    {BlockId::Btb,       4.6, 0.0, 1.4, 1.6},
+    {BlockId::Rob,       0.0, 1.6, 1.6, 1.4},
+    {BlockId::Rename,    1.6, 1.6, 1.2, 1.4},
+    {BlockId::Decode,    2.8, 1.6, 1.6, 1.4},
+    {BlockId::MiscLogic, 4.4, 1.6, 1.6, 1.4},
+    {BlockId::RegFile,   0.0, 3.0, 1.35, 1.4},
+    {BlockId::Scheduler, 1.35, 3.0, 0.8, 1.0},
+    {BlockId::IntExec,   2.2, 3.0, 2.0, 1.4},
+    {BlockId::FpExec,    4.2, 3.0, 1.8, 1.4},
+    {BlockId::Lsq,       0.0, 4.4, 1.5, 1.2},
+    {BlockId::Dtlb,      1.5, 4.4, 1.0, 1.2},
+    {BlockId::DCache,    2.5, 4.4, 2.6, 2.2},
+    {BlockId::CoreBus,   0.0, 5.6, 2.5, 1.4},
+};
+
+constexpr double kCoreW = 6.0;
+constexpr double kCoreH = 7.0;
+constexpr double kChipW = 12.0;
+constexpr double kChipH = 12.0;
+constexpr double kL2H = 5.0;
+
+void
+placeCore(Floorplan &fp, int core, double ox, double oy, double scale)
+{
+    for (const RelBlock &rb : kCoreLayout) {
+        BlockRect b;
+        b.id = rb.id;
+        b.core = core;
+        b.x = ox + rb.x * scale;
+        b.y = oy + rb.y * scale;
+        b.w = rb.w * scale;
+        b.h = rb.h * scale;
+        fp.blocks.push_back(b);
+    }
+}
+
+} // namespace
+
+Floorplan
+FloorplanBuilder::planar()
+{
+    Floorplan fp;
+    fp.chipW = kChipW;
+    fp.chipH = kChipH;
+    fp.numCores = 2;
+
+    // L2 across the bottom of the chip; cores side by side above it,
+    // mirrored about the chip's vertical centerline would be typical —
+    // a plain translation keeps the block map simple and does not
+    // change any power density.
+    BlockRect l2;
+    l2.id = BlockId::L2;
+    l2.core = -1;
+    l2.x = 0.0;
+    l2.y = 0.0;
+    l2.w = kChipW;
+    l2.h = kL2H;
+    fp.blocks.push_back(l2);
+
+    placeCore(fp, 0, 0.0, kL2H, 1.0);
+    placeCore(fp, 1, kCoreW, kL2H, 1.0);
+    return fp;
+}
+
+Floorplan
+FloorplanBuilder::stacked()
+{
+    // Quarter footprint: every linear dimension halves; the same
+    // relative layout appears on each of the four dies.
+    Floorplan fp;
+    fp.chipW = kChipW / 2.0;
+    fp.chipH = kChipH / 2.0;
+    fp.numCores = 2;
+
+    BlockRect l2;
+    l2.id = BlockId::L2;
+    l2.core = -1;
+    l2.x = 0.0;
+    l2.y = 0.0;
+    l2.w = kChipW / 2.0;
+    l2.h = kL2H / 2.0;
+    fp.blocks.push_back(l2);
+
+    placeCore(fp, 0, 0.0, kL2H / 2.0, 0.5);
+    placeCore(fp, 1, kCoreW / 2.0, kL2H / 2.0, 0.5);
+    return fp;
+}
+
+} // namespace th

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Processor floorplans (Figure 7 of the paper): a planar dual-core +
+ * 4MB L2 baseline, and the 4-die stacked organisation whose footprint
+ * is a quarter of the planar chip with every partitioned block present
+ * on all four dies.
+ */
+
+#ifndef TH_FLOORPLAN_FLOORPLAN_H
+#define TH_FLOORPLAN_FLOORPLAN_H
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace th {
+
+/** Identifiers for the floorplanned functional blocks of one core. */
+enum class BlockId : int {
+    ICache,
+    Fetch,     ///< Fetch control + I-TLB.
+    BPred,
+    Btb,
+    Decode,
+    Rename,
+    Rob,       ///< Reorder buffer (holds the physical registers).
+    MiscLogic, ///< Control/random logic and routing channels.
+    Scheduler, ///< RS entries + wakeup/select (the 2D hotspot).
+    RegFile,   ///< Architected register file.
+    IntExec,   ///< Integer ALUs/shifters/multiplier + bypass.
+    FpExec,
+    Lsq,
+    Dtlb,
+    DCache,
+    CoreBus,   ///< Core-side interconnect to the L2.
+    L2,        ///< Shared cache (not per-core).
+    NumBlocks
+};
+
+/** Number of per-core block kinds (excluding L2). */
+inline constexpr int kNumCoreBlocks = static_cast<int>(BlockId::L2);
+
+/** Human-readable block name. */
+const char *blockName(BlockId id);
+
+/** One placed rectangle (mm). */
+struct BlockRect
+{
+    BlockId id = BlockId::MiscLogic;
+    int core = -1; ///< Core index, or -1 for shared blocks (L2).
+    double x = 0.0, y = 0.0, w = 0.0, h = 0.0;
+
+    double area() const { return w * h; }
+};
+
+/** A full chip floorplan. */
+struct Floorplan
+{
+    double chipW = 0.0; ///< Chip width (mm).
+    double chipH = 0.0; ///< Chip height (mm).
+    int numCores = 2;
+    /**
+     * Placed blocks. For the 3D floorplan the same (x, y, w, h) region
+     * exists on every die (significance/entry-partitioned blocks
+     * overlap vertically), so one set of rectangles describes all dies.
+     */
+    std::vector<BlockRect> blocks;
+
+    /** Sum of block areas (mm^2); should cover the chip. */
+    double blockArea() const;
+
+    /** Find a block rect; nullptr when absent. */
+    const BlockRect *find(BlockId id, int core) const;
+};
+
+/**
+ * Builds the evaluation floorplans.
+ *
+ * The planar chip is 12 x 12 mm (Core-2-class dual core + 4MB L2 at
+ * 65nm); the 3D chip folds the same layout onto a 6 x 6 mm, 4-die
+ * footprint.
+ */
+struct FloorplanBuilder
+{
+    /** Planar dual-core baseline, Figure 7(a). */
+    static Floorplan planar();
+
+    /** 4-die stacked floorplan (per-die view), Figure 7(b). */
+    static Floorplan stacked();
+};
+
+} // namespace th
+
+#endif // TH_FLOORPLAN_FLOORPLAN_H

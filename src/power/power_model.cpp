@@ -1,0 +1,212 @@
+#include "power/power_model.h"
+
+#include "common/log.h"
+
+namespace th {
+
+double
+PowerResult::coreDynamicW() const
+{
+    double t = 0.0;
+    for (const auto &b : coreBlocks)
+        t += b.total();
+    return t;
+}
+
+double
+PowerResult::topDieFraction() const
+{
+    double top = l2.dieW[0];
+    double all = l2.total();
+    for (const auto &b : coreBlocks) {
+        top += b.dieW[0] * numCores;
+        all += b.total() * numCores;
+    }
+    return all > 0.0 ? top / all : 0.0;
+}
+
+PowerModel::PowerModel(const BlockLibrary &lib, const PowerConfig &cfg)
+    : lib_(lib), cfg_(cfg)
+{
+}
+
+void
+PowerModel::calibrate(const CoreResult &baseline_run,
+                      const CoreConfig &baseline_cfg)
+{
+    if (baseline_cfg.stacked)
+        fatal("power calibration requires the planar baseline");
+    const PowerResult raw = computeRaw(baseline_run, baseline_cfg, 1.0);
+    const double target_dyn = cfg_.baselineTotalW *
+        (1.0 - cfg_.clockFrac - cfg_.leakFrac);
+    if (raw.dynamicW() <= 0.0)
+        fatal("baseline run has no dynamic activity to calibrate on");
+    dyn_scale_ = target_dyn / raw.dynamicW();
+}
+
+PowerResult
+PowerModel::compute(const CoreResult &run, const CoreConfig &core_cfg) const
+{
+    if (!calibrated())
+        fatal("PowerModel::compute before calibrate()");
+    return computeRaw(run, core_cfg, dyn_scale_);
+}
+
+namespace {
+
+/** How a block's accesses spread across the stack. */
+enum class Spread {
+    Planar,  ///< Everything on die 0 (2D chip).
+    Herded,  ///< Low-width on die 0; full-width across all four dies.
+    AllDies, ///< Evenly across all four dies.
+    TopTwo   ///< Dies 0 and 1 (direction-bit arrays, Section 3.7).
+};
+
+void
+deposit(BlockPower &bp, Spread spread, double low_w, double full_w)
+{
+    switch (spread) {
+      case Spread::Planar:
+        bp.dieW[0] += low_w + full_w;
+        break;
+      case Spread::Herded:
+        bp.dieW[0] += low_w;
+        for (int d = 0; d < kNumDies; ++d)
+            bp.dieW[d] += full_w / kNumDies;
+        break;
+      case Spread::AllDies:
+        for (int d = 0; d < kNumDies; ++d)
+            bp.dieW[d] += (low_w + full_w) / kNumDies;
+        break;
+      case Spread::TopTwo:
+        bp.dieW[0] += (low_w + full_w) / 2.0;
+        bp.dieW[1] += (low_w + full_w) / 2.0;
+        break;
+    }
+}
+
+} // namespace
+
+PowerResult
+PowerModel::computeRaw(const CoreResult &run, const CoreConfig &core_cfg,
+                       double scale) const
+{
+    const bool stacked = core_cfg.stacked;
+    const CoreEnergies &e = stacked ? lib_.energies3d() : lib_.energies2d();
+    const ActivityStats &a = run.activity;
+
+    PowerResult r;
+    r.numCores = cfg_.numCores;
+
+    // Fixed overheads.
+    r.leakW = cfg_.baselineTotalW * cfg_.leakFrac;
+    r.clockW = cfg_.baselineTotalW * cfg_.clockFrac *
+        (stacked ? cfg_.clock3dScale : 1.0) *
+        (core_cfg.freqGhz / cfg_.baseFreqGhz);
+
+    // pJ * count / seconds -> watts: 1e-12 J/pJ.
+    const double seconds = run.seconds();
+    if (seconds <= 0.0)
+        fatal("power computation on an empty run");
+    const double to_w = 1e-12 / seconds * scale;
+
+    auto block = [&](BlockId id) -> BlockPower & {
+        return r.coreBlocks[static_cast<size_t>(id)];
+    };
+    const Spread fold = stacked ? Spread::AllDies : Spread::Planar;
+    const Spread herd = stacked ? Spread::Herded : Spread::Planar;
+    const Spread toptwo = stacked ? Spread::TopTwo : Spread::Planar;
+
+    auto cnt = [](const Counter &c) { return static_cast<double>(c.value()); };
+
+    // Front end.
+    deposit(block(BlockId::ICache), fold,
+            0.0, cnt(a.il1Access) * e.il1Access * to_w);
+    deposit(block(BlockId::Fetch), fold,
+            0.0, cnt(a.itlbAccess) * e.itlbAccess * to_w);
+    deposit(block(BlockId::BPred), toptwo,
+            0.0, cnt(a.bpredLookup) * e.bpredLookup * to_w);
+    deposit(block(BlockId::BPred), fold,
+            0.0, cnt(a.bpredUpdate) * e.bpredUpdate * to_w);
+    deposit(block(BlockId::Btb), herd,
+            cnt(a.btbLow) * e.btbLow * to_w,
+            cnt(a.btbFull) * e.btbFull * to_w);
+    deposit(block(BlockId::Decode), fold,
+            0.0, cnt(a.decodeUops) * e.decodeUop * to_w);
+    deposit(block(BlockId::Rename), fold,
+            0.0, cnt(a.renameUops) * e.renameUop * to_w);
+
+    // Scheduler: per-die tag broadcasts (gated on empty dies), select
+    // across the stack, allocation on the die chosen by the policy.
+    {
+        BlockPower &bp = block(BlockId::Scheduler);
+        if (stacked) {
+            for (int d = 0; d < kNumDies; ++d) {
+                bp.dieW[d] += cnt(a.schedWakeupDie[d]) *
+                    e.schedWakeupPerDie * to_w;
+                bp.dieW[d] += cnt(a.schedAllocDie[d]) *
+                    e.schedAlloc * to_w;
+            }
+            deposit(bp, Spread::AllDies, 0.0,
+                    cnt(a.schedSelect) * e.schedSelect * to_w);
+        } else {
+            // Planar: every result broadcast drives the whole RS span
+            // (4x the per-die slice energy) and cannot gate by die.
+            // Broadcast events == issued instructions (schedSelect).
+            bp.dieW[0] +=
+                (cnt(a.schedSelect) * e.schedWakeupPerDie * kNumDies +
+                 cnt(a.schedSelect) * e.schedSelect +
+                 cnt(a.schedAlloc) * e.schedAlloc) * to_w;
+        }
+    }
+
+    // Datapath.
+    deposit(block(BlockId::RegFile), herd,
+            (cnt(a.rfReadLow) * e.rfReadLow +
+             cnt(a.rfWriteLow) * e.rfWriteLow) * to_w,
+            (cnt(a.rfReadFull) * e.rfReadFull +
+             cnt(a.rfWriteFull) * e.rfWriteFull) * to_w);
+    deposit(block(BlockId::Rob), herd,
+            (cnt(a.robReadLow) * e.robReadLow +
+             cnt(a.robWriteLow) * e.robWriteLow) * to_w,
+            (cnt(a.robReadFull) * e.robReadFull +
+             cnt(a.robWriteFull) * e.robWriteFull) * to_w);
+    deposit(block(BlockId::IntExec), herd,
+            (cnt(a.aluLow) * e.aluLow + cnt(a.shiftLow) * e.shiftLow +
+             cnt(a.multLow) * e.multLow +
+             cnt(a.bypassLow) * e.bypassLow) * to_w,
+            (cnt(a.aluFull) * e.aluFull + cnt(a.shiftFull) * e.shiftFull +
+             cnt(a.multFull) * e.multFull +
+             cnt(a.bypassFull) * e.bypassFull) * to_w);
+    deposit(block(BlockId::FpExec), fold,
+            0.0, cnt(a.fpOps) * e.fpOp * to_w);
+
+    // Memory pipeline.
+    deposit(block(BlockId::Lsq), herd,
+            cnt(a.lsqSearchLow) * e.lsqSearchLow * to_w,
+            (cnt(a.lsqSearchFull) * e.lsqSearchFull +
+             cnt(a.lsqWrite) * e.lsqWrite) * to_w);
+    deposit(block(BlockId::Dtlb), fold,
+            0.0, cnt(a.dtlbAccess) * e.dtlbAccess * to_w);
+    deposit(block(BlockId::DCache), herd,
+            (cnt(a.dl1ReadLow) * e.dl1ReadLow +
+             cnt(a.dl1WriteLow) * e.dl1WriteLow) * to_w,
+            (cnt(a.dl1ReadFull) * e.dl1ReadFull +
+             cnt(a.dl1WriteFull) * e.dl1WriteFull +
+             cnt(a.dl1Fill) * e.dl1Fill) * to_w);
+
+    // Random logic and global wiring.
+    deposit(block(BlockId::MiscLogic), fold,
+            0.0, cnt(a.miscUops) * e.miscPerUop * 0.5 * to_w);
+    deposit(block(BlockId::CoreBus), fold,
+            0.0, cnt(a.miscUops) * e.miscPerUop * 0.5 * to_w);
+
+    // Shared L2 (both symmetric cores contribute).
+    deposit(r.l2, fold, 0.0,
+            cnt(a.l2Access) * e.l2Access * to_w *
+            static_cast<double>(cfg_.numCores));
+
+    return r;
+}
+
+} // namespace th

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Power model: combines per-access energies (circuit models), activity
+ * factors (core model), and clock frequency into per-block, per-die
+ * watts — the methodology of Section 4 ("for each module, we compute
+ * the power by combining our HSpice results, the activity factor of
+ * the module as reported by MASE, and the clock frequency").
+ *
+ * Fixed overheads follow the paper's assumptions: the clock network
+ * dissipates 35% of baseline power (halved, not quartered, in 3D);
+ * leakage is 20% of baseline and unchanged by 3D or Thermal Herding.
+ * A single global scale, set once against the 90 W dual-core mpeg2
+ * baseline, converts the analytical model's relative energies into
+ * absolute watts.
+ */
+
+#ifndef TH_POWER_POWER_MODEL_H
+#define TH_POWER_POWER_MODEL_H
+
+#include <array>
+
+#include "circuit/blocks.h"
+#include "core/pipeline.h"
+#include "floorplan/floorplan.h"
+
+namespace th {
+
+/** Fixed power-accounting assumptions (Section 4). */
+struct PowerConfig
+{
+    double baselineTotalW = 90.0; ///< Dual-core mpeg2 planar total.
+    double clockFrac = 0.35;      ///< Clock share of baseline power.
+    double leakFrac = 0.20;       ///< Leakage share of baseline power.
+    double baseFreqGhz = 2.66;
+    /** Clock-network power scale for the 3D organisation (footprint
+     *  quartered, power conservatively halved). */
+    double clock3dScale = 0.5;
+    int numCores = 2;
+};
+
+/** Power of one block split across the four dies (watts). */
+struct BlockPower
+{
+    std::array<double, kNumDies> dieW{};
+
+    double total() const
+    {
+        double t = 0.0;
+        for (double w : dieW)
+            t += w;
+        return t;
+    }
+};
+
+/** Full chip power breakdown for one configuration/workload. */
+struct PowerResult
+{
+    double clockW = 0.0;
+    double leakW = 0.0;
+    /** Dynamic power of one core's blocks (cores are symmetric). */
+    std::array<BlockPower, kNumCoreBlocks> coreBlocks{};
+    BlockPower l2;
+    int numCores = 2;
+
+    /** Dynamic power of one core. */
+    double coreDynamicW() const;
+
+    /** Total dynamic power (all cores + L2). */
+    double dynamicW() const
+    {
+        return coreDynamicW() * numCores + l2.total();
+    }
+
+    /** Total chip power. */
+    double totalW() const { return clockW + leakW + dynamicW(); }
+
+    /** Fraction of herded-block dynamic power on the top die. */
+    double topDieFraction() const;
+};
+
+/**
+ * The power model. Construct with the circuit block library, calibrate
+ * once against the planar baseline run, then evaluate any run.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const BlockLibrary &lib,
+                        const PowerConfig &cfg = PowerConfig{});
+
+    /**
+     * Set the global dynamic-power scale so the given planar run
+     * (dual-core mpeg2 in the paper) totals cfg.baselineTotalW.
+     */
+    void calibrate(const CoreResult &baseline_run,
+                   const CoreConfig &baseline_cfg);
+
+    /** True once calibrate() has run. */
+    bool calibrated() const { return dyn_scale_ > 0.0; }
+
+    /**
+     * Compute the chip power for a run. @p core_cfg decides which
+     * energy table (2D/3D) applies and the clock scaling.
+     */
+    PowerResult compute(const CoreResult &run,
+                        const CoreConfig &core_cfg) const;
+
+    const PowerConfig &config() const { return cfg_; }
+
+  private:
+    PowerResult computeRaw(const CoreResult &run,
+                           const CoreConfig &core_cfg,
+                           double scale) const;
+
+    const BlockLibrary &lib_;
+    PowerConfig cfg_;
+    double dyn_scale_ = 0.0;
+};
+
+} // namespace th
+
+#endif // TH_POWER_POWER_MODEL_H

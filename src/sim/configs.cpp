@@ -1,0 +1,63 @@
+#include "sim/configs.h"
+
+#include "common/log.h"
+
+namespace th {
+
+const char *
+configName(ConfigKind kind)
+{
+    switch (kind) {
+      case ConfigKind::Base:       return "Base";
+      case ConfigKind::TH:         return "TH";
+      case ConfigKind::Pipe:       return "Pipe";
+      case ConfigKind::Fast:       return "Fast";
+      case ConfigKind::ThreeD:     return "3D";
+      case ConfigKind::ThreeDNoTH: return "3D-noTH";
+      default:                     return "Unknown";
+    }
+}
+
+std::vector<ConfigKind>
+figure8Configs()
+{
+    return {ConfigKind::Base, ConfigKind::TH, ConfigKind::Pipe,
+            ConfigKind::Fast, ConfigKind::ThreeD};
+}
+
+CoreConfig
+makeConfig(ConfigKind kind, const BlockLibrary &lib)
+{
+    CoreConfig cfg;
+    cfg.name = configName(kind);
+    switch (kind) {
+      case ConfigKind::Base:
+        cfg.freqGhz = lib.frequency2dGhz();
+        break;
+      case ConfigKind::TH:
+        cfg.freqGhz = lib.frequency2dGhz();
+        cfg.thermalHerding = true;
+        break;
+      case ConfigKind::Pipe:
+        cfg.freqGhz = lib.frequency2dGhz();
+        cfg.pipeOpts = true;
+        break;
+      case ConfigKind::Fast:
+        cfg.freqGhz = lib.frequency3dGhz();
+        break;
+      case ConfigKind::ThreeD:
+        cfg.freqGhz = lib.frequency3dGhz();
+        cfg.thermalHerding = true;
+        cfg.pipeOpts = true;
+        cfg.stacked = true;
+        break;
+      case ConfigKind::ThreeDNoTH:
+        cfg.freqGhz = lib.frequency3dGhz();
+        cfg.pipeOpts = true;
+        cfg.stacked = true;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace th

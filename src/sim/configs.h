@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The five processor configurations evaluated in Section 5.1.2, plus
+ * the "3D without Thermal Herding" variant used by the power and
+ * thermal studies (Figures 9 and 10).
+ */
+
+#ifndef TH_SIM_CONFIGS_H
+#define TH_SIM_CONFIGS_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/blocks.h"
+#include "core/params.h"
+
+namespace th {
+
+/** Named evaluation configurations (Figure 8). */
+enum class ConfigKind {
+    Base,     ///< Planar baseline at 2.66 GHz.
+    TH,       ///< Thermal Herding mechanisms, baseline clock.
+    Pipe,     ///< 3D pipeline optimisations, baseline clock.
+    Fast,     ///< Baseline microarchitecture at the 3D clock.
+    ThreeD,   ///< Full 3D: herding + pipe opts + 3D clock.
+    ThreeDNoTH ///< 3D clock + pipe opts, herding disabled (Fig. 9/10).
+};
+
+/** Display name ("Base", "TH", ...). */
+const char *configName(ConfigKind kind);
+
+/** All Figure 8 configurations in presentation order. */
+std::vector<ConfigKind> figure8Configs();
+
+/**
+ * Build a core configuration. Clock frequencies come from the circuit
+ * library's critical-loop analysis (2.66 GHz planar; ~3.9 GHz 3D).
+ */
+CoreConfig makeConfig(ConfigKind kind, const BlockLibrary &lib);
+
+} // namespace th
+
+#endif // TH_SIM_CONFIGS_H

@@ -1,0 +1,261 @@
+#include "sim/experiments.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "trace/suites.h"
+
+namespace th {
+
+namespace {
+
+std::vector<std::string>
+defaultBenchmarks(const std::vector<std::string> &requested)
+{
+    if (!requested.empty())
+        return requested;
+    std::vector<std::string> names;
+    for (const auto &p : allBenchmarks())
+        names.push_back(p.name);
+    return names;
+}
+
+PowerBreakdown
+breakdown(const Evaluation &ev)
+{
+    PowerBreakdown b;
+    b.config = configName(ev.config);
+    b.totalW = ev.power.totalW();
+    b.clockW = ev.power.clockW;
+    b.leakW = ev.power.leakW;
+    b.dynamicW = ev.power.dynamicW();
+    for (int i = 0; i < kNumCoreBlocks; ++i) {
+        b.blockW[static_cast<size_t>(i)] =
+            ev.power.coreBlocks[static_cast<size_t>(i)].total() *
+            ev.power.numCores;
+    }
+    b.l2W = ev.power.l2.total();
+    return b;
+}
+
+} // namespace
+
+Fig8Data
+runFigure8(System &sys, const std::vector<std::string> &benchmarks)
+{
+    const auto names = defaultBenchmarks(benchmarks);
+    const auto configs = figure8Configs();
+
+    Fig8Data data;
+    data.minSpeedup = 1e9;
+    data.maxSpeedup = -1e9;
+
+    std::map<std::string, std::vector<const Fig8Benchmark *>> by_suite;
+    data.benchmarks.reserve(names.size());
+
+    for (const auto &name : names) {
+        Fig8Benchmark row;
+        row.name = name;
+        row.suite = benchmarkByName(name).suite;
+        for (size_t c = 0; c < configs.size(); ++c) {
+            const CoreResult r = sys.runCore(name, configs[c]);
+            row.ipc[c] = r.perf.ipc();
+            row.ipns[c] = r.ipns();
+        }
+        row.speedup = row.ipns[4] / row.ipns[0] - 1.0;
+        if (row.speedup < data.minSpeedup) {
+            data.minSpeedup = row.speedup;
+            data.minBenchmark = name;
+        }
+        if (row.speedup > data.maxSpeedup) {
+            data.maxSpeedup = row.speedup;
+            data.maxBenchmark = name;
+        }
+        data.benchmarks.push_back(row);
+    }
+    for (const auto &row : data.benchmarks)
+        by_suite[row.suite].push_back(&row);
+
+    // Per-suite geometric means, in registry order.
+    std::vector<double> group_speedups;
+    for (const auto &suite : suiteNames()) {
+        auto it = by_suite.find(suite);
+        if (it == by_suite.end())
+            continue;
+        Fig8Group g;
+        g.suite = suite;
+        for (int c = 0; c < kNumFig8Configs; ++c) {
+            std::vector<double> ipcs, ipnss;
+            for (const Fig8Benchmark *b : it->second) {
+                ipcs.push_back(b->ipc[static_cast<size_t>(c)]);
+                ipnss.push_back(b->ipns[static_cast<size_t>(c)]);
+            }
+            g.ipcGeomean[static_cast<size_t>(c)] = geomean(ipcs);
+            g.ipnsGeomean[static_cast<size_t>(c)] = geomean(ipnss);
+        }
+        g.speedup = g.ipnsGeomean[4] / g.ipnsGeomean[0] - 1.0;
+        group_speedups.push_back(g.speedup);
+        data.groups.push_back(g);
+    }
+
+    for (int c = 0; c < kNumFig8Configs; ++c) {
+        std::vector<double> means;
+        for (const auto &g : data.groups)
+            means.push_back(g.ipcGeomean[static_cast<size_t>(c)]);
+        data.ipcMeanOfMeans[static_cast<size_t>(c)] = mean(means);
+    }
+    data.speedupMeanOfMeans = mean(group_speedups);
+    return data;
+}
+
+Fig9Data
+runFigure9(System &sys, const std::vector<std::string> &benchmarks)
+{
+    Fig9Data data;
+
+    const std::string ref = System::kPowerReferenceBenchmark;
+    data.planar = breakdown(sys.evaluate(ref, ConfigKind::Base));
+    data.noTh3d = breakdown(sys.evaluate(ref, ConfigKind::ThreeDNoTH));
+    data.th3d = breakdown(sys.evaluate(ref, ConfigKind::ThreeD));
+
+    const auto names = defaultBenchmarks(benchmarks);
+    data.minSaving.saving = 1e9;
+    data.maxSaving.saving = -1e9;
+    for (const auto &name : names) {
+        PowerSaving s;
+        s.name = name;
+        s.baseW = sys.evaluate(name, ConfigKind::Base).power.totalW();
+        s.th3dW = sys.evaluate(name, ConfigKind::ThreeD).power.totalW();
+        s.saving = 1.0 - s.th3dW / s.baseW;
+        if (s.saving < data.minSaving.saving)
+            data.minSaving = s;
+        if (s.saving > data.maxSaving.saving)
+            data.maxSaving = s;
+        data.savings.push_back(s);
+    }
+    return data;
+}
+
+namespace {
+
+ThermalCase
+thermalCase(System &sys, const std::string &app, ConfigKind kind,
+            double power_scale = 1.0)
+{
+    const Evaluation ev = sys.evaluate(app, kind);
+    ThermalCase tc;
+    tc.config = configName(kind);
+    tc.app = app;
+    tc.totalW = ev.power.totalW() * power_scale;
+    tc.report = sys.thermal(ev, power_scale);
+    return tc;
+}
+
+} // namespace
+
+Fig10Data
+runFigure10(System &sys, const std::vector<std::string> &candidates)
+{
+    std::vector<std::string> apps = candidates;
+    if (apps.empty()) {
+        // The paper scans all 106 traces; these cover its reported
+        // worst cases (mpeg2 planar/3D, yacr2 for Thermal Herding)
+        // plus high-activity representatives.
+        apps = {"mpeg2enc", "yacr2", "susan", "crafty", "g721"};
+    }
+
+    Fig10Data data;
+    auto scan = [&](ConfigKind kind) {
+        ThermalCase worst;
+        for (const auto &app : apps) {
+            ThermalCase tc = thermalCase(sys, app, kind);
+            if (tc.report.peakK > worst.report.peakK)
+                worst = tc;
+        }
+        return worst;
+    };
+    data.worstPlanar = scan(ConfigKind::Base);
+    data.worstNoTh3d = scan(ConfigKind::ThreeDNoTH);
+    data.worstTh3d = scan(ConfigKind::ThreeD);
+
+    // Iso-power: the 3D stack burning the full planar budget at the
+    // planar frequency (Section 5.3's 4x-power-density what-if).
+    {
+        const Evaluation ev =
+            sys.evaluate(data.worstPlanar.app, ConfigKind::ThreeDNoTH);
+        const double scale =
+            data.worstPlanar.totalW / ev.power.totalW();
+        data.isoPower = thermalCase(sys, data.worstPlanar.app,
+                                    ConfigKind::ThreeDNoTH, scale);
+        data.isoPower.config = "3D-isoPower";
+    }
+
+    // Same-application comparison (Figure 10 d-f).
+    data.sameApp = data.worstPlanar.app;
+    data.samePlanar = thermalCase(sys, data.sameApp, ConfigKind::Base);
+    data.sameNoTh3d =
+        thermalCase(sys, data.sameApp, ConfigKind::ThreeDNoTH);
+    data.sameTh3d = thermalCase(sys, data.sameApp, ConfigKind::ThreeD);
+
+    data.robDeltaK = data.sameTh3d.report.blockPeakK(BlockId::Rob) -
+        data.samePlanar.report.blockPeakK(BlockId::Rob);
+    return data;
+}
+
+WidthStudyData
+runWidthStudy(System &sys, const std::vector<std::string> &benchmarks)
+{
+    const auto names = defaultBenchmarks(benchmarks);
+    WidthStudyData data;
+    double acc_sum = 0.0;
+    for (const auto &name : names) {
+        const CoreResult r = sys.runCore(name, ConfigKind::TH);
+        WidthStudyRow row;
+        row.name = name;
+        row.accuracy = r.perf.widthAccuracy();
+        const double preds =
+            static_cast<double>(r.perf.widthPredictions.value());
+        row.unsafeRate = preds > 0.0
+            ? static_cast<double>(r.perf.widthUnsafe.value()) / preds
+            : 0.0;
+        const double pam =
+            static_cast<double>(r.perf.pamHits.value() +
+                                r.perf.pamMisses.value());
+        row.pamHitRate = pam > 0.0
+            ? static_cast<double>(r.perf.pamHits.value()) / pam
+            : 0.0;
+        const double pve = static_cast<double>(
+            r.perf.pveZeros.value() + r.perf.pveOnes.value() +
+            r.perf.pveAddr.value() + r.perf.pveExplicit.value());
+        row.pveEncodable = pve > 0.0
+            ? 1.0 - static_cast<double>(r.perf.pveExplicit.value()) / pve
+            : 0.0;
+        const double reads = static_cast<double>(
+            r.activity.dl1ReadLow.value() +
+            r.activity.dl1ReadFull.value());
+        row.lowWidthFrac = reads > 0.0
+            ? static_cast<double>(r.activity.dl1ReadLow.value()) / reads
+            : 0.0;
+        // Histogram buckets are 4 bits wide: buckets 0-3 cover results
+        // representable in the top die's 16 bits.
+        row.narrowResults = r.perf.valueWidthBits.fraction(0) +
+            r.perf.valueWidthBits.fraction(1) +
+            r.perf.valueWidthBits.fraction(2) +
+            r.perf.valueWidthBits.fraction(3);
+        const double rob_full =
+            static_cast<double>(r.activity.robReadFull.value());
+        row.robLowReadRatio = rob_full > 0.0
+            ? static_cast<double>(r.activity.robReadLow.value()) /
+                  rob_full
+            : 0.0;
+        acc_sum += row.accuracy;
+        data.rows.push_back(row);
+    }
+    data.overallAccuracy = data.rows.empty()
+        ? 0.0 : acc_sum / static_cast<double>(data.rows.size());
+    return data;
+}
+
+} // namespace th

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Paper-experiment harnesses: one entry point per table/figure of the
+ * evaluation section. The bench binaries print these; integration
+ * tests assert tolerance bands around the anchors in paper_targets.h.
+ */
+
+#ifndef TH_SIM_EXPERIMENTS_H
+#define TH_SIM_EXPERIMENTS_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "sim/system.h"
+#include "thermal/hotspot.h"
+
+namespace th {
+
+/** Number of Figure 8 configurations. */
+inline constexpr int kNumFig8Configs = 5;
+
+/** Per-benchmark Figure 8 results. */
+struct Fig8Benchmark
+{
+    std::string name;
+    std::string suite;
+    std::array<double, kNumFig8Configs> ipc{};
+    std::array<double, kNumFig8Configs> ipns{};
+    /** 3D vs Base performance gain (e.g. 0.47 = +47%). */
+    double speedup = 0.0;
+};
+
+/** Per-suite geometric means (the paper's benchmark classes). */
+struct Fig8Group
+{
+    std::string suite;
+    std::array<double, kNumFig8Configs> ipcGeomean{};
+    std::array<double, kNumFig8Configs> ipnsGeomean{};
+    double speedup = 0.0;
+};
+
+/** Everything behind Figure 8(a-c). */
+struct Fig8Data
+{
+    std::vector<Fig8Benchmark> benchmarks;
+    std::vector<Fig8Group> groups;
+    /** Mean of the per-group means (the paper's M-of-M). */
+    std::array<double, kNumFig8Configs> ipcMeanOfMeans{};
+    double speedupMeanOfMeans = 0.0;
+    std::string minBenchmark, maxBenchmark;
+    double minSpeedup = 0.0, maxSpeedup = 0.0;
+};
+
+/** Run Figure 8 over @p benchmarks (empty = all registered). */
+Fig8Data runFigure8(System &sys,
+                    const std::vector<std::string> &benchmarks = {});
+
+/** Power breakdown of one configuration (Figure 9 pie). */
+struct PowerBreakdown
+{
+    std::string config;
+    double totalW = 0.0;
+    double clockW = 0.0;
+    double leakW = 0.0;
+    double dynamicW = 0.0;
+    /** Per-core-block dynamic watts (both cores combined). */
+    std::array<double, kNumCoreBlocks> blockW{};
+    double l2W = 0.0;
+};
+
+/** Per-application total-power savings (Section 5.2). */
+struct PowerSaving
+{
+    std::string name;
+    double baseW = 0.0;
+    double th3dW = 0.0;
+    /** Fractional saving of the 3D TH design vs planar. */
+    double saving = 0.0;
+};
+
+/** Everything behind Figure 9(a-c). */
+struct Fig9Data
+{
+    PowerBreakdown planar;     ///< Fig. 9(a): 2D, ~90 W.
+    PowerBreakdown noTh3d;     ///< Fig. 9(b): 3D without herding.
+    PowerBreakdown th3d;       ///< Fig. 9(c): 3D with Thermal Herding.
+    std::vector<PowerSaving> savings;
+    PowerSaving minSaving, maxSaving;
+};
+
+/**
+ * Run Figure 9. The headline breakdowns use the paper's max-power
+ * application (mpeg2); @p benchmarks (empty = all) feed the per-app
+ * saving range.
+ */
+Fig9Data runFigure9(System &sys,
+                    const std::vector<std::string> &benchmarks = {});
+
+/** One thermal scenario of Figure 10. */
+struct ThermalCase
+{
+    std::string config;
+    std::string app;
+    double totalW = 0.0;
+    ThermalReport report;
+};
+
+/** Everything behind Figure 10(a-f) + the iso-power study. */
+struct Fig10Data
+{
+    // (a-c): worst case over the candidate applications.
+    ThermalCase worstPlanar, worstNoTh3d, worstTh3d;
+    // Iso-power: 3D at the planar 90 W / 2.66 GHz (4x power density).
+    ThermalCase isoPower;
+    // (d-f): all three configurations on the same application.
+    std::string sameApp;
+    ThermalCase samePlanar, sameNoTh3d, sameTh3d;
+    /** ROB peak temperature: 3D-TH minus planar (negative = cooler,
+     *  the paper reports about -5 K). */
+    double robDeltaK = 0.0;
+};
+
+/**
+ * Run Figure 10. @p candidates are the applications scanned for the
+ * worst case (the paper scans all 106 traces; we scan the known
+ * extremes plus representatives — defaults cover them).
+ */
+Fig10Data runFigure10(System &sys,
+                      const std::vector<std::string> &candidates = {});
+
+/** Width prediction / PAM / PVE statistics (Sections 3.5-3.8). */
+struct WidthStudyRow
+{
+    std::string name;
+    double accuracy = 0.0;
+    double unsafeRate = 0.0;   ///< Unsafe mispredictions / predictions.
+    double pamHitRate = 0.0;
+    double pveEncodable = 0.0; ///< D-cache values covered by codes 00/01/10.
+    double lowWidthFrac = 0.0; ///< Herded fraction of D-cache reads.
+    /** Fraction of committed integer results with <= 16 significant
+     *  bits (the paper's motivating statistic). */
+    double narrowResults = 0.0;
+    /** ROB low-width : full-width read ratio (paper: ~5x, Sec. 5.3). */
+    double robLowReadRatio = 0.0;
+};
+
+struct WidthStudyData
+{
+    std::vector<WidthStudyRow> rows;
+    double overallAccuracy = 0.0;
+};
+
+WidthStudyData runWidthStudy(System &sys,
+                             const std::vector<std::string> &benchmarks = {});
+
+} // namespace th
+
+#endif // TH_SIM_EXPERIMENTS_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The published anchors this reproduction is validated against.
+ * EXPERIMENTS.md records the measured counterparts; the integration
+ * tests assert tolerance bands around the load-bearing ones.
+ */
+
+#ifndef TH_SIM_PAPER_TARGETS_H
+#define TH_SIM_PAPER_TARGETS_H
+
+namespace th {
+namespace paper {
+
+// --- Clock frequency (Section 5.1.1, Table 2). ---
+inline constexpr double kFreq2dGhz = 2.66;
+inline constexpr double kFreq3dGhz = 3.93;
+inline constexpr double kFreqGain = 1.479;
+inline constexpr double kWakeupSelectImprovement = 0.32;
+inline constexpr double kAluBypassImprovement = 0.36;
+
+// --- Performance (Section 5.1.2, Figure 8). ---
+inline constexpr double kMeanSpeedup = 0.470;
+inline constexpr double kMinSpeedup = 0.07;  // mcf
+inline constexpr double kMaxSpeedup = 0.77;  // patricia
+inline constexpr double kCraftySpeedup = 0.65;
+inline constexpr double kSpecFpSpeedup = 0.295;
+inline constexpr double kNonFpGroupSpeedupLo = 0.494;
+inline constexpr double kNonFpGroupSpeedupHi = 0.515;
+
+// --- Width prediction (Section 3.8). ---
+inline constexpr double kWidthAccuracy = 0.97;
+
+// --- Power (Section 5.2, Figure 9; dual-core mpeg2). ---
+inline constexpr double kBaselinePowerW = 90.0;
+inline constexpr double k3dNoThPowerW = 72.7;
+inline constexpr double k3dThPowerW = 64.3;
+inline constexpr double kMinPowerSaving = 0.15; // yacr2
+inline constexpr double kMaxPowerSaving = 0.30; // susan
+inline constexpr double kClockPowerFrac = 0.35;
+inline constexpr double kLeakagePowerFrac = 0.20;
+
+// --- Thermals (Section 5.3, Figure 10). ---
+inline constexpr double kPeak2dK = 360.0;      // scheduler hotspot
+inline constexpr double kPeak3dNoThK = 377.0;  // +17 K
+inline constexpr double kPeak3dThK = 372.0;    // +12 K, D-cache (yacr2)
+inline constexpr double kPeakIsoPowerK = 418.0; // 90 W @ 2.66 GHz in 3D
+inline constexpr double kRobCoolingK = 5.0;    // ROB cooler than planar
+
+} // namespace paper
+} // namespace th
+
+#endif // TH_SIM_PAPER_TARGETS_H

@@ -1,0 +1,69 @@
+#include "sim/system.h"
+
+#include "common/log.h"
+#include "trace/suites.h"
+
+namespace th {
+
+System::System(const SimOptions &opts)
+    : opts_(opts), lib_(), power_(lib_), hotspot_(),
+      planar_fp_(FloorplanBuilder::planar()),
+      stacked_fp_(FloorplanBuilder::stacked())
+{
+}
+
+CoreResult
+System::runCore(const std::string &benchmark, ConfigKind kind) const
+{
+    return runCore(benchmark, makeConfig(kind, lib_));
+}
+
+CoreResult
+System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
+{
+    SyntheticTrace trace(benchmarkByName(benchmark));
+    Core core(cfg);
+    return core.run(trace, opts_.instructions, opts_.warmupInstructions);
+}
+
+void
+System::ensureCalibrated()
+{
+    if (calibrated_)
+        return;
+    const CoreConfig base_cfg = makeConfig(ConfigKind::Base, lib_);
+    const CoreResult base_run =
+        runCore(kPowerReferenceBenchmark, base_cfg);
+    power_.calibrate(base_run, base_cfg);
+    calibrated_ = true;
+}
+
+PowerModel &
+System::power()
+{
+    ensureCalibrated();
+    return power_;
+}
+
+Evaluation
+System::evaluate(const std::string &benchmark, ConfigKind kind)
+{
+    ensureCalibrated();
+    Evaluation ev;
+    ev.benchmark = benchmark;
+    ev.config = kind;
+    const CoreConfig cfg = makeConfig(kind, lib_);
+    ev.core = runCore(benchmark, cfg);
+    ev.power = power_.compute(ev.core, cfg);
+    return ev;
+}
+
+ThermalReport
+System::thermal(const Evaluation &eval, double power_scale) const
+{
+    const CoreConfig cfg = makeConfig(eval.config, lib_);
+    const Floorplan &fp = cfg.stacked ? stacked_fp_ : planar_fp_;
+    return hotspot_.analyze(fp, eval.power, cfg.stacked, power_scale);
+}
+
+} // namespace th

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Top-level facade: wires the circuit library, trace generator, core
+ * model, power model, floorplans, and thermal model into one object —
+ * the library's main entry point for running paper-style experiments.
+ */
+
+#ifndef TH_SIM_SYSTEM_H
+#define TH_SIM_SYSTEM_H
+
+#include <memory>
+#include <string>
+
+#include "circuit/blocks.h"
+#include "core/pipeline.h"
+#include "floorplan/floorplan.h"
+#include "power/power_model.h"
+#include "sim/configs.h"
+#include "thermal/hotspot.h"
+#include "trace/generator.h"
+
+namespace th {
+
+/** Simulation window sizes. */
+struct SimOptions
+{
+    std::uint64_t instructions = 200000;
+    std::uint64_t warmupInstructions = 100000;
+};
+
+/** Combined results of one (benchmark, configuration) evaluation. */
+struct Evaluation
+{
+    std::string benchmark;
+    ConfigKind config = ConfigKind::Base;
+    CoreResult core;
+    PowerResult power;
+};
+
+/**
+ * The Thermal Herding evaluation system. Construct once; it owns the
+ * circuit library and the power calibration (against the dual-core
+ * mpeg2 planar baseline, Section 5.2).
+ */
+class System
+{
+  public:
+    explicit System(const SimOptions &opts = SimOptions{});
+
+    /** Run a benchmark's trace on a configuration (IPC only). */
+    CoreResult runCore(const std::string &benchmark,
+                       ConfigKind kind) const;
+
+    /** Run a benchmark's trace on an explicit core configuration. */
+    CoreResult runCore(const std::string &benchmark,
+                       const CoreConfig &cfg) const;
+
+    /** Run and compute power (calibrates lazily on first use). */
+    Evaluation evaluate(const std::string &benchmark, ConfigKind kind);
+
+    /** Thermal analysis of an evaluation. */
+    ThermalReport thermal(const Evaluation &eval,
+                          double power_scale = 1.0) const;
+
+    const BlockLibrary &circuits() const { return lib_; }
+    PowerModel &power();
+    const HotspotModel &hotspot() const { return hotspot_; }
+    const SimOptions &options() const { return opts_; }
+    const Floorplan &planarFloorplan() const { return planar_fp_; }
+    const Floorplan &stackedFloorplan() const { return stacked_fp_; }
+
+    /** The benchmark the paper calibrates power against. */
+    static constexpr const char *kPowerReferenceBenchmark = "mpeg2enc";
+
+  private:
+    void ensureCalibrated();
+
+    SimOptions opts_;
+    BlockLibrary lib_;
+    PowerModel power_;
+    HotspotModel hotspot_;
+    Floorplan planar_fp_;
+    Floorplan stacked_fp_;
+    bool calibrated_ = false;
+};
+
+} // namespace th
+
+#endif // TH_SIM_SYSTEM_H

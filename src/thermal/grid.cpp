@@ -1,0 +1,480 @@
+#include "thermal/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace th {
+
+ThermalField::ThermalField(int grid_n, int layers, double ambient_k)
+    : n_(grid_n), layers_(layers),
+      t_(static_cast<size_t>(grid_n) * grid_n * layers, ambient_k)
+{
+}
+
+double &
+ThermalField::at(int layer, int ix, int iy)
+{
+    return t_[(static_cast<size_t>(layer) * n_ + iy) * n_ + ix];
+}
+
+double
+ThermalField::at(int layer, int ix, int iy) const
+{
+    return t_[(static_cast<size_t>(layer) * n_ + iy) * n_ + ix];
+}
+
+double
+ThermalField::peak(const std::vector<int> &die_layers) const
+{
+    double p = 0.0;
+    for (int l : die_layers)
+        for (int iy = 0; iy < n_; ++iy)
+            for (int ix = 0; ix < n_; ++ix)
+                p = std::max(p, at(l, ix, iy));
+    return p;
+}
+
+ThermalGrid::ThermalGrid(const ThermalParams &params,
+                         std::vector<ThermalLayer> layers,
+                         double chip_w, double chip_h)
+    : params_(params), layers_(std::move(layers)),
+      chip_w_(chip_w), chip_h_(chip_h)
+{
+    if (layers_.empty())
+        fatal("thermal stack needs at least one layer");
+    if (chip_w_ > params_.spreaderMm || chip_h_ > params_.spreaderMm)
+        fatal("chip (%.1f x %.1f mm) larger than spreader (%.1f mm)",
+              chip_w_, chip_h_, params_.spreaderMm);
+    chip_x0_ = (params_.spreaderMm - chip_w_) / 2.0;
+    chip_y0_ = (params_.spreaderMm - chip_h_) / 2.0;
+    cell_mm_ = params_.spreaderMm / static_cast<double>(params_.gridN);
+
+    int dies = 0;
+    for (const auto &l : layers_)
+        if (l.dieIndex >= 0)
+            dies = std::max(dies, l.dieIndex + 1);
+    power_.assign(static_cast<size_t>(dies),
+                  std::vector<double>(
+                      static_cast<size_t>(params_.gridN) * params_.gridN,
+                      0.0));
+}
+
+bool
+ThermalGrid::insideChip(int ix, int iy) const
+{
+    const double cx = (static_cast<double>(ix) + 0.5) * cell_mm_;
+    const double cy = (static_cast<double>(iy) + 0.5) * cell_mm_;
+    return cx >= chip_x0_ && cx < chip_x0_ + chip_w_ &&
+           cy >= chip_y0_ && cy < chip_y0_ + chip_h_;
+}
+
+double
+ThermalGrid::cellK(int layer, int ix, int iy) const
+{
+    const ThermalLayer &l = layers_[static_cast<size_t>(layer)];
+    return insideChip(ix, iy) ? l.kChip : l.kOutside;
+}
+
+void
+ThermalGrid::forEachCellInRect(
+    double x, double y, double w, double h,
+    const std::function<void(int, int, double)> &fn) const
+{
+    // Chip coordinates -> spreader coordinates.
+    const double x0 = x + chip_x0_, y0 = y + chip_y0_;
+    const double x1 = x0 + w, y1 = y0 + h;
+    const int ix0 = std::max(0, static_cast<int>(x0 / cell_mm_));
+    const int iy0 = std::max(0, static_cast<int>(y0 / cell_mm_));
+    const int ix1 = std::min(params_.gridN - 1,
+                             static_cast<int>(x1 / cell_mm_));
+    const int iy1 = std::min(params_.gridN - 1,
+                             static_cast<int>(y1 / cell_mm_));
+    for (int iy = iy0; iy <= iy1; ++iy) {
+        for (int ix = ix0; ix <= ix1; ++ix) {
+            const double cx0 = static_cast<double>(ix) * cell_mm_;
+            const double cy0 = static_cast<double>(iy) * cell_mm_;
+            const double ox = std::max(0.0,
+                std::min(x1, cx0 + cell_mm_) - std::max(x0, cx0));
+            const double oy = std::max(0.0,
+                std::min(y1, cy0 + cell_mm_) - std::max(y0, cy0));
+            const double frac = (ox * oy) / (cell_mm_ * cell_mm_);
+            if (frac > 0.0)
+                fn(ix, iy, frac);
+        }
+    }
+}
+
+void
+ThermalGrid::addPower(int die, double x, double y, double w, double h,
+                      double watts)
+{
+    if (die < 0 || die >= static_cast<int>(power_.size()))
+        fatal("addPower to die %d of %zu", die, power_.size());
+    if (watts <= 0.0 || w <= 0.0 || h <= 0.0)
+        return;
+    // Normalise by the rect's own area so the whole wattage lands even
+    // when the rect is clipped at the chip edge.
+    double covered = 0.0;
+    forEachCellInRect(x, y, w, h, [&](int, int, double f) {
+        covered += f;
+    });
+    if (covered <= 0.0)
+        return;
+    auto &p = power_[static_cast<size_t>(die)];
+    forEachCellInRect(x, y, w, h, [&](int ix, int iy, double f) {
+        p[static_cast<size_t>(iy) * params_.gridN + ix] +=
+            watts * f / covered;
+    });
+}
+
+void
+ThermalGrid::clearPower()
+{
+    for (auto &p : power_)
+        std::fill(p.begin(), p.end(), 0.0);
+}
+
+double
+ThermalGrid::totalPower() const
+{
+    double t = 0.0;
+    for (const auto &p : power_)
+        for (double w : p)
+            t += w;
+    return t;
+}
+
+int
+ThermalGrid::dieLayer(int die) const
+{
+    for (size_t l = 0; l < layers_.size(); ++l)
+        if (layers_[l].dieIndex == die)
+            return static_cast<int>(l);
+    return -1;
+}
+
+std::vector<int>
+ThermalGrid::dieLayers() const
+{
+    std::vector<int> v;
+    for (size_t l = 0; l < layers_.size(); ++l)
+        if (layers_[l].dieIndex >= 0)
+            v.push_back(static_cast<int>(l));
+    return v;
+}
+
+namespace {
+
+/** Precomputed grid conductances and injected power. */
+struct GridNetwork
+{
+    std::vector<double> gRight, gDown, gBelow, gAmb, pIn;
+    int n = 0;
+    int nl = 0;
+
+    size_t idx(int l, int ix, int iy) const
+    {
+        return (static_cast<size_t>(l) * n + iy) * n + ix;
+    }
+};
+
+} // namespace
+
+/**
+ * Build the RC network for the current geometry and power map. Shared
+ * by the steady-state and transient solvers.
+ */
+static GridNetwork
+buildNetwork(const ThermalParams &params,
+             const std::vector<ThermalLayer> &layers, double cell_mm,
+             const std::function<double(int, int, int)> &cell_k,
+             const std::function<int(int)> &die_layer,
+             const std::vector<std::vector<double>> &power)
+{
+    GridNetwork net;
+    net.n = params.gridN;
+    net.nl = static_cast<int>(layers.size());
+    const int n = net.n;
+    const int nl = net.nl;
+    const double cell_m = cell_mm * 1e-3;
+    const double area_m2 = cell_m * cell_m;
+
+    const size_t cells = static_cast<size_t>(nl) * n * n;
+    net.gRight.assign(cells, 0.0);
+    net.gDown.assign(cells, 0.0);
+    net.gBelow.assign(cells, 0.0);
+    net.gAmb.assign(cells, 0.0);
+    net.pIn.assign(cells, 0.0);
+
+    for (int l = 0; l < nl; ++l) {
+        const double t_m = layers[static_cast<size_t>(l)].thicknessMm * 1e-3;
+        for (int iy = 0; iy < n; ++iy) {
+            for (int ix = 0; ix < n; ++ix) {
+                const double k1 = cell_k(l, ix, iy);
+                // Lateral (square cells: G = k * t).
+                if (ix + 1 < n) {
+                    const double k2 = cell_k(l, ix + 1, iy);
+                    if (k1 > 0.0 && k2 > 0.0)
+                        net.gRight[net.idx(l, ix, iy)] =
+                            t_m * 2.0 * k1 * k2 / (k1 + k2);
+                }
+                if (iy + 1 < n) {
+                    const double k2 = cell_k(l, ix, iy + 1);
+                    if (k1 > 0.0 && k2 > 0.0)
+                        net.gDown[net.idx(l, ix, iy)] =
+                            t_m * 2.0 * k1 * k2 / (k1 + k2);
+                }
+                // Vertical to the next layer down.
+                if (l + 1 < nl) {
+                    const double k2 = cell_k(l + 1, ix, iy);
+                    const double t2_m =
+                        layers[static_cast<size_t>(l + 1)].thicknessMm *
+                        1e-3;
+                    if (k1 > 0.0 && k2 > 0.0) {
+                        const double r = t_m / (2.0 * k1 * area_m2) +
+                            t2_m / (2.0 * k2 * area_m2);
+                        net.gBelow[net.idx(l, ix, iy)] = 1.0 / r;
+                    }
+                }
+            }
+        }
+    }
+
+    // Distributed convection from the top (sink) layer.
+    const double g_cell_conv =
+        (1.0 / params.convectionKPerW) / static_cast<double>(n * n);
+    for (int iy = 0; iy < n; ++iy)
+        for (int ix = 0; ix < n; ++ix)
+            net.gAmb[net.idx(0, ix, iy)] = g_cell_conv;
+
+    // Power injection.
+    for (size_t die = 0; die < power.size(); ++die) {
+        const int l = die_layer(static_cast<int>(die));
+        if (l < 0)
+            panic("power deposited on missing die %zu", die);
+        for (int iy = 0; iy < n; ++iy)
+            for (int ix = 0; ix < n; ++ix)
+                net.pIn[net.idx(l, ix, iy)] +=
+                    power[die][static_cast<size_t>(iy) * n + ix];
+    }
+    return net;
+}
+
+ThermalField
+ThermalGrid::solve() const
+{
+    const int n = params_.gridN;
+    const int nl = static_cast<int>(layers_.size());
+
+    const GridNetwork net = buildNetwork(
+        params_, layers_, cell_mm_,
+        [this](int l, int ix, int iy) { return cellK(l, ix, iy); },
+        [this](int die) { return dieLayer(die); }, power_);
+    const auto &g_right = net.gRight;
+    const auto &g_down = net.gDown;
+    const auto &g_below = net.gBelow;
+    const auto &g_amb = net.gAmb;
+    const auto &p_in = net.pIn;
+    auto idx = [&](int l, int ix, int iy) {
+        return net.idx(l, ix, iy);
+    };
+
+    // SOR sweep.
+    ThermalField field(n, nl, params_.ambientK);
+    const double t_amb = params_.ambientK;
+    double omega = params_.sorOmega;
+    int iter = 0;
+    for (; iter < params_.maxIterations; ++iter) {
+        double max_delta = 0.0;
+        for (int l = 0; l < nl; ++l) {
+            for (int iy = 0; iy < n; ++iy) {
+                for (int ix = 0; ix < n; ++ix) {
+                    const size_t c = idx(l, ix, iy);
+                    double gsum = g_amb[c];
+                    double flow = g_amb[c] * t_amb + p_in[c];
+                    if (ix > 0) {
+                        const double g = g_right[idx(l, ix - 1, iy)];
+                        gsum += g;
+                        flow += g * field.at(l, ix - 1, iy);
+                    }
+                    if (ix + 1 < n) {
+                        const double g = g_right[c];
+                        gsum += g;
+                        flow += g * field.at(l, ix + 1, iy);
+                    }
+                    if (iy > 0) {
+                        const double g = g_down[idx(l, ix, iy - 1)];
+                        gsum += g;
+                        flow += g * field.at(l, ix, iy - 1);
+                    }
+                    if (iy + 1 < n) {
+                        const double g = g_down[c];
+                        gsum += g;
+                        flow += g * field.at(l, ix, iy + 1);
+                    }
+                    if (l > 0) {
+                        const double g = g_below[idx(l - 1, ix, iy)];
+                        gsum += g;
+                        flow += g * field.at(l - 1, ix, iy);
+                    }
+                    if (l + 1 < nl) {
+                        const double g = g_below[c];
+                        gsum += g;
+                        flow += g * field.at(l + 1, ix, iy);
+                    }
+                    if (gsum <= 0.0)
+                        continue; // isolated (air) cell
+                    const double t_new = flow / gsum;
+                    double &t_cur = field.at(l, ix, iy);
+                    const double updated =
+                        t_cur + omega * (t_new - t_cur);
+                    max_delta = std::max(max_delta,
+                                         std::fabs(updated - t_cur));
+                    t_cur = updated;
+                }
+            }
+        }
+        if (max_delta < params_.maxResidualK)
+            break;
+    }
+    if (iter >= params_.maxIterations)
+        warn("thermal solve hit the iteration cap (%d); residual above "
+             "%g K", params_.maxIterations, params_.maxResidualK);
+    return field;
+}
+
+ThermalGrid::Transient
+ThermalGrid::solveTransient(const ThermalField &initial,
+                            double duration_s, double dt_s,
+                            int samples) const
+{
+    const int n = params_.gridN;
+    const int nl = static_cast<int>(layers_.size());
+    if (initial.gridN() != n || initial.layers() != nl)
+        fatal("transient initial field has the wrong geometry");
+    if (duration_s <= 0.0 || dt_s <= 0.0 || samples < 1)
+        fatal("transient needs positive duration, step, and samples");
+
+    const GridNetwork net = buildNetwork(
+        params_, layers_, cell_mm_,
+        [this](int l, int ix, int iy) { return cellK(l, ix, iy); },
+        [this](int die) { return dieLayer(die); }, power_);
+
+    // Per-cell thermal capacitance (J/K) and explicit stability bound
+    // dt < min(C / sum(G)).
+    const double cell_m = cell_mm_ * 1e-3;
+    const size_t cells = static_cast<size_t>(nl) * n * n;
+    std::vector<double> cap(cells, 0.0);
+    std::vector<double> gsum(cells, 0.0);
+    for (int l = 0; l < nl; ++l) {
+        const ThermalLayer &layer = layers_[static_cast<size_t>(l)];
+        const double vol = cell_m * cell_m * layer.thicknessMm * 1e-3;
+        for (int iy = 0; iy < n; ++iy) {
+            for (int ix = 0; ix < n; ++ix) {
+                const size_t c = net.idx(l, ix, iy);
+                if (cellK(l, ix, iy) > 0.0)
+                    cap[c] = vol * layer.volHeatCapacity;
+                double g = net.gAmb[c];
+                if (ix > 0)
+                    g += net.gRight[net.idx(l, ix - 1, iy)];
+                if (ix + 1 < n)
+                    g += net.gRight[c];
+                if (iy > 0)
+                    g += net.gDown[net.idx(l, ix, iy - 1)];
+                if (iy + 1 < n)
+                    g += net.gDown[c];
+                if (l > 0)
+                    g += net.gBelow[net.idx(l - 1, ix, iy)];
+                if (l + 1 < nl)
+                    g += net.gBelow[c];
+                gsum[c] = g;
+            }
+        }
+    }
+    double dt = dt_s;
+    for (size_t c = 0; c < cells; ++c)
+        if (cap[c] > 0.0 && gsum[c] > 0.0)
+            dt = std::min(dt, 0.4 * cap[c] / gsum[c]);
+
+    const auto steps =
+        std::max<std::int64_t>(1, static_cast<std::int64_t>(
+            duration_s / dt));
+    const std::int64_t sample_every =
+        std::max<std::int64_t>(1, steps / samples);
+
+    Transient out(n, nl, params_.ambientK);
+    out.final = initial;
+    const std::vector<int> die_layers = dieLayers();
+    std::vector<double> delta(cells, 0.0);
+
+    for (std::int64_t step = 0; step < steps; ++step) {
+        // Explicit Euler: dT = dt/C * (sum G*(Tn - T) + P).
+        for (int l = 0; l < nl; ++l) {
+            for (int iy = 0; iy < n; ++iy) {
+                for (int ix = 0; ix < n; ++ix) {
+                    const size_t c = net.idx(l, ix, iy);
+                    if (cap[c] <= 0.0)
+                        continue;
+                    const double t = out.final.at(l, ix, iy);
+                    double flow = net.gAmb[c] *
+                        (params_.ambientK - t) + net.pIn[c];
+                    if (ix > 0)
+                        flow += net.gRight[net.idx(l, ix - 1, iy)] *
+                            (out.final.at(l, ix - 1, iy) - t);
+                    if (ix + 1 < n)
+                        flow += net.gRight[c] *
+                            (out.final.at(l, ix + 1, iy) - t);
+                    if (iy > 0)
+                        flow += net.gDown[net.idx(l, ix, iy - 1)] *
+                            (out.final.at(l, ix, iy - 1) - t);
+                    if (iy + 1 < n)
+                        flow += net.gDown[c] *
+                            (out.final.at(l, ix, iy + 1) - t);
+                    if (l > 0)
+                        flow += net.gBelow[net.idx(l - 1, ix, iy)] *
+                            (out.final.at(l - 1, ix, iy) - t);
+                    if (l + 1 < nl)
+                        flow += net.gBelow[c] *
+                            (out.final.at(l + 1, ix, iy) - t);
+                    delta[c] = dt / cap[c] * flow;
+                }
+            }
+        }
+        for (int l = 0; l < nl; ++l)
+            for (int iy = 0; iy < n; ++iy)
+                for (int ix = 0; ix < n; ++ix) {
+                    const size_t c = net.idx(l, ix, iy);
+                    if (cap[c] > 0.0)
+                        out.final.at(l, ix, iy) += delta[c];
+                }
+
+        if ((step + 1) % sample_every == 0 || step == steps - 1) {
+            out.timeS.push_back(static_cast<double>(step + 1) * dt);
+            out.peakK.push_back(out.final.peak(die_layers));
+        }
+    }
+    return out;
+}
+
+void
+ThermalGrid::blockTemps(const ThermalField &field, int die, double x,
+                        double y, double w, double h, double &avg_k,
+                        double &peak_k) const
+{
+    const int l = dieLayer(die);
+    if (l < 0)
+        fatal("blockTemps on missing die %d", die);
+    double wsum = 0.0, tsum = 0.0, pk = 0.0;
+    forEachCellInRect(x, y, w, h, [&](int ix, int iy, double f) {
+        const double t = field.at(l, ix, iy);
+        wsum += f;
+        tsum += f * t;
+        pk = std::max(pk, t);
+    });
+    avg_k = wsum > 0.0 ? tsum / wsum : params_.ambientK;
+    peak_k = pk > 0.0 ? pk : params_.ambientK;
+}
+
+} // namespace th

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Layered thermal RC grid and steady-state solver — the HotSpot 3.0
+ * substitute. The chip (one silicon die, or the 4-die stack with its
+ * die-to-die interface layers) sits centred under a larger copper
+ * spreader and heat sink; each layer is discretised into a uniform
+ * grid of cells connected by lateral and vertical thermal
+ * conductances, with distributed convection from the sink to ambient.
+ * Steady-state temperatures come from SOR iteration.
+ */
+
+#ifndef TH_THERMAL_GRID_H
+#define TH_THERMAL_GRID_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace th {
+
+/** One material layer of the stack (top = closest to the heat sink). */
+struct ThermalLayer
+{
+    std::string name;
+    double thicknessMm = 0.1;
+    /** Conductivity inside the chip footprint, W/(m*K). */
+    double kChip = 100.0;
+    /** Conductivity outside the chip footprint (0 = no material). */
+    double kOutside = 0.0;
+    /** Power-injection die index (>= 0 for active silicon layers). */
+    int dieIndex = -1;
+    /** Volumetric heat capacity, J/(m^3*K) — used by the transient
+     *  solver; silicon ~1.63e6, copper ~3.45e6. */
+    double volHeatCapacity = 1.63e6;
+};
+
+/** Solver and geometry parameters. */
+struct ThermalParams
+{
+    double ambientK = 318.15;  ///< 45 C ambient (HotSpot default).
+    int gridN = 48;            ///< Cells per side over the spreader.
+    double spreaderMm = 20.0;  ///< Lateral size of spreader/sink.
+    /** Effective sink-to-ambient convection resistance (K/W). */
+    double convectionKPerW = 0.33;
+    double sorOmega = 1.88;
+    double maxResidualK = 1e-4;
+    int maxIterations = 200000;
+
+    // --- Leakage-temperature feedback (subthreshold leakage grows
+    // exponentially with temperature; the solver iterates power and
+    // temperature to equilibrium, which is what makes the paper's
+    // iso-power 4x-density experiment run away to 418 K). ---
+    /** Reference temperature at which nominal leakage is quoted (K). */
+    double leakRefK = 365.0;
+    /** Exponential slope: leakage doubles every ~theta*ln2 kelvin. */
+    double leakThetaK = 26.0;
+    /** Power/temperature fixed-point iterations (0 = no feedback). */
+    int leakFeedbackIters = 8;
+};
+
+/** Solved temperature field. */
+class ThermalField
+{
+  public:
+    ThermalField(int grid_n, int layers, double ambient_k);
+
+    double &at(int layer, int ix, int iy);
+    double at(int layer, int ix, int iy) const;
+
+    /** Maximum temperature over all power-bearing (die) layers. */
+    double peak(const std::vector<int> &die_layers) const;
+
+    int gridN() const { return n_; }
+    int layers() const { return layers_; }
+
+  private:
+    int n_;
+    int layers_;
+    std::vector<double> t_;
+};
+
+/**
+ * The layered grid model. Construct with the layer stack and chip
+ * footprint, deposit block powers, then solve.
+ */
+class ThermalGrid
+{
+  public:
+    /**
+     * @param params  Geometry/solver parameters.
+     * @param layers  Stack from the heat sink downwards.
+     * @param chip_w  Chip width (mm); centred on the spreader.
+     * @param chip_h  Chip height (mm).
+     */
+    ThermalGrid(const ThermalParams &params,
+                std::vector<ThermalLayer> layers,
+                double chip_w, double chip_h);
+
+    /**
+     * Deposit @p watts uniformly over a rectangle in chip coordinates
+     * (mm, origin at the chip's lower-left corner) on die @p die.
+     */
+    void addPower(int die, double x, double y, double w, double h,
+                  double watts);
+
+    /** Remove all deposited power. */
+    void clearPower();
+
+    /** Total deposited power (W). */
+    double totalPower() const;
+
+    /** Solve the steady state. */
+    ThermalField solve() const;
+
+    /** Time/peak trace plus the final field of a transient run. */
+    struct Transient
+    {
+        std::vector<double> timeS;
+        std::vector<double> peakK;
+        ThermalField final;
+
+        Transient(int n, int layers, double ambient)
+            : final(n, layers, ambient)
+        {
+        }
+    };
+
+    /**
+     * Transient simulation: march the field forward from @p initial by
+     * explicit time stepping under the currently deposited power.
+     *
+     * @param initial     Starting temperature field (e.g. a steady
+     *                    solve under a previous power map).
+     * @param duration_s  Simulated time span (seconds).
+     * @param dt_s        Requested time step; clamped down to the
+     *                    explicit-stability limit automatically.
+     * @param samples     Number of (time, peak) samples to record.
+     */
+    Transient solveTransient(const ThermalField &initial,
+                             double duration_s, double dt_s,
+                             int samples = 50) const;
+
+    /**
+     * Area-weighted average and peak temperature of a chip-coordinate
+     * rectangle on die @p die in a solved field.
+     */
+    void blockTemps(const ThermalField &field, int die, double x,
+                    double y, double w, double h, double &avg_k,
+                    double &peak_k) const;
+
+    /** Layer index of die @p die; -1 when absent. */
+    int dieLayer(int die) const;
+
+    /** All die layer indices. */
+    std::vector<int> dieLayers() const;
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    /** Cell conductivity of @p layer at grid cell (ix, iy). */
+    double cellK(int layer, int ix, int iy) const;
+    bool insideChip(int ix, int iy) const;
+    void forEachCellInRect(double x, double y, double w, double h,
+                           const std::function<void(int, int, double)>
+                               &fn) const;
+
+    ThermalParams params_;
+    std::vector<ThermalLayer> layers_;
+    double chip_w_, chip_h_;
+    double chip_x0_, chip_y0_; ///< Chip origin on the spreader (mm).
+    double cell_mm_;
+    /** Power per cell for each die layer [die][cell]. */
+    std::vector<std::vector<double>> power_;
+};
+
+} // namespace th
+
+#endif // TH_THERMAL_GRID_H

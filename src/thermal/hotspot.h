@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Thermal analysis facade: builds the layer stacks for the planar chip
+ * and the 4-die stack, maps a PowerResult onto a Floorplan, solves the
+ * grid, and reports per-block and worst-case temperatures — the
+ * machinery behind the paper's Figure 10 thermal maps.
+ */
+
+#ifndef TH_THERMAL_HOTSPOT_H
+#define TH_THERMAL_HOTSPOT_H
+
+#include <string>
+#include <vector>
+
+#include "floorplan/floorplan.h"
+#include "power/power_model.h"
+#include "thermal/grid.h"
+
+namespace th {
+
+/** Temperature of one floorplanned block instance. */
+struct BlockTemp
+{
+    BlockId id = BlockId::MiscLogic;
+    int core = -1;
+    int die = 0;
+    double powerW = 0.0;
+    double avgK = 0.0;
+    double peakK = 0.0;
+};
+
+/** Results of one thermal analysis. */
+struct ThermalReport
+{
+    double peakK = 0.0;
+    std::string hottestBlock;
+    int hottestDie = 0;
+    std::vector<BlockTemp> blocks;
+
+    /** Peak temperature of a given block kind across cores/dies. */
+    double blockPeakK(BlockId id) const;
+};
+
+/** The HotSpot-substitute thermal model. */
+class HotspotModel
+{
+  public:
+    explicit HotspotModel(const ThermalParams &params = ThermalParams{});
+
+    /**
+     * Analyse a configuration. @p stacked selects the 4-die stack;
+     * the floorplan must match (planar() or stacked()).
+     * @p powerScale multiplies all block powers — used by the paper's
+     * iso-power experiment (3D stack burning the full planar 90 W).
+     */
+    ThermalReport analyze(const Floorplan &fp, const PowerResult &power,
+                          bool stacked, double power_scale = 1.0) const;
+
+    /** Layer stack of the planar chip (sink at the front). */
+    static std::vector<ThermalLayer> planarStack();
+
+    /**
+     * Layer stack of the 4-die chip. Die 0 (the LSB/top die Thermal
+     * Herding targets) is adjacent to the TIM/heat sink; die 3 is
+     * farthest (Section 2.1: thinned dies, d2d via interfaces at 25%
+     * copper occupancy).
+     */
+    static std::vector<ThermalLayer> stackedStack();
+
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+};
+
+} // namespace th
+
+#endif // TH_THERMAL_HOTSPOT_H

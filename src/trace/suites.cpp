@@ -1,0 +1,567 @@
+#include "trace/suites.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace th {
+
+namespace {
+
+/** Base profile for a suite; individual benchmarks tweak fields. */
+BenchmarkProfile
+base(const std::string &suite, const std::string &name, std::uint64_t seed)
+{
+    BenchmarkProfile p;
+    p.suite = suite;
+    p.name = name;
+    p.seed = seed * 0x9e3779b97f4a7c15ULL + 12345;
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildAll()
+{
+    std::vector<BenchmarkProfile> v;
+    std::uint64_t seed = 1;
+    auto add = [&](BenchmarkProfile p) { v.push_back(std::move(p)); };
+
+    // ---------------- SPECint2000 ----------------
+    {
+        auto p = base("SPECint2000", "gzip", seed++);
+        p.fLoad = 0.22; p.fStore = 0.10; p.fBranch = 0.15;
+        p.lowWidthBias = 0.68; p.warmFrac = 0.22; p.coldFrac = 0.0015;
+        p.warmBytes = 192 * 1024;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "vpr", seed++);
+        p.fLoad = 0.26; p.fStore = 0.11; p.fBranch = 0.13;
+        p.fFpAdd = 0.04; p.fFpMult = 0.03;
+        p.lowWidthBias = 0.55; p.warmFrac = 0.15; p.coldFrac = 0.0012;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "gcc", seed++);
+        p.fLoad = 0.25; p.fStore = 0.14; p.fBranch = 0.17;
+        p.fIndirect = 0.012;
+        p.lowWidthBias = 0.60; p.branchNoise = 0.035;
+        p.warmFrac = 0.22; p.coldFrac = 0.0015;
+        p.numKernels = 32; p.loopTripMean = 12.0;
+        add(p);
+    }
+    {
+        // DRAM-bound pointer chaser: the paper's minimum speedup (7%).
+        auto p = base("SPECint2000", "mcf", seed++);
+        p.fLoad = 0.30; p.fStore = 0.09; p.fBranch = 0.12;
+        p.lowWidthBias = 0.45;
+        p.branchNoise = 0.008;
+        p.pointerChaseFrac = 0.85;
+        p.stackFrac = 0.10; p.heapFrac = 0.80;
+        p.coldFrac = 0.30; p.coldBytes = 160ULL << 20;
+        p.warmFrac = 0.10;
+        p.depDistMean = 3.0;
+        add(p);
+    }
+    {
+        // Compute-bound chess engine: 65% speedup anchor.
+        auto p = base("SPECint2000", "crafty", seed++);
+        p.fLoad = 0.19; p.fStore = 0.07; p.fBranch = 0.14;
+        p.fShift = 0.11; // bitboards
+        p.lowWidthBias = 0.42; // 64-bit bitboards are full width
+        p.warmFrac = 0.48; p.warmBytes = 1024 * 1024;
+        p.coldFrac = 0.0;
+        p.depDistMean = 3.5;
+        p.branchNoise = 0.055;
+        p.pointerChaseFrac = 0.55;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "parser", seed++);
+        p.fLoad = 0.24; p.fStore = 0.11; p.fBranch = 0.16;
+        p.lowWidthBias = 0.62; p.pointerChaseFrac = 0.20;
+        p.warmFrac = 0.16; p.coldFrac = 0.0012;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "eon", seed++);
+        p.fLoad = 0.23; p.fStore = 0.13; p.fBranch = 0.11;
+        p.fFpAdd = 0.07; p.fFpMult = 0.06;
+        p.fIndirect = 0.022; // virtual dispatch
+        p.branchNoise = 0.04;
+        p.lowWidthBias = 0.50; p.warmFrac = 0.10; p.coldFrac = 0.0004;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "perlbmk", seed++);
+        p.fLoad = 0.25; p.fStore = 0.13; p.fBranch = 0.15;
+        p.fIndirect = 0.02;
+        p.lowWidthBias = 0.58; p.branchNoise = 0.030;
+        p.warmFrac = 0.14; p.coldFrac = 0.0015;
+        p.numKernels = 28;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "gap", seed++);
+        p.fLoad = 0.23; p.fStore = 0.10; p.fBranch = 0.14;
+        p.fMult = 0.03;
+        p.lowWidthBias = 0.60; p.warmFrac = 0.15; p.coldFrac = 0.002;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "vortex", seed++);
+        p.fLoad = 0.27; p.fStore = 0.15; p.fBranch = 0.14;
+        p.lowWidthBias = 0.57; p.warmFrac = 0.18; p.coldFrac = 0.001;
+        p.numKernels = 26;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "bzip2", seed++);
+        p.fLoad = 0.24; p.fStore = 0.10; p.fBranch = 0.14;
+        p.lowWidthBias = 0.72; // byte-granular compression
+        p.warmFrac = 0.22; p.coldFrac = 0.0025;
+        p.warmBytes = 768 * 1024;
+        add(p);
+    }
+    {
+        auto p = base("SPECint2000", "twolf", seed++);
+        p.fLoad = 0.25; p.fStore = 0.10; p.fBranch = 0.14;
+        p.fFpAdd = 0.03; p.fFpMult = 0.02;
+        p.lowWidthBias = 0.55; p.warmFrac = 0.16; p.coldFrac = 0.0025;
+        add(p);
+    }
+
+    {
+        auto p = base("SPECint2000", "sixtrack-int", seed++);
+        p.fLoad = 0.21; p.fStore = 0.09; p.fBranch = 0.12;
+        p.fShift = 0.07;
+        p.lowWidthBias = 0.58; p.warmFrac = 0.12; p.coldFrac = 0.002;
+        add(p);
+    }
+
+    // ---------------- SPECfp2000 ----------------
+    // FP codes stream large arrays through the cache hierarchy: high
+    // DRAM traffic caps the benefit of a faster core (29.5% mean).
+    auto fp_base = [&](const std::string &name) {
+        auto p = base("SPECfp2000", name, seed++);
+        p.fFpAdd = 0.18; p.fFpMult = 0.14; p.fFpDiv = 0.01;
+        p.fLoad = 0.28; p.fStore = 0.10; p.fBranch = 0.06;
+        p.fShift = 0.02;
+        p.lowWidthBias = 0.30; // loop counters/indices only
+        p.takenRate = 0.85; p.branchNoise = 0.01;
+        p.loopTripMean = 200.0;
+        p.numKernels = 16;
+        p.stackFrac = 0.08; p.heapFrac = 0.30;
+        p.coldFrac = 0.020; p.coldBytes = 64ULL << 20;
+        p.warmFrac = 0.22;
+        p.pointerChaseFrac = 0.0;
+        p.depDistMean = 8.0;
+        return p;
+    };
+    {
+        auto p = fp_base("wupwise");
+        p.coldFrac = 0.004;
+        add(p);
+    }
+    {
+        auto p = fp_base("swim");
+        p.coldFrac = 0.018; // notorious streaming
+        add(p);
+    }
+    {
+        auto p = fp_base("mgrid");
+        p.coldFrac = 0.008;
+        add(p);
+    }
+    {
+        auto p = fp_base("applu");
+        p.coldFrac = 0.007; p.fFpDiv = 0.02;
+        add(p);
+    }
+    {
+        auto p = fp_base("mesa");
+        p.coldFrac = 0.003; p.lowWidthBias = 0.45; // pixel data
+        p.fBranch = 0.10;
+        add(p);
+    }
+    {
+        auto p = fp_base("art");
+        p.coldFrac = 0.012; p.warmFrac = 0.30;
+        add(p);
+    }
+    {
+        auto p = fp_base("equake");
+        p.coldFrac = 0.012; p.pointerChaseFrac = 0.15;
+        add(p);
+    }
+    {
+        auto p = fp_base("ammp");
+        p.coldFrac = 0.006; p.pointerChaseFrac = 0.08;
+        add(p);
+    }
+
+    {
+        auto p = fp_base("sixtrack");
+        p.coldFrac = 0.004; p.lowWidthBias = 0.35;
+        add(p);
+    }
+    {
+        auto p = fp_base("facerec");
+        p.coldFrac = 0.010; p.warmFrac = 0.28;
+        add(p);
+    }
+    {
+        auto p = fp_base("lucas");
+        p.coldFrac = 0.016;
+        add(p);
+    }
+
+    // ---------------- MediaBench ----------------
+    auto media_base = [&](const std::string &name) {
+        auto p = base("MediaBench", name, seed++);
+        p.fLoad = 0.24; p.fStore = 0.12; p.fBranch = 0.12;
+        p.fShift = 0.09; p.fMult = 0.03;
+        p.lowWidthBias = 0.74; // 8/16-bit pixel and sample data
+        p.takenRate = 0.75; p.branchNoise = 0.015;
+        p.loopTripMean = 64.0;
+        p.warmFrac = 0.08; p.coldFrac = 0.0008;
+        p.depDistMean = 7.0;
+        return p;
+    };
+    {
+        // Highest-power application in the paper's evaluation.
+        auto p = media_base("mpeg2enc");
+        p.lowWidthBias = 0.66;
+        p.fMult = 0.05; p.depDistMean = 14.0;
+        p.fBranch = 0.10; p.branchNoise = 0.006;
+        p.loopTripMean = 96.0;
+        p.warmFrac = 0.08;
+        add(p);
+    }
+    {
+        auto p = media_base("mpeg2dec");
+        p.lowWidthBias = 0.76; p.depDistMean = 3.5;
+        p.branchNoise = 0.02;
+        add(p);
+    }
+    {
+        auto p = media_base("jpeg");
+        p.fMult = 0.04;
+        add(p);
+    }
+    {
+        auto p = media_base("epic");
+        p.fFpAdd = 0.05; p.fFpMult = 0.04; p.lowWidthBias = 0.70;
+        p.fLoad = 0.19; p.fStore = 0.09;
+        p.depDistMean = 4.0; p.branchNoise = 0.03;
+        add(p);
+    }
+    {
+        auto p = media_base("adpcm");
+        p.lowWidthBias = 0.72; p.fLoad = 0.18; p.fStore = 0.09;
+        p.depDistMean = 5.0;
+        add(p);
+    }
+    {
+        auto p = media_base("g721");
+        p.depDistMean = 4.0; p.branchNoise = 0.02;
+        p.lowWidthBias = 0.74;
+        add(p);
+    }
+
+    {
+        auto p = media_base("gsm");
+        p.lowWidthBias = 0.74; p.fShift = 0.11;
+        add(p);
+    }
+    {
+        auto p = media_base("pegwit");
+        p.lowWidthBias = 0.55; p.fMult = 0.06;
+        p.depDistMean = 4.0;
+        add(p);
+    }
+
+    // ---------------- MiBench ----------------
+    {
+        // Maximum speedup anchor (77%): trie lookups, branchy and
+        // L2-latency-sensitive, cache-resident.
+        auto p = base("MiBench", "patricia", seed++);
+        p.fLoad = 0.30; p.fStore = 0.05; p.fBranch = 0.20;
+        p.lowWidthBias = 0.66;
+        p.branchNoise = 0.050;
+        p.pointerChaseFrac = 0.85;
+        p.stackFrac = 0.08; p.heapFrac = 0.88;
+        p.warmFrac = 0.62; p.warmBytes = 320 * 1024;
+        p.coldFrac = 0.0;
+        p.depDistMean = 2.0;
+        p.loopTripMean = 10.0; p.numKernels = 24;
+        add(p);
+    }
+    {
+        // Maximum thermal-herding power saving (30%): smoothing filter
+        // over 8-bit pixels, compute-bound.
+        auto p = base("MiBench", "susan", seed++);
+        p.fLoad = 0.22; p.fStore = 0.10; p.fBranch = 0.10;
+        p.fShift = 0.08; p.fMult = 0.05;
+        p.lowWidthBias = 0.94;
+        p.takenRate = 0.85; p.branchNoise = 0.01;
+        p.warmFrac = 0.06; p.coldFrac = 0.0002;
+        p.depDistMean = 8.0; p.loopTripMean = 128.0;
+        add(p);
+    }
+    {
+        auto p = base("MiBench", "dijkstra", seed++);
+        p.fLoad = 0.27; p.fStore = 0.09; p.fBranch = 0.17;
+        p.lowWidthBias = 0.70; p.warmFrac = 0.25; p.coldFrac = 0.002;
+        p.branchNoise = 0.035;
+        add(p);
+    }
+    {
+        auto p = base("MiBench", "qsort", seed++);
+        p.fLoad = 0.26; p.fStore = 0.13; p.fBranch = 0.18;
+        p.fIndirect = 0.02; // comparison callback
+        p.lowWidthBias = 0.60; p.branchNoise = 0.050;
+        p.warmFrac = 0.20; p.coldFrac = 0.002;
+        add(p);
+    }
+    {
+        auto p = base("MiBench", "sha", seed++);
+        p.fLoad = 0.16; p.fStore = 0.07; p.fBranch = 0.08;
+        p.fShift = 0.16;
+        p.lowWidthBias = 0.35; // 32-bit rotates chained
+        p.takenRate = 0.9; p.branchNoise = 0.005;
+        p.depDistMean = 3.0; p.loopTripMean = 80.0;
+        add(p);
+    }
+    {
+        auto p = base("MiBench", "crc32", seed++);
+        p.fLoad = 0.18; p.fStore = 0.04; p.fBranch = 0.12;
+        p.fShift = 0.10;
+        p.lowWidthBias = 0.62; p.depDistMean = 3.0;
+        p.takenRate = 0.95; p.branchNoise = 0.002;
+        p.loopTripMean = 400.0; p.numKernels = 8;
+        add(p);
+    }
+
+    {
+        auto p = base("MiBench", "rijndael", seed++);
+        p.fLoad = 0.24; p.fStore = 0.10; p.fBranch = 0.07;
+        p.fShift = 0.13;
+        p.lowWidthBias = 0.58; // table lookups mix bytes and words
+        p.takenRate = 0.92; p.branchNoise = 0.004;
+        p.loopTripMean = 80.0;
+        p.warmFrac = 0.05; p.coldFrac = 0.0008;
+        p.depDistMean = 3.0;
+        add(p);
+    }
+    {
+        auto p = base("MiBench", "bitcount", seed++);
+        p.fLoad = 0.10; p.fStore = 0.03; p.fBranch = 0.16;
+        p.fShift = 0.18;
+        p.lowWidthBias = 0.80;
+        p.branchNoise = 0.02;
+        p.warmFrac = 0.01; p.coldFrac = 0.0;
+        add(p);
+    }
+    {
+        auto p = base("MiBench", "basicmath", seed++);
+        p.fLoad = 0.18; p.fStore = 0.08; p.fBranch = 0.12;
+        p.fFpAdd = 0.10; p.fFpMult = 0.08; p.fFpDiv = 0.015;
+        p.lowWidthBias = 0.55;
+        p.warmFrac = 0.04; p.coldFrac = 0.0006;
+        add(p);
+    }
+
+    // ---------------- Pointer (Wisconsin) ----------------
+    {
+        // Memory-intensive channel router: minimum TH power saving
+        // (15%) and the TH-config worst-case thermal application (the
+        // D-cache becomes the hotspot).
+        auto p = base("Pointer", "yacr2", seed++);
+        p.fLoad = 0.36; p.fStore = 0.15; p.fBranch = 0.12;
+        p.branchNoise = 0.008; p.depDistMean = 5.0;
+        p.lowWidthBias = 0.10; // pointer-heavy, full-width data
+        p.loadUpperOnes = 0.02; p.loadUpperAddr = 0.05;
+        p.pointerChaseFrac = 0.30;
+        p.stackFrac = 0.08; p.heapFrac = 0.80;
+        p.warmFrac = 0.38; p.warmBytes = 1536 * 1024;
+        p.coldFrac = 0.0025;
+        p.widthNoise = 0.09; // width mispredicts add D$ accesses
+        p.depDistMean = 3.5;
+        add(p);
+    }
+    {
+        auto p = base("Pointer", "anagram", seed++);
+        p.fLoad = 0.26; p.fStore = 0.08; p.fBranch = 0.17;
+        p.lowWidthBias = 0.66; p.pointerChaseFrac = 0.25;
+        p.warmFrac = 0.12; p.coldFrac = 0.0006;
+        add(p);
+    }
+    {
+        auto p = base("Pointer", "bc", seed++);
+        p.fLoad = 0.24; p.fStore = 0.12; p.fBranch = 0.16;
+        p.fIndirect = 0.015;
+        p.lowWidthBias = 0.64; p.warmFrac = 0.10; p.coldFrac = 0.0005;
+        add(p);
+    }
+    {
+        auto p = base("Pointer", "ft", seed++);
+        p.fLoad = 0.28; p.fStore = 0.10; p.fBranch = 0.15;
+        p.lowWidthBias = 0.55; p.pointerChaseFrac = 0.40;
+        p.warmFrac = 0.24; p.coldFrac = 0.004;
+        add(p);
+    }
+
+    {
+        auto p = base("Pointer", "ks", seed++);
+        p.fLoad = 0.27; p.fStore = 0.09; p.fBranch = 0.16;
+        p.lowWidthBias = 0.58; p.pointerChaseFrac = 0.30;
+        p.warmFrac = 0.15; p.coldFrac = 0.0015;
+        add(p);
+    }
+    {
+        auto p = base("Pointer", "tsp", seed++);
+        p.fLoad = 0.25; p.fStore = 0.07; p.fBranch = 0.14;
+        p.fFpAdd = 0.06; p.fFpMult = 0.05;
+        p.lowWidthBias = 0.50; p.pointerChaseFrac = 0.35;
+        p.warmFrac = 0.22; p.coldFrac = 0.002;
+        add(p);
+    }
+
+    // ---------------- Graphics ----------------
+    auto gfx_base = [&](const std::string &name) {
+        auto p = base("Graphics", name, seed++);
+        p.fLoad = 0.24; p.fStore = 0.12; p.fBranch = 0.13;
+        p.fShift = 0.07; p.fMult = 0.03;
+        p.fFpAdd = 0.05; p.fFpMult = 0.04;
+        p.lowWidthBias = 0.72;
+        p.takenRate = 0.7; p.branchNoise = 0.025;
+        p.warmFrac = 0.12; p.coldFrac = 0.0010;
+        return p;
+    };
+    {
+        auto p = gfx_base("doom");
+        p.depDistMean = 4.5;
+        add(p);
+    }
+    {
+        auto p = gfx_base("quake");
+        p.fFpAdd = 0.09; p.fFpMult = 0.07; p.lowWidthBias = 0.60;
+        p.branchNoise = 0.035;
+        add(p);
+    }
+    {
+        auto p = gfx_base("raytrace");
+        p.fFpAdd = 0.14; p.fFpMult = 0.12; p.fFpDiv = 0.02;
+        p.lowWidthBias = 0.40; p.pointerChaseFrac = 0.20;
+        add(p);
+    }
+    {
+        auto p = gfx_base("mpegplay");
+        p.lowWidthBias = 0.78;
+        add(p);
+    }
+
+    {
+        auto p = gfx_base("povray");
+        p.fFpAdd = 0.12; p.fFpMult = 0.10; p.fFpDiv = 0.015;
+        p.lowWidthBias = 0.45;
+        add(p);
+    }
+    {
+        auto p = gfx_base("mpeg4dec");
+        p.lowWidthBias = 0.80; p.fShift = 0.10;
+        add(p);
+    }
+
+    // ---------------- BioBench ----------------
+    auto bio_base = [&](const std::string &name) {
+        auto p = base("BioBench", name, seed++);
+        p.fLoad = 0.26; p.fStore = 0.08; p.fBranch = 0.18;
+        p.lowWidthBias = 0.78; // nucleotide/ascii data
+        p.takenRate = 0.65; p.branchNoise = 0.030;
+        p.warmFrac = 0.18; p.coldFrac = 0.0012;
+        p.loopTripMean = 48.0;
+        return p;
+    };
+    add(bio_base("blast"));
+    {
+        auto p = bio_base("fasta");
+        p.coldFrac = 0.0040; p.warmFrac = 0.25;
+        add(p);
+    }
+    {
+        auto p = bio_base("clustalw");
+        p.fMult = 0.02; p.branchNoise = 0.035; p.coldFrac = 0.0010;
+        add(p);
+    }
+    {
+        auto p = bio_base("hmmer");
+        p.fMult = 0.04; p.lowWidthBias = 0.60;
+        p.depDistMean = 5.0;
+        add(p);
+    }
+
+    {
+        auto p = bio_base("grappa");
+        p.fMult = 0.02; p.warmFrac = 0.22;
+        add(p);
+    }
+    {
+        auto p = bio_base("phylip");
+        p.fFpAdd = 0.08; p.fFpMult = 0.06;
+        p.lowWidthBias = 0.55; p.coldFrac = 0.002;
+        add(p);
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+allBenchmarks()
+{
+    static const std::vector<BenchmarkProfile> all = buildAll();
+    return all;
+}
+
+std::vector<BenchmarkProfile>
+benchmarksInSuite(const std::string &suite)
+{
+    std::vector<BenchmarkProfile> out;
+    for (const auto &p : allBenchmarks())
+        if (p.suite == suite)
+            out.push_back(p);
+    return out;
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &p : allBenchmarks())
+        if (std::find(names.begin(), names.end(), p.suite) == names.end())
+            names.push_back(p.suite);
+    return names;
+}
+
+const BenchmarkProfile &
+benchmarkByName(const std::string &name)
+{
+    for (const auto &p : allBenchmarks())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark '%s'", name.c_str());
+}
+
+bool
+hasBenchmark(const std::string &name)
+{
+    for (const auto &p : allBenchmarks())
+        if (p.name == name)
+            return true;
+    return false;
+}
+
+} // namespace th

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Benchmark suite registry: per-benchmark profiles standing in for the
+ * paper's 106 application traces (SPECint2000, SPECfp2000, MediaBench,
+ * MiBench, the Wisconsin pointer benchmarks, graphics codes, and
+ * BioBench/BioPerf).
+ *
+ * Profiles are calibrated to the behavioural anchors the paper reports:
+ * mcf is DRAM-bound (min 7% speedup), crafty compute-bound (65%),
+ * patricia mispredict/L2-bound (max 77%), SPECfp memory-streaming
+ * (29.5% group mean), mpeg2 the max-power app, susan the max
+ * thermal-herding power saver (30%), yacr2 the min (15%) and the
+ * TH-config worst-case thermal app.
+ */
+
+#ifndef TH_TRACE_SUITES_H
+#define TH_TRACE_SUITES_H
+
+#include <string>
+#include <vector>
+
+#include "trace/generator.h"
+
+namespace th {
+
+/** All registered benchmark profiles, grouped by suite. */
+const std::vector<BenchmarkProfile> &allBenchmarks();
+
+/** Profiles belonging to @p suite (e.g. "SPECint2000"). */
+std::vector<BenchmarkProfile> benchmarksInSuite(const std::string &suite);
+
+/** All suite names, in the paper's reporting order. */
+std::vector<std::string> suiteNames();
+
+/**
+ * Look up a profile by benchmark name.
+ * Calls fatal() when the name is unknown.
+ */
+const BenchmarkProfile &benchmarkByName(const std::string &name);
+
+/** True when a benchmark with this name is registered. */
+bool hasBenchmark(const std::string &name);
+
+} // namespace th
+
+#endif // TH_TRACE_SUITES_H

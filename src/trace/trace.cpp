@@ -1,0 +1,21 @@
+#include "trace/trace.h"
+
+#include "common/bitutil.h"
+
+namespace th {
+
+Width
+TraceRecord::resultWidth() const
+{
+    return classifyWidth(resultValue);
+}
+
+Width
+TraceRecord::srcWidth(int i) const
+{
+    if (i < 0 || i >= numSrcs)
+        return Width::Low;
+    return classifyWidth(srcValues[i]);
+}
+
+} // namespace th

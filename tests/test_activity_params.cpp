@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/activity.h"
+#include "core/params.h"
+#include "trace/trace.h"
+
+namespace th {
+namespace {
+
+TEST(ActivityStats, RegistersAllCounters)
+{
+    ActivityStats act;
+    StatRegistry reg;
+    act.registerStats(reg, "a");
+    for (const char *name :
+         {"a.rf.read_low", "a.rf.read_full", "a.alu.low", "a.alu.full",
+          "a.bypass.low", "a.bypass.full", "a.sched.wakeup_die0",
+          "a.sched.wakeup_die3", "a.sched.alloc", "a.lsq.search_low",
+          "a.dl1.read_low", "a.dl1.fill", "a.il1.access", "a.btb.low",
+          "a.bpred.lookup", "a.rob.write_full", "a.l2.access",
+          "a.misc.uops"}) {
+        EXPECT_TRUE(reg.hasCounter(name)) << name;
+    }
+}
+
+TEST(ActivityStats, RegistryReflectsLiveCounters)
+{
+    ActivityStats act;
+    StatRegistry reg;
+    act.registerStats(reg, "x");
+    act.aluLow.inc(7);
+    EXPECT_EQ(reg.counterValue("x.alu.low"), 7u);
+}
+
+TEST(PerfStats, RegistersAllCounters)
+{
+    PerfStats perf;
+    StatRegistry reg;
+    perf.registerStats(reg, "p");
+    for (const char *name :
+         {"p.cycles", "p.committed", "p.branches",
+          "p.branch_mispredicts", "p.width.predictions",
+          "p.width.unsafe", "p.width.rf_group_stalls",
+          "p.mem.loads", "p.mem.dl1_misses", "p.lsq.pam_hits",
+          "p.pve.zeros", "p.pve.explicit"}) {
+        EXPECT_TRUE(reg.hasCounter(name)) << name;
+    }
+}
+
+TEST(PerfStats, DerivedMetrics)
+{
+    PerfStats perf;
+    perf.cycles.set(1000);
+    perf.committedInsts.set(2500);
+    EXPECT_DOUBLE_EQ(perf.ipc(), 2.5);
+
+    perf.widthPredictions.set(100);
+    perf.widthPredCorrect.set(97);
+    EXPECT_DOUBLE_EQ(perf.widthAccuracy(), 0.97);
+
+    perf.branches.set(50);
+    perf.branchMispredicts.set(5);
+    EXPECT_DOUBLE_EQ(perf.branchMispredRate(), 0.1);
+}
+
+TEST(PerfStats, DerivedMetricsOnEmptyRun)
+{
+    PerfStats perf;
+    EXPECT_DOUBLE_EQ(perf.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(perf.widthAccuracy(), 1.0);
+    EXPECT_DOUBLE_EQ(perf.branchMispredRate(), 0.0);
+}
+
+TEST(CoreConfig, Table1Defaults)
+{
+    const CoreConfig cfg;
+    EXPECT_EQ(cfg.fetchWidth, 4);
+    EXPECT_EQ(cfg.issueWidth, 6);
+    EXPECT_EQ(cfg.robSize, 96);
+    EXPECT_EQ(cfg.rsSize, 32);
+    EXPECT_EQ(cfg.lqSize, 32);
+    EXPECT_EQ(cfg.sqSize, 20);
+    EXPECT_EQ(cfg.numIntAlu, 3);
+    EXPECT_EQ(cfg.numIntShift, 2);
+    EXPECT_EQ(cfg.numIntMult, 1);
+    EXPECT_EQ(cfg.il1Bytes, 32 * 1024);
+    EXPECT_EQ(cfg.l2Bytes, 4 * 1024 * 1024);
+    EXPECT_EQ(cfg.l2Assoc, 16);
+    EXPECT_EQ(cfg.btbEntries, 2048);
+    EXPECT_EQ(cfg.itlbEntries, 128);
+    EXPECT_EQ(cfg.dtlbEntries, 256);
+    EXPECT_EQ(cfg.ifqSize, 16);
+}
+
+TEST(CoreConfig, DerivedLatencies)
+{
+    CoreConfig cfg;
+    EXPECT_EQ(cfg.bmispredMin(), 14);
+    EXPECT_EQ(cfg.redirectCycles(),
+              cfg.bmispredMin() - cfg.frontendDepth);
+    cfg.pipeOpts = true;
+    EXPECT_EQ(cfg.bmispredMin(), 12);
+    EXPECT_EQ(cfg.l2Cycles(), 10);
+    EXPECT_EQ(cfg.fpLoadExtraCycles(), 0);
+}
+
+TEST(CoreConfig, MemLatencyRounding)
+{
+    CoreConfig cfg;
+    cfg.memLatencyNs = 75.0;
+    cfg.freqGhz = 2.66;
+    EXPECT_EQ(cfg.memLatencyCycles(), 200); // ceil(199.5)
+}
+
+TEST(OpClassHelpers, Categories)
+{
+    EXPECT_TRUE(isMemOp(OpClass::Load));
+    EXPECT_TRUE(isMemOp(OpClass::Store));
+    EXPECT_FALSE(isMemOp(OpClass::IntAlu));
+    EXPECT_TRUE(isControlOp(OpClass::Branch));
+    EXPECT_TRUE(isControlOp(OpClass::IndirectJump));
+    EXPECT_FALSE(isControlOp(OpClass::Load));
+    EXPECT_TRUE(isFpOp(OpClass::FpDiv));
+    EXPECT_FALSE(isFpOp(OpClass::IntMult));
+    EXPECT_STREQ(opClassName(OpClass::IntAlu), "IntAlu");
+    EXPECT_STREQ(opClassName(OpClass::FpDiv), "FpDiv");
+    EXPECT_STREQ(widthName(Width::Low), "low");
+    EXPECT_STREQ(widthName(Width::Full), "full");
+}
+
+TEST(TraceRecordWidths, ResultAndSourceClassification)
+{
+    TraceRecord r;
+    r.resultValue = 0x1234;
+    EXPECT_EQ(r.resultWidth(), Width::Low);
+    r.resultValue = 0x123456789ULL;
+    EXPECT_EQ(r.resultWidth(), Width::Full);
+
+    r.numSrcs = 2;
+    r.srcValues[0] = 5;
+    r.srcValues[1] = ~0ULL;
+    EXPECT_EQ(r.srcWidth(0), Width::Low);
+    EXPECT_EQ(r.srcWidth(1), Width::Full);
+    EXPECT_EQ(r.srcWidth(2), Width::Low) << "out of range is benign";
+}
+
+TEST(PerfStats, ValueWidthHistogramRegistered)
+{
+    PerfStats perf;
+    perf.valueWidthBits.sample(8.0);
+    perf.valueWidthBits.sample(40.0);
+    StatRegistry reg;
+    perf.registerStats(reg, "p");
+    std::ostringstream os;
+    reg.dump(os);
+    EXPECT_NE(os.str().find("p.value_width_bits.count 2"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "circuit/adder.h"
+#include "circuit/bypass.h"
+
+namespace th {
+namespace {
+
+TEST(Adder, StackedNotSlowerThanPlanar)
+{
+    AdderModel adder(64);
+    EXPECT_LE(adder.stacked().total(), adder.planar().total());
+}
+
+TEST(Adder, ImprovementIsSmall)
+{
+    // Section 5.1.1: the adder accounts for only ~3 points of the 36%
+    // ALU+bypass improvement — its own gain is a few percent.
+    AdderModel adder(64);
+    const double gain =
+        1.0 - adder.stacked().total() / adder.planar().total();
+    EXPECT_GT(gain, 0.0);
+    EXPECT_LT(gain, 0.10);
+}
+
+TEST(Adder, GateDelayUnchangedByStacking)
+{
+    AdderModel adder(64);
+    EXPECT_DOUBLE_EQ(adder.planar().gateDelay,
+                     adder.stacked().gateDelay);
+}
+
+TEST(Adder, StackedHasViaDelay)
+{
+    AdderModel adder(64);
+    EXPECT_EQ(adder.planar().viaDelay, 0.0);
+    EXPECT_GT(adder.stacked().viaDelay, 0.0);
+}
+
+TEST(Adder, LowWidthEnergyIsQuarter)
+{
+    AdderModel adder(64);
+    const AdderResult r = adder.planar();
+    EXPECT_NEAR(r.energyLow, r.energyFull * 0.25, 1e-12);
+}
+
+TEST(Adder, WiderAdderSlower)
+{
+    AdderModel a16(16), a64(64);
+    EXPECT_LT(a16.planar().total(), a64.planar().total());
+}
+
+TEST(Bypass, StackedFaster)
+{
+    BypassModel byp;
+    EXPECT_LT(byp.stacked().total(), byp.planar().total());
+}
+
+TEST(Bypass, WireDominatedImprovement)
+{
+    // The compacted 3D cluster cuts the bus flight time by well over
+    // half (Figure 5: width and height to a quarter).
+    BypassModel byp;
+    EXPECT_LT(byp.stacked().wireDelay, byp.planar().wireDelay * 0.5);
+}
+
+TEST(Bypass, PlanarCannotGateLowWidth)
+{
+    BypassModel byp;
+    const BypassResult r = byp.planar();
+    EXPECT_DOUBLE_EQ(r.energyLow, r.energyFull);
+}
+
+TEST(Bypass, StackedLowWidthQuarterEnergy)
+{
+    BypassModel byp;
+    const BypassResult r = byp.stacked();
+    EXPECT_NEAR(r.energyLow, r.energyFull * 16.0 / 64.0, 1e-12);
+}
+
+TEST(Bypass, MoreFuncUnitsLongerBus)
+{
+    BypassParams few, many;
+    few.funcUnits = 4;
+    many.funcUnits = 10;
+    BypassModel a(few), b(many);
+    EXPECT_LT(a.planar().wireDelay, b.planar().wireDelay);
+}
+
+TEST(Bypass, MuxDelayIndependentOfStacking)
+{
+    BypassModel byp;
+    EXPECT_DOUBLE_EQ(byp.planar().muxDelay, byp.stacked().muxDelay);
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+
+namespace th {
+namespace {
+
+TEST(SignificantBits, Zero)
+{
+    EXPECT_EQ(significantBits(0), 0);
+}
+
+TEST(SignificantBits, One)
+{
+    EXPECT_EQ(significantBits(1), 1);
+}
+
+TEST(SignificantBits, PowersOfTwo)
+{
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(significantBits(1ULL << i), i + 1) << "bit " << i;
+}
+
+TEST(SignificantBits, AllOnes)
+{
+    EXPECT_EQ(significantBits(~0ULL), 64);
+}
+
+TEST(ClassifyWidth, LowValues)
+{
+    EXPECT_EQ(classifyWidth(0), Width::Low);
+    EXPECT_EQ(classifyWidth(1), Width::Low);
+    EXPECT_EQ(classifyWidth(0xFFFF), Width::Low);
+}
+
+TEST(ClassifyWidth, FullValues)
+{
+    EXPECT_EQ(classifyWidth(0x10000), Width::Full);
+    EXPECT_EQ(classifyWidth(~0ULL), Width::Full);
+    EXPECT_EQ(classifyWidth(1ULL << 63), Width::Full);
+}
+
+TEST(ClassifyWidth, BoundaryIsExactly16Bits)
+{
+    EXPECT_EQ(classifyWidth((1ULL << 16) - 1), Width::Low);
+    EXPECT_EQ(classifyWidth(1ULL << 16), Width::Full);
+}
+
+TEST(PartialValue, UpperZeros)
+{
+    EXPECT_EQ(encodePartialValue(0x1234, 0xdeadbeef),
+              PartialValueCode::UpperZeros);
+    EXPECT_EQ(encodePartialValue(0, 0), PartialValueCode::UpperZeros);
+}
+
+TEST(PartialValue, UpperOnes)
+{
+    const std::uint64_t neg = ~0ULL << 3; // small negative
+    EXPECT_EQ(encodePartialValue(~0ULL, 0), PartialValueCode::UpperOnes);
+    EXPECT_EQ(encodePartialValue(neg | 0xFFFF, 0),
+              PartialValueCode::UpperOnes);
+}
+
+TEST(PartialValue, UpperMatchesAddress)
+{
+    const Addr addr = 0x0000200000001230ULL;
+    const std::uint64_t ptr = (addr & kUpperMask) | 0x42;
+    EXPECT_EQ(encodePartialValue(ptr, addr), PartialValueCode::UpperAddr);
+}
+
+TEST(PartialValue, Explicit)
+{
+    EXPECT_EQ(encodePartialValue(0x123456789abcULL, 0),
+              PartialValueCode::Explicit);
+}
+
+TEST(PartialValue, ZeroTakesPriorityOverAddr)
+{
+    // A zero-upper value whose address also has zero uppers must
+    // encode as UpperZeros (codes are checked in order).
+    EXPECT_EQ(encodePartialValue(0x7, 0x9),
+              PartialValueCode::UpperZeros);
+}
+
+/** Round-trip property over a spread of values and addresses. */
+class PartialValueRoundTrip
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PartialValueRoundTrip, EncodableValuesDecodeExactly)
+{
+    const std::uint64_t v = GetParam();
+    const Addr addrs[] = {0, 0x00007fffff001000ULL,
+                          0x0000200000004000ULL, v & kUpperMask};
+    for (Addr a : addrs) {
+        const PartialValueCode code = encodePartialValue(v, a);
+        if (code == PartialValueCode::Explicit)
+            continue;
+        EXPECT_EQ(decodePartialValue(v & kTopDieMask, code, a), v)
+            << "value " << std::hex << v << " addr " << a;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ValueSweep, PartialValueRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 0xFFFFULL, 0x10000ULL, ~0ULL,
+                      0xFFFFFFFFFFFF0000ULL, 0x00007fffff001008ULL,
+                      0x0000200000004242ULL, 0x123456789abcdef0ULL,
+                      0x8000000000000000ULL));
+
+TEST(IsTriviallyEncodable, CoversThreeCheapCodes)
+{
+    EXPECT_TRUE(isTriviallyEncodable(0x12, 0));
+    EXPECT_TRUE(isTriviallyEncodable(~0ULL, 0));
+    const Addr a = 0x0000200000001000ULL;
+    EXPECT_TRUE(isTriviallyEncodable((a & kUpperMask) | 0x8, a));
+    EXPECT_FALSE(isTriviallyEncodable(0xABCD00000001ULL, 0));
+}
+
+TEST(ActiveDies, LowUsesOnlyTopDie)
+{
+    EXPECT_EQ(activeDies(Width::Low), 1);
+    EXPECT_EQ(activeDies(Width::Full), kNumDies);
+}
+
+TEST(Log2Exact, Powers)
+{
+    EXPECT_EQ(log2Exact(1), 0);
+    EXPECT_EQ(log2Exact(2), 1);
+    EXPECT_EQ(log2Exact(4096), 12);
+}
+
+TEST(NextPow2, RoundsUp)
+{
+    EXPECT_EQ(nextPow2(1), 1u);
+    EXPECT_EQ(nextPow2(3), 4u);
+    EXPECT_EQ(nextPow2(64), 64u);
+    EXPECT_EQ(nextPow2(65), 128u);
+}
+
+TEST(Masks, Consistent)
+{
+    EXPECT_EQ(kTopDieMask, 0xFFFFULL);
+    EXPECT_EQ(kTopDieMask | kUpperMask, ~0ULL);
+    EXPECT_EQ(kTopDieMask & kUpperMask, 0ULL);
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "circuit/blocks.h"
+#include "sim/paper_targets.h"
+
+namespace th {
+namespace {
+
+class BlockLibraryTest : public ::testing::Test
+{
+  protected:
+    static const BlockLibrary &lib()
+    {
+        static BlockLibrary instance;
+        return instance;
+    }
+};
+
+TEST_F(BlockLibraryTest, TableHasAllMajorBlocks)
+{
+    for (const char *name :
+         {"Scheduler (wakeup-select)", "ALU + bypass loop",
+          "Integer adder", "Register file", "Reorder buffer",
+          "L1 I-cache", "L1 D-cache", "L2 cache", "I-TLB", "D-TLB",
+          "Branch target buffer", "Branch predictor", "Load queue",
+          "Store queue"}) {
+        EXPECT_NE(lib().find(name), nullptr) << name;
+    }
+    EXPECT_EQ(lib().find("No such block"), nullptr);
+}
+
+TEST_F(BlockLibraryTest, Every3dBlockFaster)
+{
+    for (const auto &b : lib().table2()) {
+        EXPECT_LT(b.lat3dPs, b.lat2dPs) << b.name;
+        EXPECT_GT(b.improvement(), 0.0) << b.name;
+        EXPECT_LT(b.improvement(), 0.8) << b.name;
+    }
+}
+
+TEST_F(BlockLibraryTest, WakeupSelectImprovementNearPaper)
+{
+    // Paper: 32% improvement in the wakeup-select loop.
+    const BlockTiming *b = lib().find("Scheduler (wakeup-select)");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->critical);
+    EXPECT_NEAR(b->improvement(), paper::kWakeupSelectImprovement, 0.03);
+}
+
+TEST_F(BlockLibraryTest, AluBypassImprovementNearPaper)
+{
+    // Paper: 36% improvement in the ALU+bypass loop.
+    const BlockTiming *b = lib().find("ALU + bypass loop");
+    ASSERT_NE(b, nullptr);
+    EXPECT_TRUE(b->critical);
+    EXPECT_NEAR(b->improvement(), paper::kAluBypassImprovement, 0.04);
+}
+
+TEST_F(BlockLibraryTest, AdderContributionSmall)
+{
+    // The adder alone contributes only a few points (3 of 36 in the
+    // paper) of the loop improvement.
+    const BlockTiming *adder = lib().find("Integer adder");
+    const BlockTiming *loop = lib().find("ALU + bypass loop");
+    ASSERT_NE(adder, nullptr);
+    ASSERT_NE(loop, nullptr);
+    const double adder_points =
+        (adder->lat2dPs - adder->lat3dPs) / loop->lat2dPs;
+    EXPECT_LT(adder_points, 0.08);
+    EXPECT_LT(adder->improvement(), loop->improvement());
+}
+
+TEST_F(BlockLibraryTest, FrequencyGainNearPaper)
+{
+    // Paper: 2.66 GHz -> 3.93 GHz (+47.9%).
+    EXPECT_NEAR(lib().frequencyGain(), paper::kFreqGain, 0.04);
+    EXPECT_NEAR(lib().frequency2dGhz(), paper::kFreq2dGhz, 1e-9);
+    EXPECT_NEAR(lib().frequency3dGhz(), paper::kFreq3dGhz, 0.12);
+}
+
+TEST_F(BlockLibraryTest, CycleTimeMatchesBaseFrequency)
+{
+    // The modelled critical loop should be close to the 2.66 GHz
+    // period (376 ps).
+    EXPECT_NEAR(lib().clockPeriod2dPs(), 1000.0 / 2.66, 15.0);
+}
+
+TEST_F(BlockLibraryTest, CriticalLoopsSetThePeriod)
+{
+    const BlockTiming *sched = lib().find("Scheduler (wakeup-select)");
+    const BlockTiming *alu = lib().find("ALU + bypass loop");
+    EXPECT_DOUBLE_EQ(lib().clockPeriod2dPs(),
+                     std::max(sched->lat2dPs, alu->lat2dPs));
+    EXPECT_DOUBLE_EQ(lib().clockPeriod3dPs(),
+                     std::max(sched->lat3dPs, alu->lat3dPs));
+}
+
+TEST_F(BlockLibraryTest, LargeArraysSeeSubstantialGains)
+{
+    // "Large arrays (caches, register files, TLBs) observe
+    // substantial latency improvements."
+    for (const char *name : {"Register file", "L1 D-cache", "L2 cache",
+                             "Branch target buffer"}) {
+        const BlockTiming *b = lib().find(name);
+        ASSERT_NE(b, nullptr) << name;
+        EXPECT_GT(b->improvement(), 0.15) << name;
+    }
+}
+
+TEST_F(BlockLibraryTest, Energies3dCheaperThan2d)
+{
+    const CoreEnergies &e2 = lib().energies2d();
+    const CoreEnergies &e3 = lib().energies3d();
+    EXPECT_LT(e3.rfReadFull, e2.rfReadFull);
+    EXPECT_LT(e3.dl1ReadFull, e2.dl1ReadFull);
+    EXPECT_LT(e3.aluFull, e2.aluFull);
+    EXPECT_LT(e3.bypassFull, e2.bypassFull);
+    EXPECT_LT(e3.l2Access, e2.l2Access);
+    EXPECT_LT(e3.miscPerUop, e2.miscPerUop);
+}
+
+TEST_F(BlockLibraryTest, PlanarHasNoLowWidthDiscount)
+{
+    const CoreEnergies &e2 = lib().energies2d();
+    EXPECT_DOUBLE_EQ(e2.rfReadLow, e2.rfReadFull);
+    EXPECT_DOUBLE_EQ(e2.dl1ReadLow, e2.dl1ReadFull);
+    EXPECT_DOUBLE_EQ(e2.aluLow, e2.aluFull);
+}
+
+TEST_F(BlockLibraryTest, HerdedAccessesMuchCheaper)
+{
+    const CoreEnergies &e3 = lib().energies3d();
+    EXPECT_LT(e3.rfReadLow, e3.rfReadFull * 0.5);
+    EXPECT_LT(e3.dl1ReadLow, e3.dl1ReadFull * 0.5);
+    EXPECT_LT(e3.bypassLow, e3.bypassFull * 0.5);
+    EXPECT_LT(e3.aluLow, e3.aluFull * 0.5);
+}
+
+TEST_F(BlockLibraryTest, EnergiesArePositive)
+{
+    const CoreEnergies &e = lib().energies2d();
+    for (double v : {e.rfReadFull, e.rfWriteFull, e.aluFull, e.fpOp,
+                     e.bypassFull, e.schedWakeupPerDie, e.schedSelect,
+                     e.schedAlloc, e.lsqSearchFull, e.lsqWrite,
+                     e.dl1ReadFull, e.dl1WriteFull, e.dl1Fill,
+                     e.il1Access, e.itlbAccess, e.dtlbAccess,
+                     e.btbFull, e.bpredLookup, e.bpredUpdate,
+                     e.robReadFull, e.robWriteFull, e.decodeUop,
+                     e.renameUop, e.l2Access, e.miscPerUop}) {
+        EXPECT_GT(v, 0.0);
+    }
+}
+
+TEST(SchedulerLoopModel, StackedLoopFaster)
+{
+    const double d2 = SchedulerLoop::latencyPs(32, false);
+    const double d3 = SchedulerLoop::latencyPs(32, true);
+    EXPECT_LT(d3, d2);
+}
+
+TEST(SchedulerLoopModel, MoreEntriesSlower)
+{
+    EXPECT_LT(SchedulerLoop::latencyPs(16, false),
+              SchedulerLoop::latencyPs(64, false));
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "core/branch_predictor.h"
+
+namespace th {
+namespace {
+
+CoreConfig
+cfg()
+{
+    return CoreConfig{};
+}
+
+TEST(HybridPredictor, LearnsAlwaysTaken)
+{
+    HybridPredictor hp(cfg());
+    const Addr pc = 0x400100;
+    // Enough updates to saturate the local and global histories and
+    // train the counters behind them.
+    for (int i = 0; i < 32; ++i)
+        hp.update(pc, true);
+    EXPECT_TRUE(hp.predict(pc));
+}
+
+TEST(HybridPredictor, LearnsNeverTaken)
+{
+    HybridPredictor hp(cfg());
+    const Addr pc = 0x400104;
+    for (int i = 0; i < 32; ++i)
+        hp.update(pc, false);
+    EXPECT_FALSE(hp.predict(pc));
+}
+
+TEST(HybridPredictor, LearnsShortLoopPattern)
+{
+    // taken,taken,taken,not-taken repeating: the local-history
+    // component should learn to predict the exit.
+    HybridPredictor hp(cfg());
+    const Addr pc = 0x400108;
+    int correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        const bool taken = (i % 4) != 3;
+        if (hp.predict(pc) == taken)
+            ++correct;
+        hp.update(pc, taken);
+    }
+    EXPECT_GT(double(correct) / n, 0.9);
+}
+
+TEST(HybridPredictor, LearnsGlobalCorrelation)
+{
+    // Branch B always equals branch A's outcome: global history
+    // captures the correlation even though B alone looks random.
+    HybridPredictor hp(cfg());
+    const Addr a = 0x400200, b = 0x400204;
+    std::uint64_t x = 99;
+    auto rnd = [&] {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        return (x & 1) != 0;
+    };
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const bool o = rnd();
+        hp.update(a, o);
+        if (hp.predict(b) == o)
+            ++correct;
+        hp.update(b, o);
+    }
+    EXPECT_GT(double(correct) / n, 0.8);
+}
+
+TEST(HybridPredictor, RandomBranchNearChance)
+{
+    HybridPredictor hp(cfg());
+    const Addr pc = 0x400300;
+    std::uint64_t x = 7;
+    auto rnd = [&] {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        return ((x >> 13) & 1) != 0;
+    };
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const bool o = rnd();
+        if (hp.predict(pc) == o)
+            ++correct;
+        hp.update(pc, o);
+    }
+    EXPECT_NEAR(double(correct) / n, 0.5, 0.07);
+}
+
+TEST(Btb, MissOnEmpty)
+{
+    Btb btb(256, 4);
+    EXPECT_FALSE(btb.lookup(0x400000).hit);
+}
+
+TEST(Btb, HitAfterInstall)
+{
+    Btb btb(256, 4);
+    btb.update(0x400000, 0x400800);
+    const BtbResult r = btb.lookup(0x400000);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.target, 0x400800u);
+}
+
+TEST(Btb, UpdateReplacesTarget)
+{
+    Btb btb(256, 4);
+    btb.update(0x400000, 0x400800);
+    btb.update(0x400000, 0x400900);
+    EXPECT_EQ(btb.lookup(0x400000).target, 0x400900u);
+}
+
+TEST(Btb, NearTargetIsMemoized)
+{
+    // Target shares the PC's upper 48 bits: no extra-die read.
+    Btb btb(256, 4);
+    btb.update(0x400000, 0x400abc);
+    EXPECT_FALSE(btb.lookup(0x400000).needsUpperRead);
+}
+
+TEST(Btb, FarTargetNeedsUpperRead)
+{
+    // Target in a different 64KB region (Section 3.7's slow path).
+    Btb btb(256, 4);
+    btb.update(0x400000, 0x90000000);
+    EXPECT_TRUE(btb.lookup(0x400000).needsUpperRead);
+}
+
+TEST(Btb, LruEvictsOldest)
+{
+    Btb btb(8, 2); // 4 sets, 2 ways
+    // Three branches mapping to the same set (stride = sets*4 bytes).
+    const Addr a = 0x1000, b = a + 4 * 4, c = a + 8 * 4;
+    btb.update(a, 0x2000);
+    btb.update(b, 0x3000);
+    btb.lookup(a); // refresh a
+    btb.update(c, 0x4000); // must evict b
+    EXPECT_TRUE(btb.lookup(a).hit);
+    EXPECT_FALSE(btb.lookup(b).hit);
+    EXPECT_TRUE(btb.lookup(c).hit);
+}
+
+TEST(BtbDeathTest, BadGeometry)
+{
+    EXPECT_EXIT((Btb{10, 4}), ::testing::ExitedWithCode(1), "BTB");
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/cache.h"
+
+namespace th {
+namespace {
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c(4096, 2, 64);
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same line
+    EXPECT_FALSE(c.access(0x1040)); // next line
+}
+
+TEST(SetAssocCache, ProbeDoesNotFill)
+{
+    SetAssocCache c(4096, 2, 64);
+    EXPECT_FALSE(c.probe(0x2000));
+    EXPECT_FALSE(c.access(0x2000));
+    EXPECT_TRUE(c.probe(0x2000));
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    // 2-way, 2 sets: lines mapping to set 0 are multiples of 128.
+    SetAssocCache c(256, 2, 64);
+    c.access(0x0000);
+    c.access(0x0100);
+    c.access(0x0000);      // refresh first
+    c.access(0x0200);      // evicts 0x0100
+    EXPECT_TRUE(c.probe(0x0000));
+    EXPECT_FALSE(c.probe(0x0100));
+    EXPECT_TRUE(c.probe(0x0200));
+}
+
+TEST(SetAssocCache, AssociativityHoldsConflicts)
+{
+    SetAssocCache c(512, 4, 64); // 2 sets, 4 ways
+    for (Addr a = 0; a < 4; ++a)
+        c.access(a * 128); // all to set 0
+    for (Addr a = 0; a < 4; ++a)
+        EXPECT_TRUE(c.probe(a * 128)) << a;
+}
+
+TEST(SetAssocCache, Flush)
+{
+    SetAssocCache c(4096, 2, 64);
+    c.access(0x1000);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(SetAssocCacheDeathTest, BadGeometry)
+{
+    EXPECT_EXIT((SetAssocCache{0, 1, 64}),
+                ::testing::ExitedWithCode(1), "geometry");
+}
+
+TEST(Tlb, PageGranularity)
+{
+    Tlb tlb(16, 4);
+    EXPECT_FALSE(tlb.access(0x10000));
+    EXPECT_TRUE(tlb.access(0x10FFF)); // same 4KB page
+    EXPECT_FALSE(tlb.access(0x11000)); // next page
+}
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    CoreConfig cfg_;
+};
+
+TEST_F(HierarchyTest, L1HitLatency)
+{
+    MemoryHierarchy mem(cfg_);
+    mem.dataAccess(0x1000); // fill
+    const MemAccessResult r = mem.dataAccess(0x1000);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.cycles, cfg_.dl1Cycles);
+}
+
+TEST_F(HierarchyTest, L2HitLatency)
+{
+    MemoryHierarchy mem(cfg_);
+    mem.prefill(0x5000, false); // L2 only
+    const MemAccessResult r = mem.dataAccess(0x5000);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+    EXPECT_EQ(r.cycles, cfg_.dl1Cycles + cfg_.l2Cycles());
+}
+
+TEST_F(HierarchyTest, DramLatency)
+{
+    MemoryHierarchy mem(cfg_);
+    const MemAccessResult r = mem.dataAccess(0x9000);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_FALSE(r.l2Hit);
+    EXPECT_EQ(r.cycles, cfg_.dl1Cycles + cfg_.l2Cycles() +
+              cfg_.memLatencyCycles());
+}
+
+TEST_F(HierarchyTest, DramCyclesScaleWithFrequency)
+{
+    CoreConfig fast = cfg_;
+    fast.freqGhz = 3.93;
+    // Fixed nanoseconds -> more cycles at a higher clock (the "Fast"
+    // configuration's IPC penalty).
+    EXPECT_GT(fast.memLatencyCycles(), cfg_.memLatencyCycles());
+    EXPECT_NEAR(double(fast.memLatencyCycles()) /
+                cfg_.memLatencyCycles(), 3.93 / 2.66, 0.02);
+}
+
+TEST_F(HierarchyTest, PipeOptsShortenL2)
+{
+    CoreConfig pipe = cfg_;
+    pipe.pipeOpts = true;
+    EXPECT_EQ(cfg_.l2Cycles(), 12);
+    EXPECT_EQ(pipe.l2Cycles(), 10);
+}
+
+TEST_F(HierarchyTest, PrefillIntoL1)
+{
+    MemoryHierarchy mem(cfg_);
+    mem.prefill(0x3000, true);
+    EXPECT_TRUE(mem.dataAccess(0x3000).l1Hit);
+}
+
+TEST_F(HierarchyTest, InstAndDataSidesIndependent)
+{
+    MemoryHierarchy mem(cfg_);
+    mem.instAccess(0x400000);
+    // The D-side L1 must not hold the I-side line (shared L2 does).
+    const MemAccessResult r = mem.dataAccess(0x400000);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_TRUE(r.l2Hit);
+}
+
+TEST_F(HierarchyTest, TlbMissCosts)
+{
+    MemoryHierarchy mem(cfg_);
+    bool miss = false;
+    EXPECT_EQ(mem.dtlbAccess(0x77000, miss), cfg_.tlbMissCycles);
+    EXPECT_TRUE(miss);
+    EXPECT_EQ(mem.dtlbAccess(0x77008, miss), 0);
+    EXPECT_FALSE(miss);
+}
+
+} // namespace
+} // namespace th

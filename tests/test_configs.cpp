@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "sim/configs.h"
+
+namespace th {
+namespace {
+
+class ConfigTest : public ::testing::Test
+{
+  protected:
+    BlockLibrary lib_;
+};
+
+TEST_F(ConfigTest, FiveFigure8Configs)
+{
+    const auto cfgs = figure8Configs();
+    ASSERT_EQ(cfgs.size(), 5u);
+    EXPECT_EQ(cfgs.front(), ConfigKind::Base);
+    EXPECT_EQ(cfgs.back(), ConfigKind::ThreeD);
+}
+
+TEST_F(ConfigTest, Names)
+{
+    EXPECT_STREQ(configName(ConfigKind::Base), "Base");
+    EXPECT_STREQ(configName(ConfigKind::TH), "TH");
+    EXPECT_STREQ(configName(ConfigKind::Pipe), "Pipe");
+    EXPECT_STREQ(configName(ConfigKind::Fast), "Fast");
+    EXPECT_STREQ(configName(ConfigKind::ThreeD), "3D");
+    EXPECT_STREQ(configName(ConfigKind::ThreeDNoTH), "3D-noTH");
+}
+
+TEST_F(ConfigTest, BaseIsVanilla)
+{
+    const CoreConfig c = makeConfig(ConfigKind::Base, lib_);
+    EXPECT_FALSE(c.thermalHerding);
+    EXPECT_FALSE(c.pipeOpts);
+    EXPECT_FALSE(c.stacked);
+    EXPECT_NEAR(c.freqGhz, 2.66, 1e-9);
+    EXPECT_EQ(c.bmispredMin(), 14);
+    EXPECT_EQ(c.l2Cycles(), 12);
+    EXPECT_EQ(c.fpLoadExtraCycles(), 1);
+}
+
+TEST_F(ConfigTest, ThIsolatesHerding)
+{
+    const CoreConfig c = makeConfig(ConfigKind::TH, lib_);
+    EXPECT_TRUE(c.thermalHerding);
+    EXPECT_FALSE(c.pipeOpts);
+    EXPECT_NEAR(c.freqGhz, 2.66, 1e-9)
+        << "TH keeps the baseline clock to isolate the IPC impact";
+}
+
+TEST_F(ConfigTest, PipeIsolatesPipelineOpts)
+{
+    const CoreConfig c = makeConfig(ConfigKind::Pipe, lib_);
+    EXPECT_TRUE(c.pipeOpts);
+    EXPECT_FALSE(c.thermalHerding);
+    EXPECT_EQ(c.bmispredMin(), 12);
+    EXPECT_EQ(c.l2Cycles(), 10);
+    EXPECT_EQ(c.fpLoadExtraCycles(), 0);
+}
+
+TEST_F(ConfigTest, FastOnlyRaisesClock)
+{
+    const CoreConfig c = makeConfig(ConfigKind::Fast, lib_);
+    EXPECT_FALSE(c.thermalHerding);
+    EXPECT_FALSE(c.pipeOpts);
+    EXPECT_NEAR(c.freqGhz, lib_.frequency3dGhz(), 1e-9);
+}
+
+TEST_F(ConfigTest, ThreeDCombinesEverything)
+{
+    const CoreConfig c = makeConfig(ConfigKind::ThreeD, lib_);
+    EXPECT_TRUE(c.thermalHerding);
+    EXPECT_TRUE(c.pipeOpts);
+    EXPECT_TRUE(c.stacked);
+    EXPECT_NEAR(c.freqGhz, lib_.frequency3dGhz(), 1e-9);
+}
+
+TEST_F(ConfigTest, ThreeDNoThDisablesHerdingOnly)
+{
+    const CoreConfig c = makeConfig(ConfigKind::ThreeDNoTH, lib_);
+    EXPECT_FALSE(c.thermalHerding);
+    EXPECT_TRUE(c.pipeOpts);
+    EXPECT_TRUE(c.stacked);
+}
+
+TEST_F(ConfigTest, MemoryLatencyInCyclesGrowsWithClock)
+{
+    const CoreConfig base = makeConfig(ConfigKind::Base, lib_);
+    const CoreConfig fast = makeConfig(ConfigKind::Fast, lib_);
+    EXPECT_GT(fast.memLatencyCycles(), base.memLatencyCycles());
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "floorplan/floorplan.h"
+
+namespace th {
+namespace {
+
+TEST(Floorplan, PlanarDimensions)
+{
+    const Floorplan fp = FloorplanBuilder::planar();
+    EXPECT_DOUBLE_EQ(fp.chipW, 12.0);
+    EXPECT_DOUBLE_EQ(fp.chipH, 12.0);
+    EXPECT_EQ(fp.numCores, 2);
+}
+
+TEST(Floorplan, StackedIsQuarterFootprint)
+{
+    const Floorplan p = FloorplanBuilder::planar();
+    const Floorplan s = FloorplanBuilder::stacked();
+    EXPECT_NEAR(s.chipW * s.chipH, p.chipW * p.chipH / 4.0, 1e-9);
+}
+
+TEST(Floorplan, TwoCoresPlusL2)
+{
+    const Floorplan fp = FloorplanBuilder::planar();
+    int l2 = 0, c0 = 0, c1 = 0;
+    for (const auto &b : fp.blocks) {
+        if (b.id == BlockId::L2)
+            ++l2;
+        else if (b.core == 0)
+            ++c0;
+        else if (b.core == 1)
+            ++c1;
+    }
+    EXPECT_EQ(l2, 1);
+    EXPECT_EQ(c0, kNumCoreBlocks);
+    EXPECT_EQ(c1, kNumCoreBlocks);
+}
+
+TEST(Floorplan, BlocksCoverMostOfTheChip)
+{
+    const Floorplan fp = FloorplanBuilder::planar();
+    const double chip = fp.chipW * fp.chipH;
+    EXPECT_GT(fp.blockArea(), 0.90 * chip);
+    EXPECT_LE(fp.blockArea(), chip + 1e-9);
+}
+
+TEST(Floorplan, BlocksStayInsideChip)
+{
+    for (const Floorplan &fp :
+         {FloorplanBuilder::planar(), FloorplanBuilder::stacked()}) {
+        for (const auto &b : fp.blocks) {
+            EXPECT_GE(b.x, -1e-9);
+            EXPECT_GE(b.y, -1e-9);
+            EXPECT_LE(b.x + b.w, fp.chipW + 1e-9) << blockName(b.id);
+            EXPECT_LE(b.y + b.h, fp.chipH + 1e-9) << blockName(b.id);
+        }
+    }
+}
+
+TEST(Floorplan, NoBlockOverlaps)
+{
+    const Floorplan fp = FloorplanBuilder::planar();
+    for (size_t i = 0; i < fp.blocks.size(); ++i) {
+        for (size_t j = i + 1; j < fp.blocks.size(); ++j) {
+            const auto &a = fp.blocks[i];
+            const auto &b = fp.blocks[j];
+            const double ox = std::min(a.x + a.w, b.x + b.w) -
+                std::max(a.x, b.x);
+            const double oy = std::min(a.y + a.h, b.y + b.h) -
+                std::max(a.y, b.y);
+            EXPECT_FALSE(ox > 1e-9 && oy > 1e-9)
+                << blockName(a.id) << " overlaps " << blockName(b.id);
+        }
+    }
+}
+
+TEST(Floorplan, FindLocatesBlocks)
+{
+    const Floorplan fp = FloorplanBuilder::planar();
+    EXPECT_NE(fp.find(BlockId::Scheduler, 0), nullptr);
+    EXPECT_NE(fp.find(BlockId::Scheduler, 1), nullptr);
+    EXPECT_NE(fp.find(BlockId::L2, -1), nullptr);
+    EXPECT_EQ(fp.find(BlockId::L2, 0), nullptr);
+}
+
+TEST(Floorplan, SchedulerIsCompact)
+{
+    // The RS must have high power density potential (the paper's 2D
+    // hotspot): smallest area among the major datapath blocks.
+    const Floorplan fp = FloorplanBuilder::planar();
+    const BlockRect *sched = fp.find(BlockId::Scheduler, 0);
+    const BlockRect *dcache = fp.find(BlockId::DCache, 0);
+    const BlockRect *icache = fp.find(BlockId::ICache, 0);
+    ASSERT_NE(sched, nullptr);
+    EXPECT_LT(sched->area(), dcache->area());
+    EXPECT_LT(sched->area(), icache->area());
+}
+
+TEST(Floorplan, StackedBlocksScaleByHalf)
+{
+    const Floorplan p = FloorplanBuilder::planar();
+    const Floorplan s = FloorplanBuilder::stacked();
+    const BlockRect *pp = p.find(BlockId::RegFile, 0);
+    const BlockRect *ss = s.find(BlockId::RegFile, 0);
+    ASSERT_NE(pp, nullptr);
+    ASSERT_NE(ss, nullptr);
+    EXPECT_NEAR(ss->w, pp->w / 2.0, 1e-9);
+    EXPECT_NEAR(ss->h, pp->h / 2.0, 1e-9);
+}
+
+TEST(Floorplan, BlockNamesAreStable)
+{
+    EXPECT_STREQ(blockName(BlockId::Scheduler), "Scheduler");
+    EXPECT_STREQ(blockName(BlockId::DCache), "DCache");
+    EXPECT_STREQ(blockName(BlockId::L2), "L2");
+}
+
+} // namespace
+} // namespace th

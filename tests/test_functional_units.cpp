@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/functional_units.h"
+
+namespace th {
+namespace {
+
+class FuTest : public ::testing::Test
+{
+  protected:
+    CoreConfig cfg_;
+    FuLatencies lat_;
+};
+
+TEST_F(FuTest, ThreeAlusPerCycle)
+{
+    FuPool fus(cfg_, lat_);
+    EXPECT_EQ(fus.tryIssue(OpClass::IntAlu, 10), lat_.intAlu);
+    EXPECT_EQ(fus.tryIssue(OpClass::IntAlu, 10), lat_.intAlu);
+    EXPECT_EQ(fus.tryIssue(OpClass::IntAlu, 10), lat_.intAlu);
+    EXPECT_EQ(fus.tryIssue(OpClass::IntAlu, 10), -1)
+        << "Table 1: only 3 ALUs";
+    EXPECT_EQ(fus.tryIssue(OpClass::IntAlu, 11), lat_.intAlu)
+        << "pipelined: free next cycle";
+}
+
+TEST_F(FuTest, TwoShiftersOneMultiplier)
+{
+    FuPool fus(cfg_, lat_);
+    EXPECT_GE(fus.tryIssue(OpClass::IntShift, 1), 0);
+    EXPECT_GE(fus.tryIssue(OpClass::IntShift, 1), 0);
+    EXPECT_EQ(fus.tryIssue(OpClass::IntShift, 1), -1);
+    EXPECT_EQ(fus.tryIssue(OpClass::IntMult, 1), lat_.intMult);
+    EXPECT_EQ(fus.tryIssue(OpClass::IntMult, 1), -1);
+}
+
+TEST_F(FuTest, MultiplierIsPipelined)
+{
+    FuPool fus(cfg_, lat_);
+    EXPECT_GE(fus.tryIssue(OpClass::IntMult, 1), 0);
+    EXPECT_GE(fus.tryIssue(OpClass::IntMult, 2), 0)
+        << "new mult each cycle despite 4-cycle latency";
+}
+
+TEST_F(FuTest, FpDivideIsUnpipelined)
+{
+    FuPool fus(cfg_, lat_);
+    EXPECT_EQ(fus.tryIssue(OpClass::FpDiv, 1), lat_.fpDiv);
+    EXPECT_EQ(fus.tryIssue(OpClass::FpDiv, 2), -1);
+    EXPECT_EQ(fus.tryIssue(OpClass::FpDiv, 1 + lat_.fpDiv), lat_.fpDiv);
+}
+
+TEST_F(FuTest, MemoryPortMix)
+{
+    // One load/store port + one load-only port (Table 1).
+    FuPool fus(cfg_, lat_);
+    EXPECT_GE(fus.tryIssue(OpClass::Load, 1), 0);
+    EXPECT_GE(fus.tryIssue(OpClass::Load, 1), 0);
+    EXPECT_EQ(fus.tryIssue(OpClass::Load, 1), -1);
+    EXPECT_GE(fus.tryIssue(OpClass::Store, 1), 0);
+    EXPECT_EQ(fus.tryIssue(OpClass::Store, 1), -1);
+}
+
+TEST_F(FuTest, BranchesUseAlus)
+{
+    FuPool fus(cfg_, lat_);
+    fus.tryIssue(OpClass::IntAlu, 5);
+    fus.tryIssue(OpClass::Branch, 5);
+    fus.tryIssue(OpClass::Jump, 5);
+    EXPECT_EQ(fus.tryIssue(OpClass::IndirectJump, 5), -1)
+        << "branches share the 3 ALUs";
+}
+
+TEST_F(FuTest, NopsNeedNoUnit)
+{
+    FuPool fus(cfg_, lat_);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(fus.tryIssue(OpClass::Nop, 1), 0);
+}
+
+TEST_F(FuTest, LatencyQuery)
+{
+    FuPool fus(cfg_, lat_);
+    EXPECT_EQ(fus.latency(OpClass::IntAlu), lat_.intAlu);
+    EXPECT_EQ(fus.latency(OpClass::FpAdd), lat_.fpAdd);
+    EXPECT_EQ(fus.latency(OpClass::FpMult), lat_.fpMult);
+    EXPECT_EQ(fus.latency(OpClass::Nop), 0);
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "thermal/hotspot.h"
+
+namespace th {
+namespace {
+
+/** Synthetic power result: spread dynamic watts evenly per block. */
+PowerResult
+uniformPower(double dyn_per_block, bool stacked, double clock_w = 20.0,
+             double leak_w = 18.0)
+{
+    PowerResult p;
+    p.clockW = clock_w;
+    p.leakW = leak_w;
+    for (auto &b : p.coreBlocks) {
+        if (stacked) {
+            for (int d = 0; d < kNumDies; ++d)
+                b.dieW[static_cast<size_t>(d)] =
+                    dyn_per_block / kNumDies;
+        } else {
+            b.dieW[0] = dyn_per_block;
+        }
+    }
+    if (stacked) {
+        for (int d = 0; d < kNumDies; ++d)
+            p.l2.dieW[static_cast<size_t>(d)] = dyn_per_block / kNumDies;
+    } else {
+        p.l2.dieW[0] = dyn_per_block;
+    }
+    return p;
+}
+
+ThermalParams
+fastParams()
+{
+    ThermalParams p;
+    p.gridN = 24;
+    p.maxResidualK = 1e-3;
+    p.leakFeedbackIters = 3;
+    return p;
+}
+
+TEST(Hotspot, PlanarReportCoversAllBlocks)
+{
+    HotspotModel model(fastParams());
+    const Floorplan fp = FloorplanBuilder::planar();
+    const ThermalReport rep =
+        model.analyze(fp, uniformPower(1.0, false), false);
+    // L2 + two cores' blocks, one die each.
+    EXPECT_EQ(rep.blocks.size(), 1u + 2u * kNumCoreBlocks);
+    EXPECT_GT(rep.peakK, 318.15);
+    EXPECT_FALSE(rep.hottestBlock.empty());
+}
+
+TEST(Hotspot, StackedReportHasFourDiesPerBlock)
+{
+    HotspotModel model(fastParams());
+    const Floorplan fp = FloorplanBuilder::stacked();
+    const ThermalReport rep =
+        model.analyze(fp, uniformPower(1.0, true), true);
+    EXPECT_EQ(rep.blocks.size(),
+              (1u + 2u * kNumCoreBlocks) * kNumDies);
+}
+
+TEST(Hotspot, SamePowerOnQuarterFootprintIsHotter)
+{
+    HotspotModel model(fastParams());
+    const ThermalReport planar = model.analyze(
+        FloorplanBuilder::planar(), uniformPower(1.0, false), false);
+    const ThermalReport stacked = model.analyze(
+        FloorplanBuilder::stacked(), uniformPower(1.0, true), true);
+    // Identical wattage, 4x the density: the 3D stack must run hotter
+    // (the paper's central thermal concern).
+    EXPECT_GT(stacked.peakK, planar.peakK + 5.0);
+}
+
+TEST(Hotspot, PowerScaleRaisesTemperature)
+{
+    HotspotModel model(fastParams());
+    const Floorplan fp = FloorplanBuilder::stacked();
+    const PowerResult p = uniformPower(1.0, true);
+    const ThermalReport base = model.analyze(fp, p, true, 1.0);
+    const ThermalReport hot = model.analyze(fp, p, true, 1.3);
+    EXPECT_GT(hot.peakK, base.peakK + 2.0);
+}
+
+TEST(Hotspot, HighPowerBlockIsHottest)
+{
+    HotspotModel model(fastParams());
+    const Floorplan fp = FloorplanBuilder::planar();
+    PowerResult p = uniformPower(0.2, false);
+    p.coreBlocks[static_cast<size_t>(BlockId::DCache)].dieW[0] = 18.0;
+    const ThermalReport rep = model.analyze(fp, p, false);
+    EXPECT_EQ(rep.hottestBlock, "DCache");
+}
+
+TEST(Hotspot, BlockPeakLookup)
+{
+    HotspotModel model(fastParams());
+    const Floorplan fp = FloorplanBuilder::planar();
+    const ThermalReport rep =
+        model.analyze(fp, uniformPower(1.0, false), false);
+    EXPECT_GT(rep.blockPeakK(BlockId::Scheduler), 318.15);
+    EXPECT_LE(rep.blockPeakK(BlockId::Scheduler), rep.peakK);
+}
+
+TEST(Hotspot, LeakageFeedbackAmplifiesHotRuns)
+{
+    ThermalParams with = fastParams();
+    ThermalParams without = fastParams();
+    without.leakFeedbackIters = 1; // first pass uses nominal leakage
+    const Floorplan fp = FloorplanBuilder::stacked();
+    const PowerResult p = uniformPower(1.2, true, 25.0, 18.0);
+    const double t_fb =
+        HotspotModel(with).analyze(fp, p, true).peakK;
+    const double t_no =
+        HotspotModel(without).analyze(fp, p, true).peakK;
+    EXPECT_GT(t_fb, t_no);
+}
+
+TEST(Hotspot, StackLayersOrdered)
+{
+    const auto planar = HotspotModel::planarStack();
+    ASSERT_GE(planar.size(), 4u);
+    EXPECT_EQ(planar.front().name, "sink");
+    EXPECT_EQ(planar.back().dieIndex, 0);
+
+    const auto stacked = HotspotModel::stackedStack();
+    int dies = 0;
+    for (const auto &l : stacked)
+        if (l.dieIndex >= 0)
+            ++dies;
+    EXPECT_EQ(dies, kNumDies);
+    // Die 0 must be nearer the sink than die 3.
+    int l0 = -1, l3 = -1;
+    for (size_t i = 0; i < stacked.size(); ++i) {
+        if (stacked[i].dieIndex == 0)
+            l0 = static_cast<int>(i);
+        if (stacked[i].dieIndex == 3)
+            l3 = static_cast<int>(i);
+    }
+    EXPECT_LT(l0, l3);
+}
+
+} // namespace
+} // namespace th

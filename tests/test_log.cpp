@@ -1,0 +1,35 @@
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace th {
+namespace {
+
+TEST(Log, StrformatBasics)
+{
+    EXPECT_EQ(strformat("x=%d", 5), "x=5");
+    EXPECT_EQ(strformat("%s-%s", "a", "b"), "a-b");
+    EXPECT_EQ(strformat("%.2f", 1.005), "1.00");
+}
+
+TEST(Log, LevelRoundTrip)
+{
+    const LogLevel old = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(old);
+}
+
+TEST(LogDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 3), "boom 3");
+}
+
+TEST(LogDeathTest, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "circuit/logical_effort.h"
+
+namespace th {
+namespace {
+
+class LogicTest : public ::testing::Test
+{
+  protected:
+    LogicPath logic{defaultTech()};
+};
+
+TEST_F(LogicTest, DelayGrowsWithEffort)
+{
+    EXPECT_LT(logic.optimalDelay(4.0, 2.0), logic.optimalDelay(64.0, 2.0));
+    EXPECT_LT(logic.optimalDelay(64.0, 2.0),
+              logic.optimalDelay(4096.0, 2.0));
+}
+
+TEST_F(LogicTest, ParasiticAdds)
+{
+    EXPECT_LT(logic.optimalDelay(16.0, 1.0), logic.optimalDelay(16.0, 8.0));
+}
+
+TEST_F(LogicTest, SubUnityEffortClamped)
+{
+    EXPECT_DOUBLE_EQ(logic.optimalDelay(0.5, 2.0),
+                     logic.optimalDelay(1.0, 2.0));
+}
+
+TEST_F(LogicTest, FixedStageCount)
+{
+    // One stage with effort F: delay = tau * (F + p).
+    const double d = logic.fixedStageDelay(10.0, 1, 2.0);
+    EXPECT_NEAR(d, defaultTech().tau * 12.0, 1e-9);
+}
+
+TEST_F(LogicTest, OptimalBeatsBadStaging)
+{
+    // Forcing one stage for a huge effort is far worse than optimal.
+    EXPECT_LT(logic.optimalDelay(4096.0, 2.0),
+              logic.fixedStageDelay(4096.0, 1, 2.0));
+}
+
+TEST_F(LogicTest, DecoderDelayGrowsWithRows)
+{
+    const double d32 = logic.decoderDelay(32, 50.0);
+    const double d512 = logic.decoderDelay(512, 50.0);
+    EXPECT_LT(d32, d512);
+}
+
+TEST_F(LogicTest, DecoderDelayGrowsWithLoad)
+{
+    EXPECT_LT(logic.decoderDelay(128, 20.0),
+              logic.decoderDelay(128, 500.0));
+}
+
+TEST_F(LogicTest, DecoderEnergyGrowsWithRows)
+{
+    EXPECT_LT(logic.decoderEnergy(64), logic.decoderEnergy(1024));
+    EXPECT_EQ(logic.decoderEnergy(1), 0.0);
+}
+
+TEST(LogicalEffortGates, NandNorEfforts)
+{
+    EXPECT_NEAR(le::nandEffort(2), 4.0 / 3.0, 1e-12);
+    EXPECT_NEAR(le::norEffort(2), 5.0 / 3.0, 1e-12);
+    // NOR is worse than NAND for the same fan-in (series PMOS).
+    for (int n = 2; n <= 4; ++n)
+        EXPECT_GT(le::norEffort(n), le::nandEffort(n));
+}
+
+TEST(LogicDeathTest, ZeroStagesPanics)
+{
+    LogicPath logic(defaultTech());
+    EXPECT_DEATH(logic.fixedStageDelay(4.0, 0, 1.0), "stage count");
+}
+
+} // namespace
+} // namespace th

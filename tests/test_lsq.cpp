@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/lsq.h"
+
+namespace th {
+namespace {
+
+TEST(StoreQueue, CapacityTracking)
+{
+    StoreQueue sq(2);
+    EXPECT_FALSE(sq.full());
+    sq.insert(1, 0x1000, 8, 7);
+    sq.insert(2, 0x2000, 8, 9);
+    EXPECT_TRUE(sq.full());
+    sq.commitOldest();
+    EXPECT_FALSE(sq.full());
+    EXPECT_EQ(sq.size(), 1);
+}
+
+TEST(StoreQueue, ForwardExactMatch)
+{
+    StoreQueue sq(8);
+    sq.insert(1, 0x1000, 8, 0xABCD);
+    sq.setAddressKnown(1, 5);
+    const LsqSearchResult r = sq.searchForLoad(2, 0x1000, 8, 10);
+    EXPECT_TRUE(r.forward);
+    EXPECT_EQ(r.value, 0xABCDu);
+    EXPECT_FALSE(r.mustWait);
+}
+
+TEST(StoreQueue, NoForwardFromYoungerStore)
+{
+    StoreQueue sq(8);
+    sq.insert(5, 0x1000, 8, 1);
+    sq.setAddressKnown(5, 1);
+    const LsqSearchResult r = sq.searchForLoad(3, 0x1000, 8, 10);
+    EXPECT_FALSE(r.forward);
+    EXPECT_FALSE(r.mustWait);
+}
+
+TEST(StoreQueue, YoungestOlderStoreWins)
+{
+    StoreQueue sq(8);
+    sq.insert(1, 0x1000, 8, 111);
+    sq.insert(2, 0x1000, 8, 222);
+    sq.setAddressKnown(1, 1);
+    sq.setAddressKnown(2, 2);
+    const LsqSearchResult r = sq.searchForLoad(9, 0x1000, 8, 10);
+    EXPECT_TRUE(r.forward);
+    EXPECT_EQ(r.value, 222u);
+}
+
+TEST(StoreQueue, WaitsForConflictingUnresolvedStore)
+{
+    StoreQueue sq(8);
+    sq.insert(1, 0x1000, 8, 7); // address not yet "known"
+    const LsqSearchResult r = sq.searchForLoad(2, 0x1000, 8, 10);
+    EXPECT_TRUE(r.mustWait);
+}
+
+TEST(StoreQueue, WaitsUntilAguCycle)
+{
+    StoreQueue sq(8);
+    sq.insert(1, 0x1000, 8, 7);
+    sq.setAddressKnown(1, 20);
+    EXPECT_TRUE(sq.searchForLoad(2, 0x1000, 8, 10).mustWait);
+    EXPECT_TRUE(sq.searchForLoad(2, 0x1000, 8, 10).waitUntil == 20);
+    EXPECT_TRUE(sq.searchForLoad(2, 0x1000, 8, 25).forward);
+}
+
+TEST(StoreQueue, OracleIgnoresNonConflictingUnresolved)
+{
+    // An unresolved store to a *different* address does not block
+    // (ideal memory dependence prediction).
+    StoreQueue sq(8);
+    sq.insert(1, 0x9000, 8, 7);
+    const LsqSearchResult r = sq.searchForLoad(2, 0x1000, 8, 10);
+    EXPECT_FALSE(r.mustWait);
+    EXPECT_FALSE(r.forward);
+}
+
+TEST(StoreQueue, PartialOverlapDoesNotForward)
+{
+    StoreQueue sq(8);
+    sq.insert(1, 0x1004, 4, 7);
+    sq.setAddressKnown(1, 1);
+    const LsqSearchResult r = sq.searchForLoad(2, 0x1000, 8, 10);
+    EXPECT_FALSE(r.forward);
+    EXPECT_FALSE(r.mustWait);
+}
+
+TEST(StoreQueue, PamMemoizesSameRegion)
+{
+    StoreQueue sq(8);
+    ActivityStats act;
+    PerfStats perf;
+    const Addr stack1 = 0x00007fffff000010ULL;
+    const Addr stack2 = 0x00007fffff000020ULL; // same upper 48 bits
+    const Addr heap = 0x0000200000000000ULL;
+
+    // First broadcast: nothing memoized yet.
+    EXPECT_FALSE(sq.recordBroadcast(stack1, true, act, perf, true));
+    // Same-region load: memoized (top-die-only search).
+    EXPECT_TRUE(sq.recordBroadcast(stack2, false, act, perf, true));
+    // Cross-region access breaks the memoization.
+    EXPECT_FALSE(sq.recordBroadcast(heap, true, act, perf, true));
+    // Back to the stack: the last *store* was the heap one.
+    EXPECT_FALSE(sq.recordBroadcast(stack1, false, act, perf, true));
+
+    EXPECT_EQ(perf.pamHits.value(), 1u);
+    EXPECT_EQ(perf.pamMisses.value(), 3u);
+    EXPECT_EQ(act.lsqSearchLow.value(), 1u);
+    EXPECT_EQ(act.lsqSearchFull.value(), 3u);
+}
+
+TEST(StoreQueue, LoadsDoNotUpdatePamReference)
+{
+    StoreQueue sq(8);
+    ActivityStats act;
+    PerfStats perf;
+    const Addr stack = 0x00007fffff000010ULL;
+    const Addr heap1 = 0x0000200000000000ULL;
+    const Addr heap2 = 0x0000200000000040ULL;
+    sq.recordBroadcast(stack, true, act, perf, true);
+    // A heap LOAD misses but must not change the reference...
+    EXPECT_FALSE(sq.recordBroadcast(heap1, false, act, perf, true));
+    // ...so a stack access still memoizes.
+    EXPECT_TRUE(sq.recordBroadcast(stack + 8, false, act, perf, true));
+    // While a heap STORE does change it.
+    sq.recordBroadcast(heap1, true, act, perf, true);
+    EXPECT_TRUE(sq.recordBroadcast(heap2, false, act, perf, true));
+}
+
+TEST(StoreQueue, PamDisabledCountsFull)
+{
+    StoreQueue sq(8);
+    ActivityStats act;
+    PerfStats perf;
+    const Addr stack = 0x00007fffff000010ULL;
+    sq.recordBroadcast(stack, true, act, perf, false);
+    EXPECT_FALSE(sq.recordBroadcast(stack + 8, false, act, perf, false));
+    EXPECT_EQ(act.lsqSearchFull.value(), 2u);
+    EXPECT_EQ(act.lsqSearchLow.value(), 0u);
+}
+
+TEST(StoreQueueDeathTest, OverflowPanics)
+{
+    StoreQueue sq(1);
+    sq.insert(1, 0x0, 8, 0);
+    EXPECT_DEATH(sq.insert(2, 0x8, 8, 0), "full");
+}
+
+TEST(StoreQueueDeathTest, CommitEmptyPanics)
+{
+    StoreQueue sq(1);
+    EXPECT_DEATH(sq.commitOldest(), "empty");
+}
+
+TEST(StoreQueueDeathTest, UnknownSeqPanics)
+{
+    StoreQueue sq(2);
+    sq.insert(1, 0x0, 8, 0);
+    EXPECT_DEATH(sq.setAddressKnown(7, 1), "not found");
+}
+
+} // namespace
+} // namespace th

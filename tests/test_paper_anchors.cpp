@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Integration tests asserting tolerance bands around the paper's
+ * published anchors (see paper_targets.h and EXPERIMENTS.md). These
+ * run shortened simulation windows, so the bands are generous; the
+ * bench binaries print the full-length numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.h"
+#include "sim/paper_targets.h"
+
+namespace th {
+namespace {
+
+class AnchorTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        SimOptions opts;
+        opts.instructions = 100000;
+        opts.warmupInstructions = 60000;
+        sys_ = new System(opts);
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete sys_;
+        sys_ = nullptr;
+    }
+
+    static System *sys_;
+};
+
+System *AnchorTest::sys_ = nullptr;
+
+TEST_F(AnchorTest, FrequencyGain)
+{
+    // Paper: +47.9% (2.66 -> 3.93 GHz).
+    EXPECT_NEAR(sys_->circuits().frequencyGain(), paper::kFreqGain,
+                0.05);
+}
+
+TEST_F(AnchorTest, McfIsTheSpeedupMinimum)
+{
+    // Paper: min 7% (mcf), because DRAM latency does not shrink.
+    const Fig8Data data = runFigure8(
+        *sys_, {"mcf", "crafty", "susan", "gzip", "swim"});
+    EXPECT_EQ(data.minBenchmark, "mcf");
+    EXPECT_NEAR(data.minSpeedup, paper::kMinSpeedup, 0.05);
+}
+
+TEST_F(AnchorTest, CraftySpeedupNearPaper)
+{
+    // Paper: 65%.
+    const Fig8Data data = runFigure8(*sys_, {"crafty"});
+    EXPECT_NEAR(data.benchmarks[0].speedup, paper::kCraftySpeedup, 0.12);
+}
+
+TEST_F(AnchorTest, SpecFpGainsLessThanInt)
+{
+    // Paper: SPECfp 29.5% vs ~50% for the other groups.
+    const Fig8Data data = runFigure8(
+        *sys_, {"swim", "art", "equake", "gzip", "vortex", "gap"});
+    double fp = 0.0, intg = 0.0;
+    for (const auto &g : data.groups) {
+        if (g.suite == "SPECfp2000")
+            fp = g.speedup;
+        if (g.suite == "SPECint2000")
+            intg = g.speedup;
+    }
+    EXPECT_LT(fp, intg - 0.1);
+    EXPECT_NEAR(fp, paper::kSpecFpSpeedup, 0.14);
+}
+
+TEST_F(AnchorTest, FastConfigLosesIpc)
+{
+    // Figure 8(a): higher clock alone lowers IPC (more DRAM cycles).
+    const Fig8Data data = runFigure8(*sys_, {"swim", "gzip"});
+    for (const auto &b : data.benchmarks) {
+        EXPECT_LE(b.ipc[3], b.ipc[0] * 1.001) << b.name;
+    }
+}
+
+TEST_F(AnchorTest, PipeOptsGainIpc)
+{
+    const Fig8Data data = runFigure8(*sys_, {"crafty", "patricia"});
+    for (const auto &b : data.benchmarks)
+        EXPECT_GE(b.ipc[2], b.ipc[0]) << b.name;
+}
+
+TEST_F(AnchorTest, ThermalHerdingIpcCostIsSmall)
+{
+    const Fig8Data data =
+        runFigure8(*sys_, {"mpeg2enc", "gzip", "susan"});
+    for (const auto &b : data.benchmarks) {
+        EXPECT_LE(b.ipc[1], b.ipc[0] * 1.001) << b.name;
+        EXPECT_GE(b.ipc[1], b.ipc[0] * 0.90) << b.name;
+    }
+}
+
+TEST_F(AnchorTest, WidthPredictionAccuracyNear97)
+{
+    // Section 3.8: "97% of all instructions fetched have their widths
+    // correctly predicted".
+    const WidthStudyData data = runWidthStudy(
+        *sys_, {"mpeg2enc", "gzip", "crafty", "susan", "yacr2", "swim"});
+    EXPECT_GT(data.overallAccuracy, 0.95);
+    for (const auto &row : data.rows)
+        EXPECT_GT(row.accuracy, 0.88) << row.name;
+}
+
+TEST_F(AnchorTest, PowerBreakdownMatchesFigure9)
+{
+    const Fig9Data data = runFigure9(*sys_, {"susan", "yacr2"});
+    // Fig 9(a): 90 W planar baseline.
+    EXPECT_NEAR(data.planar.totalW, paper::kBaselinePowerW, 1.0);
+    // Fig 9(b): ~72.7 W without herding.
+    EXPECT_NEAR(data.noTh3d.totalW, paper::k3dNoThPowerW, 5.0);
+    // Fig 9(c): ~64.3 W with Thermal Herding.
+    EXPECT_NEAR(data.th3d.totalW, paper::k3dThPowerW, 5.0);
+    EXPECT_LT(data.th3d.totalW, data.noTh3d.totalW);
+    EXPECT_LT(data.noTh3d.totalW, data.planar.totalW);
+}
+
+TEST_F(AnchorTest, PowerSavingRangeOrdered)
+{
+    // Paper: 15% (yacr2) .. 30% (susan).
+    const Fig9Data data = runFigure9(*sys_, {"susan", "yacr2", "gzip"});
+    EXPECT_EQ(data.maxSaving.name, "susan");
+    EXPECT_EQ(data.minSaving.name, "yacr2");
+    EXPECT_GT(data.maxSaving.saving, 0.2);
+    EXPECT_LT(data.minSaving.saving, 0.27);
+}
+
+TEST_F(AnchorTest, ThermalOrderingMatchesFigure10)
+{
+    const Fig10Data data =
+        runFigure10(*sys_, {"mpeg2enc", "yacr2", "susan"});
+    // Peak ordering: planar < 3D-TH < 3D-noTH << iso-power.
+    EXPECT_GT(data.worstNoTh3d.report.peakK,
+              data.worstPlanar.report.peakK + 5.0);
+    EXPECT_LT(data.worstTh3d.report.peakK,
+              data.worstNoTh3d.report.peakK - 2.0);
+    EXPECT_GT(data.isoPower.report.peakK,
+              data.worstNoTh3d.report.peakK + 10.0);
+}
+
+TEST_F(AnchorTest, PlanarPeakNear360K)
+{
+    const Fig10Data data = runFigure10(*sys_, {"mpeg2enc"});
+    EXPECT_NEAR(data.worstPlanar.report.peakK, paper::kPeak2dK, 8.0);
+}
+
+TEST_F(AnchorTest, Yacr2HotspotIsTheDataCache)
+{
+    // Section 5.3: under Thermal Herding, yacr2's D-cache becomes the
+    // hottest block.
+    const Fig10Data data = runFigure10(*sys_, {"yacr2"});
+    EXPECT_EQ(data.worstTh3d.report.hottestBlock, "DCache");
+}
+
+TEST_F(AnchorTest, HerdingReducesTheIncrease)
+{
+    // Paper: the 3D temperature increase shrinks from +17 K to +12 K
+    // (a 29% reduction). We assert the direction and a meaningful
+    // magnitude.
+    const Fig10Data data =
+        runFigure10(*sys_, {"mpeg2enc", "yacr2", "susan"});
+    const double inc_no_th = data.worstNoTh3d.report.peakK -
+        data.worstPlanar.report.peakK;
+    const double inc_th = data.worstTh3d.report.peakK -
+        data.worstPlanar.report.peakK;
+    EXPECT_GT(inc_no_th, inc_th);
+    EXPECT_GT((inc_no_th - inc_th) / inc_no_th, 0.2);
+}
+
+} // namespace
+} // namespace th

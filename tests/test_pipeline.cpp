@@ -1,0 +1,337 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "test_util.h"
+
+namespace th {
+namespace {
+
+using test::VectorTrace;
+
+CoreConfig
+baseCfg()
+{
+    CoreConfig cfg;
+    return cfg;
+}
+
+CoreConfig
+thCfg()
+{
+    CoreConfig cfg;
+    cfg.thermalHerding = true;
+    return cfg;
+}
+
+TEST(Pipeline, IndependentAlusApproachCommitWidth)
+{
+    VectorTrace trace(test::independentAlus(20000));
+    Core core(baseCfg());
+    const CoreResult r = core.run(trace, 20000);
+    EXPECT_EQ(r.perf.committedInsts.value(), 20000u);
+    // Independent single-cycle ALU ops: bounded by the 3 integer
+    // ALUs (Table 1), approached closely.
+    EXPECT_GT(r.perf.ipc(), 2.5);
+    EXPECT_LE(r.perf.ipc(), 3.05);
+}
+
+TEST(Pipeline, DependentChainSerializes)
+{
+    VectorTrace trace(test::dependentChain(5000));
+    Core core(baseCfg());
+    const CoreResult r = core.run(trace, 5000);
+    // One op per cycle through the chain.
+    EXPECT_GT(r.perf.ipc(), 0.85);
+    EXPECT_LT(r.perf.ipc(), 1.15);
+}
+
+TEST(Pipeline, DrainsWhenTraceEnds)
+{
+    VectorTrace trace(test::independentAlus(100));
+    Core core(baseCfg());
+    const CoreResult r = core.run(trace, 100000);
+    EXPECT_EQ(r.perf.committedInsts.value(), 100u);
+}
+
+TEST(Pipeline, NopsCommit)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 200; ++i) {
+        TraceRecord r;
+        r.pc = 0x1000 + static_cast<Addr>(i) * 4;
+        r.op = OpClass::Nop;
+        recs.push_back(r);
+    }
+    VectorTrace trace(std::move(recs));
+    Core core(baseCfg());
+    const CoreResult r = core.run(trace, 200);
+    EXPECT_EQ(r.perf.committedInsts.value(), 200u);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns)
+{
+    VectorTrace t1(test::independentAlus(5000));
+    VectorTrace t2(test::independentAlus(5000));
+    Core c1(baseCfg()), c2(baseCfg());
+    EXPECT_EQ(c1.run(t1, 5000).perf.cycles.value(),
+              c2.run(t2, 5000).perf.cycles.value());
+}
+
+TEST(Pipeline, MispredictedBranchCostsPenalty)
+{
+    // Alternating taken/not-taken branch with an unpredictable-ish
+    // pattern vs no branches at all.
+    std::vector<TraceRecord> with_branches;
+    std::uint64_t x = 42;
+    for (int i = 0; i < 8000; ++i) {
+        if (i % 4 == 3) {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            // Random direction, sequential fall-through target so a
+            // taken outcome redirects.
+            const Addr pc = 0x1000 + static_cast<Addr>(i % 64) * 4;
+            with_branches.push_back(
+                test::branchOp(pc, (x & 1) != 0, pc + 4));
+        } else {
+            with_branches.push_back(test::aluOp(
+                0x1000 + static_cast<Addr>(i % 64) * 4,
+                static_cast<RegIndex>(i % 16), 3));
+        }
+    }
+    VectorTrace bt(std::move(with_branches));
+    Core bc(baseCfg());
+    const CoreResult br = bc.run(bt, 8000);
+
+    VectorTrace at(test::independentAlus(8000));
+    Core ac(baseCfg());
+    const CoreResult ar = ac.run(at, 8000);
+
+    EXPECT_GT(br.perf.branchMispredicts.value(), 100u);
+    EXPECT_LT(br.perf.ipc(), ar.perf.ipc() * 0.6);
+
+    // Each mispredict costs at least the minimum penalty.
+    const double extra_cycles =
+        static_cast<double>(br.perf.cycles.value()) -
+        static_cast<double>(ar.perf.cycles.value());
+    EXPECT_GT(extra_cycles,
+              0.8 * baseCfg().bmispredMin() *
+              static_cast<double>(br.perf.branchMispredicts.value()));
+}
+
+TEST(Pipeline, PredictableBranchesAreCheap)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 8000; ++i) {
+        const Addr pc = 0x1000 + static_cast<Addr>(i % 8) * 4;
+        if (i % 8 == 7) {
+            recs.push_back(test::branchOp(pc, true, 0x1000));
+        } else {
+            recs.push_back(test::aluOp(
+                pc, static_cast<RegIndex>(i % 16), 3));
+        }
+    }
+    VectorTrace trace(std::move(recs));
+    Core core(baseCfg());
+    const CoreResult r = core.run(trace, 8000);
+    EXPECT_LT(r.perf.branchMispredRate(), 0.02);
+    EXPECT_GT(r.perf.ipc(), 2.0);
+}
+
+TEST(Pipeline, LoadMissesSlowTheCore)
+{
+    // Strided loads over 16MB: every line misses to DRAM.
+    std::vector<TraceRecord> cold, hot;
+    for (int i = 0; i < 4000; ++i) {
+        cold.push_back(test::loadOp(
+            0x1000 + static_cast<Addr>(i % 32) * 4,
+            static_cast<RegIndex>(i % 8),
+            0x20000000 + static_cast<Addr>(i) * 64));
+        hot.push_back(test::loadOp(
+            0x1000 + static_cast<Addr>(i % 32) * 4,
+            static_cast<RegIndex>(i % 8),
+            0x20000000 + static_cast<Addr>(i % 64) * 64));
+    }
+    VectorTrace cold_t(std::move(cold)), hot_t(std::move(hot));
+    Core cold_c(baseCfg()), hot_c(baseCfg());
+    const CoreResult rc = cold_c.run(cold_t, 4000);
+    const CoreResult rh = hot_c.run(hot_t, 4000);
+    EXPECT_GT(rc.perf.dl1Misses.value(), 3000u);
+    EXPECT_LT(rc.perf.ipc(), rh.perf.ipc() * 0.5);
+}
+
+TEST(Pipeline, StoreForwardingHits)
+{
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 3000; ++i) {
+        const Addr addr = 0x7000 + static_cast<Addr>((i / 2) % 4) * 8;
+        if (i % 2 == 0)
+            recs.push_back(test::storeOp(0x1000, addr, 77));
+        else
+            recs.push_back(test::loadOp(0x1010, 5, addr, 77));
+    }
+    VectorTrace trace(std::move(recs));
+    Core core(baseCfg());
+    const CoreResult r = core.run(trace, 3000);
+    EXPECT_GT(r.perf.storeForwards.value(), 500u);
+}
+
+TEST(Pipeline, WarmupDiscardsStatistics)
+{
+    VectorTrace trace(test::independentAlus(30000));
+    Core core(baseCfg());
+    const CoreResult r = core.run(trace, 10000, 5000);
+    EXPECT_EQ(r.perf.committedInsts.value(), 10000u);
+    // Cycles should reflect only the measured window.
+    EXPECT_LT(r.perf.cycles.value(), 10000u);
+}
+
+TEST(Pipeline, WidthPredictionOnlyWhenHerding)
+{
+    VectorTrace t1(test::independentAlus(3000));
+    VectorTrace t2(test::independentAlus(3000));
+    Core base(baseCfg()), herd(thCfg());
+    const CoreResult rb = base.run(t1, 3000);
+    const CoreResult rh = herd.run(t2, 3000);
+    EXPECT_EQ(rb.perf.widthPredictions.value(), 0u);
+    EXPECT_GT(rh.perf.widthPredictions.value(), 2500u);
+}
+
+TEST(Pipeline, LowWidthStreamHerdsToTopDie)
+{
+    VectorTrace trace(test::independentAlus(5000, /*value=*/7));
+    Core core(thCfg());
+    const CoreResult r = core.run(trace, 5000);
+    // All values are low-width: predictor learns, ALU accesses gated.
+    EXPECT_GT(r.activity.aluLow.value(), r.activity.aluFull.value());
+    EXPECT_GT(r.activity.bypassLow.value(),
+              r.activity.bypassFull.value());
+    EXPECT_GT(r.perf.widthAccuracy(), 0.95);
+}
+
+TEST(Pipeline, FullWidthStreamStaysFull)
+{
+    VectorTrace trace(test::independentAlus(5000, 0x123456789ULL));
+    Core core(thCfg());
+    const CoreResult r = core.run(trace, 5000);
+    EXPECT_EQ(r.activity.aluLow.value(), 0u);
+    EXPECT_GT(r.activity.aluFull.value(), 4000u);
+    EXPECT_EQ(r.perf.widthUnsafe.value(), 0u)
+        << "full-width prediction is always safe";
+}
+
+TEST(Pipeline, WidthFlipsCauseBoundedStalls)
+{
+    // A site producing low values with occasional full results.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 8000; ++i) {
+        const std::uint64_t v = (i % 50 == 49) ? 0xABCDEF012345ULL : 9;
+        TraceRecord r = test::aluOp(
+            0x1000 + static_cast<Addr>(i % 16) * 4,
+            static_cast<RegIndex>(i % 8), v);
+        recs.push_back(r);
+    }
+    VectorTrace trace(std::move(recs));
+    Core core(thCfg());
+    const CoreResult r = core.run(trace, 8000);
+    EXPECT_GT(r.perf.widthUnsafe.value(), 0u);
+    EXPECT_GT(r.perf.execReplays.value(), 0u)
+        << "low operands producing full results must re-execute";
+    EXPECT_GT(r.perf.widthAccuracy(), 0.9);
+}
+
+TEST(Pipeline, ThermalHerdingCostsLittleIpc)
+{
+    VectorTrace t1(test::independentAlus(20000, 7));
+    VectorTrace t2(test::independentAlus(20000, 7));
+    Core base(baseCfg()), herd(thCfg());
+    const double ipc_base = base.run(t1, 20000).perf.ipc();
+    const double ipc_th = herd.run(t2, 20000).perf.ipc();
+    EXPECT_GT(ipc_th, ipc_base * 0.95);
+}
+
+TEST(Pipeline, EncodableLoadValuesCountAsLow)
+{
+    // Loads returning small negatives (upper bits all ones) are
+    // "low" to the D-cache thanks to the 2-bit encoding.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 5000; ++i) {
+        recs.push_back(test::loadOp(
+            0x1000 + static_cast<Addr>(i % 16) * 4,
+            static_cast<RegIndex>(i % 8),
+            0x8000 + static_cast<Addr>(i % 32) * 8,
+            ~0ULL << 4));
+    }
+    VectorTrace trace(std::move(recs));
+    Core core(thCfg());
+    const CoreResult r = core.run(trace, 5000);
+    EXPECT_GT(r.perf.pveOnes.value(), 3000u);
+    EXPECT_GT(r.activity.dl1ReadLow.value(),
+              r.activity.dl1ReadFull.value());
+}
+
+TEST(Pipeline, PveAblationNarrowsLowDefinition)
+{
+    auto make = [] {
+        std::vector<TraceRecord> recs;
+        for (int i = 0; i < 5000; ++i) {
+            recs.push_back(test::loadOp(
+                0x1000 + static_cast<Addr>(i % 16) * 4,
+                static_cast<RegIndex>(i % 8),
+                0x8000 + static_cast<Addr>(i % 32) * 8, ~0ULL << 4));
+        }
+        return recs;
+    };
+    CoreConfig narrow = thCfg();
+    narrow.pveEnabled = false;
+    VectorTrace t1(make()), t2(make());
+    Core wide_c(thCfg()), narrow_c(narrow);
+    const CoreResult rw = wide_c.run(t1, 5000);
+    const CoreResult rn = narrow_c.run(t2, 5000);
+    EXPECT_GT(rw.activity.dl1ReadLow.value(),
+              rn.activity.dl1ReadLow.value());
+}
+
+TEST(Pipeline, RobLimitsInflight)
+{
+    // A DRAM-missing chain-blocking load at the head of the window
+    // keeps at most robSize instructions in flight; a burst of
+    // independent ALUs behind it cannot all retire early.
+    CoreConfig cfg = baseCfg();
+    std::vector<TraceRecord> recs;
+    recs.push_back(test::loadOp(0x1000, 1, 0x40000000));
+    for (int i = 0; i < 500; ++i)
+        recs.push_back(test::aluOp(0x2000, 2, 3));
+    VectorTrace trace(std::move(recs));
+    Core core(cfg);
+    const CoreResult r = core.run(trace, 501);
+    // Total time ~ the miss latency: commits gated by the ROB head.
+    EXPECT_GT(r.perf.cycles.value(),
+              static_cast<Cycle>(cfg.memLatencyCycles()));
+}
+
+TEST(Pipeline, BtbUpperReadStallsOnlyWithHerding)
+{
+    // A branch whose target lives in a distant region: the memoizing
+    // BTB pays a one-cycle stall per taken prediction.
+    std::vector<TraceRecord> recs;
+    for (int i = 0; i < 6000; ++i) {
+        if (i % 3 == 2) {
+            const bool odd = (i / 3) % 2 != 0;
+            const Addr pc = odd ? 0x90000000 : 0x1008;
+            const Addr tgt = odd ? 0x1000 : 0x90000000;
+            recs.push_back(test::branchOp(pc, true, tgt));
+        } else {
+            recs.push_back(test::aluOp(
+                0x1000 + static_cast<Addr>(i % 2) * 4,
+                static_cast<RegIndex>(i % 8), 3));
+        }
+    }
+    VectorTrace t1(recs), t2(recs);
+    Core base(baseCfg()), herd(thCfg());
+    const CoreResult rb = base.run(t1, 6000);
+    const CoreResult rh = herd.run(t2, 6000);
+    EXPECT_EQ(rb.perf.btbTargetStalls.value(), 0u);
+    EXPECT_GT(rh.perf.btbTargetStalls.value(), 1000u);
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Property-based tests: randomly generated benchmark profiles run
+ * through the full core model must uphold structural invariants
+ * regardless of the workload's shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "trace/generator.h"
+
+namespace th {
+namespace {
+
+/** Build a random-but-valid profile from a seed. */
+BenchmarkProfile
+randomProfile(std::uint64_t seed)
+{
+    Rng rng(seed);
+    BenchmarkProfile p;
+    p.name = "fuzz-" + std::to_string(seed);
+    p.seed = seed * 77 + 5;
+    p.fShift = 0.10 * rng.uniform();
+    p.fMult = 0.03 * rng.uniform();
+    p.fFpAdd = rng.chance(0.3) ? 0.15 * rng.uniform() : 0.0;
+    p.fFpMult = p.fFpAdd > 0 ? 0.10 * rng.uniform() : 0.0;
+    p.fFpDiv = p.fFpAdd > 0 ? 0.02 * rng.uniform() : 0.0;
+    p.fLoad = 0.10 + 0.25 * rng.uniform();
+    p.fStore = 0.04 + 0.12 * rng.uniform();
+    p.fBranch = 0.05 + 0.15 * rng.uniform();
+    p.fJump = 0.02 * rng.uniform();
+    p.fIndirect = 0.01 * rng.uniform();
+    p.lowWidthBias = rng.uniform();
+    p.widthNoise = 0.05 * rng.uniform();
+    p.branchNoise = 0.05 * rng.uniform();
+    p.takenRate = 0.3 + 0.6 * rng.uniform();
+    p.numKernels = 4 + static_cast<int>(rng.range(24));
+    p.kernelSize = 8 + static_cast<int>(rng.range(32));
+    p.loopTripMean = 4.0 + 120.0 * rng.uniform();
+    p.pointerChaseFrac = 0.5 * rng.uniform();
+    p.stackFrac = 0.4 * rng.uniform();
+    p.heapFrac = (1.0 - p.stackFrac) * rng.uniform();
+    p.warmFrac = 0.3 * rng.uniform();
+    p.coldFrac = rng.chance(0.2) ? 0.2 * rng.uniform()
+                                 : 0.01 * rng.uniform();
+    p.depDistMean = 1.5 + 8.0 * rng.uniform();
+    return p;
+}
+
+class PipelineFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PipelineFuzz, InvariantsHoldOnRandomWorkloads)
+{
+    const BenchmarkProfile profile = randomProfile(GetParam());
+    SyntheticTrace trace(profile);
+
+    CoreConfig cfg;
+    cfg.thermalHerding = true;
+    Core core(cfg);
+    const std::uint64_t want = 30000;
+    const CoreResult r = core.run(trace, want, 10000);
+
+    const PerfStats &perf = r.perf;
+    const ActivityStats &act = r.activity;
+    const std::uint64_t committed = perf.committedInsts.value();
+    const std::uint64_t cycles = perf.cycles.value();
+
+    // Forward progress and bounded overshoot.
+    ASSERT_GE(committed, want);
+    ASSERT_LE(committed, want + 3);
+    ASSERT_GT(cycles, 0u);
+
+    // IPC bounded by machine width.
+    const double ipc = perf.ipc();
+    EXPECT_GT(ipc, 0.0);
+    EXPECT_LE(ipc, static_cast<double>(cfg.commitWidth));
+
+    // Prediction accounting: correct + unsafe + safe-miss covers all.
+    EXPECT_EQ(perf.widthPredictions.value(),
+              perf.widthPredCorrect.value() + perf.widthUnsafe.value() +
+                  perf.widthSafeMiss.value());
+    EXPECT_LE(perf.widthPredictions.value(), committed + 160);
+
+    // Branch accounting.
+    EXPECT_LE(perf.branchMispredicts.value(),
+              perf.branches.value() + committed / 10);
+
+    // Memory accounting: every load searched the store queue once.
+    EXPECT_EQ(perf.loads.value(),
+              perf.pamHits.value() + perf.pamMisses.value() -
+                  perf.stores.value());
+    // Each load is either forwarded or classified by the PVE census.
+    EXPECT_EQ(perf.loads.value() - perf.storeForwards.value(),
+              perf.pveZeros.value() + perf.pveOnes.value() +
+                  perf.pveAddr.value() + perf.pveExplicit.value());
+
+    // Cache sanity: misses never exceed accesses.
+    EXPECT_LE(perf.dl1Misses.value(),
+              perf.loads.value() + perf.stores.value());
+    EXPECT_LE(perf.l2Misses.value(),
+              act.l2Access.value());
+
+    // Activity sanity: register file traffic tracks commit volume.
+    const std::uint64_t rf_reads =
+        act.rfReadLow.value() + act.rfReadFull.value() +
+        act.robReadLow.value() + act.robReadFull.value();
+    EXPECT_LE(rf_reads, 3 * committed + 256);
+
+    // Scheduler conservation: every alloc lands on exactly one die.
+    std::uint64_t allocs = 0;
+    for (int d = 0; d < kNumDies; ++d)
+        allocs += act.schedAllocDie[d].value();
+    EXPECT_EQ(allocs, act.schedAlloc.value());
+
+    // Issue events match executed (non-nop) instructions, including
+    // retried loads only once.
+    EXPECT_LE(act.schedSelect.value(), committed + 160);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
+
+TEST_P(PipelineFuzz, BaseAndHerdingCommitTheSameInstructions)
+{
+    // Thermal Herding must never change *what* executes, only when.
+    const BenchmarkProfile profile = randomProfile(GetParam());
+    SyntheticTrace t1(profile), t2(profile);
+    CoreConfig base, herd;
+    herd.thermalHerding = true;
+    Core c1(base), c2(herd);
+    const CoreResult r1 = c1.run(t1, 20000);
+    const CoreResult r2 = c2.run(t2, 20000);
+    // Commit-width overshoot on the last cycle may differ by a few
+    // instructions between configurations; everything else must track.
+    auto near = [](std::uint64_t a, std::uint64_t b, std::uint64_t tol) {
+        return a > b ? a - b <= tol : b - a <= tol;
+    };
+    EXPECT_TRUE(near(r1.perf.committedInsts.value(),
+                     r2.perf.committedInsts.value(), 3));
+    EXPECT_TRUE(near(r1.perf.loads.value(), r2.perf.loads.value(), 8));
+    EXPECT_TRUE(near(r1.perf.stores.value(), r2.perf.stores.value(), 8));
+    EXPECT_TRUE(near(r1.perf.branches.value(),
+                     r2.perf.branches.value(), 8));
+    // And the herded run is never more than modestly slower.
+    EXPECT_GE(r2.perf.ipc(), r1.perf.ipc() * 0.85);
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "power/power_model.h"
+#include "sim/configs.h"
+#include "trace/generator.h"
+#include "trace/suites.h"
+
+namespace th {
+namespace {
+
+/** Shared fixture: one calibrated power model + reference runs. */
+class PowerTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        lib_ = new BlockLibrary();
+        model_ = new PowerModel(*lib_);
+
+        base_cfg_ = makeConfig(ConfigKind::Base, *lib_);
+        base_run_ = new CoreResult(run("mpeg2enc", base_cfg_));
+        model_->calibrate(*base_run_, base_cfg_);
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete base_run_;
+        delete model_;
+        delete lib_;
+        base_run_ = nullptr;
+        model_ = nullptr;
+        lib_ = nullptr;
+    }
+
+    static CoreResult run(const std::string &bench, const CoreConfig &cfg)
+    {
+        SyntheticTrace trace(benchmarkByName(bench));
+        Core core(cfg);
+        return core.run(trace, 60000, 40000);
+    }
+
+    static BlockLibrary *lib_;
+    static PowerModel *model_;
+    static CoreConfig base_cfg_;
+    static CoreResult *base_run_;
+};
+
+BlockLibrary *PowerTest::lib_ = nullptr;
+PowerModel *PowerTest::model_ = nullptr;
+CoreConfig PowerTest::base_cfg_;
+CoreResult *PowerTest::base_run_ = nullptr;
+
+TEST_F(PowerTest, CalibrationHitsBaselineTotal)
+{
+    const PowerResult r = model_->compute(*base_run_, base_cfg_);
+    EXPECT_NEAR(r.totalW(), 90.0, 0.5);
+}
+
+TEST_F(PowerTest, BaselineSplitMatchesAssumptions)
+{
+    // 35% clock, 20% leakage (Section 4).
+    const PowerResult r = model_->compute(*base_run_, base_cfg_);
+    EXPECT_NEAR(r.clockW, 0.35 * 90.0, 1e-6);
+    EXPECT_NEAR(r.leakW, 0.20 * 90.0, 1e-6);
+    EXPECT_NEAR(r.dynamicW(), 0.45 * 90.0, 0.5);
+}
+
+TEST_F(PowerTest, PlanarPowerAllOnDie0)
+{
+    const PowerResult r = model_->compute(*base_run_, base_cfg_);
+    for (const auto &b : r.coreBlocks) {
+        EXPECT_DOUBLE_EQ(b.dieW[1], 0.0);
+        EXPECT_DOUBLE_EQ(b.dieW[2], 0.0);
+        EXPECT_DOUBLE_EQ(b.dieW[3], 0.0);
+    }
+}
+
+TEST_F(PowerTest, ThreeDReducesTotalPower)
+{
+    const CoreConfig cfg = makeConfig(ConfigKind::ThreeDNoTH, *lib_);
+    const CoreResult run3d = run("mpeg2enc", cfg);
+    const PowerResult r = model_->compute(run3d, cfg);
+    // Paper: 72.7 W (19% below 90 W) despite the 48% clock increase.
+    EXPECT_LT(r.totalW(), 80.0);
+    EXPECT_GT(r.totalW(), 66.0);
+}
+
+TEST_F(PowerTest, HerdingSavesFurtherPower)
+{
+    const CoreConfig no_th = makeConfig(ConfigKind::ThreeDNoTH, *lib_);
+    const CoreConfig th = makeConfig(ConfigKind::ThreeD, *lib_);
+    const PowerResult rn = model_->compute(run("mpeg2enc", no_th), no_th);
+    const PowerResult rt = model_->compute(run("mpeg2enc", th), th);
+    // Paper: 72.7 -> 64.3 W.
+    EXPECT_LT(rt.totalW(), rn.totalW() - 4.0);
+}
+
+TEST_F(PowerTest, HerdingRaisesTopDieShare)
+{
+    const CoreConfig no_th = makeConfig(ConfigKind::ThreeDNoTH, *lib_);
+    const CoreConfig th = makeConfig(ConfigKind::ThreeD, *lib_);
+    const PowerResult rn = model_->compute(run("mpeg2enc", no_th), no_th);
+    const PowerResult rt = model_->compute(run("mpeg2enc", th), th);
+    EXPECT_GT(rt.topDieFraction(), rn.topDieFraction() + 0.1);
+}
+
+TEST_F(PowerTest, ClockPowerHalvedIn3d)
+{
+    const CoreConfig cfg3d = makeConfig(ConfigKind::ThreeDNoTH, *lib_);
+    const PowerResult r2 = model_->compute(*base_run_, base_cfg_);
+    const PowerResult r3 =
+        model_->compute(run("mpeg2enc", cfg3d), cfg3d);
+    // Halved footprint power, scaled up by the frequency gain.
+    const double expect = r2.clockW * 0.5 *
+        (cfg3d.freqGhz / base_cfg_.freqGhz);
+    EXPECT_NEAR(r3.clockW, expect, 1e-6);
+}
+
+TEST_F(PowerTest, LeakageIsConstant)
+{
+    const CoreConfig cfg3d = makeConfig(ConfigKind::ThreeD, *lib_);
+    const PowerResult r3 =
+        model_->compute(run("mpeg2enc", cfg3d), cfg3d);
+    EXPECT_NEAR(r3.leakW, 18.0, 1e-6);
+}
+
+TEST_F(PowerTest, SusanSavesMoreThanYacr2)
+{
+    // Paper: susan 30% total-power saving (max), yacr2 15% (min).
+    auto saving = [&](const std::string &bench) {
+        const CoreConfig b = makeConfig(ConfigKind::Base, *lib_);
+        const CoreConfig t = makeConfig(ConfigKind::ThreeD, *lib_);
+        const double wb = model_->compute(run(bench, b), b).totalW();
+        const double wt = model_->compute(run(bench, t), t).totalW();
+        return 1.0 - wt / wb;
+    };
+    const double s_susan = saving("susan");
+    const double s_yacr2 = saving("yacr2");
+    EXPECT_GT(s_susan, s_yacr2);
+    EXPECT_GT(s_susan, 0.20);
+    EXPECT_LT(s_yacr2, 0.27);
+    EXPECT_GT(s_yacr2, 0.08);
+}
+
+TEST_F(PowerTest, BlockPowersNonNegative)
+{
+    const PowerResult r = model_->compute(*base_run_, base_cfg_);
+    for (const auto &b : r.coreBlocks)
+        for (double w : b.dieW)
+            EXPECT_GE(w, 0.0);
+    EXPECT_GT(r.l2.total(), 0.0);
+}
+
+TEST(PowerModelDeathTest, ComputeBeforeCalibrateFatal)
+{
+    BlockLibrary lib;
+    PowerModel model(lib);
+    CoreResult dummy;
+    dummy.freqGhz = 2.66;
+    dummy.perf.cycles.set(100);
+    EXPECT_EXIT(model.compute(dummy, CoreConfig{}),
+                ::testing::ExitedWithCode(1), "calibrate");
+}
+
+TEST(PowerModelDeathTest, CalibrateOn3dFatal)
+{
+    BlockLibrary lib;
+    PowerModel model(lib);
+    CoreConfig cfg;
+    cfg.stacked = true;
+    CoreResult dummy;
+    EXPECT_EXIT(model.calibrate(dummy, cfg),
+                ::testing::ExitedWithCode(1), "planar");
+}
+
+} // namespace
+} // namespace th

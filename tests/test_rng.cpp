@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace th {
+namespace {
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(7);
+    double sum = 0.0;
+    for (int i = 0; i < 100000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, RangeWithinBound)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.range(17), 17u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng r(11);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[r.range(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, RangeInclusiveBounds)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.rangeInclusive(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(15);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        if (r.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, RunLengthMean)
+{
+    Rng r(19);
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += r.runLength(10.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, RunLengthAtLeastOne)
+{
+    Rng r(21);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_GE(r.runLength(1.0), 1);
+}
+
+TEST(Rng, SampleCdfDistribution)
+{
+    Rng r(23);
+    const double cdf[3] = {0.2, 0.7, 1.0};
+    int counts[3] = {};
+    for (int i = 0; i < 100000; ++i)
+        ++counts[r.sampleCdf(cdf, 3)];
+    EXPECT_NEAR(counts[0] / 100000.0, 0.2, 0.01);
+    EXPECT_NEAR(counts[1] / 100000.0, 0.5, 0.01);
+    EXPECT_NEAR(counts[2] / 100000.0, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(25);
+    double sum = 0.0, sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.gaussian(5.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 5.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+} // namespace
+} // namespace th

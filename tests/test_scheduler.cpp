@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/scheduler.h"
+
+namespace th {
+namespace {
+
+TEST(Scheduler, TopDieFirstHerdsToDie0)
+{
+    SchedulerEntries s(32, SchedAllocPolicy::TopDieFirst);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(s.allocate(), 0) << i;
+    EXPECT_EQ(s.allocate(), 1) << "die 0 full, spill to die 1";
+    EXPECT_EQ(s.occupancy(0), 8);
+    EXPECT_EQ(s.occupancy(1), 1);
+}
+
+TEST(Scheduler, TopDieFirstRefillsFreedTopSlots)
+{
+    SchedulerEntries s(32, SchedAllocPolicy::TopDieFirst);
+    for (int i = 0; i < 9; ++i)
+        s.allocate();
+    s.release(0);
+    // The freed top-die entry is preferred over die 1.
+    EXPECT_EQ(s.allocate(), 0);
+}
+
+TEST(Scheduler, RoundRobinSpreads)
+{
+    SchedulerEntries s(32, SchedAllocPolicy::RoundRobin);
+    int counts[kNumDies] = {};
+    for (int i = 0; i < 16; ++i)
+        ++counts[s.allocate()];
+    for (int d = 0; d < kNumDies; ++d)
+        EXPECT_EQ(counts[d], 4) << d;
+}
+
+TEST(Scheduler, FullReturnsMinusOne)
+{
+    SchedulerEntries s(8, SchedAllocPolicy::TopDieFirst);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_GE(s.allocate(), 0);
+    EXPECT_EQ(s.allocate(), -1);
+    EXPECT_EQ(s.freeEntries(), 0);
+}
+
+TEST(Scheduler, OccupancyBookkeeping)
+{
+    SchedulerEntries s(32, SchedAllocPolicy::TopDieFirst);
+    const int d1 = s.allocate();
+    const int d2 = s.allocate();
+    EXPECT_EQ(s.totalOccupancy(), 2);
+    s.release(d1);
+    s.release(d2);
+    EXPECT_EQ(s.totalOccupancy(), 0);
+    EXPECT_EQ(s.freeEntries(), 32);
+}
+
+TEST(Scheduler, BroadcastGatesEmptyDies)
+{
+    SchedulerEntries s(32, SchedAllocPolicy::TopDieFirst);
+    ActivityStats act;
+    for (int i = 0; i < 3; ++i)
+        s.allocate(); // only die 0 occupied
+    s.recordBroadcast(act);
+    EXPECT_EQ(act.schedWakeupDie[0].value(), 1u);
+    EXPECT_EQ(act.schedWakeupDie[1].value(), 0u);
+    EXPECT_EQ(act.schedWakeupDie[2].value(), 0u);
+    EXPECT_EQ(act.schedWakeupDie[3].value(), 0u);
+}
+
+TEST(Scheduler, BroadcastReachesOccupiedDies)
+{
+    SchedulerEntries s(32, SchedAllocPolicy::RoundRobin);
+    ActivityStats act;
+    for (int i = 0; i < 4; ++i)
+        s.allocate(); // one on each die
+    s.recordBroadcast(act);
+    for (int d = 0; d < kNumDies; ++d)
+        EXPECT_EQ(act.schedWakeupDie[d].value(), 1u) << d;
+}
+
+TEST(Scheduler, HerdingReducesBroadcastEnergyProxy)
+{
+    // With the same occupancy, top-die-first touches fewer dies.
+    SchedulerEntries herd(32, SchedAllocPolicy::TopDieFirst);
+    SchedulerEntries rr(32, SchedAllocPolicy::RoundRobin);
+    ActivityStats a_herd, a_rr;
+    for (int i = 0; i < 6; ++i) {
+        herd.allocate();
+        rr.allocate();
+    }
+    herd.recordBroadcast(a_herd);
+    rr.recordBroadcast(a_rr);
+    auto dies_touched = [](const ActivityStats &a) {
+        int n = 0;
+        for (int d = 0; d < kNumDies; ++d)
+            n += a.schedWakeupDie[d].value() > 0 ? 1 : 0;
+        return n;
+    };
+    EXPECT_EQ(dies_touched(a_herd), 1);
+    EXPECT_EQ(dies_touched(a_rr), 4);
+}
+
+TEST(SchedulerDeathTest, ReleaseUnoccupiedPanics)
+{
+    SchedulerEntries s(32, SchedAllocPolicy::TopDieFirst);
+    EXPECT_DEATH(s.release(2), "unoccupied");
+}
+
+TEST(SchedulerDeathTest, IndivisibleEntriesFatal)
+{
+    EXPECT_EXIT((SchedulerEntries{30, SchedAllocPolicy::TopDieFirst}),
+                ::testing::ExitedWithCode(1), "divide evenly");
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "circuit/sram.h"
+
+namespace th {
+namespace {
+
+SramParams
+rfParams()
+{
+    SramParams p;
+    p.entries = 128;
+    p.bitsPerEntry = 64;
+    p.readPorts = 6;
+    p.writePorts = 3;
+    return p;
+}
+
+TEST(Sram, LatencyGrowsWithEntries)
+{
+    SramParams small, big;
+    small.entries = 64;
+    big.entries = 1024;
+    small.bitsPerEntry = big.bitsPerEntry = 64;
+    SramArray a(small, Partition3D::None);
+    SramArray b(big, Partition3D::None);
+    EXPECT_LT(a.readLatency(), b.readLatency());
+}
+
+TEST(Sram, MorePortsSlower)
+{
+    SramParams one, many;
+    one.entries = many.entries = 128;
+    one.bitsPerEntry = many.bitsPerEntry = 64;
+    many.readPorts = 6;
+    many.writePorts = 3;
+    SramArray a(one, Partition3D::None);
+    SramArray b(many, Partition3D::None);
+    EXPECT_LT(a.readLatency(), b.readLatency());
+}
+
+TEST(Sram, WordSliceFasterThanPlanarForMultiported)
+{
+    SramArray planar(rfParams(), Partition3D::None);
+    SramArray sliced(rfParams(), Partition3D::WordSlice);
+    EXPECT_LT(sliced.readLatency(), planar.readLatency());
+}
+
+TEST(Sram, WordSliceImprovementSubstantial)
+{
+    // The paper reports substantial latency gains for large arrays;
+    // the 3D register file literature sees ~25-35%.
+    SramArray planar(rfParams(), Partition3D::None);
+    SramArray sliced(rfParams(), Partition3D::WordSlice);
+    const double gain = 1.0 - sliced.readLatency() / planar.readLatency();
+    EXPECT_GT(gain, 0.15);
+    EXPECT_LT(gain, 0.50);
+}
+
+TEST(Sram, RouteAddsLatency)
+{
+    SramParams with = rfParams(), without = rfParams();
+    with.routeLenMm = 3.0;
+    SramArray a(without, Partition3D::None);
+    SramArray b(with, Partition3D::None);
+    EXPECT_GT(b.readLatency(), a.readLatency());
+}
+
+TEST(Sram, TimingComponentsPositive)
+{
+    SramArray arr(rfParams(), Partition3D::None);
+    const ArrayTiming t = arr.readTiming();
+    EXPECT_GT(t.decode, 0.0);
+    EXPECT_GT(t.wordline, 0.0);
+    EXPECT_GT(t.bitline, 0.0);
+    EXPECT_GT(t.sense, 0.0);
+    EXPECT_NEAR(t.total(), t.decode + t.wordline + t.bitline + t.sense +
+                t.output + t.route + t.via, 1e-9);
+}
+
+TEST(Sram, ViasOnlyIn3d)
+{
+    SramArray planar(rfParams(), Partition3D::None);
+    SramArray sliced(rfParams(), Partition3D::WordSlice);
+    EXPECT_EQ(planar.readTiming().via, 0.0);
+    EXPECT_GT(sliced.readTiming().via, 0.0);
+}
+
+TEST(Sram, TopSliceEnergyQuarterish)
+{
+    SramArray sliced(rfParams(), Partition3D::WordSlice);
+    const ArrayEnergy full = sliced.accessEnergy();
+    const ArrayEnergy top = sliced.topSliceEnergy();
+    EXPECT_LT(top.read, full.read);
+    EXPECT_NEAR(top.read / full.read, 0.25, 0.05);
+    EXPECT_LT(top.write, full.write);
+}
+
+TEST(Sram, TopSliceOfPlanarIsFullAccess)
+{
+    SramArray planar(rfParams(), Partition3D::None);
+    EXPECT_DOUBLE_EQ(planar.topSliceEnergy().read,
+                     planar.accessEnergy().read);
+}
+
+TEST(Sram, WriteCostsMoreThanRead)
+{
+    // Full-swing differential writes vs partial-swing reads.
+    SramArray arr(rfParams(), Partition3D::None);
+    const ArrayEnergy e = arr.accessEnergy();
+    EXPECT_GT(e.write, e.read);
+}
+
+TEST(Sram, GeometryAfterFolding)
+{
+    SramParams p = rfParams();
+    SramArray word(p, Partition3D::WordSlice);
+    EXPECT_EQ(word.physCols(), 16);
+    EXPECT_EQ(word.physRows(), 128);
+    SramArray row(p, Partition3D::RowSlice);
+    EXPECT_EQ(row.physRows(), 32);
+    EXPECT_EQ(row.physCols(), 64);
+    SramArray quad(p, Partition3D::Quad);
+    EXPECT_EQ(quad.physRows(), 64);
+    EXPECT_EQ(quad.physCols(), 32);
+}
+
+TEST(Sram, SliceAreaShrinksWhenFolded)
+{
+    SramArray planar(rfParams(), Partition3D::None);
+    SramArray sliced(rfParams(), Partition3D::WordSlice);
+    EXPECT_NEAR(sliced.sliceArea(), planar.sliceArea() / 4.0,
+                planar.sliceArea() * 0.01);
+}
+
+TEST(SramDeathTest, InvalidGeometry)
+{
+    SramParams p;
+    p.entries = 0;
+    EXPECT_EXIT((SramArray{p, Partition3D::None}),
+                ::testing::ExitedWithCode(1), "positive");
+}
+
+/** Latency must be monotonic across a capacity sweep. */
+class SramCapacitySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SramCapacitySweep, BiggerIsNeverFaster)
+{
+    SramParams a, b;
+    a.entries = GetParam();
+    b.entries = GetParam() * 4;
+    a.bitsPerEntry = b.bitsPerEntry = 64;
+    SramArray sa(a, Partition3D::None);
+    SramArray sb(b, Partition3D::None);
+    EXPECT_LE(sa.readLatency(), sb.readLatency());
+    EXPECT_LE(sa.accessEnergy().read, sb.accessEnergy().read);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SramCapacitySweep,
+                         ::testing::Values(32, 64, 128, 256, 512, 1024));
+
+/** Every partition style must produce positive, finite results. */
+class SramPartitionSweep
+    : public ::testing::TestWithParam<Partition3D>
+{
+};
+
+TEST_P(SramPartitionSweep, SaneTimingAndEnergy)
+{
+    SramArray arr(rfParams(), GetParam());
+    EXPECT_GT(arr.readLatency(), 0.0);
+    EXPECT_LT(arr.readLatency(), 5000.0);
+    const ArrayEnergy e = arr.accessEnergy();
+    EXPECT_GT(e.read, 0.0);
+    EXPECT_GT(e.write, 0.0);
+    EXPECT_LT(e.read, 1000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, SramPartitionSweep,
+                         ::testing::Values(Partition3D::None,
+                                           Partition3D::WordSlice,
+                                           Partition3D::RowSlice,
+                                           Partition3D::Quad));
+
+} // namespace
+} // namespace th

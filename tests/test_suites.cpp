@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trace/suites.h"
+
+namespace th {
+namespace {
+
+TEST(Suites, HasFullRoster)
+{
+    // 59 benchmarks standing in for the paper's 106 traces.
+    EXPECT_EQ(allBenchmarks().size(), 59u);
+}
+
+TEST(Suites, NamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &p : allBenchmarks())
+        EXPECT_TRUE(names.insert(p.name).second) << p.name;
+}
+
+TEST(Suites, SevenSuitesInPaperOrder)
+{
+    const auto suites = suiteNames();
+    ASSERT_EQ(suites.size(), 7u);
+    EXPECT_EQ(suites[0], "SPECint2000");
+    EXPECT_EQ(suites[1], "SPECfp2000");
+}
+
+TEST(Suites, AnchorBenchmarksPresent)
+{
+    for (const char *name :
+         {"mcf", "crafty", "patricia", "susan", "yacr2", "mpeg2enc",
+          "swim"}) {
+        EXPECT_TRUE(hasBenchmark(name)) << name;
+    }
+    EXPECT_FALSE(hasBenchmark("not-a-benchmark"));
+}
+
+TEST(Suites, LookupReturnsRightProfile)
+{
+    const auto &p = benchmarkByName("mcf");
+    EXPECT_EQ(p.name, "mcf");
+    EXPECT_EQ(p.suite, "SPECint2000");
+}
+
+TEST(SuitesDeathTest, UnknownNameFatal)
+{
+    EXPECT_EXIT(benchmarkByName("zzz"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(Suites, OpMixFractionsValid)
+{
+    for (const auto &p : allBenchmarks()) {
+        const double sum = p.fShift + p.fMult + p.fFpAdd + p.fFpMult +
+            p.fFpDiv + p.fLoad + p.fStore + p.fBranch + p.fJump +
+            p.fIndirect + p.fNop;
+        EXPECT_GT(sum, 0.2) << p.name;
+        EXPECT_LE(sum, 1.0) << p.name;
+        EXPECT_GE(p.lowWidthBias, 0.0) << p.name;
+        EXPECT_LE(p.lowWidthBias, 1.0) << p.name;
+        EXPECT_LE(p.stackFrac + p.heapFrac, 1.0) << p.name;
+        EXPECT_LE(p.warmFrac + p.coldFrac, 1.0) << p.name;
+    }
+}
+
+TEST(Suites, WorkingSetsOrdered)
+{
+    for (const auto &p : allBenchmarks()) {
+        EXPECT_LE(p.hotBytes, p.warmBytes) << p.name;
+        EXPECT_LE(p.warmBytes, p.coldBytes) << p.name;
+    }
+}
+
+TEST(Suites, McfIsMemoryBound)
+{
+    // The paper's minimum-speedup application must stress DRAM.
+    const auto &p = benchmarkByName("mcf");
+    EXPECT_GT(p.coldFrac, 0.1);
+    EXPECT_GT(p.pointerChaseFrac, 0.5);
+}
+
+TEST(Suites, SusanIsLowWidthHeavy)
+{
+    // The maximum Thermal Herding power saver works on 8-bit pixels.
+    EXPECT_GT(benchmarkByName("susan").lowWidthBias, 0.8);
+}
+
+TEST(Suites, Yacr2IsFullWidthHeavy)
+{
+    // The minimum power saver is pointer-heavy.
+    EXPECT_LT(benchmarkByName("yacr2").lowWidthBias, 0.4);
+}
+
+TEST(Suites, MediaBenchHasHighLowWidthBias)
+{
+    for (const auto &p : benchmarksInSuite("MediaBench")) {
+        if (p.name == "pegwit")
+            continue; // crypto: wide arithmetic, the suite outlier
+        EXPECT_GT(p.lowWidthBias, 0.6) << p.name;
+    }
+}
+
+TEST(Suites, SpecFpStreamsThroughDram)
+{
+    double mean_cold = 0.0;
+    const auto fp = benchmarksInSuite("SPECfp2000");
+    ASSERT_EQ(fp.size(), 11u);
+    for (const auto &p : fp)
+        mean_cold += p.coldFrac;
+    mean_cold /= static_cast<double>(fp.size());
+    // FP codes have the biggest DRAM appetite outside mcf.
+    EXPECT_GT(mean_cold, 0.004);
+}
+
+TEST(Suites, EveryProfileBuildsATrace)
+{
+    for (const auto &p : allBenchmarks()) {
+        SyntheticTrace t(p);
+        TraceRecord r;
+        for (int i = 0; i < 100; ++i)
+            ASSERT_TRUE(t.next(r)) << p.name;
+    }
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.h"
+
+namespace th {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    Table t({"A", "LongHeader"});
+    t.addRow({"xx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("A"), std::string::npos);
+    EXPECT_NE(out.find("LongHeader"), std::string::npos);
+    EXPECT_NE(out.find("xx"), std::string::npos);
+    // Header, separator, one row.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TableDeathTest, ArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(FmtDouble, Decimals)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(FmtPercent, Formats)
+{
+    EXPECT_EQ(fmtPercent(0.479, 1), "47.9%");
+    EXPECT_EQ(fmtPercent(-0.05, 0), "-5%");
+}
+
+} // namespace
+} // namespace th

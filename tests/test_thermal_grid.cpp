@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "thermal/grid.h"
+#include "thermal/hotspot.h"
+
+namespace th {
+namespace {
+
+ThermalParams
+fastParams()
+{
+    ThermalParams p;
+    p.gridN = 24;
+    p.maxResidualK = 1e-3;
+    return p;
+}
+
+ThermalGrid
+makePlanarGrid(const ThermalParams &p)
+{
+    return ThermalGrid(p, HotspotModel::planarStack(), 12.0, 12.0);
+}
+
+TEST(ThermalGrid, NoPowerStaysAmbient)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = makePlanarGrid(p);
+    const ThermalField f = grid.solve();
+    EXPECT_NEAR(f.peak(grid.dieLayers()), p.ambientK, 0.5);
+}
+
+TEST(ThermalGrid, PowerHeatsTheDie)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = makePlanarGrid(p);
+    grid.addPower(0, 4.0, 4.0, 4.0, 4.0, 50.0);
+    const ThermalField f = grid.solve();
+    EXPECT_GT(f.peak(grid.dieLayers()), p.ambientK + 10.0);
+}
+
+TEST(ThermalGrid, MorePowerIsHotter)
+{
+    const ThermalParams p = fastParams();
+    double peaks[2];
+    int i = 0;
+    for (double w : {30.0, 60.0}) {
+        ThermalGrid grid = makePlanarGrid(p);
+        grid.addPower(0, 4.0, 4.0, 4.0, 4.0, w);
+        peaks[i++] = grid.solve().peak(grid.dieLayers());
+    }
+    EXPECT_GT(peaks[1], peaks[0] + 5.0);
+}
+
+TEST(ThermalGrid, ConcentratedPowerHotterThanSpread)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid tight = makePlanarGrid(p);
+    tight.addPower(0, 5.0, 5.0, 2.0, 2.0, 40.0);
+    ThermalGrid spread = makePlanarGrid(p);
+    spread.addPower(0, 0.0, 0.0, 12.0, 12.0, 40.0);
+    EXPECT_GT(tight.solve().peak(tight.dieLayers()),
+              spread.solve().peak(spread.dieLayers()) + 3.0);
+}
+
+TEST(ThermalGrid, HotspotIsUnderThePowerSource)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = makePlanarGrid(p);
+    grid.addPower(0, 1.0, 1.0, 2.0, 2.0, 30.0);
+    const ThermalField f = grid.solve();
+    double a_avg, a_peak, b_avg, b_peak;
+    grid.blockTemps(f, 0, 1.0, 1.0, 2.0, 2.0, a_avg, a_peak);
+    grid.blockTemps(f, 0, 9.0, 9.0, 2.0, 2.0, b_avg, b_peak);
+    EXPECT_GT(a_avg, b_avg + 2.0);
+}
+
+TEST(ThermalGrid, BlockAvgBelowPeak)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = makePlanarGrid(p);
+    grid.addPower(0, 3.0, 3.0, 1.0, 1.0, 25.0);
+    const ThermalField f = grid.solve();
+    double avg, peak;
+    grid.blockTemps(f, 0, 0.0, 0.0, 12.0, 12.0, avg, peak);
+    EXPECT_LE(avg, peak);
+}
+
+TEST(ThermalGrid, TotalPowerAccounting)
+{
+    ThermalGrid grid = makePlanarGrid(fastParams());
+    grid.addPower(0, 1.0, 1.0, 3.0, 3.0, 12.5);
+    grid.addPower(0, 6.0, 6.0, 2.0, 2.0, 7.5);
+    EXPECT_NEAR(grid.totalPower(), 20.0, 1e-9);
+    grid.clearPower();
+    EXPECT_DOUBLE_EQ(grid.totalPower(), 0.0);
+}
+
+TEST(ThermalGrid, EdgeClippedRectKeepsItsWatts)
+{
+    // A block at the chip edge must deposit all its power.
+    ThermalGrid grid = makePlanarGrid(fastParams());
+    grid.addPower(0, 11.0, 11.0, 1.0, 1.0, 5.0);
+    EXPECT_NEAR(grid.totalPower(), 5.0, 1e-9);
+}
+
+TEST(ThermalGrid, StackedDeeperDieRunsHotter)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid(p, HotspotModel::stackedStack(), 6.0, 6.0);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 0.0, 0.0, 6.0, 6.0, 15.0);
+    const ThermalField f = grid.solve();
+    double a0, p0, a3, p3;
+    grid.blockTemps(f, 0, 0.0, 0.0, 6.0, 6.0, a0, p0);
+    grid.blockTemps(f, 3, 0.0, 0.0, 6.0, 6.0, a3, p3);
+    // Die 3 is farthest from the sink.
+    EXPECT_GT(a3, a0);
+}
+
+TEST(ThermalGrid, HerdingPowerToTopDieIsCooler)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid herd(p, HotspotModel::stackedStack(), 6.0, 6.0);
+    herd.addPower(0, 0.0, 0.0, 6.0, 6.0, 45.0);
+    for (int d = 1; d < kNumDies; ++d)
+        herd.addPower(d, 0.0, 0.0, 6.0, 6.0, 5.0);
+
+    ThermalGrid flat(p, HotspotModel::stackedStack(), 6.0, 6.0);
+    for (int d = 0; d < kNumDies; ++d)
+        flat.addPower(d, 0.0, 0.0, 6.0, 6.0, 15.0);
+
+    EXPECT_LT(herd.solve().peak(herd.dieLayers()),
+              flat.solve().peak(flat.dieLayers()));
+}
+
+TEST(ThermalGrid, DieLayersEnumerated)
+{
+    ThermalGrid planar = makePlanarGrid(fastParams());
+    EXPECT_EQ(planar.dieLayers().size(), 1u);
+    EXPECT_EQ(planar.dieLayer(0), 3);
+    EXPECT_EQ(planar.dieLayer(7), -1);
+
+    ThermalGrid stacked(fastParams(), HotspotModel::stackedStack(),
+                        6.0, 6.0);
+    EXPECT_EQ(stacked.dieLayers().size(), 4u);
+}
+
+TEST(ThermalGridDeathTest, ChipLargerThanSpreaderFatal)
+{
+    ThermalParams p = fastParams();
+    p.spreaderMm = 5.0;
+    EXPECT_EXIT((ThermalGrid{p, HotspotModel::planarStack(), 12.0, 12.0}),
+                ::testing::ExitedWithCode(1), "spreader");
+}
+
+TEST(ThermalGridDeathTest, PowerOnMissingDie)
+{
+    ThermalGrid grid = makePlanarGrid(fastParams());
+    EXPECT_DEATH(grid.addPower(2, 0, 0, 1, 1, 5.0), "die");
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "thermal/grid.h"
+#include "thermal/hotspot.h"
+
+namespace th {
+namespace {
+
+ThermalParams
+fastParams()
+{
+    ThermalParams p;
+    p.gridN = 16;
+    p.maxResidualK = 1e-3;
+    return p;
+}
+
+ThermalGrid
+stackedGrid(const ThermalParams &p)
+{
+    return ThermalGrid(p, HotspotModel::stackedStack(), 6.0, 6.0);
+}
+
+TEST(Transient, NoPowerStaysAtInitial)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    const ThermalField init(p.gridN,
+                            static_cast<int>(
+                                HotspotModel::stackedStack().size()),
+                            p.ambientK);
+    const auto tr = grid.solveTransient(init, 0.001, 1e-5, 5);
+    EXPECT_NEAR(tr.final.peak(grid.dieLayers()), p.ambientK, 0.01);
+}
+
+TEST(Transient, HeatsMonotonicallyFromAmbient)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 0.0, 0.0, 6.0, 6.0, 15.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+    const auto tr = grid.solveTransient(init, 0.02, 1e-4, 10);
+    ASSERT_GE(tr.peakK.size(), 5u);
+    for (size_t i = 1; i < tr.peakK.size(); ++i)
+        EXPECT_GE(tr.peakK[i], tr.peakK[i - 1] - 1e-6) << i;
+    EXPECT_GT(tr.peakK.back(), p.ambientK + 5.0);
+}
+
+TEST(Transient, ApproachesSteadyState)
+{
+    // After a long transient the field must approach the SOR solution.
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 1.0, 1.0, 4.0, 4.0, 12.0);
+    const ThermalField steady = grid.solve();
+    const ThermalField init(p.gridN, 10, p.ambientK);
+    // Die layers have millisecond-scale constants; the sink itself is
+    // slower, so compare die peaks only loosely.
+    const auto tr = grid.solveTransient(init, 0.5, 1e-3, 5);
+    const double steady_peak = steady.peak(grid.dieLayers());
+    const double trans_peak = tr.final.peak(grid.dieLayers());
+    EXPECT_LE(trans_peak, steady_peak + 0.5);
+    EXPECT_GT(trans_peak, p.ambientK +
+              (steady_peak - p.ambientK) * 0.3);
+}
+
+TEST(Transient, CoolsBackDownWhenPowerRemoved)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 0.0, 0.0, 6.0, 6.0, 20.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+    const auto heated = grid.solveTransient(init, 0.02, 1e-4, 2);
+
+    grid.clearPower();
+    const auto cooled =
+        grid.solveTransient(heated.final, 0.02, 1e-4, 2);
+    EXPECT_LT(cooled.final.peak(grid.dieLayers()),
+              heated.final.peak(grid.dieLayers()));
+}
+
+TEST(Transient, DeeperDieHeatsFasterThanSink)
+{
+    // Power in the dies raises die temperatures long before the bulky
+    // copper sink warms: early peak rise outpaces the sink-side rise.
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 0.0, 0.0, 6.0, 6.0, 15.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+    const auto tr = grid.solveTransient(init, 0.005, 1e-4, 2);
+    const double die_peak = tr.final.peak(grid.dieLayers());
+    // Sink layer 0 centre cell:
+    const double sink_t = tr.final.at(0, p.gridN / 2, p.gridN / 2);
+    EXPECT_GT(die_peak - p.ambientK, 2.0 * (sink_t - p.ambientK));
+}
+
+TEST(Transient, SampleTimesMonotonic)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    grid.addPower(0, 0.0, 0.0, 6.0, 6.0, 10.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+    const auto tr = grid.solveTransient(init, 0.01, 1e-4, 8);
+    ASSERT_FALSE(tr.timeS.empty());
+    for (size_t i = 1; i < tr.timeS.size(); ++i)
+        EXPECT_GT(tr.timeS[i], tr.timeS[i - 1]);
+    EXPECT_NEAR(tr.timeS.back(), 0.01, 0.002);
+}
+
+TEST(TransientDeathTest, RejectsBadArguments)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+    EXPECT_EXIT(grid.solveTransient(init, -1.0, 1e-4, 2),
+                ::testing::ExitedWithCode(1), "positive");
+    const ThermalField wrong(4, 2, p.ambientK);
+    EXPECT_EXIT(grid.solveTransient(wrong, 0.01, 1e-4, 2),
+                ::testing::ExitedWithCode(1), "geometry");
+}
+
+} // namespace
+} // namespace th

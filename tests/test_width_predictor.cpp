@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/width_predictor.h"
+
+namespace th {
+namespace {
+
+TEST(WidthPredictor, DefaultsToSafeFullPrediction)
+{
+    WidthPredictor wp(256);
+    EXPECT_EQ(wp.predict(0x400000), Width::Full);
+}
+
+TEST(WidthPredictor, LearnsLowAfterTwoOutcomes)
+{
+    // Entries start weakly-full (counter 1): one low outcome tips the
+    // counter into the predict-low region; a fresh entry never starts
+    // there (safe default).
+    WidthPredictor wp(256);
+    const Addr pc = 0x400010;
+    EXPECT_EQ(wp.predict(pc), Width::Full);
+    wp.update(pc, Width::Low);
+    EXPECT_EQ(wp.predict(pc), Width::Low);
+    wp.update(pc, Width::Low);
+    EXPECT_EQ(wp.predict(pc), Width::Low);
+}
+
+TEST(WidthPredictor, HysteresisResistsOneFlip)
+{
+    WidthPredictor wp(256);
+    const Addr pc = 0x400020;
+    for (int i = 0; i < 4; ++i)
+        wp.update(pc, Width::Low);
+    wp.update(pc, Width::Full);
+    EXPECT_EQ(wp.predict(pc), Width::Low) << "saturated counter";
+    wp.update(pc, Width::Full);
+    EXPECT_EQ(wp.predict(pc), Width::Full);
+}
+
+TEST(WidthPredictor, CorrectToFullIsImmediate)
+{
+    WidthPredictor wp(256);
+    const Addr pc = 0x400030;
+    for (int i = 0; i < 4; ++i)
+        wp.update(pc, Width::Low);
+    ASSERT_EQ(wp.predict(pc), Width::Low);
+    wp.correctToFull(pc);
+    EXPECT_EQ(wp.predict(pc), Width::Full);
+    // And takes two low outcomes to flip back (unsafe side is sticky).
+    wp.update(pc, Width::Low);
+    EXPECT_EQ(wp.predict(pc), Width::Full);
+    wp.update(pc, Width::Low);
+    EXPECT_EQ(wp.predict(pc), Width::Low);
+}
+
+TEST(WidthPredictor, IndependentEntries)
+{
+    WidthPredictor wp(256);
+    const Addr a = 0x400040, b = 0x400044;
+    wp.update(a, Width::Low);
+    wp.update(a, Width::Low);
+    EXPECT_EQ(wp.predict(a), Width::Low);
+    EXPECT_EQ(wp.predict(b), Width::Full);
+}
+
+TEST(WidthPredictor, AliasedPcsSharEntry)
+{
+    WidthPredictor wp(16);
+    const Addr a = 0x1000;
+    const Addr b = a + 16 * 4; // same index after >>2 and mask
+    wp.update(a, Width::Low);
+    wp.update(a, Width::Low);
+    EXPECT_EQ(wp.predict(b), Width::Low);
+}
+
+TEST(WidthPredictor, StableUnderAlternation)
+{
+    // A 50/50 site must not cause mostly-unsafe predictions: counter
+    // oscillates in the full region after each correction.
+    WidthPredictor wp(256);
+    const Addr pc = 0x400050;
+    int unsafe = 0;
+    bool low = false;
+    for (int i = 0; i < 1000; ++i) {
+        const Width actual = low ? Width::Low : Width::Full;
+        if (wp.predict(pc) == Width::Low && actual == Width::Full)
+            ++unsafe;
+        wp.update(pc, actual);
+        low = !low;
+    }
+    EXPECT_LT(unsafe, 10);
+}
+
+TEST(WidthPredictorDeathTest, RequiresPowerOfTwo)
+{
+    EXPECT_EXIT((WidthPredictor{100}), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+class WidthAccuracySweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(WidthAccuracySweep, TracksBiasedSites)
+{
+    // For a site that is low with probability p (or full with
+    // probability p), a 2-bit counter must be nearly always right.
+    const double p = GetParam();
+    WidthPredictor wp(64);
+    const Addr pc = 0x8000;
+    std::uint64_t x = 12345;
+    auto rnd = [&] {
+        x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+        return (x >> 11) * 0x1.0p-53;
+    };
+    int correct = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const Width actual = rnd() < p ? Width::Low : Width::Full;
+        if (wp.predict(pc) == actual)
+            ++correct;
+        wp.update(pc, actual);
+    }
+    const double acc = double(correct) / n;
+    EXPECT_GT(acc, std::max(p, 1.0 - p) - 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Biases, WidthAccuracySweep,
+                         ::testing::Values(0.02, 0.1, 0.9, 0.98));
+
+TEST(WidthPredictorKinds, AlwaysFullNeverPredictsLow)
+{
+    WidthPredictor wp(64, WidthPredKind::AlwaysFull);
+    const Addr pc = 0x100;
+    for (int i = 0; i < 10; ++i)
+        wp.update(pc, Width::Low);
+    EXPECT_EQ(wp.predict(pc), Width::Full);
+}
+
+TEST(WidthPredictorKinds, OracleAlwaysRight)
+{
+    WidthPredictor wp(64, WidthPredKind::Oracle);
+    EXPECT_EQ(wp.predict(0x100, Width::Low), Width::Low);
+    EXPECT_EQ(wp.predict(0x100, Width::Full), Width::Full);
+}
+
+TEST(WidthPredictorKinds, LastOutcomeFlipsImmediately)
+{
+    WidthPredictor wp(64, WidthPredKind::LastOutcome);
+    const Addr pc = 0x100;
+    EXPECT_EQ(wp.predict(pc), Width::Full) << "safe default";
+    wp.update(pc, Width::Low);
+    EXPECT_EQ(wp.predict(pc), Width::Low);
+    wp.update(pc, Width::Full);
+    EXPECT_EQ(wp.predict(pc), Width::Full);
+}
+
+TEST(WidthPredictorKinds, LastOutcomeHonoursCorrection)
+{
+    WidthPredictor wp(64, WidthPredKind::LastOutcome);
+    const Addr pc = 0x100;
+    wp.update(pc, Width::Low);
+    wp.correctToFull(pc);
+    EXPECT_EQ(wp.predict(pc), Width::Full);
+}
+
+TEST(WidthPredictorKinds, Names)
+{
+    EXPECT_STREQ(widthPredKindName(WidthPredKind::TwoBit), "2-bit");
+    EXPECT_STREQ(widthPredKindName(WidthPredKind::Oracle), "oracle");
+}
+
+} // namespace
+} // namespace th

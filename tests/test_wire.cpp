@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "circuit/wire.h"
+
+namespace th {
+namespace {
+
+class WireTest : public ::testing::Test
+{
+  protected:
+    WireModel wires{defaultTech()};
+};
+
+TEST_F(WireTest, RepeatedDelayLinearInLength)
+{
+    const double d1 = wires.repeatedDelay(1.0, WireLayer::Intermediate);
+    const double d2 = wires.repeatedDelay(2.0, WireLayer::Intermediate);
+    EXPECT_NEAR(d2, 2.0 * d1, 1e-9);
+}
+
+TEST_F(WireTest, GlobalLayerFasterPerMm)
+{
+    // Thicker global wires have lower resistance per mm.
+    EXPECT_LT(wires.repeatedDelayPerMm(WireLayer::Global),
+              wires.repeatedDelayPerMm(WireLayer::Intermediate));
+}
+
+TEST_F(WireTest, UnrepeatedQuadraticGrowth)
+{
+    // With a fixed driver, doubling length should more than double the
+    // delay (distributed RC term is quadratic).
+    const double d1 =
+        wires.unrepeatedDelay(1.0, WireLayer::Intermediate, 100.0, 0.0);
+    const double d2 =
+        wires.unrepeatedDelay(2.0, WireLayer::Intermediate, 100.0, 0.0);
+    EXPECT_GT(d2, 2.0 * d1);
+}
+
+TEST_F(WireTest, StrongerDriverIsFaster)
+{
+    const double weak =
+        wires.unrepeatedDelay(1.0, WireLayer::Intermediate, 1000.0, 10.0);
+    const double strong =
+        wires.unrepeatedDelay(1.0, WireLayer::Intermediate, 100.0, 10.0);
+    EXPECT_LT(strong, weak);
+}
+
+TEST_F(WireTest, LoadedBusSlower)
+{
+    const double bare = wires.repeatedDelay(1.5, WireLayer::Intermediate);
+    const double loaded = wires.repeatedDelayLoaded(
+        1.5, WireLayer::Intermediate, 300.0);
+    EXPECT_GT(loaded, bare);
+}
+
+TEST_F(WireTest, ZeroLoadMatchesBareBus)
+{
+    EXPECT_NEAR(
+        wires.repeatedDelayLoaded(1.0, WireLayer::Intermediate, 0.0),
+        wires.repeatedDelay(1.0, WireLayer::Intermediate), 1e-9);
+}
+
+TEST_F(WireTest, EnergyScalesWithLength)
+{
+    const double e1 = wires.wireEnergy(1.0, WireLayer::Intermediate);
+    const double e3 = wires.wireEnergy(3.0, WireLayer::Intermediate);
+    EXPECT_NEAR(e3, 3.0 * e1, 1e-9);
+}
+
+TEST_F(WireTest, RepeatedWireCostsMoreEnergy)
+{
+    EXPECT_GT(wires.wireEnergy(1.0, WireLayer::Intermediate, true),
+              wires.wireEnergy(1.0, WireLayer::Intermediate, false));
+}
+
+TEST_F(WireTest, PlausibleDelayPerMm)
+{
+    // Sanity: 65nm repeated intermediate wires run tens of ps per mm.
+    const double d = wires.repeatedDelayPerMm(WireLayer::Intermediate);
+    EXPECT_GT(d, 20.0);
+    EXPECT_LT(d, 120.0);
+}
+
+TEST(Technology, Fo4IsReasonable)
+{
+    // 65nm FO4 is around 20-30 ps.
+    EXPECT_GT(defaultTech().fo4(), 15.0);
+    EXPECT_LT(defaultTech().fo4(), 40.0);
+}
+
+TEST(Technology, SwitchEnergyMatchesCV2)
+{
+    const Technology &t = defaultTech();
+    // 1000 fF at Vdd: E = C*V^2 in pJ (the model charges full swing).
+    EXPECT_NEAR(t.switchEnergy(1000.0), 1e-3 * 1000.0 * t.vdd * t.vdd,
+                1e-12);
+}
+
+TEST(Technology, ViaDelayUnderOneFo4)
+{
+    // Prior 3D work: d2d via delay is below one FO4 (Section 2.1).
+    EXPECT_LT(defaultTech().d2dViaDelay, defaultTech().fo4());
+}
+
+} // namespace
+} // namespace th
