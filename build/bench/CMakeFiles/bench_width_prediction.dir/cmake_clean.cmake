@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_width_prediction.dir/bench_width_prediction.cpp.o"
+  "CMakeFiles/bench_width_prediction.dir/bench_width_prediction.cpp.o.d"
+  "bench_width_prediction"
+  "bench_width_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_width_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/thermal_throttle.cpp" "examples/CMakeFiles/thermal_throttle.dir/thermal_throttle.cpp.o" "gcc" "examples/CMakeFiles/thermal_throttle.dir/thermal_throttle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/th_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/th_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/th_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/th_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/th_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/th_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/th_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/th_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

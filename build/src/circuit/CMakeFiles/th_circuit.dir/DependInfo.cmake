@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/adder.cpp" "src/circuit/CMakeFiles/th_circuit.dir/adder.cpp.o" "gcc" "src/circuit/CMakeFiles/th_circuit.dir/adder.cpp.o.d"
+  "/root/repo/src/circuit/blocks.cpp" "src/circuit/CMakeFiles/th_circuit.dir/blocks.cpp.o" "gcc" "src/circuit/CMakeFiles/th_circuit.dir/blocks.cpp.o.d"
+  "/root/repo/src/circuit/bypass.cpp" "src/circuit/CMakeFiles/th_circuit.dir/bypass.cpp.o" "gcc" "src/circuit/CMakeFiles/th_circuit.dir/bypass.cpp.o.d"
+  "/root/repo/src/circuit/logical_effort.cpp" "src/circuit/CMakeFiles/th_circuit.dir/logical_effort.cpp.o" "gcc" "src/circuit/CMakeFiles/th_circuit.dir/logical_effort.cpp.o.d"
+  "/root/repo/src/circuit/sram.cpp" "src/circuit/CMakeFiles/th_circuit.dir/sram.cpp.o" "gcc" "src/circuit/CMakeFiles/th_circuit.dir/sram.cpp.o.d"
+  "/root/repo/src/circuit/technology.cpp" "src/circuit/CMakeFiles/th_circuit.dir/technology.cpp.o" "gcc" "src/circuit/CMakeFiles/th_circuit.dir/technology.cpp.o.d"
+  "/root/repo/src/circuit/wire.cpp" "src/circuit/CMakeFiles/th_circuit.dir/wire.cpp.o" "gcc" "src/circuit/CMakeFiles/th_circuit.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/th_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

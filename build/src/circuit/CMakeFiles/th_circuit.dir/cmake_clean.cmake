@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_circuit.dir/adder.cpp.o"
+  "CMakeFiles/th_circuit.dir/adder.cpp.o.d"
+  "CMakeFiles/th_circuit.dir/blocks.cpp.o"
+  "CMakeFiles/th_circuit.dir/blocks.cpp.o.d"
+  "CMakeFiles/th_circuit.dir/bypass.cpp.o"
+  "CMakeFiles/th_circuit.dir/bypass.cpp.o.d"
+  "CMakeFiles/th_circuit.dir/logical_effort.cpp.o"
+  "CMakeFiles/th_circuit.dir/logical_effort.cpp.o.d"
+  "CMakeFiles/th_circuit.dir/sram.cpp.o"
+  "CMakeFiles/th_circuit.dir/sram.cpp.o.d"
+  "CMakeFiles/th_circuit.dir/technology.cpp.o"
+  "CMakeFiles/th_circuit.dir/technology.cpp.o.d"
+  "CMakeFiles/th_circuit.dir/wire.cpp.o"
+  "CMakeFiles/th_circuit.dir/wire.cpp.o.d"
+  "libth_circuit.a"
+  "libth_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for th_circuit.
+# This may be replaced when dependencies are built.

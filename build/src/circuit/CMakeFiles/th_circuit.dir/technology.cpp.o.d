@@ -1,0 +1,3 @@
+src/circuit/CMakeFiles/th_circuit.dir/technology.cpp.o: \
+ /root/repo/src/circuit/technology.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/common/../circuit/technology.h

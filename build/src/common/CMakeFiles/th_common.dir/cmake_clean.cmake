@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_common.dir/log.cpp.o"
+  "CMakeFiles/th_common.dir/log.cpp.o.d"
+  "CMakeFiles/th_common.dir/rng.cpp.o"
+  "CMakeFiles/th_common.dir/rng.cpp.o.d"
+  "CMakeFiles/th_common.dir/stats.cpp.o"
+  "CMakeFiles/th_common.dir/stats.cpp.o.d"
+  "CMakeFiles/th_common.dir/table.cpp.o"
+  "CMakeFiles/th_common.dir/table.cpp.o.d"
+  "CMakeFiles/th_common.dir/types.cpp.o"
+  "CMakeFiles/th_common.dir/types.cpp.o.d"
+  "libth_common.a"
+  "libth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

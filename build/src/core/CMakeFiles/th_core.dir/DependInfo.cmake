@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activity.cpp" "src/core/CMakeFiles/th_core.dir/activity.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/activity.cpp.o.d"
+  "/root/repo/src/core/branch_predictor.cpp" "src/core/CMakeFiles/th_core.dir/branch_predictor.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/core/cache.cpp" "src/core/CMakeFiles/th_core.dir/cache.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/cache.cpp.o.d"
+  "/root/repo/src/core/functional_units.cpp" "src/core/CMakeFiles/th_core.dir/functional_units.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/functional_units.cpp.o.d"
+  "/root/repo/src/core/lsq.cpp" "src/core/CMakeFiles/th_core.dir/lsq.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/lsq.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/th_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/th_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/width_predictor.cpp" "src/core/CMakeFiles/th_core.dir/width_predictor.cpp.o" "gcc" "src/core/CMakeFiles/th_core.dir/width_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/th_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/th_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

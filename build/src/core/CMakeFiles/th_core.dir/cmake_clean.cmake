@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_core.dir/activity.cpp.o"
+  "CMakeFiles/th_core.dir/activity.cpp.o.d"
+  "CMakeFiles/th_core.dir/branch_predictor.cpp.o"
+  "CMakeFiles/th_core.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/th_core.dir/cache.cpp.o"
+  "CMakeFiles/th_core.dir/cache.cpp.o.d"
+  "CMakeFiles/th_core.dir/functional_units.cpp.o"
+  "CMakeFiles/th_core.dir/functional_units.cpp.o.d"
+  "CMakeFiles/th_core.dir/lsq.cpp.o"
+  "CMakeFiles/th_core.dir/lsq.cpp.o.d"
+  "CMakeFiles/th_core.dir/pipeline.cpp.o"
+  "CMakeFiles/th_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/th_core.dir/scheduler.cpp.o"
+  "CMakeFiles/th_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/th_core.dir/width_predictor.cpp.o"
+  "CMakeFiles/th_core.dir/width_predictor.cpp.o.d"
+  "libth_core.a"
+  "libth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

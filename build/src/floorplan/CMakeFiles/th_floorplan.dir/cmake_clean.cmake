@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_floorplan.dir/floorplan.cpp.o"
+  "CMakeFiles/th_floorplan.dir/floorplan.cpp.o.d"
+  "libth_floorplan.a"
+  "libth_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_power.dir/power_model.cpp.o"
+  "CMakeFiles/th_power.dir/power_model.cpp.o.d"
+  "libth_power.a"
+  "libth_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_sim.dir/configs.cpp.o"
+  "CMakeFiles/th_sim.dir/configs.cpp.o.d"
+  "CMakeFiles/th_sim.dir/experiments.cpp.o"
+  "CMakeFiles/th_sim.dir/experiments.cpp.o.d"
+  "CMakeFiles/th_sim.dir/system.cpp.o"
+  "CMakeFiles/th_sim.dir/system.cpp.o.d"
+  "libth_sim.a"
+  "libth_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

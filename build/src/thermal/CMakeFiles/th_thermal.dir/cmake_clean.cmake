@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_thermal.dir/grid.cpp.o"
+  "CMakeFiles/th_thermal.dir/grid.cpp.o.d"
+  "CMakeFiles/th_thermal.dir/hotspot.cpp.o"
+  "CMakeFiles/th_thermal.dir/hotspot.cpp.o.d"
+  "libth_thermal.a"
+  "libth_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/th_trace.dir/generator.cpp.o"
+  "CMakeFiles/th_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/th_trace.dir/suites.cpp.o"
+  "CMakeFiles/th_trace.dir/suites.cpp.o.d"
+  "CMakeFiles/th_trace.dir/trace.cpp.o"
+  "CMakeFiles/th_trace.dir/trace.cpp.o.d"
+  "libth_trace.a"
+  "libth_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/th_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

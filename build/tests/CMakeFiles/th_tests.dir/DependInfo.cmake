@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_activity_params.cpp" "tests/CMakeFiles/th_tests.dir/test_activity_params.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_activity_params.cpp.o.d"
+  "/root/repo/tests/test_adder_bypass.cpp" "tests/CMakeFiles/th_tests.dir/test_adder_bypass.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_adder_bypass.cpp.o.d"
+  "/root/repo/tests/test_bitutil.cpp" "tests/CMakeFiles/th_tests.dir/test_bitutil.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_bitutil.cpp.o.d"
+  "/root/repo/tests/test_blocks.cpp" "tests/CMakeFiles/th_tests.dir/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_blocks.cpp.o.d"
+  "/root/repo/tests/test_branch_predictor.cpp" "tests/CMakeFiles/th_tests.dir/test_branch_predictor.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_branch_predictor.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/th_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_configs.cpp" "tests/CMakeFiles/th_tests.dir/test_configs.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_configs.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/th_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_floorplan.cpp" "tests/CMakeFiles/th_tests.dir/test_floorplan.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_floorplan.cpp.o.d"
+  "/root/repo/tests/test_functional_units.cpp" "tests/CMakeFiles/th_tests.dir/test_functional_units.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_functional_units.cpp.o.d"
+  "/root/repo/tests/test_generator.cpp" "tests/CMakeFiles/th_tests.dir/test_generator.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_generator.cpp.o.d"
+  "/root/repo/tests/test_hotspot.cpp" "tests/CMakeFiles/th_tests.dir/test_hotspot.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_hotspot.cpp.o.d"
+  "/root/repo/tests/test_log.cpp" "tests/CMakeFiles/th_tests.dir/test_log.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_log.cpp.o.d"
+  "/root/repo/tests/test_logical_effort.cpp" "tests/CMakeFiles/th_tests.dir/test_logical_effort.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_logical_effort.cpp.o.d"
+  "/root/repo/tests/test_lsq.cpp" "tests/CMakeFiles/th_tests.dir/test_lsq.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_lsq.cpp.o.d"
+  "/root/repo/tests/test_paper_anchors.cpp" "tests/CMakeFiles/th_tests.dir/test_paper_anchors.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_paper_anchors.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/th_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_pipeline_properties.cpp" "tests/CMakeFiles/th_tests.dir/test_pipeline_properties.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_pipeline_properties.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/th_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/th_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/th_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_sram.cpp" "tests/CMakeFiles/th_tests.dir/test_sram.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_sram.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/th_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_suites.cpp" "tests/CMakeFiles/th_tests.dir/test_suites.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_suites.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/th_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/th_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_thermal_grid.cpp" "tests/CMakeFiles/th_tests.dir/test_thermal_grid.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_thermal_grid.cpp.o.d"
+  "/root/repo/tests/test_transient.cpp" "tests/CMakeFiles/th_tests.dir/test_transient.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_transient.cpp.o.d"
+  "/root/repo/tests/test_width_predictor.cpp" "tests/CMakeFiles/th_tests.dir/test_width_predictor.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_width_predictor.cpp.o.d"
+  "/root/repo/tests/test_wire.cpp" "tests/CMakeFiles/th_tests.dir/test_wire.cpp.o" "gcc" "tests/CMakeFiles/th_tests.dir/test_wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/th_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/th_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/th_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/th_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/th_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/th_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/th_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/th_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
