@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Thermal-solver microbenchmark: times steady-state and transient
+ * solves of the 4-die stack at grid resolutions 32/64/128 for both
+ * SOR orderings, and emits JSON so BENCH_*.json files can track the
+ * solver's perf trajectory across PRs.
+ *
+ * Usage: bench_solver [output.json]   (always prints to stdout too)
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "thermal/hotspot.h"
+
+namespace {
+
+using namespace th;
+
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** A stacked grid with a Figure-10-style hotspot power map. */
+ThermalGrid
+makeGrid(int grid_n, SorOrdering ordering)
+{
+    ThermalParams p;
+    p.gridN = grid_n;
+    p.sorOrdering = ordering;
+    ThermalGrid grid(p, HotspotModel::stackedStack(), 10.5, 10.5);
+    for (int die = 0; die < kNumDies; ++die) {
+        grid.addPower(die, 0.0, 0.0, 10.5, 10.5, 8.0);
+        // Concentrated hotspot in one corner, like a herded ROB/RS.
+        grid.addPower(die, 1.0, 1.0, 2.0, 2.0, 6.0);
+    }
+    return grid;
+}
+
+struct Case
+{
+    int gridN = 0;
+    const char *ordering = "";
+    double steadyMs = 0.0;
+    int steadyIters = 0;
+    double steadyPeakK = 0.0;
+    double transientMs = 0.0;
+    double rebuildSteadyMs = 0.0; ///< Second solve, cached network.
+};
+
+Case
+runCase(int grid_n, SorOrdering ordering)
+{
+    Case c;
+    c.gridN = grid_n;
+    c.ordering =
+        ordering == SorOrdering::RedBlack ? "red-black" : "lexicographic";
+    ThermalGrid grid = makeGrid(grid_n, ordering);
+
+    ThermalGrid::SolveStats stats;
+    auto t0 = std::chrono::steady_clock::now();
+    const ThermalField steady = grid.solve(&stats);
+    c.steadyMs = msSince(t0);
+    c.steadyIters = stats.iterations;
+    c.steadyPeakK = steady.peak(grid.dieLayers());
+
+    // 5 ms of transient from the steady field (throttling-loop shape).
+    t0 = std::chrono::steady_clock::now();
+    const auto tr = grid.solveTransient(steady, 0.005, 1e-4, 10);
+    c.transientMs = msSince(t0);
+
+    // Steady again: measures the benefit of the cached network.
+    t0 = std::chrono::steady_clock::now();
+    grid.solve();
+    c.rebuildSteadyMs = msSince(t0);
+    return c;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::ostringstream json;
+    json << "{\n  \"benchmark\": \"thermal_solver\",\n  \"cases\": [\n";
+    bool first = true;
+    for (int grid_n : {32, 64, 128}) {
+        for (SorOrdering ord :
+             {SorOrdering::Lexicographic, SorOrdering::RedBlack}) {
+            const Case c = runCase(grid_n, ord);
+            if (!first)
+                json << ",\n";
+            first = false;
+            json << "    {\"grid\": " << c.gridN
+                 << ", \"ordering\": \"" << c.ordering << "\""
+                 << ", \"steady_ms\": " << c.steadyMs
+                 << ", \"steady_iterations\": " << c.steadyIters
+                 << ", \"steady_peak_k\": " << c.steadyPeakK
+                 << ", \"transient_ms\": " << c.transientMs
+                 << ", \"cached_steady_ms\": " << c.rebuildSteadyMs
+                 << "}";
+            std::cerr << "grid " << c.gridN << " " << c.ordering
+                      << ": steady " << c.steadyMs << " ms ("
+                      << c.steadyIters << " iters), transient "
+                      << c.transientMs << " ms, cached steady "
+                      << c.rebuildSteadyMs << " ms\n";
+        }
+    }
+    json << "\n  ]\n}\n";
+
+    std::cout << json.str();
+    if (argc > 1) {
+        std::ofstream out(argv[1]);
+        out << json.str();
+    }
+    return 0;
+}

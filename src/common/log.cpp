@@ -1,5 +1,6 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -8,7 +9,7 @@ namespace th {
 
 namespace {
 
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 
 void
 vprint(const char *tag, const char *fmt, va_list ap)

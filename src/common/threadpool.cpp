@@ -1,0 +1,164 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace th {
+
+namespace {
+
+/** True on threads owned by a pool: nested parallelFor runs inline. */
+thread_local bool t_in_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const int total = std::max(1, num_threads);
+    workers_.reserve(static_cast<size_t>(total - 1));
+    for (int i = 0; i < total - 1; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    t_in_worker = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_cv_.wait(lock, [&] {
+                return stop_ || (job_ != nullptr && generation_ != seen);
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+            job = job_;
+            ++job->active;
+        }
+        drainJob(*job);
+        bool finished;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --job->active;
+            finished = job->done == job->n && job->active == 0;
+        }
+        if (finished)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::drainJob(Job &job)
+{
+    for (;;) {
+        std::size_t begin, end;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (job.next >= job.n)
+                return;
+            begin = job.next;
+            end = std::min(job.n, begin + job.chunk);
+            job.next = end;
+        }
+        for (std::size_t i = begin; i < end; ++i) {
+            try {
+                (*job.body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mu_);
+                if (!job.error)
+                    job.error = std::current_exception();
+            }
+        }
+        bool finished;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            job.done += end - begin;
+            finished = job.done == job.n && job.active == 0;
+        }
+        if (finished)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    // Inline paths: tiny jobs, a serial pool, or a nested call from a
+    // worker thread (fanning out again would just queue behind
+    // ourselves). Inline execution is index-ordered and therefore
+    // trivially deterministic.
+    if (n == 1 || workers_.empty() || t_in_worker) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    Job job;
+    job.body = &body;
+    job.n = n;
+    job.chunk = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(threads()) * 4));
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        job_ = &job;
+        ++generation_;
+    }
+    work_cv_.notify_all();
+
+    drainJob(job);
+
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+        return job.done == job.n && job.active == 0;
+    });
+    job_ = nullptr;
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+int
+ThreadPool::parseThreads(const char *text, int fallback)
+{
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char *end = nullptr;
+    const long v = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || v < 1 || v > 1024)
+        return fallback;
+    return static_cast<int>(v);
+}
+
+int
+ThreadPool::configuredThreads()
+{
+    const int hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    return parseThreads(std::getenv("TH_THREADS"), hw);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(configuredThreads());
+    return pool;
+}
+
+} // namespace th

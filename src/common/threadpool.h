@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for deterministic data parallelism.
+ * No work stealing, no futures: one shared atomic index per job, the
+ * calling thread participates, and results are always collected in
+ * index order, so a parallel run is bit-identical to a serial one for
+ * any independent per-index work.
+ *
+ * The global pool is sized by the TH_THREADS environment variable
+ * (default: hardware concurrency). TH_THREADS=1 makes every
+ * parallelFor run inline on the calling thread.
+ */
+
+#ifndef TH_COMMON_THREADPOOL_H
+#define TH_COMMON_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace th {
+
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads  Total parallelism including the caller:
+     *                     num_threads - 1 workers are spawned.
+     *                     Clamped to >= 1.
+     */
+    explicit ThreadPool(int num_threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the calling thread). */
+    int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Run body(i) for every i in [0, n). Blocks until all indices are
+     * done; the calling thread works too. Indices are claimed in
+     * chunks from a shared counter; per-index work must be independent
+     * (no cross-index data flow). The first exception thrown by any
+     * body is rethrown on the caller after the job drains.
+     *
+     * Calls from inside a pool worker run inline (no nested fan-out),
+     * so library code may parallelise freely without deadlock.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+    /**
+     * Parallel map with deterministic, index-ordered results:
+     * out[i] = fn(i), regardless of thread count or scheduling.
+     */
+    template <typename Fn>
+    auto parallelMap(std::size_t n, Fn &&fn)
+        -> std::vector<std::invoke_result_t<Fn &, std::size_t>>
+    {
+        std::vector<std::invoke_result_t<Fn &, std::size_t>> out(n);
+        parallelFor(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /**
+     * The process-wide pool used by the experiment harnesses and the
+     * red-black thermal solver. Sized once, on first use, from
+     * TH_THREADS (or hardware concurrency when unset).
+     */
+    static ThreadPool &global();
+
+    /** Pool size global() will use: TH_THREADS or hardware default. */
+    static int configuredThreads();
+
+    /**
+     * Parse a TH_THREADS-style value: returns the thread count, or
+     * @p fallback when @p text is null/empty/non-numeric/< 1.
+     */
+    static int parseThreads(const char *text, int fallback);
+
+  private:
+    struct Job
+    {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t n = 0;
+        std::size_t next = 0;   ///< Next unclaimed index (under mu_).
+        std::size_t done = 0;   ///< Completed indices (under mu_).
+        std::size_t active = 0; ///< Workers inside the job (under mu_).
+        std::size_t chunk = 1;
+        std::exception_ptr error;
+    };
+
+    void workerLoop();
+    /** Claim and run chunks of the current job until it is exhausted. */
+    void drainJob(Job &job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable work_cv_; ///< Workers wait for a job.
+    std::condition_variable done_cv_; ///< Caller waits for completion.
+    Job *job_ = nullptr;              ///< Active job (under mu_).
+    std::uint64_t generation_ = 0;    ///< Bumped per job (under mu_).
+    bool stop_ = false;
+};
+
+} // namespace th
+
+#endif // TH_COMMON_THREADPOOL_H

@@ -1,8 +1,38 @@
 #include "sim/configs.h"
 
+#include <cstring>
+
 #include "common/log.h"
 
 namespace th {
+
+namespace {
+
+/** FNV-1a accumulator. */
+struct Hasher
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+
+    void bytes(const void *p, std::size_t len)
+    {
+        const auto *b = static_cast<const unsigned char *>(p);
+        for (std::size_t i = 0; i < len; ++i) {
+            h ^= b[i];
+            h *= 0x100000001b3ULL;
+        }
+    }
+    void add(std::uint64_t v) { bytes(&v, sizeof(v)); }
+    void add(int v) { add(static_cast<std::uint64_t>(v)); }
+    void add(bool v) { add(static_cast<std::uint64_t>(v)); }
+    void add(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        add(bits);
+    }
+};
+
+} // namespace
 
 const char *
 configName(ConfigKind kind)
@@ -58,6 +88,71 @@ makeConfig(ConfigKind kind, const BlockLibrary &lib)
         break;
     }
     return cfg;
+}
+
+std::uint64_t
+configHash(const CoreConfig &cfg)
+{
+    Hasher h;
+    // The display name is deliberately excluded: it never affects the
+    // simulation, and ablation variants share the base name.
+    h.add(cfg.fetchWidth);
+    h.add(cfg.decodeWidth);
+    h.add(cfg.commitWidth);
+    h.add(cfg.issueWidth);
+    h.add(cfg.ifqSize);
+    h.add(cfg.robSize);
+    h.add(cfg.rsSize);
+    h.add(cfg.lqSize);
+    h.add(cfg.sqSize);
+    h.add(cfg.numIntAlu);
+    h.add(cfg.numIntShift);
+    h.add(cfg.numIntMult);
+    h.add(cfg.numFpAdd);
+    h.add(cfg.numFpMult);
+    h.add(cfg.numFpDiv);
+    h.add(cfg.numLoadPorts);
+    h.add(cfg.numStorePorts);
+    h.add(cfg.il1Bytes);
+    h.add(cfg.il1Assoc);
+    h.add(cfg.il1LineBytes);
+    h.add(cfg.dl1Bytes);
+    h.add(cfg.dl1Assoc);
+    h.add(cfg.dl1LineBytes);
+    h.add(cfg.l2Bytes);
+    h.add(cfg.l2Assoc);
+    h.add(cfg.l2LineBytes);
+    h.add(cfg.il1Cycles);
+    h.add(cfg.dl1Cycles);
+    h.add(cfg.itlbEntries);
+    h.add(cfg.itlbAssoc);
+    h.add(cfg.dtlbEntries);
+    h.add(cfg.dtlbAssoc);
+    h.add(cfg.tlbMissCycles);
+    h.add(cfg.bimodalEntries);
+    h.add(cfg.localHistEntries);
+    h.add(cfg.localHistBits);
+    h.add(cfg.localCounterEntries);
+    h.add(cfg.globalHistBits);
+    h.add(cfg.chooserEntries);
+    h.add(cfg.btbEntries);
+    h.add(cfg.btbAssoc);
+    h.add(cfg.ibtbEntries);
+    h.add(cfg.ibtbAssoc);
+    h.add(cfg.freqGhz);
+    h.add(cfg.memLatencyNs);
+    h.add(cfg.maxOutstandingMisses);
+    h.add(cfg.frontendDepth);
+    h.add(cfg.thermalHerding);
+    h.add(cfg.pipeOpts);
+    h.add(cfg.stacked);
+    h.add(static_cast<int>(cfg.schedAlloc));
+    h.add(cfg.pamEnabled);
+    h.add(cfg.pveEnabled);
+    h.add(cfg.btbMemoEnabled);
+    h.add(cfg.widthPredEntries);
+    h.add(static_cast<int>(cfg.widthPredKind));
+    return h.h;
 }
 
 } // namespace th

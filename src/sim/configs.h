@@ -8,6 +8,7 @@
 #ifndef TH_SIM_CONFIGS_H
 #define TH_SIM_CONFIGS_H
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,14 @@ std::vector<ConfigKind> figure8Configs();
  * library's critical-loop analysis (2.66 GHz planar; ~3.9 GHz 3D).
  */
 CoreConfig makeConfig(ConfigKind kind, const BlockLibrary &lib);
+
+/**
+ * Stable hash over every behaviour-affecting CoreConfig field — the
+ * key of the System-level CoreResult cache. Two configs with equal
+ * hashes are treated as the same simulation input, so any new field
+ * added to CoreConfig must be folded in here.
+ */
+std::uint64_t configHash(const CoreConfig &cfg);
 
 } // namespace th
 

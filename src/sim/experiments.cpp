@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <map>
+#include <utility>
 
 #include "common/log.h"
 #include "common/stats.h"
+#include "common/threadpool.h"
 #include "trace/suites.h"
 
 namespace th {
@@ -55,14 +57,27 @@ runFigure8(System &sys, const std::vector<std::string> &benchmarks)
     std::map<std::string, std::vector<const Fig8Benchmark *>> by_suite;
     data.benchmarks.reserve(names.size());
 
-    for (const auto &name : names) {
+    // Fan the full (benchmark, config) grid across the pool. Each run
+    // owns its trace generator, RNG, and core, so runs are
+    // independent; results land at their flat index and the reduction
+    // below walks them in the original order, making the output
+    // bit-identical to a serial sweep at any thread count.
+    const size_t ncfg = configs.size();
+    const auto cells = ThreadPool::global().parallelMap(
+        names.size() * ncfg, [&](size_t i) {
+            const CoreResult r =
+                sys.runCore(names[i / ncfg], configs[i % ncfg]);
+            return std::pair<double, double>(r.perf.ipc(), r.ipns());
+        });
+
+    for (size_t b = 0; b < names.size(); ++b) {
+        const auto &name = names[b];
         Fig8Benchmark row;
         row.name = name;
         row.suite = benchmarkByName(name).suite;
-        for (size_t c = 0; c < configs.size(); ++c) {
-            const CoreResult r = sys.runCore(name, configs[c]);
-            row.ipc[c] = r.perf.ipc();
-            row.ipns[c] = r.ipns();
+        for (size_t c = 0; c < ncfg; ++c) {
+            row.ipc[c] = cells[b * ncfg + c].first;
+            row.ipns[c] = cells[b * ncfg + c].second;
         }
         row.speedup = row.ipns[4] / row.ipns[0] - 1.0;
         if (row.speedup < data.minSpeedup) {
@@ -123,17 +138,24 @@ runFigure9(System &sys, const std::vector<std::string> &benchmarks)
     const auto names = defaultBenchmarks(benchmarks);
     data.minSaving.saving = 1e9;
     data.maxSaving.saving = -1e9;
-    for (const auto &name : names) {
-        PowerSaving s;
-        s.name = name;
-        s.baseW = sys.evaluate(name, ConfigKind::Base).power.totalW();
-        s.th3dW = sys.evaluate(name, ConfigKind::ThreeD).power.totalW();
-        s.saving = 1.0 - s.th3dW / s.baseW;
+    // Per-application savings in parallel; min/max selection stays a
+    // serial in-order scan so ties resolve exactly as before.
+    data.savings = ThreadPool::global().parallelMap(
+        names.size(), [&](size_t i) {
+            PowerSaving s;
+            s.name = names[i];
+            s.baseW =
+                sys.evaluate(names[i], ConfigKind::Base).power.totalW();
+            s.th3dW =
+                sys.evaluate(names[i], ConfigKind::ThreeD).power.totalW();
+            s.saving = 1.0 - s.th3dW / s.baseW;
+            return s;
+        });
+    for (const auto &s : data.savings) {
         if (s.saving < data.minSaving.saving)
             data.minSaving = s;
         if (s.saving > data.maxSaving.saving)
             data.maxSaving = s;
-        data.savings.push_back(s);
     }
     return data;
 }
@@ -167,18 +189,30 @@ runFigure10(System &sys, const std::vector<std::string> &candidates)
     }
 
     Fig10Data data;
-    auto scan = [&](ConfigKind kind) {
+
+    // All (config, app) thermal cases in one parallel fan-out; each
+    // case runs its own core simulation (memoized across figures) and
+    // owns its thermal grid. The worst-case selection walks each
+    // config's results in app order, exactly like the serial scan.
+    const ConfigKind kinds[] = {ConfigKind::Base, ConfigKind::ThreeDNoTH,
+                                ConfigKind::ThreeD};
+    const size_t napps = apps.size();
+    const auto cases = ThreadPool::global().parallelMap(
+        3 * napps, [&](size_t i) {
+            return thermalCase(sys, apps[i % napps], kinds[i / napps]);
+        });
+    auto worstOf = [&](size_t kind_idx) {
         ThermalCase worst;
-        for (const auto &app : apps) {
-            ThermalCase tc = thermalCase(sys, app, kind);
+        for (size_t a = 0; a < napps; ++a) {
+            const ThermalCase &tc = cases[kind_idx * napps + a];
             if (tc.report.peakK > worst.report.peakK)
                 worst = tc;
         }
         return worst;
     };
-    data.worstPlanar = scan(ConfigKind::Base);
-    data.worstNoTh3d = scan(ConfigKind::ThreeDNoTH);
-    data.worstTh3d = scan(ConfigKind::ThreeD);
+    data.worstPlanar = worstOf(0);
+    data.worstNoTh3d = worstOf(1);
+    data.worstTh3d = worstOf(2);
 
     // Iso-power: the 3D stack burning the full planar budget at the
     // planar frequency (Section 5.3's 4x-power-density what-if).
@@ -192,67 +226,82 @@ runFigure10(System &sys, const std::vector<std::string> &candidates)
         data.isoPower.config = "3D-isoPower";
     }
 
-    // Same-application comparison (Figure 10 d-f).
+    // Same-application comparison (Figure 10 d-f): these cases were
+    // already solved during the scan — reuse them instead of running
+    // three more thermal analyses.
     data.sameApp = data.worstPlanar.app;
-    data.samePlanar = thermalCase(sys, data.sameApp, ConfigKind::Base);
-    data.sameNoTh3d =
-        thermalCase(sys, data.sameApp, ConfigKind::ThreeDNoTH);
-    data.sameTh3d = thermalCase(sys, data.sameApp, ConfigKind::ThreeD);
+    const size_t same_idx = static_cast<size_t>(
+        std::find(apps.begin(), apps.end(), data.sameApp) -
+        apps.begin());
+    data.samePlanar = cases[0 * napps + same_idx];
+    data.sameNoTh3d = cases[1 * napps + same_idx];
+    data.sameTh3d = cases[2 * napps + same_idx];
 
     data.robDeltaK = data.sameTh3d.report.blockPeakK(BlockId::Rob) -
         data.samePlanar.report.blockPeakK(BlockId::Rob);
     return data;
 }
 
+namespace {
+
+WidthStudyRow
+widthStudyRow(const System &sys, const std::string &name)
+{
+    const CoreResult r = sys.runCore(name, ConfigKind::TH);
+    WidthStudyRow row;
+    row.name = name;
+    row.accuracy = r.perf.widthAccuracy();
+    const double preds =
+        static_cast<double>(r.perf.widthPredictions.value());
+    row.unsafeRate = preds > 0.0
+        ? static_cast<double>(r.perf.widthUnsafe.value()) / preds
+        : 0.0;
+    const double pam =
+        static_cast<double>(r.perf.pamHits.value() +
+                            r.perf.pamMisses.value());
+    row.pamHitRate = pam > 0.0
+        ? static_cast<double>(r.perf.pamHits.value()) / pam
+        : 0.0;
+    const double pve = static_cast<double>(
+        r.perf.pveZeros.value() + r.perf.pveOnes.value() +
+        r.perf.pveAddr.value() + r.perf.pveExplicit.value());
+    row.pveEncodable = pve > 0.0
+        ? 1.0 - static_cast<double>(r.perf.pveExplicit.value()) / pve
+        : 0.0;
+    const double reads = static_cast<double>(
+        r.activity.dl1ReadLow.value() +
+        r.activity.dl1ReadFull.value());
+    row.lowWidthFrac = reads > 0.0
+        ? static_cast<double>(r.activity.dl1ReadLow.value()) / reads
+        : 0.0;
+    // Histogram buckets are 4 bits wide: buckets 0-3 cover results
+    // representable in the top die's 16 bits.
+    row.narrowResults = r.perf.valueWidthBits.fraction(0) +
+        r.perf.valueWidthBits.fraction(1) +
+        r.perf.valueWidthBits.fraction(2) +
+        r.perf.valueWidthBits.fraction(3);
+    const double rob_full =
+        static_cast<double>(r.activity.robReadFull.value());
+    row.robLowReadRatio = rob_full > 0.0
+        ? static_cast<double>(r.activity.robReadLow.value()) /
+              rob_full
+        : 0.0;
+    return row;
+}
+
+} // namespace
+
 WidthStudyData
 runWidthStudy(System &sys, const std::vector<std::string> &benchmarks)
 {
     const auto names = defaultBenchmarks(benchmarks);
     WidthStudyData data;
+    data.rows = ThreadPool::global().parallelMap(
+        names.size(),
+        [&](size_t i) { return widthStudyRow(sys, names[i]); });
     double acc_sum = 0.0;
-    for (const auto &name : names) {
-        const CoreResult r = sys.runCore(name, ConfigKind::TH);
-        WidthStudyRow row;
-        row.name = name;
-        row.accuracy = r.perf.widthAccuracy();
-        const double preds =
-            static_cast<double>(r.perf.widthPredictions.value());
-        row.unsafeRate = preds > 0.0
-            ? static_cast<double>(r.perf.widthUnsafe.value()) / preds
-            : 0.0;
-        const double pam =
-            static_cast<double>(r.perf.pamHits.value() +
-                                r.perf.pamMisses.value());
-        row.pamHitRate = pam > 0.0
-            ? static_cast<double>(r.perf.pamHits.value()) / pam
-            : 0.0;
-        const double pve = static_cast<double>(
-            r.perf.pveZeros.value() + r.perf.pveOnes.value() +
-            r.perf.pveAddr.value() + r.perf.pveExplicit.value());
-        row.pveEncodable = pve > 0.0
-            ? 1.0 - static_cast<double>(r.perf.pveExplicit.value()) / pve
-            : 0.0;
-        const double reads = static_cast<double>(
-            r.activity.dl1ReadLow.value() +
-            r.activity.dl1ReadFull.value());
-        row.lowWidthFrac = reads > 0.0
-            ? static_cast<double>(r.activity.dl1ReadLow.value()) / reads
-            : 0.0;
-        // Histogram buckets are 4 bits wide: buckets 0-3 cover results
-        // representable in the top die's 16 bits.
-        row.narrowResults = r.perf.valueWidthBits.fraction(0) +
-            r.perf.valueWidthBits.fraction(1) +
-            r.perf.valueWidthBits.fraction(2) +
-            r.perf.valueWidthBits.fraction(3);
-        const double rob_full =
-            static_cast<double>(r.activity.robReadFull.value());
-        row.robLowReadRatio = rob_full > 0.0
-            ? static_cast<double>(r.activity.robReadLow.value()) /
-                  rob_full
-            : 0.0;
+    for (const auto &row : data.rows)
         acc_sum += row.accuracy;
-        data.rows.push_back(row);
-    }
     data.overallAccuracy = data.rows.empty()
         ? 0.0 : acc_sum / static_cast<double>(data.rows.size());
     return data;

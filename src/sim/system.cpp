@@ -13,6 +13,15 @@ System::System(const SimOptions &opts)
 }
 
 CoreResult
+System::simulate(const std::string &benchmark,
+                 const CoreConfig &cfg) const
+{
+    SyntheticTrace trace(benchmarkByName(benchmark));
+    Core core(cfg);
+    return core.run(trace, opts_.instructions, opts_.warmupInstructions);
+}
+
+CoreResult
 System::runCore(const std::string &benchmark, ConfigKind kind) const
 {
     return runCore(benchmark, makeConfig(kind, lib_));
@@ -21,21 +30,57 @@ System::runCore(const std::string &benchmark, ConfigKind kind) const
 CoreResult
 System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
 {
-    SyntheticTrace trace(benchmarkByName(benchmark));
-    Core core(cfg);
-    return core.run(trace, opts_.instructions, opts_.warmupInstructions);
+    // Memoize on (benchmark, config hash): traces are seeded by the
+    // benchmark profile and the core is deterministic, so a repeat of
+    // the same pair is bit-identical to the first run.
+    const std::string key =
+        benchmark + '\0' + std::to_string(configHash(cfg));
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        auto it = core_cache_.find(key);
+        if (it != core_cache_.end()) {
+            cache_hits_.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    CoreResult result = simulate(benchmark, cfg);
+    {
+        std::lock_guard<std::mutex> lock(cache_mu_);
+        core_cache_.emplace(key, result);
+    }
+    return result;
+}
+
+System::CacheStats
+System::coreCacheStats() const
+{
+    CacheStats s;
+    s.hits = cache_hits_.load(std::memory_order_relaxed);
+    s.misses = cache_misses_.load(std::memory_order_relaxed);
+    return s;
 }
 
 void
-System::ensureCalibrated()
+System::clearCoreCache()
 {
-    if (calibrated_)
-        return;
-    const CoreConfig base_cfg = makeConfig(ConfigKind::Base, lib_);
-    const CoreResult base_run =
-        runCore(kPowerReferenceBenchmark, base_cfg);
-    power_.calibrate(base_run, base_cfg);
-    calibrated_ = true;
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    core_cache_.clear();
+    cache_hits_.store(0, std::memory_order_relaxed);
+    cache_misses_.store(0, std::memory_order_relaxed);
+}
+
+void
+System::ensureCalibrated() const
+{
+    // call_once makes the lazy calibration safe when the experiment
+    // pool issues the first evaluate() calls concurrently.
+    std::call_once(calibrate_once_, [this] {
+        const CoreConfig base_cfg = makeConfig(ConfigKind::Base, lib_);
+        const CoreResult base_run =
+            runCore(kPowerReferenceBenchmark, base_cfg);
+        power_.calibrate(base_run, base_cfg);
+    });
 }
 
 PowerModel &

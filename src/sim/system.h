@@ -3,13 +3,23 @@
  * Top-level facade: wires the circuit library, trace generator, core
  * model, power model, floorplans, and thermal model into one object —
  * the library's main entry point for running paper-style experiments.
+ *
+ * Thread model: runCore(), evaluate(), thermal(), and power() are safe
+ * to call concurrently from the experiment thread pool. Each run owns
+ * its trace generator, RNG, and core, so runs are independent; the
+ * shared state is the lazily-calibrated power model (guarded by a
+ * std::once_flag) and the memoizing CoreResult cache (mutex-guarded).
  */
 
 #ifndef TH_SIM_SYSTEM_H
 #define TH_SIM_SYSTEM_H
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 #include "circuit/blocks.h"
 #include "core/pipeline.h"
@@ -62,6 +72,22 @@ class System
     ThermalReport thermal(const Evaluation &eval,
                           double power_scale = 1.0) const;
 
+    /** Hit/miss counters of the memoizing CoreResult cache. */
+    struct CacheStats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    /**
+     * Cache accounting. Figures sharing a (benchmark, config) pair —
+     * Fig 8/9/10 all re-run Base and 3D — simulate it only once.
+     */
+    CacheStats coreCacheStats() const;
+
+    /** Drop all memoized CoreResults and reset the counters. */
+    void clearCoreCache();
+
     const BlockLibrary &circuits() const { return lib_; }
     PowerModel &power();
     const HotspotModel &hotspot() const { return hotspot_; }
@@ -73,15 +99,23 @@ class System
     static constexpr const char *kPowerReferenceBenchmark = "mpeg2enc";
 
   private:
-    void ensureCalibrated();
+    void ensureCalibrated() const;
+    /** The uncached simulation path behind the memoizing cache. */
+    CoreResult simulate(const std::string &benchmark,
+                        const CoreConfig &cfg) const;
 
     SimOptions opts_;
     BlockLibrary lib_;
-    PowerModel power_;
+    mutable PowerModel power_;
     HotspotModel hotspot_;
     Floorplan planar_fp_;
     Floorplan stacked_fp_;
-    bool calibrated_ = false;
+    mutable std::once_flag calibrate_once_;
+
+    mutable std::mutex cache_mu_;
+    mutable std::unordered_map<std::string, CoreResult> core_cache_;
+    mutable std::atomic<std::uint64_t> cache_hits_{0};
+    mutable std::atomic<std::uint64_t> cache_misses_{0};
 };
 
 } // namespace th

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "common/threadpool.h"
 
 namespace th {
 
@@ -127,6 +128,7 @@ ThermalGrid::addPower(int die, double x, double y, double w, double h,
         p[static_cast<size_t>(iy) * params_.gridN + ix] +=
             watts * f / covered;
     });
+    power_dirty_ = true;
 }
 
 void
@@ -134,6 +136,7 @@ ThermalGrid::clearPower()
 {
     for (auto &p : power_)
         std::fill(p.begin(), p.end(), 0.0);
+    power_dirty_ = true;
 }
 
 double
@@ -165,40 +168,21 @@ ThermalGrid::dieLayers() const
     return v;
 }
 
-namespace {
-
-/** Precomputed grid conductances and injected power. */
-struct GridNetwork
-{
-    std::vector<double> gRight, gDown, gBelow, gAmb, pIn;
-    int n = 0;
-    int nl = 0;
-
-    size_t idx(int l, int ix, int iy) const
-    {
-        return (static_cast<size_t>(l) * n + iy) * n + ix;
-    }
-};
-
-} // namespace
-
 /**
- * Build the RC network for the current geometry and power map. Shared
- * by the steady-state and transient solvers.
+ * Build the geometry-dependent half of the RC network: conductances,
+ * capacitances, and the per-cell conductance sums. These never change
+ * after construction, so they are computed once and shared by every
+ * steady-state and transient solve (and every leakage-feedback round).
  */
-static GridNetwork
-buildNetwork(const ThermalParams &params,
-             const std::vector<ThermalLayer> &layers, double cell_mm,
-             const std::function<double(int, int, int)> &cell_k,
-             const std::function<int(int)> &die_layer,
-             const std::vector<std::vector<double>> &power)
+void
+ThermalGrid::buildConductances() const
 {
-    GridNetwork net;
-    net.n = params.gridN;
-    net.nl = static_cast<int>(layers.size());
+    Network &net = net_;
+    net.n = params_.gridN;
+    net.nl = static_cast<int>(layers_.size());
     const int n = net.n;
     const int nl = net.nl;
-    const double cell_m = cell_mm * 1e-3;
+    const double cell_m = cell_mm_ * 1e-3;
     const double area_m2 = cell_m * cell_m;
 
     const size_t cells = static_cast<size_t>(nl) * n * n;
@@ -206,36 +190,42 @@ buildNetwork(const ThermalParams &params,
     net.gDown.assign(cells, 0.0);
     net.gBelow.assign(cells, 0.0);
     net.gAmb.assign(cells, 0.0);
+    net.gSum.assign(cells, 0.0);
+    net.invG.assign(cells, 0.0);
+    net.cap.assign(cells, 0.0);
     net.pIn.assign(cells, 0.0);
 
     for (int l = 0; l < nl; ++l) {
-        const double t_m = layers[static_cast<size_t>(l)].thicknessMm * 1e-3;
+        const ThermalLayer &layer = layers_[static_cast<size_t>(l)];
+        const double t_m = layer.thicknessMm * 1e-3;
+        const double cell_vol = area_m2 * t_m;
         for (int iy = 0; iy < n; ++iy) {
             for (int ix = 0; ix < n; ++ix) {
-                const double k1 = cell_k(l, ix, iy);
+                const double k1 = cellK(l, ix, iy);
+                const size_t c = net.idx(l, ix, iy);
+                if (k1 > 0.0)
+                    net.cap[c] = cell_vol * layer.volHeatCapacity;
                 // Lateral (square cells: G = k * t).
                 if (ix + 1 < n) {
-                    const double k2 = cell_k(l, ix + 1, iy);
+                    const double k2 = cellK(l, ix + 1, iy);
                     if (k1 > 0.0 && k2 > 0.0)
-                        net.gRight[net.idx(l, ix, iy)] =
-                            t_m * 2.0 * k1 * k2 / (k1 + k2);
+                        net.gRight[c] = t_m * 2.0 * k1 * k2 / (k1 + k2);
                 }
                 if (iy + 1 < n) {
-                    const double k2 = cell_k(l, ix, iy + 1);
+                    const double k2 = cellK(l, ix, iy + 1);
                     if (k1 > 0.0 && k2 > 0.0)
-                        net.gDown[net.idx(l, ix, iy)] =
-                            t_m * 2.0 * k1 * k2 / (k1 + k2);
+                        net.gDown[c] = t_m * 2.0 * k1 * k2 / (k1 + k2);
                 }
                 // Vertical to the next layer down.
                 if (l + 1 < nl) {
-                    const double k2 = cell_k(l + 1, ix, iy);
+                    const double k2 = cellK(l + 1, ix, iy);
                     const double t2_m =
-                        layers[static_cast<size_t>(l + 1)].thicknessMm *
+                        layers_[static_cast<size_t>(l + 1)].thicknessMm *
                         1e-3;
                     if (k1 > 0.0 && k2 > 0.0) {
                         const double r = t_m / (2.0 * k1 * area_m2) +
                             t2_m / (2.0 * k2 * area_m2);
-                        net.gBelow[net.idx(l, ix, iy)] = 1.0 / r;
+                        net.gBelow[c] = 1.0 / r;
                     }
                 }
             }
@@ -244,97 +234,153 @@ buildNetwork(const ThermalParams &params,
 
     // Distributed convection from the top (sink) layer.
     const double g_cell_conv =
-        (1.0 / params.convectionKPerW) / static_cast<double>(n * n);
+        (1.0 / params_.convectionKPerW) / static_cast<double>(n * n);
     for (int iy = 0; iy < n; ++iy)
         for (int ix = 0; ix < n; ++ix)
             net.gAmb[net.idx(0, ix, iy)] = g_cell_conv;
 
-    // Power injection.
-    for (size_t die = 0; die < power.size(); ++die) {
-        const int l = die_layer(static_cast<int>(die));
+    // Per-cell conductance sums are loop-invariant: hoist them out of
+    // the solver sweeps (the seed recomputed them every SOR iteration).
+    const size_t plane = static_cast<size_t>(n) * n;
+    for (int l = 0; l < nl; ++l) {
+        for (int iy = 0; iy < n; ++iy) {
+            for (int ix = 0; ix < n; ++ix) {
+                const size_t c = net.idx(l, ix, iy);
+                double g = net.gAmb[c];
+                if (ix > 0)
+                    g += net.gRight[c - 1];
+                if (ix + 1 < n)
+                    g += net.gRight[c];
+                if (iy > 0)
+                    g += net.gDown[c - n];
+                if (iy + 1 < n)
+                    g += net.gDown[c];
+                if (l > 0)
+                    g += net.gBelow[c - plane];
+                if (l + 1 < nl)
+                    g += net.gBelow[c];
+                net.gSum[c] = g;
+                net.invG[c] = g > 0.0 ? 1.0 / g : 0.0;
+            }
+        }
+    }
+}
+
+/** Rebuild only the injected-power vector from the deposited map. */
+void
+ThermalGrid::refreshPower() const
+{
+    Network &net = net_;
+    const int n = net.n;
+    std::fill(net.pIn.begin(), net.pIn.end(), 0.0);
+    for (size_t die = 0; die < power_.size(); ++die) {
+        const int l = dieLayer(static_cast<int>(die));
         if (l < 0)
             panic("power deposited on missing die %zu", die);
         for (int iy = 0; iy < n; ++iy)
             for (int ix = 0; ix < n; ++ix)
                 net.pIn[net.idx(l, ix, iy)] +=
-                    power[die][static_cast<size_t>(iy) * n + ix];
+                    power_[die][static_cast<size_t>(iy) * n + ix];
     }
-    return net;
+}
+
+const ThermalGrid::Network &
+ThermalGrid::network() const
+{
+    if (!net_built_) {
+        buildConductances();
+        net_built_ = true;
+    }
+    if (power_dirty_) {
+        refreshPower();
+        power_dirty_ = false;
+    }
+    return net_;
 }
 
 ThermalField
-ThermalGrid::solve() const
+ThermalGrid::solve(SolveStats *stats, const ThermalField *warm_start) const
 {
     const int n = params_.gridN;
     const int nl = static_cast<int>(layers_.size());
+    const Network &net = network();
+    const size_t plane = static_cast<size_t>(n) * n;
 
-    const GridNetwork net = buildNetwork(
-        params_, layers_, cell_mm_,
-        [this](int l, int ix, int iy) { return cellK(l, ix, iy); },
-        [this](int die) { return dieLayer(die); }, power_);
-    const auto &g_right = net.gRight;
-    const auto &g_down = net.gDown;
-    const auto &g_below = net.gBelow;
-    const auto &g_amb = net.gAmb;
-    const auto &p_in = net.pIn;
-    auto idx = [&](int l, int ix, int iy) {
-        return net.idx(l, ix, iy);
+    ThermalField field(n, nl, params_.ambientK);
+    if (warm_start != nullptr) {
+        if (warm_start->gridN() != n || warm_start->layers() != nl)
+            fatal("warm-start field has the wrong geometry");
+        field = *warm_start;
+    }
+    const double t_amb = params_.ambientK;
+    const double omega = params_.sorOmega;
+
+    // One SOR cell update; gSum is precomputed, so the inner loop is
+    // a pure gather + multiply. Returns |update| for the residual.
+    auto updateCell = [&](int l, int ix, int iy) -> double {
+        const size_t c = net.idx(l, ix, iy);
+        const double ig = net.invG[c];
+        if (ig == 0.0)
+            return 0.0; // isolated (air) cell
+        double flow = net.gAmb[c] * t_amb + net.pIn[c];
+        if (ix > 0)
+            flow += net.gRight[c - 1] * field.at(l, ix - 1, iy);
+        if (ix + 1 < n)
+            flow += net.gRight[c] * field.at(l, ix + 1, iy);
+        if (iy > 0)
+            flow += net.gDown[c - n] * field.at(l, ix, iy - 1);
+        if (iy + 1 < n)
+            flow += net.gDown[c] * field.at(l, ix, iy + 1);
+        if (l > 0)
+            flow += net.gBelow[c - plane] * field.at(l - 1, ix, iy);
+        if (l + 1 < nl)
+            flow += net.gBelow[c] * field.at(l + 1, ix, iy);
+        const double t_new = flow * ig;
+        double &t_cur = field.at(l, ix, iy);
+        const double delta = omega * (t_new - t_cur);
+        t_cur += delta;
+        return std::fabs(delta);
     };
 
-    // SOR sweep.
-    ThermalField field(n, nl, params_.ambientK);
-    const double t_amb = params_.ambientK;
-    double omega = params_.sorOmega;
+    const bool red_black =
+        params_.sorOrdering == SorOrdering::RedBlack;
+    ThreadPool &pool = ThreadPool::global();
+    const int rows = nl * n; // (layer, iy) pairs
+    std::vector<double> row_delta(
+        red_black ? static_cast<size_t>(rows) : 0, 0.0);
+
+    // Half-sweep over one colour class. Cells of a colour only read
+    // neighbours of the other colour, so rows are processed in
+    // parallel; per-row maxima are reduced in index order afterwards,
+    // keeping the result bit-identical for any thread count.
+    auto sweepColor = [&](int color) {
+        pool.parallelFor(static_cast<size_t>(rows), [&](size_t r) {
+            const int l = static_cast<int>(r) / n;
+            const int iy = static_cast<int>(r) % n;
+            double md = 0.0;
+            for (int ix = (color + l + iy) % 2; ix < n; ix += 2)
+                md = std::max(md, updateCell(l, ix, iy));
+            row_delta[r] = md;
+        });
+        double md = 0.0;
+        for (double d : row_delta)
+            md = std::max(md, d);
+        return md;
+    };
+
     int iter = 0;
+    double max_delta = 0.0;
     for (; iter < params_.maxIterations; ++iter) {
-        double max_delta = 0.0;
-        for (int l = 0; l < nl; ++l) {
-            for (int iy = 0; iy < n; ++iy) {
-                for (int ix = 0; ix < n; ++ix) {
-                    const size_t c = idx(l, ix, iy);
-                    double gsum = g_amb[c];
-                    double flow = g_amb[c] * t_amb + p_in[c];
-                    if (ix > 0) {
-                        const double g = g_right[idx(l, ix - 1, iy)];
-                        gsum += g;
-                        flow += g * field.at(l, ix - 1, iy);
-                    }
-                    if (ix + 1 < n) {
-                        const double g = g_right[c];
-                        gsum += g;
-                        flow += g * field.at(l, ix + 1, iy);
-                    }
-                    if (iy > 0) {
-                        const double g = g_down[idx(l, ix, iy - 1)];
-                        gsum += g;
-                        flow += g * field.at(l, ix, iy - 1);
-                    }
-                    if (iy + 1 < n) {
-                        const double g = g_down[c];
-                        gsum += g;
-                        flow += g * field.at(l, ix, iy + 1);
-                    }
-                    if (l > 0) {
-                        const double g = g_below[idx(l - 1, ix, iy)];
-                        gsum += g;
-                        flow += g * field.at(l - 1, ix, iy);
-                    }
-                    if (l + 1 < nl) {
-                        const double g = g_below[c];
-                        gsum += g;
-                        flow += g * field.at(l + 1, ix, iy);
-                    }
-                    if (gsum <= 0.0)
-                        continue; // isolated (air) cell
-                    const double t_new = flow / gsum;
-                    double &t_cur = field.at(l, ix, iy);
-                    const double updated =
-                        t_cur + omega * (t_new - t_cur);
-                    max_delta = std::max(max_delta,
-                                         std::fabs(updated - t_cur));
-                    t_cur = updated;
-                }
-            }
+        if (red_black) {
+            max_delta = sweepColor(0);
+            max_delta = std::max(max_delta, sweepColor(1));
+        } else {
+            max_delta = 0.0;
+            for (int l = 0; l < nl; ++l)
+                for (int iy = 0; iy < n; ++iy)
+                    for (int ix = 0; ix < n; ++ix)
+                        max_delta = std::max(max_delta,
+                                             updateCell(l, ix, iy));
         }
         if (max_delta < params_.maxResidualK)
             break;
@@ -342,6 +388,10 @@ ThermalGrid::solve() const
     if (iter >= params_.maxIterations)
         warn("thermal solve hit the iteration cap (%d); residual above "
              "%g K", params_.maxIterations, params_.maxResidualK);
+    if (stats != nullptr) {
+        stats->iterations = std::min(iter + 1, params_.maxIterations);
+        stats->residualK = max_delta;
+    }
     return field;
 }
 
@@ -357,46 +407,18 @@ ThermalGrid::solveTransient(const ThermalField &initial,
     if (duration_s <= 0.0 || dt_s <= 0.0 || samples < 1)
         fatal("transient needs positive duration, step, and samples");
 
-    const GridNetwork net = buildNetwork(
-        params_, layers_, cell_mm_,
-        [this](int l, int ix, int iy) { return cellK(l, ix, iy); },
-        [this](int die) { return dieLayer(die); }, power_);
-
-    // Per-cell thermal capacitance (J/K) and explicit stability bound
-    // dt < min(C / sum(G)).
-    const double cell_m = cell_mm_ * 1e-3;
+    // The conductance/capacitance arrays are cached on the grid, so
+    // back-to-back steady and transient solves (and repeated transient
+    // steps in throttling loops) share one network build.
+    const Network &net = network();
     const size_t cells = static_cast<size_t>(nl) * n * n;
-    std::vector<double> cap(cells, 0.0);
-    std::vector<double> gsum(cells, 0.0);
-    for (int l = 0; l < nl; ++l) {
-        const ThermalLayer &layer = layers_[static_cast<size_t>(l)];
-        const double vol = cell_m * cell_m * layer.thicknessMm * 1e-3;
-        for (int iy = 0; iy < n; ++iy) {
-            for (int ix = 0; ix < n; ++ix) {
-                const size_t c = net.idx(l, ix, iy);
-                if (cellK(l, ix, iy) > 0.0)
-                    cap[c] = vol * layer.volHeatCapacity;
-                double g = net.gAmb[c];
-                if (ix > 0)
-                    g += net.gRight[net.idx(l, ix - 1, iy)];
-                if (ix + 1 < n)
-                    g += net.gRight[c];
-                if (iy > 0)
-                    g += net.gDown[net.idx(l, ix, iy - 1)];
-                if (iy + 1 < n)
-                    g += net.gDown[c];
-                if (l > 0)
-                    g += net.gBelow[net.idx(l - 1, ix, iy)];
-                if (l + 1 < nl)
-                    g += net.gBelow[c];
-                gsum[c] = g;
-            }
-        }
-    }
+    const size_t plane = static_cast<size_t>(n) * n;
+
+    // Explicit stability bound dt < min(C / sum(G)).
     double dt = dt_s;
     for (size_t c = 0; c < cells; ++c)
-        if (cap[c] > 0.0 && gsum[c] > 0.0)
-            dt = std::min(dt, 0.4 * cap[c] / gsum[c]);
+        if (net.cap[c] > 0.0 && net.gSum[c] > 0.0)
+            dt = std::min(dt, 0.4 * net.cap[c] / net.gSum[c]);
 
     const auto steps =
         std::max<std::int64_t>(1, static_cast<std::int64_t>(
@@ -415,46 +437,48 @@ ThermalGrid::solveTransient(const ThermalField &initial,
             for (int iy = 0; iy < n; ++iy) {
                 for (int ix = 0; ix < n; ++ix) {
                     const size_t c = net.idx(l, ix, iy);
-                    if (cap[c] <= 0.0)
+                    if (net.cap[c] <= 0.0)
                         continue;
                     const double t = out.final.at(l, ix, iy);
                     double flow = net.gAmb[c] *
                         (params_.ambientK - t) + net.pIn[c];
                     if (ix > 0)
-                        flow += net.gRight[net.idx(l, ix - 1, iy)] *
+                        flow += net.gRight[c - 1] *
                             (out.final.at(l, ix - 1, iy) - t);
                     if (ix + 1 < n)
                         flow += net.gRight[c] *
                             (out.final.at(l, ix + 1, iy) - t);
                     if (iy > 0)
-                        flow += net.gDown[net.idx(l, ix, iy - 1)] *
+                        flow += net.gDown[c - n] *
                             (out.final.at(l, ix, iy - 1) - t);
                     if (iy + 1 < n)
                         flow += net.gDown[c] *
                             (out.final.at(l, ix, iy + 1) - t);
                     if (l > 0)
-                        flow += net.gBelow[net.idx(l - 1, ix, iy)] *
+                        flow += net.gBelow[c - plane] *
                             (out.final.at(l - 1, ix, iy) - t);
                     if (l + 1 < nl)
                         flow += net.gBelow[c] *
                             (out.final.at(l + 1, ix, iy) - t);
-                    delta[c] = dt / cap[c] * flow;
+                    delta[c] = dt / net.cap[c] * flow;
                 }
             }
         }
-        for (int l = 0; l < nl; ++l)
-            for (int iy = 0; iy < n; ++iy)
-                for (int ix = 0; ix < n; ++ix) {
-                    const size_t c = net.idx(l, ix, iy);
-                    if (cap[c] > 0.0)
-                        out.final.at(l, ix, iy) += delta[c];
-                }
+        for (size_t c = 0; c < cells; ++c)
+            if (net.cap[c] > 0.0)
+                out.final.t(c) += delta[c];
 
-        if ((step + 1) % sample_every == 0 || step == steps - 1) {
+        // Intermediate samples only; the final one is recorded once
+        // below so it can never be duplicated (previously both the
+        // modulo branch and the last-step branch targeted step
+        // steps - 1 when steps was a multiple of sample_every).
+        if ((step + 1) % sample_every == 0 && step != steps - 1) {
             out.timeS.push_back(static_cast<double>(step + 1) * dt);
             out.peakK.push_back(out.final.peak(die_layers));
         }
     }
+    out.timeS.push_back(static_cast<double>(steps) * dt);
+    out.peakK.push_back(out.final.peak(die_layers));
     return out;
 }
 

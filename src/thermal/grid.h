@@ -36,6 +36,19 @@ struct ThermalLayer
     double volHeatCapacity = 1.63e6;
 };
 
+/** SOR sweep ordering. */
+enum class SorOrdering {
+    /** Classic in-place lexicographic sweep; strictly serial. */
+    Lexicographic,
+    /**
+     * Two-colour (red/black) sweep: cells of one parity only read
+     * cells of the other, so each half-sweep is parallelised across
+     * the global thread pool with bit-identical results for any
+     * thread count.
+     */
+    RedBlack
+};
+
 /** Solver and geometry parameters. */
 struct ThermalParams
 {
@@ -47,6 +60,7 @@ struct ThermalParams
     double sorOmega = 1.88;
     double maxResidualK = 1e-4;
     int maxIterations = 200000;
+    SorOrdering sorOrdering = SorOrdering::Lexicographic;
 
     // --- Leakage-temperature feedback (subthreshold leakage grows
     // exponentially with temperature; the solver iterates power and
@@ -68,6 +82,10 @@ class ThermalField
 
     double &at(int layer, int ix, int iy);
     double at(int layer, int ix, int iy) const;
+
+    /** Flat access in (layer, iy, ix) order — the at() layout. */
+    double &t(std::size_t flat) { return t_[flat]; }
+    double t(std::size_t flat) const { return t_[flat]; }
 
     /** Maximum temperature over all power-bearing (die) layers. */
     double peak(const std::vector<int> &die_layers) const;
@@ -111,8 +129,22 @@ class ThermalGrid
     /** Total deposited power (W). */
     double totalPower() const;
 
-    /** Solve the steady state. */
-    ThermalField solve() const;
+    /** Convergence diagnostics of one steady-state solve. */
+    struct SolveStats
+    {
+        int iterations = 0;
+        double residualK = 0.0;
+    };
+
+    /**
+     * Solve the steady state. @p warm_start seeds the iteration with
+     * a previous field (same geometry) instead of ambient — e.g. the
+     * leakage-feedback loop re-solves with slightly perturbed power,
+     * where the previous solution is a few iterations from the new
+     * fixed point.
+     */
+    ThermalField solve(SolveStats *stats = nullptr,
+                       const ThermalField *warm_start = nullptr) const;
 
     /** Time/peak trace plus the final field of a transient run. */
     struct Transient
@@ -159,6 +191,37 @@ class ThermalGrid
     const ThermalParams &params() const { return params_; }
 
   private:
+    /**
+     * Precomputed RC network. The conductance, capacitance, and
+     * conductance-sum arrays depend only on geometry, so they are
+     * built once per grid (lazily) and shared by every steady-state
+     * and transient solve; only the injected-power vector is refreshed
+     * after addPower()/clearPower(). A ThermalGrid instance is NOT
+     * safe for concurrent use — parallel callers each own a grid.
+     */
+    struct Network
+    {
+        std::vector<double> gRight, gDown, gBelow, gAmb, pIn;
+        /** Loop-invariant total conductance per cell (incl. ambient). */
+        std::vector<double> gSum;
+        /** 1 / gSum, or 0 for isolated (air) cells. */
+        std::vector<double> invG;
+        /** Thermal capacitance per cell (J/K); 0 outside material. */
+        std::vector<double> cap;
+        int n = 0;
+        int nl = 0;
+
+        size_t idx(int l, int ix, int iy) const
+        {
+            return (static_cast<size_t>(l) * n + iy) * n + ix;
+        }
+    };
+
+    /** Build-once/refresh accessor for the cached network. */
+    const Network &network() const;
+    void buildConductances() const;
+    void refreshPower() const;
+
     /** Cell conductivity of @p layer at grid cell (ix, iy). */
     double cellK(int layer, int ix, int iy) const;
     bool insideChip(int ix, int iy) const;
@@ -173,6 +236,10 @@ class ThermalGrid
     double cell_mm_;
     /** Power per cell for each die layer [die][cell]. */
     std::vector<std::vector<double>> power_;
+
+    mutable Network net_;
+    mutable bool net_built_ = false;
+    mutable bool power_dirty_ = true;
 };
 
 } // namespace th

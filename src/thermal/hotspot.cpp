@@ -71,9 +71,10 @@ ThermalReport
 HotspotModel::analyze(const Floorplan &fp, const PowerResult &power,
                       bool stacked, double power_scale) const
 {
-    ThermalGrid grid(params_,
-                     stacked ? stackedStack() : planarStack(),
-                     fp.chipW, fp.chipH);
+    const std::vector<ThermalLayer> stack =
+        stacked ? stackedStack() : planarStack();
+    const int num_layers = static_cast<int>(stack.size());
+    ThermalGrid grid(params_, stack, fp.chipW, fp.chipH);
 
     const int dies = stacked ? kNumDies : 1;
     const double clock_w = power.clockW * power_scale;
@@ -116,15 +117,19 @@ HotspotModel::analyze(const Floorplan &fp, const PowerResult &power,
     }
 
     // Power/temperature fixed point: subthreshold leakage rises
-    // exponentially with the block's temperature.
+    // exponentially with the block's temperature. Each round re-solves
+    // under a slightly perturbed power map, so rounds after the first
+    // warm-start from the previous field (a handful of SOR iterations
+    // instead of a full cold solve).
     const int rounds = std::max(1, params_.leakFeedbackIters);
+    ThermalField field(params_.gridN, num_layers, params_.ambientK);
     for (int round = 0; round < rounds; ++round) {
         grid.clearPower();
         for (const auto &p : placed) {
             grid.addPower(p.die, p.rect->x, p.rect->y, p.rect->w,
                           p.rect->h, p.dynClockW + p.leakW);
         }
-        const ThermalField field = grid.solve();
+        field = grid.solve(nullptr, round > 0 ? &field : nullptr);
         double max_shift = 0.0;
         for (auto &p : placed) {
             grid.blockTemps(field, p.die, p.rect->x, p.rect->y,

@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tests for the parallel execution layer: thread-pool determinism,
+ * the memoizing CoreResult cache, red-black SOR equivalence, and the
+ * transient-sampling regression (no duplicated final sample).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/threadpool.h"
+#include "sim/experiments.h"
+#include "thermal/hotspot.h"
+
+namespace th {
+namespace {
+
+TEST(ThreadPool, MapIsIndexOrdered)
+{
+    ThreadPool pool(4);
+    const auto out = pool.parallelMap(
+        1000, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 1000u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> counts(257);
+    pool.parallelFor(counts.size(), [&](std::size_t i) {
+        counts[i].fetch_add(1);
+    });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threads(), 1);
+    int sum = 0; // no synchronisation: must run on this thread
+    pool.parallelFor(100, [&](std::size_t i) {
+        sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, NestedCallsRunInline)
+{
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        // Nested fan-out from a worker must not deadlock.
+        pool.parallelFor(16, [&](std::size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, PropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallelFor(64,
+                         [](std::size_t i) {
+                             if (i == 33)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+}
+
+TEST(ThreadPool, ParseThreadsEnvOverride)
+{
+    EXPECT_EQ(ThreadPool::parseThreads(nullptr, 7), 7);
+    EXPECT_EQ(ThreadPool::parseThreads("", 7), 7);
+    EXPECT_EQ(ThreadPool::parseThreads("4", 7), 4);
+    EXPECT_EQ(ThreadPool::parseThreads("1", 7), 1);
+    EXPECT_EQ(ThreadPool::parseThreads("0", 7), 7);
+    EXPECT_EQ(ThreadPool::parseThreads("-2", 7), 7);
+    EXPECT_EQ(ThreadPool::parseThreads("abc", 7), 7);
+    EXPECT_EQ(ThreadPool::parseThreads("4x", 7), 7);
+}
+
+class ParallelExperimentsTest : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite()
+    {
+        SimOptions opts;
+        opts.instructions = 20000;
+        opts.warmupInstructions = 10000;
+        sys_ = new System(opts);
+    }
+
+    static void TearDownTestSuite()
+    {
+        delete sys_;
+        sys_ = nullptr;
+    }
+
+    static System *sys_;
+};
+
+System *ParallelExperimentsTest::sys_ = nullptr;
+
+TEST_F(ParallelExperimentsTest, Figure8MatchesSerialBitExact)
+{
+    const std::vector<std::string> names = {"gzip", "crafty", "swim"};
+    const Fig8Data par = runFigure8(*sys_, names);
+
+    // Hand-rolled serial sweep over the same grid: the pooled figure
+    // must be bit-identical regardless of thread count.
+    const auto configs = figure8Configs();
+    ASSERT_EQ(par.benchmarks.size(), names.size());
+    for (size_t b = 0; b < names.size(); ++b) {
+        for (size_t c = 0; c < configs.size(); ++c) {
+            const CoreResult r = sys_->runCore(names[b], configs[c]);
+            EXPECT_EQ(par.benchmarks[b].ipc[c], r.perf.ipc())
+                << names[b] << " config " << c;
+            EXPECT_EQ(par.benchmarks[b].ipns[c], r.ipns())
+                << names[b] << " config " << c;
+        }
+    }
+
+    // And a repeat of the whole figure is bit-identical too.
+    const Fig8Data again = runFigure8(*sys_, names);
+    for (size_t b = 0; b < names.size(); ++b)
+        for (size_t c = 0; c < configs.size(); ++c)
+            EXPECT_EQ(par.benchmarks[b].ipc[c],
+                      again.benchmarks[b].ipc[c]);
+    EXPECT_EQ(par.speedupMeanOfMeans, again.speedupMeanOfMeans);
+}
+
+TEST_F(ParallelExperimentsTest, CoreCacheHitsAndMisses)
+{
+    SimOptions opts;
+    opts.instructions = 20000;
+    opts.warmupInstructions = 10000;
+    System sys(opts);
+
+    EXPECT_EQ(sys.coreCacheStats().hits, 0u);
+    EXPECT_EQ(sys.coreCacheStats().misses, 0u);
+
+    sys.runCore("gzip", ConfigKind::Base);
+    auto s = sys.coreCacheStats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 0u);
+
+    sys.runCore("gzip", ConfigKind::Base);
+    s = sys.coreCacheStats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 1u);
+
+    // A different config is a different key...
+    sys.runCore("gzip", ConfigKind::ThreeD);
+    s = sys.coreCacheStats();
+    EXPECT_EQ(s.misses, 2u);
+
+    // ...and so is a tweaked explicit config (ablation variants).
+    CoreConfig cfg = makeConfig(ConfigKind::ThreeD, sys.circuits());
+    cfg.pamEnabled = false;
+    sys.runCore("gzip", cfg);
+    s = sys.coreCacheStats();
+    EXPECT_EQ(s.misses, 3u);
+
+    sys.clearCoreCache();
+    EXPECT_EQ(sys.coreCacheStats().hits, 0u);
+    EXPECT_EQ(sys.coreCacheStats().misses, 0u);
+    sys.runCore("gzip", ConfigKind::Base);
+    EXPECT_EQ(sys.coreCacheStats().misses, 1u);
+}
+
+TEST_F(ParallelExperimentsTest, FiguresShareCachedRuns)
+{
+    // Fig 9 and Fig 10 re-evaluate configurations Fig 8 already ran;
+    // the memoizing cache must turn those into hits.
+    SimOptions opts;
+    opts.instructions = 20000;
+    opts.warmupInstructions = 10000;
+    System sys(opts);
+
+    runFigure8(sys, {"mpeg2enc"});
+    const auto after8 = sys.coreCacheStats();
+    runFigure9(sys, {"mpeg2enc"});
+    const auto after9 = sys.coreCacheStats();
+    // Base and 3D were cached by Fig 8; calibration reuses Base too.
+    EXPECT_GT(after9.hits, after8.hits);
+    runFigure10(sys, {"mpeg2enc"});
+    const auto after10 = sys.coreCacheStats();
+    EXPECT_GT(after10.hits, after9.hits);
+    // Fig 10's three configs all hit (Base/3D from Fig 8, 3D-noTH
+    // from Fig 9): no new simulations at all.
+    EXPECT_EQ(after10.misses, after9.misses);
+}
+
+TEST(RedBlackSor, MatchesLexicographicField)
+{
+    ThermalParams p;
+    p.gridN = 24;
+    p.maxResidualK = 1e-6; // tight so both orderings converge hard
+    ThermalParams prb = p;
+    prb.sorOrdering = SorOrdering::RedBlack;
+
+    const auto stack = HotspotModel::stackedStack();
+    ThermalGrid lex(p, stack, 6.0, 6.0);
+    ThermalGrid rb(prb, stack, 6.0, 6.0);
+    for (int d = 0; d < kNumDies; ++d) {
+        lex.addPower(d, 1.0, 1.0, 3.0, 3.0, 10.0);
+        rb.addPower(d, 1.0, 1.0, 3.0, 3.0, 10.0);
+    }
+
+    const ThermalField fl = lex.solve();
+    const ThermalField fr = rb.solve();
+    for (int l = 0; l < fl.layers(); ++l)
+        for (int iy = 0; iy < p.gridN; ++iy)
+            for (int ix = 0; ix < p.gridN; ++ix)
+                EXPECT_NEAR(fl.at(l, ix, iy), fr.at(l, ix, iy), 1e-3)
+                    << "layer " << l << " (" << ix << "," << iy << ")";
+    EXPECT_NEAR(fl.peak(lex.dieLayers()), fr.peak(rb.dieLayers()),
+                1e-3);
+}
+
+TEST(RedBlackSor, SolveStatsReported)
+{
+    ThermalParams p;
+    p.gridN = 16;
+    p.sorOrdering = SorOrdering::RedBlack;
+    ThermalGrid grid(p, HotspotModel::planarStack(), 6.0, 6.0);
+    grid.addPower(0, 0.0, 0.0, 6.0, 6.0, 30.0);
+    ThermalGrid::SolveStats stats;
+    grid.solve(&stats);
+    EXPECT_GT(stats.iterations, 1);
+    EXPECT_LT(stats.residualK, p.maxResidualK);
+}
+
+TEST(TransientSampling, NoDuplicateSamples)
+{
+    ThermalParams p;
+    p.gridN = 12;
+    p.maxResidualK = 1e-3;
+    ThermalGrid grid(p, HotspotModel::stackedStack(), 6.0, 6.0);
+    grid.addPower(0, 0.0, 0.0, 6.0, 6.0, 10.0);
+    const ThermalField init(
+        p.gridN, static_cast<int>(HotspotModel::stackedStack().size()),
+        p.ambientK);
+
+    // Several duration/samples shapes, including ones where the step
+    // count is an exact multiple of the sampling stride.
+    for (int samples : {1, 2, 3, 7, 50}) {
+        const auto tr = grid.solveTransient(init, 0.004, 1e-4, samples);
+        ASSERT_FALSE(tr.timeS.empty());
+        EXPECT_EQ(tr.timeS.size(), tr.peakK.size());
+        std::set<double> unique(tr.timeS.begin(), tr.timeS.end());
+        EXPECT_EQ(unique.size(), tr.timeS.size())
+            << "duplicate sample at samples=" << samples;
+        for (size_t i = 1; i < tr.timeS.size(); ++i)
+            EXPECT_GT(tr.timeS[i], tr.timeS[i - 1]);
+    }
+}
+
+} // namespace
+} // namespace th
