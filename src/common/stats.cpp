@@ -47,6 +47,24 @@ Histogram::fraction(int i) const
            static_cast<double>(count_);
 }
 
+bool
+Histogram::restore(double lo, double hi,
+                   std::vector<std::uint64_t> buckets,
+                   std::uint64_t count, double sum, double min,
+                   double max)
+{
+    if (buckets.empty() || !(hi > lo))
+        return false;
+    lo_ = lo;
+    hi_ = hi;
+    buckets_ = std::move(buckets);
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+    return true;
+}
+
 void
 Histogram::reset()
 {

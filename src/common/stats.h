@@ -51,7 +51,19 @@ class Histogram
     double mean() const;
     double min() const { return min_; }
     double max() const { return max_; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
+    double sum() const { return sum_; }
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
+
+    /**
+     * Reconstitute from serialized state (io/serialize). Returns false
+     * and leaves the histogram untouched when the state is invalid
+     * (empty buckets or hi <= lo).
+     */
+    bool restore(double lo, double hi,
+                 std::vector<std::uint64_t> buckets, std::uint64_t count,
+                 double sum, double min, double max);
 
     /** Fraction of samples in bucket @p i. */
     double fraction(int i) const;

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Versioned chunked binary container — the serialization substrate for
+ * every on-disk artifact this library produces (.thtrace trace files,
+ * artifact-store CoreResults).
+ *
+ * Container layout (all integers little-endian):
+ *
+ *     [4B "THIO"][4B format tag][u32 container version][u32 schema version]
+ *     then zero or more chunks:
+ *     [4B chunk tag][u32 payload length][u32 CRC-32 of payload][payload]
+ *
+ * The format tag names the artifact kind ("TRCE", "CRES", ...); the
+ * schema version belongs to that format and readers reject files whose
+ * version they do not understand. Every chunk payload is CRC-checked
+ * on read, so truncation and bit corruption are detected rather than
+ * deserialized. Writers and readers run over an abstract byte
+ * sink/source with FILE* and in-memory implementations.
+ */
+
+#ifndef TH_IO_CHUNKIO_H
+#define TH_IO_CHUNKIO_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace th {
+
+/** Current layout version of the container itself (not the payload). */
+inline constexpr std::uint32_t kContainerVersion = 1;
+
+// ---------------------------------------------------------------------
+// Byte sinks and sources.
+// ---------------------------------------------------------------------
+
+/** Destination for serialized bytes. */
+class ByteSink
+{
+  public:
+    virtual ~ByteSink() = default;
+    /** Append @p len bytes; false on I/O failure. */
+    virtual bool write(const void *data, std::size_t len) = 0;
+};
+
+/** ByteSink over an open FILE* (not owned). */
+class FileSink : public ByteSink
+{
+  public:
+    explicit FileSink(std::FILE *f = nullptr) : f_(f) {}
+    void setFile(std::FILE *f) { f_ = f; }
+    bool write(const void *data, std::size_t len) override;
+
+  private:
+    std::FILE *f_;
+};
+
+/** ByteSink into a growable memory buffer. */
+class MemSink : public ByteSink
+{
+  public:
+    bool write(const void *data, std::size_t len) override;
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::vector<std::uint8_t> &data() { return buf_; }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/** Origin of serialized bytes. */
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+    /** Read up to @p len bytes; returns the count actually read. */
+    virtual std::size_t read(void *data, std::size_t len) = 0;
+    /** Rewind to the first byte; false if the source cannot seek. */
+    virtual bool rewind() = 0;
+};
+
+/** ByteSource over an open FILE* (not owned). */
+class FileSource : public ByteSource
+{
+  public:
+    explicit FileSource(std::FILE *f = nullptr) : f_(f) {}
+    void setFile(std::FILE *f) { f_ = f; }
+    std::size_t read(void *data, std::size_t len) override;
+    bool rewind() override;
+
+  private:
+    std::FILE *f_;
+};
+
+/** ByteSource over a caller-owned memory buffer. */
+class MemSource : public ByteSource
+{
+  public:
+    MemSource(const void *data, std::size_t len)
+        : p_(static_cast<const std::uint8_t *>(data)), len_(len)
+    {
+    }
+    explicit MemSource(const std::vector<std::uint8_t> &buf)
+        : MemSource(buf.data(), buf.size())
+    {
+    }
+    std::size_t read(void *data, std::size_t len) override;
+    bool rewind() override;
+
+  private:
+    const std::uint8_t *p_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Primitive encoding.
+// ---------------------------------------------------------------------
+
+/** Appends little-endian primitives to a chunk payload. */
+class Encoder
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(v); }
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /** IEEE-754 bit pattern; round-trips exactly. */
+    void f64(double v);
+    /** u32 length prefix + raw bytes. */
+    void str(const std::string &s);
+    void bytes(const void *data, std::size_t len);
+
+    /**
+     * Overwrite a previously encoded u32 at byte @p offset — for
+     * counts known only after the elements are streamed out.
+     */
+    void patchU32(std::size_t offset, std::uint32_t v);
+
+    const std::vector<std::uint8_t> &data() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+    void clear() { buf_.clear(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+};
+
+/**
+ * Bounds-checked reader for a chunk payload. A read past the end sets
+ * the failure flag and returns zero values; callers check ok() once
+ * after decoding instead of after every field.
+ */
+class Decoder
+{
+  public:
+    Decoder(const void *data, std::size_t len)
+        : p_(static_cast<const std::uint8_t *>(data)), len_(len)
+    {
+    }
+    explicit Decoder(const std::vector<std::uint8_t> &buf)
+        : Decoder(buf.data(), buf.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    /** True while every read so far stayed in bounds. */
+    bool ok() const { return ok_; }
+    /** True when the payload has been fully consumed. */
+    bool atEnd() const { return pos_ == len_; }
+    std::size_t remaining() const { return len_ - pos_; }
+
+  private:
+    bool take(void *out, std::size_t n);
+
+    const std::uint8_t *p_;
+    std::size_t len_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------
+// Chunk-level writer / reader.
+// ---------------------------------------------------------------------
+
+/** Writes the container header then CRC-framed chunks into a sink. */
+class ChunkWriter
+{
+  public:
+    explicit ChunkWriter(ByteSink &sink) : sink_(sink) {}
+
+    /**
+     * Emit the container header. @p format_tag is exactly four
+     * characters naming the artifact kind; @p schema_version is that
+     * format's payload schema.
+     */
+    bool begin(const char *format_tag, std::uint32_t schema_version);
+
+    /** Append one chunk; false once any write has failed. */
+    bool chunk(const char *tag, const Encoder &payload);
+
+    /** True while every write has succeeded. */
+    bool ok() const { return ok_; }
+
+  private:
+    ByteSink &sink_;
+    bool ok_ = true;
+};
+
+/** Reads a container written by ChunkWriter, validating CRCs. */
+class ChunkReader
+{
+  public:
+    explicit ChunkReader(ByteSource &src) : src_(src) {}
+
+    /**
+     * Parse and validate the container header.
+     * @param expect_format  Required four-character format tag.
+     * @param schema_version Out: the file's schema version (the caller
+     *                       decides which versions it supports).
+     * @param err            Out: human-readable reason on failure.
+     */
+    bool readHeader(const char *expect_format,
+                    std::uint32_t &schema_version, std::string &err);
+
+    enum class Next {
+        Chunk,  ///< A chunk was read and its CRC verified.
+        End,    ///< Clean end of container.
+        Corrupt ///< Truncated or CRC-mismatched chunk.
+    };
+
+    /** Read the next chunk into @p tag / @p payload. */
+    Next next(std::string &tag, std::vector<std::uint8_t> &payload,
+              std::string &err);
+
+  private:
+    ByteSource &src_;
+};
+
+// ---------------------------------------------------------------------
+// FILE-backed convenience wrappers.
+// ---------------------------------------------------------------------
+
+/** ChunkWriter over a file it opens and owns. */
+class ChunkFileWriter
+{
+  public:
+    ChunkFileWriter() = default;
+    ~ChunkFileWriter();
+    ChunkFileWriter(const ChunkFileWriter &) = delete;
+    ChunkFileWriter &operator=(const ChunkFileWriter &) = delete;
+
+    /** Create/truncate @p path and write the container header. */
+    bool open(const std::string &path, const char *format_tag,
+              std::uint32_t schema_version);
+    bool chunk(const char *tag, const Encoder &payload);
+    /** Flush and close; false if any write (or the flush) failed. */
+    bool close();
+
+  private:
+    std::FILE *f_ = nullptr;
+    FileSink sink_;
+    ChunkWriter writer_{sink_};
+};
+
+/** ChunkReader over a file it opens and owns. */
+class ChunkFileReader
+{
+  public:
+    ChunkFileReader() = default;
+    ~ChunkFileReader();
+    ChunkFileReader(const ChunkFileReader &) = delete;
+    ChunkFileReader &operator=(const ChunkFileReader &) = delete;
+
+    /** Open @p path and validate the container header. */
+    bool open(const std::string &path, const char *expect_format,
+              std::uint32_t &schema_version, std::string &err);
+    ChunkReader::Next next(std::string &tag,
+                           std::vector<std::uint8_t> &payload,
+                           std::string &err);
+    void close();
+
+  private:
+    std::FILE *f_ = nullptr;
+    FileSource src_;
+    ChunkReader reader_{src_};
+};
+
+} // namespace th
+
+#endif // TH_IO_CHUNKIO_H

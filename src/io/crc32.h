@@ -1,0 +1,25 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-chunk
+ * integrity check of the chunked binary container (chunkio.h).
+ */
+
+#ifndef TH_IO_CRC32_H
+#define TH_IO_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace th {
+
+/**
+ * CRC-32 of @p len bytes at @p data. Pass a previous return value as
+ * @p seed to checksum a stream incrementally; the default seed (0)
+ * matches zlib's crc32().
+ */
+std::uint32_t crc32(const void *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+} // namespace th
+
+#endif // TH_IO_CRC32_H

@@ -1,0 +1,253 @@
+#include "io/serialize.h"
+
+namespace th {
+
+namespace {
+
+/** Histogram bucket-count sanity bound for decode. */
+constexpr std::uint32_t kMaxBuckets = 1u << 16;
+
+void
+encodeCounter(Encoder &enc, const Counter &c)
+{
+    enc.u64(c.value());
+}
+
+bool
+decodeCounter(Decoder &dec, Counter &c)
+{
+    c.set(dec.u64());
+    return dec.ok();
+}
+
+} // namespace
+
+void
+encodeHistogram(Encoder &enc, const Histogram &h)
+{
+    enc.f64(h.lo());
+    enc.f64(h.hi());
+    enc.u32(static_cast<std::uint32_t>(h.buckets().size()));
+    enc.u64(h.count());
+    enc.f64(h.sum());
+    enc.f64(h.min());
+    enc.f64(h.max());
+    for (std::uint64_t b : h.buckets())
+        enc.u64(b);
+}
+
+bool
+decodeHistogram(Decoder &dec, Histogram &h)
+{
+    const double lo = dec.f64();
+    const double hi = dec.f64();
+    const std::uint32_t nbuckets = dec.u32();
+    const std::uint64_t count = dec.u64();
+    const double sum = dec.f64();
+    const double min = dec.f64();
+    const double max = dec.f64();
+    if (!dec.ok() || nbuckets == 0 || nbuckets > kMaxBuckets)
+        return false;
+    std::vector<std::uint64_t> buckets(nbuckets);
+    for (std::uint32_t i = 0; i < nbuckets; ++i)
+        buckets[i] = dec.u64();
+    if (!dec.ok())
+        return false;
+    return h.restore(lo, hi, std::move(buckets), count, sum, min, max);
+}
+
+void
+encodePerfStats(Encoder &enc, const PerfStats &perf)
+{
+    encodeCounter(enc, perf.cycles);
+    encodeCounter(enc, perf.committedInsts);
+    encodeCounter(enc, perf.fetchedInsts);
+    encodeHistogram(enc, perf.valueWidthBits);
+    encodeCounter(enc, perf.branches);
+    encodeCounter(enc, perf.branchMispredicts);
+    encodeCounter(enc, perf.btbMisses);
+    encodeCounter(enc, perf.btbTargetStalls);
+    encodeCounter(enc, perf.widthPredictions);
+    encodeCounter(enc, perf.widthPredCorrect);
+    encodeCounter(enc, perf.widthUnsafe);
+    encodeCounter(enc, perf.widthSafeMiss);
+    encodeCounter(enc, perf.rfGroupStalls);
+    encodeCounter(enc, perf.execInputStalls);
+    encodeCounter(enc, perf.execReplays);
+    encodeCounter(enc, perf.dcacheWidthStalls);
+    encodeCounter(enc, perf.loads);
+    encodeCounter(enc, perf.stores);
+    encodeCounter(enc, perf.storeForwards);
+    encodeCounter(enc, perf.dl1Misses);
+    encodeCounter(enc, perf.il1Misses);
+    encodeCounter(enc, perf.l2Misses);
+    encodeCounter(enc, perf.itlbMisses);
+    encodeCounter(enc, perf.dtlbMisses);
+    encodeCounter(enc, perf.pamHits);
+    encodeCounter(enc, perf.pamMisses);
+    encodeCounter(enc, perf.pveZeros);
+    encodeCounter(enc, perf.pveOnes);
+    encodeCounter(enc, perf.pveAddr);
+    encodeCounter(enc, perf.pveExplicit);
+}
+
+bool
+decodePerfStats(Decoder &dec, PerfStats &perf)
+{
+    decodeCounter(dec, perf.cycles);
+    decodeCounter(dec, perf.committedInsts);
+    decodeCounter(dec, perf.fetchedInsts);
+    if (!decodeHistogram(dec, perf.valueWidthBits))
+        return false;
+    decodeCounter(dec, perf.branches);
+    decodeCounter(dec, perf.branchMispredicts);
+    decodeCounter(dec, perf.btbMisses);
+    decodeCounter(dec, perf.btbTargetStalls);
+    decodeCounter(dec, perf.widthPredictions);
+    decodeCounter(dec, perf.widthPredCorrect);
+    decodeCounter(dec, perf.widthUnsafe);
+    decodeCounter(dec, perf.widthSafeMiss);
+    decodeCounter(dec, perf.rfGroupStalls);
+    decodeCounter(dec, perf.execInputStalls);
+    decodeCounter(dec, perf.execReplays);
+    decodeCounter(dec, perf.dcacheWidthStalls);
+    decodeCounter(dec, perf.loads);
+    decodeCounter(dec, perf.stores);
+    decodeCounter(dec, perf.storeForwards);
+    decodeCounter(dec, perf.dl1Misses);
+    decodeCounter(dec, perf.il1Misses);
+    decodeCounter(dec, perf.l2Misses);
+    decodeCounter(dec, perf.itlbMisses);
+    decodeCounter(dec, perf.dtlbMisses);
+    decodeCounter(dec, perf.pamHits);
+    decodeCounter(dec, perf.pamMisses);
+    decodeCounter(dec, perf.pveZeros);
+    decodeCounter(dec, perf.pveOnes);
+    decodeCounter(dec, perf.pveAddr);
+    decodeCounter(dec, perf.pveExplicit);
+    return dec.ok();
+}
+
+void
+encodeActivityStats(Encoder &enc, const ActivityStats &act)
+{
+    encodeCounter(enc, act.rfReadLow);
+    encodeCounter(enc, act.rfReadFull);
+    encodeCounter(enc, act.rfWriteLow);
+    encodeCounter(enc, act.rfWriteFull);
+    encodeCounter(enc, act.aluLow);
+    encodeCounter(enc, act.aluFull);
+    encodeCounter(enc, act.shiftLow);
+    encodeCounter(enc, act.shiftFull);
+    encodeCounter(enc, act.multLow);
+    encodeCounter(enc, act.multFull);
+    encodeCounter(enc, act.fpOps);
+    encodeCounter(enc, act.bypassLow);
+    encodeCounter(enc, act.bypassFull);
+    for (int d = 0; d < kNumDies; ++d)
+        encodeCounter(enc, act.schedWakeupDie[d]);
+    encodeCounter(enc, act.schedSelect);
+    encodeCounter(enc, act.schedAlloc);
+    for (int d = 0; d < kNumDies; ++d)
+        encodeCounter(enc, act.schedAllocDie[d]);
+    encodeCounter(enc, act.lsqSearchLow);
+    encodeCounter(enc, act.lsqSearchFull);
+    encodeCounter(enc, act.lsqWrite);
+    encodeCounter(enc, act.dl1ReadLow);
+    encodeCounter(enc, act.dl1ReadFull);
+    encodeCounter(enc, act.dl1WriteLow);
+    encodeCounter(enc, act.dl1WriteFull);
+    encodeCounter(enc, act.dl1Fill);
+    encodeCounter(enc, act.il1Access);
+    encodeCounter(enc, act.itlbAccess);
+    encodeCounter(enc, act.dtlbAccess);
+    encodeCounter(enc, act.btbLow);
+    encodeCounter(enc, act.btbFull);
+    encodeCounter(enc, act.bpredLookup);
+    encodeCounter(enc, act.bpredUpdate);
+    encodeCounter(enc, act.decodeUops);
+    encodeCounter(enc, act.renameUops);
+    encodeCounter(enc, act.robReadLow);
+    encodeCounter(enc, act.robReadFull);
+    encodeCounter(enc, act.robWriteLow);
+    encodeCounter(enc, act.robWriteFull);
+    encodeCounter(enc, act.l2Access);
+    encodeCounter(enc, act.miscUops);
+}
+
+bool
+decodeActivityStats(Decoder &dec, ActivityStats &act)
+{
+    decodeCounter(dec, act.rfReadLow);
+    decodeCounter(dec, act.rfReadFull);
+    decodeCounter(dec, act.rfWriteLow);
+    decodeCounter(dec, act.rfWriteFull);
+    decodeCounter(dec, act.aluLow);
+    decodeCounter(dec, act.aluFull);
+    decodeCounter(dec, act.shiftLow);
+    decodeCounter(dec, act.shiftFull);
+    decodeCounter(dec, act.multLow);
+    decodeCounter(dec, act.multFull);
+    decodeCounter(dec, act.fpOps);
+    decodeCounter(dec, act.bypassLow);
+    decodeCounter(dec, act.bypassFull);
+    for (int d = 0; d < kNumDies; ++d)
+        decodeCounter(dec, act.schedWakeupDie[d]);
+    decodeCounter(dec, act.schedSelect);
+    decodeCounter(dec, act.schedAlloc);
+    for (int d = 0; d < kNumDies; ++d)
+        decodeCounter(dec, act.schedAllocDie[d]);
+    decodeCounter(dec, act.lsqSearchLow);
+    decodeCounter(dec, act.lsqSearchFull);
+    decodeCounter(dec, act.lsqWrite);
+    decodeCounter(dec, act.dl1ReadLow);
+    decodeCounter(dec, act.dl1ReadFull);
+    decodeCounter(dec, act.dl1WriteLow);
+    decodeCounter(dec, act.dl1WriteFull);
+    decodeCounter(dec, act.dl1Fill);
+    decodeCounter(dec, act.il1Access);
+    decodeCounter(dec, act.itlbAccess);
+    decodeCounter(dec, act.dtlbAccess);
+    decodeCounter(dec, act.btbLow);
+    decodeCounter(dec, act.btbFull);
+    decodeCounter(dec, act.bpredLookup);
+    decodeCounter(dec, act.bpredUpdate);
+    decodeCounter(dec, act.decodeUops);
+    decodeCounter(dec, act.renameUops);
+    decodeCounter(dec, act.robReadLow);
+    decodeCounter(dec, act.robReadFull);
+    decodeCounter(dec, act.robWriteLow);
+    decodeCounter(dec, act.robWriteFull);
+    decodeCounter(dec, act.l2Access);
+    decodeCounter(dec, act.miscUops);
+    return dec.ok();
+}
+
+void
+encodeCoreResult(Encoder &enc, const CoreResult &result)
+{
+    encodePerfStats(enc, result.perf);
+    encodeActivityStats(enc, result.activity);
+    enc.f64(result.freqGhz);
+}
+
+bool
+decodeCoreResult(Decoder &dec, CoreResult &result)
+{
+    if (!decodePerfStats(dec, result.perf))
+        return false;
+    if (!decodeActivityStats(dec, result.activity))
+        return false;
+    result.freqGhz = dec.f64();
+    return dec.ok();
+}
+
+std::vector<std::uint8_t>
+serializeCoreResult(const CoreResult &result)
+{
+    Encoder enc;
+    encodeCoreResult(enc, result);
+    return enc.data();
+}
+
+} // namespace th

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Binary codec for simulation result types (CoreResult and the stats
+ * structs inside it). Field order is part of the on-disk schema: any
+ * change to the encoded field set — including adding a Counter to
+ * PerfStats/ActivityStats — must bump kCoreResultSchemaVersion, which
+ * invalidates every persisted artifact (see store/artifact_store.h).
+ */
+
+#ifndef TH_IO_SERIALIZE_H
+#define TH_IO_SERIALIZE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "io/chunkio.h"
+
+namespace th {
+
+/** Schema version of the CoreResult encoding below. */
+inline constexpr std::uint32_t kCoreResultSchemaVersion = 1;
+
+/** Append @p h to @p enc (range, moments, and bucket counts). */
+void encodeHistogram(Encoder &enc, const Histogram &h);
+
+/** Decode into @p h; false on malformed state (decoder flagged too). */
+bool decodeHistogram(Decoder &dec, Histogram &h);
+
+/** Append every PerfStats field in schema order. */
+void encodePerfStats(Encoder &enc, const PerfStats &perf);
+bool decodePerfStats(Decoder &dec, PerfStats &perf);
+
+/** Append every ActivityStats counter in schema order. */
+void encodeActivityStats(Encoder &enc, const ActivityStats &act);
+bool decodeActivityStats(Decoder &dec, ActivityStats &act);
+
+/** Append a full CoreResult. */
+void encodeCoreResult(Encoder &enc, const CoreResult &result);
+bool decodeCoreResult(Decoder &dec, CoreResult &result);
+
+/**
+ * Canonical byte representation of a CoreResult — two results are
+ * bit-identical iff these vectors compare equal (used by round-trip
+ * tests and the store's integrity checks).
+ */
+std::vector<std::uint8_t> serializeCoreResult(const CoreResult &result);
+
+} // namespace th
+
+#endif // TH_IO_SERIALIZE_H

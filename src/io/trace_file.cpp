@@ -1,0 +1,283 @@
+#include "io/trace_file.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace th {
+
+namespace {
+
+/** Records per RECS chunk: bounds memory while keeping chunks few. */
+constexpr std::uint64_t kRecordsPerChunk = 8192;
+
+std::string
+describe(const std::string &path, const std::string &what)
+{
+    return strformat("%s: %s", path.c_str(), what.c_str());
+}
+
+bool
+parseMeta(const std::vector<std::uint8_t> &payload, TraceFileInfo &info)
+{
+    Decoder d(payload);
+    info.benchmark = d.str();
+    info.suite = d.str();
+    info.seed = d.u64();
+    return d.ok() && d.atEnd();
+}
+
+bool
+parsePrefill(const std::vector<std::uint8_t> &payload,
+             std::vector<PrefillLine> &lines)
+{
+    Decoder d(payload);
+    const std::uint32_t n = d.u32();
+    if (!d.ok())
+        return false;
+    lines.reserve(lines.size() + n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        PrefillLine line;
+        line.addr = d.u64();
+        line.intoL1 = d.u8() != 0;
+        lines.push_back(line);
+    }
+    return d.ok() && d.atEnd();
+}
+
+bool
+parseRecords(const std::vector<std::uint8_t> &payload,
+             std::vector<TraceRecord> *out, std::uint64_t &count)
+{
+    Decoder d(payload);
+    const std::uint32_t n = d.u32();
+    if (!d.ok())
+        return false;
+    if (out)
+        out->reserve(out->size() + n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        TraceRecord rec;
+        if (!decodeTraceRecord(d, rec))
+            return false;
+        if (out)
+            out->push_back(rec);
+    }
+    count += n;
+    return d.atEnd();
+}
+
+/**
+ * Shared walk over a trace file: fills @p info and, when non-null,
+ * @p records / @p prefill. All chunks are CRC-validated either way.
+ */
+bool
+loadTraceFile(const std::string &path, TraceFileInfo &info,
+              std::vector<TraceRecord> *records,
+              std::vector<PrefillLine> *prefill, std::string *err)
+{
+    std::string reason;
+    ChunkFileReader reader;
+    if (!reader.open(path, kTraceFormatTag, info.schemaVersion, reason)) {
+        if (err)
+            *err = describe(path, reason);
+        return false;
+    }
+    if (info.schemaVersion != kTraceSchemaVersion) {
+        if (err)
+            *err = describe(path,
+                            strformat("unsupported trace schema %u "
+                                      "(this build reads %u)",
+                                      info.schemaVersion,
+                                      kTraceSchemaVersion));
+        return false;
+    }
+
+    bool saw_meta = false;
+    std::string tag;
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        const ChunkReader::Next what = reader.next(tag, payload, reason);
+        if (what == ChunkReader::Next::End)
+            break;
+        if (what == ChunkReader::Next::Corrupt) {
+            if (err)
+                *err = describe(path, reason);
+            return false;
+        }
+        bool ok = true;
+        if (tag == "META") {
+            ok = parseMeta(payload, info);
+            saw_meta = ok;
+        } else if (tag == "PRFL") {
+            std::vector<PrefillLine> local;
+            ok = parsePrefill(payload, local);
+            if (ok) {
+                info.numPrefillLines += local.size();
+                if (prefill)
+                    prefill->insert(prefill->end(), local.begin(),
+                                    local.end());
+            }
+        } else if (tag == "RECS") {
+            ok = parseRecords(payload, records, info.numRecords);
+        }
+        // Unknown tags are skipped: forward-compatible extensions.
+        if (!ok) {
+            if (err)
+                *err = describe(path, strformat("malformed '%s' chunk",
+                                                tag.c_str()));
+            return false;
+        }
+    }
+    if (!saw_meta) {
+        if (err)
+            *err = describe(path, "missing META chunk");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+encodeTraceRecord(Encoder &enc, const TraceRecord &rec)
+{
+    enc.u64(rec.pc);
+    enc.u8(static_cast<std::uint8_t>(rec.op));
+    enc.u8(static_cast<std::uint8_t>(rec.numSrcs));
+    for (int i = 0; i < kMaxSrcs; ++i)
+        enc.u16(rec.srcRegs[i]);
+    enc.u8(rec.hasDst ? 1 : 0);
+    enc.u16(rec.dstReg);
+    enc.u64(rec.resultValue);
+    for (int i = 0; i < kMaxSrcs; ++i)
+        enc.u64(rec.srcValues[i]);
+    enc.u64(rec.effAddr);
+    enc.u8(rec.memSize);
+    enc.u8(rec.taken ? 1 : 0);
+    enc.u64(rec.target);
+}
+
+bool
+decodeTraceRecord(Decoder &dec, TraceRecord &rec)
+{
+    rec.pc = dec.u64();
+    const std::uint8_t op = dec.u8();
+    const std::uint8_t num_srcs = dec.u8();
+    for (int i = 0; i < kMaxSrcs; ++i)
+        rec.srcRegs[i] = dec.u16();
+    rec.hasDst = dec.u8() != 0;
+    rec.dstReg = dec.u16();
+    rec.resultValue = dec.u64();
+    for (int i = 0; i < kMaxSrcs; ++i)
+        rec.srcValues[i] = dec.u64();
+    rec.effAddr = dec.u64();
+    rec.memSize = dec.u8();
+    rec.taken = dec.u8() != 0;
+    rec.target = dec.u64();
+    if (!dec.ok() ||
+        op >= static_cast<std::uint8_t>(OpClass::NumOpClasses) ||
+        num_srcs > kMaxSrcs)
+        return false;
+    rec.op = static_cast<OpClass>(op);
+    rec.numSrcs = num_srcs;
+    return true;
+}
+
+bool
+recordTrace(const std::string &path, TraceSource &src,
+            std::uint64_t max_records, const std::string &benchmark,
+            const std::string &suite, std::uint64_t seed,
+            std::string *err)
+{
+    ChunkFileWriter writer;
+    if (!writer.open(path, kTraceFormatTag, kTraceSchemaVersion)) {
+        if (err)
+            *err = describe(path, "cannot open for writing");
+        return false;
+    }
+
+    Encoder meta;
+    meta.str(benchmark);
+    meta.str(suite);
+    meta.u64(seed);
+    writer.chunk("META", meta);
+
+    std::vector<PrefillLine> prefill;
+    src.prefillLines(prefill);
+    Encoder prfl;
+    prfl.u32(static_cast<std::uint32_t>(prefill.size()));
+    for (const PrefillLine &line : prefill) {
+        prfl.u64(line.addr);
+        prfl.u8(line.intoL1 ? 1 : 0);
+    }
+    writer.chunk("PRFL", prfl);
+
+    std::uint64_t written = 0;
+    while (written < max_records) {
+        const std::uint64_t block =
+            std::min(kRecordsPerChunk, max_records - written);
+        Encoder recs;
+        recs.u32(0); // Patched below once the block count is known.
+        std::uint32_t n = 0;
+        TraceRecord rec;
+        for (; n < block && src.next(rec); ++n)
+            encodeTraceRecord(recs, rec);
+        if (n == 0)
+            break; // Source exhausted on a block boundary.
+        recs.patchU32(0, n);
+        writer.chunk("RECS", recs);
+        written += n;
+        if (n < block)
+            break; // Source exhausted mid-block.
+    }
+
+    if (!writer.close()) {
+        if (err)
+            *err = describe(path, "write failure");
+        std::remove(path.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+readTraceInfo(const std::string &path, TraceFileInfo &info,
+              std::string *err)
+{
+    info = TraceFileInfo{};
+    return loadTraceFile(path, info, nullptr, nullptr, err);
+}
+
+bool
+TraceFileReplay::open(const std::string &path, std::string *err)
+{
+    info_ = TraceFileInfo{};
+    records_.clear();
+    prefill_.clear();
+    pos_ = 0;
+    return loadTraceFile(path, info_, &records_, &prefill_, err);
+}
+
+bool
+TraceFileReplay::next(TraceRecord &rec)
+{
+    if (pos_ >= records_.size())
+        return false;
+    rec = records_[pos_++];
+    return true;
+}
+
+void
+TraceFileReplay::reset()
+{
+    pos_ = 0;
+}
+
+void
+TraceFileReplay::prefillLines(std::vector<PrefillLine> &lines) const
+{
+    lines.insert(lines.end(), prefill_.begin(), prefill_.end());
+}
+
+} // namespace th

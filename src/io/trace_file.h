@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The .thtrace binary trace-file format: record a TraceSource's dynamic
+ * instruction stream once, then replay it into the core model. This
+ * decouples trace production from simulation — recorded synthetic
+ * traces, externally produced traces, and hand-crafted test streams all
+ * become first-class workloads alongside the built-in generator.
+ *
+ * Container: chunkio.h framing with format tag "TRCE". Chunks:
+ *   META  benchmark name, suite, generator seed
+ *   PRFL  steady-state prefill lines (trace.h)
+ *   RECS  a block of fixed-width TraceRecord encodings (u32 count +
+ *         records); large traces span many RECS chunks
+ */
+
+#ifndef TH_IO_TRACE_FILE_H
+#define TH_IO_TRACE_FILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/chunkio.h"
+#include "trace/trace.h"
+
+namespace th {
+
+/** Schema version of the .thtrace chunk payloads. */
+inline constexpr std::uint32_t kTraceSchemaVersion = 1;
+
+/** Container format tag of .thtrace files. */
+inline constexpr const char *kTraceFormatTag = "TRCE";
+
+/** Metadata of a trace file (META chunk + derived counts). */
+struct TraceFileInfo
+{
+    std::string benchmark;
+    std::string suite;
+    std::uint64_t seed = 0;
+    std::uint64_t numRecords = 0;
+    std::uint64_t numPrefillLines = 0;
+    std::uint32_t schemaVersion = 0;
+};
+
+/** Encode one record in the fixed RECS layout (shared with tests). */
+void encodeTraceRecord(Encoder &enc, const TraceRecord &rec);
+
+/** Decode one record; false on bounds/enum violations. */
+bool decodeTraceRecord(Decoder &dec, TraceRecord &rec);
+
+/**
+ * Record up to @p max_records from @p src into @p path (fewer when the
+ * source ends first). The source is consumed from its current
+ * position; callers wanting the canonical stream pass a fresh source.
+ * Returns false on I/O failure with @p err describing why.
+ */
+bool recordTrace(const std::string &path, TraceSource &src,
+                 std::uint64_t max_records, const std::string &benchmark,
+                 const std::string &suite, std::uint64_t seed,
+                 std::string *err = nullptr);
+
+/**
+ * Read and fully validate a trace file's metadata (every chunk is
+ * CRC-checked, so this doubles as an integrity scan).
+ */
+bool readTraceInfo(const std::string &path, TraceFileInfo &info,
+                   std::string *err = nullptr);
+
+/**
+ * TraceSource that replays a .thtrace file. The file is loaded and
+ * validated up front; next() then streams records with no I/O on the
+ * simulation path, and reset() rewinds for multi-run reuse.
+ */
+class TraceFileReplay : public TraceSource
+{
+  public:
+    /** Load @p path; false (with @p err) on open/validation failure. */
+    bool open(const std::string &path, std::string *err = nullptr);
+
+    const TraceFileInfo &info() const { return info_; }
+
+    bool next(TraceRecord &rec) override;
+    void reset() override;
+    void prefillLines(std::vector<PrefillLine> &lines) const override;
+
+  private:
+    TraceFileInfo info_;
+    std::vector<TraceRecord> records_;
+    std::vector<PrefillLine> prefill_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace th
+
+#endif // TH_IO_TRACE_FILE_H

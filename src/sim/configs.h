@@ -41,9 +41,13 @@ CoreConfig makeConfig(ConfigKind kind, const BlockLibrary &lib);
 
 /**
  * Stable hash over every behaviour-affecting CoreConfig field — the
- * key of the System-level CoreResult cache. Two configs with equal
+ * key of the System-level CoreResult cache AND of the persistent
+ * artifact store (store/artifact_store.h). Two configs with equal
  * hashes are treated as the same simulation input, so any new field
- * added to CoreConfig must be folded in here.
+ * added to CoreConfig must be folded in here. Because these hashes
+ * name on-disk artifacts, any intentional change to the hashed field
+ * set must bump kStoreSchemaVersion (store/artifact_store.h) and
+ * update the golden-hash table in tests/test_configs.cpp.
  */
 std::uint64_t configHash(const CoreConfig &cfg);
 

@@ -1,15 +1,40 @@
 #include "sim/system.h"
 
+#include <cstdlib>
+
 #include "common/log.h"
 #include "trace/suites.h"
 
 namespace th {
+
+namespace {
+
+/** Resolve the store directory: explicit option, else TH_STORE_DIR. */
+std::string
+resolveStoreDir(const SimOptions &opts)
+{
+    if (!opts.storeDir.empty())
+        return opts.storeDir;
+    const char *env = std::getenv("TH_STORE_DIR");
+    return env ? env : "";
+}
+
+} // namespace
 
 System::System(const SimOptions &opts)
     : opts_(opts), lib_(), power_(lib_), hotspot_(),
       planar_fp_(FloorplanBuilder::planar()),
       stacked_fp_(FloorplanBuilder::stacked())
 {
+    const std::string dir = resolveStoreDir(opts_);
+    if (!dir.empty()) {
+        StoreOptions sopts;
+        sopts.dir = dir;
+        sopts.maxBytes = opts_.storeMaxBytes;
+        store_ = std::make_unique<ArtifactStore>(sopts);
+        if (!store_->enabled())
+            store_.reset(); // Directory creation failed (warned).
+    }
 }
 
 CoreResult
@@ -33,8 +58,8 @@ System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
     // Memoize on (benchmark, config hash): traces are seeded by the
     // benchmark profile and the core is deterministic, so a repeat of
     // the same pair is bit-identical to the first run.
-    const std::string key =
-        benchmark + '\0' + std::to_string(configHash(cfg));
+    const std::uint64_t hash = configHash(cfg);
+    const std::string key = benchmark + '\0' + std::to_string(hash);
     {
         std::lock_guard<std::mutex> lock(cache_mu_);
         auto it = core_cache_.find(key);
@@ -44,12 +69,33 @@ System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
         }
     }
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
-    CoreResult result = simulate(benchmark, cfg);
+
+    // Between the in-memory cache and a fresh simulation sits the
+    // persistent store: a warm process finds every (benchmark, config)
+    // pair of a previous sweep on disk and skips simulation entirely.
+    // A corrupt entry is quarantined inside loadCoreResult and falls
+    // through to recomputation.
+    CoreResult result;
+    const bool from_store =
+        store_ && store_->loadCoreResult(benchmark, hash, result);
+    if (!from_store) {
+        result = simulate(benchmark, cfg);
+        if (store_)
+            store_->storeCoreResult(benchmark, hash, result);
+    }
     {
         std::lock_guard<std::mutex> lock(cache_mu_);
         core_cache_.emplace(key, result);
     }
     return result;
+}
+
+CoreResult
+System::runTrace(TraceSource &trace, const CoreConfig &cfg) const
+{
+    Core core(cfg);
+    return core.run(trace, opts_.instructions,
+                    opts_.warmupInstructions);
 }
 
 System::CacheStats
@@ -68,6 +114,24 @@ System::clearCoreCache()
     core_cache_.clear();
     cache_hits_.store(0, std::memory_order_relaxed);
     cache_misses_.store(0, std::memory_order_relaxed);
+}
+
+StoreStats
+System::storeStats() const
+{
+    return store_ ? store_->stats() : StoreStats{};
+}
+
+bool
+System::storeEnabled() const
+{
+    return store_ != nullptr;
+}
+
+std::string
+System::storeDir() const
+{
+    return store_ ? store_->dir() : std::string();
 }
 
 void

@@ -26,16 +26,27 @@
 #include "floorplan/floorplan.h"
 #include "power/power_model.h"
 #include "sim/configs.h"
+#include "store/artifact_store.h"
 #include "thermal/hotspot.h"
 #include "trace/generator.h"
 
 namespace th {
 
-/** Simulation window sizes. */
+/** Simulation window sizes and persistence options. */
 struct SimOptions
 {
     std::uint64_t instructions = 200000;
     std::uint64_t warmupInstructions = 100000;
+
+    /**
+     * Directory of the persistent CoreResult store. Empty (the
+     * default) falls back to the TH_STORE_DIR environment variable;
+     * when that is unset too, the store is disabled and only the
+     * in-memory cache memoizes runs.
+     */
+    std::string storeDir;
+    /** LRU size cap of the store (0 = unlimited). */
+    std::uint64_t storeMaxBytes = 256ULL << 20;
 };
 
 /** Combined results of one (benchmark, configuration) evaluation. */
@@ -65,6 +76,13 @@ class System
     CoreResult runCore(const std::string &benchmark,
                        const CoreConfig &cfg) const;
 
+    /**
+     * Run an arbitrary trace source (e.g. a replayed .thtrace file)
+     * through a fresh core, using this system's simulation window.
+     * Uncached: external traces have no registry-backed cache key.
+     */
+    CoreResult runTrace(TraceSource &trace, const CoreConfig &cfg) const;
+
     /** Run and compute power (calibrates lazily on first use). */
     Evaluation evaluate(const std::string &benchmark, ConfigKind kind);
 
@@ -87,6 +105,20 @@ class System
 
     /** Drop all memoized CoreResults and reset the counters. */
     void clearCoreCache();
+
+    /**
+     * Counters of the persistent artifact store (all zero when no
+     * store directory is configured). On a warm run of a figure sweep
+     * every simulation the cold run performed is served as a store
+     * hit instead.
+     */
+    StoreStats storeStats() const;
+
+    /** True when a persistent store directory is configured. */
+    bool storeEnabled() const;
+
+    /** The store directory ("" when disabled). */
+    std::string storeDir() const;
 
     const BlockLibrary &circuits() const { return lib_; }
     PowerModel &power();
@@ -116,6 +148,9 @@ class System
     mutable std::unordered_map<std::string, CoreResult> core_cache_;
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
+
+    /** Disk-backed CoreResult store; null when disabled. */
+    mutable std::unique_ptr<ArtifactStore> store_;
 };
 
 } // namespace th

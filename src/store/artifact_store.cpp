@@ -1,0 +1,348 @@
+#include "store/artifact_store.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "common/log.h"
+#include "io/serialize.h"
+
+namespace fs = std::filesystem;
+
+namespace th {
+
+namespace {
+
+/** Extension of committed artifacts. */
+constexpr const char *kEntryExt = ".cr";
+/** Extension quarantined (corrupt) artifacts are renamed to. */
+constexpr const char *kBadExt = ".bad";
+
+/** Monotonic discriminator for temp-file names within a process. */
+std::atomic<std::uint64_t> tmp_counter{0};
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                        c == '.';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::int64_t
+mtimeNsOf(const fs::path &p)
+{
+    std::error_code ec;
+    const auto t = fs::last_write_time(p, ec);
+    if (ec)
+        return 0;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+ArtifactStore::ArtifactStore(const StoreOptions &opts) : opts_(opts)
+{
+    if (opts_.dir.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(opts_.dir, ec);
+    if (ec) {
+        warn("artifact store: cannot create '%s' (%s); store disabled",
+             opts_.dir.c_str(), ec.message().c_str());
+        opts_.dir.clear();
+    }
+}
+
+std::string
+ArtifactStore::entryPath(const std::string &benchmark,
+                         std::uint64_t cfg_hash) const
+{
+    return (fs::path(opts_.dir) /
+            strformat("%s-%016llx%s", sanitize(benchmark).c_str(),
+                      static_cast<unsigned long long>(cfg_hash),
+                      kEntryExt))
+        .string();
+}
+
+bool
+ArtifactStore::readEntry(const std::string &path,
+                         const std::string &benchmark,
+                         std::uint64_t cfg_hash, CoreResult *out) const
+{
+    std::uint32_t schema = 0;
+    std::string err;
+    ChunkFileReader reader;
+    if (!reader.open(path, kCoreResultFormatTag, schema, err))
+        return false;
+    if (schema != kStoreSchemaVersion)
+        return false;
+
+    bool meta_ok = false, result_ok = false;
+    std::string tag;
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        const ChunkReader::Next what = reader.next(tag, payload, err);
+        if (what == ChunkReader::Next::End)
+            break;
+        if (what == ChunkReader::Next::Corrupt)
+            return false;
+        if (tag == "META") {
+            Decoder d(payload);
+            const std::string bench = d.str();
+            const std::uint64_t hash = d.u64();
+            if (!d.ok() || bench != benchmark || hash != cfg_hash)
+                return false;
+            meta_ok = true;
+        } else if (tag == "CRES") {
+            Decoder d(payload);
+            CoreResult r;
+            if (!decodeCoreResult(d, r) || !d.atEnd())
+                return false;
+            if (out)
+                *out = r;
+            result_ok = true;
+        }
+    }
+    return meta_ok && result_ok;
+}
+
+void
+ArtifactStore::quarantine(const std::string &path)
+{
+    std::error_code ec;
+    fs::rename(path, path + kBadExt, ec);
+    if (ec)
+        fs::remove(path, ec); // Last resort: drop the bad entry.
+    corrupt_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool
+ArtifactStore::loadCoreResult(const std::string &benchmark,
+                              std::uint64_t cfg_hash, CoreResult &out)
+{
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(benchmark, cfg_hash);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!readEntry(path, benchmark, cfg_hash, &out)) {
+        warn("artifact store: corrupt entry '%s'; quarantined, "
+             "recomputing", path.c_str());
+        quarantine(path);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    // Touch for LRU: a hit makes the entry recently used.
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::storeCoreResult(const std::string &benchmark,
+                               std::uint64_t cfg_hash,
+                               const CoreResult &r)
+{
+    if (!enabled())
+        return false;
+    const std::string path = entryPath(benchmark, cfg_hash);
+    const std::string tmp = strformat(
+        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(getpid()),
+        static_cast<unsigned long long>(
+            tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+
+    Encoder meta;
+    meta.str(benchmark);
+    meta.u64(cfg_hash);
+    Encoder cres;
+    encodeCoreResult(cres, r);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ChunkFileWriter writer;
+    bool ok = writer.open(tmp, kCoreResultFormatTag, kStoreSchemaVersion);
+    ok = ok && writer.chunk("META", meta);
+    ok = ok && writer.chunk("CRES", cres);
+    ok = writer.close() && ok;
+    if (!ok) {
+        warn("artifact store: failed to write '%s'", tmp.c_str());
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec); // Atomic commit.
+    if (ec) {
+        warn("artifact store: cannot commit '%s' (%s)", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    enforceCapLocked();
+    return true;
+}
+
+StoreStats
+ArtifactStore::stats() const
+{
+    StoreStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.stores = stores_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.corrupt = corrupt_.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::vector<ArtifactStore::Entry>
+ArtifactStore::list() const
+{
+    std::vector<Entry> entries;
+    if (!enabled())
+        return entries;
+    std::error_code ec;
+    for (const auto &de : fs::directory_iterator(opts_.dir, ec)) {
+        const fs::path &p = de.path();
+        const std::string name = p.filename().string();
+        const bool bad = name.size() > 4 &&
+            name.compare(name.size() - 4, 4, kBadExt) == 0;
+        const bool live = !bad && p.extension() == kEntryExt;
+        if (!bad && !live)
+            continue; // Temp files and strangers.
+        Entry e;
+        e.path = p.string();
+        e.quarantined = bad;
+        std::error_code sec;
+        e.bytes = fs::file_size(p, sec);
+        e.mtimeNs = mtimeNsOf(p);
+        if (live) {
+            // Best-effort metadata read (for display only).
+            std::uint32_t schema = 0;
+            std::string err, tag;
+            std::vector<std::uint8_t> payload;
+            ChunkFileReader reader;
+            if (reader.open(e.path, kCoreResultFormatTag, schema, err) &&
+                reader.next(tag, payload, err) ==
+                    ChunkReader::Next::Chunk &&
+                tag == "META") {
+                Decoder d(payload);
+                e.benchmark = d.str();
+                e.cfgHash = d.u64();
+                if (!d.ok()) {
+                    e.benchmark.clear();
+                    e.cfgHash = 0;
+                }
+            }
+        }
+        entries.push_back(std::move(e));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry &a, const Entry &b) {
+                  return a.mtimeNs != b.mtimeNs ? a.mtimeNs < b.mtimeNs
+                                                : a.path < b.path;
+              });
+    return entries;
+}
+
+int
+ArtifactStore::gc(std::uint64_t max_bytes)
+{
+    if (!enabled())
+        return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    int removed = 0;
+    std::uint64_t live_bytes = 0;
+    std::vector<Entry> live;
+    for (Entry &e : list()) {
+        if (e.quarantined) {
+            std::error_code ec;
+            if (fs::remove(e.path, ec)) {
+                ++removed;
+                evictions_.fetch_add(1, std::memory_order_relaxed);
+            }
+        } else {
+            live_bytes += e.bytes;
+            live.push_back(std::move(e));
+        }
+    }
+    // Oldest-first eviction until the live set fits.
+    for (const Entry &e : live) {
+        if (live_bytes <= max_bytes)
+            break;
+        std::error_code ec;
+        if (fs::remove(e.path, ec)) {
+            live_bytes -= e.bytes;
+            ++removed;
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    return removed;
+}
+
+int
+ArtifactStore::verify()
+{
+    if (!enabled())
+        return 0;
+    std::lock_guard<std::mutex> lock(mu_);
+    int bad = 0;
+    for (const Entry &e : list()) {
+        if (e.quarantined) {
+            ++bad;
+            continue;
+        }
+        // Validate against the key encoded in the filename-independent
+        // META chunk; an unreadable META yields an empty benchmark and
+        // fails the check below.
+        if (!readEntry(e.path, e.benchmark, e.cfgHash, nullptr)) {
+            warn("artifact store: '%s' failed verification; "
+                 "quarantined", e.path.c_str());
+            quarantine(e.path);
+            ++bad;
+        }
+    }
+    return bad;
+}
+
+void
+ArtifactStore::enforceCapLocked()
+{
+    if (opts_.maxBytes == 0)
+        return;
+    std::uint64_t total = 0;
+    std::vector<Entry> entries = list();
+    for (const Entry &e : entries)
+        total += e.quarantined ? 0 : e.bytes;
+    if (total <= opts_.maxBytes)
+        return;
+    for (const Entry &e : entries) {
+        if (e.quarantined)
+            continue;
+        std::error_code ec;
+        if (fs::remove(e.path, ec)) {
+            total -= e.bytes;
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (total <= opts_.maxBytes)
+            break;
+    }
+}
+
+} // namespace th

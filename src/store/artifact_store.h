@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Disk-backed artifact store: persists CoreResults across processes so
+ * a warm re-run of a full figure sweep skips core simulation entirely.
+ *
+ * Entries are keyed by (benchmark, configHash(cfg), schema version);
+ * the schema version covers both the CoreResult encoding
+ * (io/serialize.h) and the meaning of configHash — bump
+ * kStoreSchemaVersion whenever either changes and every stale artifact
+ * is invalidated instead of silently misread.
+ *
+ * Durability contract:
+ *  - Commits are atomic: artifacts are written to a temp file in the
+ *    store directory and rename()d into place, so readers never see a
+ *    half-written entry and concurrent writers of the same key settle
+ *    on one complete file.
+ *  - Corruption (truncation, bit flips, wrong schema, key mismatch) is
+ *    detected by the container's CRC/header checks; bad entries are
+ *    quarantined (renamed to *.bad) and the caller recomputes — a
+ *    corrupt store degrades performance, never correctness.
+ *  - The store is size-capped: after each insert an LRU sweep (by file
+ *    mtime) evicts the oldest entries until the cap is respected.
+ *
+ * Thread model: all methods are safe to call concurrently (one mutex
+ * around filesystem transactions; counters are atomics).
+ */
+
+#ifndef TH_STORE_ARTIFACT_STORE_H
+#define TH_STORE_ARTIFACT_STORE_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace th {
+
+/**
+ * On-disk schema version. Covers the CoreResult field encoding AND the
+ * configHash key semantics: bump it when io/serialize.h changes shape
+ * or when sim/configs.cpp's configHash gains/loses/reorders fields
+ * (the golden-hash test in tests/test_configs.cpp pins the latter).
+ */
+inline constexpr std::uint32_t kStoreSchemaVersion = 1;
+
+/** Container format tag of persisted CoreResult artifacts. */
+inline constexpr const char *kCoreResultFormatTag = "CRES";
+
+/** Store configuration. */
+struct StoreOptions
+{
+    /** Store directory; empty disables the store. Created on demand. */
+    std::string dir;
+    /** LRU size cap over all entries; 0 = unlimited. */
+    std::uint64_t maxBytes = 256ULL << 20;
+};
+
+/** Monotonic operation counters (mirrors System::CacheStats). */
+struct StoreStats
+{
+    std::uint64_t hits = 0;      ///< loadCoreResult served from disk.
+    std::uint64_t misses = 0;    ///< Key absent (or entry unreadable).
+    std::uint64_t stores = 0;    ///< Artifacts committed.
+    std::uint64_t evictions = 0; ///< Entries removed by the LRU cap.
+    std::uint64_t corrupt = 0;   ///< Entries quarantined as invalid.
+};
+
+class ArtifactStore
+{
+  public:
+    explicit ArtifactStore(const StoreOptions &opts);
+
+    /** False when constructed with an empty directory. */
+    bool enabled() const { return !opts_.dir.empty(); }
+    const std::string &dir() const { return opts_.dir; }
+
+    /**
+     * Look up the result of (benchmark, cfg_hash). True on a verified
+     * hit; false on absence or on a corrupt entry (which is counted,
+     * quarantined, and warned about — the caller just recomputes).
+     */
+    bool loadCoreResult(const std::string &benchmark,
+                        std::uint64_t cfg_hash, CoreResult &out);
+
+    /** Persist a result (atomic commit + LRU sweep). */
+    bool storeCoreResult(const std::string &benchmark,
+                         std::uint64_t cfg_hash, const CoreResult &r);
+
+    StoreStats stats() const;
+
+    /** One store entry as seen by maintenance commands. */
+    struct Entry
+    {
+        std::string path;
+        std::string benchmark; ///< Empty when unreadable.
+        std::uint64_t cfgHash = 0;
+        std::uint64_t bytes = 0;
+        std::int64_t mtimeNs = 0; ///< For LRU ordering / display.
+        bool quarantined = false; ///< *.bad leftover.
+    };
+
+    /** All entries (valid and quarantined), oldest first. */
+    std::vector<Entry> list() const;
+
+    /**
+     * Evict quarantined files, then oldest entries, until the live
+     * total is <= @p max_bytes. Returns the number of files removed.
+     */
+    int gc(std::uint64_t max_bytes);
+
+    /**
+     * Re-validate every entry, quarantining corrupt ones.
+     * @return The number of entries found invalid.
+     */
+    int verify();
+
+  private:
+    std::string entryPath(const std::string &benchmark,
+                          std::uint64_t cfg_hash) const;
+    bool readEntry(const std::string &path, const std::string &benchmark,
+                   std::uint64_t cfg_hash, CoreResult *out) const;
+    void quarantine(const std::string &path);
+    /** Enforce opts_.maxBytes; caller holds mu_. */
+    void enforceCapLocked();
+
+    StoreOptions opts_;
+    mutable std::mutex mu_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> stores_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> corrupt_{0};
+};
+
+} // namespace th
+
+#endif // TH_STORE_ARTIFACT_STORE_H

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/configs.h"
 
 namespace th {
@@ -90,6 +93,49 @@ TEST_F(ConfigTest, MemoryLatencyInCyclesGrowsWithClock)
     const CoreConfig base = makeConfig(ConfigKind::Base, lib_);
     const CoreConfig fast = makeConfig(ConfigKind::Fast, lib_);
     EXPECT_GT(fast.memLatencyCycles(), base.memLatencyCycles());
+}
+
+// Golden configHash values for every preset. These hashes key the
+// persistent artifact store (store/artifact_store.h), so they must not
+// silently change meaning between builds: a change here invalidates or
+// — worse — misinterprets every on-disk CoreResult. If a hash change
+// is INTENTIONAL (new CoreConfig field folded into configHash, changed
+// default), update this table AND bump kStoreSchemaVersion in
+// store/artifact_store.h so stale artifacts are rejected rather than
+// misread.
+TEST_F(ConfigTest, GoldenConfigHashes)
+{
+    const struct
+    {
+        ConfigKind kind;
+        std::uint64_t hash;
+    } golden[] = {
+        {ConfigKind::Base,       0x452cd60ddfb4205dULL},
+        {ConfigKind::TH,         0x6517a30db77549dcULL},
+        {ConfigKind::Pipe,       0x1099ffc40823dfbcULL},
+        {ConfigKind::Fast,       0x4b28d4e4856ae390ULL},
+        {ConfigKind::ThreeD,     0x1f51a48071a92031ULL},
+        {ConfigKind::ThreeDNoTH, 0x57153848c16b7d70ULL},
+    };
+    for (const auto &g : golden) {
+        EXPECT_EQ(configHash(makeConfig(g.kind, lib_)), g.hash)
+            << "configHash(" << configName(g.kind) << ") drifted — "
+            << "on-disk store keys changed meaning. If intentional, "
+            << "update the golden table and bump kStoreSchemaVersion.";
+    }
+}
+
+TEST_F(ConfigTest, ConfigHashDistinguishesPresets)
+{
+    const auto kinds = {ConfigKind::Base,   ConfigKind::TH,
+                        ConfigKind::Pipe,   ConfigKind::Fast,
+                        ConfigKind::ThreeD, ConfigKind::ThreeDNoTH};
+    std::vector<std::uint64_t> hashes;
+    for (ConfigKind k : kinds)
+        hashes.push_back(configHash(makeConfig(k, lib_)));
+    std::sort(hashes.begin(), hashes.end());
+    EXPECT_EQ(std::unique(hashes.begin(), hashes.end()), hashes.end())
+        << "two presets share a cache key";
 }
 
 } // namespace

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "io/chunkio.h"
+#include "io/crc32.h"
+#include "io/serialize.h"
+
+namespace th {
+namespace {
+
+// ---------------------------------------------------------------------
+// CRC32.
+// ---------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVectors)
+{
+    // Standard test vectors for the IEEE/zlib CRC-32.
+    EXPECT_EQ(crc32("", 0), 0x00000000u);
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("The quick brown fox jumps over the lazy dog", 43),
+              0x414FA339u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot)
+{
+    const char msg[] = "123456789";
+    const std::uint32_t part = crc32(msg, 4);
+    EXPECT_EQ(crc32(msg + 4, 5, part), crc32(msg, 9));
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip)
+{
+    std::uint8_t buf[64];
+    for (int i = 0; i < 64; ++i)
+        buf[i] = static_cast<std::uint8_t>(i * 7);
+    const std::uint32_t clean = crc32(buf, sizeof(buf));
+    buf[17] ^= 0x20;
+    EXPECT_NE(crc32(buf, sizeof(buf)), clean);
+}
+
+// ---------------------------------------------------------------------
+// Encoder / Decoder.
+// ---------------------------------------------------------------------
+
+TEST(CodecTest, PrimitivesRoundTrip)
+{
+    Encoder enc;
+    enc.u8(0xAB);
+    enc.u16(0xBEEF);
+    enc.u32(0xDEADBEEFu);
+    enc.u64(0x0123456789ABCDEFULL);
+    enc.f64(-2.5e-7);
+    enc.str("thermal herding");
+    enc.str("");
+
+    Decoder dec(enc.data());
+    EXPECT_EQ(dec.u8(), 0xAB);
+    EXPECT_EQ(dec.u16(), 0xBEEF);
+    EXPECT_EQ(dec.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(dec.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_EQ(dec.f64(), -2.5e-7);
+    EXPECT_EQ(dec.str(), "thermal herding");
+    EXPECT_EQ(dec.str(), "");
+    EXPECT_TRUE(dec.ok());
+    EXPECT_TRUE(dec.atEnd());
+}
+
+TEST(CodecTest, LittleEndianLayout)
+{
+    Encoder enc;
+    enc.u32(0x11223344u);
+    ASSERT_EQ(enc.size(), 4u);
+    EXPECT_EQ(enc.data()[0], 0x44);
+    EXPECT_EQ(enc.data()[3], 0x11);
+}
+
+TEST(CodecTest, UnderflowFlagsNotOk)
+{
+    Encoder enc;
+    enc.u16(7);
+    Decoder dec(enc.data());
+    EXPECT_EQ(dec.u64(), 0u); // Short read returns zero...
+    EXPECT_FALSE(dec.ok());   // ...and poisons the decoder.
+    EXPECT_EQ(dec.u8(), 0u);  // Stays poisoned.
+    EXPECT_FALSE(dec.ok());
+}
+
+TEST(CodecTest, StringLengthBeyondPayloadIsRejected)
+{
+    Encoder enc;
+    enc.u32(1000); // Claims 1000 bytes follow...
+    enc.u8('x');   // ...but only one does.
+    Decoder dec(enc.data());
+    EXPECT_EQ(dec.str(), "");
+    EXPECT_FALSE(dec.ok());
+}
+
+TEST(CodecTest, PatchU32OverwritesInPlace)
+{
+    Encoder enc;
+    enc.u32(0);
+    enc.u64(42);
+    enc.patchU32(0, 7);
+    Decoder dec(enc.data());
+    EXPECT_EQ(dec.u32(), 7u);
+    EXPECT_EQ(dec.u64(), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Chunk container over memory.
+// ---------------------------------------------------------------------
+
+TEST(ChunkTest, WriteReadRoundTrip)
+{
+    MemSink sink;
+    ChunkWriter writer(sink);
+    ASSERT_TRUE(writer.begin("TEST", 3));
+    Encoder a;
+    a.str("alpha");
+    Encoder b;
+    b.u64(99);
+    ASSERT_TRUE(writer.chunk("AAAA", a));
+    ASSERT_TRUE(writer.chunk("BBBB", b));
+
+    MemSource src(sink.data());
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string err;
+    ASSERT_TRUE(reader.readHeader("TEST", schema, err)) << err;
+    EXPECT_EQ(schema, 3u);
+
+    std::string tag;
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(reader.next(tag, payload, err), ChunkReader::Next::Chunk);
+    EXPECT_EQ(tag, "AAAA");
+    EXPECT_EQ(Decoder(payload).str(), "alpha");
+    ASSERT_EQ(reader.next(tag, payload, err), ChunkReader::Next::Chunk);
+    EXPECT_EQ(tag, "BBBB");
+    EXPECT_EQ(Decoder(payload).u64(), 99u);
+    EXPECT_EQ(reader.next(tag, payload, err), ChunkReader::Next::End);
+}
+
+TEST(ChunkTest, WrongFormatTagRejected)
+{
+    MemSink sink;
+    ChunkWriter writer(sink);
+    ASSERT_TRUE(writer.begin("TEST", 1));
+
+    MemSource src(sink.data());
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string err;
+    EXPECT_FALSE(reader.readHeader("OTHR", schema, err));
+    EXPECT_NE(err.find("format tag"), std::string::npos);
+}
+
+TEST(ChunkTest, GarbageHeaderRejected)
+{
+    const std::uint8_t junk[16] = {'n', 'o', 'p', 'e'};
+    MemSource src(junk, sizeof(junk));
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string err;
+    EXPECT_FALSE(reader.readHeader("TEST", schema, err));
+}
+
+std::vector<std::uint8_t>
+oneChunkContainer()
+{
+    MemSink sink;
+    ChunkWriter writer(sink);
+    writer.begin("TEST", 1);
+    Encoder payload;
+    for (int i = 0; i < 64; ++i)
+        payload.u32(static_cast<std::uint32_t>(i));
+    writer.chunk("DATA", payload);
+    return sink.data();
+}
+
+TEST(ChunkTest, BitFlipInPayloadIsCorrupt)
+{
+    std::vector<std::uint8_t> bytes = oneChunkContainer();
+    bytes[bytes.size() - 10] ^= 0x01; // Flip one payload bit.
+
+    MemSource src(bytes);
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+    EXPECT_EQ(reader.next(tag, payload, err),
+              ChunkReader::Next::Corrupt);
+    EXPECT_NE(err.find("CRC"), std::string::npos);
+}
+
+TEST(ChunkTest, TruncationIsCorrupt)
+{
+    std::vector<std::uint8_t> bytes = oneChunkContainer();
+    bytes.resize(bytes.size() - 20); // Drop the payload tail.
+
+    MemSource src(bytes);
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+    EXPECT_EQ(reader.next(tag, payload, err),
+              ChunkReader::Next::Corrupt);
+}
+
+TEST(ChunkTest, TruncatedChunkHeaderIsCorrupt)
+{
+    std::vector<std::uint8_t> bytes = oneChunkContainer();
+    bytes.resize(16 + 6); // Container header + half a chunk header.
+
+    MemSource src(bytes);
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+    EXPECT_EQ(reader.next(tag, payload, err),
+              ChunkReader::Next::Corrupt);
+}
+
+// ---------------------------------------------------------------------
+// Stats serialization.
+// ---------------------------------------------------------------------
+
+CoreResult
+sampleResult()
+{
+    CoreResult r;
+    r.freqGhz = 3.875;
+    r.perf.cycles.set(123456);
+    r.perf.committedInsts.set(200000);
+    r.perf.branches.set(30123);
+    r.perf.pveExplicit.set(17);
+    for (int i = 0; i < 1000; ++i)
+        r.perf.valueWidthBits.sample(static_cast<double>(i % 64));
+    r.activity.rfReadLow.set(42);
+    r.activity.schedWakeupDie[kNumDies - 1].set(7);
+    r.activity.miscUops.set(987654321);
+    return r;
+}
+
+TEST(SerializeTest, HistogramRoundTrip)
+{
+    Histogram h(0.0, 64.0, 16);
+    h.sample(1.0);
+    h.sample(63.0);
+    h.sample(17.5);
+
+    Encoder enc;
+    encodeHistogram(enc, h);
+    Decoder dec(enc.data());
+    Histogram back;
+    ASSERT_TRUE(decodeHistogram(dec, back));
+    EXPECT_EQ(back.count(), h.count());
+    EXPECT_EQ(back.buckets(), h.buckets());
+    EXPECT_EQ(back.mean(), h.mean());
+    EXPECT_EQ(back.min(), h.min());
+    EXPECT_EQ(back.max(), h.max());
+    EXPECT_EQ(back.lo(), h.lo());
+    EXPECT_EQ(back.hi(), h.hi());
+}
+
+TEST(SerializeTest, CoreResultRoundTripsBitIdentical)
+{
+    const CoreResult r = sampleResult();
+    Encoder enc;
+    encodeCoreResult(enc, r);
+
+    Decoder dec(enc.data());
+    CoreResult back;
+    ASSERT_TRUE(decodeCoreResult(dec, back));
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(serializeCoreResult(back), serializeCoreResult(r));
+    EXPECT_EQ(back.freqGhz, r.freqGhz);
+    EXPECT_EQ(back.perf.cycles.value(), 123456u);
+    EXPECT_EQ(back.activity.schedWakeupDie[kNumDies - 1].value(), 7u);
+}
+
+TEST(SerializeTest, TruncatedCoreResultFailsDecode)
+{
+    Encoder enc;
+    encodeCoreResult(enc, sampleResult());
+    std::vector<std::uint8_t> bytes = enc.data();
+    bytes.resize(bytes.size() / 2);
+
+    Decoder dec(bytes);
+    CoreResult back;
+    EXPECT_FALSE(decodeCoreResult(dec, back));
+}
+
+TEST(SerializeTest, AbsurdHistogramBucketCountRejected)
+{
+    Encoder enc;
+    enc.f64(0.0);
+    enc.f64(1.0);
+    enc.u32(0x7FFFFFFFu); // Bucket count beyond any sane histogram.
+    enc.u64(0);
+    enc.f64(0.0);
+    enc.f64(0.0);
+    enc.f64(0.0);
+    Decoder dec(enc.data());
+    Histogram h;
+    EXPECT_FALSE(decodeHistogram(dec, h));
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "io/serialize.h"
+#include "sim/system.h"
+#include "store/artifact_store.h"
+
+namespace th {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::path(::testing::TempDir()) /
+               ("thstore-" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "-" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    StoreOptions options(std::uint64_t max_bytes = 0) const
+    {
+        StoreOptions o;
+        o.dir = dir_.string();
+        o.maxBytes = max_bytes;
+        return o;
+    }
+
+    SimOptions simOptions() const
+    {
+        SimOptions o;
+        o.instructions = 20000;
+        o.warmupInstructions = 5000;
+        o.storeDir = dir_.string();
+        return o;
+    }
+
+    /** The single .cr entry file in the store directory. */
+    fs::path onlyEntry() const
+    {
+        fs::path found;
+        for (const auto &de : fs::directory_iterator(dir_)) {
+            if (de.path().extension() == ".cr") {
+                EXPECT_TRUE(found.empty()) << "more than one entry";
+                found = de.path();
+            }
+        }
+        EXPECT_FALSE(found.empty()) << "no store entry found";
+        return found;
+    }
+
+    static void flipByte(const fs::path &file, std::streamoff offset)
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.is_open());
+        f.seekg(offset);
+        char c = 0;
+        f.get(c);
+        f.seekp(offset);
+        f.put(static_cast<char>(c ^ 0x40));
+    }
+
+    static CoreResult syntheticResult(std::uint64_t salt)
+    {
+        CoreResult r;
+        r.freqGhz = 2.66 + 0.001 * static_cast<double>(salt);
+        r.perf.cycles.set(100000 + salt);
+        r.perf.committedInsts.set(200000 + salt * 3);
+        for (int i = 0; i < 200; ++i)
+            r.perf.valueWidthBits.sample(
+                static_cast<double>((i + salt) % 64));
+        r.activity.rfReadLow.set(salt * 7);
+        return r;
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(StoreTest, StoreThenLoadRoundTrips)
+{
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.enabled());
+
+    const CoreResult r = syntheticResult(1);
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x1234, r));
+
+    CoreResult back;
+    ASSERT_TRUE(store.loadCoreResult("gzip", 0x1234, back));
+    EXPECT_EQ(serializeCoreResult(back), serializeCoreResult(r));
+
+    const StoreStats s = store.stats();
+    EXPECT_EQ(s.stores, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.corrupt, 0u);
+}
+
+TEST_F(StoreTest, DistinctKeysDoNotCollide)
+{
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x1, syntheticResult(1)));
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x2, syntheticResult(2)));
+    ASSERT_TRUE(store.storeCoreResult("mcf", 0x1, syntheticResult(3)));
+
+    CoreResult back;
+    ASSERT_TRUE(store.loadCoreResult("gzip", 0x2, back));
+    EXPECT_EQ(serializeCoreResult(back),
+              serializeCoreResult(syntheticResult(2)));
+    EXPECT_FALSE(store.loadCoreResult("gzip", 0x3, back));
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.list().size(), 3u);
+}
+
+TEST_F(StoreTest, SecondInstanceReadsFirstInstancesEntries)
+{
+    const CoreResult r = syntheticResult(9);
+    {
+        ArtifactStore writer(options());
+        ASSERT_TRUE(writer.storeCoreResult("crafty", 0xBEEF, r));
+    }
+    ArtifactStore reader(options());
+    CoreResult back;
+    ASSERT_TRUE(reader.loadCoreResult("crafty", 0xBEEF, back));
+    EXPECT_EQ(serializeCoreResult(back), serializeCoreResult(r));
+}
+
+TEST_F(StoreTest, BitFlippedEntryIsQuarantinedNotServed)
+{
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x77, syntheticResult(4)));
+    const fs::path entry = onlyEntry();
+    flipByte(entry, static_cast<std::streamoff>(
+                        fs::file_size(entry) / 2));
+
+    CoreResult back;
+    EXPECT_FALSE(store.loadCoreResult("gzip", 0x77, back));
+    const StoreStats s = store.stats();
+    EXPECT_EQ(s.corrupt, 1u);
+    EXPECT_EQ(s.misses, 1u);
+
+    // The bad file was quarantined, not left to fail again.
+    EXPECT_FALSE(fs::exists(entry));
+    EXPECT_TRUE(fs::exists(entry.string() + ".bad"));
+}
+
+TEST_F(StoreTest, TruncatedEntryIsQuarantinedNotServed)
+{
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.storeCoreResult("mcf", 0x99, syntheticResult(5)));
+    const fs::path entry = onlyEntry();
+    fs::resize_file(entry, fs::file_size(entry) / 3);
+
+    CoreResult back;
+    EXPECT_FALSE(store.loadCoreResult("mcf", 0x99, back));
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_TRUE(fs::exists(entry.string() + ".bad"));
+}
+
+TEST_F(StoreTest, SchemaVersionMismatchRejected)
+{
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x11, syntheticResult(6)));
+    // Header layout: magic(4) format(4) container(4) schema(4).
+    flipByte(onlyEntry(), 12);
+
+    CoreResult back;
+    EXPECT_FALSE(store.loadCoreResult("gzip", 0x11, back));
+    EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST_F(StoreTest, KeyMismatchRejected)
+{
+    // A structurally valid artifact sitting under the wrong file name
+    // (embedded key != lookup key) must not be served.
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x42, syntheticResult(7)));
+    const fs::path entry42 = onlyEntry();
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x43, syntheticResult(8)));
+    fs::path entry43;
+    for (const auto &de : fs::directory_iterator(dir_))
+        if (de.path().extension() == ".cr" && de.path() != entry42)
+            entry43 = de.path();
+    ASSERT_FALSE(entry43.empty());
+    fs::copy_file(entry42, entry43,
+                  fs::copy_options::overwrite_existing);
+
+    CoreResult back;
+    EXPECT_FALSE(store.loadCoreResult("gzip", 0x43, back));
+    EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST_F(StoreTest, LruCapEvictsOldestEntries)
+{
+    // Measure one entry's size, then cap the store at ~2.5 entries.
+    std::uint64_t entry_bytes = 0;
+    {
+        ArtifactStore probe(options());
+        ASSERT_TRUE(
+            probe.storeCoreResult("probe", 0x0, syntheticResult(0)));
+        entry_bytes = fs::file_size(onlyEntry());
+        fs::remove(onlyEntry());
+    }
+    ASSERT_GT(entry_bytes, 0u);
+
+    ArtifactStore store(options(entry_bytes * 5 / 2));
+    ASSERT_TRUE(store.storeCoreResult("a", 0x1, syntheticResult(1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    ASSERT_TRUE(store.storeCoreResult("b", 0x2, syntheticResult(2)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    ASSERT_TRUE(store.storeCoreResult("c", 0x3, syntheticResult(3)));
+
+    EXPECT_GE(store.stats().evictions, 1u);
+    CoreResult back;
+    EXPECT_FALSE(store.loadCoreResult("a", 0x1, back))
+        << "oldest entry should have been evicted";
+    EXPECT_TRUE(store.loadCoreResult("c", 0x3, back))
+        << "newest entry must survive the sweep";
+}
+
+TEST_F(StoreTest, VerifyQuarantinesAndGcRemoves)
+{
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.storeCoreResult("a", 0x1, syntheticResult(1)));
+    ASSERT_TRUE(store.storeCoreResult("b", 0x2, syntheticResult(2)));
+
+    // Corrupt one of the two entries.
+    fs::path victim;
+    for (const auto &de : fs::directory_iterator(dir_))
+        if (de.path().extension() == ".cr") {
+            victim = de.path();
+            break;
+        }
+    ASSERT_FALSE(victim.empty());
+    flipByte(victim, static_cast<std::streamoff>(
+                         fs::file_size(victim) - 5));
+
+    EXPECT_EQ(store.verify(), 1);
+    EXPECT_TRUE(fs::exists(victim.string() + ".bad"));
+    // Quarantined leftovers keep counting as invalid until collected.
+    EXPECT_EQ(store.verify(), 1);
+
+    // gc with a generous cap still clears quarantined files...
+    EXPECT_GE(store.gc(1ULL << 30), 1);
+    EXPECT_FALSE(fs::exists(victim.string() + ".bad"));
+    EXPECT_EQ(store.verify(), 0);
+    // ...and gc(0) empties the store.
+    store.gc(0);
+    EXPECT_TRUE(store.list().empty());
+}
+
+// ---------------------------------------------------------------------
+// System integration: the cold/warm contract.
+// ---------------------------------------------------------------------
+
+TEST_F(StoreTest, WarmSystemServesEveryCoreFromDisk)
+{
+    const char *benchmarks[] = {"gzip", "mcf"};
+    std::vector<std::vector<std::uint8_t>> cold_bytes;
+
+    {
+        System cold(simOptions());
+        ASSERT_TRUE(cold.storeEnabled());
+        const CoreConfig cfg =
+            makeConfig(ConfigKind::TH, cold.circuits());
+        for (const char *b : benchmarks)
+            cold_bytes.push_back(
+                serializeCoreResult(cold.runCore(b, cfg)));
+        const StoreStats s = cold.storeStats();
+        EXPECT_EQ(s.misses, 2u);
+        EXPECT_EQ(s.stores, 2u);
+        EXPECT_EQ(s.hits, 0u);
+    }
+
+    // A fresh process (fresh System, empty memory cache) must serve
+    // everything from disk, bit-identically.
+    System warm(simOptions());
+    const CoreConfig cfg = makeConfig(ConfigKind::TH, warm.circuits());
+    for (std::size_t i = 0; i < 2; ++i) {
+        const CoreResult r = warm.runCore(benchmarks[i], cfg);
+        EXPECT_EQ(serializeCoreResult(r), cold_bytes[i])
+            << benchmarks[i] << " diverged across the store";
+    }
+    const StoreStats s = warm.storeStats();
+    EXPECT_EQ(s.hits, 2u) << "warm run should not simulate";
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.stores, 0u);
+}
+
+TEST_F(StoreTest, CorruptEntryRecomputedTransparently)
+{
+    SimOptions opts = simOptions();
+    std::vector<std::uint8_t> want;
+    {
+        System sys(opts);
+        const CoreConfig cfg =
+            makeConfig(ConfigKind::Base, sys.circuits());
+        want = serializeCoreResult(sys.runCore("gzip", cfg));
+    }
+    flipByte(onlyEntry(), 64);
+
+    System sys(opts);
+    const CoreConfig cfg = makeConfig(ConfigKind::Base, sys.circuits());
+    const CoreResult r = sys.runCore("gzip", cfg); // Must not crash.
+    EXPECT_EQ(serializeCoreResult(r), want)
+        << "recomputed result must match the original simulation";
+    const StoreStats s = sys.storeStats();
+    EXPECT_EQ(s.corrupt, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.stores, 1u) << "recomputed result is re-persisted";
+
+    // And a third run hits the freshly rewritten entry.
+    System again(opts);
+    const CoreResult r2 =
+        again.runCore("gzip", makeConfig(ConfigKind::Base,
+                                         again.circuits()));
+    EXPECT_EQ(serializeCoreResult(r2), want);
+    EXPECT_EQ(again.storeStats().hits, 1u);
+}
+
+TEST_F(StoreTest, StoreDisabledWithoutDirectory)
+{
+    SimOptions opts;
+    opts.instructions = 5000;
+    opts.warmupInstructions = 0;
+    opts.storeDir.clear();
+    // Shield the test from an inherited TH_STORE_DIR.
+    ::unsetenv("TH_STORE_DIR");
+    System sys(opts);
+    EXPECT_FALSE(sys.storeEnabled());
+    const CoreConfig cfg = makeConfig(ConfigKind::Base, sys.circuits());
+    const CoreResult r = sys.runCore("gzip", cfg);
+    EXPECT_GT(r.perf.committedInsts.value(), 0u);
+    EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+} // namespace
+} // namespace th

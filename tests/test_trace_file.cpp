@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/serialize.h"
+#include "io/trace_file.h"
+#include "sim/system.h"
+#include "trace/suites.h"
+
+namespace th {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = fs::path(::testing::TempDir()) /
+               ("thtrace-" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                "-" + ::testing::UnitTest::GetInstance()
+                          ->current_test_info()
+                          ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    std::string path(const char *name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(TraceFileTest, RecordAndInfo)
+{
+    const BenchmarkProfile &profile = benchmarkByName("gzip");
+    SyntheticTrace trace(profile);
+    const std::string file = path("gzip.thtrace");
+    std::string err;
+    ASSERT_TRUE(recordTrace(file, trace, 20000, profile.name,
+                            profile.suite, profile.seed, &err))
+        << err;
+
+    TraceFileInfo info;
+    ASSERT_TRUE(readTraceInfo(file, info, &err)) << err;
+    EXPECT_EQ(info.benchmark, "gzip");
+    EXPECT_EQ(info.suite, profile.suite);
+    EXPECT_EQ(info.seed, profile.seed);
+    EXPECT_EQ(info.numRecords, 20000u);
+    EXPECT_GT(info.numPrefillLines, 0u);
+    EXPECT_EQ(info.schemaVersion, kTraceSchemaVersion);
+}
+
+TEST_F(TraceFileTest, ReplayStreamsTheRecordedRecords)
+{
+    const BenchmarkProfile &profile = benchmarkByName("susan");
+    const std::string file = path("susan.thtrace");
+    std::string err;
+    {
+        SyntheticTrace trace(profile);
+        ASSERT_TRUE(recordTrace(file, trace, 5000, profile.name,
+                                profile.suite, profile.seed, &err))
+            << err;
+    }
+
+    // An independent generator replays the identical dynamic stream.
+    SyntheticTrace fresh(profile);
+    TraceFileReplay replay;
+    ASSERT_TRUE(replay.open(file, &err)) << err;
+
+    TraceRecord want, got;
+    for (int i = 0; i < 5000; ++i) {
+        ASSERT_TRUE(fresh.next(want));
+        ASSERT_TRUE(replay.next(got)) << "replay ended early at " << i;
+        ASSERT_EQ(got.pc, want.pc) << "record " << i;
+        ASSERT_EQ(got.op, want.op) << "record " << i;
+        ASSERT_EQ(got.resultValue, want.resultValue) << "record " << i;
+        ASSERT_EQ(got.effAddr, want.effAddr) << "record " << i;
+        ASSERT_EQ(got.taken, want.taken) << "record " << i;
+        ASSERT_EQ(got.target, want.target) << "record " << i;
+    }
+    EXPECT_FALSE(replay.next(got)) << "replay should end after 5000";
+
+    // reset() rewinds to the first record.
+    replay.reset();
+    ASSERT_TRUE(replay.next(got));
+    SyntheticTrace first(profile);
+    ASSERT_TRUE(first.next(want));
+    EXPECT_EQ(got.pc, want.pc);
+
+    // Prefill lines survive the round trip.
+    std::vector<PrefillLine> live_lines, replay_lines;
+    SyntheticTrace(profile).prefillLines(live_lines);
+    replay.prefillLines(replay_lines);
+    ASSERT_EQ(replay_lines.size(), live_lines.size());
+    for (std::size_t i = 0; i < live_lines.size(); ++i) {
+        EXPECT_EQ(replay_lines[i].addr, live_lines[i].addr);
+        EXPECT_EQ(replay_lines[i].intoL1, live_lines[i].intoL1);
+    }
+}
+
+// The round-trip determinism contract: simulating a replayed .thtrace
+// produces a CoreResult bit-identical to simulating the live
+// generator with the same seed.
+TEST_F(TraceFileTest, ReplayedRunIsBitIdenticalToLiveRun)
+{
+    SimOptions opts;
+    opts.instructions = 20000;
+    opts.warmupInstructions = 10000;
+    System sys(opts);
+
+    const BenchmarkProfile &profile = benchmarkByName("crafty");
+    const std::string file = path("crafty.thtrace");
+    std::string err;
+    {
+        SyntheticTrace trace(profile);
+        // The core fetches ahead of commit, so record past the window.
+        ASSERT_TRUE(recordTrace(
+            file, trace,
+            opts.instructions + opts.warmupInstructions + 8192,
+            profile.name, profile.suite, profile.seed, &err))
+            << err;
+    }
+
+    const CoreConfig cfg = makeConfig(ConfigKind::ThreeD, sys.circuits());
+    const CoreResult live = sys.runCore("crafty", cfg);
+
+    TraceFileReplay replay;
+    ASSERT_TRUE(replay.open(file, &err)) << err;
+    const CoreResult replayed = sys.runTrace(replay, cfg);
+
+    EXPECT_EQ(serializeCoreResult(replayed), serializeCoreResult(live))
+        << "replayed CoreResult diverged from the live generator";
+}
+
+TEST_F(TraceFileTest, ShortTraceEndsRunGracefully)
+{
+    SimOptions opts;
+    opts.instructions = 20000;
+    opts.warmupInstructions = 0;
+    System sys(opts);
+
+    const BenchmarkProfile &profile = benchmarkByName("gzip");
+    const std::string file = path("short.thtrace");
+    std::string err;
+    {
+        SyntheticTrace trace(profile);
+        ASSERT_TRUE(recordTrace(file, trace, 3000, profile.name,
+                                profile.suite, profile.seed, &err));
+    }
+    TraceFileReplay replay;
+    ASSERT_TRUE(replay.open(file, &err)) << err;
+    const CoreConfig cfg = makeConfig(ConfigKind::Base, sys.circuits());
+    const CoreResult r = sys.runTrace(replay, cfg);
+    EXPECT_GT(r.perf.committedInsts.value(), 0u);
+    EXPECT_LE(r.perf.committedInsts.value(), 3000u);
+}
+
+TEST_F(TraceFileTest, BitFlipDetectedOnOpen)
+{
+    const BenchmarkProfile &profile = benchmarkByName("gzip");
+    const std::string file = path("flip.thtrace");
+    std::string err;
+    {
+        SyntheticTrace trace(profile);
+        ASSERT_TRUE(recordTrace(file, trace, 2000, profile.name,
+                                profile.suite, profile.seed, &err));
+    }
+    // Flip one bit deep inside a RECS payload.
+    {
+        std::fstream f(file, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        f.seekp(500);
+        char c = 0;
+        f.seekg(500);
+        f.get(c);
+        f.seekp(500);
+        f.put(static_cast<char>(c ^ 0x10));
+    }
+    TraceFileReplay replay;
+    EXPECT_FALSE(replay.open(file, &err));
+    EXPECT_FALSE(err.empty());
+
+    TraceFileInfo info;
+    EXPECT_FALSE(readTraceInfo(file, info, &err));
+}
+
+TEST_F(TraceFileTest, TruncationDetectedOnOpen)
+{
+    const BenchmarkProfile &profile = benchmarkByName("gzip");
+    const std::string file = path("trunc.thtrace");
+    std::string err;
+    {
+        SyntheticTrace trace(profile);
+        ASSERT_TRUE(recordTrace(file, trace, 2000, profile.name,
+                                profile.suite, profile.seed, &err));
+    }
+    fs::resize_file(file, fs::file_size(file) / 2);
+    TraceFileReplay replay;
+    EXPECT_FALSE(replay.open(file, &err));
+}
+
+TEST_F(TraceFileTest, MissingFileFailsCleanly)
+{
+    TraceFileReplay replay;
+    std::string err;
+    EXPECT_FALSE(replay.open(path("nonexistent.thtrace"), &err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace th

@@ -1,0 +1,457 @@
+/**
+ * @file
+ * th_run — the Thermal Herding experiment driver. One binary for
+ * running the paper's figure experiments against the persistent
+ * artifact store, recording and replaying .thtrace files, and
+ * maintaining the store.
+ *
+ * Usage:
+ *   th_run fig8|fig9|fig10|width|sweep [--benchmarks a,b,c]
+ *          [--insts N] [--warmup N] [--store DIR]
+ *   th_run trace record <benchmark> <out.thtrace> [--records N]
+ *   th_run trace info <file.thtrace>
+ *   th_run trace run <file.thtrace> [--config NAME] [--insts N]
+ *          [--warmup N]
+ *   th_run store ls|gc|verify [--dir DIR] [--max-bytes N]
+ *
+ * The experiment commands honour TH_STORE_DIR (or --store): a cold run
+ * simulates and persists every (benchmark, config) CoreResult; a warm
+ * re-run loads them all from disk and prints matching hit counters.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "io/trace_file.h"
+#include "sim/experiments.h"
+#include "store/artifact_store.h"
+#include "trace/suites.h"
+
+using namespace th;
+
+namespace {
+
+/** Tiny flag parser: positional args + --name value pairs. */
+struct Args
+{
+    std::vector<std::string> pos;
+
+    std::string benchmarks;
+    std::string config = "Base";
+    std::string dir;
+    std::uint64_t insts = 200000;
+    std::uint64_t warmup = 100000;
+    std::uint64_t records = 0;
+    std::uint64_t maxBytes = 256ULL << 20;
+};
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "th_run: %s\n\n", msg);
+    std::fprintf(stderr,
+        "usage:\n"
+        "  th_run fig8|fig9|fig10|width|sweep [--benchmarks a,b,c]\n"
+        "         [--insts N] [--warmup N] [--store DIR]\n"
+        "  th_run trace record <benchmark> <out.thtrace> [--records N]\n"
+        "  th_run trace info <file.thtrace>\n"
+        "  th_run trace run <file.thtrace> [--config NAME] [--insts N]\n"
+        "         [--warmup N]\n"
+        "  th_run store ls|gc|verify [--dir DIR] [--max-bytes N]\n"
+        "\n"
+        "The experiment commands persist CoreResults to --store /\n"
+        "TH_STORE_DIR when set; a warm re-run then skips simulation.\n");
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *flag)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        usage(strformat("%s expects a number, got '%s'", flag,
+                        s.c_str()).c_str());
+    return v;
+}
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usage(strformat("%s requires a value", flag).c_str());
+            return argv[++i];
+        };
+        if (a == "--benchmarks")
+            args.benchmarks = value("--benchmarks");
+        else if (a == "--config")
+            args.config = value("--config");
+        else if (a == "--store" || a == "--dir")
+            args.dir = value(a.c_str());
+        else if (a == "--insts")
+            args.insts = parseU64(value("--insts"), "--insts");
+        else if (a == "--warmup")
+            args.warmup = parseU64(value("--warmup"), "--warmup");
+        else if (a == "--records")
+            args.records = parseU64(value("--records"), "--records");
+        else if (a == "--max-bytes")
+            args.maxBytes = parseU64(value("--max-bytes"), "--max-bytes");
+        else if (a == "--help" || a == "-h")
+            usage();
+        else if (!a.empty() && a[0] == '-')
+            usage(strformat("unknown flag '%s'", a.c_str()).c_str());
+        else
+            args.pos.push_back(a);
+    }
+    return args;
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= csv.size()) {
+        const std::size_t comma = csv.find(',', start);
+        const std::string item = csv.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        if (!item.empty())
+            out.push_back(item);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+ConfigKind
+configByName(const std::string &name)
+{
+    const ConfigKind kinds[] = {ConfigKind::Base,   ConfigKind::TH,
+                                ConfigKind::Pipe,   ConfigKind::Fast,
+                                ConfigKind::ThreeD, ConfigKind::ThreeDNoTH};
+    for (ConfigKind k : kinds)
+        if (name == configName(k))
+            return k;
+    usage(strformat("unknown config '%s' (Base, TH, Pipe, Fast, 3D, "
+                    "3D-noTH)", name.c_str()).c_str());
+}
+
+System
+makeSystem(const Args &args)
+{
+    SimOptions opts;
+    opts.instructions = args.insts;
+    opts.warmupInstructions = args.warmup;
+    opts.storeDir = args.dir; // Empty falls back to TH_STORE_DIR.
+    return System(opts);
+}
+
+void
+printCounters(const System &sys)
+{
+    const System::CacheStats cache = sys.coreCacheStats();
+    std::printf("\ncore cache: %llu hits, %llu misses\n",
+                (unsigned long long)cache.hits,
+                (unsigned long long)cache.misses);
+    if (sys.storeEnabled()) {
+        const StoreStats s = sys.storeStats();
+        std::printf("store (%s): %llu hits, %llu misses, %llu stores, "
+                    "%llu evictions, %llu corrupt\n",
+                    sys.storeDir().c_str(), (unsigned long long)s.hits,
+                    (unsigned long long)s.misses,
+                    (unsigned long long)s.stores,
+                    (unsigned long long)s.evictions,
+                    (unsigned long long)s.corrupt);
+    } else {
+        std::printf("store: disabled (set TH_STORE_DIR or --store)\n");
+    }
+}
+
+// -------------------------------------------------------------------
+// Experiment commands.
+// -------------------------------------------------------------------
+
+void
+printFig8(const Fig8Data &data)
+{
+    Table t({"Class", "Base", "TH", "Pipe", "Fast", "3D", "Speedup"});
+    for (const auto &g : data.groups)
+        t.addRow({g.suite, fmtDouble(g.ipcGeomean[0], 3),
+                  fmtDouble(g.ipcGeomean[1], 3),
+                  fmtDouble(g.ipcGeomean[2], 3),
+                  fmtDouble(g.ipcGeomean[3], 3),
+                  fmtDouble(g.ipcGeomean[4], 3), fmtPercent(g.speedup)});
+    t.print(std::cout);
+    std::printf("mean-of-means speedup: %s (min %s %s, max %s %s)\n",
+                fmtPercent(data.speedupMeanOfMeans).c_str(),
+                data.minBenchmark.c_str(),
+                fmtPercent(data.minSpeedup).c_str(),
+                data.maxBenchmark.c_str(),
+                fmtPercent(data.maxSpeedup).c_str());
+}
+
+void
+printFig9(const Fig9Data &data)
+{
+    Table t({"Config", "Total W", "Clock W", "Leak W", "Dynamic W"});
+    for (const PowerBreakdown *b :
+         {&data.planar, &data.noTh3d, &data.th3d})
+        t.addRow({b->config, fmtDouble(b->totalW, 1),
+                  fmtDouble(b->clockW, 1), fmtDouble(b->leakW, 1),
+                  fmtDouble(b->dynamicW, 1)});
+    t.print(std::cout);
+    std::printf("power saving: min %s %s, max %s %s\n",
+                data.minSaving.name.c_str(),
+                fmtPercent(data.minSaving.saving).c_str(),
+                data.maxSaving.name.c_str(),
+                fmtPercent(data.maxSaving.saving).c_str());
+}
+
+void
+printFig10(const Fig10Data &data)
+{
+    Table t({"Case", "App", "Total W", "Peak K", "Hot block"});
+    auto row = [&](const char *label, const ThermalCase &tc) {
+        t.addRow({label, tc.app, fmtDouble(tc.totalW, 1),
+                  fmtDouble(tc.report.peakK, 1),
+                  tc.report.hottestBlock});
+    };
+    row("worst planar", data.worstPlanar);
+    row("worst 3D-noTH", data.worstNoTh3d);
+    row("worst 3D-TH", data.worstTh3d);
+    row("iso-power", data.isoPower);
+    t.print(std::cout);
+    std::printf("ROB delta (3D-TH vs planar, %s): %s K\n",
+                data.sameApp.c_str(),
+                fmtDouble(data.robDeltaK, 2).c_str());
+}
+
+void
+printWidth(const WidthStudyData &data)
+{
+    std::printf("width prediction overall accuracy: %s over %zu "
+                "benchmarks\n", fmtPercent(data.overallAccuracy).c_str(),
+                data.rows.size());
+}
+
+int
+cmdExperiment(const std::string &what, const Args &args)
+{
+    System sys = makeSystem(args);
+    const std::vector<std::string> benchmarks =
+        splitList(args.benchmarks);
+    for (const std::string &b : benchmarks)
+        if (!hasBenchmark(b))
+            usage(strformat("unknown benchmark '%s'", b.c_str()).c_str());
+
+    if (what == "fig8" || what == "sweep") {
+        std::printf("=== Figure 8: performance ===\n");
+        printFig8(runFigure8(sys, benchmarks));
+    }
+    if (what == "fig9" || what == "sweep") {
+        std::printf("=== Figure 9: power ===\n");
+        printFig9(runFigure9(sys, benchmarks));
+    }
+    if (what == "fig10" || what == "sweep") {
+        std::printf("=== Figure 10: thermal ===\n");
+        printFig10(runFigure10(sys, benchmarks));
+    }
+    if (what == "width") {
+        std::printf("=== Width prediction study ===\n");
+        printWidth(runWidthStudy(sys, benchmarks));
+    }
+    printCounters(sys);
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// Trace commands.
+// -------------------------------------------------------------------
+
+int
+cmdTraceRecord(const Args &args)
+{
+    if (args.pos.size() != 4)
+        usage("trace record needs <benchmark> <out.thtrace>");
+    const std::string &benchmark = args.pos[2];
+    const std::string &path = args.pos[3];
+    if (!hasBenchmark(benchmark))
+        usage(strformat("unknown benchmark '%s'", benchmark.c_str())
+                  .c_str());
+    const BenchmarkProfile &profile = benchmarkByName(benchmark);
+
+    // Record enough of the stream to drive a full simulation window:
+    // the core fetches ahead of commit, so pad by the maximum possible
+    // in-flight population plus redirect slack.
+    const std::uint64_t records = args.records
+        ? args.records
+        : args.insts + args.warmup + 8192;
+
+    SyntheticTrace trace(profile);
+    std::string err;
+    if (!recordTrace(path, trace, records, profile.name, profile.suite,
+                     profile.seed, &err)) {
+        std::fprintf(stderr, "th_run: %s\n", err.c_str());
+        return 1;
+    }
+    TraceFileInfo info;
+    if (!readTraceInfo(path, info, &err)) {
+        std::fprintf(stderr, "th_run: wrote but cannot re-read: %s\n",
+                     err.c_str());
+        return 1;
+    }
+    std::printf("recorded %llu records of %s (seed 0x%llx) to %s\n",
+                (unsigned long long)info.numRecords, benchmark.c_str(),
+                (unsigned long long)info.seed, path.c_str());
+    return 0;
+}
+
+int
+cmdTraceInfo(const Args &args)
+{
+    if (args.pos.size() != 3)
+        usage("trace info needs <file.thtrace>");
+    TraceFileInfo info;
+    std::string err;
+    if (!readTraceInfo(args.pos[2], info, &err)) {
+        std::fprintf(stderr, "th_run: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("benchmark: %s\nsuite:     %s\nseed:      0x%llx\n"
+                "records:   %llu\nprefill:   %llu lines\nschema:    "
+                "v%u\n",
+                info.benchmark.c_str(), info.suite.c_str(),
+                (unsigned long long)info.seed,
+                (unsigned long long)info.numRecords,
+                (unsigned long long)info.numPrefillLines,
+                info.schemaVersion);
+    return 0;
+}
+
+int
+cmdTraceRun(const Args &args)
+{
+    if (args.pos.size() != 3)
+        usage("trace run needs <file.thtrace>");
+    TraceFileReplay replay;
+    std::string err;
+    if (!replay.open(args.pos[2], &err)) {
+        std::fprintf(stderr, "th_run: %s\n", err.c_str());
+        return 1;
+    }
+    System sys = makeSystem(args);
+    const CoreConfig cfg =
+        makeConfig(configByName(args.config), sys.circuits());
+    const CoreResult r = sys.runTrace(replay, cfg);
+    std::printf("%s on %s: IPC %s, IPns %s, %llu insts in %llu "
+                "cycles\n", replay.info().benchmark.c_str(),
+                args.config.c_str(), fmtDouble(r.perf.ipc(), 3).c_str(),
+                fmtDouble(r.ipns(), 2).c_str(),
+                (unsigned long long)r.perf.committedInsts.value(),
+                (unsigned long long)r.perf.cycles.value());
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// Store commands.
+// -------------------------------------------------------------------
+
+std::string
+storeDirOf(const Args &args)
+{
+    if (!args.dir.empty())
+        return args.dir;
+    const char *env = std::getenv("TH_STORE_DIR");
+    if (env && *env)
+        return env;
+    usage("store commands need --dir or TH_STORE_DIR");
+}
+
+int
+cmdStore(const Args &args)
+{
+    if (args.pos.size() < 2)
+        usage("store needs a subcommand (ls, gc, verify)");
+    const std::string &what = args.pos[1];
+    StoreOptions opts;
+    opts.dir = storeDirOf(args);
+    opts.maxBytes = args.maxBytes;
+    ArtifactStore store(opts);
+
+    if (what == "ls") {
+        Table t({"Benchmark", "Config hash", "Bytes", "State"});
+        std::uint64_t total = 0;
+        for (const auto &e : store.list()) {
+            t.addRow({e.benchmark.empty() ? "?" : e.benchmark,
+                      e.quarantined
+                          ? "-"
+                          : strformat("%016llx",
+                                      (unsigned long long)e.cfgHash),
+                      std::to_string(e.bytes),
+                      e.quarantined ? "quarantined" : "ok"});
+            total += e.bytes;
+        }
+        t.print(std::cout);
+        std::printf("%zu entries, %llu bytes in %s\n", store.list().size(),
+                    (unsigned long long)total, opts.dir.c_str());
+        return 0;
+    }
+    if (what == "gc") {
+        const int removed = store.gc(args.maxBytes);
+        std::printf("gc: removed %d files (cap %llu bytes)\n", removed,
+                    (unsigned long long)args.maxBytes);
+        return 0;
+    }
+    if (what == "verify") {
+        const int bad = store.verify();
+        std::printf("verify: %d invalid entr%s\n", bad,
+                    bad == 1 ? "y" : "ies");
+        return bad == 0 ? 0 : 1;
+    }
+    usage(strformat("unknown store subcommand '%s'", what.c_str())
+              .c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parseArgs(argc, argv);
+    if (args.pos.empty())
+        usage();
+    const std::string &cmd = args.pos[0];
+
+    if (cmd == "fig8" || cmd == "fig9" || cmd == "fig10" ||
+        cmd == "width" || cmd == "sweep")
+        return cmdExperiment(cmd, args);
+    if (cmd == "trace") {
+        if (args.pos.size() < 2)
+            usage("trace needs a subcommand (record, info, run)");
+        const std::string &what = args.pos[1];
+        if (what == "record")
+            return cmdTraceRecord(args);
+        if (what == "info")
+            return cmdTraceInfo(args);
+        if (what == "run")
+            return cmdTraceRun(args);
+        usage(strformat("unknown trace subcommand '%s'",
+                        what.c_str()).c_str());
+    }
+    if (cmd == "store")
+        return cmdStore(args);
+    usage(strformat("unknown command '%s'", cmd.c_str()).c_str());
+}
