@@ -1,8 +1,11 @@
 #include "common/threadpool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <string>
+
+#include "common/log.h"
 
 namespace th {
 
@@ -141,8 +144,16 @@ ThreadPool::parseThreads(const char *text, int fallback)
         return fallback;
     char *end = nullptr;
     const long v = std::strtol(text, &end, 10);
-    if (end == text || *end != '\0' || v < 1 || v > 1024)
+    if (end == text || *end != '\0' || v < 1 || v > 1024) {
+        // Warn (once: repeat lookups would spam) instead of silently
+        // ignoring the setting — a typo'd TH_THREADS used to leave the
+        // pool at hardware concurrency with no hint why.
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true))
+            warn("ignoring invalid TH_THREADS='%s' (want 1..1024); "
+                 "using %d threads", text, fallback);
         return fallback;
+    }
     return static_cast<int>(v);
 }
 

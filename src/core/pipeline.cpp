@@ -39,9 +39,8 @@ Core::Core(const CoreConfig &cfg)
 
 Core::~Core() = default;
 
-CoreResult
-Core::run(TraceSource &trace, std::uint64_t max_insts,
-          std::uint64_t warmup_insts)
+void
+Core::attach(TraceSource &trace, std::uint64_t warmup_insts)
 {
     // Steady-state prefill (stands in for the long warmup windows
     // SimPoint-selected traces get in the paper's methodology).
@@ -50,45 +49,60 @@ Core::run(TraceSource &trace, std::uint64_t max_insts,
     for (const PrefillLine &line : prefill)
         mem_.prefill(line.addr, line.intoL1);
 
-    const std::uint64_t total = max_insts + warmup_insts;
-    const Cycle limit = 500 * total + 100000;
-    std::uint64_t last_commit_cycle = 0;
-    Cycle measure_start = 0;
-    bool warm = warmup_insts == 0;
+    trace_ = &trace;
+    warmupInsts_ = warmup_insts;
+    warm_ = warmup_insts == 0;
+}
 
-    while (committed_ < total && cycle_ < limit) {
-        if (traceEnded_ && rob_.empty() && ifq_.empty() &&
-            decodeQ_.empty())
-            break;
-        ++cycle_;
-        const std::uint64_t before = committed_;
+bool
+Core::stepCycle()
+{
+    if (traceEnded_ && rob_.empty() && ifq_.empty() && decodeQ_.empty())
+        return false;
+    ++cycle_;
+    const std::uint64_t before = committed_;
 
-        commitStage();
-        completeStage();
-        issueStage();
-        dispatchStage();
-        decodeStage();
-        fetchStage(trace);
+    commitStage();
+    completeStage();
+    issueStage();
+    dispatchStage();
+    decodeStage();
+    fetchStage(*trace_);
 
-        if (!warm && committed_ >= warmup_insts) {
-            // Discard warm-up statistics; keep all machine state.
-            warm = true;
-            measure_start = cycle_;
-            perf_ = PerfStats{};
-            act_ = ActivityStats{};
-        }
-
-        if (committed_ != before) {
-            last_commit_cycle = cycle_;
-        } else if (cycle_ - last_commit_cycle > 200000) {
-            panic("core deadlock: no commit for 200k cycles "
-                  "(cycle %llu, committed %llu)",
-                  static_cast<unsigned long long>(cycle_),
-                  static_cast<unsigned long long>(committed_));
-        }
+    if (!warm_ && committed_ >= warmupInsts_) {
+        // Discard warm-up statistics; keep all machine state.
+        warm_ = true;
+        measureStart_ = cycle_;
+        perf_ = PerfStats{};
+        act_ = ActivityStats{};
     }
 
-    perf_.cycles.set(cycle_ - measure_start);
+    if (committed_ != before) {
+        lastCommitCycle_ = cycle_;
+    } else if (cycle_ - lastCommitCycle_ > 200000) {
+        panic("core deadlock: no commit for 200k cycles "
+              "(cycle %llu, committed %llu)",
+              static_cast<unsigned long long>(cycle_),
+              static_cast<unsigned long long>(committed_));
+    }
+    return true;
+}
+
+CoreResult
+Core::run(TraceSource &trace, std::uint64_t max_insts,
+          std::uint64_t warmup_insts)
+{
+    attach(trace, warmup_insts);
+
+    const std::uint64_t total = max_insts + warmup_insts;
+    const Cycle limit = 500 * total + 100000;
+
+    while (committed_ < total && cycle_ < limit) {
+        if (!stepCycle())
+            break;
+    }
+
+    perf_.cycles.set(cycle_ - measureStart_);
     perf_.committedInsts.set(
         committed_ > warmup_insts ? committed_ - warmup_insts : 0);
 
@@ -99,6 +113,75 @@ Core::run(TraceSource &trace, std::uint64_t max_insts,
     return r;
 }
 
+void
+Core::beginRun(TraceSource &trace, std::uint64_t warmup_insts)
+{
+    attach(trace, warmup_insts);
+
+    // Run the warm-up window eagerly so the first runFor() interval
+    // starts measuring from a warmed machine. The limit mirrors run()
+    // (the deadlock watchdog inside stepCycle fires long before it on
+    // genuinely stuck pipelines).
+    const Cycle limit = cycle_ + 500 * warmup_insts + 100000;
+    while (!warm_ && cycle_ < limit) {
+        if (!stepCycle())
+            break;
+    }
+    if (!warm_) {
+        // Trace shorter than the warm-up window: measure what's left.
+        warm_ = true;
+        measureStart_ = cycle_;
+        perf_ = PerfStats{};
+        act_ = ActivityStats{};
+    }
+}
+
+CoreResult
+Core::runFor(std::uint64_t cycles)
+{
+    if (trace_ == nullptr)
+        panic("runFor() before beginRun()");
+
+    // Each interval measures from a clean slate; the caller
+    // accumulates deltas across intervals as needed.
+    perf_ = PerfStats{};
+    act_ = ActivityStats{};
+    const Cycle start = cycle_;
+    const std::uint64_t commit_base = committed_;
+    measureStart_ = cycle_;
+
+    const Cycle end = cycle_ + cycles;
+    while (cycle_ < end) {
+        if (!stepCycle())
+            break;
+    }
+
+    perf_.cycles.set(cycle_ - start);
+    perf_.committedInsts.set(committed_ - commit_base);
+
+    CoreResult r;
+    r.perf = perf_;
+    r.activity = act_;
+    r.freqGhz = cfg_.freqGhz;
+    return r;
+}
+
+bool
+Core::runDone() const
+{
+    return traceEnded_ && rob_.empty() && ifq_.empty() &&
+           decodeQ_.empty();
+}
+
+void
+Core::setFetchThrottle(int on, int period)
+{
+    if (period < 1 || on < 1 || on > period)
+        panic("invalid fetch throttle %d/%d", on, period);
+    fetchOn_ = on;
+    fetchPeriod_ = period;
+}
+
 // --------------------------------------------------------------------
 // Fetch
 // --------------------------------------------------------------------
@@ -106,6 +189,13 @@ Core::run(TraceSource &trace, std::uint64_t max_insts,
 void
 Core::fetchStage(TraceSource &trace)
 {
+    // DTM fetch-throttle cadence: fetch only fetchOn_ of every
+    // fetchPeriod_ cycles (downstream stages keep draining).
+    if (fetchPeriod_ > 1 &&
+        static_cast<int>(cycle_ % static_cast<Cycle>(fetchPeriod_)) >=
+            fetchOn_)
+        return;
+
     if (waitingRedirect_ || cycle_ < fetchResumeAt_)
         return;
 

@@ -110,6 +110,36 @@ class Core
     CoreResult run(TraceSource &trace, std::uint64_t max_insts,
                    std::uint64_t warmup_insts = 0);
 
+    /**
+     * Start an incremental run for interval-stepped simulation (the
+     * DTM engine): prefills the memory hierarchy, attaches the trace,
+     * and executes the warm-up window (statistics discarded, machine
+     * state kept). Follow with runFor() calls. @p trace must outlive
+     * the stepping. Mutually exclusive with run() on the same Core.
+     */
+    void beginRun(TraceSource &trace, std::uint64_t warmup_insts = 0);
+
+    /**
+     * Advance up to @p cycles cycles (fewer only when the trace ends
+     * and the pipeline drains). Statistics are measured over this
+     * interval alone: the returned CoreResult is a per-interval delta
+     * whose activity counters feed the interval power computation.
+     */
+    CoreResult runFor(std::uint64_t cycles);
+
+    /** True once the trace ended and the pipeline fully drained. */
+    bool runDone() const;
+
+    /** Instructions committed since construction (includes warm-up). */
+    std::uint64_t totalCommitted() const { return committed_; }
+
+    /**
+     * Front-end throttling actuator for DTM: fetch is enabled for
+     * @p on cycles out of every @p period (1/1 = full speed). Takes
+     * effect on the next cycle; activity drops track the gating.
+     */
+    void setFetchThrottle(int on, int period);
+
     const CoreConfig &config() const { return cfg_; }
 
     // Accessors used by unit tests.
@@ -117,6 +147,15 @@ class Core
     const ActivityStats &activity() const { return act_; }
 
   private:
+    /** Prefill the hierarchy and attach @p trace for stepping. */
+    void attach(TraceSource &trace, std::uint64_t warmup_insts);
+    /**
+     * Execute one cycle (all six stages, warm-up stat reset, deadlock
+     * watchdog). False when the machine is drained: trace over and
+     * every queue empty. The shared loop body of run() and runFor().
+     */
+    bool stepCycle();
+
     // Pipeline stages (called in reverse order each cycle).
     void commitStage();
     void completeStage();
@@ -178,6 +217,17 @@ class Core
     Cycle cycle_ = 0;
     std::uint64_t nextSeq_ = 1;
     std::uint64_t committed_ = 0;
+
+    // Incremental-run state (attach()/stepCycle()).
+    TraceSource *trace_ = nullptr;
+    std::uint64_t warmupInsts_ = 0;
+    bool warm_ = true;          ///< Warm-up window finished.
+    Cycle measureStart_ = 0;    ///< Cycle at which stats last reset.
+    Cycle lastCommitCycle_ = 0; ///< Deadlock watchdog.
+
+    // Fetch-throttle cadence (DTM actuator); 1/1 = no gating.
+    int fetchOn_ = 1;
+    int fetchPeriod_ = 1;
 
     PerfStats perf_;
     ActivityStats act_;

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Closed-loop dynamic thermal management engine — the interval-coupled
+ * performance -> power -> transient-thermal loop (the CoMeT-style
+ * methodology) the paper's Section 5 DTM claims call for.
+ *
+ * Each control interval the engine (1) runs the core incrementally for
+ * one interval of cycles (scaled by the policy's clock duty), (2)
+ * converts the interval's activity delta into a PowerResult with the
+ * calibrated power model, (3) deposits that power onto the thermal
+ * grid — dynamic and clock power scaled by the duty cycle, leakage
+ * always on — and marches the resumable transient stepper forward by
+ * the interval's (dilated) wall time, then (4) feeds the new stack
+ * peak temperature to the DtmPolicy, which picks the next interval's
+ * actuator setting. The run starts from the steady-state field of the
+ * free-running power map, so the policy immediately sees whether the
+ * configuration's sustained operating point violates the trigger (the
+ * paper's qualitative claim: naive 3D does, herding does not).
+ */
+
+#ifndef TH_DTM_ENGINE_H
+#define TH_DTM_ENGINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/params.h"
+#include "dtm/policy.h"
+#include "floorplan/floorplan.h"
+#include "power/power_model.h"
+#include "thermal/hotspot.h"
+#include "trace/generator.h"
+
+namespace th {
+
+/** Knobs of one DTM run. */
+struct DtmOptions
+{
+    /** Control interval length in core cycles. */
+    std::uint64_t intervalCycles = 50000;
+    /** Number of control intervals simulated (after the measurement
+     *  interval that establishes the free-running operating point). */
+    int maxIntervals = 40;
+    /** Core warm-up window before the first interval (instructions). */
+    std::uint64_t warmupInstructions = 20000;
+
+    DtmPolicyKind policy = DtmPolicyKind::ClockGate;
+    DtmTriggers triggers;
+
+    /**
+     * Thermal-time acceleration. One 50K-cycle interval spans ~19 us
+     * of wall time — far below the millisecond die/spreader time
+     * constants, so an undilated run would never move the thermal
+     * state. Each interval's power map is instead held for
+     * timeDilation x the interval's wall time, standing in for the
+     * paper-scale sampling windows a full-length trace would provide.
+     */
+    double timeDilation = 400.0;
+
+    /** Thermal grid resolution (coarser than Fig. 10's default 48:
+     *  the transient loop steps the grid thousands of times). */
+    int gridN = 16;
+    /** Requested transient step; clamped to the stability bound. */
+    double maxDtS = 1e-4;
+};
+
+/** One control interval of a DTM run. */
+struct DtmIntervalSample
+{
+    double timeS = 0.0;  ///< Dilated thermal time at interval end.
+    double peakK = 0.0;  ///< Stack peak at interval end.
+    double clockDuty = 1.0;
+    int fetchOn = 1;
+    int fetchPeriod = 1;
+    std::uint64_t cycles = 0;    ///< Core cycles actually run.
+    std::uint64_t committed = 0; ///< Instructions committed.
+    double powerW = 0.0;         ///< Wall-averaged chip power.
+    bool throttled = false;
+};
+
+/** Results of one closed-loop DTM run (serialized by io/serialize.h). */
+struct DtmReport
+{
+    std::string benchmark;
+    std::string config; ///< Configuration display name.
+    std::string policy; ///< dtmPolicyName() of the active policy.
+    double triggerK = 0.0;
+    double freqGhz = 0.0;
+
+    std::vector<DtmIntervalSample> intervals;
+
+    /** Steady-state stack peak of the free-running power map. */
+    double startPeakK = 0.0;
+    /** Hottest instantaneous stack peak over the run. */
+    double peakK = 0.0;
+    double finalPeakK = 0.0;
+
+    double totalTimeS = 0.0;        ///< Dilated time simulated.
+    double timeAboveTriggerS = 0.0; ///< Dilated time above trigger.
+
+    /** Mean fraction of machine capacity removed by the actuators
+     *  (0 = never throttled, 0.75 = pinned at the deepest level). */
+    double throttleDuty = 0.0;
+    /** Throughput lost to DTM: 1 - effective IPC / free-run IPC. */
+    double perfLost = 0.0;
+
+    double ipcFree = 0.0;      ///< Unthrottled interval-0 IPC.
+    double ipcEffective = 0.0; ///< Committed / wall cycles.
+    std::uint64_t wallCycles = 0;
+    std::uint64_t committed = 0;
+};
+
+/**
+ * The interval-coupling engine. Stateless across runs: construct once
+ * per System and call run() per (benchmark, config, options) triple.
+ * The power model must already be calibrated.
+ */
+class DtmEngine
+{
+  public:
+    DtmEngine(const PowerModel &power, const HotspotModel &hotspot,
+              const Floorplan &planar_fp, const Floorplan &stacked_fp);
+
+    DtmReport run(const BenchmarkProfile &profile,
+                  const CoreConfig &cfg, const std::string &config_name,
+                  const DtmOptions &opts) const;
+
+  private:
+    const PowerModel &power_;
+    const HotspotModel &hotspot_;
+    const Floorplan &planar_;
+    const Floorplan &stacked_;
+};
+
+} // namespace th
+
+#endif // TH_DTM_ENGINE_H

@@ -1,0 +1,142 @@
+#include "dtm/policy.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace th {
+
+namespace {
+
+/**
+ * Shared ladder behaviour: one step hotter than the trigger escalates
+ * a level, one step below (trigger - hysteresis) releases a level.
+ * Single-level moves per interval keep the closed loop from slamming
+ * between extremes on the ~quasi-steady thermal response.
+ */
+class LadderPolicy : public DtmPolicy
+{
+  public:
+    LadderPolicy(const DtmTriggers &trig, int levels)
+        : trig_(trig), levels_(levels)
+    {
+    }
+
+    DtmControl decide(double peak_k) override
+    {
+        if (peak_k > trig_.triggerK)
+            level_ = std::min(level_ + 1, levels_ - 1);
+        else if (peak_k < trig_.triggerK - trig_.hysteresisK)
+            level_ = std::max(level_ - 1, 0);
+        return controlAt(level_);
+    }
+
+  protected:
+    virtual DtmControl controlAt(int level) const = 0;
+
+  private:
+    DtmTriggers trig_;
+    int levels_;
+    int level_ = 0;
+};
+
+class NonePolicy : public DtmPolicy
+{
+  public:
+    DtmPolicyKind kind() const override { return DtmPolicyKind::None; }
+    DtmControl decide(double) override { return DtmControl{}; }
+};
+
+class ClockGatePolicy : public LadderPolicy
+{
+  public:
+    explicit ClockGatePolicy(const DtmTriggers &trig)
+        : LadderPolicy(trig, 4)
+    {
+    }
+
+    DtmPolicyKind kind() const override
+    {
+        return DtmPolicyKind::ClockGate;
+    }
+
+  protected:
+    DtmControl controlAt(int level) const override
+    {
+        static constexpr double kDuty[4] = {1.0, 0.75, 0.5, 0.25};
+        DtmControl c;
+        c.clockDuty = kDuty[level];
+        return c;
+    }
+};
+
+class FetchThrottlePolicy : public LadderPolicy
+{
+  public:
+    explicit FetchThrottlePolicy(const DtmTriggers &trig)
+        : LadderPolicy(trig, 4)
+    {
+    }
+
+    DtmPolicyKind kind() const override
+    {
+        return DtmPolicyKind::FetchThrottle;
+    }
+
+  protected:
+    DtmControl controlAt(int level) const override
+    {
+        static constexpr int kOn[4] = {1, 3, 1, 1};
+        static constexpr int kPeriod[4] = {1, 4, 2, 4};
+        DtmControl c;
+        c.fetchOn = kOn[level];
+        c.fetchPeriod = kPeriod[level];
+        return c;
+    }
+};
+
+} // namespace
+
+const char *
+dtmPolicyName(DtmPolicyKind kind)
+{
+    switch (kind) {
+    case DtmPolicyKind::None:
+        return "none";
+    case DtmPolicyKind::ClockGate:
+        return "clockgate";
+    case DtmPolicyKind::FetchThrottle:
+        return "fetch";
+    }
+    return "?";
+}
+
+bool
+dtmPolicyByName(const std::string &name, DtmPolicyKind &out)
+{
+    for (DtmPolicyKind k :
+         {DtmPolicyKind::None, DtmPolicyKind::ClockGate,
+          DtmPolicyKind::FetchThrottle}) {
+        if (name == dtmPolicyName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<DtmPolicy>
+makeDtmPolicy(DtmPolicyKind kind, const DtmTriggers &trig)
+{
+    switch (kind) {
+    case DtmPolicyKind::None:
+        return std::make_unique<NonePolicy>();
+    case DtmPolicyKind::ClockGate:
+        return std::make_unique<ClockGatePolicy>(trig);
+    case DtmPolicyKind::FetchThrottle:
+        return std::make_unique<FetchThrottlePolicy>(trig);
+    }
+    panic("unknown DTM policy kind %d", static_cast<int>(kind));
+}
+
+} // namespace th

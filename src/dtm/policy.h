@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Pluggable dynamic-thermal-management policies. Each interval the DTM
+ * engine feeds the current stack peak temperature to a policy, which
+ * chooses the actuator setting for the *next* interval: a global
+ * clock-gating duty cycle (the core runs duty * interval cycles of
+ * work per interval of wall time) or a fetch-throttle cadence (the
+ * front end fetches on of every period cycles). Policies are
+ * stateful ladders with hysteresis so regulation is stable around the
+ * trigger instead of oscillating at full amplitude.
+ */
+
+#ifndef TH_DTM_POLICY_H
+#define TH_DTM_POLICY_H
+
+#include <memory>
+#include <string>
+
+namespace th {
+
+/** Available DTM mechanisms. */
+enum class DtmPolicyKind {
+    None,         ///< Free run; measurement only.
+    ClockGate,    ///< Global clock gating at a duty-cycle ladder.
+    FetchThrottle ///< Front-end fetch cadence ladder.
+};
+
+/** Display name ("none", "clockgate", "fetch"). */
+const char *dtmPolicyName(DtmPolicyKind kind);
+
+/** Parse a policy name; false (out untouched) when unknown. */
+bool dtmPolicyByName(const std::string &name, DtmPolicyKind &out);
+
+/** Actuator setting for one control interval. */
+struct DtmControl
+{
+    /** Fraction of the interval the clock runs (global gating). */
+    double clockDuty = 1.0;
+    /** Fetch cadence: fetch enabled @c fetchOn of every
+     *  @c fetchPeriod cycles. */
+    int fetchOn = 1;
+    int fetchPeriod = 1;
+
+    bool throttled() const
+    {
+        return clockDuty < 1.0 || fetchOn < fetchPeriod;
+    }
+
+    /** Fraction of full-speed operation this control permits. */
+    double dutyFraction() const
+    {
+        return clockDuty * static_cast<double>(fetchOn) /
+               static_cast<double>(fetchPeriod);
+    }
+};
+
+/** Trigger threshold shared by the throttling policies. */
+struct DtmTriggers
+{
+    /**
+     * Engage throttling when the stack peak exceeds this (K). The
+     * default sits between the sustained peaks of the planar baseline
+     * (~359 K) and the naive 3D stack (~365 K): only the un-herded 3D
+     * design trips DTM, reproducing the paper's Section 5.3 argument
+     * that Thermal Herding is what makes stacking thermally viable.
+     */
+    double triggerK = 360.0;
+    /** Release a throttle level only below trigger - hysteresis. */
+    double hysteresisK = 1.5;
+};
+
+/**
+ * A DTM control policy. Stateful: decide() is called once per interval
+ * in time order and may remember its ladder position.
+ */
+class DtmPolicy
+{
+  public:
+    virtual ~DtmPolicy() = default;
+
+    virtual DtmPolicyKind kind() const = 0;
+
+    /** Choose the next interval's control given the current peak. */
+    virtual DtmControl decide(double peak_k) = 0;
+};
+
+/** Construct a policy of @p kind regulating around @p trig. */
+std::unique_ptr<DtmPolicy> makeDtmPolicy(DtmPolicyKind kind,
+                                         const DtmTriggers &trig);
+
+} // namespace th
+
+#endif // TH_DTM_POLICY_H

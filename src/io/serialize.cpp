@@ -250,4 +250,86 @@ serializeCoreResult(const CoreResult &result)
     return enc.data();
 }
 
+void
+encodeDtmReport(Encoder &enc, const DtmReport &rep)
+{
+    enc.str(rep.benchmark);
+    enc.str(rep.config);
+    enc.str(rep.policy);
+    enc.f64(rep.triggerK);
+    enc.f64(rep.freqGhz);
+    enc.f64(rep.startPeakK);
+    enc.f64(rep.peakK);
+    enc.f64(rep.finalPeakK);
+    enc.f64(rep.totalTimeS);
+    enc.f64(rep.timeAboveTriggerS);
+    enc.f64(rep.throttleDuty);
+    enc.f64(rep.perfLost);
+    enc.f64(rep.ipcFree);
+    enc.f64(rep.ipcEffective);
+    enc.u64(rep.wallCycles);
+    enc.u64(rep.committed);
+    enc.u32(static_cast<std::uint32_t>(rep.intervals.size()));
+    for (const DtmIntervalSample &s : rep.intervals) {
+        enc.f64(s.timeS);
+        enc.f64(s.peakK);
+        enc.f64(s.clockDuty);
+        enc.u32(static_cast<std::uint32_t>(s.fetchOn));
+        enc.u32(static_cast<std::uint32_t>(s.fetchPeriod));
+        enc.u64(s.cycles);
+        enc.u64(s.committed);
+        enc.f64(s.powerW);
+        enc.u8(s.throttled ? 1 : 0);
+    }
+}
+
+bool
+decodeDtmReport(Decoder &dec, DtmReport &rep)
+{
+    rep.benchmark = dec.str();
+    rep.config = dec.str();
+    rep.policy = dec.str();
+    rep.triggerK = dec.f64();
+    rep.freqGhz = dec.f64();
+    rep.startPeakK = dec.f64();
+    rep.peakK = dec.f64();
+    rep.finalPeakK = dec.f64();
+    rep.totalTimeS = dec.f64();
+    rep.timeAboveTriggerS = dec.f64();
+    rep.throttleDuty = dec.f64();
+    rep.perfLost = dec.f64();
+    rep.ipcFree = dec.f64();
+    rep.ipcEffective = dec.f64();
+    rep.wallCycles = dec.u64();
+    rep.committed = dec.u64();
+    const std::uint32_t n = dec.u32();
+    // An interval sample is >= 57 payload bytes, so a sane count can
+    // never exceed the remaining payload; this rejects corrupt counts
+    // before the resize instead of allocating gigabytes.
+    if (!dec.ok() || n > dec.remaining())
+        return false;
+    rep.intervals.assign(n, DtmIntervalSample{});
+    for (std::uint32_t i = 0; i < n; ++i) {
+        DtmIntervalSample &s = rep.intervals[i];
+        s.timeS = dec.f64();
+        s.peakK = dec.f64();
+        s.clockDuty = dec.f64();
+        s.fetchOn = static_cast<int>(dec.u32());
+        s.fetchPeriod = static_cast<int>(dec.u32());
+        s.cycles = dec.u64();
+        s.committed = dec.u64();
+        s.powerW = dec.f64();
+        s.throttled = dec.u8() != 0;
+    }
+    return dec.ok();
+}
+
+std::vector<std::uint8_t>
+serializeDtmReport(const DtmReport &rep)
+{
+    Encoder enc;
+    encodeDtmReport(enc, rep);
+    return enc.data();
+}
+
 } // namespace th

@@ -14,12 +14,16 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "dtm/engine.h"
 #include "io/chunkio.h"
 
 namespace th {
 
 /** Schema version of the CoreResult encoding below. */
 inline constexpr std::uint32_t kCoreResultSchemaVersion = 1;
+
+/** Schema version of the DtmReport encoding below. */
+inline constexpr std::uint32_t kDtmReportSchemaVersion = 1;
 
 /** Append @p h to @p enc (range, moments, and bucket counts). */
 void encodeHistogram(Encoder &enc, const Histogram &h);
@@ -45,6 +49,14 @@ bool decodeCoreResult(Decoder &dec, CoreResult &result);
  * tests and the store's integrity checks).
  */
 std::vector<std::uint8_t> serializeCoreResult(const CoreResult &result);
+
+/** Append a full DtmReport (header fields then interval samples). */
+void encodeDtmReport(Encoder &enc, const DtmReport &rep);
+bool decodeDtmReport(Decoder &dec, DtmReport &rep);
+
+/** Canonical byte representation of a DtmReport (round-trip tests,
+ *  store integrity checks) — mirrors serializeCoreResult(). */
+std::vector<std::uint8_t> serializeDtmReport(const DtmReport &rep);
 
 } // namespace th
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.h"
+#include "io/serialize.h"
 
 namespace th {
 
@@ -152,6 +153,24 @@ configHash(const CoreConfig &cfg)
     h.add(cfg.btbMemoEnabled);
     h.add(cfg.widthPredEntries);
     h.add(static_cast<int>(cfg.widthPredKind));
+    return h.h;
+}
+
+std::uint64_t
+dtmConfigHash(const CoreConfig &cfg, const DtmOptions &opts)
+{
+    Hasher h;
+    h.add(configHash(cfg));
+    h.add(static_cast<std::uint64_t>(kDtmReportSchemaVersion));
+    h.add(opts.intervalCycles);
+    h.add(opts.maxIntervals);
+    h.add(opts.warmupInstructions);
+    h.add(static_cast<int>(opts.policy));
+    h.add(opts.triggers.triggerK);
+    h.add(opts.triggers.hysteresisK);
+    h.add(opts.timeDilation);
+    h.add(opts.gridN);
+    h.add(opts.maxDtS);
     return h.h;
 }
 

@@ -14,6 +14,7 @@
 
 #include "circuit/blocks.h"
 #include "core/params.h"
+#include "dtm/engine.h"
 
 namespace th {
 
@@ -50,6 +51,15 @@ CoreConfig makeConfig(ConfigKind kind, const BlockLibrary &lib);
  * update the golden-hash table in tests/test_configs.cpp.
  */
 std::uint64_t configHash(const CoreConfig &cfg);
+
+/**
+ * Store key of a DTM run: configHash(cfg) folded with every DtmOptions
+ * knob (interval length/count, warm-up, policy, triggers, dilation,
+ * grid) and the DtmReport schema version — two DTM runs share a
+ * persisted artifact iff every input that shapes the report matches.
+ */
+std::uint64_t dtmConfigHash(const CoreConfig &cfg,
+                            const DtmOptions &opts);
 
 } // namespace th
 

@@ -307,4 +307,24 @@ runWidthStudy(System &sys, const std::vector<std::string> &benchmarks)
     return data;
 }
 
+DtmStudyData
+runDtmStudy(System &sys, const std::string &benchmark,
+            const DtmOptions &opts)
+{
+    const ConfigKind kinds[] = {ConfigKind::Base, ConfigKind::ThreeDNoTH,
+                                ConfigKind::ThreeD};
+    DtmStudyData data;
+    data.benchmark = benchmark;
+    // Each DTM run owns its core, thermal grid, and stepper; only the
+    // calibrated power model is shared (read-only after calibration),
+    // so the three configurations fan out safely.
+    data.cases = ThreadPool::global().parallelMap(3, [&](size_t i) {
+        DtmCase c;
+        c.config = kinds[i];
+        c.report = sys.runDtm(benchmark, kinds[i], opts);
+        return c;
+    });
+    return data;
+}
+
 } // namespace th

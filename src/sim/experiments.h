@@ -154,6 +154,30 @@ struct WidthStudyData
 WidthStudyData runWidthStudy(System &sys,
                              const std::vector<std::string> &benchmarks = {});
 
+/** One configuration's closed-loop DTM outcome. */
+struct DtmCase
+{
+    ConfigKind config = ConfigKind::Base;
+    DtmReport report;
+};
+
+/** DTM engagement across the thermal-study configurations. */
+struct DtmStudyData
+{
+    std::string benchmark;
+    /** Base, 3D-noTH, 3D — presentation order of the thermal study. */
+    std::vector<DtmCase> cases;
+};
+
+/**
+ * Closed-loop DTM comparison (Section 5.3's motivation made dynamic):
+ * the planar baseline, naive 3D, and 3D with Thermal Herding each run
+ * under the same policy and trigger. Naive 3D engages the throttle
+ * hardest; herding claws most of that back.
+ */
+DtmStudyData runDtmStudy(System &sys, const std::string &benchmark,
+                         const DtmOptions &opts);
+
 } // namespace th
 
 #endif // TH_SIM_EXPERIMENTS_H

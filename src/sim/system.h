@@ -86,6 +86,17 @@ class System
     /** Run and compute power (calibrates lazily on first use). */
     Evaluation evaluate(const std::string &benchmark, ConfigKind kind);
 
+    /**
+     * Closed-loop DTM run: couples the core, power model, and transient
+     * thermal solver in fixed intervals under a throttling policy (see
+     * dtm/engine.h). Results are memoized in memory and, when a store
+     * is configured, persisted under dtmConfigHash(cfg, opts). The
+     * persistent lookup happens *before* power calibration, so a warm
+     * rerun of a DTM sweep performs zero core simulations.
+     */
+    DtmReport runDtm(const std::string &benchmark, ConfigKind kind,
+                     const DtmOptions &dtm_opts);
+
     /** Thermal analysis of an evaluation. */
     ThermalReport thermal(const Evaluation &eval,
                           double power_scale = 1.0) const;
@@ -146,6 +157,8 @@ class System
 
     mutable std::mutex cache_mu_;
     mutable std::unordered_map<std::string, CoreResult> core_cache_;
+    mutable std::mutex dtm_mu_;
+    mutable std::unordered_map<std::string, DtmReport> dtm_cache_;
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
 

@@ -16,8 +16,10 @@ namespace th {
 
 namespace {
 
-/** Extension of committed artifacts. */
+/** Extension of committed CoreResult artifacts. */
 constexpr const char *kEntryExt = ".cr";
+/** Extension of committed DtmReport artifacts. */
+constexpr const char *kDtmExt = ".dtm";
 /** Extension quarantined (corrupt) artifacts are renamed to. */
 constexpr const char *kBadExt = ".bad";
 
@@ -76,6 +78,16 @@ ArtifactStore::entryPath(const std::string &benchmark,
         .string();
 }
 
+std::string
+ArtifactStore::dtmEntryPath(const std::string &benchmark,
+                            std::uint64_t key) const
+{
+    return (fs::path(opts_.dir) /
+            strformat("%s-%016llx%s", sanitize(benchmark).c_str(),
+                      static_cast<unsigned long long>(key), kDtmExt))
+        .string();
+}
+
 bool
 ArtifactStore::readEntry(const std::string &path,
                          const std::string &benchmark,
@@ -118,6 +130,67 @@ ArtifactStore::readEntry(const std::string &path,
     return meta_ok && result_ok;
 }
 
+bool
+ArtifactStore::readDtmEntry(const std::string &path,
+                            const std::string &benchmark,
+                            std::uint64_t key, DtmReport *out) const
+{
+    std::uint32_t schema = 0;
+    std::string err;
+    ChunkFileReader reader;
+    if (!reader.open(path, kDtmReportFormatTag, schema, err))
+        return false;
+    if (schema != kStoreSchemaVersion)
+        return false;
+
+    bool meta_ok = false, result_ok = false;
+    std::string tag;
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        const ChunkReader::Next what = reader.next(tag, payload, err);
+        if (what == ChunkReader::Next::End)
+            break;
+        if (what == ChunkReader::Next::Corrupt)
+            return false;
+        if (tag == "META") {
+            Decoder d(payload);
+            const std::string bench = d.str();
+            const std::uint64_t hash = d.u64();
+            if (!d.ok() || bench != benchmark || hash != key)
+                return false;
+            meta_ok = true;
+        } else if (tag == "DTMR") {
+            Decoder d(payload);
+            DtmReport r;
+            if (!decodeDtmReport(d, r) || !d.atEnd())
+                return false;
+            if (out)
+                *out = r;
+            result_ok = true;
+        }
+    }
+    return meta_ok && result_ok;
+}
+
+bool
+ArtifactStore::touchEntry(const std::string &path)
+{
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    return !ec;
+}
+
+void
+ArtifactStore::noteTouchFailure(const std::string &path)
+{
+    touch_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (!touch_warned_.exchange(true)) {
+        warn("artifact store: cannot refresh recency of '%s'; LRU "
+             "eviction may drop recently used entries first",
+             path.c_str());
+    }
+}
+
 void
 ArtifactStore::quarantine(const std::string &path)
 {
@@ -149,9 +222,82 @@ ArtifactStore::loadCoreResult(const std::string &benchmark,
         misses_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
-    // Touch for LRU: a hit makes the entry recently used.
-    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    // Touch for LRU: a hit makes the entry recently used. A failed
+    // touch does not invalidate the hit, but it is counted — silent
+    // failure here makes gc evict the hottest entries first.
+    if (!touchEntry(path))
+        noteTouchFailure(path);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::loadDtmReport(const std::string &benchmark,
+                             std::uint64_t key, DtmReport &out)
+{
+    if (!enabled())
+        return false;
+    const std::string path = dtmEntryPath(benchmark, key);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!readDtmEntry(path, benchmark, key, &out)) {
+        warn("artifact store: corrupt entry '%s'; quarantined, "
+             "recomputing", path.c_str());
+        quarantine(path);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!touchEntry(path))
+        noteTouchFailure(path);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::storeDtmReport(const std::string &benchmark,
+                              std::uint64_t key, const DtmReport &rep)
+{
+    if (!enabled())
+        return false;
+    const std::string path = dtmEntryPath(benchmark, key);
+    const std::string tmp = strformat(
+        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(getpid()),
+        static_cast<unsigned long long>(
+            tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+
+    Encoder meta;
+    meta.str(benchmark);
+    meta.u64(key);
+    Encoder body;
+    encodeDtmReport(body, rep);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ChunkFileWriter writer;
+    bool ok = writer.open(tmp, kDtmReportFormatTag, kStoreSchemaVersion);
+    ok = ok && writer.chunk("META", meta);
+    ok = ok && writer.chunk("DTMR", body);
+    ok = writer.close() && ok;
+    if (!ok) {
+        warn("artifact store: failed to write '%s'", tmp.c_str());
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec); // Atomic commit.
+    if (ec) {
+        warn("artifact store: cannot commit '%s' (%s)", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    enforceCapLocked();
     return true;
 }
 
@@ -208,6 +354,7 @@ ArtifactStore::stats() const
     s.stores = stores_.load(std::memory_order_relaxed);
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.corrupt = corrupt_.load(std::memory_order_relaxed);
+    s.touchFailures = touch_failures_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -223,8 +370,9 @@ ArtifactStore::list() const
         const std::string name = p.filename().string();
         const bool bad = name.size() > 4 &&
             name.compare(name.size() - 4, 4, kBadExt) == 0;
-        const bool live = !bad && p.extension() == kEntryExt;
-        if (!bad && !live)
+        const bool core = !bad && p.extension() == kEntryExt;
+        const bool dtm = !bad && p.extension() == kDtmExt;
+        if (!bad && !core && !dtm)
             continue; // Temp files and strangers.
         Entry e;
         e.path = p.string();
@@ -232,13 +380,15 @@ ArtifactStore::list() const
         std::error_code sec;
         e.bytes = fs::file_size(p, sec);
         e.mtimeNs = mtimeNsOf(p);
-        if (live) {
+        if (core || dtm) {
             // Best-effort metadata read (for display only).
+            const char *format =
+                core ? kCoreResultFormatTag : kDtmReportFormatTag;
             std::uint32_t schema = 0;
             std::string err, tag;
             std::vector<std::uint8_t> payload;
             ChunkFileReader reader;
-            if (reader.open(e.path, kCoreResultFormatTag, schema, err) &&
+            if (reader.open(e.path, format, schema, err) &&
                 reader.next(tag, payload, err) ==
                     ChunkReader::Next::Chunk &&
                 tag == "META") {
@@ -248,6 +398,8 @@ ArtifactStore::list() const
                 if (!d.ok()) {
                     e.benchmark.clear();
                     e.cfgHash = 0;
+                } else {
+                    e.format = format;
                 }
             }
         }
@@ -310,8 +462,13 @@ ArtifactStore::verify()
         }
         // Validate against the key encoded in the filename-independent
         // META chunk; an unreadable META yields an empty benchmark and
-        // fails the check below.
-        if (!readEntry(e.path, e.benchmark, e.cfgHash, nullptr)) {
+        // fails the check below. DTMR entries validate with their own
+        // reader (the format tag distinguishes the two).
+        const bool valid =
+            e.format == kDtmReportFormatTag
+                ? readDtmEntry(e.path, e.benchmark, e.cfgHash, nullptr)
+                : readEntry(e.path, e.benchmark, e.cfgHash, nullptr);
+        if (!valid) {
             warn("artifact store: '%s' failed verification; "
                  "quarantined", e.path.c_str());
             quarantine(e.path);

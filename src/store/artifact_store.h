@@ -35,19 +35,24 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "dtm/engine.h"
 
 namespace th {
 
 /**
- * On-disk schema version. Covers the CoreResult field encoding AND the
- * configHash key semantics: bump it when io/serialize.h changes shape
- * or when sim/configs.cpp's configHash gains/loses/reorders fields
- * (the golden-hash test in tests/test_configs.cpp pins the latter).
+ * On-disk schema version. Covers the CoreResult/DtmReport field
+ * encodings AND the configHash key semantics: bump it when
+ * io/serialize.h changes shape or when sim/configs.cpp's configHash
+ * gains/loses/reorders fields (the golden-hash test in
+ * tests/test_configs.cpp pins the latter).
  */
 inline constexpr std::uint32_t kStoreSchemaVersion = 1;
 
 /** Container format tag of persisted CoreResult artifacts. */
 inline constexpr const char *kCoreResultFormatTag = "CRES";
+
+/** Container format tag of persisted DtmReport artifacts. */
+inline constexpr const char *kDtmReportFormatTag = "DTMR";
 
 /** Store configuration. */
 struct StoreOptions
@@ -61,17 +66,22 @@ struct StoreOptions
 /** Monotonic operation counters (mirrors System::CacheStats). */
 struct StoreStats
 {
-    std::uint64_t hits = 0;      ///< loadCoreResult served from disk.
+    std::uint64_t hits = 0;      ///< Loads served from disk.
     std::uint64_t misses = 0;    ///< Key absent (or entry unreadable).
     std::uint64_t stores = 0;    ///< Artifacts committed.
     std::uint64_t evictions = 0; ///< Entries removed by the LRU cap.
     std::uint64_t corrupt = 0;   ///< Entries quarantined as invalid.
+    /** LRU recency touches that failed (read-only store dir or a
+     *  filesystem rejecting mtime updates): hits stop refreshing
+     *  recency, so gc may evict hot entries first. */
+    std::uint64_t touchFailures = 0;
 };
 
 class ArtifactStore
 {
   public:
     explicit ArtifactStore(const StoreOptions &opts);
+    virtual ~ArtifactStore() = default;
 
     /** False when constructed with an empty directory. */
     bool enabled() const { return !opts_.dir.empty(); }
@@ -89,6 +99,16 @@ class ArtifactStore
     bool storeCoreResult(const std::string &benchmark,
                          std::uint64_t cfg_hash, const CoreResult &r);
 
+    /**
+     * DtmReport variants — same contract as the CoreResult pair.
+     * @p key folds the config hash with every DtmOptions knob (see
+     * System::runDtm), so distinct DTM setups never alias.
+     */
+    bool loadDtmReport(const std::string &benchmark, std::uint64_t key,
+                       DtmReport &out);
+    bool storeDtmReport(const std::string &benchmark, std::uint64_t key,
+                        const DtmReport &rep);
+
     StoreStats stats() const;
 
     /** One store entry as seen by maintenance commands. */
@@ -100,6 +120,7 @@ class ArtifactStore
         std::uint64_t bytes = 0;
         std::int64_t mtimeNs = 0; ///< For LRU ordering / display.
         bool quarantined = false; ///< *.bad leftover.
+        std::string format;       ///< "CRES"/"DTMR"; "" if unreadable.
     };
 
     /** All entries (valid and quarantined), oldest first. */
@@ -117,12 +138,28 @@ class ArtifactStore
      */
     int verify();
 
+  protected:
+    /**
+     * Refresh @p path's mtime so the LRU sweep sees this hit as
+     * recent. Virtual as a failure-injection seam: tests override it
+     * to exercise the touch-failure accounting without needing a
+     * filesystem that rejects mtime updates. True on success.
+     */
+    virtual bool touchEntry(const std::string &path);
+
   private:
     std::string entryPath(const std::string &benchmark,
                           std::uint64_t cfg_hash) const;
+    std::string dtmEntryPath(const std::string &benchmark,
+                             std::uint64_t key) const;
     bool readEntry(const std::string &path, const std::string &benchmark,
                    std::uint64_t cfg_hash, CoreResult *out) const;
+    bool readDtmEntry(const std::string &path,
+                      const std::string &benchmark, std::uint64_t key,
+                      DtmReport *out) const;
     void quarantine(const std::string &path);
+    /** Count a failed touchEntry and warn the first time. */
+    void noteTouchFailure(const std::string &path);
     /** Enforce opts_.maxBytes; caller holds mu_. */
     void enforceCapLocked();
 
@@ -133,6 +170,8 @@ class ArtifactStore
     std::atomic<std::uint64_t> stores_{0};
     std::atomic<std::uint64_t> evictions_{0};
     std::atomic<std::uint64_t> corrupt_{0};
+    std::atomic<std::uint64_t> touch_failures_{0};
+    std::atomic<bool> touch_warned_{false};
 };
 
 } // namespace th

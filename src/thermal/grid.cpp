@@ -407,18 +407,7 @@ ThermalGrid::solveTransient(const ThermalField &initial,
     if (duration_s <= 0.0 || dt_s <= 0.0 || samples < 1)
         fatal("transient needs positive duration, step, and samples");
 
-    // The conductance/capacitance arrays are cached on the grid, so
-    // back-to-back steady and transient solves (and repeated transient
-    // steps in throttling loops) share one network build.
-    const Network &net = network();
-    const size_t cells = static_cast<size_t>(nl) * n * n;
-    const size_t plane = static_cast<size_t>(n) * n;
-
-    // Explicit stability bound dt < min(C / sum(G)).
-    double dt = dt_s;
-    for (size_t c = 0; c < cells; ++c)
-        if (net.cap[c] > 0.0 && net.gSum[c] > 0.0)
-            dt = std::min(dt, 0.4 * net.cap[c] / net.gSum[c]);
+    const double dt = transientDt(dt_s);
 
     const auto steps =
         std::max<std::int64_t>(1, static_cast<std::int64_t>(
@@ -429,44 +418,10 @@ ThermalGrid::solveTransient(const ThermalField &initial,
     Transient out(n, nl, params_.ambientK);
     out.final = initial;
     const std::vector<int> die_layers = dieLayers();
-    std::vector<double> delta(cells, 0.0);
+    std::vector<double> delta;
 
     for (std::int64_t step = 0; step < steps; ++step) {
-        // Explicit Euler: dT = dt/C * (sum G*(Tn - T) + P).
-        for (int l = 0; l < nl; ++l) {
-            for (int iy = 0; iy < n; ++iy) {
-                for (int ix = 0; ix < n; ++ix) {
-                    const size_t c = net.idx(l, ix, iy);
-                    if (net.cap[c] <= 0.0)
-                        continue;
-                    const double t = out.final.at(l, ix, iy);
-                    double flow = net.gAmb[c] *
-                        (params_.ambientK - t) + net.pIn[c];
-                    if (ix > 0)
-                        flow += net.gRight[c - 1] *
-                            (out.final.at(l, ix - 1, iy) - t);
-                    if (ix + 1 < n)
-                        flow += net.gRight[c] *
-                            (out.final.at(l, ix + 1, iy) - t);
-                    if (iy > 0)
-                        flow += net.gDown[c - n] *
-                            (out.final.at(l, ix, iy - 1) - t);
-                    if (iy + 1 < n)
-                        flow += net.gDown[c] *
-                            (out.final.at(l, ix, iy + 1) - t);
-                    if (l > 0)
-                        flow += net.gBelow[c - plane] *
-                            (out.final.at(l - 1, ix, iy) - t);
-                    if (l + 1 < nl)
-                        flow += net.gBelow[c] *
-                            (out.final.at(l + 1, ix, iy) - t);
-                    delta[c] = dt / net.cap[c] * flow;
-                }
-            }
-        }
-        for (size_t c = 0; c < cells; ++c)
-            if (net.cap[c] > 0.0)
-                out.final.t(c) += delta[c];
+        stepOnce(out.final, delta, dt);
 
         // Intermediate samples only; the final one is recorded once
         // below so it can never be duplicated (previously both the
@@ -480,6 +435,113 @@ ThermalGrid::solveTransient(const ThermalField &initial,
     out.timeS.push_back(static_cast<double>(steps) * dt);
     out.peakK.push_back(out.final.peak(die_layers));
     return out;
+}
+
+double
+ThermalGrid::transientDt(double dt_s) const
+{
+    if (dt_s <= 0.0)
+        fatal("transient step must be positive (got %g)", dt_s);
+    const Network &net = network();
+    const size_t cells =
+        static_cast<size_t>(net.nl) * net.n * net.n;
+    // Explicit stability bound dt < min(C / sum(G)).
+    double dt = dt_s;
+    for (size_t c = 0; c < cells; ++c)
+        if (net.cap[c] > 0.0 && net.gSum[c] > 0.0)
+            dt = std::min(dt, 0.4 * net.cap[c] / net.gSum[c]);
+    return dt;
+}
+
+void
+ThermalGrid::stepOnce(ThermalField &field, std::vector<double> &scratch,
+                      double dt_s) const
+{
+    const int n = params_.gridN;
+    const int nl = static_cast<int>(layers_.size());
+    if (field.gridN() != n || field.layers() != nl)
+        fatal("transient field has the wrong geometry");
+
+    // The conductance/capacitance arrays are cached on the grid, so
+    // back-to-back steady and transient solves (and repeated transient
+    // steps in throttling loops) share one network build; only the
+    // injected-power vector refreshes after addPower()/clearPower().
+    const Network &net = network();
+    const size_t cells = static_cast<size_t>(nl) * n * n;
+    const size_t plane = static_cast<size_t>(n) * n;
+    const double dt = dt_s;
+    if (scratch.size() != cells)
+        scratch.assign(cells, 0.0);
+
+    // Explicit Euler: dT = dt/C * (sum G*(Tn - T) + P).
+    for (int l = 0; l < nl; ++l) {
+        for (int iy = 0; iy < n; ++iy) {
+            for (int ix = 0; ix < n; ++ix) {
+                const size_t c = net.idx(l, ix, iy);
+                if (net.cap[c] <= 0.0)
+                    continue;
+                const double t = field.at(l, ix, iy);
+                double flow = net.gAmb[c] *
+                    (params_.ambientK - t) + net.pIn[c];
+                if (ix > 0)
+                    flow += net.gRight[c - 1] *
+                        (field.at(l, ix - 1, iy) - t);
+                if (ix + 1 < n)
+                    flow += net.gRight[c] *
+                        (field.at(l, ix + 1, iy) - t);
+                if (iy > 0)
+                    flow += net.gDown[c - n] *
+                        (field.at(l, ix, iy - 1) - t);
+                if (iy + 1 < n)
+                    flow += net.gDown[c] *
+                        (field.at(l, ix, iy + 1) - t);
+                if (l > 0)
+                    flow += net.gBelow[c - plane] *
+                        (field.at(l - 1, ix, iy) - t);
+                if (l + 1 < nl)
+                    flow += net.gBelow[c] *
+                        (field.at(l + 1, ix, iy) - t);
+                scratch[c] = dt / net.cap[c] * flow;
+            }
+        }
+    }
+    for (size_t c = 0; c < cells; ++c)
+        if (net.cap[c] > 0.0)
+            field.t(c) += scratch[c];
+}
+
+// ---------------------------------------------------------------------
+// TransientStepper.
+// ---------------------------------------------------------------------
+
+TransientStepper::TransientStepper(const ThermalGrid &grid,
+                                   const ThermalField &initial,
+                                   double dt_s)
+    : grid_(&grid), field_(initial), dt_(grid.transientDt(dt_s))
+{
+    if (initial.gridN() != grid.params().gridN)
+        fatal("stepper initial field has the wrong geometry");
+}
+
+void
+TransientStepper::advance(double duration_s)
+{
+    if (duration_s < 0.0)
+        fatal("cannot step time backwards (%g s)", duration_s);
+    targetS_ += duration_s;
+    // Derive the step count from the accumulated target so split and
+    // unsplit runs take identical step sequences; the epsilon absorbs
+    // float error when the target is an exact multiple of dt.
+    const auto want =
+        static_cast<std::int64_t>(targetS_ / dt_ + 1e-9);
+    for (; steps_ < want; ++steps_)
+        grid_->stepOnce(field_, scratch_, dt_);
+}
+
+double
+TransientStepper::timeS() const
+{
+    return static_cast<double>(steps_) * dt_;
 }
 
 void

@@ -12,6 +12,7 @@
 #ifndef TH_THERMAL_GRID_H
 #define TH_THERMAL_GRID_H
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -175,6 +176,22 @@ class ThermalGrid
                              int samples = 50) const;
 
     /**
+     * Stability-clamped explicit step: the largest dt <= @p dt_s that
+     * satisfies dt <= 0.4 * C / sum(G) for every material cell. Both
+     * solveTransient() and TransientStepper step at this size.
+     */
+    double transientDt(double dt_s) const;
+
+    /**
+     * One explicit-Euler step of @p dt_s seconds under the currently
+     * deposited power: T += dt/C * (sum G*(Tn - T) + P). @p scratch is
+     * resized on demand and reused across calls. @p dt_s must respect
+     * the stability bound — pass the result of transientDt().
+     */
+    void stepOnce(ThermalField &field, std::vector<double> &scratch,
+                  double dt_s) const;
+
+    /**
      * Area-weighted average and peak temperature of a chip-coordinate
      * rectangle on die @p die in a solved field.
      */
@@ -240,6 +257,48 @@ class ThermalGrid
     mutable Network net_;
     mutable bool net_built_ = false;
     mutable bool power_dirty_ = true;
+};
+
+/**
+ * Resumable transient state: marches a field forward in arbitrary
+ * increments, e.g. one DTM control interval at a time with the grid's
+ * deposited power changing between calls. The step size is clamped
+ * once at construction and held for the whole run, and the step count
+ * derives from the *accumulated* target time rather than per-call
+ * durations — so a run split into N short advance() calls executes
+ * exactly the same step sequence (bit-for-bit) as one long call.
+ *
+ * The grid must outlive the stepper. Power edits (addPower/clearPower)
+ * between advance() calls take effect on the next step; geometry is
+ * fixed at construction.
+ */
+class TransientStepper
+{
+  public:
+    /**
+     * @param grid     The network to step (borrowed).
+     * @param initial  Starting field; must match the grid's geometry.
+     * @param dt_s     Requested step, clamped via transientDt().
+     */
+    TransientStepper(const ThermalGrid &grid, const ThermalField &initial,
+                     double dt_s);
+
+    /** March forward by @p duration_s seconds of simulated time. */
+    void advance(double duration_s);
+
+    const ThermalField &field() const { return field_; }
+    /** Simulated time actually stepped so far (steps * dt). */
+    double timeS() const;
+    double dtS() const { return dt_; }
+    std::int64_t steps() const { return steps_; }
+
+  private:
+    const ThermalGrid *grid_;
+    ThermalField field_;
+    std::vector<double> scratch_;
+    double dt_;
+    double targetS_ = 0.0;
+    std::int64_t steps_ = 0;
 };
 
 } // namespace th

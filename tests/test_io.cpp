@@ -225,6 +225,80 @@ TEST(ChunkTest, TruncatedChunkHeaderIsCorrupt)
 }
 
 // ---------------------------------------------------------------------
+// Exhaustive truncation sweep over a store-style container.
+// ---------------------------------------------------------------------
+
+TEST(ChunkTest, EveryTruncationOfTheFirst64BytesFailsCleanly)
+{
+    // Build a container shaped exactly like a persisted CoreResult
+    // artifact, then replay the reader against every prefix of its
+    // first 64 bytes. Whatever the cut point — mid-magic, mid-schema,
+    // mid-chunk-header, mid-payload — the reader must reject it
+    // without crashing and without handing back a decodable chunk.
+    MemSink sink;
+    ChunkWriter writer(sink);
+    ASSERT_TRUE(writer.begin("CRES", 1));
+    Encoder payload;
+    {
+        CoreResult r;
+        r.freqGhz = 2.66;
+        r.perf.cycles.set(424242);
+        r.perf.committedInsts.set(99999);
+        encodeCoreResult(payload, r);
+    }
+    ASSERT_TRUE(writer.chunk("CRES", payload));
+    const std::vector<std::uint8_t> full = sink.data();
+    ASSERT_GT(full.size(), 64u) << "container too small for the sweep";
+
+    for (std::size_t cut = 0; cut < 64; ++cut) {
+        const std::vector<std::uint8_t> prefix(full.begin(),
+                                               full.begin() +
+                                                   static_cast<long>(cut));
+        MemSource src(prefix);
+        ChunkReader reader(src);
+        std::uint32_t schema = 0;
+        std::string tag, err;
+        std::vector<std::uint8_t> chunk_payload;
+
+        if (!reader.readHeader("CRES", schema, err)) {
+            ASSERT_LT(cut, 16u)
+                << "a complete 16-byte header must parse (cut=" << cut
+                << "): " << err;
+            continue;
+        }
+        ASSERT_GE(cut, 16u) << "short header accepted (cut=" << cut
+                            << ")";
+        // The chunk itself is longer than the sweep window, so no
+        // prefix may ever produce a whole verified chunk. A cut at
+        // exactly the header boundary is indistinguishable from a
+        // legitimately empty container (Next::End — the entry reader
+        // above this layer rejects it for missing its META chunk);
+        // any cut inside the chunk must be an explicit corruption
+        // report, never a silent End.
+        const auto next = reader.next(tag, chunk_payload, err);
+        if (cut == 16u)
+            EXPECT_EQ(next, ChunkReader::Next::End);
+        else
+            EXPECT_EQ(next, ChunkReader::Next::Corrupt)
+                << "cut=" << cut;
+    }
+
+    // Sanity: the untruncated container still round-trips.
+    MemSource src(full);
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> chunk_payload;
+    ASSERT_TRUE(reader.readHeader("CRES", schema, err)) << err;
+    ASSERT_EQ(reader.next(tag, chunk_payload, err),
+              ChunkReader::Next::Chunk);
+    CoreResult back;
+    Decoder dec(chunk_payload);
+    EXPECT_TRUE(decodeCoreResult(dec, back));
+    EXPECT_EQ(back.perf.cycles.value(), 424242u);
+}
+
+// ---------------------------------------------------------------------
 // Stats serialization.
 // ---------------------------------------------------------------------
 

@@ -74,14 +74,23 @@ TEST(ThreadPool, PropagatesExceptions)
 
 TEST(ThreadPool, ParseThreadsEnvOverride)
 {
+    // Unset/empty means "use the default" and is not an error.
     EXPECT_EQ(ThreadPool::parseThreads(nullptr, 7), 7);
     EXPECT_EQ(ThreadPool::parseThreads("", 7), 7);
+
+    // In-range values, including both ends of the accepted interval.
     EXPECT_EQ(ThreadPool::parseThreads("4", 7), 4);
     EXPECT_EQ(ThreadPool::parseThreads("1", 7), 1);
+    EXPECT_EQ(ThreadPool::parseThreads("1024", 7), 1024);
+
+    // Rejected values fall back (and warn, once per process).
+    EXPECT_EQ(ThreadPool::parseThreads("1025", 7), 7);
     EXPECT_EQ(ThreadPool::parseThreads("0", 7), 7);
     EXPECT_EQ(ThreadPool::parseThreads("-2", 7), 7);
+    EXPECT_EQ(ThreadPool::parseThreads("-3", 7), 7);
     EXPECT_EQ(ThreadPool::parseThreads("abc", 7), 7);
     EXPECT_EQ(ThreadPool::parseThreads("4x", 7), 7);
+    EXPECT_EQ(ThreadPool::parseThreads("99999999999999999999", 7), 7);
 }
 
 class ParallelExperimentsTest : public ::testing::Test

@@ -268,6 +268,59 @@ TEST_F(StoreTest, VerifyQuarantinesAndGcRemoves)
 }
 
 // ---------------------------------------------------------------------
+// LRU recency-touch failures.
+// ---------------------------------------------------------------------
+
+/**
+ * ArtifactStore with the recency touch forced to fail — the observable
+ * behaviour of a read-only store directory (or any filesystem that
+ * rejects mtime updates) without needing one: the test process owns
+ * its temp files, so utimensat succeeds regardless of file modes (and
+ * unconditionally under root), making a chmod-based setup vacuous.
+ */
+class FailingTouchStore : public ArtifactStore
+{
+  public:
+    using ArtifactStore::ArtifactStore;
+
+  protected:
+    bool touchEntry(const std::string &) override { return false; }
+};
+
+TEST_F(StoreTest, TouchFailureIsCountedButHitStillServed)
+{
+    FailingTouchStore store(options());
+    const CoreResult r = syntheticResult(3);
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x5, r));
+
+    // The hit must be served bit-identically even though its LRU
+    // recency could not be refreshed — touch failure degrades eviction
+    // ordering, never correctness.
+    CoreResult back;
+    ASSERT_TRUE(store.loadCoreResult("gzip", 0x5, back));
+    EXPECT_EQ(serializeCoreResult(back), serializeCoreResult(r));
+
+    StoreStats s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.touchFailures, 1u);
+
+    // Every further hit counts its own failure (warned only once).
+    ASSERT_TRUE(store.loadCoreResult("gzip", 0x5, back));
+    s = store.stats();
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.touchFailures, 2u);
+}
+
+TEST_F(StoreTest, HealthyTouchReportsNoFailures)
+{
+    ArtifactStore store(options());
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x6, syntheticResult(1)));
+    CoreResult back;
+    ASSERT_TRUE(store.loadCoreResult("gzip", 0x6, back));
+    EXPECT_EQ(store.stats().touchFailures, 0u);
+}
+
+// ---------------------------------------------------------------------
 // System integration: the cold/warm contract.
 // ---------------------------------------------------------------------
 

@@ -111,6 +111,134 @@ TEST(Transient, SampleTimesMonotonic)
     EXPECT_NEAR(tr.timeS.back(), 0.01, 0.002);
 }
 
+// ---------------------------------------------------------------------
+// TransientStepper: resumable transient runs.
+// ---------------------------------------------------------------------
+
+TEST(TransientStepper, SplitAdvancesMatchOneLongAdvanceBitForBit)
+{
+    // The DTM engine relies on N short advances being the same
+    // computation as one long solve: the stepper tracks an accumulated
+    // time target, so interval boundaries never change step count,
+    // step size, or arithmetic order.
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 0.0, 0.0, 6.0, 6.0, 15.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+
+    TransientStepper one(grid, init, 1e-4);
+    one.advance(0.02);
+
+    TransientStepper split(grid, init, 1e-4);
+    for (int i = 0; i < 10; ++i)
+        split.advance(0.002);
+
+    EXPECT_EQ(one.steps(), split.steps());
+    const ThermalField &a = one.field();
+    const ThermalField &b = split.field();
+    for (int l = 0; l < 10; ++l)
+        for (int y = 0; y < p.gridN; ++y)
+            for (int x = 0; x < p.gridN; ++x)
+                ASSERT_EQ(a.at(l, y, x), b.at(l, y, x))
+                    << "layer " << l << " y " << y << " x " << x;
+}
+
+TEST(TransientStepper, UnevenSplitsStillMatch)
+{
+    // Durations that are not multiples of dt must not drop or double
+    // steps across the seam (the classic per-interval rounding bug).
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    grid.addPower(1, 0.0, 0.0, 6.0, 6.0, 20.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+
+    TransientStepper one(grid, init, 3e-4);
+    one.advance(0.02);
+
+    TransientStepper split(grid, init, 3e-4);
+    split.advance(0.0131);
+    split.advance(0.0007);
+    split.advance(0.0062);
+
+    EXPECT_EQ(one.steps(), split.steps());
+    EXPECT_NEAR(one.field().peak(grid.dieLayers()),
+                split.field().peak(grid.dieLayers()), 1e-9);
+}
+
+TEST(TransientStepper, MatchesSolveTransientFinalField)
+{
+    // Same dt, same duration: the stepper is the same Euler kernel the
+    // batch API runs, so the end states agree to round-off.
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 1.0, 1.0, 4.0, 4.0, 10.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+
+    const auto tr = grid.solveTransient(init, 0.01, 1e-4, 4);
+    TransientStepper stepper(grid, init, 1e-4);
+    stepper.advance(0.01);
+
+    EXPECT_NEAR(stepper.field().peak(grid.dieLayers()),
+                tr.final.peak(grid.dieLayers()), 1e-9);
+}
+
+TEST(TransientStepper, SteadyStateIsAFixedPointUnderConstantPower)
+{
+    // The copper sink's time constant is tens of seconds, so marching
+    // from ambient to convergence is impractical in a unit test. The
+    // equivalent property, checked from the other side: the SOR
+    // steady-state answer must be a fixed point of the Euler kernel —
+    // start the resumable run there under the same constant power map
+    // and it must hold that temperature (to within the solver's
+    // residual tolerance), not drift or blow up.
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 1.0, 1.0, 4.0, 4.0, 12.0);
+    const ThermalField steady = grid.solve();
+    const double steady_peak = steady.peak(grid.dieLayers());
+
+    TransientStepper stepper(grid, steady, 1e-3);
+    for (int i = 0; i < 10; ++i) { // Resumed in 10 chunks.
+        stepper.advance(0.005);
+        EXPECT_NEAR(stepper.field().peak(grid.dieLayers()),
+                    steady_peak, 0.25)
+            << "drifted after " << stepper.timeS() << " s";
+    }
+}
+
+TEST(TransientStepper, TracksTimeAndClampsDt)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+
+    TransientStepper stepper(grid, init, 1e30);
+    EXPECT_LT(stepper.dtS(), 1.0) << "stability clamp must engage";
+    EXPECT_EQ(stepper.steps(), 0u);
+    EXPECT_EQ(stepper.timeS(), 0.0);
+
+    stepper.advance(stepper.dtS() * 7);
+    EXPECT_EQ(stepper.steps(), 7u);
+    EXPECT_NEAR(stepper.timeS(), stepper.dtS() * 7,
+                stepper.dtS() * 1e-6);
+
+    stepper.advance(0.0); // A zero advance is a no-op, not an error.
+    EXPECT_EQ(stepper.steps(), 7u);
+}
+
+TEST(TransientStepperDeathTest, RejectsNegativeAdvance)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+    TransientStepper stepper(grid, init, 1e-4);
+    EXPECT_EXIT(stepper.advance(-0.001),
+                ::testing::ExitedWithCode(1), "backwards");
+}
+
 TEST(TransientDeathTest, RejectsBadArguments)
 {
     const ThermalParams p = fastParams();

@@ -49,6 +49,14 @@ struct Args
     std::uint64_t warmup = 100000;
     std::uint64_t records = 0;
     std::uint64_t maxBytes = 256ULL << 20;
+
+    // DTM knobs (0 / empty = keep the DtmOptions default).
+    std::string policy = "clockgate";
+    double trigger = 0.0;
+    std::uint64_t intervals = 0;
+    std::uint64_t intervalCycles = 0;
+    double dilation = 0.0;
+    std::uint64_t grid = 0;
 };
 
 [[noreturn]] void
@@ -64,10 +72,16 @@ usage(const char *msg = nullptr)
         "  th_run trace info <file.thtrace>\n"
         "  th_run trace run <file.thtrace> [--config NAME] [--insts N]\n"
         "         [--warmup N]\n"
+        "  th_run dtm [--benchmarks b] [--policy none|clockgate|fetch]\n"
+        "         [--trigger K] [--intervals N] [--interval-cycles N]\n"
+        "         [--dilation X] [--grid N] [--store DIR]\n"
         "  th_run store ls|gc|verify [--dir DIR] [--max-bytes N]\n"
         "\n"
         "The experiment commands persist CoreResults to --store /\n"
-        "TH_STORE_DIR when set; a warm re-run then skips simulation.\n");
+        "TH_STORE_DIR when set; a warm re-run then skips simulation.\n"
+        "th_run dtm compares closed-loop thermal throttling on the\n"
+        "planar, naive-3D, and 3D+herding designs; with a store, a warm\n"
+        "rerun replays the cached reports without any simulation.\n");
     std::exit(2);
 }
 
@@ -76,6 +90,17 @@ parseU64(const std::string &s, const char *flag)
 {
     char *end = nullptr;
     const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        usage(strformat("%s expects a number, got '%s'", flag,
+                        s.c_str()).c_str());
+    return v;
+}
+
+double
+parseF64(const std::string &s, const char *flag)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
     if (end == s.c_str() || *end != '\0')
         usage(strformat("%s expects a number, got '%s'", flag,
                         s.c_str()).c_str());
@@ -107,6 +132,19 @@ parseArgs(int argc, char **argv)
             args.records = parseU64(value("--records"), "--records");
         else if (a == "--max-bytes")
             args.maxBytes = parseU64(value("--max-bytes"), "--max-bytes");
+        else if (a == "--policy")
+            args.policy = value("--policy");
+        else if (a == "--trigger")
+            args.trigger = parseF64(value("--trigger"), "--trigger");
+        else if (a == "--intervals")
+            args.intervals = parseU64(value("--intervals"), "--intervals");
+        else if (a == "--interval-cycles")
+            args.intervalCycles =
+                parseU64(value("--interval-cycles"), "--interval-cycles");
+        else if (a == "--dilation")
+            args.dilation = parseF64(value("--dilation"), "--dilation");
+        else if (a == "--grid")
+            args.grid = parseU64(value("--grid"), "--grid");
         else if (a == "--help" || a == "-h")
             usage();
         else if (!a.empty() && a[0] == '-')
@@ -169,12 +207,13 @@ printCounters(const System &sys)
     if (sys.storeEnabled()) {
         const StoreStats s = sys.storeStats();
         std::printf("store (%s): %llu hits, %llu misses, %llu stores, "
-                    "%llu evictions, %llu corrupt\n",
+                    "%llu evictions, %llu corrupt, %llu touch failures\n",
                     sys.storeDir().c_str(), (unsigned long long)s.hits,
                     (unsigned long long)s.misses,
                     (unsigned long long)s.stores,
                     (unsigned long long)s.evictions,
-                    (unsigned long long)s.corrupt);
+                    (unsigned long long)s.corrupt,
+                    (unsigned long long)s.touchFailures);
     } else {
         std::printf("store: disabled (set TH_STORE_DIR or --store)\n");
     }
@@ -273,6 +312,68 @@ cmdExperiment(const std::string &what, const Args &args)
         std::printf("=== Width prediction study ===\n");
         printWidth(runWidthStudy(sys, benchmarks));
     }
+    printCounters(sys);
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// DTM command.
+// -------------------------------------------------------------------
+
+DtmOptions
+dtmOptionsOf(const Args &args)
+{
+    DtmOptions opts;
+    if (!dtmPolicyByName(args.policy, opts.policy))
+        usage(strformat("unknown policy '%s' (none, clockgate, fetch)",
+                        args.policy.c_str()).c_str());
+    if (args.trigger > 0.0)
+        opts.triggers.triggerK = args.trigger;
+    if (args.intervals > 0)
+        opts.maxIntervals = static_cast<int>(args.intervals);
+    if (args.intervalCycles > 0)
+        opts.intervalCycles = args.intervalCycles;
+    if (args.dilation > 0.0)
+        opts.timeDilation = args.dilation;
+    if (args.grid > 0)
+        opts.gridN = static_cast<int>(args.grid);
+    return opts;
+}
+
+int
+cmdDtm(const Args &args)
+{
+    System sys = makeSystem(args);
+    const DtmOptions opts = dtmOptionsOf(args);
+
+    const std::vector<std::string> benchmarks =
+        splitList(args.benchmarks);
+    if (benchmarks.size() > 1)
+        usage("dtm takes a single --benchmarks entry");
+    const std::string benchmark =
+        benchmarks.empty() ? System::kPowerReferenceBenchmark
+                           : benchmarks[0];
+    if (!hasBenchmark(benchmark))
+        usage(strformat("unknown benchmark '%s'",
+                        benchmark.c_str()).c_str());
+
+    std::printf("=== Closed-loop DTM: %s, policy %s, trigger %s K "
+                "===\n", benchmark.c_str(),
+                dtmPolicyName(opts.policy),
+                fmtDouble(opts.triggers.triggerK, 1).c_str());
+    const DtmStudyData data = runDtmStudy(sys, benchmark, opts);
+
+    Table t({"Config", "Start K", "Peak K", "Final K", "Throttle duty",
+             "t>trig ms", "Perf lost"});
+    for (const DtmCase &c : data.cases)
+        t.addRow({configName(c.config),
+                  fmtDouble(c.report.startPeakK, 1),
+                  fmtDouble(c.report.peakK, 1),
+                  fmtDouble(c.report.finalPeakK, 1),
+                  fmtPercent(c.report.throttleDuty),
+                  fmtDouble(c.report.timeAboveTriggerS * 1e3, 1),
+                  fmtPercent(c.report.perfLost)});
+    t.print(std::cout);
     printCounters(sys);
     return 0;
 }
@@ -392,7 +493,7 @@ cmdStore(const Args &args)
     ArtifactStore store(opts);
 
     if (what == "ls") {
-        Table t({"Benchmark", "Config hash", "Bytes", "State"});
+        Table t({"Benchmark", "Config hash", "Format", "Bytes", "State"});
         std::uint64_t total = 0;
         for (const auto &e : store.list()) {
             t.addRow({e.benchmark.empty() ? "?" : e.benchmark,
@@ -400,6 +501,7 @@ cmdStore(const Args &args)
                           ? "-"
                           : strformat("%016llx",
                                       (unsigned long long)e.cfgHash),
+                      e.format.empty() ? "?" : e.format,
                       std::to_string(e.bytes),
                       e.quarantined ? "quarantined" : "ok"});
             total += e.bytes;
@@ -438,6 +540,8 @@ main(int argc, char **argv)
     if (cmd == "fig8" || cmd == "fig9" || cmd == "fig10" ||
         cmd == "width" || cmd == "sweep")
         return cmdExperiment(cmd, args);
+    if (cmd == "dtm")
+        return cmdDtm(args);
     if (cmd == "trace") {
         if (args.pos.size() < 2)
             usage("trace needs a subcommand (record, info, run)");
