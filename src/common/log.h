@@ -9,12 +9,13 @@
 #define TH_COMMON_LOG_H
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace th {
 
 /** Verbosity levels for inform()/warn() output. */
-enum class LogLevel { Silent, Error, Warn, Info, Debug };
+enum class LogLevel : std::uint8_t { Silent, Error, Warn, Info, Debug };
 
 /** Set the global log verbosity. Default: Warn. */
 void setLogLevel(LogLevel level);

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Clang thread-safety annotations and annotated locking primitives.
+ *
+ * The macros map to clang's `-Wthread-safety` capability attributes and
+ * compile to nothing elsewhere, so gcc builds are unaffected while every
+ * clang build (local and CI) statically proves that guarded members are
+ * only touched with their mutex held.
+ *
+ * libstdc++'s std::mutex carries no capability attributes, so the
+ * analysis cannot see std::lock_guard acquisitions. th::Mutex /
+ * th::LockGuard / th::UniqueLock are thin annotated wrappers that make
+ * acquisitions visible to the checker; use them for any mutex whose
+ * guarded data should be machine-checked (tools/th_lint enforces that
+ * every mutex member carries an annotated data set).
+ */
+
+#ifndef TH_COMMON_THREAD_ANNOTATIONS_H
+#define TH_COMMON_THREAD_ANNOTATIONS_H
+
+#include <mutex>
+
+#if defined(__clang__)
+#define TH_THREAD_ATTR(x) __attribute__((x))
+#else
+#define TH_THREAD_ATTR(x)
+#endif
+
+/** Marks a type as a lockable capability ("mutex"). */
+#define TH_CAPABILITY(x) TH_THREAD_ATTR(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define TH_SCOPED_CAPABILITY TH_THREAD_ATTR(scoped_lockable)
+
+/** Member may only be read/written while holding the given mutex. */
+#define TH_GUARDED_BY(x) TH_THREAD_ATTR(guarded_by(x))
+
+/** Pointee may only be dereferenced while holding the given mutex. */
+#define TH_PT_GUARDED_BY(x) TH_THREAD_ATTR(pt_guarded_by(x))
+
+/** Function requires the listed mutexes to be held by the caller. */
+#define TH_REQUIRES(...) TH_THREAD_ATTR(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed mutexes (no args: `this`). */
+#define TH_ACQUIRE(...) TH_THREAD_ATTR(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed mutexes (no args: `this`). */
+#define TH_RELEASE(...) TH_THREAD_ATTR(release_capability(__VA_ARGS__))
+
+/** Function acquires the mutex iff it returns the given value. */
+#define TH_TRY_ACQUIRE(...) TH_THREAD_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed mutexes (deadlock prevention). */
+#define TH_EXCLUDES(...) TH_THREAD_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Escape hatch: disable the analysis for one function. */
+#define TH_NO_THREAD_SAFETY_ANALYSIS TH_THREAD_ATTR(no_thread_safety_analysis)
+
+namespace th {
+
+/** std::mutex with capability attributes the analysis can track. */
+class TH_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() TH_ACQUIRE() { mu_.lock(); }
+    void unlock() TH_RELEASE() { mu_.unlock(); }
+    bool try_lock() TH_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  private:
+    std::mutex mu_; // th_lint: excluded(implementation of the annotated wrapper itself)
+};
+
+/** std::lock_guard equivalent over th::Mutex. */
+class TH_SCOPED_CAPABILITY LockGuard
+{
+  public:
+    explicit LockGuard(Mutex &mu) TH_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~LockGuard() TH_RELEASE() { mu_.unlock(); }
+
+    LockGuard(const LockGuard &) = delete;
+    LockGuard &operator=(const LockGuard &) = delete;
+
+  private:
+    Mutex &mu_;
+};
+
+/**
+ * Relockable scoped lock for condition waits: satisfies BasicLockable,
+ * so std::condition_variable_any can release/reacquire it inside
+ * wait(). The analysis treats a wait as lock-neutral (held before and
+ * after), which matches what callers may assume.
+ */
+class TH_SCOPED_CAPABILITY UniqueLock
+{
+  public:
+    explicit UniqueLock(Mutex &mu) TH_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~UniqueLock() TH_RELEASE() { mu_.unlock(); }
+
+    UniqueLock(const UniqueLock &) = delete;
+    UniqueLock &operator=(const UniqueLock &) = delete;
+
+    void lock() TH_ACQUIRE() { mu_.lock(); }
+    void unlock() TH_RELEASE() { mu_.unlock(); }
+
+  private:
+    Mutex &mu_;
+};
+
+} // namespace th
+
+#endif // TH_COMMON_THREAD_ANNOTATIONS_H

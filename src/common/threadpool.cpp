@@ -27,7 +27,7 @@ ThreadPool::ThreadPool(int num_threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         stop_ = true;
     }
     work_cv_.notify_all();
@@ -43,10 +43,12 @@ ThreadPool::workerLoop()
     for (;;) {
         Job *job = nullptr;
         {
-            std::unique_lock<std::mutex> lock(mu_);
-            work_cv_.wait(lock, [&] {
-                return stop_ || (job_ != nullptr && generation_ != seen);
-            });
+            // Explicit wait loop (not the predicate overload): the
+            // thread-safety analysis cannot see that a predicate lambda
+            // runs with mu_ held, whereas these reads visibly do.
+            UniqueLock lock(mu_);
+            while (!stop_ && !(job_ != nullptr && generation_ != seen))
+                work_cv_.wait(lock);
             if (stop_)
                 return;
             seen = generation_;
@@ -56,7 +58,7 @@ ThreadPool::workerLoop()
         drainJob(*job);
         bool finished;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            LockGuard lock(mu_);
             --job->active;
             finished = job->done == job->n && job->active == 0;
         }
@@ -71,7 +73,7 @@ ThreadPool::drainJob(Job &job)
     for (;;) {
         std::size_t begin, end;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            LockGuard lock(mu_);
             if (job.next >= job.n)
                 return;
             begin = job.next;
@@ -82,14 +84,14 @@ ThreadPool::drainJob(Job &job)
             try {
                 (*job.body)(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(mu_);
+                LockGuard lock(mu_);
                 if (!job.error)
                     job.error = std::current_exception();
             }
         }
         bool finished;
         {
-            std::lock_guard<std::mutex> lock(mu_);
+            LockGuard lock(mu_);
             job.done += end - begin;
             finished = job.done == job.n && job.active == 0;
         }
@@ -120,7 +122,7 @@ ThreadPool::parallelFor(std::size_t n,
     job.chunk = std::max<std::size_t>(
         1, n / (static_cast<std::size_t>(threads()) * 4));
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        LockGuard lock(mu_);
         job_ = &job;
         ++generation_;
     }
@@ -128,11 +130,12 @@ ThreadPool::parallelFor(std::size_t n,
 
     drainJob(job);
 
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] {
-        return job.done == job.n && job.active == 0;
-    });
-    job_ = nullptr;
+    {
+        UniqueLock lock(mu_);
+        while (!(job.done == job.n && job.active == 0))
+            done_cv_.wait(lock);
+        job_ = nullptr;
+    }
     if (job.error)
         std::rethrow_exception(job.error);
 }
@@ -160,8 +163,10 @@ ThreadPool::parseThreads(const char *text, int fallback)
 int
 ThreadPool::configuredThreads()
 {
-    const int hw =
-        std::max(1u, std::thread::hardware_concurrency());
+    const int hw = std::max(
+        1, static_cast<int>(std::thread::hardware_concurrency()));
+    // Read once, before any worker exists; no concurrent setenv here.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     return parseThreads(std::getenv("TH_THREADS"), hw);
 }
 

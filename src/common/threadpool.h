@@ -17,10 +17,11 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace th {
 
@@ -100,12 +101,13 @@ class ThreadPool
     void drainJob(Job &job);
 
     std::vector<std::thread> workers_;
-    std::mutex mu_;
-    std::condition_variable work_cv_; ///< Workers wait for a job.
-    std::condition_variable done_cv_; ///< Caller waits for completion.
-    Job *job_ = nullptr;              ///< Active job (under mu_).
-    std::uint64_t generation_ = 0;    ///< Bumped per job (under mu_).
-    bool stop_ = false;
+    Mutex mu_;
+    /// _any variants: they wait on the annotated th::UniqueLock.
+    std::condition_variable_any work_cv_; ///< Workers wait for a job.
+    std::condition_variable_any done_cv_; ///< Caller waits for done.
+    Job *job_ TH_GUARDED_BY(mu_) = nullptr;           ///< Active job.
+    std::uint64_t generation_ TH_GUARDED_BY(mu_) = 0; ///< Bumped per job.
+    bool stop_ TH_GUARDED_BY(mu_) = false;
 };
 
 } // namespace th

@@ -25,7 +25,10 @@ enum class SchedAllocPolicy {
 /** Full configuration of one simulated core. */
 struct CoreConfig
 {
-    std::string name = "base";
+    /** Display label only — never affects simulation, and ablation
+     *  variants deliberately share the base name, so configHash must
+     *  not fold it. */
+    std::string name = "base"; // th_lint: excluded(display label; not a simulation input)
 
     // --- Table 1 parameters. ---
     int fetchWidth = 4;

@@ -61,7 +61,7 @@ System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
     const std::uint64_t hash = configHash(cfg);
     const std::string key = benchmark + '\0' + std::to_string(hash);
     {
-        std::lock_guard<std::mutex> lock(cache_mu_);
+        LockGuard lock(cache_mu_);
         auto it = core_cache_.find(key);
         if (it != core_cache_.end()) {
             cache_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -84,7 +84,7 @@ System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
             store_->storeCoreResult(benchmark, hash, result);
     }
     {
-        std::lock_guard<std::mutex> lock(cache_mu_);
+        LockGuard lock(cache_mu_);
         core_cache_.emplace(key, result);
     }
     return result;
@@ -110,7 +110,7 @@ System::coreCacheStats() const
 void
 System::clearCoreCache()
 {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    LockGuard lock(cache_mu_);
     core_cache_.clear();
     cache_hits_.store(0, std::memory_order_relaxed);
     cache_misses_.store(0, std::memory_order_relaxed);
@@ -175,7 +175,7 @@ System::runDtm(const std::string &benchmark, ConfigKind kind,
     const std::uint64_t key_hash = dtmConfigHash(cfg, dtm_opts);
     const std::string key = benchmark + '\0' + std::to_string(key_hash);
     {
-        std::lock_guard<std::mutex> lock(dtm_mu_);
+        LockGuard lock(dtm_mu_);
         auto it = dtm_cache_.find(key);
         if (it != dtm_cache_.end())
             return it->second;
@@ -197,7 +197,7 @@ System::runDtm(const std::string &benchmark, ConfigKind kind,
             store_->storeDtmReport(benchmark, key_hash, rep);
     }
     {
-        std::lock_guard<std::mutex> lock(dtm_mu_);
+        LockGuard lock(dtm_mu_);
         dtm_cache_.emplace(key, rep);
     }
     return rep;

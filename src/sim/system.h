@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "circuit/blocks.h"
+#include "common/thread_annotations.h"
 #include "core/pipeline.h"
 #include "floorplan/floorplan.h"
 #include "power/power_model.h"
@@ -153,12 +154,15 @@ class System
     HotspotModel hotspot_;
     Floorplan planar_fp_;
     Floorplan stacked_fp_;
+    // th_lint: guards(power_ — calibrated exactly once before first read)
     mutable std::once_flag calibrate_once_;
 
-    mutable std::mutex cache_mu_;
-    mutable std::unordered_map<std::string, CoreResult> core_cache_;
-    mutable std::mutex dtm_mu_;
-    mutable std::unordered_map<std::string, DtmReport> dtm_cache_;
+    mutable Mutex cache_mu_;
+    mutable std::unordered_map<std::string, CoreResult> // th_lint: excluded(lookup-only cache; never iterated)
+        core_cache_ TH_GUARDED_BY(cache_mu_);
+    mutable Mutex dtm_mu_;
+    mutable std::unordered_map<std::string, DtmReport> // th_lint: excluded(lookup-only cache; never iterated)
+        dtm_cache_ TH_GUARDED_BY(dtm_mu_);
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
 

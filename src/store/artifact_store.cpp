@@ -209,7 +209,7 @@ ArtifactStore::loadCoreResult(const std::string &benchmark,
         return false;
     const std::string path = entryPath(benchmark, cfg_hash);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     std::error_code ec;
     if (!fs::exists(path, ec)) {
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -239,7 +239,7 @@ ArtifactStore::loadDtmReport(const std::string &benchmark,
         return false;
     const std::string path = dtmEntryPath(benchmark, key);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     std::error_code ec;
     if (!fs::exists(path, ec)) {
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -276,7 +276,7 @@ ArtifactStore::storeDtmReport(const std::string &benchmark,
     Encoder body;
     encodeDtmReport(body, rep);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ChunkFileWriter writer;
     bool ok = writer.open(tmp, kDtmReportFormatTag, kStoreSchemaVersion);
     ok = ok && writer.chunk("META", meta);
@@ -320,7 +320,7 @@ ArtifactStore::storeCoreResult(const std::string &benchmark,
     Encoder cres;
     encodeCoreResult(cres, r);
 
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     ChunkFileWriter writer;
     bool ok = writer.open(tmp, kCoreResultFormatTag, kStoreSchemaVersion);
     ok = ok && writer.chunk("META", meta);
@@ -418,7 +418,7 @@ ArtifactStore::gc(std::uint64_t max_bytes)
 {
     if (!enabled())
         return 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     int removed = 0;
     std::uint64_t live_bytes = 0;
     std::vector<Entry> live;
@@ -453,7 +453,7 @@ ArtifactStore::verify()
 {
     if (!enabled())
         return 0;
-    std::lock_guard<std::mutex> lock(mu_);
+    LockGuard lock(mu_);
     int bad = 0;
     for (const Entry &e : list()) {
         if (e.quarantined) {

@@ -30,10 +30,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/pipeline.h"
 #include "dtm/engine.h"
 
@@ -143,9 +143,10 @@ class ArtifactStore
      * Refresh @p path's mtime so the LRU sweep sees this hit as
      * recent. Virtual as a failure-injection seam: tests override it
      * to exercise the touch-failure accounting without needing a
-     * filesystem that rejects mtime updates. True on success.
+     * filesystem that rejects mtime updates. True on success. Called
+     * with mu_ held (part of the load transaction).
      */
-    virtual bool touchEntry(const std::string &path);
+    virtual bool touchEntry(const std::string &path) TH_REQUIRES(mu_);
 
   private:
     std::string entryPath(const std::string &benchmark,
@@ -153,18 +154,22 @@ class ArtifactStore
     std::string dtmEntryPath(const std::string &benchmark,
                              std::uint64_t key) const;
     bool readEntry(const std::string &path, const std::string &benchmark,
-                   std::uint64_t cfg_hash, CoreResult *out) const;
+                   std::uint64_t cfg_hash, CoreResult *out) const
+        TH_REQUIRES(mu_);
     bool readDtmEntry(const std::string &path,
                       const std::string &benchmark, std::uint64_t key,
-                      DtmReport *out) const;
-    void quarantine(const std::string &path);
+                      DtmReport *out) const TH_REQUIRES(mu_);
+    void quarantine(const std::string &path) TH_REQUIRES(mu_);
     /** Count a failed touchEntry and warn the first time. */
-    void noteTouchFailure(const std::string &path);
+    void noteTouchFailure(const std::string &path) TH_REQUIRES(mu_);
     /** Enforce opts_.maxBytes; caller holds mu_. */
-    void enforceCapLocked();
+    void enforceCapLocked() TH_REQUIRES(mu_);
 
     StoreOptions opts_;
-    mutable std::mutex mu_;
+    /** Serializes filesystem transactions: the guarded state is the
+     *  store directory itself (lookup/commit/quarantine/evict must not
+     *  interleave); the TH_REQUIRES methods above are its data set. */
+    mutable Mutex mu_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> stores_{0};

@@ -1,0 +1,16 @@
+// Fixture: an annotated th::Mutex with its guarded data set.
+#include "common/thread_annotations.h"
+
+namespace th {
+
+class State
+{
+  public:
+    int get() const;
+
+  private:
+    mutable Mutex mu_;
+    int value_ TH_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace th

@@ -1,0 +1,12 @@
+// Fixture: fully covered config — zero diagnostics expected.
+namespace th {
+
+struct CoreConfig
+{
+    int fetchWidth = 4;
+    int robSize = 96;
+    // th_lint: excluded(display label; not a simulation input)
+    int decorativeTag = 0;
+};
+
+} // namespace th

@@ -1,0 +1,12 @@
+// Fixture: folds every non-excluded CoreConfig field.
+namespace th {
+
+unsigned long configHash(const CoreConfig &c)
+{
+    Hasher h;
+    h.add(c.fetchWidth);
+    h.add(c.robSize);
+    return h.value();
+}
+
+} // namespace th

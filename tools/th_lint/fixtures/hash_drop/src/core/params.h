@@ -1,0 +1,10 @@
+// Fixture: CoreConfig with a field configHash forgets to fold.
+namespace th {
+
+struct CoreConfig
+{
+    int fetchWidth = 4;
+    int robSize = 96;
+};
+
+} // namespace th

@@ -1,0 +1,11 @@
+// Fixture: folds fetchWidth but not robSize.
+namespace th {
+
+unsigned long configHash(const CoreConfig &c)
+{
+    Hasher h;
+    h.add(c.fetchWidth);
+    return h.value();
+}
+
+} // namespace th

@@ -1,0 +1,9 @@
+// Fixture: libc randomness in a result-producing directory.
+namespace th {
+
+int jitter()
+{
+    return rand() % 7;
+}
+
+} // namespace th

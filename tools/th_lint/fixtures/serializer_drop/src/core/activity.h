@@ -1,0 +1,10 @@
+// Fixture: PerfStats with a field the decoder forgets.
+namespace th {
+
+struct PerfStats
+{
+    unsigned long cycles = 0;
+    unsigned long loads = 0;
+};
+
+} // namespace th

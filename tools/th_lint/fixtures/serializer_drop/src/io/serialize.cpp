@@ -1,0 +1,15 @@
+// Fixture: encode covers both fields, decode drops 'loads'.
+namespace th {
+
+void encodePerfStats(Writer &w, const PerfStats &s)
+{
+    w.u64(s.cycles);
+    w.u64(s.loads);
+}
+
+void decodePerfStats(Reader &r, PerfStats &s)
+{
+    s.cycles = r.u64();
+}
+
+} // namespace th

@@ -1,0 +1,16 @@
+// Fixture: a raw std::mutex member, invisible to -Wthread-safety.
+#include <mutex>
+
+namespace th {
+
+class Widget
+{
+  public:
+    void poke();
+
+  private:
+    std::mutex mu_;
+    int count_ = 0;
+};
+
+} // namespace th

@@ -1,0 +1,13 @@
+// Fixture: an unordered container in a result-producing directory
+// without a lookup-only exclusion marker.
+#include <string>
+#include <unordered_map>
+
+namespace th {
+
+struct Registry
+{
+    std::unordered_map<std::string, int> ids_;
+};
+
+} // namespace th

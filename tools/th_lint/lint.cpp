@@ -1,0 +1,952 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace th_lint {
+
+namespace {
+
+// --------------------------------------------------------------------
+// Tokenizer
+// --------------------------------------------------------------------
+
+enum class Tok { Ident, Punct };
+
+struct Token
+{
+    Tok kind = Tok::Punct;
+    std::string text;
+    int line = 0;
+};
+
+/** A parsed `// th_lint: <kind>(<reason>)` comment. */
+struct Marker
+{
+    int line = 0;
+    std::string kind;   ///< "excluded" or "guards".
+    std::string reason;
+    bool malformed = false;
+};
+
+struct SourceFile
+{
+    std::string relPath; ///< Root-relative, for reporting.
+    bool loaded = false;
+    std::vector<Token> tokens;
+    std::map<int, Marker> markers; ///< By line of the comment.
+};
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Parse a th_lint marker out of one comment's text, if present. */
+std::optional<Marker>
+parseMarker(const std::string &comment, int line)
+{
+    const std::size_t at = comment.find("th_lint");
+    if (at == std::string::npos)
+        return std::nullopt;
+    Marker m;
+    m.line = line;
+    std::size_t i = at + 7; // past "th_lint"
+    // Expect ':' then a kind identifier, then optional "(reason)".
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i])))
+        ++i;
+    // No colon: prose mentioning th_lint, not a marker attempt.
+    if (i >= comment.size() || comment[i] != ':')
+        return std::nullopt;
+    ++i;
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i])))
+        ++i;
+    std::size_t kb = i;
+    while (i < comment.size() && (isIdentChar(comment[i]) ||
+                                  comment[i] == '-'))
+        ++i;
+    m.kind = comment.substr(kb, i - kb);
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i])))
+        ++i;
+    if (i < comment.size() && comment[i] == '(') {
+        int depth = 1;
+        std::size_t rb = ++i;
+        while (i < comment.size() && depth > 0) {
+            if (comment[i] == '(')
+                ++depth;
+            else if (comment[i] == ')')
+                --depth;
+            if (depth > 0)
+                ++i;
+        }
+        m.reason = comment.substr(rb, i - rb);
+        if (depth != 0)
+            m.malformed = true;
+    }
+    if (m.kind != "excluded" && m.kind != "guards")
+        m.malformed = true;
+    if (!m.malformed && m.reason.empty())
+        m.malformed = true; // A marker without a reason is a smell.
+    return m;
+}
+
+/**
+ * Lex one file: preprocessor lines, comments, and literals stripped;
+ * identifiers and punctuation kept; `th_lint` comments recorded as
+ * markers. `::` and `->` are fused; everything else is one char.
+ */
+void
+lex(const std::string &text, SourceFile &out)
+{
+    const std::size_t n = text.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool atLineStart = true;
+
+    auto record = [&](const std::string &comment, int cline) {
+        if (auto m = parseMarker(comment, cline))
+            out.markers[cline] = *m;
+    };
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            atLineStart = true;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (atLineStart && c == '#') {
+            // Preprocessor directive: skip to end of (continued) line.
+            while (i < n) {
+                if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+                    ++line;
+                    i += 2;
+                    continue;
+                }
+                if (text[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        atLineStart = false;
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            const int cline = line;
+            std::size_t b = i;
+            while (i < n && text[i] != '\n')
+                ++i;
+            record(text.substr(b, i - b), cline);
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            const int cline = line;
+            std::size_t b = i;
+            i += 2;
+            while (i + 1 < n &&
+                   !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = std::min(n, i + 2);
+            record(text.substr(b, i - b), cline);
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            // Raw strings: the repo doesn't use them; handle the
+            // common R"( ... )" form anyway.
+            if (c == '"' && i > 0 && text[i - 1] == 'R') {
+                std::size_t d = i + 1;
+                while (d < n && text[d] != '(')
+                    ++d;
+                const std::string delim =
+                    ")" + text.substr(i + 1, d - i - 1) + "\"";
+                const std::size_t e = text.find(delim, d);
+                for (std::size_t k = i;
+                     k < std::min(n, e == std::string::npos
+                                         ? n
+                                         : e + delim.size());
+                     ++k)
+                    if (text[k] == '\n')
+                        ++line;
+                i = e == std::string::npos ? n : e + delim.size();
+                continue;
+            }
+            const char quote = c;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\')
+                    ++i;
+                if (i < n && text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            ++i;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            // pp-number (handles 1e-4, 0x1b3ULL, 1.0); emits no token.
+            ++i;
+            while (i < n) {
+                const char d = text[i];
+                if (isIdentChar(d) || d == '.') {
+                    ++i;
+                } else if ((d == '+' || d == '-') && i > 0 &&
+                           (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                            text[i - 1] == 'p' || text[i - 1] == 'P')) {
+                    ++i;
+                } else {
+                    break;
+                }
+            }
+            continue;
+        }
+        if (isIdentStart(c)) {
+            std::size_t b = i;
+            while (i < n && isIdentChar(text[i]))
+                ++i;
+            out.tokens.push_back(
+                {Tok::Ident, text.substr(b, i - b), line});
+            continue;
+        }
+        if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+            out.tokens.push_back({Tok::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+            out.tokens.push_back({Tok::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.tokens.push_back({Tok::Punct, std::string(1, c), line});
+        ++i;
+    }
+}
+
+/** Loader with a per-run cache (several rules share files). */
+class FileSet
+{
+  public:
+    explicit FileSet(std::string root) : root_(std::move(root)) {}
+
+    const SourceFile &get(const std::string &rel)
+    {
+        auto it = cache_.find(rel);
+        if (it != cache_.end())
+            return it->second;
+        SourceFile sf;
+        sf.relPath = rel;
+        std::ifstream in(fs::path(root_) / rel,
+                         std::ios::in | std::ios::binary);
+        if (in) {
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            lex(ss.str(), sf);
+            sf.loaded = true;
+        }
+        return cache_.emplace(rel, std::move(sf)).first->second;
+    }
+
+    const std::string &root() const { return root_; }
+
+  private:
+    std::string root_;
+    std::map<std::string, SourceFile> cache_;
+};
+
+/** True when an "excluded" marker covers @p line (itself or above). */
+bool
+isExcluded(const SourceFile &sf, int line)
+{
+    for (int l : {line, line - 1}) {
+        auto it = sf.markers.find(l);
+        if (it != sf.markers.end() && !it->second.malformed &&
+            it->second.kind == "excluded")
+            return true;
+    }
+    return false;
+}
+
+/** True when a "guards" marker covers @p line (itself or above). */
+bool
+hasGuardsMarker(const SourceFile &sf, int line)
+{
+    for (int l : {line, line - 1}) {
+        auto it = sf.markers.find(l);
+        if (it != sf.markers.end() && !it->second.malformed &&
+            (it->second.kind == "guards" ||
+             it->second.kind == "excluded"))
+            return true;
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Struct field extraction
+// --------------------------------------------------------------------
+
+struct Field
+{
+    std::string name;
+    int line = 0;
+    bool excluded = false;
+};
+
+bool
+isTypeIntro(const std::string &t)
+{
+    return t == "struct" || t == "class" || t == "enum" || t == "union";
+}
+
+/** True when @p stmt has a '(' at nesting depth 0 before any '='. */
+bool
+looksLikeFunction(const std::vector<Token> &stmt)
+{
+    int depth = 0;
+    for (const Token &t : stmt) {
+        if (t.kind != Tok::Punct)
+            continue;
+        if (t.text == "(" && depth == 0)
+            return true;
+        if (t.text == "=" && depth == 0)
+            return false;
+        if (t.text == "(" || t.text == "[" || t.text == "<")
+            ++depth;
+        else if (t.text == ")" || t.text == "]" || t.text == ">")
+            depth = std::max(0, depth - 1);
+    }
+    return false;
+}
+
+/** Extract declarator names from one member statement. */
+void
+namesFromStatement(const std::vector<Token> &stmt, const SourceFile &sf,
+                   std::vector<Field> &out)
+{
+    if (stmt.empty())
+        return;
+    for (std::size_t k = 0; k < std::min<std::size_t>(2, stmt.size());
+         ++k) {
+        const std::string &t0 = stmt[k].text;
+        if (t0 == "using" || t0 == "typedef" || t0 == "friend" ||
+            t0 == "static" || t0 == "template")
+            return;
+    }
+    if (looksLikeFunction(stmt))
+        return;
+
+    // Split into declarator chunks at top-level commas.
+    std::vector<std::vector<Token>> chunks(1);
+    int depth = 0;
+    for (const Token &t : stmt) {
+        if (t.kind == Tok::Punct) {
+            if (t.text == "(" || t.text == "[" || t.text == "<")
+                ++depth;
+            else if (t.text == ")" || t.text == "]" || t.text == ">")
+                depth = std::max(0, depth - 1);
+            else if (t.text == "," && depth == 0) {
+                chunks.emplace_back();
+                continue;
+            }
+        }
+        chunks.back().push_back(t);
+    }
+
+    for (const auto &chunk : chunks) {
+        const Token *name = nullptr;
+        depth = 0;
+        for (const Token &t : chunk) {
+            if (t.kind == Tok::Punct && depth == 0 &&
+                (t.text == "=" || t.text == "{}" || t.text == "["))
+                break;
+            if (t.kind == Tok::Punct) {
+                if (t.text == "(" || t.text == "[" || t.text == "<")
+                    ++depth;
+                else if (t.text == ")" || t.text == "]" ||
+                         t.text == ">")
+                    depth = std::max(0, depth - 1);
+            }
+            if (t.kind == Tok::Ident && depth == 0)
+                name = &t;
+        }
+        if (name == nullptr)
+            continue;
+        out.push_back(
+            {name->text, name->line, isExcluded(sf, name->line)});
+    }
+}
+
+/**
+ * Fields of `struct <name> { ... }` in @p sf. False when no definition
+ * of the struct exists in the file.
+ */
+bool
+parseStructFields(const SourceFile &sf, const std::string &name,
+                  std::vector<Field> &out)
+{
+    const auto &toks = sf.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident || !isTypeIntro(toks[i].text))
+            continue;
+        if (toks[i + 1].kind != Tok::Ident || toks[i + 1].text != name)
+            continue;
+        // Find '{' of the definition before any ';' (else: fwd decl).
+        std::size_t j = i + 2;
+        while (j < toks.size() && toks[j].text != "{" &&
+               toks[j].text != ";")
+            ++j;
+        if (j >= toks.size() || toks[j].text == ";")
+            continue;
+
+        // Walk the body at depth 1, accumulating member statements.
+        std::vector<Token> stmt;
+        int depth = 1;
+        ++j;
+        while (j < toks.size() && depth > 0) {
+            const Token &t = toks[j];
+            if (t.kind == Tok::Punct && t.text == "{") {
+                const bool discard = looksLikeFunction(stmt) ||
+                    (!stmt.empty() && isTypeIntro(stmt[0].text));
+                // Skip to the matching '}'.
+                int d = 1;
+                ++j;
+                while (j < toks.size() && d > 0) {
+                    if (toks[j].text == "{")
+                        ++d;
+                    else if (toks[j].text == "}")
+                        --d;
+                    ++j;
+                }
+                if (discard) {
+                    stmt.clear();
+                    // A method body needs no ';'; a nested type does —
+                    // either way the next ';' (if adjacent) is noise.
+                    if (j < toks.size() && toks[j].text == ";")
+                        ++j;
+                } else {
+                    stmt.push_back({Tok::Punct, "{}", t.line});
+                }
+                continue;
+            }
+            if (t.kind == Tok::Punct && t.text == "}") {
+                --depth;
+                ++j;
+                continue;
+            }
+            if (t.kind == Tok::Punct && t.text == ";") {
+                namesFromStatement(stmt, sf, out);
+                stmt.clear();
+                ++j;
+                continue;
+            }
+            if (t.kind == Tok::Punct && t.text == ":" &&
+                stmt.size() == 1 &&
+                (stmt[0].text == "public" || stmt[0].text == "private" ||
+                 stmt[0].text == "protected")) {
+                stmt.clear();
+                ++j;
+                continue;
+            }
+            stmt.push_back(t);
+            ++j;
+        }
+        return true;
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Function body extraction
+// --------------------------------------------------------------------
+
+/**
+ * Identifiers appearing in the body of the first *definition* of
+ * @p fn in @p sf (calls — `fn(...)` not followed by a body — are
+ * skipped). False when no definition is found.
+ */
+bool
+functionBodyIdents(const SourceFile &sf, const std::string &fn,
+                   std::set<std::string> &idents)
+{
+    const auto &toks = sf.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident || toks[i].text != fn)
+            continue;
+        if (toks[i + 1].text != "(")
+            continue;
+        // Match the parameter list.
+        std::size_t j = i + 1;
+        int d = 0;
+        do {
+            if (toks[j].text == "(")
+                ++d;
+            else if (toks[j].text == ")")
+                --d;
+            ++j;
+        } while (j < toks.size() && d > 0);
+        // Definition iff '{' follows (allowing cv/ref qualifiers).
+        while (j < toks.size() && toks[j].kind == Tok::Ident &&
+               (toks[j].text == "const" || toks[j].text == "noexcept" ||
+                toks[j].text == "override" || toks[j].text == "final"))
+            ++j;
+        if (j >= toks.size() || toks[j].text != "{")
+            continue; // A call or a pure declaration; keep looking.
+        d = 1;
+        ++j;
+        while (j < toks.size() && d > 0) {
+            if (toks[j].text == "{")
+                ++d;
+            else if (toks[j].text == "}")
+                --d;
+            else if (toks[j].kind == Tok::Ident)
+                idents.insert(toks[j].text);
+            ++j;
+        }
+        return true;
+    }
+    return false;
+}
+
+// --------------------------------------------------------------------
+// Check 1: hash / serializer field coverage
+// --------------------------------------------------------------------
+
+struct FnRef
+{
+    const char *name;
+    const char *file;
+};
+
+struct CoverageRule
+{
+    const char *structName;
+    const char *structFile;
+    std::vector<FnRef> fns;
+    const char *check;
+};
+
+const std::vector<CoverageRule> &
+coverageRules()
+{
+    // NOTE: paths are repo-root-relative. When a struct or function
+    // moves, update this table — in normal mode a stale entry is a
+    // diagnostic, never a silently skipped check.
+    static const std::vector<CoverageRule> rules = {
+        {"CoreConfig", "src/core/params.h",
+         {{"configHash", "src/sim/configs.cpp"}},
+         "hash-coverage"},
+        {"DtmOptions", "src/dtm/engine.h",
+         {{"dtmConfigHash", "src/sim/configs.cpp"}},
+         "hash-coverage"},
+        {"DtmTriggers", "src/dtm/policy.h",
+         {{"dtmConfigHash", "src/sim/configs.cpp"}},
+         "hash-coverage"},
+        {"PerfStats", "src/core/activity.h",
+         {{"encodePerfStats", "src/io/serialize.cpp"},
+          {"decodePerfStats", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"ActivityStats", "src/core/activity.h",
+         {{"encodeActivityStats", "src/io/serialize.cpp"},
+          {"decodeActivityStats", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"CoreResult", "src/core/pipeline.h",
+         {{"encodeCoreResult", "src/io/serialize.cpp"},
+          {"decodeCoreResult", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"DtmReport", "src/dtm/engine.h",
+         {{"encodeDtmReport", "src/io/serialize.cpp"},
+          {"decodeDtmReport", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"DtmIntervalSample", "src/dtm/engine.h",
+         {{"encodeDtmReport", "src/io/serialize.cpp"},
+          {"decodeDtmReport", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+    };
+    return rules;
+}
+
+void
+checkCoverage(FileSet &files, const Options &opts,
+              std::vector<Diagnostic> &diags)
+{
+    for (const CoverageRule &rule : coverageRules()) {
+        const SourceFile &sf = files.get(rule.structFile);
+        if (!sf.loaded) {
+            if (!opts.fixtureMode)
+                diags.push_back(
+                    {rule.structFile, 0, rule.check,
+                     std::string("cannot read '") + rule.structFile +
+                         "' for struct " + rule.structName +
+                         " — update the rule table in "
+                         "tools/th_lint/lint.cpp if it moved"});
+            continue;
+        }
+        std::vector<Field> fields;
+        if (!parseStructFields(sf, rule.structName, fields)) {
+            if (!opts.fixtureMode)
+                diags.push_back(
+                    {rule.structFile, 0, rule.check,
+                     std::string("struct ") + rule.structName +
+                         " not found — update the rule table in "
+                         "tools/th_lint/lint.cpp if it moved"});
+            continue;
+        }
+        for (const FnRef &fn : rule.fns) {
+            const SourceFile &ff = files.get(fn.file);
+            std::set<std::string> idents;
+            if (!ff.loaded || !functionBodyIdents(ff, fn.name, idents)) {
+                diags.push_back(
+                    {fn.file, 0, rule.check,
+                     std::string("definition of ") + fn.name +
+                         "() not found; " + rule.structName +
+                         " coverage cannot be verified"});
+                continue;
+            }
+            for (const Field &f : fields) {
+                if (f.excluded || idents.count(f.name))
+                    continue;
+                diags.push_back(
+                    {rule.structFile, f.line, rule.check,
+                     std::string(fn.name) + "() (" + fn.file +
+                         ") does not reference " + rule.structName +
+                         " field '" + f.name +
+                         "' — fold/serialize it or mark the field "
+                         "// th_lint: excluded(<reason>)"});
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// File walking for checks 2 and 3
+// --------------------------------------------------------------------
+
+std::vector<std::string>
+sourcesUnder(const std::string &root, const std::string &rel)
+{
+    std::vector<std::string> out;
+    const fs::path base = fs::path(root) / rel;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec))
+        return out;
+    for (fs::recursive_directory_iterator it(base, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file())
+            continue;
+        const std::string ext = it->path().extension().string();
+        if (ext != ".h" && ext != ".cpp" && ext != ".inl")
+            continue;
+        out.push_back(
+            fs::relative(it->path(), root, ec).generic_string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+// --------------------------------------------------------------------
+// Check 2: determinism in result-producing directories
+// --------------------------------------------------------------------
+
+const char *const kResultDirs[] = {"src/core", "src/thermal",
+                                   "src/power", "src/dtm", "src/sim"};
+
+bool
+isBannedRandomIdent(const std::string &t)
+{
+    static const std::set<std::string> banned = {
+        "rand",          "srand",        "drand48",
+        "lrand48",       "mrand48",      "random_device",
+        "mt19937",       "mt19937_64",   "minstd_rand",
+        "minstd_rand0",  "ranlux24",     "ranlux48",
+        "default_random_engine",         "random_shuffle",
+    };
+    return banned.count(t) != 0;
+}
+
+void
+checkDeterminism(FileSet &files, const Options &opts,
+                 std::vector<Diagnostic> &diags)
+{
+    for (const char *dir : kResultDirs) {
+        const auto sources = sourcesUnder(files.root(), dir);
+        if (sources.empty()) {
+            if (!opts.fixtureMode)
+                diags.push_back(
+                    {dir, 0, "determinism",
+                     "result-producing directory has no sources — "
+                     "update tools/th_lint/lint.cpp if it moved"});
+            continue;
+        }
+        for (const std::string &rel : sources) {
+            const SourceFile &sf = files.get(rel);
+            const auto &toks = sf.tokens;
+            for (std::size_t i = 0; i < toks.size(); ++i) {
+                const Token &t = toks[i];
+                if (t.kind != Tok::Ident || isExcluded(sf, t.line))
+                    continue;
+                if (isBannedRandomIdent(t.text)) {
+                    diags.push_back(
+                        {rel, t.line, "determinism",
+                         "non-deterministic randomness '" + t.text +
+                             "' in a result-producing directory; use "
+                             "th::Rng (common/rng.h)"});
+                } else if ((t.text == "time" || t.text == "clock") &&
+                           i + 1 < toks.size() &&
+                           toks[i + 1].text == "(" &&
+                           (i == 0 || (toks[i - 1].text != "." &&
+                                       toks[i - 1].text != "->"))) {
+                    diags.push_back(
+                        {rel, t.line, "determinism",
+                         "wall-clock call '" + t.text +
+                             "()' in a result-producing directory"});
+                } else if (t.text == "unordered_map" ||
+                           t.text == "unordered_set") {
+                    diags.push_back(
+                        {rel, t.line, "determinism",
+                         "std::" + t.text +
+                             " in a result-producing directory: "
+                             "iteration order is unspecified; use an "
+                             "ordered container or mark the "
+                             "declaration // th_lint: "
+                             "excluded(<reason>) if it is lookup-only"});
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Check 3: mutex annotation completeness
+// --------------------------------------------------------------------
+
+bool
+isAnnotationMacro(const std::string &t)
+{
+    static const std::set<std::string> macros = {
+        "TH_GUARDED_BY", "TH_PT_GUARDED_BY", "TH_REQUIRES",
+        "TH_ACQUIRE",    "TH_RELEASE",       "TH_TRY_ACQUIRE",
+        "TH_EXCLUDES",
+    };
+    return macros.count(t) != 0;
+}
+
+/** Names referenced by any TH_* annotation argument list in @p sf. */
+std::set<std::string>
+annotatedNames(const SourceFile &sf)
+{
+    std::set<std::string> names;
+    const auto &toks = sf.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident ||
+            !isAnnotationMacro(toks[i].text) ||
+            toks[i + 1].text != "(")
+            continue;
+        std::size_t j = i + 2;
+        int d = 1;
+        while (j < toks.size() && d > 0) {
+            if (toks[j].text == "(")
+                ++d;
+            else if (toks[j].text == ")")
+                --d;
+            else if (toks[j].kind == Tok::Ident)
+                names.insert(toks[j].text);
+            ++j;
+        }
+    }
+    return names;
+}
+
+void
+checkMutexAnnotations(FileSet &files, const Options &,
+                      std::vector<Diagnostic> &diags)
+{
+    for (const std::string &rel : sourcesUnder(files.root(), "src")) {
+        const SourceFile &sf = files.get(rel);
+        const auto &toks = sf.tokens;
+        std::set<std::string> annotated; // Lazily computed.
+        bool haveAnnotated = false;
+        for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.kind != Tok::Ident)
+                continue;
+            const Token &next = toks[i + 1];
+
+            // `std::mutex <name>` members: invisible to the analysis.
+            if (t.text == "mutex" && i >= 2 &&
+                toks[i - 1].text == "::" && toks[i - 2].text == "std" &&
+                next.kind == Tok::Ident) {
+                if (!isExcluded(sf, next.line))
+                    diags.push_back(
+                        {rel, next.line, "mutex-annotation",
+                         "std::mutex member '" + next.text +
+                             "' is invisible to clang -Wthread-safety; "
+                             "use th::Mutex (common/thread_annotations"
+                             ".h) with a TH_GUARDED_BY data set"});
+                continue;
+            }
+
+            // `th::Mutex <name>;` / `Mutex <name>;` members.
+            if (t.text == "Mutex" && next.kind == Tok::Ident &&
+                i + 2 < toks.size() && toks[i + 2].text == ";" &&
+                (i == 0 || !isTypeIntro(toks[i - 1].text))) {
+                if (isExcluded(sf, next.line))
+                    continue;
+                if (!haveAnnotated) {
+                    annotated = annotatedNames(sf);
+                    haveAnnotated = true;
+                }
+                if (!annotated.count(next.text))
+                    diags.push_back(
+                        {rel, next.line, "mutex-annotation",
+                         "mutex '" + next.text +
+                             "' has no annotated data set: no "
+                             "TH_GUARDED_BY/TH_REQUIRES/... in this "
+                             "file names it"});
+                continue;
+            }
+
+            // `std::once_flag <name>`: document what it guards.
+            if (t.text == "once_flag" && next.kind == Tok::Ident) {
+                if (!hasGuardsMarker(sf, next.line))
+                    diags.push_back(
+                        {rel, next.line, "mutex-annotation",
+                         "once_flag '" + next.text +
+                             "' lacks a // th_lint: guards(<what>) "
+                             "marker documenting the state it "
+                             "initializes"});
+                continue;
+            }
+        }
+
+        // Malformed th_lint markers anywhere under src/.
+        for (const auto &[ln, m] : sf.markers) {
+            if (m.malformed)
+                diags.push_back(
+                    {rel, ln, "marker",
+                     "unparseable th_lint marker (want "
+                     "'th_lint: excluded(<reason>)' or "
+                     "'th_lint: guards(<what>)')"});
+        }
+    }
+}
+
+} // namespace
+
+// --------------------------------------------------------------------
+// Entry points
+// --------------------------------------------------------------------
+
+std::string
+formatDiagnostic(const Diagnostic &d)
+{
+    return d.file + ":" + std::to_string(d.line) + ": th_lint(" +
+           d.check + "): " + d.message;
+}
+
+std::vector<Diagnostic>
+runChecks(const Options &opts)
+{
+    FileSet files(opts.root);
+    std::vector<Diagnostic> diags;
+    checkCoverage(files, opts, diags);
+    checkDeterminism(files, opts, diags);
+    checkMutexAnnotations(files, opts, diags);
+    std::sort(diags.begin(), diags.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.message < b.message;
+              });
+    return diags;
+}
+
+int
+runSelfTest(const std::string &fixtures_dir)
+{
+    std::vector<std::string> cases;
+    std::error_code ec;
+    for (fs::directory_iterator it(fixtures_dir, ec), end;
+         !ec && it != end; it.increment(ec))
+        if (it->is_directory())
+            cases.push_back(it->path().filename().string());
+    std::sort(cases.begin(), cases.end());
+    if (cases.empty()) {
+        std::fprintf(stderr,
+                     "th_lint --self-test: no fixture cases in '%s'\n",
+                     fixtures_dir.c_str());
+        return 1;
+    }
+
+    int failures = 0;
+    for (const std::string &name : cases) {
+        const fs::path dir = fs::path(fixtures_dir) / name;
+        std::string expect;
+        {
+            std::ifstream in(dir / "expect.txt");
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            expect = ss.str();
+            while (!expect.empty() &&
+                   std::isspace(static_cast<unsigned char>(
+                       expect.back())))
+                expect.pop_back();
+        }
+        Options o;
+        o.root = dir.string();
+        o.fixtureMode = true;
+        const auto diags = runChecks(o);
+
+        bool pass;
+        if (expect.empty()) {
+            pass = diags.empty();
+        } else {
+            pass = diags.size() == 1 &&
+                   formatDiagnostic(diags[0]).find(expect) !=
+                       std::string::npos;
+        }
+        std::printf("[%s] %s\n", pass ? "PASS" : "FAIL", name.c_str());
+        if (!pass) {
+            ++failures;
+            std::printf("  expected %s, got %zu diagnostic(s):\n",
+                        expect.empty()
+                            ? "no diagnostics"
+                            : ("exactly one containing '" + expect +
+                               "'").c_str(),
+                        diags.size());
+            for (const auto &d : diags)
+                std::printf("    %s\n", formatDiagnostic(d).c_str());
+        }
+    }
+    std::printf("th_lint self-test: %zu case(s), %d failure(s)\n",
+                cases.size(), failures);
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace th_lint

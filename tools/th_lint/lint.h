@@ -1,0 +1,88 @@
+/**
+ * @file
+ * th_lint — repo-invariant static analysis over this repository's own
+ * sources (see DESIGN.md §9). Three checks, each guarding an invariant
+ * that runtime tests structurally cannot:
+ *
+ *  1. hash/serializer field coverage — every field of the cache-key
+ *     structs (CoreConfig, DtmOptions, DtmTriggers) must be folded into
+ *     its hash function, and every field of the persisted structs
+ *     (PerfStats, ActivityStats, CoreResult, DtmReport,
+ *     DtmIntervalSample) must be referenced by both its encode and its
+ *     decode function. A forgotten fold silently serves stale cache
+ *     artifacts; a forgotten serializer field silently loses data on
+ *     the round-trip — neither fails any test because the paper's
+ *     claims are relative comparisons.
+ *
+ *  2. determinism — result-producing directories (src/core, thermal,
+ *     power, dtm, sim) must not call wall-clock or libc randomness
+ *     sources, use std:: random engines (th::Rng is the only sanctioned
+ *     generator), or declare std::unordered_{map,set} (iteration order
+ *     is unspecified; lookup-only uses carry an exclusion marker).
+ *
+ *  3. mutex annotation completeness — every mutex member under src/
+ *     must be a th::Mutex referenced by at least one TH_GUARDED_BY /
+ *     TH_REQUIRES / ... annotation in the same file, and every
+ *     std::once_flag member must document what it guards, so clang's
+ *     -Wthread-safety analysis actually covers the shared state.
+ *
+ * Escape hatch: `// th_lint: excluded(<reason>)` on the declaration's
+ * line (or the line above) suppresses checks 1–3 for that declaration;
+ * `// th_lint: guards(<what>)` documents a once_flag. An unparseable
+ * `th_lint` comment is itself a diagnostic, so markers cannot rot.
+ *
+ * Implementation: a lightweight C++ tokenizer (comments, strings, and
+ * preprocessor lines stripped; identifiers and punctuation kept with
+ * line numbers) — deliberately no libclang dependency so the linter
+ * builds everywhere the repo builds.
+ */
+
+#ifndef TH_LINT_LINT_H
+#define TH_LINT_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace th_lint {
+
+/** One finding. Formatted as "file:line: th_lint(check): message". */
+struct Diagnostic
+{
+    std::string file;
+    int line = 0;
+    std::string check;
+    std::string message;
+};
+
+struct Options
+{
+    /** Repository root (the directory containing src/). */
+    std::string root = ".";
+
+    /**
+     * Fixture mode (used by --self-test): a coverage rule whose struct
+     * file or struct definition is absent is silently skipped, and
+     * missing determinism directories are ignored, so a fixture can be
+     * a minimal tree exercising exactly one rule. In normal mode both
+     * are diagnostics — a renamed file must not quietly disable a
+     * check.
+     */
+    bool fixtureMode = false;
+};
+
+std::string formatDiagnostic(const Diagnostic &d);
+
+/** Run all checks; returns the (deterministically sorted) findings. */
+std::vector<Diagnostic> runChecks(const Options &opts);
+
+/**
+ * Self-test over a fixtures directory: every subdirectory is a mini
+ * repo root whose `expect.txt` names a substring the single expected
+ * diagnostic must contain (an empty expect.txt means "no diagnostics").
+ * Prints one PASS/FAIL line per case; returns 0 iff all pass.
+ */
+int runSelfTest(const std::string &fixtures_dir);
+
+} // namespace th_lint
+
+#endif // TH_LINT_LINT_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * th_lint CLI. `th_lint --root DIR` lints the repository at DIR (exit
+ * 0 clean, 1 on diagnostics); `th_lint --self-test DIR` runs the
+ * fixture suite. See lint.h for what the checks enforce.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "lint.h"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--root DIR] | --self-test FIXTURES_DIR\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    std::string fixtures;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(argv[i], "--self-test") == 0 &&
+                   i + 1 < argc) {
+            fixtures = argv[++i];
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    if (!fixtures.empty())
+        return th_lint::runSelfTest(fixtures);
+
+    th_lint::Options opts;
+    opts.root = root;
+    const auto diags = th_lint::runChecks(opts);
+    for (const auto &d : diags)
+        std::printf("%s\n", th_lint::formatDiagnostic(d).c_str());
+    if (!diags.empty()) {
+        std::printf("th_lint: %zu diagnostic(s)\n", diags.size());
+        return 1;
+    }
+    std::printf("th_lint: clean\n");
+    return 0;
+}
