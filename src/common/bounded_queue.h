@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bounded multi-producer / multi-consumer task queue — the admission
+ * queue of the th_serve front-end (net/server.h). Capacity-capped so a
+ * flood of requests turns into explicit rejections (tryPush() == false
+ * -> a structured busy reply) instead of unbounded memory growth.
+ *
+ * Shutdown contract: close() stops new pushes immediately, but pop()
+ * keeps draining already-admitted items until the queue is empty —
+ * exactly the graceful-drain semantics the server needs on SIGTERM.
+ */
+
+#ifndef TH_COMMON_BOUNDED_QUEUE_H
+#define TH_COMMON_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace th {
+
+template <typename T>
+class BoundedQueue
+{
+  public:
+    /** @param capacity  Maximum queued items; 0 is clamped to 1. */
+    explicit BoundedQueue(std::size_t capacity)
+        : cap_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Non-blocking admission: false when the queue is at capacity or
+     * closed. Never waits — backpressure is the caller's to surface.
+     */
+    bool tryPush(T item)
+    {
+        {
+            LockGuard lock(mu_);
+            if (closed_ || items_.size() >= cap_)
+                return false;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /**
+     * Blocking removal. Returns false only when the queue is closed
+     * AND drained; items admitted before close() are always delivered.
+     */
+    bool pop(T &out)
+    {
+        UniqueLock lock(mu_);
+        while (items_.empty() && !closed_)
+            cv_.wait(lock);
+        if (items_.empty())
+            return false;
+        out = std::move(items_.front());
+        items_.pop_front();
+        return true;
+    }
+
+    /** Stop admissions and wake every blocked pop(). Idempotent. */
+    void close()
+    {
+        {
+            LockGuard lock(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    /** Instantaneous depth (a gauge for metrics; racy by nature). */
+    std::size_t size() const
+    {
+        LockGuard lock(mu_);
+        return items_.size();
+    }
+
+    std::size_t capacity() const { return cap_; }
+
+    bool closed() const
+    {
+        LockGuard lock(mu_);
+        return closed_;
+    }
+
+  private:
+    const std::size_t cap_;
+    mutable Mutex mu_;
+    /// _any variant: waits on the annotated th::UniqueLock.
+    std::condition_variable_any cv_;
+    std::deque<T> items_ TH_GUARDED_BY(mu_);
+    bool closed_ TH_GUARDED_BY(mu_) = false;
+};
+
+} // namespace th
+
+#endif // TH_COMMON_BOUNDED_QUEUE_H

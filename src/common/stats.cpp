@@ -75,6 +75,50 @@ Histogram::reset()
 }
 
 void
+LatencyHistogram::sample(std::uint64_t micros)
+{
+    int idx = 0;
+    while (idx < kBuckets - 1 && micros >= (1ULL << (idx + 1)))
+        ++idx;
+    ++buckets_[idx];
+    ++count_;
+}
+
+std::uint64_t
+LatencyHistogram::quantileUpperBoundUs(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the q-quantile sample, 1-based; ceil so p100 = last.
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(count_))));
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen >= rank)
+            return 1ULL << (i + 1);
+    }
+    return 1ULL << kBuckets;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    std::fill(buckets_, buckets_ + kBuckets, 0);
+    count_ = 0;
+}
+
+void
 StatRegistry::registerCounter(const std::string &name, const Counter *c)
 {
     counters_[name] = c;

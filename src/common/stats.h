@@ -79,6 +79,43 @@ class Histogram
 };
 
 /**
+ * Fixed-bucket log-scale latency histogram for service-time metrics
+ * (net/metrics.h). Buckets are power-of-two microsecond bins — bucket
+ * i counts samples in [2^i, 2^(i+1)) microseconds — so recording is a
+ * clz and quantile estimation needs no stored samples. Deliberately
+ * wall-clock-free: callers sample durations; this only counts them.
+ */
+class LatencyHistogram
+{
+  public:
+    /** Number of power-of-two buckets: covers up to ~2^27 us (~134 s). */
+    static constexpr int kBuckets = 28;
+
+    /** Record one duration (clamped into the first/last bucket). */
+    void sample(std::uint64_t micros);
+
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Upper bound (in microseconds) of the bucket containing the
+     * q-quantile sample, q in [0, 1]. 0 when empty. An upper bound is
+     * reported (rather than a midpoint) so p99 never understates.
+     */
+    std::uint64_t quantileUpperBoundUs(double q) const;
+
+    const std::uint64_t *buckets() const { return buckets_; }
+
+    /** Merge @p other into this (for per-thread shards). */
+    void merge(const LatencyHistogram &other);
+
+    void reset();
+
+  private:
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+};
+
+/**
  * A registry of named statistics owned by simulation components.
  *
  * Components register pointers to their Counter/Histogram members under

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Build identification, stamped at configure time (src/common/
+ * version.cpp.in -> CMake configure_file). Surfaced by `th_run
+ * --version` and echoed by both sides of the th_serve handshake so a
+ * client/server build mismatch is visible in one ping instead of
+ * surfacing as a mysterious table diff.
+ */
+
+#ifndef TH_COMMON_VERSION_H
+#define TH_COMMON_VERSION_H
+
+namespace th {
+
+/** Semantic library version, e.g. "0.5.0". */
+const char *versionString();
+
+/** `git describe --always --dirty` at configure time, or "unknown". */
+const char *gitDescribe();
+
+/** One-line build identification: "thermal-herding <ver> (<git>)". */
+const char *buildInfo();
+
+} // namespace th
+
+#endif // TH_COMMON_VERSION_H

@@ -90,7 +90,7 @@ Core::stepCycle()
 
 CoreResult
 Core::run(TraceSource &trace, std::uint64_t max_insts,
-          std::uint64_t warmup_insts)
+          std::uint64_t warmup_insts, const CancelToken *cancel)
 {
     attach(trace, warmup_insts);
 
@@ -98,6 +98,12 @@ Core::run(TraceSource &trace, std::uint64_t max_insts,
     const Cycle limit = 500 * total + 100000;
 
     while (committed_ < total && cycle_ < limit) {
+        // Cooperative cancellation: poll at a cadence cheap enough to
+        // be invisible in the cycle loop, responsive enough that a
+        // server deadline aborts within microseconds of firing.
+        if (cancel != nullptr && (cycle_ & 0xFFF) == 0 &&
+            cancel->cancelled())
+            throw Cancelled();
         if (!stepCycle())
             break;
     }

@@ -21,6 +21,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/types.h"
 #include "core/activity.h"
 #include "core/branch_predictor.h"
@@ -104,11 +105,16 @@ class Core
      * Simulate until @p max_insts commit (or the trace ends), after a
      * warm-up period of @p warmup_insts whose statistics are discarded
      * (caches, predictors, and queues stay warm).
+     *
+     * @p cancel, when non-null, is polled every few thousand cycles;
+     * once it fires the run throws Cancelled. The throw happens before
+     * any result is produced, so callers never cache a partial run.
      * @return Performance and activity statistics for the measured
      *         portion only.
      */
     CoreResult run(TraceSource &trace, std::uint64_t max_insts,
-                   std::uint64_t warmup_insts = 0);
+                   std::uint64_t warmup_insts = 0,
+                   const CancelToken *cancel = nullptr);
 
     /**
      * Start an incremental run for interval-stepped simulation (the

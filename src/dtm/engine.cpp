@@ -56,8 +56,8 @@ DtmEngine::DtmEngine(const PowerModel &power, const HotspotModel &hotspot,
 
 DtmReport
 DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
-               const std::string &config_name,
-               const DtmOptions &opts) const
+               const std::string &config_name, const DtmOptions &opts,
+               const CancelToken *cancel) const
 {
     if (!power_.calibrated())
         fatal("DTM engine needs a calibrated power model");
@@ -118,6 +118,8 @@ DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
     rep.intervals.reserve(static_cast<size_t>(opts.maxIntervals));
 
     for (int i = 0; i < opts.maxIntervals && !core.runDone(); ++i) {
+        if (cancel != nullptr && cancel->cancelled())
+            throw Cancelled();
         const DtmControl ctl = policy->decide(peak_now);
         core.setFetchThrottle(ctl.fetchOn, ctl.fetchPeriod);
         const auto run_cycles = std::max<std::uint64_t>(

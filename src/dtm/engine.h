@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "core/params.h"
 #include "dtm/policy.h"
 #include "floorplan/floorplan.h"
@@ -122,9 +123,14 @@ class DtmEngine
     DtmEngine(const PowerModel &power, const HotspotModel &hotspot,
               const Floorplan &planar_fp, const Floorplan &stacked_fp);
 
+    /**
+     * @p cancel, when non-null, is checked between control intervals;
+     * a fired token aborts the run with a Cancelled throw.
+     */
     DtmReport run(const BenchmarkProfile &profile,
                   const CoreConfig &cfg, const std::string &config_name,
-                  const DtmOptions &opts) const;
+                  const DtmOptions &opts,
+                  const CancelToken *cancel = nullptr) const;
 
   private:
     const PowerModel &power_;

@@ -11,10 +11,26 @@ namespace {
 
 constexpr char kMagic[4] = {'T', 'H', 'I', 'O'};
 
-/** Sane upper bound on a single chunk; rejects garbage lengths early. */
-constexpr std::uint32_t kMaxChunkBytes = 1u << 30;
-
 } // namespace
+
+const char *
+chunkErrorName(ChunkError e)
+{
+    switch (e) {
+    case ChunkError::None:             return "none";
+    case ChunkError::ShortHeader:      return "short-header";
+    case ChunkError::BadMagic:         return "bad-magic";
+    case ChunkError::FormatMismatch:   return "format-mismatch";
+    case ChunkError::BadVersion:       return "bad-version";
+    case ChunkError::TruncatedHeader:  return "truncated-header";
+    case ChunkError::Oversize:         return "oversize";
+    case ChunkError::EmptyChunk:       return "empty-chunk";
+    case ChunkError::TruncatedPayload: return "truncated-payload";
+    case ChunkError::CrcMismatch:      return "crc-mismatch";
+    case ChunkError::NotOpen:          return "not-open";
+    }
+    return "unknown";
+}
 
 // ---------------------------------------------------------------------
 // Sinks / sources.
@@ -234,19 +250,23 @@ bool
 ChunkReader::readHeader(const char *expect_format,
                         std::uint32_t &schema_version, std::string &err)
 {
+    last_error_ = ChunkError::None;
     std::uint8_t raw[16];
     if (src_.read(raw, sizeof(raw)) != sizeof(raw)) {
         err = "short read in container header";
+        last_error_ = ChunkError::ShortHeader;
         return false;
     }
     if (std::memcmp(raw, kMagic, 4) != 0) {
         err = "bad magic (not a THIO container)";
+        last_error_ = ChunkError::BadMagic;
         return false;
     }
     if (std::memcmp(raw + 4, expect_format, 4) != 0) {
         err = strformat("format tag mismatch: got '%.4s', want '%s'",
                         reinterpret_cast<const char *>(raw + 4),
                         expect_format);
+        last_error_ = ChunkError::FormatMismatch;
         return false;
     }
     Decoder d(raw + 8, 8);
@@ -254,6 +274,7 @@ ChunkReader::readHeader(const char *expect_format,
     schema_version = d.u32();
     if (container != kContainerVersion) {
         err = strformat("unsupported container version %u", container);
+        last_error_ = ChunkError::BadVersion;
         return false;
     }
     return true;
@@ -263,31 +284,45 @@ ChunkReader::Next
 ChunkReader::next(std::string &tag, std::vector<std::uint8_t> &payload,
                   std::string &err)
 {
+    last_error_ = ChunkError::None;
     std::uint8_t raw[12];
     const std::size_t got = src_.read(raw, sizeof(raw));
     if (got == 0)
         return Next::End;
     if (got != sizeof(raw)) {
         err = "truncated chunk header";
+        last_error_ = ChunkError::TruncatedHeader;
         return Next::Corrupt;
     }
     tag.assign(reinterpret_cast<const char *>(raw), 4);
     Decoder d(raw + 4, 8);
     const std::uint32_t len = d.u32();
     const std::uint32_t want_crc = d.u32();
-    if (len > kMaxChunkBytes) {
-        err = strformat("implausible chunk length %u", len);
+    // Reject the declared length BEFORE resizing the payload buffer: a
+    // hostile frame must not be able to trigger a huge allocation.
+    if (len > max_chunk_bytes_) {
+        err = strformat("chunk '%s' length %u exceeds cap %u",
+                        tag.c_str(), len, max_chunk_bytes_);
+        last_error_ = ChunkError::Oversize;
+        return Next::Corrupt;
+    }
+    if (len == 0) {
+        err = strformat("chunk '%s' has a zero-length payload",
+                        tag.c_str());
+        last_error_ = ChunkError::EmptyChunk;
         return Next::Corrupt;
     }
     payload.resize(len);
     if (src_.read(payload.data(), len) != len) {
         err = "truncated chunk payload";
+        last_error_ = ChunkError::TruncatedPayload;
         return Next::Corrupt;
     }
     const std::uint32_t got_crc = crc32(payload.data(), payload.size());
     if (got_crc != want_crc) {
         err = strformat("chunk '%s' CRC mismatch (%08x != %08x)",
                         tag.c_str(), got_crc, want_crc);
+        last_error_ = ChunkError::CrcMismatch;
         return Next::Corrupt;
     }
     return Next::Chunk;
@@ -349,13 +384,16 @@ ChunkFileReader::open(const std::string &path, const char *expect_format,
     f_ = std::fopen(path.c_str(), "rb");
     if (!f_) {
         err = strformat("cannot open '%s'", path.c_str());
+        last_error_ = ChunkError::NotOpen;
         return false;
     }
     src_.setFile(f_);
     if (!reader_.readHeader(expect_format, schema_version, err)) {
+        last_error_ = reader_.lastError();
         close();
         return false;
     }
+    last_error_ = ChunkError::None;
     return true;
 }
 
@@ -365,9 +403,12 @@ ChunkFileReader::next(std::string &tag, std::vector<std::uint8_t> &payload,
 {
     if (!f_) {
         err = "reader is not open";
+        last_error_ = ChunkError::NotOpen;
         return ChunkReader::Next::Corrupt;
     }
-    return reader_.next(tag, payload, err);
+    const ChunkReader::Next r = reader_.next(tag, payload, err);
+    last_error_ = reader_.lastError();
+    return r;
 }
 
 void

@@ -31,6 +31,32 @@ namespace th {
 /** Current layout version of the container itself (not the payload). */
 inline constexpr std::uint32_t kContainerVersion = 1;
 
+/**
+ * Default per-chunk payload cap. Generous for on-disk artifacts; a
+ * network server lowers it (ChunkReader::setMaxChunkBytes) so a
+ * hostile frame cannot make the reader allocate gigabytes on the
+ * strength of a four-byte length field.
+ */
+inline constexpr std::uint32_t kDefaultMaxChunkBytes = 1u << 30;
+
+/** Why the last ChunkReader operation failed (explicit error codes). */
+enum class ChunkError {
+    None,              ///< No failure recorded.
+    ShortHeader,       ///< Container header truncated.
+    BadMagic,          ///< Not a THIO container.
+    FormatMismatch,    ///< Container is a different artifact kind.
+    BadVersion,        ///< Unsupported container layout version.
+    TruncatedHeader,   ///< Chunk header truncated.
+    Oversize,          ///< Declared payload exceeds the configured cap.
+    EmptyChunk,        ///< Zero-length payload (no THIO format writes one).
+    TruncatedPayload,  ///< Payload shorter than its declared length.
+    CrcMismatch,       ///< Payload CRC-32 check failed.
+    NotOpen,           ///< File reader used before/after open().
+};
+
+/** Human-readable name of a ChunkError ("oversize", "crc-mismatch", ...). */
+const char *chunkErrorName(ChunkError e);
+
 // ---------------------------------------------------------------------
 // Byte sinks and sources.
 // ---------------------------------------------------------------------
@@ -219,6 +245,18 @@ class ChunkReader
     explicit ChunkReader(ByteSource &src) : src_(src) {}
 
     /**
+     * Lower (or raise) the per-chunk payload cap. A declared length
+     * above the cap is rejected (ChunkError::Oversize) before any
+     * allocation happens — the defense against hostile length fields.
+     * Clamped to >= 1.
+     */
+    void setMaxChunkBytes(std::uint32_t cap)
+    {
+        max_chunk_bytes_ = cap == 0 ? 1 : cap;
+    }
+    std::uint32_t maxChunkBytes() const { return max_chunk_bytes_; }
+
+    /**
      * Parse and validate the container header.
      * @param expect_format  Required four-character format tag.
      * @param schema_version Out: the file's schema version (the caller
@@ -231,15 +269,24 @@ class ChunkReader
     enum class Next {
         Chunk,  ///< A chunk was read and its CRC verified.
         End,    ///< Clean end of container.
-        Corrupt ///< Truncated or CRC-mismatched chunk.
+        Corrupt ///< Truncated, oversize, empty, or CRC-mismatched.
     };
 
-    /** Read the next chunk into @p tag / @p payload. */
+    /**
+     * Read the next chunk into @p tag / @p payload. Zero-length chunks
+     * are rejected (ChunkError::EmptyChunk): no THIO format writes one,
+     * so an empty record can only be garbage or an attack frame.
+     */
     Next next(std::string &tag, std::vector<std::uint8_t> &payload,
               std::string &err);
 
+    /** Code of the most recent failure (None after a success). */
+    ChunkError lastError() const { return last_error_; }
+
   private:
     ByteSource &src_;
+    std::uint32_t max_chunk_bytes_ = kDefaultMaxChunkBytes;
+    ChunkError last_error_ = ChunkError::None;
 };
 
 // ---------------------------------------------------------------------
@@ -285,10 +332,19 @@ class ChunkFileReader
                            std::string &err);
     void close();
 
+    /** See ChunkReader::setMaxChunkBytes. */
+    void setMaxChunkBytes(std::uint32_t cap)
+    {
+        reader_.setMaxChunkBytes(cap);
+    }
+    /** Code of the most recent failure. */
+    ChunkError lastError() const { return last_error_; }
+
   private:
     std::FILE *f_ = nullptr;
     FileSource src_;
     ChunkReader reader_{src_};
+    ChunkError last_error_ = ChunkError::None;
 };
 
 } // namespace th

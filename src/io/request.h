@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Wire-level request/response records of the th_serve protocol. These
+ * are the typed payloads carried inside SREQ/SRSP chunks of a "TSRV"
+ * THIO stream (see net/protocol.h for framing and the handshake).
+ *
+ * Field order is part of the wire schema: any change to the encoded
+ * field set must bump kWireSchemaVersion, which makes handshakes
+ * between mismatched builds fail loudly instead of desynchronizing
+ * mid-stream. The codecs live in io/serialize.cpp next to the artifact
+ * codecs so th_lint's serializer-coverage rule audits them the same
+ * way.
+ */
+
+#ifndef TH_IO_REQUEST_H
+#define TH_IO_REQUEST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace th {
+
+/** Schema version of the SimRequest/SimResponse encodings. */
+inline constexpr std::uint32_t kWireSchemaVersion = 1;
+
+/** What the client is asking the server to do. */
+enum class SimRequestKind : std::uint8_t {
+    Ping = 0,    ///< Round-trip check; response text echoes build info.
+    Fig8 = 1,    ///< Figure 8 performance sweep.
+    Fig9 = 2,    ///< Figure 9 power sweep.
+    Fig10 = 3,   ///< Figure 10 thermal study.
+    Width = 4,   ///< Width-prediction study.
+    Dtm = 5,     ///< Closed-loop DTM comparison.
+    Core = 6,    ///< Single (benchmark, config) core run.
+    Metrics = 7, ///< Plain-text server metrics snapshot.
+};
+
+/** Name of a request kind ("fig8", "metrics", ...). */
+const char *simRequestKindName(SimRequestKind k);
+
+/** Outcome class of a response. */
+enum class SimStatus : std::uint8_t {
+    Ok = 0,
+    BadRequest = 1,       ///< Malformed or semantically invalid request.
+    Overloaded = 2,       ///< Admission queue full; retry later.
+    DeadlineExceeded = 3, ///< Deadline elapsed before completion.
+    ShuttingDown = 4,     ///< Server is draining; no new work admitted.
+    Internal = 5,         ///< Unexpected server-side failure.
+};
+
+/** Name of a status ("ok", "overloaded", ...). */
+const char *simStatusName(SimStatus s);
+
+/**
+ * One request. Simulation-window fields (insts/warmup) must match the
+ * server's own SimOptions — artifact-store keys do not include them,
+ * so the server rejects mismatches rather than serve a cached result
+ * computed under a different window.
+ */
+struct SimRequest
+{
+    SimRequestKind kind = SimRequestKind::Ping;
+
+    /** Benchmarks to sweep (empty = experiment default set). */
+    std::vector<std::string> benchmarks;
+    /** Configuration display name, for Core runs ("Base", "3D", ...). */
+    std::string config;
+
+    /** Simulation window; must equal the server's (0 = server's). */
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = 0;
+
+    /**
+     * Per-request deadline in milliseconds (0 = none). Not part of the
+     * single-flight identity: two requests differing only in deadline
+     * coalesce onto the same simulation.
+     */
+    std::uint32_t deadlineMs = 0;
+
+    // DTM knobs, meaningful for kind == Dtm (0 / empty = defaults).
+    std::string dtmPolicy;
+    double dtmTriggerK = 0.0;
+    std::uint32_t dtmIntervals = 0;
+    std::uint64_t dtmIntervalCycles = 0;
+    double dtmDilation = 0.0;
+    std::uint32_t dtmGridN = 0;
+};
+
+/** One response; @p text is the same report a local th_run prints. */
+struct SimResponse
+{
+    SimStatus status = SimStatus::Ok;
+    /** Human-readable failure reason ("" on Ok). */
+    std::string error;
+    /** Rendered report text (byte-identical to the local renderer). */
+    std::string text;
+};
+
+} // namespace th
+
+#endif // TH_IO_REQUEST_H

@@ -332,4 +332,113 @@ serializeDtmReport(const DtmReport &rep)
     return enc.data();
 }
 
+const char *
+simRequestKindName(SimRequestKind k)
+{
+    switch (k) {
+    case SimRequestKind::Ping:    return "ping";
+    case SimRequestKind::Fig8:    return "fig8";
+    case SimRequestKind::Fig9:    return "fig9";
+    case SimRequestKind::Fig10:   return "fig10";
+    case SimRequestKind::Width:   return "width";
+    case SimRequestKind::Dtm:     return "dtm";
+    case SimRequestKind::Core:    return "core";
+    case SimRequestKind::Metrics: return "metrics";
+    }
+    return "unknown";
+}
+
+const char *
+simStatusName(SimStatus s)
+{
+    switch (s) {
+    case SimStatus::Ok:               return "ok";
+    case SimStatus::BadRequest:       return "bad-request";
+    case SimStatus::Overloaded:       return "overloaded";
+    case SimStatus::DeadlineExceeded: return "deadline-exceeded";
+    case SimStatus::ShuttingDown:     return "shutting-down";
+    case SimStatus::Internal:         return "internal";
+    }
+    return "unknown";
+}
+
+void
+encodeSimRequest(Encoder &enc, const SimRequest &req)
+{
+    enc.u8(static_cast<std::uint8_t>(req.kind));
+    enc.u32(static_cast<std::uint32_t>(req.benchmarks.size()));
+    for (const std::string &b : req.benchmarks)
+        enc.str(b);
+    enc.str(req.config);
+    enc.u64(req.insts);
+    enc.u64(req.warmup);
+    enc.u32(req.deadlineMs);
+    enc.str(req.dtmPolicy);
+    enc.f64(req.dtmTriggerK);
+    enc.u32(req.dtmIntervals);
+    enc.u64(req.dtmIntervalCycles);
+    enc.f64(req.dtmDilation);
+    enc.u32(req.dtmGridN);
+}
+
+bool
+decodeSimRequest(Decoder &dec, SimRequest &req)
+{
+    const std::uint8_t kind = dec.u8();
+    if (kind > static_cast<std::uint8_t>(SimRequestKind::Metrics))
+        return false;
+    req.kind = static_cast<SimRequestKind>(kind);
+    const std::uint32_t n = dec.u32();
+    // Every benchmark name costs >= 4 payload bytes (its length
+    // prefix), so a sane count can never exceed the remaining bytes;
+    // this rejects corrupt counts before the reserve.
+    if (!dec.ok() || n > dec.remaining())
+        return false;
+    req.benchmarks.clear();
+    req.benchmarks.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        req.benchmarks.push_back(dec.str());
+    req.config = dec.str();
+    req.insts = dec.u64();
+    req.warmup = dec.u64();
+    req.deadlineMs = dec.u32();
+    req.dtmPolicy = dec.str();
+    req.dtmTriggerK = dec.f64();
+    req.dtmIntervals = dec.u32();
+    req.dtmIntervalCycles = dec.u64();
+    req.dtmDilation = dec.f64();
+    req.dtmGridN = dec.u32();
+    return dec.ok();
+}
+
+void
+encodeSimResponse(Encoder &enc, const SimResponse &rsp)
+{
+    enc.u8(static_cast<std::uint8_t>(rsp.status));
+    enc.str(rsp.error);
+    enc.str(rsp.text);
+}
+
+bool
+decodeSimResponse(Decoder &dec, SimResponse &rsp)
+{
+    const std::uint8_t status = dec.u8();
+    if (status > static_cast<std::uint8_t>(SimStatus::Internal))
+        return false;
+    rsp.status = static_cast<SimStatus>(status);
+    rsp.error = dec.str();
+    rsp.text = dec.str();
+    return dec.ok();
+}
+
+std::vector<std::uint8_t>
+flightKeyOf(const SimRequest &req)
+{
+    SimRequest canon = req;
+    canon.deadlineMs = 0;
+    Encoder enc;
+    encodeSimRequest(enc, canon);
+    return enc.data();
+}
+
 } // namespace th

@@ -16,6 +16,7 @@
 #include "core/pipeline.h"
 #include "dtm/engine.h"
 #include "io/chunkio.h"
+#include "io/request.h"
 
 namespace th {
 
@@ -57,6 +58,21 @@ bool decodeDtmReport(Decoder &dec, DtmReport &rep);
 /** Canonical byte representation of a DtmReport (round-trip tests,
  *  store integrity checks) — mirrors serializeCoreResult(). */
 std::vector<std::uint8_t> serializeDtmReport(const DtmReport &rep);
+
+/** Append every SimRequest field in wire-schema order. */
+void encodeSimRequest(Encoder &enc, const SimRequest &req);
+bool decodeSimRequest(Decoder &dec, SimRequest &req);
+
+/** Append every SimResponse field in wire-schema order. */
+void encodeSimResponse(Encoder &enc, const SimResponse &rsp);
+bool decodeSimResponse(Decoder &dec, SimResponse &rsp);
+
+/**
+ * Canonical byte representation of a SimRequest with the deadline
+ * zeroed — the single-flight identity: two requests coalesce onto one
+ * simulation iff these vectors compare equal.
+ */
+std::vector<std::uint8_t> flightKeyOf(const SimRequest &req);
 
 } // namespace th
 

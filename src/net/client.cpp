@@ -1,0 +1,40 @@
+#include "net/client.h"
+
+#include "common/version.h"
+
+namespace th {
+
+bool SimClient::connect(const std::string &host, std::uint16_t port,
+                        std::string &err)
+{
+    close();
+    Socket sock = Socket::connectTo(host, port, err);
+    if (!sock.valid())
+        return false;
+    auto conn = std::make_unique<WireConn>(std::move(sock));
+    if (!conn->helloAsClient(buildInfo(), server_build_, err))
+        return false;
+    conn_ = std::move(conn);
+    return true;
+}
+
+bool SimClient::call(const SimRequest &req, SimResponse &rsp,
+                     std::string &err)
+{
+    if (!conn_) {
+        err = "not connected";
+        return false;
+    }
+    if (!conn_->sendRequest(req)) {
+        err = "failed to send request (connection lost?)";
+        conn_.reset();
+        return false;
+    }
+    if (!conn_->recvResponse(rsp, err)) {
+        conn_.reset();
+        return false;
+    }
+    return true;
+}
+
+} // namespace th

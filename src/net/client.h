@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Client side of the TSRV protocol: connect, handshake, then issue
+ * SimRequests and collect SimResponses over one connection. Used by
+ * th_run's --connect mode and the loopback tests. Not thread-safe —
+ * one SimClient per thread.
+ */
+
+#ifndef TH_NET_CLIENT_H
+#define TH_NET_CLIENT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/request.h"
+#include "net/protocol.h"
+
+namespace th {
+
+class SimClient
+{
+  public:
+    SimClient() = default;
+
+    /** Connect and handshake; false + @p err on failure. */
+    bool connect(const std::string &host, std::uint16_t port,
+                 std::string &err);
+
+    /** The server's build string (valid after connect()). */
+    const std::string &serverBuild() const { return server_build_; }
+
+    /**
+     * Send one request and wait for its response. False on transport
+     * failure (@p err filled); a structured error from the server is a
+     * *successful* call with rsp.status != SimStatus::Ok.
+     */
+    bool call(const SimRequest &req, SimResponse &rsp, std::string &err);
+
+    bool connected() const { return conn_ != nullptr; }
+    void close() { conn_.reset(); }
+
+  private:
+    std::unique_ptr<WireConn> conn_;
+    std::string server_build_;
+};
+
+} // namespace th
+
+#endif // TH_NET_CLIENT_H

@@ -1,0 +1,57 @@
+#include "net/metrics.h"
+
+#include <sstream>
+
+#include "sim/system.h"
+
+namespace th {
+
+void ServerMetrics::sampleLatencyUs(std::uint64_t micros)
+{
+    LockGuard lock(latency_mu_);
+    latency_.sample(micros);
+}
+
+std::string ServerMetrics::renderText(const System &sys,
+                                      std::uint64_t in_flight,
+                                      std::uint64_t queue_depth) const
+{
+    std::uint64_t count, p50, p99;
+    {
+        LockGuard lock(latency_mu_);
+        count = latency_.count();
+        p50 = latency_.quantileUpperBoundUs(0.50);
+        p99 = latency_.quantileUpperBoundUs(0.99);
+    }
+
+    std::ostringstream os;
+    os << "requests_served " << requests_served_.load() << '\n';
+    os << "requests_in_flight " << in_flight << '\n';
+    os << "queue_depth " << queue_depth << '\n';
+    os << "dedup_hits " << dedup_hits_.load() << '\n';
+    os << "simulations_run " << simulations_run_.load() << '\n';
+    os << "rejected_overload " << rejected_overload_.load() << '\n';
+    os << "rejected_shutdown " << rejected_shutdown_.load() << '\n';
+    os << "deadline_expired " << deadline_expired_.load() << '\n';
+    os << "bad_requests " << bad_requests_.load() << '\n';
+    os << "latency_samples " << count << '\n';
+    os << "latency_p50_us_le " << p50 << '\n';
+    os << "latency_p99_us_le " << p99 << '\n';
+
+    System::CacheStats cache = sys.coreCacheStats();
+    os << "core_cache_hits " << cache.hits << '\n';
+    os << "core_cache_misses " << cache.misses << '\n';
+
+    StoreStats store = sys.storeStats();
+    os << "store_enabled " << (sys.storeEnabled() ? 1 : 0) << '\n';
+    os << "store_hits " << store.hits << '\n';
+    os << "store_misses " << store.misses << '\n';
+    os << "store_stores " << store.stores << '\n';
+    os << "store_evictions " << store.evictions << '\n';
+    os << "store_corrupt " << store.corrupt << '\n';
+    os << "store_touch_failures " << store.touchFailures << '\n';
+    os << "store_race_lost " << store.raceLost << '\n';
+    return os.str();
+}
+
+} // namespace th

@@ -1,0 +1,505 @@
+#include "net/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/version.h"
+#include "dtm/engine.h"
+#include "dtm/policy.h"
+#include "io/serialize.h"
+#include "sim/experiments.h"
+#include "sim/report.h"
+#include "trace/suites.h"
+
+namespace th {
+
+namespace {
+
+/** Non-exiting configByName (th_run's variant calls usage()). */
+bool configKindByName(const std::string &name, ConfigKind &out)
+{
+    for (ConfigKind k : {ConfigKind::Base, ConfigKind::TH, ConfigKind::Pipe,
+                         ConfigKind::Fast, ConfigKind::ThreeD,
+                         ConfigKind::ThreeDNoTH}) {
+        if (name == configName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Map request DTM knobs onto DtmOptions (0 / empty = defaults). */
+DtmOptions dtmOptionsFrom(const SimRequest &req)
+{
+    DtmOptions opts;
+    if (!req.dtmPolicy.empty())
+        dtmPolicyByName(req.dtmPolicy, opts.policy); // validated upstream
+    if (req.dtmTriggerK > 0.0)
+        opts.triggers.triggerK = req.dtmTriggerK;
+    if (req.dtmIntervals > 0)
+        opts.maxIntervals = static_cast<int>(req.dtmIntervals);
+    if (req.dtmIntervalCycles > 0)
+        opts.intervalCycles = req.dtmIntervalCycles;
+    if (req.dtmDilation > 0.0)
+        opts.timeDilation = req.dtmDilation;
+    if (req.dtmGridN > 0)
+        opts.gridN = static_cast<int>(req.dtmGridN);
+    return opts;
+}
+
+} // namespace
+
+SimServer::SimServer(const ServerOptions &opts)
+    : opts_(opts), queue_(opts.queueCapacity)
+{
+    LockGuard lock(pause_mu_);
+    paused_ = opts.startWorkersPaused;
+}
+
+SimServer::~SimServer()
+{
+    shutdown();
+}
+
+bool SimServer::start(std::string &err)
+{
+    if (started_.exchange(true)) {
+        err = "server already started";
+        return false;
+    }
+    sys_ = std::make_unique<System>(opts_.sim);
+    if (!listener_.listenOn(opts_.host, opts_.port, err))
+        return false;
+    const int n = opts_.workers < 1 ? 1 : opts_.workers;
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptor_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+std::uint16_t SimServer::port() const
+{
+    return listener_.port();
+}
+
+void SimServer::shutdown()
+{
+    if (!started_.load() || stopped_.exchange(true))
+        return;
+    // Ordering matters. (1) Flag the drain so request handlers answer
+    // ShuttingDown; (2) stop accepting; (3) close the queue — workers
+    // finish every already-admitted simulation, publish its result,
+    // then exit; (4) with all flights resolved, kick idle connection
+    // reads and join the connection threads.
+    draining_.store(true);
+    listener_.close();
+    if (acceptor_.joinable())
+        acceptor_.join();
+    queue_.close();
+    resumeWorkers(); // a paused pool must not deadlock the drain
+    for (std::thread &w : workers_)
+        if (w.joinable())
+            w.join();
+    // Workers published every flight's result, but a connection thread
+    // may still be between waking on its flight and writing the reply.
+    // Wait for those replies to hit the wire before cutting sockets;
+    // this terminates because every flight is resolved by now, so no
+    // handler can block again.
+    for (;;) {
+        bool any_busy = false;
+        {
+            LockGuard lock(conns_mu_);
+            for (const std::unique_ptr<Conn> &c : conns_)
+                any_busy = any_busy || c->busy.load();
+        }
+        if (!any_busy)
+            break;
+        std::this_thread::yield();
+    }
+    {
+        LockGuard lock(conns_mu_);
+        for (const std::unique_ptr<Conn> &c : conns_)
+            c->wire->shutdownBoth();
+    }
+    reapConns(true);
+}
+
+void SimServer::resumeWorkers()
+{
+    {
+        LockGuard lock(pause_mu_);
+        paused_ = false;
+    }
+    pause_cv_.notify_all();
+}
+
+void SimServer::waitUntilResumed()
+{
+    UniqueLock lock(pause_mu_);
+    while (paused_)
+        pause_cv_.wait(lock);
+}
+
+void SimServer::acceptLoop()
+{
+    for (;;) {
+        Socket s = listener_.accept();
+        if (!s.valid())
+            break; // listener closed: drain in progress
+        if (draining_.load())
+            continue; // refuse late arrivals; RAII closes the socket
+        auto conn = std::make_unique<Conn>();
+        conn->wire = std::make_shared<WireConn>(std::move(s));
+        Conn *c = conn.get();
+        {
+            LockGuard lock(conns_mu_);
+            conns_.push_back(std::move(conn));
+        }
+        c->thread = std::thread([this, c] {
+            connLoop(c);
+            c->finished.store(true);
+        });
+        reapConns(false);
+    }
+}
+
+void SimServer::connLoop(Conn *conn)
+{
+    using Clock = std::chrono::steady_clock;
+    WireConn &wire = *conn->wire;
+    std::string peer_build, err;
+    if (!wire.helloAsServer(buildInfo(), peer_build, err))
+        return;
+    for (;;) {
+        SimRequest req;
+        bool clean_eof = false;
+        if (!wire.recvRequest(req, clean_eof, err)) {
+            if (!clean_eof) {
+                // Corrupt/oversize/garbage frame: try to say why, then
+                // hang up — the stream cannot be resynchronized.
+                metrics_.noteBadRequest();
+                SimResponse rsp;
+                rsp.status = SimStatus::BadRequest;
+                rsp.error = err;
+                wire.sendResponse(rsp);
+            }
+            break;
+        }
+        conn->busy.store(true);
+        const Clock::time_point t0 = Clock::now();
+        const SimResponse rsp = handle(req);
+        const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                            Clock::now() - t0)
+                            .count();
+        metrics_.sampleLatencyUs(static_cast<std::uint64_t>(us));
+        metrics_.noteServed();
+        const bool sent = wire.sendResponse(rsp);
+        conn->busy.store(false);
+        if (!sent)
+            break;
+    }
+}
+
+SimResponse SimServer::handle(const SimRequest &req)
+{
+    SimResponse rsp;
+
+    std::string verr;
+    if (!validate(req, verr)) {
+        metrics_.noteBadRequest();
+        rsp.status = SimStatus::BadRequest;
+        rsp.error = verr;
+        return rsp;
+    }
+
+    // Control-plane kinds are answered inline — they must work even
+    // when the admission queue is full or the server is draining.
+    if (req.kind == SimRequestKind::Ping) {
+        rsp.text = std::string(buildInfo()) + "\n";
+        return rsp;
+    }
+    if (req.kind == SimRequestKind::Metrics) {
+        rsp.text = metrics_.renderText(*sys_, in_flight_.load(),
+                                       queue_.size());
+        return rsp;
+    }
+
+    if (draining_.load()) {
+        metrics_.noteRejectedShutdown();
+        rsp.status = SimStatus::ShuttingDown;
+        rsp.error = "server is draining";
+        return rsp;
+    }
+
+    // Single-flight: identical requests (deadline aside) coalesce onto
+    // one Flight; only its creator enqueues work.
+    const std::vector<std::uint8_t> key_bytes = flightKeyOf(req);
+    const std::string key(key_bytes.begin(), key_bytes.end());
+    std::shared_ptr<Flight> flight;
+    bool created = false;
+    {
+        LockGuard lock(flights_mu_);
+        auto it = flights_.find(key);
+        if (it != flights_.end()) {
+            flight = it->second;
+        } else {
+            flight = std::make_shared<Flight>();
+            flights_.emplace(key, flight);
+            created = true;
+        }
+    }
+    if (!created)
+        metrics_.noteDedupHit();
+    {
+        LockGuard lock(flight->mu);
+        ++flight->waiters;
+    }
+
+    if (created) {
+        Work work;
+        work.flight = flight;
+        work.request = req;
+        work.key = key;
+        if (!queue_.tryPush(std::move(work))) {
+            // Admission failed. Other requests may already have
+            // attached to this flight, so publish the rejection as the
+            // flight's result instead of just erasing it — every
+            // waiter (including us, below) receives the structured
+            // reject and nobody blocks on a flight that never runs.
+            {
+                LockGuard lock(flights_mu_);
+                auto it = flights_.find(key);
+                if (it != flights_.end() && it->second == flight)
+                    flights_.erase(it);
+            }
+            SimResponse reject;
+            if (draining_.load()) {
+                metrics_.noteRejectedShutdown();
+                reject.status = SimStatus::ShuttingDown;
+                reject.error = "server is draining";
+            } else {
+                metrics_.noteRejectedOverload();
+                reject.status = SimStatus::Overloaded;
+                reject.error = "admission queue full (capacity " +
+                               std::to_string(queue_.capacity()) +
+                               "); retry later";
+            }
+            {
+                LockGuard lock(flight->mu);
+                flight->result = std::move(reject);
+                flight->done = true;
+            }
+            flight->cv.notify_all();
+        }
+    }
+
+    // Wait for the flight's result, bounded by this request's deadline.
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(req.deadlineMs);
+    bool expired = false;
+    bool last_waiter = false;
+    {
+        UniqueLock lock(flight->mu);
+        while (!flight->done) {
+            if (req.deadlineMs == 0) {
+                flight->cv.wait(lock);
+            } else if (flight->cv.wait_until(lock, deadline) ==
+                           std::cv_status::timeout &&
+                       !flight->done) {
+                --flight->waiters;
+                last_waiter = flight->waiters == 0;
+                expired = true;
+                break;
+            }
+        }
+        if (!expired) {
+            rsp = flight->result;
+            --flight->waiters;
+        }
+    }
+    if (expired) {
+        if (last_waiter) {
+            // Nobody wants this result anymore: fire the token so the
+            // cycle loop unwinds, and unmap the key immediately so a
+            // fresh request starts a fresh (uncancelled) flight.
+            flight->cancel.cancel();
+            LockGuard lock(flights_mu_);
+            auto it = flights_.find(key);
+            if (it != flights_.end() && it->second == flight)
+                flights_.erase(it);
+        }
+        metrics_.noteDeadlineExpired();
+        rsp.status = SimStatus::DeadlineExceeded;
+        rsp.error = "deadline of " + std::to_string(req.deadlineMs) +
+                    " ms elapsed before the simulation completed";
+        rsp.text.clear();
+    }
+    return rsp;
+}
+
+bool SimServer::validate(const SimRequest &req, std::string &err) const
+{
+    for (const std::string &b : req.benchmarks) {
+        if (!hasBenchmark(b)) {
+            err = "unknown benchmark '" + b + "'";
+            return false;
+        }
+    }
+    // The store keys a result by (benchmark, config hash) only — the
+    // simulation window is the server's to fix. Accept 0 ("use the
+    // server's") or an exact match; anything else would silently serve
+    // a result computed under a different window.
+    if (req.insts != 0 && req.insts != opts_.sim.instructions) {
+        err = "requested insts " + std::to_string(req.insts) +
+              " != server window " +
+              std::to_string(opts_.sim.instructions) +
+              " (the server's simulation window is fixed)";
+        return false;
+    }
+    if (req.warmup != 0 && req.warmup != opts_.sim.warmupInstructions) {
+        err = "requested warmup " + std::to_string(req.warmup) +
+              " != server window " +
+              std::to_string(opts_.sim.warmupInstructions) +
+              " (the server's simulation window is fixed)";
+        return false;
+    }
+    if (req.kind == SimRequestKind::Core) {
+        if (req.benchmarks.size() != 1) {
+            err = "core requests take exactly one benchmark";
+            return false;
+        }
+        ConfigKind kind;
+        if (!configKindByName(req.config, kind)) {
+            err = "unknown config '" + req.config +
+                  "' (Base, TH, Pipe, Fast, 3D, 3D-noTH)";
+            return false;
+        }
+    } else if (!req.config.empty()) {
+        err = "config is only meaningful for core requests";
+        return false;
+    }
+    if (req.kind == SimRequestKind::Dtm) {
+        if (req.benchmarks.size() > 1) {
+            err = "dtm requests take at most one benchmark";
+            return false;
+        }
+        DtmPolicyKind policy;
+        if (!req.dtmPolicy.empty() &&
+            !dtmPolicyByName(req.dtmPolicy, policy)) {
+            err = "unknown policy '" + req.dtmPolicy +
+                  "' (none, clockgate, fetch)";
+            return false;
+        }
+    }
+    return true;
+}
+
+SimResponse SimServer::execute(const SimRequest &req,
+                               const CancelToken *cancel)
+{
+    SimResponse rsp;
+    switch (req.kind) {
+    case SimRequestKind::Fig8:
+        rsp.text = renderFig8(runFigure8(*sys_, req.benchmarks, cancel));
+        break;
+    case SimRequestKind::Fig9:
+        rsp.text = renderFig9(runFigure9(*sys_, req.benchmarks, cancel));
+        break;
+    case SimRequestKind::Fig10:
+        rsp.text = renderFig10(runFigure10(*sys_, req.benchmarks, cancel));
+        break;
+    case SimRequestKind::Width:
+        rsp.text = renderWidth(runWidthStudy(*sys_, req.benchmarks, cancel));
+        break;
+    case SimRequestKind::Dtm: {
+        const DtmOptions opts = dtmOptionsFrom(req);
+        const std::string benchmark = req.benchmarks.empty()
+                                          ? System::kPowerReferenceBenchmark
+                                          : req.benchmarks[0];
+        rsp.text = renderDtm(runDtmStudy(*sys_, benchmark, opts, cancel),
+                             opts);
+        break;
+    }
+    case SimRequestKind::Core: {
+        ConfigKind kind = ConfigKind::Base;
+        configKindByName(req.config, kind); // validated on admission
+        const CoreResult r = sys_->runCore(req.benchmarks[0], kind, cancel);
+        rsp.text = renderCoreRun(req.benchmarks[0], req.config, r);
+        break;
+    }
+    case SimRequestKind::Ping:
+    case SimRequestKind::Metrics:
+        rsp.status = SimStatus::Internal;
+        rsp.error = "control-plane request reached the worker pool";
+        break;
+    }
+    return rsp;
+}
+
+void SimServer::workerLoop()
+{
+    waitUntilResumed();
+    Work work;
+    while (queue_.pop(work)) {
+        in_flight_.fetch_add(1);
+        SimResponse rsp;
+        if (work.flight->cancel.cancelled()) {
+            // Every waiter timed out while this sat in the queue;
+            // don't burn a simulation nobody is waiting for.
+            rsp.status = SimStatus::DeadlineExceeded;
+            rsp.error = "cancelled before execution";
+        } else {
+            metrics_.noteSimulationRun();
+            try {
+                rsp = execute(work.request, &work.flight->cancel);
+            } catch (const Cancelled &) {
+                rsp.status = SimStatus::DeadlineExceeded;
+                rsp.error = "cancelled mid-run after every waiter's "
+                            "deadline expired";
+            } catch (const std::exception &e) {
+                rsp.status = SimStatus::Internal;
+                rsp.error = e.what();
+            }
+        }
+        {
+            // Unmap BEFORE publishing: once a waiter sees done it may
+            // immediately send another identical request, and that one
+            // must start a fresh flight (the System memo/store answers
+            // it instantly) rather than attach to this finished one.
+            LockGuard lock(flights_mu_);
+            auto it = flights_.find(work.key);
+            if (it != flights_.end() && it->second == work.flight)
+                flights_.erase(it);
+        }
+        {
+            LockGuard lock(work.flight->mu);
+            work.flight->result = std::move(rsp);
+            work.flight->done = true;
+        }
+        work.flight->cv.notify_all();
+        in_flight_.fetch_sub(1);
+    }
+}
+
+void SimServer::reapConns(bool all)
+{
+    std::list<std::unique_ptr<Conn>> dead;
+    {
+        LockGuard lock(conns_mu_);
+        for (auto it = conns_.begin(); it != conns_.end();) {
+            if (all || (*it)->finished.load()) {
+                dead.push_back(std::move(*it));
+                it = conns_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (const std::unique_ptr<Conn> &c : dead)
+        if (c->thread.joinable())
+            c->thread.join();
+}
+
+} // namespace th

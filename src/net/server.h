@@ -1,0 +1,173 @@
+/**
+ * @file
+ * The th_serve server: accepts TSRV connections, validates requests,
+ * coalesces identical simulations (single-flight), and pushes work
+ * through a bounded admission queue into a worker pool driving one
+ * shared System. Overload surfaces as structured Overloaded replies
+ * (never unbounded queueing); shutdown() drains admitted work before
+ * returning (never abandons a waiter).
+ *
+ * Concurrency shape:
+ *  - one acceptor thread, one thread per connection (requests on a
+ *    connection are served in order, as the protocol requires);
+ *  - a Flight per distinct simulation key; connection threads wait on
+ *    the Flight, worker threads run it and publish the result;
+ *  - deadline expiry cancels the underlying simulation only when the
+ *    last waiter gives up (a CancelToken polled by the cycle loop).
+ */
+
+#ifndef TH_NET_SERVER_H
+#define TH_NET_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/cancel.h"
+#include "common/thread_annotations.h"
+#include "net/metrics.h"
+#include "net/protocol.h"
+#include "sim/system.h"
+
+namespace th {
+
+/** Construction-time knobs of a SimServer. */
+struct ServerOptions
+{
+    std::string host = "127.0.0.1";
+    /** TCP port; 0 binds an ephemeral port (read back via port()). */
+    std::uint16_t port = 0;
+    /** Simulation worker threads. */
+    int workers = 2;
+    /** Admission-queue capacity; a full queue rejects (Overloaded). */
+    std::size_t queueCapacity = 16;
+    /** Options of the server-owned System (window sizes, store dir). */
+    SimOptions sim;
+    /**
+     * Test seam: start with the workers parked so a test can stack up
+     * concurrent identical requests (dedup) or fill the queue
+     * (backpressure) deterministically, then resumeWorkers().
+     */
+    bool startWorkersPaused = false;
+};
+
+class SimServer
+{
+  public:
+    explicit SimServer(const ServerOptions &opts);
+    ~SimServer();
+
+    SimServer(const SimServer &) = delete;
+    SimServer &operator=(const SimServer &) = delete;
+
+    /** Bind, listen, and launch the worker/acceptor threads. */
+    bool start(std::string &err);
+
+    /** The bound port (after start(); resolves ephemeral requests). */
+    std::uint16_t port() const;
+
+    /**
+     * Graceful drain: stop accepting connections and admitting work,
+     * answer queued-behind requests with ShuttingDown, finish every
+     * admitted simulation and deliver its responses, then tear down
+     * connections. Idempotent; safe from a signal-watcher thread.
+     */
+    void shutdown();
+
+    /** Release parked workers (see ServerOptions::startWorkersPaused). */
+    void resumeWorkers();
+
+    const ServerMetrics &metrics() const { return metrics_; }
+    /** The server-owned System (tests compare its counters). */
+    System &system() { return *sys_; }
+
+  private:
+    /**
+     * One coalesced simulation: the first request creates it, identical
+     * concurrent requests attach as extra waiters, a worker publishes
+     * the shared result.
+     */
+    struct Flight
+    {
+        CancelToken cancel;
+        Mutex mu;
+        /// _any variant: waits on the annotated th::UniqueLock.
+        std::condition_variable_any cv;
+        bool done TH_GUARDED_BY(mu) = false;
+        SimResponse result TH_GUARDED_BY(mu);
+        int waiters TH_GUARDED_BY(mu) = 0;
+    };
+
+    /** One admitted work item: the flight plus its representative request. */
+    struct Work
+    {
+        std::shared_ptr<Flight> flight;
+        SimRequest request;
+        std::string key;
+    };
+
+    /** One accepted connection and the thread serving it. */
+    struct Conn
+    {
+        std::shared_ptr<WireConn> wire;
+        std::thread thread;
+        std::atomic<bool> finished{false};
+        /** True between receiving a request and sending its response;
+         *  shutdown() waits for this to clear before cutting the
+         *  socket, so an in-flight reply is never truncated. */
+        std::atomic<bool> busy{false};
+    };
+
+    void acceptLoop();
+    void connLoop(Conn *conn);
+    void workerLoop();
+    /** Park until resumeWorkers() when started paused. */
+    void waitUntilResumed();
+
+    /** Full request lifecycle: validate, coalesce, wait, reply. */
+    SimResponse handle(const SimRequest &req);
+    /** Semantic validation; false fills @p err. */
+    bool validate(const SimRequest &req, std::string &err) const;
+    /** Execute the simulation behind @p req (worker thread). */
+    SimResponse execute(const SimRequest &req, const CancelToken *cancel);
+
+    /** Join and drop connection threads that have finished. */
+    void reapConns(bool all);
+
+    ServerOptions opts_;
+    std::unique_ptr<System> sys_;
+    ServerMetrics metrics_;
+    Listener listener_;
+    BoundedQueue<Work> queue_;
+
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> in_flight_{0};
+
+    Mutex pause_mu_;
+    bool paused_ TH_GUARDED_BY(pause_mu_) = false;
+    /// _any variant: waits on the annotated th::UniqueLock.
+    std::condition_variable_any pause_cv_;
+
+    Mutex flights_mu_;
+    std::map<std::string, std::shared_ptr<Flight>>
+        flights_ TH_GUARDED_BY(flights_mu_);
+
+    Mutex conns_mu_;
+    std::list<std::unique_ptr<Conn>> conns_ TH_GUARDED_BY(conns_mu_);
+
+    std::vector<std::thread> workers_;
+    std::thread acceptor_;
+    std::atomic<bool> started_{false};
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace th
+
+#endif // TH_NET_SERVER_H

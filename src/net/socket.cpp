@@ -1,0 +1,197 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace th {
+
+namespace {
+
+/** Build a sockaddr_in for @p host:@p port; false on a bad address. */
+bool makeAddr(const std::string &host, std::uint16_t port,
+              sockaddr_in &addr, std::string &err)
+{
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        err = "bad IPv4 address '" + host + "'";
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Socket &Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Socket::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket Socket::connectTo(const std::string &host, std::uint16_t port,
+                         std::string &err)
+{
+    sockaddr_in addr;
+    if (!makeAddr(host, port, addr, err))
+        return Socket();
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return Socket();
+    }
+    int rc;
+    do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        err = std::string("connect: ") + std::strerror(errno);
+        ::close(fd);
+        return Socket();
+    }
+    // Request/response frames are small; don't let Nagle add latency.
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return Socket(fd);
+}
+
+Listener::~Listener()
+{
+    close();
+    // By contract the accept loop has been joined before destruction,
+    // so nothing can be blocked on the retired descriptor now.
+    const int retired = retired_fd_.exchange(-1);
+    if (retired >= 0)
+        ::close(retired);
+}
+
+bool Listener::listenOn(const std::string &host, std::uint16_t port,
+                        std::string &err)
+{
+    close();
+    const int stale = retired_fd_.exchange(-1);
+    if (stale >= 0)
+        ::close(stale); // re-listen on a quiescent Listener only
+    sockaddr_in addr;
+    if (!makeAddr(host, port, addr, err))
+        return false;
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr), sizeof(addr)) < 0) {
+        err = std::string("bind: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    if (::listen(fd, 64) < 0) {
+        err = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        return false;
+    }
+    sockaddr_in bound;
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&bound), &blen) == 0)
+        port_ = ntohs(bound.sin_port);
+    else
+        port_ = port;
+    fd_ = fd;
+    return true;
+}
+
+Socket Listener::accept()
+{
+    for (;;) {
+        int lfd = fd_.load();
+        if (lfd < 0)
+            return Socket();
+        int fd = ::accept(lfd, nullptr, nullptr);
+        if (fd >= 0) {
+            int one = 1;
+            ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            return Socket(fd);
+        }
+        if (errno == EINTR)
+            continue;
+        return Socket();
+    }
+}
+
+void Listener::close()
+{
+    const int fd = fd_.exchange(-1);
+    if (fd >= 0) {
+        // shutdown() wakes a blocked accept(); the descriptor itself
+        // is retired, not closed — a concurrent accept() may still be
+        // inside the syscall, and closing now would let the kernel
+        // hand the fd number to someone else under it.
+        ::shutdown(fd, SHUT_RDWR);
+        retired_fd_.store(fd);
+    }
+}
+
+bool SocketSink::write(const void *data, std::size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        // MSG_NOSIGNAL: a peer that hung up must surface as a write
+        // error on this thread, not a process-wide SIGPIPE.
+        ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+std::size_t SocketSource::read(void *data, std::size_t len)
+{
+    char *p = static_cast<char *>(data);
+    std::size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::recv(fd_, p + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0)
+            break; // orderly EOF
+        got += static_cast<std::size_t>(n);
+    }
+    return got;
+}
+
+} // namespace th

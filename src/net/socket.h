@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Minimal TCP primitives for the th_serve protocol: an RAII socket, a
+ * listener, and ByteSink/ByteSource adapters so the io/chunkio.h
+ * ChunkWriter/ChunkReader machinery — CRC framing included — runs over
+ * a connection exactly as it runs over a file. Dependency-free: POSIX
+ * sockets only.
+ */
+
+#ifndef TH_NET_SOCKET_H
+#define TH_NET_SOCKET_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "io/chunkio.h"
+
+namespace th {
+
+/** RAII file descriptor for a connected TCP socket. Move-only. */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+    Socket(Socket &&other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket &operator=(Socket &&other) noexcept;
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /**
+     * Shut down both directions without closing the descriptor —
+     * unblocks a thread sitting in recv() on this socket (the server
+     * uses this to kick idle connections during drain). Safe to call
+     * from a thread other than the reader.
+     */
+    void shutdownBoth();
+
+    void close();
+
+    /** Connect to @p host:@p port; invalid Socket + @p err on failure. */
+    static Socket connectTo(const std::string &host, std::uint16_t port,
+                            std::string &err);
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Listening TCP socket bound to one address. accept() runs on one
+ * thread while close() may be called from another: close() shuts the
+ * descriptor down (waking a blocked accept()) and retires it, but the
+ * ::close happens in the destructor — after the owner has joined the
+ * accept loop — so the kernel cannot reuse the fd number while
+ * accept() still holds it.
+ */
+class Listener
+{
+  public:
+    Listener() = default;
+    ~Listener();
+
+    Listener(const Listener &) = delete;
+    Listener &operator=(const Listener &) = delete;
+
+    /**
+     * Bind and listen on @p host:@p port. Port 0 picks an ephemeral
+     * port; the bound port is readable via port() afterwards.
+     */
+    bool listenOn(const std::string &host, std::uint16_t port,
+                  std::string &err);
+
+    /**
+     * Block until a client connects. An invalid Socket means the
+     * listener was closed (shutdown path) or accept failed.
+     */
+    Socket accept();
+
+    /** Unblock accept() and retire the socket. Idempotent. */
+    void close();
+
+    bool listening() const { return fd_.load() >= 0; }
+    /** The bound port (resolved after listenOn with port 0). */
+    std::uint16_t port() const { return port_; }
+
+  private:
+    std::atomic<int> fd_{-1};
+    /** Shut-down descriptor awaiting its ::close in the destructor. */
+    std::atomic<int> retired_fd_{-1};
+    std::uint16_t port_ = 0;
+};
+
+/** ByteSink over a connected socket: full-write loop, EINTR-safe. */
+class SocketSink : public ByteSink
+{
+  public:
+    explicit SocketSink(const Socket &sock) : fd_(sock.fd()) {}
+    bool write(const void *data, std::size_t len) override;
+
+  private:
+    int fd_;
+};
+
+/**
+ * ByteSource over a connected socket. read() loops until it has the
+ * full @p len or the peer closes — the chunk reader's fixed-size
+ * header reads must not see TCP segmentation as truncation.
+ */
+class SocketSource : public ByteSource
+{
+  public:
+    explicit SocketSource(const Socket &sock) : fd_(sock.fd()) {}
+    std::size_t read(void *data, std::size_t len) override;
+    /** Sockets cannot seek. */
+    bool rewind() override { return false; }
+
+  private:
+    int fd_;
+};
+
+} // namespace th
+
+#endif // TH_NET_SOCKET_H

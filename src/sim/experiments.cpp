@@ -45,7 +45,8 @@ breakdown(const Evaluation &ev)
 } // namespace
 
 Fig8Data
-runFigure8(System &sys, const std::vector<std::string> &benchmarks)
+runFigure8(System &sys, const std::vector<std::string> &benchmarks,
+           const CancelToken *cancel)
 {
     const auto names = defaultBenchmarks(benchmarks);
     const auto configs = figure8Configs();
@@ -66,7 +67,7 @@ runFigure8(System &sys, const std::vector<std::string> &benchmarks)
     const auto cells = ThreadPool::global().parallelMap(
         names.size() * ncfg, [&](size_t i) {
             const CoreResult r =
-                sys.runCore(names[i / ncfg], configs[i % ncfg]);
+                sys.runCore(names[i / ncfg], configs[i % ncfg], cancel);
             return std::pair<double, double>(r.perf.ipc(), r.ipns());
         });
 
@@ -126,14 +127,16 @@ runFigure8(System &sys, const std::vector<std::string> &benchmarks)
 }
 
 Fig9Data
-runFigure9(System &sys, const std::vector<std::string> &benchmarks)
+runFigure9(System &sys, const std::vector<std::string> &benchmarks,
+           const CancelToken *cancel)
 {
     Fig9Data data;
 
     const std::string ref = System::kPowerReferenceBenchmark;
-    data.planar = breakdown(sys.evaluate(ref, ConfigKind::Base));
-    data.noTh3d = breakdown(sys.evaluate(ref, ConfigKind::ThreeDNoTH));
-    data.th3d = breakdown(sys.evaluate(ref, ConfigKind::ThreeD));
+    data.planar = breakdown(sys.evaluate(ref, ConfigKind::Base, cancel));
+    data.noTh3d =
+        breakdown(sys.evaluate(ref, ConfigKind::ThreeDNoTH, cancel));
+    data.th3d = breakdown(sys.evaluate(ref, ConfigKind::ThreeD, cancel));
 
     const auto names = defaultBenchmarks(benchmarks);
     data.minSaving.saving = 1e9;
@@ -144,10 +147,10 @@ runFigure9(System &sys, const std::vector<std::string> &benchmarks)
         names.size(), [&](size_t i) {
             PowerSaving s;
             s.name = names[i];
-            s.baseW =
-                sys.evaluate(names[i], ConfigKind::Base).power.totalW();
-            s.th3dW =
-                sys.evaluate(names[i], ConfigKind::ThreeD).power.totalW();
+            s.baseW = sys.evaluate(names[i], ConfigKind::Base, cancel)
+                          .power.totalW();
+            s.th3dW = sys.evaluate(names[i], ConfigKind::ThreeD, cancel)
+                          .power.totalW();
             s.saving = 1.0 - s.th3dW / s.baseW;
             return s;
         });
@@ -164,9 +167,10 @@ namespace {
 
 ThermalCase
 thermalCase(System &sys, const std::string &app, ConfigKind kind,
-            double power_scale = 1.0)
+            double power_scale = 1.0,
+            const CancelToken *cancel = nullptr)
 {
-    const Evaluation ev = sys.evaluate(app, kind);
+    const Evaluation ev = sys.evaluate(app, kind, cancel);
     ThermalCase tc;
     tc.config = configName(kind);
     tc.app = app;
@@ -178,7 +182,8 @@ thermalCase(System &sys, const std::string &app, ConfigKind kind,
 } // namespace
 
 Fig10Data
-runFigure10(System &sys, const std::vector<std::string> &candidates)
+runFigure10(System &sys, const std::vector<std::string> &candidates,
+            const CancelToken *cancel)
 {
     std::vector<std::string> apps = candidates;
     if (apps.empty()) {
@@ -199,7 +204,8 @@ runFigure10(System &sys, const std::vector<std::string> &candidates)
     const size_t napps = apps.size();
     const auto cases = ThreadPool::global().parallelMap(
         3 * napps, [&](size_t i) {
-            return thermalCase(sys, apps[i % napps], kinds[i / napps]);
+            return thermalCase(sys, apps[i % napps], kinds[i / napps],
+                               1.0, cancel);
         });
     auto worstOf = [&](size_t kind_idx) {
         ThermalCase worst;
@@ -217,12 +223,13 @@ runFigure10(System &sys, const std::vector<std::string> &candidates)
     // Iso-power: the 3D stack burning the full planar budget at the
     // planar frequency (Section 5.3's 4x-power-density what-if).
     {
-        const Evaluation ev =
-            sys.evaluate(data.worstPlanar.app, ConfigKind::ThreeDNoTH);
+        const Evaluation ev = sys.evaluate(
+            data.worstPlanar.app, ConfigKind::ThreeDNoTH, cancel);
         const double scale =
             data.worstPlanar.totalW / ev.power.totalW();
         data.isoPower = thermalCase(sys, data.worstPlanar.app,
-                                    ConfigKind::ThreeDNoTH, scale);
+                                    ConfigKind::ThreeDNoTH, scale,
+                                    cancel);
         data.isoPower.config = "3D-isoPower";
     }
 
@@ -245,9 +252,10 @@ runFigure10(System &sys, const std::vector<std::string> &candidates)
 namespace {
 
 WidthStudyRow
-widthStudyRow(const System &sys, const std::string &name)
+widthStudyRow(const System &sys, const std::string &name,
+              const CancelToken *cancel)
 {
-    const CoreResult r = sys.runCore(name, ConfigKind::TH);
+    const CoreResult r = sys.runCore(name, ConfigKind::TH, cancel);
     WidthStudyRow row;
     row.name = name;
     row.accuracy = r.perf.widthAccuracy();
@@ -292,13 +300,14 @@ widthStudyRow(const System &sys, const std::string &name)
 } // namespace
 
 WidthStudyData
-runWidthStudy(System &sys, const std::vector<std::string> &benchmarks)
+runWidthStudy(System &sys, const std::vector<std::string> &benchmarks,
+              const CancelToken *cancel)
 {
     const auto names = defaultBenchmarks(benchmarks);
     WidthStudyData data;
     data.rows = ThreadPool::global().parallelMap(
         names.size(),
-        [&](size_t i) { return widthStudyRow(sys, names[i]); });
+        [&](size_t i) { return widthStudyRow(sys, names[i], cancel); });
     double acc_sum = 0.0;
     for (const auto &row : data.rows)
         acc_sum += row.accuracy;
@@ -309,7 +318,7 @@ runWidthStudy(System &sys, const std::vector<std::string> &benchmarks)
 
 DtmStudyData
 runDtmStudy(System &sys, const std::string &benchmark,
-            const DtmOptions &opts)
+            const DtmOptions &opts, const CancelToken *cancel)
 {
     const ConfigKind kinds[] = {ConfigKind::Base, ConfigKind::ThreeDNoTH,
                                 ConfigKind::ThreeD};
@@ -321,7 +330,7 @@ runDtmStudy(System &sys, const std::string &benchmark,
     data.cases = ThreadPool::global().parallelMap(3, [&](size_t i) {
         DtmCase c;
         c.config = kinds[i];
-        c.report = sys.runDtm(benchmark, kinds[i], opts);
+        c.report = sys.runDtm(benchmark, kinds[i], opts, cancel);
         return c;
     });
     return data;

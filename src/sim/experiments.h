@@ -52,9 +52,15 @@ struct Fig8Data
     double minSpeedup = 0.0, maxSpeedup = 0.0;
 };
 
-/** Run Figure 8 over @p benchmarks (empty = all registered). */
+/**
+ * Run Figure 8 over @p benchmarks (empty = all registered). All
+ * harnesses accept an optional CancelToken, polled by the underlying
+ * core runs: a fired token unwinds the sweep with a Cancelled throw
+ * (the thread pool rethrows it on the calling thread after draining).
+ */
 Fig8Data runFigure8(System &sys,
-                    const std::vector<std::string> &benchmarks = {});
+                    const std::vector<std::string> &benchmarks = {},
+                    const CancelToken *cancel = nullptr);
 
 /** Power breakdown of one configuration (Figure 9 pie). */
 struct PowerBreakdown
@@ -95,7 +101,8 @@ struct Fig9Data
  * saving range.
  */
 Fig9Data runFigure9(System &sys,
-                    const std::vector<std::string> &benchmarks = {});
+                    const std::vector<std::string> &benchmarks = {},
+                    const CancelToken *cancel = nullptr);
 
 /** One thermal scenario of Figure 10. */
 struct ThermalCase
@@ -127,7 +134,8 @@ struct Fig10Data
  * extremes plus representatives — defaults cover them).
  */
 Fig10Data runFigure10(System &sys,
-                      const std::vector<std::string> &candidates = {});
+                      const std::vector<std::string> &candidates = {},
+                      const CancelToken *cancel = nullptr);
 
 /** Width prediction / PAM / PVE statistics (Sections 3.5-3.8). */
 struct WidthStudyRow
@@ -152,7 +160,8 @@ struct WidthStudyData
 };
 
 WidthStudyData runWidthStudy(System &sys,
-                             const std::vector<std::string> &benchmarks = {});
+                             const std::vector<std::string> &benchmarks = {},
+                             const CancelToken *cancel = nullptr);
 
 /** One configuration's closed-loop DTM outcome. */
 struct DtmCase
@@ -176,7 +185,8 @@ struct DtmStudyData
  * hardest; herding claws most of that back.
  */
 DtmStudyData runDtmStudy(System &sys, const std::string &benchmark,
-                         const DtmOptions &opts);
+                         const DtmOptions &opts,
+                         const CancelToken *cancel = nullptr);
 
 } // namespace th
 

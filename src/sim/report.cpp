@@ -1,0 +1,147 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include "common/log.h"
+#include "common/table.h"
+#include "dtm/policy.h"
+
+namespace th {
+
+std::string
+renderFig8(const Fig8Data &data)
+{
+    std::ostringstream out;
+    out << "=== Figure 8: performance ===\n";
+    Table t({"Class", "Base", "TH", "Pipe", "Fast", "3D", "Speedup"});
+    for (const auto &g : data.groups)
+        t.addRow({g.suite, fmtDouble(g.ipcGeomean[0], 3),
+                  fmtDouble(g.ipcGeomean[1], 3),
+                  fmtDouble(g.ipcGeomean[2], 3),
+                  fmtDouble(g.ipcGeomean[3], 3),
+                  fmtDouble(g.ipcGeomean[4], 3), fmtPercent(g.speedup)});
+    t.print(out);
+    out << strformat("mean-of-means speedup: %s (min %s %s, max %s %s)\n",
+                     fmtPercent(data.speedupMeanOfMeans).c_str(),
+                     data.minBenchmark.c_str(),
+                     fmtPercent(data.minSpeedup).c_str(),
+                     data.maxBenchmark.c_str(),
+                     fmtPercent(data.maxSpeedup).c_str());
+    return out.str();
+}
+
+std::string
+renderFig9(const Fig9Data &data)
+{
+    std::ostringstream out;
+    out << "=== Figure 9: power ===\n";
+    Table t({"Config", "Total W", "Clock W", "Leak W", "Dynamic W"});
+    for (const PowerBreakdown *b :
+         {&data.planar, &data.noTh3d, &data.th3d})
+        t.addRow({b->config, fmtDouble(b->totalW, 1),
+                  fmtDouble(b->clockW, 1), fmtDouble(b->leakW, 1),
+                  fmtDouble(b->dynamicW, 1)});
+    t.print(out);
+    out << strformat("power saving: min %s %s, max %s %s\n",
+                     data.minSaving.name.c_str(),
+                     fmtPercent(data.minSaving.saving).c_str(),
+                     data.maxSaving.name.c_str(),
+                     fmtPercent(data.maxSaving.saving).c_str());
+    return out.str();
+}
+
+std::string
+renderFig10(const Fig10Data &data)
+{
+    std::ostringstream out;
+    out << "=== Figure 10: thermal ===\n";
+    Table t({"Case", "App", "Total W", "Peak K", "Hot block"});
+    auto row = [&](const char *label, const ThermalCase &tc) {
+        t.addRow({label, tc.app, fmtDouble(tc.totalW, 1),
+                  fmtDouble(tc.report.peakK, 1),
+                  tc.report.hottestBlock});
+    };
+    row("worst planar", data.worstPlanar);
+    row("worst 3D-noTH", data.worstNoTh3d);
+    row("worst 3D-TH", data.worstTh3d);
+    row("iso-power", data.isoPower);
+    t.print(out);
+    out << strformat("ROB delta (3D-TH vs planar, %s): %s K\n",
+                     data.sameApp.c_str(),
+                     fmtDouble(data.robDeltaK, 2).c_str());
+    return out.str();
+}
+
+std::string
+renderWidth(const WidthStudyData &data)
+{
+    std::ostringstream out;
+    out << "=== Width prediction study ===\n";
+    out << strformat("width prediction overall accuracy: %s over %zu "
+                     "benchmarks\n",
+                     fmtPercent(data.overallAccuracy).c_str(),
+                     data.rows.size());
+    return out.str();
+}
+
+std::string
+renderDtm(const DtmStudyData &data, const DtmOptions &opts)
+{
+    std::ostringstream out;
+    out << strformat("=== Closed-loop DTM: %s, policy %s, trigger %s K "
+                     "===\n", data.benchmark.c_str(),
+                     dtmPolicyName(opts.policy),
+                     fmtDouble(opts.triggers.triggerK, 1).c_str());
+    Table t({"Config", "Start K", "Peak K", "Final K", "Throttle duty",
+             "t>trig ms", "Perf lost"});
+    for (const DtmCase &c : data.cases)
+        t.addRow({configName(c.config),
+                  fmtDouble(c.report.startPeakK, 1),
+                  fmtDouble(c.report.peakK, 1),
+                  fmtDouble(c.report.finalPeakK, 1),
+                  fmtPercent(c.report.throttleDuty),
+                  fmtDouble(c.report.timeAboveTriggerS * 1e3, 1),
+                  fmtPercent(c.report.perfLost)});
+    t.print(out);
+    return out.str();
+}
+
+std::string
+renderCoreRun(const std::string &benchmark, const std::string &config,
+              const CoreResult &r)
+{
+    return strformat("%s on %s: IPC %s, IPns %s, %llu insts in %llu "
+                     "cycles\n", benchmark.c_str(), config.c_str(),
+                     fmtDouble(r.perf.ipc(), 3).c_str(),
+                     fmtDouble(r.ipns(), 2).c_str(),
+                     (unsigned long long)r.perf.committedInsts.value(),
+                     (unsigned long long)r.perf.cycles.value());
+}
+
+std::string
+renderCounters(const System &sys)
+{
+    std::ostringstream out;
+    const System::CacheStats cache = sys.coreCacheStats();
+    out << strformat("\ncore cache: %llu hits, %llu misses\n",
+                     (unsigned long long)cache.hits,
+                     (unsigned long long)cache.misses);
+    if (sys.storeEnabled()) {
+        const StoreStats s = sys.storeStats();
+        out << strformat(
+            "store (%s): %llu hits, %llu misses, %llu stores, "
+            "%llu evictions, %llu corrupt, %llu touch failures, "
+            "%llu race lost\n",
+            sys.storeDir().c_str(), (unsigned long long)s.hits,
+            (unsigned long long)s.misses, (unsigned long long)s.stores,
+            (unsigned long long)s.evictions,
+            (unsigned long long)s.corrupt,
+            (unsigned long long)s.touchFailures,
+            (unsigned long long)s.raceLost);
+    } else {
+        out << "store: disabled (set TH_STORE_DIR or --store)\n";
+    }
+    return out.str();
+}
+
+} // namespace th

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Text renderers for the experiment results — the exact report bodies
+ * th_run prints locally. th_serve renders responses through the same
+ * functions, which is what makes a served report byte-identical to a
+ * local run of the same request (the loopback smoke test diffs them).
+ */
+
+#ifndef TH_SIM_REPORT_H
+#define TH_SIM_REPORT_H
+
+#include <string>
+
+#include "sim/experiments.h"
+#include "sim/system.h"
+
+namespace th {
+
+/** "=== Figure 8: performance ===" header + table + summary line. */
+std::string renderFig8(const Fig8Data &data);
+
+/** "=== Figure 9: power ===" header + table + saving range. */
+std::string renderFig9(const Fig9Data &data);
+
+/** "=== Figure 10: thermal ===" header + table + ROB delta. */
+std::string renderFig10(const Fig10Data &data);
+
+/** "=== Width prediction study ===" header + accuracy line. */
+std::string renderWidth(const WidthStudyData &data);
+
+/** "=== Closed-loop DTM ... ===" header + per-config table. */
+std::string renderDtm(const DtmStudyData &data, const DtmOptions &opts);
+
+/** One-line summary of a single (benchmark, config) core run. */
+std::string renderCoreRun(const std::string &benchmark,
+                          const std::string &config,
+                          const CoreResult &r);
+
+/** Cache/store counter footer ("core cache: ...\nstore ...: ..."). */
+std::string renderCounters(const System &sys);
+
+} // namespace th
+
+#endif // TH_SIM_REPORT_H

@@ -38,22 +38,25 @@ System::System(const SimOptions &opts)
 }
 
 CoreResult
-System::simulate(const std::string &benchmark,
-                 const CoreConfig &cfg) const
+System::simulate(const std::string &benchmark, const CoreConfig &cfg,
+                 const CancelToken *cancel) const
 {
     SyntheticTrace trace(benchmarkByName(benchmark));
     Core core(cfg);
-    return core.run(trace, opts_.instructions, opts_.warmupInstructions);
+    return core.run(trace, opts_.instructions, opts_.warmupInstructions,
+                    cancel);
 }
 
 CoreResult
-System::runCore(const std::string &benchmark, ConfigKind kind) const
+System::runCore(const std::string &benchmark, ConfigKind kind,
+                const CancelToken *cancel) const
 {
-    return runCore(benchmark, makeConfig(kind, lib_));
+    return runCore(benchmark, makeConfig(kind, lib_), cancel);
 }
 
 CoreResult
-System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
+System::runCore(const std::string &benchmark, const CoreConfig &cfg,
+                const CancelToken *cancel) const
 {
     // Memoize on (benchmark, config hash): traces are seeded by the
     // benchmark profile and the core is deterministic, so a repeat of
@@ -79,7 +82,7 @@ System::runCore(const std::string &benchmark, const CoreConfig &cfg) const
     const bool from_store =
         store_ && store_->loadCoreResult(benchmark, hash, result);
     if (!from_store) {
-        result = simulate(benchmark, cfg);
+        result = simulate(benchmark, cfg, cancel);
         if (store_)
             store_->storeCoreResult(benchmark, hash, result);
     }
@@ -135,14 +138,15 @@ System::storeDir() const
 }
 
 void
-System::ensureCalibrated() const
+System::ensureCalibrated(const CancelToken *cancel) const
 {
     // call_once makes the lazy calibration safe when the experiment
-    // pool issues the first evaluate() calls concurrently.
-    std::call_once(calibrate_once_, [this] {
+    // pool issues the first evaluate() calls concurrently. A Cancelled
+    // throw leaves the flag unset, so the next caller recalibrates.
+    std::call_once(calibrate_once_, [this, cancel] {
         const CoreConfig base_cfg = makeConfig(ConfigKind::Base, lib_);
         const CoreResult base_run =
-            runCore(kPowerReferenceBenchmark, base_cfg);
+            runCore(kPowerReferenceBenchmark, base_cfg, cancel);
         power_.calibrate(base_run, base_cfg);
     });
 }
@@ -155,21 +159,22 @@ System::power()
 }
 
 Evaluation
-System::evaluate(const std::string &benchmark, ConfigKind kind)
+System::evaluate(const std::string &benchmark, ConfigKind kind,
+                 const CancelToken *cancel)
 {
-    ensureCalibrated();
+    ensureCalibrated(cancel);
     Evaluation ev;
     ev.benchmark = benchmark;
     ev.config = kind;
     const CoreConfig cfg = makeConfig(kind, lib_);
-    ev.core = runCore(benchmark, cfg);
+    ev.core = runCore(benchmark, cfg, cancel);
     ev.power = power_.compute(ev.core, cfg);
     return ev;
 }
 
 DtmReport
 System::runDtm(const std::string &benchmark, ConfigKind kind,
-               const DtmOptions &dtm_opts)
+               const DtmOptions &dtm_opts, const CancelToken *cancel)
 {
     const CoreConfig cfg = makeConfig(kind, lib_);
     const std::uint64_t key_hash = dtmConfigHash(cfg, dtm_opts);
@@ -188,11 +193,11 @@ System::runDtm(const std::string &benchmark, ConfigKind kind,
     const bool from_store =
         store_ && store_->loadDtmReport(benchmark, key_hash, rep);
     if (!from_store) {
-        ensureCalibrated();
+        ensureCalibrated(cancel);
         const DtmEngine engine(power_, hotspot_, planar_fp_,
                                stacked_fp_);
         rep = engine.run(benchmarkByName(benchmark), cfg,
-                         configName(kind), dtm_opts);
+                         configName(kind), dtm_opts, cancel);
         if (store_)
             store_->storeDtmReport(benchmark, key_hash, rep);
     }

@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "circuit/blocks.h"
+#include "common/cancel.h"
 #include "common/thread_annotations.h"
 #include "core/pipeline.h"
 #include "floorplan/floorplan.h"
@@ -69,13 +70,18 @@ class System
   public:
     explicit System(const SimOptions &opts = SimOptions{});
 
-    /** Run a benchmark's trace on a configuration (IPC only). */
-    CoreResult runCore(const std::string &benchmark,
-                       ConfigKind kind) const;
+    /**
+     * Run a benchmark's trace on a configuration (IPC only). @p cancel,
+     * when non-null, is polled by the cycle loop: a fired token aborts
+     * the run with a Cancelled throw and nothing partial is cached.
+     */
+    CoreResult runCore(const std::string &benchmark, ConfigKind kind,
+                       const CancelToken *cancel = nullptr) const;
 
     /** Run a benchmark's trace on an explicit core configuration. */
     CoreResult runCore(const std::string &benchmark,
-                       const CoreConfig &cfg) const;
+                       const CoreConfig &cfg,
+                       const CancelToken *cancel = nullptr) const;
 
     /**
      * Run an arbitrary trace source (e.g. a replayed .thtrace file)
@@ -85,7 +91,8 @@ class System
     CoreResult runTrace(TraceSource &trace, const CoreConfig &cfg) const;
 
     /** Run and compute power (calibrates lazily on first use). */
-    Evaluation evaluate(const std::string &benchmark, ConfigKind kind);
+    Evaluation evaluate(const std::string &benchmark, ConfigKind kind,
+                        const CancelToken *cancel = nullptr);
 
     /**
      * Closed-loop DTM run: couples the core, power model, and transient
@@ -96,7 +103,8 @@ class System
      * rerun of a DTM sweep performs zero core simulations.
      */
     DtmReport runDtm(const std::string &benchmark, ConfigKind kind,
-                     const DtmOptions &dtm_opts);
+                     const DtmOptions &dtm_opts,
+                     const CancelToken *cancel = nullptr);
 
     /** Thermal analysis of an evaluation. */
     ThermalReport thermal(const Evaluation &eval,
@@ -143,10 +151,11 @@ class System
     static constexpr const char *kPowerReferenceBenchmark = "mpeg2enc";
 
   private:
-    void ensureCalibrated() const;
+    void ensureCalibrated(const CancelToken *cancel = nullptr) const;
     /** The uncached simulation path behind the memoizing cache. */
     CoreResult simulate(const std::string &benchmark,
-                        const CoreConfig &cfg) const;
+                        const CoreConfig &cfg,
+                        const CancelToken *cancel) const;
 
     SimOptions opts_;
     BlockLibrary lib_;

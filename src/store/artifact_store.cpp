@@ -191,6 +191,16 @@ ArtifactStore::noteTouchFailure(const std::string &path)
     }
 }
 
+bool
+ArtifactStore::noteIfRaceLost(const std::string &path)
+{
+    std::error_code ec;
+    if (fs::exists(path, ec))
+        return false;
+    race_lost_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
 void
 ArtifactStore::quarantine(const std::string &path)
 {
@@ -216,6 +226,14 @@ ArtifactStore::loadCoreResult(const std::string &benchmark,
         return false;
     }
     if (!readEntry(path, benchmark, cfg_hash, &out)) {
+        // Distinguish a concurrent eviction (the file vanished under
+        // us — benign, another process gc'd it) from real corruption
+        // before quarantining: quarantine on ENOENT would manufacture
+        // phantom corrupt counts on a shared store.
+        if (noteIfRaceLost(path)) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
         warn("artifact store: corrupt entry '%s'; quarantined, "
              "recomputing", path.c_str());
         quarantine(path);
@@ -224,8 +242,10 @@ ArtifactStore::loadCoreResult(const std::string &benchmark,
     }
     // Touch for LRU: a hit makes the entry recently used. A failed
     // touch does not invalidate the hit, but it is counted — silent
-    // failure here makes gc evict the hottest entries first.
-    if (!touchEntry(path))
+    // failure here makes gc evict the hottest entries first. A touch
+    // that failed because the entry vanished is a lost race, not a
+    // broken filesystem (the result in hand is still valid).
+    if (!touchEntry(path) && !noteIfRaceLost(path))
         noteTouchFailure(path);
     hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -246,13 +266,17 @@ ArtifactStore::loadDtmReport(const std::string &benchmark,
         return false;
     }
     if (!readDtmEntry(path, benchmark, key, &out)) {
+        if (noteIfRaceLost(path)) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
         warn("artifact store: corrupt entry '%s'; quarantined, "
              "recomputing", path.c_str());
         quarantine(path);
         misses_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
-    if (!touchEntry(path))
+    if (!touchEntry(path) && !noteIfRaceLost(path))
         noteTouchFailure(path);
     hits_.fetch_add(1, std::memory_order_relaxed);
     return true;
@@ -355,6 +379,7 @@ ArtifactStore::stats() const
     s.evictions = evictions_.load(std::memory_order_relaxed);
     s.corrupt = corrupt_.load(std::memory_order_relaxed);
     s.touchFailures = touch_failures_.load(std::memory_order_relaxed);
+    s.raceLost = race_lost_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -428,6 +453,9 @@ ArtifactStore::gc(std::uint64_t max_bytes)
             if (fs::remove(e.path, ec)) {
                 ++removed;
                 evictions_.fetch_add(1, std::memory_order_relaxed);
+            } else if (!ec) {
+                // Already gone: a concurrent process removed it first.
+                race_lost_.fetch_add(1, std::memory_order_relaxed);
             }
         } else {
             live_bytes += e.bytes;
@@ -443,6 +471,11 @@ ArtifactStore::gc(std::uint64_t max_bytes)
             live_bytes -= e.bytes;
             ++removed;
             evictions_.fetch_add(1, std::memory_order_relaxed);
+        } else if (!ec) {
+            // A concurrent gc won this eviction; its bytes are gone
+            // from disk either way, so the cap math still counts them.
+            live_bytes -= e.bytes;
+            race_lost_.fetch_add(1, std::memory_order_relaxed);
         }
     }
     return removed;
@@ -496,6 +529,11 @@ ArtifactStore::enforceCapLocked()
         if (fs::remove(e.path, ec)) {
             total -= e.bytes;
             evictions_.fetch_add(1, std::memory_order_relaxed);
+        } else if (!ec) {
+            // Entry vanished between list() and remove(): another
+            // process evicted it. Its bytes left the store regardless.
+            total -= e.bytes;
+            race_lost_.fetch_add(1, std::memory_order_relaxed);
         }
         if (total <= opts_.maxBytes)
             break;

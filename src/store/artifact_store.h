@@ -75,6 +75,12 @@ struct StoreStats
      *  filesystem rejecting mtime updates): hits stop refreshing
      *  recency, so gc may evict hot entries first. */
     std::uint64_t touchFailures = 0;
+    /** Transactions that lost a race with a concurrent process — the
+     *  entry vanished (evicted/gc'd elsewhere) between our check and
+     *  our operation. Benign: the caller recomputes or skips; counted
+     *  separately from touchFailures/corrupt so a shared store under
+     *  multi-process load is distinguishable from a broken one. */
+    std::uint64_t raceLost = 0;
 };
 
 class ArtifactStore
@@ -162,6 +168,9 @@ class ArtifactStore
     void quarantine(const std::string &path) TH_REQUIRES(mu_);
     /** Count a failed touchEntry and warn the first time. */
     void noteTouchFailure(const std::string &path) TH_REQUIRES(mu_);
+    /** True when @p path no longer exists — a concurrent process won
+     *  the race; the failure is benign and counted under raceLost. */
+    bool noteIfRaceLost(const std::string &path) TH_REQUIRES(mu_);
     /** Enforce opts_.maxBytes; caller holds mu_. */
     void enforceCapLocked() TH_REQUIRES(mu_);
 
@@ -176,6 +185,7 @@ class ArtifactStore
     std::atomic<std::uint64_t> evictions_{0};
     std::atomic<std::uint64_t> corrupt_{0};
     std::atomic<std::uint64_t> touch_failures_{0};
+    std::atomic<std::uint64_t> race_lost_{0};
     std::atomic<bool> touch_warned_{false};
 };
 

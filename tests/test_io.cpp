@@ -225,6 +225,289 @@ TEST(ChunkTest, TruncatedChunkHeaderIsCorrupt)
 }
 
 // ---------------------------------------------------------------------
+// Hostile-input hardening: explicit error codes, the payload-size cap,
+// and zero-length-record rejection.
+// ---------------------------------------------------------------------
+
+/** Append a little-endian u32 to a raw byte buffer. */
+void
+appendU32(std::vector<std::uint8_t> &buf, std::uint32_t v)
+{
+    buf.push_back(static_cast<std::uint8_t>(v));
+    buf.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf.push_back(static_cast<std::uint8_t>(v >> 16));
+    buf.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+TEST(ChunkHardeningTest, ErrorCodesNameEachFailureMode)
+{
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> payload;
+
+    { // Header cut short.
+        std::vector<std::uint8_t> bytes = oneChunkContainer();
+        bytes.resize(7);
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        EXPECT_FALSE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.lastError(), ChunkError::ShortHeader);
+    }
+    { // Wrong magic.
+        std::vector<std::uint8_t> bytes = oneChunkContainer();
+        bytes[0] = 'X';
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        EXPECT_FALSE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.lastError(), ChunkError::BadMagic);
+    }
+    { // Right container, wrong artifact kind.
+        std::vector<std::uint8_t> bytes = oneChunkContainer();
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        EXPECT_FALSE(reader.readHeader("OTHR", schema, err));
+        EXPECT_EQ(reader.lastError(), ChunkError::FormatMismatch);
+    }
+    { // Chunk header cut mid-length.
+        std::vector<std::uint8_t> bytes = oneChunkContainer();
+        bytes.resize(16 + 6);
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.next(tag, payload, err),
+                  ChunkReader::Next::Corrupt);
+        EXPECT_EQ(reader.lastError(), ChunkError::TruncatedHeader);
+    }
+    { // Payload shorter than declared.
+        std::vector<std::uint8_t> bytes = oneChunkContainer();
+        bytes.resize(bytes.size() - 20);
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.next(tag, payload, err),
+                  ChunkReader::Next::Corrupt);
+        EXPECT_EQ(reader.lastError(), ChunkError::TruncatedPayload);
+    }
+    { // Payload bit flip.
+        std::vector<std::uint8_t> bytes = oneChunkContainer();
+        bytes[bytes.size() - 10] ^= 0x01;
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.next(tag, payload, err),
+                  ChunkReader::Next::Corrupt);
+        EXPECT_EQ(reader.lastError(), ChunkError::CrcMismatch);
+    }
+    { // Success clears the code.
+        std::vector<std::uint8_t> bytes = oneChunkContainer();
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.lastError(), ChunkError::None);
+        ASSERT_EQ(reader.next(tag, payload, err),
+                  ChunkReader::Next::Chunk);
+        EXPECT_EQ(reader.lastError(), ChunkError::None);
+    }
+}
+
+TEST(ChunkHardeningTest, HostileLengthFieldRejectedBeforeAllocation)
+{
+    // A four-byte frame claiming a ~4 GiB payload. The reader must
+    // reject it from the length field alone — long before any read or
+    // resize could be driven by it.
+    MemSink sink;
+    ChunkWriter writer(sink);
+    ASSERT_TRUE(writer.begin("TEST", 1));
+    std::vector<std::uint8_t> bytes = sink.data();
+    bytes.insert(bytes.end(), {'E', 'V', 'I', 'L'});
+    appendU32(bytes, 0xFFFFFFF0u); // Declared length, way over any cap.
+    appendU32(bytes, 0);           // CRC (never reached).
+
+    MemSource src(bytes);
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+    EXPECT_EQ(reader.next(tag, payload, err), ChunkReader::Next::Corrupt);
+    EXPECT_EQ(reader.lastError(), ChunkError::Oversize);
+    EXPECT_NE(err.find("exceeds cap"), std::string::npos);
+}
+
+TEST(ChunkHardeningTest, MaxChunkBytesIsConfigurable)
+{
+    // A perfectly valid container whose one payload is 256 bytes.
+    const std::vector<std::uint8_t> bytes = oneChunkContainer();
+
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> payload;
+    { // Cap below the payload: rejected as oversize.
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        reader.setMaxChunkBytes(64);
+        EXPECT_EQ(reader.maxChunkBytes(), 64u);
+        ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.next(tag, payload, err),
+                  ChunkReader::Next::Corrupt);
+        EXPECT_EQ(reader.lastError(), ChunkError::Oversize);
+    }
+    { // Cap at the payload size: accepted.
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        reader.setMaxChunkBytes(256);
+        ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+        EXPECT_EQ(reader.next(tag, payload, err),
+                  ChunkReader::Next::Chunk);
+        EXPECT_EQ(payload.size(), 256u);
+    }
+    { // A zero cap clamps to one byte rather than rejecting everything.
+        MemSource src(bytes);
+        ChunkReader reader(src);
+        reader.setMaxChunkBytes(0);
+        EXPECT_EQ(reader.maxChunkBytes(), 1u);
+    }
+}
+
+TEST(ChunkHardeningTest, ZeroLengthChunkRejected)
+{
+    // No THIO format writes an empty record, so one on the wire can
+    // only be garbage or an attack frame.
+    MemSink sink;
+    ChunkWriter writer(sink);
+    ASSERT_TRUE(writer.begin("TEST", 1));
+    std::vector<std::uint8_t> bytes = sink.data();
+    bytes.insert(bytes.end(), {'V', 'O', 'I', 'D'});
+    appendU32(bytes, 0); // Zero-length payload...
+    appendU32(bytes, 0); // ...whose empty-CRC is 0 (would verify!).
+
+    MemSource src(bytes);
+    ChunkReader reader(src);
+    std::uint32_t schema = 0;
+    std::string tag, err;
+    std::vector<std::uint8_t> payload;
+    ASSERT_TRUE(reader.readHeader("TEST", schema, err));
+    EXPECT_EQ(reader.next(tag, payload, err), ChunkReader::Next::Corrupt);
+    EXPECT_EQ(reader.lastError(), ChunkError::EmptyChunk);
+}
+
+TEST(ChunkHardeningTest, ErrorNamesAreStable)
+{
+    EXPECT_STREQ(chunkErrorName(ChunkError::None), "none");
+    EXPECT_STREQ(chunkErrorName(ChunkError::Oversize), "oversize");
+    EXPECT_STREQ(chunkErrorName(ChunkError::EmptyChunk), "empty-chunk");
+    EXPECT_STREQ(chunkErrorName(ChunkError::CrcMismatch), "crc-mismatch");
+}
+
+// ---------------------------------------------------------------------
+// SimRequest / SimResponse wire codecs (the th_serve protocol records).
+// ---------------------------------------------------------------------
+
+TEST(WireCodecTest, SimRequestRoundTripsEveryField)
+{
+    SimRequest req;
+    req.kind = SimRequestKind::Dtm;
+    req.benchmarks = {"mpeg2enc", "gcc"};
+    req.config = "3D";
+    req.insts = 123456;
+    req.warmup = 7890;
+    req.deadlineMs = 2500;
+    req.dtmPolicy = "fetch";
+    req.dtmTriggerK = 356.5;
+    req.dtmIntervals = 12;
+    req.dtmIntervalCycles = 40000;
+    req.dtmDilation = 250.0;
+    req.dtmGridN = 24;
+
+    Encoder enc;
+    encodeSimRequest(enc, req);
+    Decoder dec(enc.data());
+    SimRequest back;
+    ASSERT_TRUE(decodeSimRequest(dec, back));
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(back.kind, req.kind);
+    EXPECT_EQ(back.benchmarks, req.benchmarks);
+    EXPECT_EQ(back.config, req.config);
+    EXPECT_EQ(back.insts, req.insts);
+    EXPECT_EQ(back.warmup, req.warmup);
+    EXPECT_EQ(back.deadlineMs, req.deadlineMs);
+    EXPECT_EQ(back.dtmPolicy, req.dtmPolicy);
+    EXPECT_EQ(back.dtmTriggerK, req.dtmTriggerK);
+    EXPECT_EQ(back.dtmIntervals, req.dtmIntervals);
+    EXPECT_EQ(back.dtmIntervalCycles, req.dtmIntervalCycles);
+    EXPECT_EQ(back.dtmDilation, req.dtmDilation);
+    EXPECT_EQ(back.dtmGridN, req.dtmGridN);
+}
+
+TEST(WireCodecTest, SimResponseRoundTrips)
+{
+    SimResponse rsp;
+    rsp.status = SimStatus::Overloaded;
+    rsp.error = "admission queue full";
+    rsp.text = "=== Figure 8 ===\nsome table\n";
+
+    Encoder enc;
+    encodeSimResponse(enc, rsp);
+    Decoder dec(enc.data());
+    SimResponse back;
+    ASSERT_TRUE(decodeSimResponse(dec, back));
+    EXPECT_TRUE(dec.atEnd());
+    EXPECT_EQ(back.status, rsp.status);
+    EXPECT_EQ(back.error, rsp.error);
+    EXPECT_EQ(back.text, rsp.text);
+}
+
+TEST(WireCodecTest, BadEnumValuesRejected)
+{
+    Encoder enc;
+    enc.u8(0xEE); // No such SimRequestKind.
+    Decoder dec(enc.data());
+    SimRequest req;
+    EXPECT_FALSE(decodeSimRequest(dec, req));
+
+    Encoder enc2;
+    enc2.u8(0xEE); // No such SimStatus.
+    enc2.str("");
+    enc2.str("");
+    Decoder dec2(enc2.data());
+    SimResponse rsp;
+    EXPECT_FALSE(decodeSimResponse(dec2, rsp));
+}
+
+TEST(WireCodecTest, HostileBenchmarkCountRejected)
+{
+    // A count field claiming 2^31 strings with two bytes of payload
+    // behind it must fail fast, not loop on allocations.
+    Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(SimRequestKind::Fig8));
+    enc.u32(0x80000000u);
+    enc.u8(0);
+    Decoder dec(enc.data());
+    SimRequest req;
+    EXPECT_FALSE(decodeSimRequest(dec, req));
+}
+
+TEST(WireCodecTest, FlightKeyIgnoresDeadlineOnly)
+{
+    SimRequest a;
+    a.kind = SimRequestKind::Fig8;
+    a.benchmarks = {"gcc"};
+    a.deadlineMs = 0;
+    SimRequest b = a;
+    b.deadlineMs = 9999;
+    // Same simulation, different patience: one flight.
+    EXPECT_EQ(flightKeyOf(a), flightKeyOf(b));
+
+    // Any simulation-affecting difference must split the flight.
+    SimRequest c = a;
+    c.benchmarks = {"mcf"};
+    EXPECT_NE(flightKeyOf(a), flightKeyOf(c));
+    SimRequest d = a;
+    d.kind = SimRequestKind::Fig9;
+    EXPECT_NE(flightKeyOf(a), flightKeyOf(d));
+}
+
+// ---------------------------------------------------------------------
 // Exhaustive truncation sweep over a store-style container.
 // ---------------------------------------------------------------------
 

@@ -1,0 +1,383 @@
+/**
+ * Loopback tests of the th_serve stack: a real SimServer on an
+ * ephemeral 127.0.0.1 port, driven by real SimClients. Covers the
+ * acceptance contract of the serving layer — served responses are
+ * byte-identical to direct local runs, identical concurrent requests
+ * coalesce onto one simulation, overload is a structured reject,
+ * deadlines cancel abandoned work, and shutdown drains admitted work.
+ *
+ * The startWorkersPaused seam makes the concurrency tests
+ * deterministic: requests stack up against a parked worker pool, the
+ * test asserts the queue/flight state it arranged, then releases the
+ * workers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/version.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "sim/report.h"
+
+namespace th {
+namespace {
+
+/**
+ * Server options sized for test speed: a tiny simulation window, no
+ * persistent store. TH_STORE_DIR is scrubbed from the environment —
+ * a leaked store would make "how many simulations ran" depend on what
+ * a previous run persisted.
+ */
+ServerOptions
+testOptionsNoStore()
+{
+    ::unsetenv("TH_STORE_DIR");
+    ServerOptions opts;
+    opts.host = "127.0.0.1";
+    opts.port = 0; // Ephemeral; parallel test runs must not collide.
+    opts.sim.instructions = 20000;
+    opts.sim.warmupInstructions = 5000;
+    return opts;
+}
+
+/** A Core request for @p benchmark on @p config. */
+SimRequest
+coreRequest(const std::string &benchmark, const std::string &config)
+{
+    SimRequest req;
+    req.kind = SimRequestKind::Core;
+    req.benchmarks = {benchmark};
+    req.config = config;
+    return req;
+}
+
+/** Spin until @p cond or @p ms elapse; true when the condition held. */
+template <typename Cond>
+bool
+waitFor(Cond cond, int ms = 5000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    while (!cond()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+TEST(NetTest, HandshakeEchoesBuildInfo)
+{
+    SimServer server(testOptionsNoStore());
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+    ASSERT_NE(server.port(), 0);
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+    EXPECT_EQ(client.serverBuild(), buildInfo());
+
+    SimRequest ping;
+    ping.kind = SimRequestKind::Ping;
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(ping, rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::Ok);
+    EXPECT_EQ(rsp.text, std::string(buildInfo()) + "\n");
+}
+
+TEST(NetTest, ServedCoreRunIsByteIdenticalToDirectRun)
+{
+    ServerOptions opts = testOptionsNoStore();
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(coreRequest("gcc", "Base"), rsp, err)) << err;
+    ASSERT_EQ(rsp.status, SimStatus::Ok) << rsp.error;
+
+    // A direct System under the same options must render the same
+    // bytes — the served path adds nothing and loses nothing.
+    System direct(opts.sim);
+    const CoreResult r = direct.runCore("gcc", ConfigKind::Base);
+    EXPECT_EQ(rsp.text, renderCoreRun("gcc", "Base", r));
+}
+
+TEST(NetTest, ServedWidthStudyIsByteIdenticalToDirectRun)
+{
+    ServerOptions opts = testOptionsNoStore();
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+    SimRequest req;
+    req.kind = SimRequestKind::Width;
+    req.benchmarks = {"gcc"};
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(req, rsp, err)) << err;
+    ASSERT_EQ(rsp.status, SimStatus::Ok) << rsp.error;
+
+    System direct(opts.sim);
+    EXPECT_EQ(rsp.text, renderWidth(runWidthStudy(direct, {"gcc"})));
+}
+
+TEST(NetTest, ValidationRejectsBadRequestsStructurally)
+{
+    SimServer server(testOptionsNoStore());
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+
+    SimResponse rsp;
+    // Unknown benchmark.
+    ASSERT_TRUE(client.call(coreRequest("no-such-app", "Base"), rsp, err));
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+    EXPECT_NE(rsp.error.find("unknown benchmark"), std::string::npos);
+
+    // Unknown config.
+    ASSERT_TRUE(client.call(coreRequest("gcc", "Bogus"), rsp, err));
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+
+    // Window mismatch: the store keys omit insts/warmup, so the server
+    // must refuse rather than serve a result from a different window.
+    SimRequest req = coreRequest("gcc", "Base");
+    req.insts = 999999;
+    ASSERT_TRUE(client.call(req, rsp, err));
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+    EXPECT_NE(rsp.error.find("window"), std::string::npos);
+
+    // Config on a sweep request is a client bug, not a simulation.
+    SimRequest fig;
+    fig.kind = SimRequestKind::Fig8;
+    fig.config = "Base";
+    ASSERT_TRUE(client.call(fig, rsp, err));
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+
+    EXPECT_GE(server.metrics().badRequests(), 4u);
+    // The connection survives structured errors.
+    SimRequest ping;
+    ping.kind = SimRequestKind::Ping;
+    ASSERT_TRUE(client.call(ping, rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::Ok);
+}
+
+TEST(NetTest, IdenticalConcurrentRequestsCoalesceOntoOneSimulation)
+{
+    ServerOptions opts = testOptionsNoStore();
+    opts.workers = 2;
+    opts.startWorkersPaused = true;
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    constexpr int kClients = 4;
+    std::vector<std::thread> threads;
+    std::vector<SimResponse> responses(kClients);
+    std::vector<std::string> errors(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            SimClient client;
+            std::string cerr;
+            if (!client.connect("127.0.0.1", server.port(), cerr)) {
+                errors[i] = cerr;
+                return;
+            }
+            SimResponse rsp;
+            if (!client.call(coreRequest("gcc", "Base"), rsp, cerr))
+                errors[i] = cerr;
+            else
+                responses[i] = rsp;
+        });
+    }
+
+    // With the workers parked, all four requests must pile onto one
+    // flight: three dedup hits, zero simulations so far.
+    ASSERT_TRUE(waitFor([&] {
+        return server.metrics().dedupHits() == kClients - 1;
+    })) << "requests did not coalesce; dedupHits="
+        << server.metrics().dedupHits();
+    EXPECT_EQ(server.metrics().simulationsRun(), 0u);
+
+    server.resumeWorkers();
+    for (std::thread &t : threads)
+        t.join();
+
+    // Exactly one simulation ran...
+    EXPECT_EQ(server.metrics().simulationsRun(), 1u);
+    const System::CacheStats cache = server.system().coreCacheStats();
+    EXPECT_EQ(cache.misses, 1u);
+
+    // ...and every waiter got the same bytes, which are the bytes a
+    // direct System::runCore would have produced.
+    System direct(opts.sim);
+    const std::string expect =
+        renderCoreRun("gcc", "Base", direct.runCore("gcc", ConfigKind::Base));
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_TRUE(errors[i].empty()) << errors[i];
+        EXPECT_EQ(responses[i].status, SimStatus::Ok) << responses[i].error;
+        EXPECT_EQ(responses[i].text, expect);
+    }
+}
+
+TEST(NetTest, FullQueueRejectsWithStructuredOverload)
+{
+    ServerOptions opts = testOptionsNoStore();
+    opts.workers = 1;
+    opts.queueCapacity = 1;
+    opts.startWorkersPaused = true;
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+
+    // Occupy the whole queue with a request whose waiter gives up
+    // almost immediately: the reply is DeadlineExceeded, the work item
+    // stays queued (cancelled), and the pool is parked so it cannot
+    // drain.
+    SimRequest occupant = coreRequest("gcc", "Base");
+    occupant.deadlineMs = 1;
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(occupant, rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::DeadlineExceeded);
+    EXPECT_EQ(server.metrics().deadlineExpired(), 1u);
+
+    // A different simulation now finds the queue full: a structured
+    // busy reply, not a hang and not a dropped connection.
+    ASSERT_TRUE(client.call(coreRequest("mcf", "Base"), rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::Overloaded);
+    EXPECT_NE(rsp.error.find("queue full"), std::string::npos);
+    EXPECT_EQ(server.metrics().rejectedOverload(), 1u);
+
+    // Release the pool: it discards the cancelled occupant without
+    // simulating (nobody is waiting) and the server is healthy again.
+    // Wait for the pop before re-submitting — admission races the
+    // worker's dequeue, and losing that race is just another honest
+    // Overloaded.
+    server.resumeWorkers();
+    ASSERT_TRUE(waitFor([&] {
+        SimRequest m;
+        m.kind = SimRequestKind::Metrics;
+        SimResponse mrsp;
+        std::string merr;
+        return client.call(m, mrsp, merr) &&
+               mrsp.text.find("queue_depth 0\n") != std::string::npos;
+    }));
+    ASSERT_TRUE(client.call(coreRequest("mcf", "Base"), rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::Ok) << rsp.error;
+    EXPECT_EQ(server.metrics().simulationsRun(), 1u)
+        << "the abandoned occupant must not have been simulated";
+}
+
+TEST(NetTest, ShutdownDrainsAdmittedWorkBeforeExiting)
+{
+    ServerOptions opts = testOptionsNoStore();
+    opts.workers = 1;
+    opts.startWorkersPaused = true;
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    SimResponse admitted_rsp;
+    std::string admitted_err;
+    std::thread waiter([&] {
+        SimClient client;
+        std::string cerr;
+        if (!client.connect("127.0.0.1", server.port(), cerr)) {
+            admitted_err = cerr;
+            return;
+        }
+        SimResponse rsp;
+        if (!client.call(coreRequest("gcc", "Base"), rsp, cerr))
+            admitted_err = cerr;
+        else
+            admitted_rsp = rsp;
+    });
+
+    // Wait until the request is admitted (it is the flight creator, so
+    // one queued item and zero dedup hits mark the admission).
+    SimClient probe;
+    ASSERT_TRUE(probe.connect("127.0.0.1", server.port(), err)) << err;
+    ASSERT_TRUE(waitFor([&] {
+        SimRequest m;
+        m.kind = SimRequestKind::Metrics;
+        SimResponse rsp;
+        std::string perr;
+        if (!probe.call(m, rsp, perr))
+            return false;
+        return rsp.text.find("queue_depth 1\n") != std::string::npos;
+    }));
+
+    // shutdown() resumes the pool, finishes the admitted simulation,
+    // delivers its response, then tears the connections down.
+    server.shutdown();
+    waiter.join();
+    ASSERT_TRUE(admitted_err.empty()) << admitted_err;
+    EXPECT_EQ(admitted_rsp.status, SimStatus::Ok) << admitted_rsp.error;
+    EXPECT_FALSE(admitted_rsp.text.empty());
+    EXPECT_EQ(server.metrics().simulationsRun(), 1u);
+
+    // The port no longer accepts new connections.
+    SimClient late;
+    EXPECT_FALSE(late.connect("127.0.0.1", server.port(), err));
+}
+
+TEST(NetTest, RepeatedRequestIsServedFromTheCoreCache)
+{
+    ServerOptions opts = testOptionsNoStore();
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+    SimResponse first, second;
+    ASSERT_TRUE(client.call(coreRequest("gcc", "Base"), first, err));
+    ASSERT_EQ(first.status, SimStatus::Ok) << first.error;
+    ASSERT_TRUE(client.call(coreRequest("gcc", "Base"), second, err));
+    ASSERT_EQ(second.status, SimStatus::Ok) << second.error;
+
+    EXPECT_EQ(first.text, second.text);
+    const System::CacheStats cache = server.system().coreCacheStats();
+    EXPECT_EQ(cache.misses, 1u) << "warm repeat must not re-simulate";
+    EXPECT_EQ(cache.hits, 1u);
+}
+
+TEST(NetTest, MetricsSnapshotExposesTheServingCounters)
+{
+    SimServer server(testOptionsNoStore());
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(coreRequest("gcc", "Base"), rsp, err));
+    ASSERT_EQ(rsp.status, SimStatus::Ok) << rsp.error;
+
+    SimRequest m;
+    m.kind = SimRequestKind::Metrics;
+    ASSERT_TRUE(client.call(m, rsp, err)) << err;
+    ASSERT_EQ(rsp.status, SimStatus::Ok);
+    for (const char *key :
+         {"requests_served ", "queue_depth ", "dedup_hits ",
+          "simulations_run ", "rejected_overload ", "latency_p50_us_le ",
+          "latency_p99_us_le ", "core_cache_hits ", "store_race_lost "})
+        EXPECT_NE(rsp.text.find(key), std::string::npos)
+            << "metrics text lacks '" << key << "':\n" << rsp.text;
+    EXPECT_NE(rsp.text.find("simulations_run 1\n"), std::string::npos);
+}
+
+} // namespace
+} // namespace th

@@ -321,6 +321,56 @@ TEST_F(StoreTest, HealthyTouchReportsNoFailures)
 }
 
 // ---------------------------------------------------------------------
+// Concurrent-process races: entries vanishing mid-transaction.
+// ---------------------------------------------------------------------
+
+/**
+ * ArtifactStore whose recency touch deletes the entry before failing —
+ * the observable shape of losing a race with a concurrent process
+ * whose gc/eviction removed the file between our existence check and
+ * our utimensat. A real second process can't be steered onto that
+ * window deterministically; the override can.
+ */
+class VanishingTouchStore : public ArtifactStore
+{
+  public:
+    using ArtifactStore::ArtifactStore;
+
+  protected:
+    bool touchEntry(const std::string &path) override
+    {
+        std::error_code ec;
+        fs::remove(path, ec);
+        return false;
+    }
+};
+
+TEST_F(StoreTest, VanishedEntryCountsAsRaceLostNotTouchFailure)
+{
+    VanishingTouchStore store(options());
+    const CoreResult r = syntheticResult(8);
+    ASSERT_TRUE(store.storeCoreResult("gzip", 0x8, r));
+
+    // The entry was read before the loser's touch saw it vanish, so
+    // the hit is still served bit-identically.
+    CoreResult back;
+    ASSERT_TRUE(store.loadCoreResult("gzip", 0x8, back));
+    EXPECT_EQ(serializeCoreResult(back), serializeCoreResult(r));
+
+    const StoreStats s = store.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.raceLost, 1u);
+    // A lost race is benign multi-process behaviour, not a broken
+    // filesystem: it must not pollute the failure counters.
+    EXPECT_EQ(s.touchFailures, 0u);
+    EXPECT_EQ(s.corrupt, 0u);
+
+    // The entry is gone now, so the next lookup is a plain miss.
+    EXPECT_FALSE(store.loadCoreResult("gzip", 0x8, back));
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------------
 // System integration: the cold/warm contract.
 // ---------------------------------------------------------------------
 

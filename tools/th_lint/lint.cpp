@@ -586,6 +586,14 @@ coverageRules()
          {{"encodeDtmReport", "src/io/serialize.cpp"},
           {"decodeDtmReport", "src/io/serialize.cpp"}},
          "serializer-coverage"},
+        {"SimRequest", "src/io/request.h",
+         {{"encodeSimRequest", "src/io/serialize.cpp"},
+          {"decodeSimRequest", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"SimResponse", "src/io/request.h",
+         {{"encodeSimResponse", "src/io/serialize.cpp"},
+          {"decodeSimResponse", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
     };
     return rules;
 }

@@ -8,15 +8,25 @@
  * Usage:
  *   th_run fig8|fig9|fig10|width|sweep [--benchmarks a,b,c]
  *          [--insts N] [--warmup N] [--store DIR]
+ *   th_run core [--benchmarks b] [--config NAME]
  *   th_run trace record <benchmark> <out.thtrace> [--records N]
  *   th_run trace info <file.thtrace>
  *   th_run trace run <file.thtrace> [--config NAME] [--insts N]
  *          [--warmup N]
  *   th_run store ls|gc|verify [--dir DIR] [--max-bytes N]
+ *   th_run <cmd> --connect host:port   # run against a th_serve server
+ *   th_run ping|metrics --connect host:port
+ *   th_run --version
  *
  * The experiment commands honour TH_STORE_DIR (or --store): a cold run
  * simulates and persists every (benchmark, config) CoreResult; a warm
  * re-run loads them all from disk and prints matching hit counters.
+ *
+ * With --connect, the same experiment subcommands are sent to a
+ * th_serve server instead of simulated locally; the response body is
+ * rendered through the identical report code, so served and local
+ * output are byte-identical (counter footers aside — those describe
+ * whichever System did the work).
  */
 
 #include <cstdio>
@@ -28,14 +38,21 @@
 
 #include "common/log.h"
 #include "common/table.h"
+#include "common/version.h"
 #include "io/trace_file.h"
+#include "net/client.h"
 #include "sim/experiments.h"
+#include "sim/report.h"
 #include "store/artifact_store.h"
 #include "trace/suites.h"
 
 using namespace th;
 
 namespace {
+
+/** Simulation window applied when --insts / --warmup are not given. */
+constexpr std::uint64_t kDefaultInsts = 200000;
+constexpr std::uint64_t kDefaultWarmup = 100000;
 
 /** Tiny flag parser: positional args + --name value pairs. */
 struct Args
@@ -45,8 +62,10 @@ struct Args
     std::string benchmarks;
     std::string config = "Base";
     std::string dir;
-    std::uint64_t insts = 200000;
-    std::uint64_t warmup = 100000;
+    // 0 = not given: local runs fall back to kDefault*; client mode
+    // forwards the 0 so the server applies its own fixed window.
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = 0;
     std::uint64_t records = 0;
     std::uint64_t maxBytes = 256ULL << 20;
 
@@ -57,6 +76,10 @@ struct Args
     std::uint64_t intervalCycles = 0;
     double dilation = 0.0;
     std::uint64_t grid = 0;
+
+    // Client mode ("" = run locally).
+    std::string connect;
+    std::uint64_t deadlineMs = 0;
 };
 
 [[noreturn]] void
@@ -75,7 +98,11 @@ usage(const char *msg = nullptr)
         "  th_run dtm [--benchmarks b] [--policy none|clockgate|fetch]\n"
         "         [--trigger K] [--intervals N] [--interval-cycles N]\n"
         "         [--dilation X] [--grid N] [--store DIR]\n"
+        "  th_run core [--benchmarks b] [--config NAME]\n"
         "  th_run store ls|gc|verify [--dir DIR] [--max-bytes N]\n"
+        "  th_run <experiment> --connect host:port [--deadline-ms N]\n"
+        "  th_run ping|metrics --connect host:port\n"
+        "  th_run --version\n"
         "\n"
         "The experiment commands persist CoreResults to --store /\n"
         "TH_STORE_DIR when set; a warm re-run then skips simulation.\n"
@@ -145,7 +172,15 @@ parseArgs(int argc, char **argv)
             args.dilation = parseF64(value("--dilation"), "--dilation");
         else if (a == "--grid")
             args.grid = parseU64(value("--grid"), "--grid");
-        else if (a == "--help" || a == "-h")
+        else if (a == "--connect")
+            args.connect = value("--connect");
+        else if (a == "--deadline-ms")
+            args.deadlineMs =
+                parseU64(value("--deadline-ms"), "--deadline-ms");
+        else if (a == "--version") {
+            std::printf("%s\n", buildInfo());
+            std::exit(0);
+        } else if (a == "--help" || a == "-h")
             usage();
         else if (!a.empty() && a[0] == '-')
             usage(strformat("unknown flag '%s'", a.c_str()).c_str());
@@ -191,8 +226,8 @@ System
 makeSystem(const Args &args)
 {
     SimOptions opts;
-    opts.instructions = args.insts;
-    opts.warmupInstructions = args.warmup;
+    opts.instructions = args.insts ? args.insts : kDefaultInsts;
+    opts.warmupInstructions = args.warmup ? args.warmup : kDefaultWarmup;
     opts.storeDir = args.dir; // Empty falls back to TH_STORE_DIR.
     return System(opts);
 }
@@ -200,91 +235,14 @@ makeSystem(const Args &args)
 void
 printCounters(const System &sys)
 {
-    const System::CacheStats cache = sys.coreCacheStats();
-    std::printf("\ncore cache: %llu hits, %llu misses\n",
-                (unsigned long long)cache.hits,
-                (unsigned long long)cache.misses);
-    if (sys.storeEnabled()) {
-        const StoreStats s = sys.storeStats();
-        std::printf("store (%s): %llu hits, %llu misses, %llu stores, "
-                    "%llu evictions, %llu corrupt, %llu touch failures\n",
-                    sys.storeDir().c_str(), (unsigned long long)s.hits,
-                    (unsigned long long)s.misses,
-                    (unsigned long long)s.stores,
-                    (unsigned long long)s.evictions,
-                    (unsigned long long)s.corrupt,
-                    (unsigned long long)s.touchFailures);
-    } else {
-        std::printf("store: disabled (set TH_STORE_DIR or --store)\n");
-    }
+    std::fputs(renderCounters(sys).c_str(), stdout);
 }
 
 // -------------------------------------------------------------------
-// Experiment commands.
+// Experiment commands. The report bodies come from sim/report.h — the
+// same renderers th_serve answers with, which is what keeps local and
+// served output byte-identical.
 // -------------------------------------------------------------------
-
-void
-printFig8(const Fig8Data &data)
-{
-    Table t({"Class", "Base", "TH", "Pipe", "Fast", "3D", "Speedup"});
-    for (const auto &g : data.groups)
-        t.addRow({g.suite, fmtDouble(g.ipcGeomean[0], 3),
-                  fmtDouble(g.ipcGeomean[1], 3),
-                  fmtDouble(g.ipcGeomean[2], 3),
-                  fmtDouble(g.ipcGeomean[3], 3),
-                  fmtDouble(g.ipcGeomean[4], 3), fmtPercent(g.speedup)});
-    t.print(std::cout);
-    std::printf("mean-of-means speedup: %s (min %s %s, max %s %s)\n",
-                fmtPercent(data.speedupMeanOfMeans).c_str(),
-                data.minBenchmark.c_str(),
-                fmtPercent(data.minSpeedup).c_str(),
-                data.maxBenchmark.c_str(),
-                fmtPercent(data.maxSpeedup).c_str());
-}
-
-void
-printFig9(const Fig9Data &data)
-{
-    Table t({"Config", "Total W", "Clock W", "Leak W", "Dynamic W"});
-    for (const PowerBreakdown *b :
-         {&data.planar, &data.noTh3d, &data.th3d})
-        t.addRow({b->config, fmtDouble(b->totalW, 1),
-                  fmtDouble(b->clockW, 1), fmtDouble(b->leakW, 1),
-                  fmtDouble(b->dynamicW, 1)});
-    t.print(std::cout);
-    std::printf("power saving: min %s %s, max %s %s\n",
-                data.minSaving.name.c_str(),
-                fmtPercent(data.minSaving.saving).c_str(),
-                data.maxSaving.name.c_str(),
-                fmtPercent(data.maxSaving.saving).c_str());
-}
-
-void
-printFig10(const Fig10Data &data)
-{
-    Table t({"Case", "App", "Total W", "Peak K", "Hot block"});
-    auto row = [&](const char *label, const ThermalCase &tc) {
-        t.addRow({label, tc.app, fmtDouble(tc.totalW, 1),
-                  fmtDouble(tc.report.peakK, 1),
-                  tc.report.hottestBlock});
-    };
-    row("worst planar", data.worstPlanar);
-    row("worst 3D-noTH", data.worstNoTh3d);
-    row("worst 3D-TH", data.worstTh3d);
-    row("iso-power", data.isoPower);
-    t.print(std::cout);
-    std::printf("ROB delta (3D-TH vs planar, %s): %s K\n",
-                data.sameApp.c_str(),
-                fmtDouble(data.robDeltaK, 2).c_str());
-}
-
-void
-printWidth(const WidthStudyData &data)
-{
-    std::printf("width prediction overall accuracy: %s over %zu "
-                "benchmarks\n", fmtPercent(data.overallAccuracy).c_str(),
-                data.rows.size());
-}
 
 int
 cmdExperiment(const std::string &what, const Args &args)
@@ -296,22 +254,39 @@ cmdExperiment(const std::string &what, const Args &args)
         if (!hasBenchmark(b))
             usage(strformat("unknown benchmark '%s'", b.c_str()).c_str());
 
-    if (what == "fig8" || what == "sweep") {
-        std::printf("=== Figure 8: performance ===\n");
-        printFig8(runFigure8(sys, benchmarks));
-    }
-    if (what == "fig9" || what == "sweep") {
-        std::printf("=== Figure 9: power ===\n");
-        printFig9(runFigure9(sys, benchmarks));
-    }
-    if (what == "fig10" || what == "sweep") {
-        std::printf("=== Figure 10: thermal ===\n");
-        printFig10(runFigure10(sys, benchmarks));
-    }
-    if (what == "width") {
-        std::printf("=== Width prediction study ===\n");
-        printWidth(runWidthStudy(sys, benchmarks));
-    }
+    if (what == "fig8" || what == "sweep")
+        std::fputs(renderFig8(runFigure8(sys, benchmarks)).c_str(),
+                   stdout);
+    if (what == "fig9" || what == "sweep")
+        std::fputs(renderFig9(runFigure9(sys, benchmarks)).c_str(),
+                   stdout);
+    if (what == "fig10" || what == "sweep")
+        std::fputs(renderFig10(runFigure10(sys, benchmarks)).c_str(),
+                   stdout);
+    if (what == "width")
+        std::fputs(renderWidth(runWidthStudy(sys, benchmarks)).c_str(),
+                   stdout);
+    printCounters(sys);
+    return 0;
+}
+
+int
+cmdCore(const Args &args)
+{
+    const std::vector<std::string> benchmarks =
+        splitList(args.benchmarks);
+    if (benchmarks.size() > 1)
+        usage("core takes a single --benchmarks entry");
+    const std::string benchmark =
+        benchmarks.empty() ? System::kPowerReferenceBenchmark
+                           : benchmarks[0];
+    if (!hasBenchmark(benchmark))
+        usage(strformat("unknown benchmark '%s'",
+                        benchmark.c_str()).c_str());
+    System sys = makeSystem(args);
+    const CoreResult r =
+        sys.runCore(benchmark, configByName(args.config));
+    std::fputs(renderCoreRun(benchmark, args.config, r).c_str(), stdout);
     printCounters(sys);
     return 0;
 }
@@ -357,23 +332,8 @@ cmdDtm(const Args &args)
         usage(strformat("unknown benchmark '%s'",
                         benchmark.c_str()).c_str());
 
-    std::printf("=== Closed-loop DTM: %s, policy %s, trigger %s K "
-                "===\n", benchmark.c_str(),
-                dtmPolicyName(opts.policy),
-                fmtDouble(opts.triggers.triggerK, 1).c_str());
     const DtmStudyData data = runDtmStudy(sys, benchmark, opts);
-
-    Table t({"Config", "Start K", "Peak K", "Final K", "Throttle duty",
-             "t>trig ms", "Perf lost"});
-    for (const DtmCase &c : data.cases)
-        t.addRow({configName(c.config),
-                  fmtDouble(c.report.startPeakK, 1),
-                  fmtDouble(c.report.peakK, 1),
-                  fmtDouble(c.report.finalPeakK, 1),
-                  fmtPercent(c.report.throttleDuty),
-                  fmtDouble(c.report.timeAboveTriggerS * 1e3, 1),
-                  fmtPercent(c.report.perfLost)});
-    t.print(std::cout);
+    std::fputs(renderDtm(data, opts).c_str(), stdout);
     printCounters(sys);
     return 0;
 }
@@ -399,7 +359,8 @@ cmdTraceRecord(const Args &args)
     // in-flight population plus redirect slack.
     const std::uint64_t records = args.records
         ? args.records
-        : args.insts + args.warmup + 8192;
+        : (args.insts ? args.insts : kDefaultInsts) +
+              (args.warmup ? args.warmup : kDefaultWarmup) + 8192;
 
     SyntheticTrace trace(profile);
     std::string err;
@@ -457,13 +418,121 @@ cmdTraceRun(const Args &args)
     const CoreConfig cfg =
         makeConfig(configByName(args.config), sys.circuits());
     const CoreResult r = sys.runTrace(replay, cfg);
-    std::printf("%s on %s: IPC %s, IPns %s, %llu insts in %llu "
-                "cycles\n", replay.info().benchmark.c_str(),
-                args.config.c_str(), fmtDouble(r.perf.ipc(), 3).c_str(),
-                fmtDouble(r.ipns(), 2).c_str(),
-                (unsigned long long)r.perf.committedInsts.value(),
-                (unsigned long long)r.perf.cycles.value());
+    std::fputs(renderCoreRun(replay.info().benchmark, args.config, r)
+                   .c_str(),
+               stdout);
     return 0;
+}
+
+// -------------------------------------------------------------------
+// Client mode: ship the request to a th_serve server and print the
+// response body. The body is rendered by the server through the same
+// sim/report.h functions the local paths use.
+// -------------------------------------------------------------------
+
+bool
+parseHostPort(const std::string &spec, std::string &host,
+              std::uint16_t &port)
+{
+    const std::size_t colon = spec.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= spec.size())
+        return false;
+    host = spec.substr(0, colon);
+    const std::uint64_t p = parseU64(spec.substr(colon + 1), "--connect");
+    if (p == 0 || p > 65535)
+        return false;
+    port = static_cast<std::uint16_t>(p);
+    return true;
+}
+
+int
+callServer(SimClient &client, SimRequest req, const Args &args)
+{
+    req.insts = args.insts;
+    req.warmup = args.warmup;
+    req.deadlineMs = static_cast<std::uint32_t>(args.deadlineMs);
+    SimResponse rsp;
+    std::string err;
+    if (!client.call(req, rsp, err)) {
+        std::fprintf(stderr, "th_run: %s\n", err.c_str());
+        return 1;
+    }
+    if (rsp.status != SimStatus::Ok) {
+        std::fprintf(stderr, "th_run: server replied %s: %s\n",
+                     simStatusName(rsp.status), rsp.error.c_str());
+        return 1;
+    }
+    std::fputs(rsp.text.c_str(), stdout);
+    return 0;
+}
+
+int
+cmdClient(const Args &args)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (!parseHostPort(args.connect, host, port))
+        usage("--connect expects host:port");
+
+    SimClient client;
+    std::string err;
+    if (!client.connect(host, port, err)) {
+        std::fprintf(stderr, "th_run: %s\n", err.c_str());
+        return 1;
+    }
+
+    const std::string &cmd = args.pos[0];
+    SimRequest req;
+    req.benchmarks = splitList(args.benchmarks);
+
+    if (cmd == "ping") {
+        req.kind = SimRequestKind::Ping;
+        return callServer(client, req, args);
+    }
+    if (cmd == "metrics") {
+        req.kind = SimRequestKind::Metrics;
+        return callServer(client, req, args);
+    }
+    if (cmd == "fig8" || cmd == "fig9" || cmd == "fig10" ||
+        cmd == "width" || cmd == "sweep") {
+        const std::vector<std::pair<const char *, SimRequestKind>> kinds =
+            {{"fig8", SimRequestKind::Fig8},
+             {"fig9", SimRequestKind::Fig9},
+             {"fig10", SimRequestKind::Fig10}};
+        if (cmd == "width") {
+            req.kind = SimRequestKind::Width;
+            return callServer(client, req, args);
+        }
+        for (const auto &[name, kind] : kinds) {
+            if (cmd != name && cmd != "sweep")
+                continue;
+            req.kind = kind;
+            const int rc = callServer(client, req, args);
+            if (rc != 0)
+                return rc;
+        }
+        return 0;
+    }
+    if (cmd == "core") {
+        req.kind = SimRequestKind::Core;
+        if (req.benchmarks.empty())
+            req.benchmarks = {System::kPowerReferenceBenchmark};
+        req.config = args.config;
+        return callServer(client, req, args);
+    }
+    if (cmd == "dtm") {
+        req.kind = SimRequestKind::Dtm;
+        req.dtmPolicy = args.policy;
+        req.dtmTriggerK = args.trigger;
+        req.dtmIntervals = static_cast<std::uint32_t>(args.intervals);
+        req.dtmIntervalCycles = args.intervalCycles;
+        req.dtmDilation = args.dilation;
+        req.dtmGridN = static_cast<std::uint32_t>(args.grid);
+        return callServer(client, req, args);
+    }
+    usage(strformat("command '%s' cannot run against a server",
+                    cmd.c_str()).c_str());
 }
 
 // -------------------------------------------------------------------
@@ -537,9 +606,16 @@ main(int argc, char **argv)
         usage();
     const std::string &cmd = args.pos[0];
 
+    if (!args.connect.empty())
+        return cmdClient(args);
+    if (cmd == "ping" || cmd == "metrics")
+        usage(strformat("'%s' needs --connect host:port",
+                        cmd.c_str()).c_str());
     if (cmd == "fig8" || cmd == "fig9" || cmd == "fig10" ||
         cmd == "width" || cmd == "sweep")
         return cmdExperiment(cmd, args);
+    if (cmd == "core")
+        return cmdCore(args);
     if (cmd == "dtm")
         return cmdDtm(args);
     if (cmd == "trace") {

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * th_serve — the networked simulation service. Binds a TCP port,
+ * answers TSRV-protocol requests (see net/protocol.h) with the same
+ * reports th_run prints locally, coalesces identical in-flight
+ * simulations, and sheds overload as structured busy replies. SIGTERM
+ * and SIGINT drain gracefully: admitted simulations finish and their
+ * responses are delivered before the process exits.
+ *
+ * Usage:
+ *   th_serve [--host A] [--port N] [--store DIR] [--workers N]
+ *            [--queue N] [--insts N] [--warmup N]
+ *
+ * --port 0 (the default) binds an ephemeral port; the chosen port is
+ * printed on the "listening on" line, which scripts can parse.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/version.h"
+#include "net/server.h"
+
+using namespace th;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void
+onSignal(int)
+{
+    g_stop.store(true);
+}
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "th_serve: %s\n\n", msg);
+    std::fprintf(stderr,
+        "usage:\n"
+        "  th_serve [--host A] [--port N] [--store DIR] [--workers N]\n"
+        "           [--queue N] [--insts N] [--warmup N]\n"
+        "\n"
+        "Serves the simulation surface over TCP (th_run --connect).\n"
+        "--port 0 binds an ephemeral port, printed on startup.\n"
+        "--store enables the persistent artifact store (also honours\n"
+        "TH_STORE_DIR). SIGTERM/SIGINT drain in-flight work, then\n"
+        "exit.\n");
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const std::string &s, const char *flag)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0') {
+        std::fprintf(stderr, "th_serve: %s expects a number, got '%s'\n",
+                     flag, s.c_str());
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                usage((std::string(flag) + " requires a value").c_str());
+            return argv[++i];
+        };
+        if (a == "--host")
+            opts.host = value("--host");
+        else if (a == "--port")
+            opts.port =
+                static_cast<std::uint16_t>(parseU64(value("--port"),
+                                                    "--port"));
+        else if (a == "--store")
+            opts.sim.storeDir = value("--store");
+        else if (a == "--workers")
+            opts.workers =
+                static_cast<int>(parseU64(value("--workers"),
+                                          "--workers"));
+        else if (a == "--queue")
+            opts.queueCapacity = parseU64(value("--queue"), "--queue");
+        else if (a == "--insts")
+            opts.sim.instructions = parseU64(value("--insts"), "--insts");
+        else if (a == "--warmup")
+            opts.sim.warmupInstructions =
+                parseU64(value("--warmup"), "--warmup");
+        else if (a == "--version") {
+            std::printf("%s\n", buildInfo());
+            return 0;
+        } else if (a == "--help" || a == "-h")
+            usage();
+        else
+            usage(("unknown flag '" + a + "'").c_str());
+    }
+
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+
+    SimServer server(opts);
+    std::string err;
+    if (!server.start(err)) {
+        std::fprintf(stderr, "th_serve: %s\n", err.c_str());
+        return 1;
+    }
+    std::printf("%s\n", buildInfo());
+    std::printf("listening on %s:%u (%d workers, queue %zu%s)\n",
+                opts.host.c_str(), static_cast<unsigned>(server.port()),
+                opts.workers < 1 ? 1 : opts.workers, opts.queueCapacity,
+                server.system().storeEnabled() ? ", store on" : "");
+    std::fflush(stdout);
+
+    while (!g_stop.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    std::printf("draining...\n");
+    std::fflush(stdout);
+    server.shutdown();
+    std::printf("drained, exiting\n");
+    return 0;
+}
