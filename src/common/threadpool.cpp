@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "common/log.h"
@@ -13,6 +14,11 @@ namespace {
 
 /** True on threads owned by a pool: nested parallelFor runs inline. */
 thread_local bool t_in_worker = false;
+
+/** The replaceable global pool (see ThreadPool::setGlobalThreads).
+ *  The mutex only guards the slot, not the pool's own work. */
+Mutex g_global_mu;
+std::unique_ptr<ThreadPool> g_global_pool TH_GUARDED_BY(g_global_mu);
 
 } // namespace
 
@@ -173,8 +179,25 @@ ThreadPool::configuredThreads()
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool(configuredThreads());
-    return pool;
+    LockGuard lock(g_global_mu);
+    if (!g_global_pool)
+        g_global_pool =
+            std::make_unique<ThreadPool>(configuredThreads());
+    return *g_global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int num_threads)
+{
+    // Construct outside the lock (the ctor spawns workers) and join
+    // the old pool's workers after releasing it.
+    auto fresh = std::make_unique<ThreadPool>(num_threads);
+    std::unique_ptr<ThreadPool> old;
+    {
+        LockGuard lock(g_global_mu);
+        old = std::move(g_global_pool);
+        g_global_pool = std::move(fresh);
+    }
 }
 
 } // namespace th

@@ -70,10 +70,21 @@ class ThreadPool
 
     /**
      * The process-wide pool used by the experiment harnesses and the
-     * red-black thermal solver. Sized once, on first use, from
-     * TH_THREADS (or hardware concurrency when unset).
+     * thermal solvers. Sized on first use from TH_THREADS (or
+     * hardware concurrency when unset); resizable for the lifetime of
+     * the process via setGlobalThreads().
      */
     static ThreadPool &global();
+
+    /**
+     * Replace the global pool with one of @p num_threads threads —
+     * the bench/test hook behind the "threads" measurement axis
+     * (solver determinism is validated by re-running one solve at
+     * several pool sizes in a single process). Must only be called
+     * while no parallel work is in flight: references previously
+     * returned by global() are invalidated.
+     */
+    static void setGlobalThreads(int num_threads);
 
     /** Pool size global() will use: TH_THREADS or hardware default. */
     static int configuredThreads();

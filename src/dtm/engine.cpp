@@ -69,6 +69,7 @@ DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
     const Floorplan &fp = cfg.stacked ? stacked_ : planar_;
     ThermalParams tp = hotspot_.params();
     tp.gridN = opts.gridN;
+    tp.solver = opts.solver;
     ThermalGrid grid(tp,
                      cfg.stacked ? HotspotModel::stackedStack()
                                  : HotspotModel::planarStack(),

@@ -64,6 +64,9 @@ struct DtmOptions
     int gridN = 16;
     /** Requested transient step; clamped to the stability bound. */
     double maxDtS = 1e-4;
+    /** Steady-state solver for the free-running starting field
+     *  (multigrid pays off at high gridN). */
+    SolverKind solver = SolverKind::Sor;
 };
 
 /** One control interval of a DTM run. */

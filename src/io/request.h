@@ -21,8 +21,9 @@
 
 namespace th {
 
-/** Schema version of the SimRequest/SimResponse encodings. */
-inline constexpr std::uint32_t kWireSchemaVersion = 1;
+/** Schema version of the SimRequest/SimResponse encodings.
+ *  v2: SimRequest grew dtmSolver. */
+inline constexpr std::uint32_t kWireSchemaVersion = 2;
 
 /** What the client is asking the server to do. */
 enum class SimRequestKind : std::uint8_t {
@@ -85,6 +86,8 @@ struct SimRequest
     std::uint64_t dtmIntervalCycles = 0;
     double dtmDilation = 0.0;
     std::uint32_t dtmGridN = 0;
+    /** Steady-state solver, solverKindName() ("" = server default). */
+    std::string dtmSolver;
 };
 
 /** One response; @p text is the same report a local th_run prints. */

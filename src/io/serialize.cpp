@@ -379,6 +379,7 @@ encodeSimRequest(Encoder &enc, const SimRequest &req)
     enc.u64(req.dtmIntervalCycles);
     enc.f64(req.dtmDilation);
     enc.u32(req.dtmGridN);
+    enc.str(req.dtmSolver);
 }
 
 bool
@@ -408,6 +409,7 @@ decodeSimRequest(Decoder &dec, SimRequest &req)
     req.dtmIntervalCycles = dec.u64();
     req.dtmDilation = dec.f64();
     req.dtmGridN = dec.u32();
+    req.dtmSolver = dec.str();
     return dec.ok();
 }
 

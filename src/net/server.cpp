@@ -45,6 +45,8 @@ DtmOptions dtmOptionsFrom(const SimRequest &req)
         opts.timeDilation = req.dtmDilation;
     if (req.dtmGridN > 0)
         opts.gridN = static_cast<int>(req.dtmGridN);
+    if (!req.dtmSolver.empty())
+        solverKindByName(req.dtmSolver, &opts.solver); // validated upstream
     return opts;
 }
 
@@ -390,6 +392,13 @@ bool SimServer::validate(const SimRequest &req, std::string &err) const
             !dtmPolicyByName(req.dtmPolicy, policy)) {
             err = "unknown policy '" + req.dtmPolicy +
                   "' (none, clockgate, fetch)";
+            return false;
+        }
+        SolverKind solver;
+        if (!req.dtmSolver.empty() &&
+            !solverKindByName(req.dtmSolver, &solver)) {
+            err = "unknown solver '" + req.dtmSolver +
+                  "' (sor, multigrid)";
             return false;
         }
     }

@@ -171,6 +171,7 @@ dtmConfigHash(const CoreConfig &cfg, const DtmOptions &opts)
     h.add(opts.timeDilation);
     h.add(opts.gridN);
     h.add(opts.maxDtS);
+    h.add(static_cast<int>(opts.solver));
     return h.h;
 }
 

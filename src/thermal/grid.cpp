@@ -5,8 +5,33 @@
 
 #include "common/log.h"
 #include "common/threadpool.h"
+#include "thermal/multigrid.h"
 
 namespace th {
+
+const char *
+solverKindName(SolverKind kind)
+{
+    switch (kind) {
+    case SolverKind::Sor:
+        return "sor";
+    case SolverKind::Multigrid:
+        return "multigrid";
+    }
+    return "sor";
+}
+
+bool
+solverKindByName(const std::string &name, SolverKind *out)
+{
+    if (name == "sor")
+        *out = SolverKind::Sor;
+    else if (name == "multigrid")
+        *out = SolverKind::Multigrid;
+    else
+        return false;
+    return true;
+}
 
 ThermalField::ThermalField(int grid_n, int layers, double ambient_k)
     : n_(grid_n), layers_(layers),
@@ -61,6 +86,11 @@ ThermalGrid::ThermalGrid(const ThermalParams &params,
                       static_cast<size_t>(params_.gridN) * params_.gridN,
                       0.0));
 }
+
+// Out of line: MgSolver is incomplete in the header.
+ThermalGrid::~ThermalGrid() = default;
+ThermalGrid::ThermalGrid(ThermalGrid &&) noexcept = default;
+ThermalGrid &ThermalGrid::operator=(ThermalGrid &&) noexcept = default;
 
 bool
 ThermalGrid::insideChip(int ix, int iy) const
@@ -301,6 +331,8 @@ ThermalGrid::network() const
 ThermalField
 ThermalGrid::solve(SolveStats *stats, const ThermalField *warm_start) const
 {
+    if (params_.solver == SolverKind::Multigrid)
+        return solveMultigrid(stats, warm_start);
     const int n = params_.gridN;
     const int nl = static_cast<int>(layers_.size());
     const Network &net = network();
@@ -391,6 +423,66 @@ ThermalGrid::solve(SolveStats *stats, const ThermalField *warm_start) const
     if (stats != nullptr) {
         stats->iterations = std::min(iter + 1, params_.maxIterations);
         stats->residualK = max_delta;
+        stats->vcycles = 0;
+    }
+    return field;
+}
+
+/**
+ * Multigrid steady state: solve A u = P for u = T - T_ambient (the
+ * convection term folds into the diagonal) over the cached V-cycle
+ * hierarchy. Shares the solve() contract — same stopping measure
+ * (max kelvin move of a relaxation pass < maxResidualK), same
+ * warm-start semantics, air cells pinned at ambient.
+ */
+ThermalField
+ThermalGrid::solveMultigrid(SolveStats *stats,
+                            const ThermalField *warm_start) const
+{
+    const int n = params_.gridN;
+    const int nl = static_cast<int>(layers_.size());
+    const Network &net = network();
+    const size_t cells = static_cast<size_t>(nl) * n * n;
+
+    if (!mg_) {
+        MgParams mp;
+        mp.preSmooth = params_.mgPreSmooth;
+        mp.postSmooth = params_.mgPostSmooth;
+        mp.coarseSweeps = params_.mgCoarseSweeps;
+        mp.coarsestN = params_.mgCoarsestN;
+        mp.maxCycles = params_.maxIterations;
+        mp.toleranceK = params_.maxResidualK;
+        mg_ = std::make_unique<MgSolver>(
+            mgFineLevel(n, nl, net.gRight, net.gDown, net.gBelow,
+                        net.gAmb),
+            mp);
+    }
+
+    std::vector<double> u0;
+    if (warm_start != nullptr) {
+        if (warm_start->gridN() != n || warm_start->layers() != nl)
+            fatal("warm-start field has the wrong geometry");
+        u0.resize(cells);
+        for (size_t c = 0; c < cells; ++c)
+            u0[c] = warm_start->t(c) - params_.ambientK;
+    }
+    mg_->setProblem(net.pIn, warm_start != nullptr ? &u0 : nullptr);
+
+    const MgSolver::Stats ms = mg_->solve();
+    if (ms.cycles >= params_.maxIterations &&
+        ms.residualK >= params_.maxResidualK)
+        warn("thermal solve hit the iteration cap (%d); residual above "
+             "%g K", params_.maxIterations, params_.maxResidualK);
+
+    std::vector<double> u;
+    mg_->solution(u);
+    ThermalField field(n, nl, params_.ambientK);
+    for (size_t c = 0; c < cells; ++c)
+        field.t(c) = params_.ambientK + u[c];
+    if (stats != nullptr) {
+        stats->iterations = ms.cycles;
+        stats->residualK = ms.residualK;
+        stats->vcycles = ms.cycles;
     }
     return field;
 }

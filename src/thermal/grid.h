@@ -14,12 +14,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/types.h"
 
 namespace th {
+
+class MgSolver;
 
 /** One material layer of the stack (top = closest to the heat sink). */
 struct ThermalLayer
@@ -50,6 +53,25 @@ enum class SorOrdering {
     RedBlack
 };
 
+/** Steady-state solution algorithm. */
+enum class SolverKind {
+    /** Point successive over-relaxation (ordering per sorOrdering). */
+    Sor,
+    /**
+     * Geometric multigrid V-cycles (lateral 2x2 coarsening of the
+     * conductance network, red-black vertical-line Gauss-Seidel
+     * smoothing, see thermal/multigrid.h): near-resolution-independent
+     * iteration counts, bit-identical for any fixed thread count.
+     */
+    Multigrid
+};
+
+/** Canonical lowercase wire/CLI name ("sor" / "multigrid"). */
+const char *solverKindName(SolverKind kind);
+
+/** Parse a wire/CLI name; returns false (out untouched) when unknown. */
+bool solverKindByName(const std::string &name, SolverKind *out);
+
 /** Solver and geometry parameters. */
 struct ThermalParams
 {
@@ -62,6 +84,16 @@ struct ThermalParams
     double maxResidualK = 1e-4;
     int maxIterations = 200000;
     SorOrdering sorOrdering = SorOrdering::Lexicographic;
+    SolverKind solver = SolverKind::Sor;
+
+    // --- Multigrid knobs (ignored by the SOR path). maxIterations
+    // caps V-cycles and maxResidualK is the shared stopping
+    // tolerance, so switching solvers keeps one convergence
+    // contract. ---
+    int mgPreSmooth = 2;    ///< Smoothing passes before restriction.
+    int mgPostSmooth = 2;   ///< Smoothing passes after prolongation.
+    int mgCoarseSweeps = 50; ///< Relaxations on the coarsest level.
+    int mgCoarsestN = 4;    ///< Stop coarsening below this lateral size.
 
     // --- Leakage-temperature feedback (subthreshold leakage grows
     // exponentially with temperature; the solver iterates power and
@@ -116,6 +148,9 @@ class ThermalGrid
     ThermalGrid(const ThermalParams &params,
                 std::vector<ThermalLayer> layers,
                 double chip_w, double chip_h);
+    ~ThermalGrid();
+    ThermalGrid(ThermalGrid &&) noexcept;
+    ThermalGrid &operator=(ThermalGrid &&) noexcept;
 
     /**
      * Deposit @p watts uniformly over a rectangle in chip coordinates
@@ -133,8 +168,11 @@ class ThermalGrid
     /** Convergence diagnostics of one steady-state solve. */
     struct SolveStats
     {
+        /** SOR sweeps, or V-cycles under SolverKind::Multigrid. */
         int iterations = 0;
         double residualK = 0.0;
+        /** V-cycle count (0 under SolverKind::Sor). */
+        int vcycles = 0;
     };
 
     /**
@@ -239,6 +277,10 @@ class ThermalGrid
     void buildConductances() const;
     void refreshPower() const;
 
+    /** Multigrid dispatch target of solve(). */
+    ThermalField solveMultigrid(SolveStats *stats,
+                                const ThermalField *warm_start) const;
+
     /** Cell conductivity of @p layer at grid cell (ix, iy). */
     double cellK(int layer, int ix, int iy) const;
     bool insideChip(int ix, int iy) const;
@@ -257,6 +299,9 @@ class ThermalGrid
     mutable Network net_;
     mutable bool net_built_ = false;
     mutable bool power_dirty_ = true;
+    /** Lazily built multigrid hierarchy; geometry-only, so it is
+     *  reused across solves like net_ (rhs reloads per solve). */
+    mutable std::unique_ptr<MgSolver> mg_;
 };
 
 /**

@@ -135,6 +135,8 @@ dtmOptionsMutators()
         {"timeDilation", [](DtmOptions &o) { o.timeDilation *= 2.0; }},
         {"gridN", [](DtmOptions &o) { o.gridN += 8; }},
         {"maxDtS", [](DtmOptions &o) { o.maxDtS *= 0.5; }},
+        {"solver",
+         [](DtmOptions &o) { o.solver = SolverKind::Multigrid; }},
     };
 }
 

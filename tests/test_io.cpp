@@ -418,6 +418,7 @@ TEST(WireCodecTest, SimRequestRoundTripsEveryField)
     req.dtmIntervalCycles = 40000;
     req.dtmDilation = 250.0;
     req.dtmGridN = 24;
+    req.dtmSolver = "multigrid";
 
     Encoder enc;
     encodeSimRequest(enc, req);
@@ -437,6 +438,7 @@ TEST(WireCodecTest, SimRequestRoundTripsEveryField)
     EXPECT_EQ(back.dtmIntervalCycles, req.dtmIntervalCycles);
     EXPECT_EQ(back.dtmDilation, req.dtmDilation);
     EXPECT_EQ(back.dtmGridN, req.dtmGridN);
+    EXPECT_EQ(back.dtmSolver, req.dtmSolver);
 }
 
 TEST(WireCodecTest, SimResponseRoundTrips)
@@ -505,6 +507,9 @@ TEST(WireCodecTest, FlightKeyIgnoresDeadlineOnly)
     SimRequest d = a;
     d.kind = SimRequestKind::Fig9;
     EXPECT_NE(flightKeyOf(a), flightKeyOf(d));
+    SimRequest e = a;
+    e.dtmSolver = "multigrid";
+    EXPECT_NE(flightKeyOf(a), flightKeyOf(e));
 }
 
 // ---------------------------------------------------------------------

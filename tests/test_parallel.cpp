@@ -245,6 +245,54 @@ TEST(RedBlackSor, SolveStatsReported)
     EXPECT_LT(stats.residualK, p.maxResidualK);
 }
 
+/** Solve one multigrid steady state at a given global-pool size. */
+ThermalField
+solveMultigridAt(int threads, ThermalGrid::SolveStats *stats = nullptr)
+{
+    ThreadPool::setGlobalThreads(threads);
+    ThermalParams p;
+    p.gridN = 48; // big enough that the solver actually fans out
+    p.solver = SolverKind::Multigrid;
+    ThermalGrid grid(p, HotspotModel::stackedStack(), 6.0, 6.0);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 1.0, 1.0, 3.0, 3.0, 10.0);
+    grid.addPower(kNumDies - 1, 4.0, 4.0, 1.5, 1.5, 8.0);
+    return grid.solve(stats);
+}
+
+TEST(Multigrid, BitIdenticalAcrossThreadCounts)
+{
+    // The red-black line smoother's colour sweeps are race-free and
+    // every reduction is index-ordered, so a 1-thread and a 4-thread
+    // solve must agree to the last bit.
+    ThermalGrid::SolveStats s1, s4;
+    const ThermalField f1 = solveMultigridAt(1, &s1);
+    const ThermalField f4 = solveMultigridAt(4, &s4);
+    ThreadPool::setGlobalThreads(ThreadPool::configuredThreads());
+
+    EXPECT_EQ(s1.vcycles, s4.vcycles);
+    ASSERT_EQ(f1.layers(), f4.layers());
+    for (int l = 0; l < f1.layers(); ++l)
+        for (int iy = 0; iy < f1.gridN(); ++iy)
+            for (int ix = 0; ix < f1.gridN(); ++ix)
+                ASSERT_EQ(f1.at(l, ix, iy), f4.at(l, ix, iy))
+                    << "layer " << l << " (" << ix << "," << iy << ")";
+}
+
+TEST(Multigrid, SolveStatsReportVCycles)
+{
+    ThermalParams p;
+    p.gridN = 16;
+    p.solver = SolverKind::Multigrid;
+    ThermalGrid grid(p, HotspotModel::planarStack(), 6.0, 6.0);
+    grid.addPower(0, 0.0, 0.0, 6.0, 6.0, 30.0);
+    ThermalGrid::SolveStats stats;
+    grid.solve(&stats);
+    EXPECT_GT(stats.vcycles, 0);
+    EXPECT_EQ(stats.iterations, stats.vcycles);
+    EXPECT_LT(stats.residualK, p.maxResidualK);
+}
+
 TEST(TransientSampling, NoDuplicateSamples)
 {
     ThermalParams p;

@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <vector>
+
+#include "common/threadpool.h"
 #include "thermal/grid.h"
 #include "thermal/hotspot.h"
+#include "thermal/multigrid.h"
 
 namespace th {
 namespace {
@@ -143,6 +148,199 @@ TEST(ThermalGrid, DieLayersEnumerated)
     ThermalGrid stacked(fastParams(), HotspotModel::stackedStack(),
                         6.0, 6.0);
     EXPECT_EQ(stacked.dieLayers().size(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Multigrid operators and the multigrid steady-state path.
+// ---------------------------------------------------------------------
+
+/** Uniform single-layer network: lateral couplings 1, convection 0.1
+ *  everywhere — every cell is material, so the operator algebra is
+ *  easy to check by hand. */
+MgLevel
+uniformFineLevel(int n)
+{
+    const size_t cells = static_cast<size_t>(n) * n;
+    std::vector<double> gr(cells, 0.0), gd(cells, 0.0),
+        gb(cells, 0.0), ga(cells, 0.1);
+    for (int iy = 0; iy < n; ++iy) {
+        for (int ix = 0; ix < n; ++ix) {
+            const size_t c = static_cast<size_t>(iy) * n + ix;
+            if (ix + 1 < n)
+                gr[c] = 1.0;
+            if (iy + 1 < n)
+                gd[c] = 1.0;
+        }
+    }
+    return mgFineLevel(n, 1, gr, gd, gb, ga);
+}
+
+TEST(Multigrid, RestrictionSumsBlockResiduals)
+{
+    MgLevel fine = uniformFineLevel(8);
+    MgLevel coarse = mgCoarsen(fine);
+    ASSERT_EQ(coarse.n, 4);
+
+    // Distinct residuals per fine cell; each coarse rhs must be the
+    // exact sum of its 2x2 block.
+    for (int iy = 0; iy < 8; ++iy)
+        for (int ix = 0; ix < 8; ++ix)
+            fine.res[fine.at(0, ix, iy)] = 1.0 + iy * 8 + ix;
+    mgRestrict(fine, coarse, ThreadPool::global());
+    for (int cy = 0; cy < 4; ++cy) {
+        for (int cx = 0; cx < 4; ++cx) {
+            const double want =
+                fine.res[fine.at(0, 2 * cx, 2 * cy)] +
+                fine.res[fine.at(0, 2 * cx + 1, 2 * cy)] +
+                fine.res[fine.at(0, 2 * cx, 2 * cy + 1)] +
+                fine.res[fine.at(0, 2 * cx + 1, 2 * cy + 1)];
+            EXPECT_DOUBLE_EQ(coarse.rhs[coarse.at(0, cx, cy)], want)
+                << "(" << cx << "," << cy << ")";
+            // Restriction must also reset the coarse solution.
+            EXPECT_EQ(coarse.u[coarse.at(0, cx, cy)], 0.0);
+        }
+    }
+}
+
+TEST(Multigrid, ProlongationReproducesConstants)
+{
+    // Bilinear weights are premasked and renormalised, so a constant
+    // coarse correction must land on every material fine cell exactly
+    // (partition of unity) — including edge cells with clamped
+    // parents.
+    MgLevel fine = uniformFineLevel(8);
+    MgLevel coarse = mgCoarsen(fine);
+    mgBuildProlongation(fine, coarse);
+    for (int cy = 0; cy < 4; ++cy)
+        for (int cx = 0; cx < 4; ++cx)
+            coarse.u[coarse.at(0, cx, cy)] = 2.5;
+    mgProlongAdd(fine, coarse, ThreadPool::global());
+    for (int iy = 0; iy < 8; ++iy)
+        for (int ix = 0; ix < 8; ++ix)
+            EXPECT_NEAR(fine.u[fine.at(0, ix, iy)], 2.5, 1e-12)
+                << "(" << ix << "," << iy << ")";
+}
+
+TEST(Multigrid, CoarseningConservesCouplingsAndConvection)
+{
+    MgLevel fine = uniformFineLevel(8);
+    MgLevel coarse = mgCoarsen(fine);
+    // 2x2 aggregation: each interior block boundary carries the two
+    // fine couplings that crossed it; convection sums over the block.
+    EXPECT_DOUBLE_EQ(coarse.gRight[coarse.at(0, 0, 0)], 2.0);
+    EXPECT_DOUBLE_EQ(coarse.gDown[coarse.at(0, 0, 0)], 2.0);
+    EXPECT_DOUBLE_EQ(coarse.gRight[coarse.at(0, 3, 0)], 0.0); // edge
+    EXPECT_NEAR(coarse.gAmb[coarse.at(0, 1, 1)], 0.4, 1e-12);
+    EXPECT_EQ(coarse.mask[coarse.at(0, 2, 2)], 1.0);
+}
+
+TEST(Multigrid, VCycleReducesResidualMonotonically)
+{
+    // A 3-layer anisotropic problem (vertical couplings 50x lateral,
+    // like the real stack) with a point source: every V-cycle must
+    // shrink the kelvin-scaled residual.
+    const int n = 16, nl = 3;
+    const size_t cells = static_cast<size_t>(nl) * n * n;
+    std::vector<double> gr(cells, 0.0), gd(cells, 0.0),
+        gb(cells, 0.0), ga(cells, 0.0);
+    for (int l = 0; l < nl; ++l) {
+        for (int iy = 0; iy < n; ++iy) {
+            for (int ix = 0; ix < n; ++ix) {
+                const size_t c =
+                    (static_cast<size_t>(l) * n + iy) * n + ix;
+                if (ix + 1 < n)
+                    gr[c] = 1.0;
+                if (iy + 1 < n)
+                    gd[c] = 1.0;
+                if (l + 1 < nl)
+                    gb[c] = 50.0;
+                if (l == 0)
+                    ga[c] = 0.05;
+            }
+        }
+    }
+    MgParams mp;
+    MgSolver solver(mgFineLevel(n, nl, gr, gd, gb, ga), mp);
+    EXPECT_GE(solver.numLevels(), 2);
+
+    std::vector<double> rhs(cells, 0.0);
+    rhs[(static_cast<size_t>(nl - 1) * n + n / 2) * n + n / 2] = 10.0;
+    solver.setProblem(rhs, nullptr);
+
+    double prev = std::numeric_limits<double>::infinity();
+    for (int k = 0; k < 5; ++k) {
+        solver.cycle();
+        const double r = solver.maxScaledResidualK();
+        EXPECT_LT(r, prev) << "cycle " << k;
+        prev = r;
+    }
+}
+
+TEST(Multigrid, MatchesSorFieldOnPlanarStack)
+{
+    ThermalParams p = fastParams();
+    p.maxResidualK = 1e-6; // tight so both solvers converge hard
+    ThermalParams pmg = p;
+    pmg.solver = SolverKind::Multigrid;
+
+    ThermalGrid sor = makePlanarGrid(p);
+    ThermalGrid mg = makePlanarGrid(pmg);
+    for (ThermalGrid *g : {&sor, &mg}) {
+        g->addPower(0, 1.0, 1.0, 4.0, 4.0, 30.0);
+        g->addPower(0, 8.0, 8.0, 2.0, 2.0, 15.0);
+    }
+
+    const ThermalField fs = sor.solve();
+    ThermalGrid::SolveStats stats;
+    const ThermalField fm = mg.solve(&stats);
+    EXPECT_GT(stats.vcycles, 0);
+    EXPECT_LT(stats.vcycles, 100);
+    for (int l = 0; l < fs.layers(); ++l)
+        for (int iy = 0; iy < p.gridN; ++iy)
+            for (int ix = 0; ix < p.gridN; ++ix)
+                EXPECT_NEAR(fs.at(l, ix, iy), fm.at(l, ix, iy), 1e-3)
+                    << "layer " << l << " (" << ix << "," << iy << ")";
+}
+
+TEST(Multigrid, MatchesSorPeakOnStackedStack)
+{
+    // The fig-10 style 4-die stack with per-die power.
+    ThermalParams p;
+    p.gridN = 24;
+    p.maxResidualK = 1e-6;
+    ThermalParams pmg = p;
+    pmg.solver = SolverKind::Multigrid;
+
+    ThermalGrid sor(p, HotspotModel::stackedStack(), 6.0, 6.0);
+    ThermalGrid mg(pmg, HotspotModel::stackedStack(), 6.0, 6.0);
+    for (ThermalGrid *g : {&sor, &mg}) {
+        for (int d = 0; d < kNumDies; ++d)
+            g->addPower(d, 1.0, 1.0, 3.0, 3.0, 10.0);
+    }
+    EXPECT_NEAR(sor.solve().peak(sor.dieLayers()),
+                mg.solve().peak(mg.dieLayers()), 1e-3);
+}
+
+TEST(Multigrid, WarmStartConvergesInFewCycles)
+{
+    ThermalParams p = fastParams();
+    p.solver = SolverKind::Multigrid;
+    p.maxResidualK = 1e-6;
+    ThermalGrid grid = makePlanarGrid(p);
+    grid.addPower(0, 2.0, 2.0, 4.0, 4.0, 40.0);
+
+    ThermalGrid::SolveStats cold;
+    const ThermalField f = grid.solve(&cold);
+    ThermalGrid::SolveStats warm;
+    const ThermalField g = grid.solve(&warm, &f);
+    EXPECT_LE(warm.vcycles, cold.vcycles);
+    // Re-solving from the converged field stays converged: both fields
+    // sit within the stopping error of the same fixed point, so they
+    // agree to a few multiples of the (delta-based) tolerance.
+    for (int l = 0; l < f.layers(); ++l)
+        for (int iy = 0; iy < p.gridN; ++iy)
+            for (int ix = 0; ix < p.gridN; ++ix)
+                EXPECT_NEAR(f.at(l, ix, iy), g.at(l, ix, iy), 2e-3);
 }
 
 TEST(ThermalGridDeathTest, ChipLargerThanSpreaderFatal)

@@ -76,6 +76,7 @@ struct Args
     std::uint64_t intervalCycles = 0;
     double dilation = 0.0;
     std::uint64_t grid = 0;
+    std::string solver; ///< "" = DtmOptions default (sor).
 
     // Client mode ("" = run locally).
     std::string connect;
@@ -97,7 +98,8 @@ usage(const char *msg = nullptr)
         "         [--warmup N]\n"
         "  th_run dtm [--benchmarks b] [--policy none|clockgate|fetch]\n"
         "         [--trigger K] [--intervals N] [--interval-cycles N]\n"
-        "         [--dilation X] [--grid N] [--store DIR]\n"
+        "         [--dilation X] [--grid N] [--solver sor|multigrid]\n"
+        "         [--store DIR]\n"
         "  th_run core [--benchmarks b] [--config NAME]\n"
         "  th_run store ls|gc|verify [--dir DIR] [--max-bytes N]\n"
         "  th_run <experiment> --connect host:port [--deadline-ms N]\n"
@@ -161,6 +163,8 @@ parseArgs(int argc, char **argv)
             args.maxBytes = parseU64(value("--max-bytes"), "--max-bytes");
         else if (a == "--policy")
             args.policy = value("--policy");
+        else if (a == "--solver")
+            args.solver = value("--solver");
         else if (a == "--trigger")
             args.trigger = parseF64(value("--trigger"), "--trigger");
         else if (a == "--intervals")
@@ -312,6 +316,10 @@ dtmOptionsOf(const Args &args)
         opts.timeDilation = args.dilation;
     if (args.grid > 0)
         opts.gridN = static_cast<int>(args.grid);
+    if (!args.solver.empty() &&
+        !solverKindByName(args.solver, &opts.solver))
+        usage(strformat("unknown solver '%s' (sor, multigrid)",
+                        args.solver.c_str()).c_str());
     return opts;
 }
 
@@ -529,6 +537,7 @@ cmdClient(const Args &args)
         req.dtmIntervalCycles = args.intervalCycles;
         req.dtmDilation = args.dilation;
         req.dtmGridN = static_cast<std::uint32_t>(args.grid);
+        req.dtmSolver = args.solver;
         return callServer(client, req, args);
     }
     usage(strformat("command '%s' cannot run against a server",
