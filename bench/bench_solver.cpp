@@ -66,6 +66,8 @@ struct Case
     double steadyMs = 0.0;
     int steadyIters = 0; ///< SOR sweeps or multigrid cycles.
     int vcycles = 0;     ///< Multigrid cycles (0 for SOR).
+    double contraction = 0.0; ///< Final-cycle delta ratio (MG only).
+    double estErrorK = 0.0;   ///< Error-to-fixed-point bound (K).
     double steadyPeakK = 0.0;
     double warmSteadyMs = 0.0; ///< Repeat solve seeded from `steady`.
     int warmIters = 0;
@@ -87,6 +89,8 @@ runCase(int grid_n, SolverKind solver, int threads)
     c.steadyMs = msSince(t0);
     c.steadyIters = stats.iterations;
     c.vcycles = stats.vcycles;
+    c.contraction = stats.contraction;
+    c.estErrorK = stats.estErrorK;
     c.steadyPeakK = steady.peak(grid.dieLayers());
 
     // Repeat solve seeded from the converged field: the DTM loop's
@@ -114,7 +118,9 @@ runSmoke()
               << sor.steadyIters << " sweeps, peak " << sor.steadyPeakK
               << " K), multigrid " << mg.steadyMs << " ms ("
               << mg.vcycles << " cycles, peak " << mg.steadyPeakK
-              << " K), |dpeak| " << dpeak << " K\n";
+              << " K, contraction " << mg.contraction
+              << ", est error " << mg.estErrorK << " K), |dpeak| "
+              << dpeak << " K\n";
     bool ok = true;
     if (mg.vcycles > kMaxVCycles) {
         std::cerr << "FAIL: multigrid took " << mg.vcycles
@@ -148,7 +154,7 @@ main(int argc, char **argv)
 
     std::ostringstream json;
     json << "{\n  \"benchmark\": \"thermal_solver\",\n"
-         << "  \"schema\": 2,\n  \"cases\": [\n";
+         << "  \"schema\": 3,\n  \"cases\": [\n";
     bool first = true;
     for (int grid_n : {32, 64, 128}) {
         for (SolverKind solver :
@@ -164,6 +170,8 @@ main(int argc, char **argv)
                      << ", \"steady_ms\": " << c.steadyMs
                      << ", \"steady_iterations\": " << c.steadyIters
                      << ", \"vcycles\": " << c.vcycles
+                     << ", \"contraction\": " << c.contraction
+                     << ", \"est_error_k\": " << c.estErrorK
                      << ", \"steady_peak_k\": " << c.steadyPeakK
                      << ", \"warm_steady_ms\": " << c.warmSteadyMs
                      << ", \"warm_iterations\": " << c.warmIters

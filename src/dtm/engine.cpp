@@ -59,6 +59,19 @@ DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
                const std::string &config_name, const DtmOptions &opts,
                const CancelToken *cancel) const
 {
+    SyntheticTrace trace(profile);
+    Core core(cfg);
+    core.beginRun(trace, opts.warmupInstructions);
+    CoreIntervalSource src(core);
+    return run(src, profile.name, cfg, config_name, opts, cancel);
+}
+
+DtmReport
+DtmEngine::run(IntervalSource &src, const std::string &benchmark,
+               const CoreConfig &cfg, const std::string &config_name,
+               const DtmOptions &opts, const CancelToken *cancel,
+               TransientScheme scheme) const
+{
     if (!power_.calibrated())
         fatal("DTM engine needs a calibrated power model");
     if (opts.intervalCycles == 0 || opts.maxIntervals < 1)
@@ -76,17 +89,13 @@ DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
                      fp.chipW, fp.chipH);
     const std::vector<int> die_layers = grid.dieLayers();
 
-    SyntheticTrace trace(profile);
-    Core core(cfg);
-    core.beginRun(trace, opts.warmupInstructions);
-
     const double wall_interval_s =
         static_cast<double>(opts.intervalCycles) / (cfg.freqGhz * 1e9);
     const double thermal_interval_s =
         wall_interval_s * opts.timeDilation;
 
     DtmReport rep;
-    rep.benchmark = profile.name;
+    rep.benchmark = benchmark;
     rep.config = config_name;
     rep.policy = dtmPolicyName(opts.policy);
     rep.triggerK = opts.triggers.triggerK;
@@ -95,10 +104,10 @@ DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
     // Measurement interval: one free-running interval establishes the
     // sustained power map and the baseline IPC the perf-lost metric is
     // judged against.
-    const CoreResult first = core.runFor(opts.intervalCycles);
+    const CoreResult first = src.runFor(opts.intervalCycles);
     if (first.perf.cycles.value() == 0)
         fatal("trace of '%s' drained before the first DTM interval",
-              profile.name.c_str());
+              benchmark.c_str());
     const PowerResult free_power = power_.compute(first, cfg);
     rep.ipcFree = first.perf.ipc();
 
@@ -110,7 +119,18 @@ DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
     rep.startPeakK = init.peak(die_layers);
     rep.peakK = rep.startPeakK;
 
-    TransientStepper stepper(grid, init, opts.maxDtS);
+    // The explicit scheme's step request is the options' maxDtS (the
+    // stability clamp usually bites first). The implicit scheme is
+    // stable at any lateral-bounded step, so its request is accuracy-
+    // driven: a fixed fraction of the control interval, fine enough
+    // that the resolved (lateral + sink) dynamics match the explicit
+    // trajectory to well under the fast path's anchor error bounds.
+    constexpr double kImplicitStepsPerInterval = 16.0;
+    const double dt_request =
+        scheme == TransientScheme::VerticalImplicit
+            ? thermal_interval_s / kImplicitStepsPerInterval
+            : opts.maxDtS;
+    TransientStepper stepper(grid, init, dt_request, scheme);
     std::unique_ptr<DtmPolicy> policy =
         makeDtmPolicy(opts.policy, opts.triggers);
 
@@ -118,17 +138,17 @@ DtmEngine::run(const BenchmarkProfile &profile, const CoreConfig &cfg,
     double duty_removed = 0.0;
     rep.intervals.reserve(static_cast<size_t>(opts.maxIntervals));
 
-    for (int i = 0; i < opts.maxIntervals && !core.runDone(); ++i) {
+    for (int i = 0; i < opts.maxIntervals && !src.done(); ++i) {
         if (cancel != nullptr && cancel->cancelled())
             throw Cancelled();
         const DtmControl ctl = policy->decide(peak_now);
-        core.setFetchThrottle(ctl.fetchOn, ctl.fetchPeriod);
+        src.setFetchThrottle(ctl.fetchOn, ctl.fetchPeriod);
         const auto run_cycles = std::max<std::uint64_t>(
             1, static_cast<std::uint64_t>(std::llround(
                    ctl.clockDuty *
                    static_cast<double>(opts.intervalCycles))));
 
-        const CoreResult r = core.runFor(run_cycles);
+        const CoreResult r = src.runFor(run_cycles);
         if (r.perf.cycles.value() == 0)
             break; // Trace drained exactly at the boundary.
 

@@ -27,6 +27,7 @@
 
 #include "common/cancel.h"
 #include "core/params.h"
+#include "core/pipeline.h"
 #include "dtm/policy.h"
 #include "floorplan/floorplan.h"
 #include "power/power_model.h"
@@ -116,6 +117,53 @@ struct DtmReport
 };
 
 /**
+ * What the DTM control loop needs from a performance model: an
+ * actuator for the fetch throttle and an incremental stepper that
+ * yields per-interval delta statistics. The cycle-accurate Core
+ * satisfies it via CoreIntervalSource; the fitted-model fast path via
+ * interval/replay.h's ReplayIntervalSource. The engine is oblivious
+ * to which one drives it.
+ */
+class IntervalSource
+{
+  public:
+    virtual ~IntervalSource() = default;
+
+    /** Fetch enabled @p on cycles out of every @p period (1/1 = off). */
+    virtual void setFetchThrottle(int on, int period) = 0;
+
+    /**
+     * Advance up to @p cycles cycles and return that interval's delta
+     * statistics (zero cycles once the workload is exhausted).
+     */
+    virtual CoreResult runFor(std::uint64_t cycles) = 0;
+
+    /** True once the workload ended and no further work remains. */
+    virtual bool done() const = 0;
+};
+
+/** The exact path: pure delegation to a stepping cycle-level Core. */
+class CoreIntervalSource : public IntervalSource
+{
+  public:
+    /** @p core must have beginRun() already called and outlive this. */
+    explicit CoreIntervalSource(Core &core) : core_(core) {}
+
+    void setFetchThrottle(int on, int period) override
+    {
+        core_.setFetchThrottle(on, period);
+    }
+    CoreResult runFor(std::uint64_t cycles) override
+    {
+        return core_.runFor(cycles);
+    }
+    bool done() const override { return core_.runDone(); }
+
+  private:
+    Core &core_;
+};
+
+/**
  * The interval-coupling engine. Stateless across runs: construct once
  * per System and call run() per (benchmark, config, options) triple.
  * The power model must already be calibrated.
@@ -127,6 +175,11 @@ class DtmEngine
               const Floorplan &planar_fp, const Floorplan &stacked_fp);
 
     /**
+     * Run the closed loop over the cycle-accurate core (the exact
+     * path): constructs the trace and Core, then delegates to the
+     * IntervalSource overload below — computationally identical to
+     * driving it by hand.
+     *
      * @p cancel, when non-null, is checked between control intervals;
      * a fired token aborts the run with a Cancelled throw.
      */
@@ -134,6 +187,30 @@ class DtmEngine
                   const CoreConfig &cfg, const std::string &config_name,
                   const DtmOptions &opts,
                   const CancelToken *cancel = nullptr) const;
+
+    /**
+     * Run the closed loop over an arbitrary interval source (warmed-up
+     * and ready to step). @p cfg supplies the frequency, floorplan
+     * selection, and power-model configuration the source's statistics
+     * are interpreted under.
+     *
+     * @p scheme selects the transient integrator: the cycle-accurate
+     * path keeps the explicit stepper (byte-compatible with every
+     * report produced before the scheme existed), while interval
+     * replay passes TransientScheme::VerticalImplicit — with the core
+     * model reduced to a table lookup, the explicit stepper's
+     * stability-bound microsecond steps would dominate the fast path's
+     * wall clock, and the implicit scheme steps at a fixed fraction of
+     * the control interval instead (engine.cpp kImplicitStepsPerInterval).
+     * The fast path's exact anchors measure whatever error the scheme
+     * difference adds, so it is bounded, not assumed.
+     */
+    DtmReport run(IntervalSource &src, const std::string &benchmark,
+                  const CoreConfig &cfg, const std::string &config_name,
+                  const DtmOptions &opts,
+                  const CancelToken *cancel = nullptr,
+                  TransientScheme scheme =
+                      TransientScheme::Explicit) const;
 
   private:
     const PowerModel &power_;

@@ -1,0 +1,251 @@
+#include "interval/fitter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "interval/stats_ops.h"
+
+namespace th {
+
+namespace {
+
+/** Add @p from's buckets/moments into @p into (same-shape histograms). */
+void
+accumulateHistogram(Histogram &into, const Histogram &from)
+{
+    if (from.count() == 0)
+        return;
+    std::vector<std::uint64_t> buckets = into.buckets();
+    if (buckets.size() != from.buckets().size())
+        fatal("interval fit: histogram shape mismatch (%zu vs %zu)",
+              buckets.size(), from.buckets().size());
+    for (std::size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += from.buckets()[i];
+    const bool was_empty = into.count() == 0;
+    const double mn =
+        was_empty ? from.min() : std::min(into.min(), from.min());
+    const double mx =
+        was_empty ? from.max() : std::max(into.max(), from.max());
+    into.restore(from.lo(), from.hi(), std::move(buckets),
+                 into.count() + from.count(), into.sum() + from.sum(),
+                 mn, mx);
+}
+
+/** Fold one fit interval's delta stats into an aggregate CoreResult. */
+void
+accumulateResult(CoreResult &into, const CoreResult &r)
+{
+    zipCoreCounters(into, r, [](Counter &acc, const Counter &from) {
+        acc.inc(from.value());
+    });
+    accumulateHistogram(into.perf.valueWidthBits, r.perf.valueWidthBits);
+    into.freqGhz = r.freqGhz;
+}
+
+/** Fold one fit interval's delta stats into a phase aggregate. */
+void
+accumulateInterval(IntervalPhase &phase, const CoreResult &r)
+{
+    phase.cycles += r.perf.cycles.value();
+    accumulateResult(phase.stats, r);
+}
+
+/** What one calibration run attributed to one phase: pro-rated
+ *  progression totals plus the chunk-granular counter aggregate. */
+struct PhaseProbe
+{
+    double cycles = 0.0;
+    double insts = 0.0;
+    CoreResult stats; ///< Whole chunks, attributed by midpoint.
+    bool any = false; ///< Whether any chunk landed in `stats`.
+};
+
+/**
+ * Fresh run with the fetch throttle pinned at @p on / @p period,
+ * stepped in fit-interval chunks until it reaches the fitting run's
+ * instruction count (or @p opts.throttleFitCycles, the safety cap).
+ * The throttled core walks the same instruction stream as the fit, so
+ * each chunk's cycles/instructions are attributed to the fitted
+ * phases by the phases' cumulative instruction boundaries — an
+ * equal-cycles comparison would grade the throttled core on an
+ * earlier (and differently-behaved) stretch of the trace.
+ */
+std::vector<PhaseProbe>
+runThrottleProbe(const BenchmarkProfile &profile, const CoreConfig &cfg,
+                 const IntervalOptions &opts, const IntervalModel &m,
+                 int on, int period, const CancelToken *cancel)
+{
+    std::vector<double> bound(m.phases.size());
+    double cum = 0.0;
+    for (std::size_t i = 0; i < m.phases.size(); ++i) {
+        cum += static_cast<double>(
+            m.phases[i].stats.perf.committedInsts.value());
+        bound[i] = cum;
+    }
+
+    SyntheticTrace trace(profile);
+    Core core(cfg);
+    core.beginRun(trace, opts.warmupInstructions);
+    core.setFetchThrottle(on, period);
+
+    std::vector<PhaseProbe> acc(m.phases.size());
+    double insts = 0.0;
+    std::uint64_t cycles = 0;
+    std::size_t pi = 0;
+    while (insts < static_cast<double>(m.totalInstructions) &&
+           cycles < opts.throttleFitCycles && !core.runDone()) {
+        if (cancel != nullptr && cancel->cancelled())
+            throw Cancelled();
+        const CoreResult r = core.runFor(opts.fitIntervalCycles);
+        const double cc = static_cast<double>(r.perf.cycles.value());
+        const double ci =
+            static_cast<double>(r.perf.committedInsts.value());
+        if (cc <= 0.0)
+            break;
+        cycles += r.perf.cycles.value();
+        // Counters are kept chunk-granular: the whole chunk goes to
+        // the phase holding its midpoint instruction.
+        {
+            const double mid = insts + ci * 0.5;
+            std::size_t mp = pi;
+            while (mp + 1 < acc.size() && mid >= bound[mp])
+                ++mp;
+            accumulateResult(acc[mp].stats, r);
+            acc[mp].any = true;
+        }
+        if (ci <= 0.0) { // Fully stalled chunk: charge where we stand.
+            acc[pi].cycles += cc;
+            continue;
+        }
+        // Split the chunk across phase boundaries, cycles pro-rated by
+        // the instructions each phase received.
+        double left = ci;
+        while (left > 0.0) {
+            // Skip phases already filled (zero-commit stall phases
+            // share a boundary with their predecessor and are skipped
+            // in the same stride).
+            while (pi + 1 < acc.size() && insts >= bound[pi])
+                ++pi;
+            const double room =
+                pi + 1 < acc.size() ? bound[pi] - insts : left;
+            const double take = std::min(left, room);
+            acc[pi].insts += take;
+            acc[pi].cycles += cc * take / ci;
+            insts += take;
+            left -= take;
+        }
+    }
+    return acc;
+}
+
+} // namespace
+
+IntervalModel
+fitIntervalModel(const BenchmarkProfile &profile, const CoreConfig &cfg,
+                 const IntervalOptions &opts, std::uint64_t family_hash,
+                 std::uint64_t fit_config_hash, const CancelToken *cancel)
+{
+    if (opts.fitIntervalCycles == 0 || opts.fitCycles == 0)
+        fatal("interval fit needs positive fitIntervalCycles/fitCycles");
+    if (opts.phaseIpcTolerance < 0.0)
+        fatal("interval fit needs a non-negative phase IPC tolerance");
+
+    IntervalModel m;
+    m.benchmark = profile.name;
+    m.familyHash = family_hash;
+    m.fitConfigHash = fit_config_hash;
+    m.fitFreqGhz = cfg.freqGhz;
+    m.fitFetchWidth = cfg.fetchWidth;
+    m.fitIssueWidth = cfg.issueWidth;
+    m.fitCommitWidth = cfg.commitWidth;
+    m.intervalCycles = opts.fitIntervalCycles;
+
+    SyntheticTrace trace(profile);
+    Core core(cfg);
+    core.beginRun(trace, opts.warmupInstructions);
+
+    while (m.totalCycles < opts.fitCycles && !core.runDone()) {
+        if (cancel != nullptr && cancel->cancelled())
+            throw Cancelled();
+        const std::uint64_t want = std::min<std::uint64_t>(
+            opts.fitIntervalCycles, opts.fitCycles - m.totalCycles);
+        const CoreResult r = core.runFor(want);
+        if (r.perf.cycles.value() == 0)
+            break; // Trace drained exactly at the boundary.
+        m.totalCycles += r.perf.cycles.value();
+        m.totalInstructions += r.perf.committedInsts.value();
+
+        // Merge into the trailing phase while the interval's IPC stays
+        // within tolerance of the phase mean; otherwise open a phase.
+        bool merged = false;
+        if (!m.phases.empty()) {
+            IntervalPhase &phase = m.phases.back();
+            const double phase_ipc = phase.stats.perf.ipc();
+            const double tol = opts.phaseIpcTolerance *
+                               std::max(phase_ipc, 1e-9);
+            if (std::fabs(r.perf.ipc() - phase_ipc) <= tol) {
+                accumulateInterval(phase, r);
+                merged = true;
+            }
+        }
+        if (!merged) {
+            m.phases.emplace_back();
+            accumulateInterval(m.phases.back(), r);
+        }
+        m.ticks.push_back(
+            {r.perf.cycles.value(), r.perf.committedInsts.value(),
+             static_cast<std::uint32_t>(m.phases.size() - 1)});
+    }
+
+    if (m.phases.empty())
+        fatal("interval fit of '%s' saw no work (trace drained before "
+              "the first fit interval)",
+              profile.name.c_str());
+
+    // Fetch-throttle response at the DTM ladder's throttled cadences
+    // (dtm/policy.cpp), ascending by duty. Measured, not derived: the
+    // pipeline loses fetch groups to taken branches and redirects, so
+    // an analytic fetchWidth * duty cap badly overestimates throttled
+    // throughput. Each fitted phase's own free-running IPC is the
+    // reference for that phase's throttled IPC over the same
+    // instruction span.
+    if (m.totalInstructions > 0 && opts.throttleFitCycles > 0) {
+        const int kOn[] = {1, 1, 3};
+        const int kPeriod[] = {4, 2, 4};
+        for (std::size_t i = 0; i < 3; ++i) {
+            const double duty = static_cast<double>(kOn[i]) /
+                                static_cast<double>(kPeriod[i]);
+            const std::vector<PhaseProbe> acc = runThrottleProbe(
+                profile, cfg, opts, m, kOn[i], kPeriod[i], cancel);
+            double tot_cycles = 0.0;
+            double tot_insts = 0.0;
+            for (std::size_t p = 0; p < acc.size(); ++p) {
+                tot_cycles += acc[p].cycles;
+                tot_insts += acc[p].insts;
+                if (acc[p].any &&
+                    acc[p].stats.perf.committedInsts.value() > 0)
+                    m.phases[p].bins.push_back({duty, acc[p].stats});
+                const double free_ipc = m.phases[p].stats.perf.ipc();
+                if (acc[p].cycles <= 0.0 || acc[p].insts <= 0.0 ||
+                    free_ipc <= 0.0)
+                    continue; // Not reached (or a stall phase).
+                const double thr_ipc = acc[p].insts / acc[p].cycles;
+                m.phases[p].throttle.push_back(
+                    {duty, std::min(1.0, std::max(0.0,
+                                                  thr_ipc / free_ipc))});
+            }
+            const double fit_ipc =
+                static_cast<double>(m.totalInstructions) /
+                static_cast<double>(m.totalCycles);
+            IntervalThrottlePoint agg{duty, duty};
+            if (tot_cycles > 0.0 && fit_ipc > 0.0)
+                agg.ipcScale = std::min(
+                    1.0, std::max(0.0, tot_insts / tot_cycles / fit_ipc));
+            m.throttle.push_back(agg);
+        }
+    }
+    return m;
+}
+
+} // namespace th

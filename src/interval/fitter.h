@@ -1,0 +1,40 @@
+/**
+ * @file
+ * IntervalModel fitter: one cycle-accurate core run, segmented into
+ * phases of stable IPC. The expensive half of the fast path — run once
+ * per (benchmark, config-family), then replay (interval/replay.h)
+ * serves every other family member from the fitted phases.
+ */
+
+#ifndef TH_INTERVAL_FITTER_H
+#define TH_INTERVAL_FITTER_H
+
+#include "common/cancel.h"
+#include "core/params.h"
+#include "interval/model.h"
+#include "trace/generator.h"
+
+namespace th {
+
+/**
+ * Fit an interval model by stepping a cycle-accurate core over
+ * @p profile in fitIntervalCycles chunks until fitCycles are consumed
+ * (or the trace drains), merging adjacent chunks whose IPC stays
+ * within phaseIpcTolerance of the growing phase's mean.
+ *
+ * @p family_hash / @p fit_config_hash record provenance in the model
+ * (computed by the caller via intervalFamilyHash()/configHash() —
+ * sim/configs.h — which this library does not link).
+ * @p cancel is polled between fit intervals; a fired token aborts the
+ * fit with a Cancelled throw before any model is produced.
+ */
+IntervalModel fitIntervalModel(const BenchmarkProfile &profile,
+                               const CoreConfig &cfg,
+                               const IntervalOptions &opts,
+                               std::uint64_t family_hash,
+                               std::uint64_t fit_config_hash,
+                               const CancelToken *cancel = nullptr);
+
+} // namespace th
+
+#endif // TH_INTERVAL_FITTER_H

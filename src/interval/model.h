@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Interval performance model — the fitted artifact behind the fast
+ * simulation path (the CoMeT direction in ROADMAP.md). One
+ * cycle-accurate core run per (benchmark, config-family) is segmented
+ * into phases of stable IPC; each phase stores the aggregate
+ * performance and activity counters the cycle core produced over it.
+ * The replay engine (interval/replay.h) re-synthesizes per-interval
+ * CoreResult streams from these phases under different configurations
+ * in the same family, at 100-1000x cycle-accurate throughput.
+ *
+ * Models are serialized as the `IMDL` THIO artifact kind
+ * (io/serialize.h, kIntervalModelSchemaVersion) and cached in the
+ * ArtifactStore keyed by intervalModelKey() (sim/configs.h).
+ */
+
+#ifndef TH_INTERVAL_MODEL_H
+#define TH_INTERVAL_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace th {
+
+/**
+ * One measured point of a fetch-throttle response: at a pinned
+ * cadence of @c duty (= on/period), the core committed @c ipcScale of
+ * its free-running IPC over the same instruction span. A single
+ * analytic cap (fetchWidth * duty) is far too optimistic — the real
+ * pipeline loses fetch groups to taken branches and redirects, so the
+ * response is measured, not derived.
+ */
+struct IntervalThrottlePoint
+{
+    double duty = 1.0;
+    double ipcScale = 1.0;
+};
+
+/**
+ * One phase's aggregate counters measured with the fetch throttle
+ * pinned at @c duty — what the real pipeline actually did under that
+ * cadence over the phase's instruction span. Throttled replay emits
+ * activity from these instead of rescaling the free-running phase
+ * stats: the throttled frontend runs less far ahead of mispredicted
+ * branches, so its fetch-side activity per committed instruction is
+ * measurably lower than the free-running rate, and rescaled free
+ * stats overestimate throttled power by ~1% — enough to skew a
+ * hysteresis ladder's release points.
+ */
+struct IntervalThrottleBin
+{
+    double duty = 1.0;
+    CoreResult stats;
+};
+
+/**
+ * One fitted phase: a maximal run of adjacent fit intervals whose IPC
+ * stayed within IntervalOptions::phaseIpcTolerance of the phase mean.
+ * `stats` aggregates every perf/activity counter the cycle core
+ * produced over the phase, so replay can derive per-instruction (or,
+ * for committed-nothing stall phases, per-cycle) event rates.
+ */
+struct IntervalPhase
+{
+    std::uint64_t cycles = 0; ///< Fit-config cycles spent in the phase.
+    CoreResult stats;         ///< Aggregate counters over the phase.
+
+    /**
+     * This phase's measured fetch-throttle response (ascending by
+     * duty; may be empty if calibration never reached the phase, in
+     * which case replay falls back to the workload-level
+     * IntervalModel::throttle). Per-phase because a DTM ladder's limit
+     * cycle dwells in specific phases whose throttled IPC can differ
+     * several percent from the workload mean.
+     */
+    std::vector<IntervalThrottlePoint> throttle;
+
+    /**
+     * Measured throttled counter aggregates, one per calibrated
+     * cadence that reached this phase (ascending by duty; possibly
+     * empty, in which case throttled replay falls back to rescaling
+     * the free-running stats). See IntervalThrottleBin.
+     */
+    std::vector<IntervalThrottleBin> bins;
+};
+
+/**
+ * One fit interval's progression record: the raw per-interval texture
+ * underneath the phase segmentation. Replay advances tick by tick —
+ * each at its own fitted IPC — while drawing activity rates from the
+ * owning phase's compressed counters. Keeping the texture matters for
+ * closed-loop DTM fidelity: a hysteresis ladder's release points ride
+ * on interval-scale power fluctuations, and replaying phase-mean IPC
+ * smooths exactly the fluctuations that trip them.
+ */
+struct IntervalTick
+{
+    std::uint64_t cycles = 0; ///< Fit-config cycles in the interval.
+    std::uint64_t insts = 0;  ///< Instructions committed over them.
+    std::uint32_t phase = 0;  ///< Index into IntervalModel::phases.
+};
+
+/** A fitted interval model for one (benchmark, config-family). */
+struct IntervalModel
+{
+    std::string benchmark;
+
+    /** intervalFamilyHash() of the family the model is valid for. */
+    std::uint64_t familyHash = 0;
+
+    // Fit provenance: the exact configuration the cycle-accurate
+    // fitting run used. Replay retargets freq/width differences
+    // between this and the requested config; the error bound against
+    // exact anchors reports how well that held.
+    std::uint64_t fitConfigHash = 0;
+    double fitFreqGhz = 0.0;
+    int fitFetchWidth = 0;
+    int fitIssueWidth = 0;
+    int fitCommitWidth = 0;
+
+    /** Fit granularity (IntervalOptions::fitIntervalCycles). */
+    std::uint64_t intervalCycles = 0;
+
+    std::uint64_t totalCycles = 0;       ///< Post-warm-up cycles fitted.
+    std::uint64_t totalInstructions = 0; ///< Committed over the fit.
+
+    std::vector<IntervalPhase> phases;
+
+    /** Per-interval progression texture, in fit order (see
+     *  IntervalTick). Every tick's @c phase indexes @c phases. */
+    std::vector<IntervalTick> ticks;
+
+    /**
+     * Workload-level fetch-throttle response at the DTM ladder's
+     * throttled cadences (dtm/policy.cpp: 1/4, 1/2, 3/4), ascending by
+     * duty — the fallback for phases whose own table is empty. Replay
+     * interpolates between (0, 0), the points, and (1, 1).
+     */
+    std::vector<IntervalThrottlePoint> throttle;
+};
+
+/**
+ * Fitting knobs. Every field feeds intervalModelKey() (th_lint
+ * enforces the coverage), so two fits with different options never
+ * collide in the store.
+ */
+struct IntervalOptions
+{
+    /** Sampling granularity of the fitting run, in core cycles. */
+    std::uint64_t fitIntervalCycles = 10000;
+
+    /**
+     * Total cycles to fit. Sized to cover the default DTM study
+     * (one measurement + 40 control intervals of 50K cycles ~ 2.05M
+     * cycles) with slack; replay of longer runs ends when the model
+     * is exhausted, mirroring a drained trace.
+     */
+    std::uint64_t fitCycles = 2600000;
+
+    /** Relative IPC tolerance for merging intervals into a phase. */
+    double phaseIpcTolerance = 0.02;
+
+    /** Core warm-up window before measurement (instructions). */
+    std::uint64_t warmupInstructions = 20000;
+
+    /**
+     * Cycle safety cap of each fetch-throttle calibration run (one per
+     * ladder cadence). Runs normally end once they reach the fitting
+     * run's instruction count — so each phase's throttled IPC is
+     * measured against that phase's fitted free-running IPC over the
+     * same instruction span — and the cap only guards against a
+     * pathologically slow throttled core. 0 disables calibration
+     * (replay then treats throttling as an ideal duty-cycle scale).
+     */
+    std::uint64_t throttleFitCycles = 26000000;
+};
+
+} // namespace th
+
+#endif // TH_INTERVAL_MODEL_H

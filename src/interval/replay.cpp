@@ -1,0 +1,244 @@
+#include "interval/replay.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "interval/stats_ops.h"
+
+namespace th {
+
+namespace {
+
+/** Smallest effective IPC replay will progress at (guards div-by-0). */
+constexpr double kMinEffIpc = 1e-9;
+
+} // namespace
+
+ReplayIntervalSource::ReplayIntervalSource(const IntervalModel &model,
+                                           const CoreConfig &target)
+    : model_(model), target_(target)
+{
+    if (model_.phases.empty() || model_.ticks.empty())
+        fatal("interval replay of '%s': model has no fitted work",
+              model_.benchmark.c_str());
+    for (const IntervalTick &t : model_.ticks)
+        if (t.phase >= model_.phases.size())
+            fatal("interval replay of '%s': tick phase %u out of "
+                  "range (%zu phases)",
+                  model_.benchmark.c_str(), t.phase,
+                  model_.phases.size());
+    const int narrowest =
+        std::min({target_.fetchWidth, target_.issueWidth,
+                  target_.commitWidth});
+    widthCap_ = std::max(1, narrowest);
+    remInsts_ = model_.ticks[0].insts;
+    remCycles_ = model_.ticks[0].cycles;
+}
+
+void
+ReplayIntervalSource::setFetchThrottle(int on, int period)
+{
+    fetchOn_ = std::max(1, on);
+    fetchPeriod_ = std::max(fetchOn_, period);
+}
+
+void
+ReplayIntervalSource::advanceTick()
+{
+    ++tick_;
+    if (tick_ < model_.ticks.size()) {
+        remInsts_ = model_.ticks[tick_].insts;
+        remCycles_ = model_.ticks[tick_].cycles;
+    } else {
+        remInsts_ = 0;
+        remCycles_ = 0;
+    }
+}
+
+bool
+ReplayIntervalSource::done() const
+{
+    return tick_ >= model_.ticks.size();
+}
+
+double
+ReplayIntervalSource::throttleScale(std::size_t phase, double duty) const
+{
+    if (duty >= 1.0)
+        return 1.0;
+    // Piecewise-linear through (0, 0), the measured ladder points, and
+    // (1, 1) — preferring the phase's own response over the
+    // workload-level fallback. An unfitted table degrades to
+    // scale = duty (the proportional-slowdown assumption).
+    const std::vector<IntervalThrottlePoint> &table =
+        phase < model_.phases.size() &&
+                !model_.phases[phase].throttle.empty()
+            ? model_.phases[phase].throttle
+            : model_.throttle;
+    double lo_d = 0.0, lo_s = 0.0, hi_d = 1.0, hi_s = 1.0;
+    for (const IntervalThrottlePoint &p : table) {
+        if (p.duty <= duty && p.duty >= lo_d) {
+            lo_d = p.duty;
+            lo_s = p.ipcScale;
+        }
+        if (p.duty >= duty && p.duty <= hi_d) {
+            hi_d = p.duty;
+            hi_s = p.ipcScale;
+        }
+    }
+    if (hi_d <= lo_d)
+        return lo_s;
+    const double t = (duty - lo_d) / (hi_d - lo_d);
+    return lo_s + t * (hi_s - lo_s);
+}
+
+CoreResult
+ReplayIntervalSource::runFor(std::uint64_t cycles)
+{
+    CoreResult out;
+    out.freqGhz = target_.freqGhz;
+
+    // Scaled valueWidthBits accumulation (restored at the end so the
+    // synthesized histogram matches the synthesized instruction count).
+    std::vector<std::uint64_t> hbuckets;
+    double hlo = 0.0, hhi = 0.0, hsum = 0.0, hmin = 0.0, hmax = 0.0;
+    bool hany = false;
+
+    std::uint64_t budget = cycles;
+    std::uint64_t cycles_done = 0;
+    std::uint64_t insts_done = 0;
+
+    while (budget > 0 && tick_ < model_.ticks.size()) {
+        const IntervalTick &tk = model_.ticks[tick_];
+        const IntervalPhase &ph = model_.phases[tk.phase];
+        const bool exhausted =
+            tk.insts > 0 ? remInsts_ == 0 : remCycles_ == 0;
+        if (exhausted) {
+            advanceTick();
+            continue;
+        }
+
+        std::uint64_t step = 0;
+        std::uint64_t committed = 0;
+        double frac = 0.0;
+        const CoreResult *src = &ph.stats;
+        if (tk.insts == 0) {
+            // Stall tick: committed nothing at fit time; progresses in
+            // cycle space, activity at the phase's per-cycle rate.
+            step = std::min(budget, remCycles_);
+            remCycles_ -= step;
+            frac = static_cast<double>(step) /
+                   static_cast<double>(ph.cycles);
+        } else {
+            // Working tick: progresses in instruction space at the
+            // tick's fitted IPC, capped by the target's narrowest
+            // width and scaled by the owning phase's measured response
+            // of the active fetch-throttle duty.
+            const double tick_ipc =
+                static_cast<double>(tk.insts) /
+                static_cast<double>(tk.cycles);
+            double eff = std::min(tick_ipc, widthCap_);
+            if (fetchOn_ < fetchPeriod_)
+                eff *= throttleScale(
+                    tk.phase, static_cast<double>(fetchOn_) /
+                                  static_cast<double>(fetchPeriod_));
+            eff = std::max(eff, kMinEffIpc);
+
+            const double need = std::ceil(
+                static_cast<double>(remInsts_) / eff);
+            if (need <= static_cast<double>(budget)) {
+                step = static_cast<std::uint64_t>(need);
+                committed = remInsts_;
+            } else {
+                step = budget;
+                committed = std::min<std::uint64_t>(
+                    remInsts_,
+                    static_cast<std::uint64_t>(std::llround(
+                        eff * static_cast<double>(step))));
+            }
+            remInsts_ -= committed;
+            frac = static_cast<double>(committed) /
+                   static_cast<double>(
+                       ph.stats.perf.committedInsts.value());
+
+            // Under an active throttle, emit activity from the
+            // phase's measured throttled aggregate (nearest calibrated
+            // cadence) — the real throttled pipeline does measurably
+            // less fetch-side work per committed instruction than the
+            // free-running rates imply.
+            if (fetchOn_ < fetchPeriod_) {
+                const double d = static_cast<double>(fetchOn_) /
+                                 static_cast<double>(fetchPeriod_);
+                const IntervalThrottleBin *bin = nullptr;
+                double bin_dist = 0.0;
+                for (const IntervalThrottleBin &b : ph.bins) {
+                    if (b.stats.perf.committedInsts.value() == 0)
+                        continue;
+                    const double dist = std::fabs(b.duty - d);
+                    if (bin == nullptr || dist < bin_dist) {
+                        bin = &b;
+                        bin_dist = dist;
+                    }
+                }
+                if (bin != nullptr) {
+                    src = &bin->stats;
+                    frac = static_cast<double>(committed) /
+                           static_cast<double>(
+                               bin->stats.perf.committedInsts.value());
+                }
+            }
+        }
+
+        if (frac > 0.0) {
+            zipCoreCounters(
+                out, *src,
+                [frac](Counter &into, const Counter &from) {
+                    into.inc(static_cast<std::uint64_t>(std::llround(
+                        frac * static_cast<double>(from.value()))));
+                });
+            const Histogram &phh = src->perf.valueWidthBits;
+            if (phh.count() > 0) {
+                if (hbuckets.empty())
+                    hbuckets.assign(phh.buckets().size(), 0);
+                for (std::size_t i = 0; i < hbuckets.size(); ++i)
+                    hbuckets[i] += static_cast<std::uint64_t>(
+                        std::llround(frac * static_cast<double>(
+                                                phh.buckets()[i])));
+                hlo = phh.lo();
+                hhi = phh.hi();
+                hsum += frac * phh.sum();
+                hmin = hany ? std::min(hmin, phh.min()) : phh.min();
+                hmax = hany ? std::max(hmax, phh.max()) : phh.max();
+                hany = true;
+            }
+        }
+
+        budget -= step;
+        cycles_done += step;
+        insts_done += committed;
+    }
+
+    // Normalize so done() flips as soon as the final tick drains.
+    while (tick_ < model_.ticks.size()) {
+        const bool exhausted = model_.ticks[tick_].insts > 0
+            ? remInsts_ == 0
+            : remCycles_ == 0;
+        if (!exhausted)
+            break;
+        advanceTick();
+    }
+
+    out.perf.cycles.set(cycles_done);
+    out.perf.committedInsts.set(insts_done);
+    if (hany) {
+        std::uint64_t hcount = 0;
+        for (std::uint64_t b : hbuckets)
+            hcount += b;
+        out.perf.valueWidthBits.restore(hlo, hhi, std::move(hbuckets),
+                                        hcount, hsum, hmin, hmax);
+    }
+    return out;
+}
+
+} // namespace th

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * IntervalReplay engine: an IntervalSource that re-synthesizes
+ * per-interval CoreResult streams from a fitted IntervalModel instead
+ * of stepping the cycle-accurate core — the cheap half of the fast
+ * path, 100-1000x cycle-accurate throughput.
+ *
+ * Replay walks the fitted per-interval ticks in instruction space.
+ * Each tick progresses at an effective IPC: the tick's fitted IPC,
+ * capped by the target configuration's narrowest pipeline width and
+ * scaled by the owning phase's measured fetch-throttle response (the
+ * DTM actuator). Every other counter is emitted at the owning phase's
+ * fitted per-instruction rate (per-cycle for committed-nothing stall
+ * ticks), so the power model sees activity consistent with the
+ * synthesized progress — including the interval-scale power
+ * fluctuations closed-loop hysteresis policies react to. All
+ * arithmetic is plain single-threaded double + llround —
+ * bit-identical at any TH_THREADS.
+ */
+
+#ifndef TH_INTERVAL_REPLAY_H
+#define TH_INTERVAL_REPLAY_H
+
+#include "core/params.h"
+#include "dtm/engine.h"
+#include "interval/model.h"
+
+namespace th {
+
+/**
+ * Drives DtmEngine (or any interval consumer) from a fitted model
+ * under a target configuration in the same family. The model must
+ * outlive the source. Single-use, like a warmed-up Core: construct a
+ * fresh one per replayed run.
+ */
+class ReplayIntervalSource : public IntervalSource
+{
+  public:
+    ReplayIntervalSource(const IntervalModel &model,
+                         const CoreConfig &target);
+
+    void setFetchThrottle(int on, int period) override;
+    CoreResult runFor(std::uint64_t cycles) override;
+    bool done() const override;
+
+  private:
+    /** Move to the next tick and reload its remaining work. */
+    void advanceTick();
+    /** Measured IPC scale of @p phase at a fetch duty (interpolated
+     *  through the phase's table, or the workload fallback). */
+    double throttleScale(std::size_t phase, double duty) const;
+
+    const IntervalModel &model_;
+    const CoreConfig &target_;
+
+    std::size_t tick_ = 0;
+    std::uint64_t remInsts_ = 0;  ///< Committed insts left in tick.
+    std::uint64_t remCycles_ = 0; ///< Cycles left (stall ticks).
+
+    /** IPC ceiling from the target's narrowest pipeline width. */
+    double widthCap_ = 1.0;
+
+    int fetchOn_ = 1;
+    int fetchPeriod_ = 1;
+};
+
+} // namespace th
+
+#endif // TH_INTERVAL_REPLAY_H

@@ -22,8 +22,8 @@
 namespace th {
 
 /** Schema version of the SimRequest/SimResponse encodings.
- *  v2: SimRequest grew dtmSolver. */
-inline constexpr std::uint32_t kWireSchemaVersion = 2;
+ *  v2: SimRequest grew dtmSolver. v3: SimRequest grew fastPath. */
+inline constexpr std::uint32_t kWireSchemaVersion = 3;
 
 /** What the client is asking the server to do. */
 enum class SimRequestKind : std::uint8_t {
@@ -88,6 +88,14 @@ struct SimRequest
     std::uint32_t dtmGridN = 0;
     /** Steady-state solver, solverKindName() ("" = server default). */
     std::string dtmSolver;
+
+    /**
+     * Interval fast path (1 = replay fitted models instead of stepping
+     * the cycle-accurate core; kind == Dtm only). Part of the
+     * single-flight identity, so fast and exact runs of the same study
+     * never coalesce.
+     */
+    std::uint8_t fastPath = 0;
 };
 
 /** One response; @p text is the same report a local th_run prints. */

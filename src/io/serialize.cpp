@@ -332,6 +332,127 @@ serializeDtmReport(const DtmReport &rep)
     return enc.data();
 }
 
+namespace {
+
+/** Encode one fetch-throttle response table (model- or phase-level). */
+void
+encodeThrottleTable(Encoder &enc,
+                    const std::vector<IntervalThrottlePoint> &table)
+{
+    enc.u32(static_cast<std::uint32_t>(table.size()));
+    for (const IntervalThrottlePoint &p : table) {
+        enc.f64(p.duty);
+        enc.f64(p.ipcScale);
+    }
+}
+
+/** Decode counterpart of encodeThrottleTable(). */
+bool
+decodeThrottleTable(Decoder &dec,
+                    std::vector<IntervalThrottlePoint> &table)
+{
+    const std::uint32_t nt = dec.u32();
+    if (!dec.ok() || nt > dec.remaining())
+        return false;
+    table.assign(nt, IntervalThrottlePoint{});
+    for (std::uint32_t i = 0; i < nt; ++i) {
+        table[i].duty = dec.f64();
+        table[i].ipcScale = dec.f64();
+    }
+    return dec.ok();
+}
+
+} // namespace
+
+void
+encodeIntervalModel(Encoder &enc, const IntervalModel &m)
+{
+    enc.str(m.benchmark);
+    enc.u64(m.familyHash);
+    enc.u64(m.fitConfigHash);
+    enc.f64(m.fitFreqGhz);
+    enc.u32(static_cast<std::uint32_t>(m.fitFetchWidth));
+    enc.u32(static_cast<std::uint32_t>(m.fitIssueWidth));
+    enc.u32(static_cast<std::uint32_t>(m.fitCommitWidth));
+    enc.u64(m.intervalCycles);
+    enc.u64(m.totalCycles);
+    enc.u64(m.totalInstructions);
+    enc.u32(static_cast<std::uint32_t>(m.phases.size()));
+    for (const IntervalPhase &p : m.phases) {
+        enc.u64(p.cycles);
+        encodeCoreResult(enc, p.stats);
+        encodeThrottleTable(enc, p.throttle);
+        enc.u32(static_cast<std::uint32_t>(p.bins.size()));
+        for (const IntervalThrottleBin &b : p.bins) {
+            enc.f64(b.duty);
+            encodeCoreResult(enc, b.stats);
+        }
+    }
+    enc.u32(static_cast<std::uint32_t>(m.ticks.size()));
+    for (const IntervalTick &t : m.ticks) {
+        enc.u64(t.cycles);
+        enc.u64(t.insts);
+        enc.u32(t.phase);
+    }
+    encodeThrottleTable(enc, m.throttle);
+}
+
+bool
+decodeIntervalModel(Decoder &dec, IntervalModel &m)
+{
+    m.benchmark = dec.str();
+    m.familyHash = dec.u64();
+    m.fitConfigHash = dec.u64();
+    m.fitFreqGhz = dec.f64();
+    m.fitFetchWidth = static_cast<int>(dec.u32());
+    m.fitIssueWidth = static_cast<int>(dec.u32());
+    m.fitCommitWidth = static_cast<int>(dec.u32());
+    m.intervalCycles = dec.u64();
+    m.totalCycles = dec.u64();
+    m.totalInstructions = dec.u64();
+    const std::uint32_t n = dec.u32();
+    // A phase is hundreds of payload bytes, so a sane count can never
+    // exceed the remaining payload; this rejects corrupt counts before
+    // the assign instead of allocating gigabytes.
+    if (!dec.ok() || n > dec.remaining())
+        return false;
+    m.phases.assign(n, IntervalPhase{});
+    for (std::uint32_t i = 0; i < n; ++i) {
+        m.phases[i].cycles = dec.u64();
+        if (!decodeCoreResult(dec, m.phases[i].stats))
+            return false;
+        if (!decodeThrottleTable(dec, m.phases[i].throttle))
+            return false;
+        const std::uint32_t nb = dec.u32();
+        if (!dec.ok() || nb > dec.remaining())
+            return false;
+        m.phases[i].bins.assign(nb, IntervalThrottleBin{});
+        for (std::uint32_t b = 0; b < nb; ++b) {
+            m.phases[i].bins[b].duty = dec.f64();
+            if (!decodeCoreResult(dec, m.phases[i].bins[b].stats))
+                return false;
+        }
+    }
+    const std::uint32_t nticks = dec.u32();
+    if (!dec.ok() || nticks > dec.remaining())
+        return false;
+    m.ticks.assign(nticks, IntervalTick{});
+    for (std::uint32_t i = 0; i < nticks; ++i) {
+        m.ticks[i].cycles = dec.u64();
+        m.ticks[i].insts = dec.u64();
+        m.ticks[i].phase = dec.u32();
+    }
+    return decodeThrottleTable(dec, m.throttle);
+}
+
+std::vector<std::uint8_t>
+serializeIntervalModel(const IntervalModel &m)
+{
+    Encoder enc;
+    encodeIntervalModel(enc, m);
+    return enc.data();
+}
+
 const char *
 simRequestKindName(SimRequestKind k)
 {
@@ -380,6 +501,7 @@ encodeSimRequest(Encoder &enc, const SimRequest &req)
     enc.f64(req.dtmDilation);
     enc.u32(req.dtmGridN);
     enc.str(req.dtmSolver);
+    enc.u8(req.fastPath);
 }
 
 bool
@@ -410,6 +532,7 @@ decodeSimRequest(Decoder &dec, SimRequest &req)
     req.dtmDilation = dec.f64();
     req.dtmGridN = dec.u32();
     req.dtmSolver = dec.str();
+    req.fastPath = dec.u8();
     return dec.ok();
 }
 

@@ -15,6 +15,7 @@
 
 #include "core/pipeline.h"
 #include "dtm/engine.h"
+#include "interval/model.h"
 #include "io/chunkio.h"
 #include "io/request.h"
 
@@ -25,6 +26,9 @@ inline constexpr std::uint32_t kCoreResultSchemaVersion = 1;
 
 /** Schema version of the DtmReport encoding below. */
 inline constexpr std::uint32_t kDtmReportSchemaVersion = 1;
+
+/** Schema version of the IntervalModel encoding below. */
+inline constexpr std::uint32_t kIntervalModelSchemaVersion = 1;
 
 /** Append @p h to @p enc (range, moments, and bucket counts). */
 void encodeHistogram(Encoder &enc, const Histogram &h);
@@ -58,6 +62,14 @@ bool decodeDtmReport(Decoder &dec, DtmReport &rep);
 /** Canonical byte representation of a DtmReport (round-trip tests,
  *  store integrity checks) — mirrors serializeCoreResult(). */
 std::vector<std::uint8_t> serializeDtmReport(const DtmReport &rep);
+
+/** Append a full IntervalModel (header fields then phases). */
+void encodeIntervalModel(Encoder &enc, const IntervalModel &m);
+bool decodeIntervalModel(Decoder &dec, IntervalModel &m);
+
+/** Canonical byte representation of an IntervalModel (round-trip
+ *  tests, store integrity checks) — mirrors serializeCoreResult(). */
+std::vector<std::uint8_t> serializeIntervalModel(const IntervalModel &m);
 
 /** Append every SimRequest field in wire-schema order. */
 void encodeSimRequest(Encoder &enc, const SimRequest &req);

@@ -402,6 +402,14 @@ bool SimServer::validate(const SimRequest &req, std::string &err) const
             return false;
         }
     }
+    if (req.fastPath > 1) {
+        err = "fastPath must be 0 or 1";
+        return false;
+    }
+    if (req.fastPath != 0 && req.kind != SimRequestKind::Dtm) {
+        err = "fastPath is only meaningful for dtm requests";
+        return false;
+    }
     return true;
 }
 
@@ -427,8 +435,14 @@ SimResponse SimServer::execute(const SimRequest &req,
         const std::string benchmark = req.benchmarks.empty()
                                           ? System::kPowerReferenceBenchmark
                                           : req.benchmarks[0];
-        rsp.text = renderDtm(runDtmStudy(*sys_, benchmark, opts, cancel),
-                             opts);
+        // fastPath replays fitted interval models (with an exact anchor
+        // backing the report's error line); requests differing only in
+        // this flag never coalesce — flightKeyOf covers it.
+        const DtmStudyData data = req.fastPath != 0
+            ? runDtmStudyFast(*sys_, benchmark, opts, IntervalOptions{},
+                              cancel)
+            : runDtmStudy(*sys_, benchmark, opts, cancel);
+        rsp.text = renderDtm(data, opts);
         break;
     }
     case SimRequestKind::Core: {

@@ -175,4 +175,78 @@ dtmConfigHash(const CoreConfig &cfg, const DtmOptions &opts)
     return h.h;
 }
 
+std::uint64_t
+intervalFamilyHash(const CoreConfig &cfg)
+{
+    // configHash's field list minus the replay-retargeted axes:
+    // freqGhz, stacked, fetchWidth, decodeWidth, issueWidth,
+    // commitWidth. Keep the two lists in sync when CoreConfig grows.
+    Hasher h;
+    h.add(cfg.ifqSize);
+    h.add(cfg.robSize);
+    h.add(cfg.rsSize);
+    h.add(cfg.lqSize);
+    h.add(cfg.sqSize);
+    h.add(cfg.numIntAlu);
+    h.add(cfg.numIntShift);
+    h.add(cfg.numIntMult);
+    h.add(cfg.numFpAdd);
+    h.add(cfg.numFpMult);
+    h.add(cfg.numFpDiv);
+    h.add(cfg.numLoadPorts);
+    h.add(cfg.numStorePorts);
+    h.add(cfg.il1Bytes);
+    h.add(cfg.il1Assoc);
+    h.add(cfg.il1LineBytes);
+    h.add(cfg.dl1Bytes);
+    h.add(cfg.dl1Assoc);
+    h.add(cfg.dl1LineBytes);
+    h.add(cfg.l2Bytes);
+    h.add(cfg.l2Assoc);
+    h.add(cfg.l2LineBytes);
+    h.add(cfg.il1Cycles);
+    h.add(cfg.dl1Cycles);
+    h.add(cfg.itlbEntries);
+    h.add(cfg.itlbAssoc);
+    h.add(cfg.dtlbEntries);
+    h.add(cfg.dtlbAssoc);
+    h.add(cfg.tlbMissCycles);
+    h.add(cfg.bimodalEntries);
+    h.add(cfg.localHistEntries);
+    h.add(cfg.localHistBits);
+    h.add(cfg.localCounterEntries);
+    h.add(cfg.globalHistBits);
+    h.add(cfg.chooserEntries);
+    h.add(cfg.btbEntries);
+    h.add(cfg.btbAssoc);
+    h.add(cfg.ibtbEntries);
+    h.add(cfg.ibtbAssoc);
+    h.add(cfg.memLatencyNs);
+    h.add(cfg.maxOutstandingMisses);
+    h.add(cfg.frontendDepth);
+    h.add(cfg.thermalHerding);
+    h.add(cfg.pipeOpts);
+    h.add(static_cast<int>(cfg.schedAlloc));
+    h.add(cfg.pamEnabled);
+    h.add(cfg.pveEnabled);
+    h.add(cfg.btbMemoEnabled);
+    h.add(cfg.widthPredEntries);
+    h.add(static_cast<int>(cfg.widthPredKind));
+    return h.h;
+}
+
+std::uint64_t
+intervalModelKey(const CoreConfig &cfg, const IntervalOptions &opts)
+{
+    Hasher h;
+    h.add(intervalFamilyHash(cfg));
+    h.add(static_cast<std::uint64_t>(kIntervalModelSchemaVersion));
+    h.add(opts.fitIntervalCycles);
+    h.add(opts.fitCycles);
+    h.add(opts.phaseIpcTolerance);
+    h.add(opts.warmupInstructions);
+    h.add(opts.throttleFitCycles);
+    return h.h;
+}
+
 } // namespace th

@@ -15,6 +15,7 @@
 #include "circuit/blocks.h"
 #include "core/params.h"
 #include "dtm/engine.h"
+#include "interval/model.h"
 
 namespace th {
 
@@ -60,6 +61,26 @@ std::uint64_t configHash(const CoreConfig &cfg);
  */
 std::uint64_t dtmConfigHash(const CoreConfig &cfg,
                             const DtmOptions &opts);
+
+/**
+ * Config-family identity for the interval fast path: configHash's
+ * field set minus the axes replay retargets analytically — clock
+ * frequency, stacking, and the fetch/decode/issue/commit widths. Two
+ * configs with equal family hashes share one fitted IntervalModel;
+ * everything that changes the core's cycle-level behaviour in ways
+ * replay cannot correct (cache geometry, predictors, herding, queue
+ * sizes, ...) keeps its own family.
+ */
+std::uint64_t intervalFamilyHash(const CoreConfig &cfg);
+
+/**
+ * Store key of a fitted IntervalModel: intervalFamilyHash(cfg) folded
+ * with every IntervalOptions knob and the IMDL schema version — two
+ * fits share a persisted model iff every input that shapes the fit
+ * matches. th_lint enforces the IntervalOptions field coverage.
+ */
+std::uint64_t intervalModelKey(const CoreConfig &cfg,
+                               const IntervalOptions &opts);
 
 } // namespace th
 

@@ -1,6 +1,7 @@
 #include "sim/experiments.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -333,6 +334,115 @@ runDtmStudy(System &sys, const std::string &benchmark,
         c.report = sys.runDtm(benchmark, kinds[i], opts, cancel);
         return c;
     });
+    return data;
+}
+
+namespace {
+
+/** Fold one fast-vs-exact report pair into running error maxima. */
+void
+accumulateAnchorError(const DtmReport &fast, const DtmReport &exact,
+                      double &ipc_err, double &peak_err_k,
+                      double &duty_err_pp)
+{
+    const double denom = std::max(exact.ipcEffective, 1e-12);
+    ipc_err = std::max(
+        ipc_err,
+        std::fabs(fast.ipcEffective - exact.ipcEffective) / denom);
+    peak_err_k =
+        std::max(peak_err_k, std::fabs(fast.peakK - exact.peakK));
+    duty_err_pp = std::max(
+        duty_err_pp,
+        std::fabs(fast.throttleDuty - exact.throttleDuty) * 100.0);
+}
+
+} // namespace
+
+DtmStudyData
+runDtmStudyFast(System &sys, const std::string &benchmark,
+                const DtmOptions &opts, const IntervalOptions &iopts,
+                const CancelToken *cancel)
+{
+    const ConfigKind kinds[] = {ConfigKind::Base, ConfigKind::ThreeDNoTH,
+                                ConfigKind::ThreeD};
+    DtmStudyData data;
+    data.benchmark = benchmark;
+    data.fast = true;
+    data.cases = ThreadPool::global().parallelMap(3, [&](size_t i) {
+        DtmCase c;
+        c.config = kinds[i];
+        c.report =
+            sys.runIntervalDtm(benchmark, kinds[i], opts, iopts, cancel);
+        return c;
+    });
+    // One exact anchor bounds the replay error. The planar baseline is
+    // the cheapest of the three (and, via runDtm's memoization, often a
+    // cache or store hit from an earlier exact study).
+    const DtmReport exact =
+        sys.runDtm(benchmark, ConfigKind::Base, opts, cancel);
+    data.anchors = 1;
+    accumulateAnchorError(data.cases[0].report, exact, data.maxIpcErr,
+                          data.maxPeakErrK, data.maxDutyErrPp);
+    return data;
+}
+
+FamilySweepData
+runFamilySweep(System &sys, const std::string &benchmark,
+               const FamilySweepOptions &opts, const CancelToken *cancel)
+{
+    if (opts.triggerSteps < 1)
+        fatal("family sweep needs at least one trigger step");
+    if (opts.policies.empty())
+        fatal("family sweep needs at least one policy");
+
+    FamilySweepData data;
+    data.benchmark = benchmark;
+    data.config = opts.config;
+    data.fast = opts.fast;
+
+    // Fit (or fetch) the family's model once before fanning out: every
+    // replayed point below reuses it through System's interval cache,
+    // so the fan-out itself performs zero fitting runs.
+    if (opts.fast)
+        sys.runIntervalFit(benchmark, opts.config, opts.interval,
+                           cancel);
+
+    // (policy, trigger) grid in one parallel fan-out; results land at
+    // their flat index, so the output order is independent of thread
+    // count — same determinism argument as the figure sweeps.
+    const size_t nsteps = static_cast<size_t>(opts.triggerSteps);
+    data.points = ThreadPool::global().parallelMap(
+        opts.policies.size() * nsteps, [&](size_t i) {
+            const size_t step = i % nsteps;
+            FamilySweepPoint pt;
+            pt.policy = opts.policies[i / nsteps];
+            pt.triggerK = opts.triggerSteps == 1
+                ? opts.triggerLoK
+                : opts.triggerLoK +
+                    static_cast<double>(step) *
+                        (opts.triggerHiK - opts.triggerLoK) /
+                        static_cast<double>(opts.triggerSteps - 1);
+            DtmOptions d = opts.dtm;
+            d.policy = pt.policy;
+            d.triggers.triggerK = pt.triggerK;
+            pt.report = opts.fast
+                ? sys.runIntervalDtm(benchmark, opts.config, d,
+                                     opts.interval, cancel)
+                : sys.runDtm(benchmark, opts.config, d, cancel);
+            pt.anchor = opts.fast && opts.anchorStride > 0 &&
+                step % static_cast<size_t>(opts.anchorStride) == 0;
+            if (pt.anchor)
+                pt.exact = sys.runDtm(benchmark, opts.config, d, cancel);
+            return pt;
+        });
+
+    for (const auto &pt : data.points) {
+        if (!pt.anchor)
+            continue;
+        ++data.anchors;
+        accumulateAnchorError(pt.report, pt.exact, data.maxIpcErr,
+                              data.maxPeakErrK, data.maxDutyErrPp);
+    }
     return data;
 }
 

@@ -176,6 +176,15 @@ struct DtmStudyData
     std::string benchmark;
     /** Base, 3D-noTH, 3D — presentation order of the thermal study. */
     std::vector<DtmCase> cases;
+
+    /** True when the cases were replayed on the interval fast path.
+     *  The error fields below are only meaningful then. */
+    bool fast = false;
+    /** Exact anchor runs backing the error bounds (0 when !fast). */
+    int anchors = 0;
+    double maxIpcErr = 0.0;   ///< Max relative effective-IPC error.
+    double maxPeakErrK = 0.0; ///< Max |peak temperature delta| (K).
+    double maxDutyErrPp = 0.0;///< Max throttle-duty delta (pct points).
 };
 
 /**
@@ -187,6 +196,90 @@ struct DtmStudyData
 DtmStudyData runDtmStudy(System &sys, const std::string &benchmark,
                          const DtmOptions &opts,
                          const CancelToken *cancel = nullptr);
+
+/**
+ * runDtmStudy on the interval fast path: each configuration replays
+ * its fitted model instead of stepping the cycle-accurate core. One
+ * exact anchor (the planar baseline) is also run the slow way and its
+ * deltas fill the DtmStudyData error fields, so every fast study
+ * reports a measured error bound.
+ */
+DtmStudyData runDtmStudyFast(System &sys, const std::string &benchmark,
+                             const DtmOptions &opts,
+                             const IntervalOptions &iopts,
+                             const CancelToken *cancel = nullptr);
+
+/**
+ * Knobs of a config-family trigger sweep — the interval fast path's
+ * headline workload: many DTM runs of one (benchmark, config-family),
+ * differing only in policy and trigger temperature.
+ */
+struct FamilySweepOptions
+{
+    /** Configuration family swept (its fitted model is shared by every
+     *  fast point). The naive 3D stack default is the interesting one:
+     *  it actually trips DTM across the trigger range. */
+    ConfigKind config = ConfigKind::ThreeDNoTH;
+    /** Per-point DTM knobs; policy and trigger are overwritten by the
+     *  sweep grid below. */
+    DtmOptions dtm;
+    /** Trigger temperatures: triggerSteps points spanning [lo, hi]. */
+    double triggerLoK = 352.0;
+    double triggerHiK = 368.0;
+    int triggerSteps = 51;
+    /** Policies swept (cross product with the trigger grid). */
+    std::vector<DtmPolicyKind> policies = {
+        DtmPolicyKind::ClockGate, DtmPolicyKind::FetchThrottle};
+    /**
+     * In fast mode, every anchorStride-th trigger step of each policy
+     * also runs the exact path; the measured fast-vs-exact deltas feed
+     * the sweep's error bound. 0 disables anchoring (no error bound).
+     */
+    int anchorStride = 16;
+    /** Fast path (fit once, replay per point) vs exact per-point core
+     *  runs on the same grid. */
+    bool fast = true;
+    IntervalOptions interval;
+};
+
+/** One (policy, trigger) point of a family sweep. */
+struct FamilySweepPoint
+{
+    double triggerK = 0.0;
+    DtmPolicyKind policy = DtmPolicyKind::ClockGate;
+    /** The sweep-mode result (replayed when fast, exact otherwise). */
+    DtmReport report;
+    /** True when this fast point was also run exactly. */
+    bool anchor = false;
+    DtmReport exact; ///< Exact anchor result (valid when anchor).
+};
+
+/** Everything behind one family sweep. */
+struct FamilySweepData
+{
+    std::string benchmark;
+    ConfigKind config = ConfigKind::Base;
+    bool fast = false;
+    /** Points in (policy-major, trigger-minor) grid order. */
+    std::vector<FamilySweepPoint> points;
+    /** Exact anchors run (0 in exact mode or with anchoring off). */
+    int anchors = 0;
+    double maxIpcErr = 0.0;   ///< Max relative effective-IPC error.
+    double maxPeakErrK = 0.0; ///< Max |peak temperature delta| (K).
+    double maxDutyErrPp = 0.0;///< Max throttle-duty delta (pct points).
+};
+
+/**
+ * Sweep a (policy x trigger) DTM grid over one config-family. In fast
+ * mode the model is fitted (or fetched) once up front and every point
+ * replays it — on a warm store the whole sweep performs zero core
+ * simulations; anchor points bound the replay error against the exact
+ * engine. In exact mode every point steps the cycle-accurate core (the
+ * comparison baseline for the fast path's speedup claim).
+ */
+FamilySweepData runFamilySweep(System &sys, const std::string &benchmark,
+                               const FamilySweepOptions &opts,
+                               const CancelToken *cancel = nullptr);
 
 } // namespace th
 

@@ -1,5 +1,6 @@
 #include "sim/report.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/log.h"
@@ -84,6 +85,26 @@ renderWidth(const WidthStudyData &data)
     return out.str();
 }
 
+namespace {
+
+/**
+ * The stable fast-vs-exact accuracy line. CI greps it, so its shape is
+ * load-bearing: "error vs exact anchors: ipc X%, peak Y K, duty Z pp
+ * (N anchors)".
+ */
+std::string
+anchorErrorLine(double ipc_err, double peak_err_k, double duty_err_pp,
+                int anchors)
+{
+    return strformat("error vs exact anchors: ipc %s, peak %s K, "
+                     "duty %s pp (%d anchors)\n",
+                     fmtPercent(ipc_err, 2).c_str(),
+                     fmtDouble(peak_err_k, 3).c_str(),
+                     fmtDouble(duty_err_pp, 2).c_str(), anchors);
+}
+
+} // namespace
+
 std::string
 renderDtm(const DtmStudyData &data, const DtmOptions &opts)
 {
@@ -103,6 +124,57 @@ renderDtm(const DtmStudyData &data, const DtmOptions &opts)
                   fmtDouble(c.report.timeAboveTriggerS * 1e3, 1),
                   fmtPercent(c.report.perfLost)});
     t.print(out);
+    // Only fast studies carry an error bound; the exact rendering stays
+    // byte-identical to the pre-fast-path output.
+    if (data.fast)
+        out << anchorErrorLine(data.maxIpcErr, data.maxPeakErrK,
+                               data.maxDutyErrPp, data.anchors);
+    return out.str();
+}
+
+std::string
+renderFamilySweep(const FamilySweepData &data,
+                  const FamilySweepOptions &opts)
+{
+    std::ostringstream out;
+    out << strformat(
+        "=== Family sweep: %s on %s, %d triggers in [%s, %s] K (%s) "
+        "===\n",
+        data.benchmark.c_str(), configName(data.config),
+        opts.triggerSteps, fmtDouble(opts.triggerLoK, 1).c_str(),
+        fmtDouble(opts.triggerHiK, 1).c_str(),
+        data.fast ? "fast" : "exact");
+    Table t({"Policy", "Points", "Duty min", "Duty max", "Peak K max",
+             "Perf lost max"});
+    for (DtmPolicyKind pol : opts.policies) {
+        size_t n = 0;
+        double duty_min = 0.0, duty_max = 0.0, peak_max = 0.0,
+               lost_max = 0.0;
+        for (const auto &pt : data.points) {
+            if (pt.policy != pol)
+                continue;
+            if (n == 0) {
+                duty_min = duty_max = pt.report.throttleDuty;
+                peak_max = pt.report.peakK;
+                lost_max = pt.report.perfLost;
+            } else {
+                duty_min = std::min(duty_min, pt.report.throttleDuty);
+                duty_max = std::max(duty_max, pt.report.throttleDuty);
+                peak_max = std::max(peak_max, pt.report.peakK);
+                lost_max = std::max(lost_max, pt.report.perfLost);
+            }
+            ++n;
+        }
+        if (n == 0)
+            continue;
+        t.addRow({dtmPolicyName(pol), strformat("%zu", n),
+                  fmtPercent(duty_min), fmtPercent(duty_max),
+                  fmtDouble(peak_max, 1), fmtPercent(lost_max)});
+    }
+    t.print(out);
+    if (data.fast)
+        out << anchorErrorLine(data.maxIpcErr, data.maxPeakErrK,
+                               data.maxDutyErrPp, data.anchors);
     return out.str();
 }
 

@@ -28,8 +28,21 @@ std::string renderFig10(const Fig10Data &data);
 /** "=== Width prediction study ===" header + accuracy line. */
 std::string renderWidth(const WidthStudyData &data);
 
-/** "=== Closed-loop DTM ... ===" header + per-config table. */
+/**
+ * "=== Closed-loop DTM ... ===" header + per-config table. Fast-path
+ * studies (data.fast) append the measured error-bound line; exact
+ * studies render byte-identically to before the fast path existed.
+ */
 std::string renderDtm(const DtmStudyData &data, const DtmOptions &opts);
+
+/**
+ * "=== Family sweep ... ===" header + per-policy aggregate table. Fast
+ * sweeps end with the stable error line
+ * "error vs exact anchors: ipc X%, peak Y K, duty Z pp (N anchors)"
+ * that CI greps its accuracy assertion from.
+ */
+std::string renderFamilySweep(const FamilySweepData &data,
+                              const FamilySweepOptions &opts);
 
 /** One-line summary of a single (benchmark, config) core run. */
 std::string renderCoreRun(const std::string &benchmark,

@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "interval/fitter.h"
+#include "interval/replay.h"
 #include "trace/suites.h"
 
 namespace th {
@@ -206,6 +208,65 @@ System::runDtm(const std::string &benchmark, ConfigKind kind,
         dtm_cache_.emplace(key, rep);
     }
     return rep;
+}
+
+IntervalModel
+System::runIntervalFit(const std::string &benchmark, ConfigKind kind,
+                       const IntervalOptions &iopts,
+                       const CancelToken *cancel)
+{
+    const CoreConfig cfg = makeConfig(kind, lib_);
+    const std::uint64_t key_hash = intervalModelKey(cfg, iopts);
+    const std::string key = benchmark + '\0' + std::to_string(key_hash);
+    {
+        LockGuard lock(interval_mu_);
+        auto it = interval_cache_.find(key);
+        if (it != interval_cache_.end())
+            return it->second;
+    }
+
+    // Fitting needs no power model, so (like runDtm) the store lookup
+    // comes first: a warm fast-path run performs zero core simulations
+    // for the models themselves.
+    IntervalModel model;
+    const bool from_store =
+        store_ && store_->loadIntervalModel(benchmark, key_hash, model);
+    if (!from_store) {
+        model = fitIntervalModel(benchmarkByName(benchmark), cfg, iopts,
+                                 intervalFamilyHash(cfg),
+                                 configHash(cfg), cancel);
+        if (store_)
+            store_->storeIntervalModel(benchmark, key_hash, model);
+    }
+    {
+        LockGuard lock(interval_mu_);
+        interval_cache_.emplace(key, model);
+    }
+    return model;
+}
+
+DtmReport
+System::runIntervalDtm(const std::string &benchmark, ConfigKind kind,
+                       const DtmOptions &dtm_opts,
+                       const IntervalOptions &iopts,
+                       const CancelToken *cancel)
+{
+    const IntervalModel model = runIntervalFit(benchmark, kind, iopts,
+                                               cancel);
+    // Replay still needs the calibrated power model (the calibration
+    // core run is itself store-cached, so warm runs stay sim-free).
+    ensureCalibrated(cancel);
+    const CoreConfig cfg = makeConfig(kind, lib_);
+    ReplayIntervalSource src(model, cfg);
+    const DtmEngine engine(power_, hotspot_, planar_fp_, stacked_fp_);
+    // Replay pairs the table-lookup core with the vertical-implicit
+    // transient scheme: with the core cost gone, the explicit
+    // stepper's stability-bound microsecond steps would dominate the
+    // fast path, and the implicit scheme removes them for ~100x less
+    // thermal work. Exact anchors measure the combined model +
+    // integrator error, so the substitution is bounded, not assumed.
+    return engine.run(src, benchmark, cfg, configName(kind), dtm_opts,
+                      cancel, TransientScheme::VerticalImplicit);
 }
 
 ThermalReport

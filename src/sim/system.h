@@ -106,6 +106,32 @@ class System
                      const DtmOptions &dtm_opts,
                      const CancelToken *cancel = nullptr);
 
+    /**
+     * Fetch (or fit) the interval model of (benchmark, @p kind's
+     * config-family): memory cache -> store (intervalModelKey) -> one
+     * cycle-accurate fitting run, persisted when a store is configured.
+     * The expensive entry point of the fast path; everything replayed
+     * afterwards reuses the returned model.
+     */
+    IntervalModel runIntervalFit(const std::string &benchmark,
+                                 ConfigKind kind,
+                                 const IntervalOptions &iopts,
+                                 const CancelToken *cancel = nullptr);
+
+    /**
+     * Closed-loop DTM run on the interval fast path: replays the
+     * fitted model of (benchmark, config-family) through the DtmEngine
+     * instead of stepping the cycle-accurate core — 100-1000x faster,
+     * approximate (callers report error bounds against exact anchors;
+     * see runFamilySweep in sim/experiments.h). Replayed reports are
+     * cheap and approximate, so they are neither memoized nor
+     * persisted; only the fitted model is.
+     */
+    DtmReport runIntervalDtm(const std::string &benchmark,
+                             ConfigKind kind, const DtmOptions &dtm_opts,
+                             const IntervalOptions &iopts,
+                             const CancelToken *cancel = nullptr);
+
     /** Thermal analysis of an evaluation. */
     ThermalReport thermal(const Evaluation &eval,
                           double power_scale = 1.0) const;
@@ -172,6 +198,9 @@ class System
     mutable Mutex dtm_mu_;
     mutable std::unordered_map<std::string, DtmReport> // th_lint: excluded(lookup-only cache; never iterated)
         dtm_cache_ TH_GUARDED_BY(dtm_mu_);
+    mutable Mutex interval_mu_;
+    mutable std::unordered_map<std::string, IntervalModel> // th_lint: excluded(lookup-only cache; never iterated)
+        interval_cache_ TH_GUARDED_BY(interval_mu_);
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
 

@@ -20,6 +20,8 @@ namespace {
 constexpr const char *kEntryExt = ".cr";
 /** Extension of committed DtmReport artifacts. */
 constexpr const char *kDtmExt = ".dtm";
+/** Extension of committed IntervalModel artifacts. */
+constexpr const char *kIntervalExt = ".imdl";
 /** Extension quarantined (corrupt) artifacts are renamed to. */
 constexpr const char *kBadExt = ".bad";
 
@@ -85,6 +87,17 @@ ArtifactStore::dtmEntryPath(const std::string &benchmark,
     return (fs::path(opts_.dir) /
             strformat("%s-%016llx%s", sanitize(benchmark).c_str(),
                       static_cast<unsigned long long>(key), kDtmExt))
+        .string();
+}
+
+std::string
+ArtifactStore::intervalEntryPath(const std::string &benchmark,
+                                 std::uint64_t key) const
+{
+    return (fs::path(opts_.dir) /
+            strformat("%s-%016llx%s", sanitize(benchmark).c_str(),
+                      static_cast<unsigned long long>(key),
+                      kIntervalExt))
         .string();
 }
 
@@ -166,6 +179,49 @@ ArtifactStore::readDtmEntry(const std::string &path,
                 return false;
             if (out)
                 *out = r;
+            result_ok = true;
+        }
+    }
+    return meta_ok && result_ok;
+}
+
+bool
+ArtifactStore::readIntervalEntry(const std::string &path,
+                                 const std::string &benchmark,
+                                 std::uint64_t key,
+                                 IntervalModel *out) const
+{
+    std::uint32_t schema = 0;
+    std::string err;
+    ChunkFileReader reader;
+    if (!reader.open(path, kIntervalModelFormatTag, schema, err))
+        return false;
+    if (schema != kStoreSchemaVersion)
+        return false;
+
+    bool meta_ok = false, result_ok = false;
+    std::string tag;
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        const ChunkReader::Next what = reader.next(tag, payload, err);
+        if (what == ChunkReader::Next::End)
+            break;
+        if (what == ChunkReader::Next::Corrupt)
+            return false;
+        if (tag == "META") {
+            Decoder d(payload);
+            const std::string bench = d.str();
+            const std::uint64_t hash = d.u64();
+            if (!d.ok() || bench != benchmark || hash != key)
+                return false;
+            meta_ok = true;
+        } else if (tag == "IMDL") {
+            Decoder d(payload);
+            IntervalModel m;
+            if (!decodeIntervalModel(d, m) || !d.atEnd())
+                return false;
+            if (out)
+                *out = std::move(m);
             result_ok = true;
         }
     }
@@ -279,6 +335,82 @@ ArtifactStore::loadDtmReport(const std::string &benchmark,
     if (!touchEntry(path) && !noteIfRaceLost(path))
         noteTouchFailure(path);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::loadIntervalModel(const std::string &benchmark,
+                                 std::uint64_t key, IntervalModel &out)
+{
+    if (!enabled())
+        return false;
+    const std::string path = intervalEntryPath(benchmark, key);
+
+    LockGuard lock(mu_);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!readIntervalEntry(path, benchmark, key, &out)) {
+        if (noteIfRaceLost(path)) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        warn("artifact store: corrupt entry '%s'; quarantined, "
+             "recomputing", path.c_str());
+        quarantine(path);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!touchEntry(path) && !noteIfRaceLost(path))
+        noteTouchFailure(path);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::storeIntervalModel(const std::string &benchmark,
+                                  std::uint64_t key,
+                                  const IntervalModel &m)
+{
+    if (!enabled())
+        return false;
+    const std::string path = intervalEntryPath(benchmark, key);
+    const std::string tmp = strformat(
+        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(getpid()),
+        static_cast<unsigned long long>(
+            tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+
+    Encoder meta;
+    meta.str(benchmark);
+    meta.u64(key);
+    Encoder body;
+    encodeIntervalModel(body, m);
+
+    LockGuard lock(mu_);
+    ChunkFileWriter writer;
+    bool ok =
+        writer.open(tmp, kIntervalModelFormatTag, kStoreSchemaVersion);
+    ok = ok && writer.chunk("META", meta);
+    ok = ok && writer.chunk("IMDL", body);
+    ok = writer.close() && ok;
+    if (!ok) {
+        warn("artifact store: failed to write '%s'", tmp.c_str());
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec); // Atomic commit.
+    if (ec) {
+        warn("artifact store: cannot commit '%s' (%s)", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    enforceCapLocked();
     return true;
 }
 
@@ -397,7 +529,8 @@ ArtifactStore::list() const
             name.compare(name.size() - 4, 4, kBadExt) == 0;
         const bool core = !bad && p.extension() == kEntryExt;
         const bool dtm = !bad && p.extension() == kDtmExt;
-        if (!bad && !core && !dtm)
+        const bool imdl = !bad && p.extension() == kIntervalExt;
+        if (!bad && !core && !dtm && !imdl)
             continue; // Temp files and strangers.
         Entry e;
         e.path = p.string();
@@ -405,10 +538,11 @@ ArtifactStore::list() const
         std::error_code sec;
         e.bytes = fs::file_size(p, sec);
         e.mtimeNs = mtimeNsOf(p);
-        if (core || dtm) {
+        if (core || dtm || imdl) {
             // Best-effort metadata read (for display only).
-            const char *format =
-                core ? kCoreResultFormatTag : kDtmReportFormatTag;
+            const char *format = core ? kCoreResultFormatTag
+                                 : dtm ? kDtmReportFormatTag
+                                       : kIntervalModelFormatTag;
             std::uint32_t schema = 0;
             std::string err, tag;
             std::vector<std::uint8_t> payload;
@@ -495,12 +629,16 @@ ArtifactStore::verify()
         }
         // Validate against the key encoded in the filename-independent
         // META chunk; an unreadable META yields an empty benchmark and
-        // fails the check below. DTMR entries validate with their own
-        // reader (the format tag distinguishes the two).
-        const bool valid =
-            e.format == kDtmReportFormatTag
-                ? readDtmEntry(e.path, e.benchmark, e.cfgHash, nullptr)
-                : readEntry(e.path, e.benchmark, e.cfgHash, nullptr);
+        // fails the check below. DTMR/IMDL entries validate with their
+        // own readers (the format tag dispatches).
+        bool valid;
+        if (e.format == kDtmReportFormatTag)
+            valid = readDtmEntry(e.path, e.benchmark, e.cfgHash, nullptr);
+        else if (e.format == kIntervalModelFormatTag)
+            valid = readIntervalEntry(e.path, e.benchmark, e.cfgHash,
+                                      nullptr);
+        else
+            valid = readEntry(e.path, e.benchmark, e.cfgHash, nullptr);
         if (!valid) {
             warn("artifact store: '%s' failed verification; "
                  "quarantined", e.path.c_str());
@@ -509,6 +647,32 @@ ArtifactStore::verify()
         }
     }
     return bad;
+}
+
+std::vector<ArtifactStore::Entry>
+ArtifactStore::gcPlan(std::uint64_t max_bytes) const
+{
+    std::vector<Entry> plan;
+    if (!enabled())
+        return plan;
+    LockGuard lock(mu_);
+    std::uint64_t live_bytes = 0;
+    std::vector<Entry> live;
+    for (Entry &e : list()) {
+        if (e.quarantined) {
+            plan.push_back(std::move(e));
+        } else {
+            live_bytes += e.bytes;
+            live.push_back(std::move(e));
+        }
+    }
+    for (Entry &e : live) {
+        if (live_bytes <= max_bytes)
+            break;
+        live_bytes -= e.bytes;
+        plan.push_back(std::move(e));
+    }
+    return plan;
 }
 
 void

@@ -36,6 +36,7 @@
 #include "common/thread_annotations.h"
 #include "core/pipeline.h"
 #include "dtm/engine.h"
+#include "interval/model.h"
 
 namespace th {
 
@@ -53,6 +54,9 @@ inline constexpr const char *kCoreResultFormatTag = "CRES";
 
 /** Container format tag of persisted DtmReport artifacts. */
 inline constexpr const char *kDtmReportFormatTag = "DTMR";
+
+/** Container format tag of persisted IntervalModel artifacts. */
+inline constexpr const char *kIntervalModelFormatTag = "IMDL";
 
 /** Store configuration. */
 struct StoreOptions
@@ -115,6 +119,16 @@ class ArtifactStore
     bool storeDtmReport(const std::string &benchmark, std::uint64_t key,
                         const DtmReport &rep);
 
+    /**
+     * IntervalModel variants — same contract as the CoreResult pair.
+     * @p key is intervalModelKey(cfg, opts) (sim/configs.h): the
+     * config-family hash folded with every fitting knob.
+     */
+    bool loadIntervalModel(const std::string &benchmark,
+                           std::uint64_t key, IntervalModel &out);
+    bool storeIntervalModel(const std::string &benchmark,
+                            std::uint64_t key, const IntervalModel &m);
+
     StoreStats stats() const;
 
     /** One store entry as seen by maintenance commands. */
@@ -126,7 +140,8 @@ class ArtifactStore
         std::uint64_t bytes = 0;
         std::int64_t mtimeNs = 0; ///< For LRU ordering / display.
         bool quarantined = false; ///< *.bad leftover.
-        std::string format;       ///< "CRES"/"DTMR"; "" if unreadable.
+        /** "CRES"/"DTMR"/"IMDL"; "" if unreadable. */
+        std::string format;
     };
 
     /** All entries (valid and quarantined), oldest first. */
@@ -137,6 +152,15 @@ class ArtifactStore
      * total is <= @p max_bytes. Returns the number of files removed.
      */
     int gc(std::uint64_t max_bytes);
+
+    /**
+     * What gc(@p max_bytes) would evict, in eviction order
+     * (quarantined files first, then oldest live entries until the
+     * live total fits), without removing anything — the `store gc
+     * --dry-run` view. Best-effort snapshot: a concurrent writer can
+     * change the real gc's choices.
+     */
+    std::vector<Entry> gcPlan(std::uint64_t max_bytes) const;
 
     /**
      * Re-validate every entry, quarantining corrupt ones.
@@ -159,12 +183,18 @@ class ArtifactStore
                           std::uint64_t cfg_hash) const;
     std::string dtmEntryPath(const std::string &benchmark,
                              std::uint64_t key) const;
+    std::string intervalEntryPath(const std::string &benchmark,
+                                  std::uint64_t key) const;
     bool readEntry(const std::string &path, const std::string &benchmark,
                    std::uint64_t cfg_hash, CoreResult *out) const
         TH_REQUIRES(mu_);
     bool readDtmEntry(const std::string &path,
                       const std::string &benchmark, std::uint64_t key,
                       DtmReport *out) const TH_REQUIRES(mu_);
+    bool readIntervalEntry(const std::string &path,
+                           const std::string &benchmark,
+                           std::uint64_t key, IntervalModel *out) const
+        TH_REQUIRES(mu_);
     void quarantine(const std::string &path) TH_REQUIRES(mu_);
     /** Count a failed touchEntry and warn the first time. */
     void noteTouchFailure(const std::string &path) TH_REQUIRES(mu_);

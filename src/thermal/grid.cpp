@@ -424,6 +424,8 @@ ThermalGrid::solve(SolveStats *stats, const ThermalField *warm_start) const
         stats->iterations = std::min(iter + 1, params_.maxIterations);
         stats->residualK = max_delta;
         stats->vcycles = 0;
+        stats->contraction = 0.0;
+        stats->estErrorK = max_delta;
     }
     return field;
 }
@@ -483,6 +485,8 @@ ThermalGrid::solveMultigrid(SolveStats *stats,
         stats->iterations = ms.cycles;
         stats->residualK = ms.residualK;
         stats->vcycles = ms.cycles;
+        stats->contraction = ms.contraction;
+        stats->estErrorK = ms.estErrorK;
     }
     return field;
 }
@@ -545,6 +549,40 @@ ThermalGrid::transientDt(double dt_s) const
     return dt;
 }
 
+double
+ThermalGrid::transientDtLateral(double dt_s) const
+{
+    if (dt_s <= 0.0)
+        fatal("transient step must be positive (got %g)", dt_s);
+    const Network &net = network();
+    const int n = net.n;
+    double dt = dt_s;
+    for (int l = 0; l < net.nl; ++l) {
+        for (int iy = 0; iy < n; ++iy) {
+            for (int ix = 0; ix < n; ++ix) {
+                const size_t c = net.idx(l, ix, iy);
+                if (net.cap[c] <= 0.0)
+                    continue;
+                // Only the explicitly-integrated lateral couplings
+                // constrain the step; vertical conduction and ambient
+                // convection are handled implicitly.
+                double g = 0.0;
+                if (ix > 0)
+                    g += net.gRight[c - 1];
+                if (ix + 1 < n)
+                    g += net.gRight[c];
+                if (iy > 0)
+                    g += net.gDown[c - n];
+                if (iy + 1 < n)
+                    g += net.gDown[c];
+                if (g > 0.0)
+                    dt = std::min(dt, 0.4 * net.cap[c] / g);
+            }
+        }
+    }
+    return dt;
+}
+
 void
 ThermalGrid::stepOnce(ThermalField &field, std::vector<double> &scratch,
                       double dt_s) const
@@ -602,14 +640,116 @@ ThermalGrid::stepOnce(ThermalField &field, std::vector<double> &scratch,
             field.t(c) += scratch[c];
 }
 
+void
+ThermalGrid::stepOnceVerticalImplicit(ThermalField &field,
+                                      std::vector<double> &scratch,
+                                      double dt_s) const
+{
+    const int n = params_.gridN;
+    const int nl = static_cast<int>(layers_.size());
+    if (field.gridN() != n || field.layers() != nl)
+        fatal("transient field has the wrong geometry");
+
+    const Network &net = network();
+    const size_t cells = static_cast<size_t>(nl) * n * n;
+    const size_t plane = static_cast<size_t>(n) * n;
+    const double inv_dt = 1.0 / dt_s;
+    if (scratch.size() != cells)
+        scratch.assign(cells, 0.0);
+
+    // Explicit right-hand side from the pre-step field: storage term,
+    // lateral flux, the implicit terms' constant parts (ambient sink,
+    // injected power). Evaluated for every material cell before any
+    // column updates, so the scheme reads a consistent time level.
+    for (int l = 0; l < nl; ++l) {
+        for (int iy = 0; iy < n; ++iy) {
+            for (int ix = 0; ix < n; ++ix) {
+                const size_t c = net.idx(l, ix, iy);
+                if (net.cap[c] <= 0.0)
+                    continue;
+                const double t = field.at(l, ix, iy);
+                double rhs = net.cap[c] * inv_dt * t +
+                    net.gAmb[c] * params_.ambientK + net.pIn[c];
+                if (ix > 0)
+                    rhs += net.gRight[c - 1] *
+                        (field.at(l, ix - 1, iy) - t);
+                if (ix + 1 < n)
+                    rhs += net.gRight[c] *
+                        (field.at(l, ix + 1, iy) - t);
+                if (iy > 0)
+                    rhs += net.gDown[c - n] *
+                        (field.at(l, ix, iy - 1) - t);
+                if (iy + 1 < n)
+                    rhs += net.gDown[c] *
+                        (field.at(l, ix, iy + 1) - t);
+                scratch[c] = rhs;
+            }
+        }
+    }
+
+    // Backward-Euler solve of each column's vertical chain:
+    //   (C/dt + gAmb + gUp + gDown) T' - gUp T'_up - gDown T'_dn = rhs.
+    // Air cells become identity rows (their couplings are zero, so the
+    // chain decouples across them exactly like the explicit stepper's
+    // skip). Thomas algorithm; columns are independent and the loop is
+    // serial, so the result is bit-identical for any thread count.
+    std::vector<double> diag(static_cast<size_t>(nl));
+    std::vector<double> upper(static_cast<size_t>(nl));
+    std::vector<double> rhs(static_cast<size_t>(nl));
+    for (int iy = 0; iy < n; ++iy) {
+        for (int ix = 0; ix < n; ++ix) {
+            for (int l = 0; l < nl; ++l) {
+                const size_t c = net.idx(l, ix, iy);
+                const auto li = static_cast<size_t>(l);
+                if (net.cap[c] <= 0.0) {
+                    diag[li] = 1.0;
+                    upper[li] = 0.0;
+                    rhs[li] = field.at(l, ix, iy);
+                    continue;
+                }
+                double d = net.cap[c] * inv_dt + net.gAmb[c];
+                if (l > 0)
+                    d += net.gBelow[c - plane];
+                if (l + 1 < nl)
+                    d += net.gBelow[c];
+                diag[li] = d;
+                upper[li] = l + 1 < nl ? -net.gBelow[c] : 0.0;
+                rhs[li] = scratch[c];
+            }
+            // Forward elimination (the sub-diagonal of row l is the
+            // upper coupling of row l-1 by symmetry), then
+            // back-substitution straight into the field.
+            for (int l = 1; l < nl; ++l) {
+                const auto li = static_cast<size_t>(l);
+                const double w = -upper[li - 1] / diag[li - 1];
+                // w is -sub/diag_prev; sub == upper[li - 1].
+                diag[li] += w * upper[li - 1];
+                rhs[li] += w * rhs[li - 1];
+            }
+            double t_below = rhs[static_cast<size_t>(nl - 1)] /
+                diag[static_cast<size_t>(nl - 1)];
+            field.at(nl - 1, ix, iy) = t_below;
+            for (int l = nl - 2; l >= 0; --l) {
+                const auto li = static_cast<size_t>(l);
+                t_below = (rhs[li] - upper[li] * t_below) / diag[li];
+                field.at(l, ix, iy) = t_below;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // TransientStepper.
 // ---------------------------------------------------------------------
 
 TransientStepper::TransientStepper(const ThermalGrid &grid,
                                    const ThermalField &initial,
-                                   double dt_s)
-    : grid_(&grid), field_(initial), dt_(grid.transientDt(dt_s))
+                                   double dt_s, TransientScheme scheme)
+    : grid_(&grid), field_(initial),
+      dt_(scheme == TransientScheme::VerticalImplicit
+              ? grid.transientDtLateral(dt_s)
+              : grid.transientDt(dt_s)),
+      scheme_(scheme)
 {
     if (initial.gridN() != grid.params().gridN)
         fatal("stepper initial field has the wrong geometry");
@@ -626,8 +766,12 @@ TransientStepper::advance(double duration_s)
     // float error when the target is an exact multiple of dt.
     const auto want =
         static_cast<std::int64_t>(targetS_ / dt_ + 1e-9);
-    for (; steps_ < want; ++steps_)
-        grid_->stepOnce(field_, scratch_, dt_);
+    for (; steps_ < want; ++steps_) {
+        if (scheme_ == TransientScheme::VerticalImplicit)
+            grid_->stepOnceVerticalImplicit(field_, scratch_, dt_);
+        else
+            grid_->stepOnce(field_, scratch_, dt_);
+    }
 }
 
 double

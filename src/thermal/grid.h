@@ -66,6 +66,30 @@ enum class SolverKind {
     Multigrid
 };
 
+/** Transient time-integration scheme. */
+enum class TransientScheme {
+    /**
+     * Explicit Euler over every coupling. Stability clamps the step to
+     * ~C/sum(G) of the stiffest cell; the 70-1000x vertical-to-lateral
+     * conductance ratio of a thinned 3D stack makes that microseconds,
+     * so a millisecond-scale DTM interval costs thousands of steps.
+     */
+    Explicit,
+    /**
+     * IMEX splitting: vertical conduction and ambient convection are
+     * integrated implicitly (one exact tridiagonal solve per (ix, iy)
+     * column — the same line idiom as the multigrid smoother), lateral
+     * conduction explicitly. Unconditionally stable in the stiff
+     * vertical direction, so the step is bounded only by the lateral
+     * stability limit (milliseconds) and accuracy; the DTM replay path
+     * steps at a fixed fraction of its control interval and cuts
+     * transient cost by ~100x. First-order in time like the explicit
+     * scheme; backward-Euler damping drives the fast vertical modes to
+     * their quasi-steady profile, which is also the exact limit.
+     */
+    VerticalImplicit
+};
+
 /** Canonical lowercase wire/CLI name ("sor" / "multigrid"). */
 const char *solverKindName(SolverKind kind);
 
@@ -173,6 +197,14 @@ class ThermalGrid
         double residualK = 0.0;
         /** V-cycle count (0 under SolverKind::Sor). */
         int vcycles = 0;
+
+        /** Final-cycle delta contraction factor (multigrid only; the
+         *  SOR stop test already measures the true max cell move). */
+        double contraction = 0.0;
+        /** Geometric-series error-to-fixed-point bound in kelvin:
+         *  residualK under SOR, delta * rho / (1 - rho) under
+         *  multigrid (see MgSolver::Stats). */
+        double estErrorK = 0.0;
     };
 
     /**
@@ -221,6 +253,14 @@ class ThermalGrid
     double transientDt(double dt_s) const;
 
     /**
+     * Step bound of TransientScheme::VerticalImplicit: only the
+     * explicitly-integrated lateral conductances constrain dt, so the
+     * bound is dt <= 0.4 * C / sum(G_lateral) per material cell —
+     * typically 1000x the full explicit bound on a thinned stack.
+     */
+    double transientDtLateral(double dt_s) const;
+
+    /**
      * One explicit-Euler step of @p dt_s seconds under the currently
      * deposited power: T += dt/C * (sum G*(Tn - T) + P). @p scratch is
      * resized on demand and reused across calls. @p dt_s must respect
@@ -228,6 +268,20 @@ class ThermalGrid
      */
     void stepOnce(ThermalField &field, std::vector<double> &scratch,
                   double dt_s) const;
+
+    /**
+     * One TransientScheme::VerticalImplicit step of @p dt_s seconds:
+     * lateral flux from the pre-step field plus injected power form
+     * the explicit right-hand side, then every (ix, iy) column is
+     * advanced by one backward-Euler solve of its vertical
+     * conduction + ambient convection chain (Thomas algorithm). Air
+     * cells hold their temperature, exactly like stepOnce(). @p dt_s
+     * must respect transientDtLateral(). Deterministic for any thread
+     * count (the column loop is serial; columns are independent).
+     */
+    void stepOnceVerticalImplicit(ThermalField &field,
+                                  std::vector<double> &scratch,
+                                  double dt_s) const;
 
     /**
      * Area-weighted average and peak temperature of a chip-coordinate
@@ -323,10 +377,13 @@ class TransientStepper
     /**
      * @param grid     The network to step (borrowed).
      * @param initial  Starting field; must match the grid's geometry.
-     * @param dt_s     Requested step, clamped via transientDt().
+     * @param dt_s     Requested step, clamped via transientDt() (or
+     *                 transientDtLateral() under VerticalImplicit).
+     * @param scheme   Time integrator (see TransientScheme).
      */
     TransientStepper(const ThermalGrid &grid, const ThermalField &initial,
-                     double dt_s);
+                     double dt_s,
+                     TransientScheme scheme = TransientScheme::Explicit);
 
     /** March forward by @p duration_s seconds of simulated time. */
     void advance(double duration_s);
@@ -342,6 +399,7 @@ class TransientStepper
     ThermalField field_;
     std::vector<double> scratch_;
     double dt_;
+    TransientScheme scheme_;
     double targetS_ = 0.0;
     std::int64_t steps_ = 0;
 };

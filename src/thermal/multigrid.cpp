@@ -424,11 +424,25 @@ MgSolver::solve()
 {
     Stats s;
     double delta = 0.0;
+    double prev = 0.0;
     for (int k = 0; k < mp_.maxCycles; ++k) {
         delta = cycle();
         s.cycles = k + 1;
-        if (delta < mp_.toleranceK)
+        // Geometric-series error bound: with per-cycle contraction
+        // rho, the remaining distance to the fixed point is at most
+        // delta * rho / (1 - rho). Requiring the bound (not just the
+        // raw delta) under toleranceK makes the stop test never
+        // looser than the legacy delta test. rho is clamped below 1
+        // so a transient non-contracting cycle keeps iterating
+        // instead of dividing by zero.
+        const double rho = prev > 0.0
+            ? std::min(std::max(delta / prev, 0.0), 0.99)
+            : 0.0;
+        s.contraction = rho;
+        s.estErrorK = delta * rho / (1.0 - rho);
+        if (delta < mp_.toleranceK && s.estErrorK < mp_.toleranceK)
             break;
+        prev = delta;
     }
     s.residualK = delta;
     return s;

@@ -166,6 +166,18 @@ class MgSolver
     {
         int cycles = 0;
         double residualK = 0.0; ///< Final fine smoothing delta (K).
+
+        /**
+         * Per-cycle delta contraction factor rho observed at the final
+         * cycle (0 when only one cycle ran). For a linearly converging
+         * iteration the distance to the fixed point is bounded by
+         * delta * rho / (1 - rho), so estErrorK — that bound — is
+         * what solve() tests against toleranceK: the raw delta alone
+         * understates the true error by 1 / (1 - rho), a ~1.5x gap at
+         * the W-cycle's typical rho ~0.35.
+         */
+        double contraction = 0.0;
+        double estErrorK = 0.0; ///< delta * rho / (1 - rho) bound (K).
     };
 
     /**

@@ -184,6 +184,91 @@ TEST(TransientStepper, MatchesSolveTransientFinalField)
                 tr.final.peak(grid.dieLayers()), 1e-9);
 }
 
+TEST(TransientStepper, VerticalImplicitSplitAdvancesMatchBitForBit)
+{
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 0.0, 0.0, 6.0, 6.0, 15.0);
+    const ThermalField init(p.gridN, 10, p.ambientK);
+
+    TransientStepper one(grid, init, 5e-4,
+                         TransientScheme::VerticalImplicit);
+    one.advance(0.02);
+
+    TransientStepper split(grid, init, 5e-4,
+                           TransientScheme::VerticalImplicit);
+    for (int i = 0; i < 10; ++i)
+        split.advance(0.002);
+
+    EXPECT_EQ(one.steps(), split.steps());
+    const ThermalField &a = one.field();
+    const ThermalField &b = split.field();
+    for (int l = 0; l < 10; ++l)
+        for (int y = 0; y < p.gridN; ++y)
+            for (int x = 0; x < p.gridN; ++x)
+                ASSERT_EQ(a.at(l, y, x), b.at(l, y, x))
+                    << "layer " << l << " y " << y << " x " << x;
+}
+
+TEST(TransientStepper, VerticalImplicitTracksExplicitTrajectory)
+{
+    // The implicit scheme exists so DTM replay can take control-
+    // interval-scale steps instead of stability-bound microsecond
+    // ones; it only earns that if the resolved trajectory matches in
+    // the regime the engine actually runs it: starting from the
+    // free-running steady field with modest per-interval power deltas
+    // (not a from-ambient shock, whose initial ramp a large first-
+    // order step legitimately smooths). Perturb the power 25% up from
+    // steady and march both schemes, the implicit one at ~20x the
+    // explicit stability step, requiring die-peak agreement well
+    // under the fast path's 1 K anchor bound.
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 1.0, 1.0, 4.0, 4.0, 12.0);
+    const ThermalField steady = grid.solve();
+    const std::vector<int> dies = grid.dieLayers();
+
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 1.0, 1.0, 4.0, 4.0, 3.0); // +25%
+    TransientStepper explicit_s(grid, steady, 1e-4);
+    TransientStepper implicit_s(grid, steady, 5e-4,
+                                TransientScheme::VerticalImplicit);
+    EXPECT_GT(implicit_s.dtS(), 20 * explicit_s.dtS())
+        << "implicit step should dwarf the explicit stability clamp";
+    for (int i = 0; i < 5; ++i) {
+        explicit_s.advance(0.004);
+        implicit_s.advance(0.004);
+        EXPECT_NEAR(implicit_s.field().peak(dies),
+                    explicit_s.field().peak(dies), 0.1)
+            << "diverged by " << implicit_s.timeS() << " s";
+    }
+}
+
+TEST(TransientStepper, VerticalImplicitHoldsSteadyState)
+{
+    // Same fixed-point property as the explicit scheme: backward
+    // Euler's fixed points are exactly the steady equations', so
+    // starting on the SOR answer must stay there even at a step far
+    // beyond the explicit stability limit.
+    const ThermalParams p = fastParams();
+    ThermalGrid grid = stackedGrid(p);
+    for (int d = 0; d < kNumDies; ++d)
+        grid.addPower(d, 1.0, 1.0, 4.0, 4.0, 12.0);
+    const ThermalField steady = grid.solve();
+    const double steady_peak = steady.peak(grid.dieLayers());
+
+    TransientStepper stepper(grid, steady, 1e-3,
+                             TransientScheme::VerticalImplicit);
+    for (int i = 0; i < 10; ++i) {
+        stepper.advance(0.005);
+        EXPECT_NEAR(stepper.field().peak(grid.dieLayers()),
+                    steady_peak, 0.25)
+            << "drifted after " << stepper.timeS() << " s";
+    }
+}
+
 TEST(TransientStepper, SteadyStateIsAFixedPointUnderConstantPower)
 {
     // The copper sink's time constant is tens of seconds, so marching

@@ -586,6 +586,29 @@ coverageRules()
          {{"encodeDtmReport", "src/io/serialize.cpp"},
           {"decodeDtmReport", "src/io/serialize.cpp"}},
          "serializer-coverage"},
+        {"IntervalOptions", "src/interval/model.h",
+         {{"intervalModelKey", "src/sim/configs.cpp"}},
+         "hash-coverage"},
+        {"IntervalModel", "src/interval/model.h",
+         {{"encodeIntervalModel", "src/io/serialize.cpp"},
+          {"decodeIntervalModel", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"IntervalPhase", "src/interval/model.h",
+         {{"encodeIntervalModel", "src/io/serialize.cpp"},
+          {"decodeIntervalModel", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"IntervalTick", "src/interval/model.h",
+         {{"encodeIntervalModel", "src/io/serialize.cpp"},
+          {"decodeIntervalModel", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"IntervalThrottlePoint", "src/interval/model.h",
+         {{"encodeThrottleTable", "src/io/serialize.cpp"},
+          {"decodeThrottleTable", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"IntervalThrottleBin", "src/interval/model.h",
+         {{"encodeIntervalModel", "src/io/serialize.cpp"},
+          {"decodeIntervalModel", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
         {"SimRequest", "src/io/request.h",
          {{"encodeSimRequest", "src/io/serialize.cpp"},
           {"decodeSimRequest", "src/io/serialize.cpp"}},
@@ -680,8 +703,9 @@ sourcesUnder(const std::string &root, const std::string &rel)
 // Check 2: determinism in result-producing directories
 // --------------------------------------------------------------------
 
-const char *const kResultDirs[] = {"src/core", "src/thermal",
-                                   "src/power", "src/dtm", "src/sim"};
+const char *const kResultDirs[] = {"src/core",     "src/thermal",
+                                   "src/power",    "src/dtm",
+                                   "src/interval", "src/sim"};
 
 bool
 isBannedRandomIdent(const std::string &t)

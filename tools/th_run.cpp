@@ -13,7 +13,10 @@
  *   th_run trace info <file.thtrace>
  *   th_run trace run <file.thtrace> [--config NAME] [--insts N]
  *          [--warmup N]
- *   th_run store ls|gc|verify [--dir DIR] [--max-bytes N]
+ *   th_run fit [--benchmarks b] [--config NAME]
+ *   th_run sweep --fast|--exact [--trigger-lo K] [--trigger-hi K]
+ *          [--trigger-steps N] [--anchor-stride N]
+ *   th_run store ls|gc|verify [--dir DIR] [--max-bytes N] [--dry-run]
  *   th_run <cmd> --connect host:port   # run against a th_serve server
  *   th_run ping|metrics --connect host:port
  *   th_run --version
@@ -29,10 +32,12 @@
  * whichever System did the work).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -78,6 +83,21 @@ struct Args
     std::uint64_t grid = 0;
     std::string solver; ///< "" = DtmOptions default (sor).
 
+    // Interval fast-path knobs.
+    bool fast = false;      ///< dtm/sweep: replay fitted models.
+    bool exact = false;     ///< sweep: exact family sweep (baseline).
+    bool configGiven = false; ///< --config was passed explicitly.
+    // 0 = keep the FamilySweepOptions / IntervalOptions default.
+    double triggerLo = 0.0;
+    double triggerHi = 0.0;
+    std::uint64_t triggerSteps = 0;
+    std::uint64_t anchorStride = 0;
+    std::uint64_t fitCycles = 0;
+    std::uint64_t fitInterval = 0;
+
+    // Store maintenance.
+    bool dryRun = false; ///< store gc: print the plan, evict nothing.
+
     // Client mode ("" = run locally).
     std::string connect;
     std::uint64_t deadlineMs = 0;
@@ -99,9 +119,16 @@ usage(const char *msg = nullptr)
         "  th_run dtm [--benchmarks b] [--policy none|clockgate|fetch]\n"
         "         [--trigger K] [--intervals N] [--interval-cycles N]\n"
         "         [--dilation X] [--grid N] [--solver sor|multigrid]\n"
-        "         [--store DIR]\n"
+        "         [--store DIR] [--fast]\n"
+        "  th_run fit [--benchmarks b] [--config NAME] [--fit-cycles N]\n"
+        "         [--fit-interval N] [--store DIR]\n"
+        "  th_run sweep --fast|--exact [--benchmarks b] [--config NAME]\n"
+        "         [--trigger-lo K] [--trigger-hi K] [--trigger-steps N]\n"
+        "         [--anchor-stride N] [--fit-cycles N] [--fit-interval N]\n"
+        "         [--intervals N] [--interval-cycles N] [--grid N]\n"
         "  th_run core [--benchmarks b] [--config NAME]\n"
         "  th_run store ls|gc|verify [--dir DIR] [--max-bytes N]\n"
+        "         [--dry-run]\n"
         "  th_run <experiment> --connect host:port [--deadline-ms N]\n"
         "  th_run ping|metrics --connect host:port\n"
         "  th_run --version\n"
@@ -110,7 +137,10 @@ usage(const char *msg = nullptr)
         "TH_STORE_DIR when set; a warm re-run then skips simulation.\n"
         "th_run dtm compares closed-loop thermal throttling on the\n"
         "planar, naive-3D, and 3D+herding designs; with a store, a warm\n"
-        "rerun replays the cached reports without any simulation.\n");
+        "rerun replays the cached reports without any simulation.\n"
+        "th_run fit builds a config-family interval model; sweep --fast\n"
+        "replays it over a (policy x trigger) DTM grid with measured\n"
+        "error bounds; sweep --exact runs the same grid cycle-exactly.\n");
     std::exit(2);
 }
 
@@ -149,9 +179,10 @@ parseArgs(int argc, char **argv)
         };
         if (a == "--benchmarks")
             args.benchmarks = value("--benchmarks");
-        else if (a == "--config")
+        else if (a == "--config") {
             args.config = value("--config");
-        else if (a == "--store" || a == "--dir")
+            args.configGiven = true;
+        } else if (a == "--store" || a == "--dir")
             args.dir = value(a.c_str());
         else if (a == "--insts")
             args.insts = parseU64(value("--insts"), "--insts");
@@ -176,6 +207,27 @@ parseArgs(int argc, char **argv)
             args.dilation = parseF64(value("--dilation"), "--dilation");
         else if (a == "--grid")
             args.grid = parseU64(value("--grid"), "--grid");
+        else if (a == "--fast")
+            args.fast = true;
+        else if (a == "--exact")
+            args.exact = true;
+        else if (a == "--dry-run")
+            args.dryRun = true;
+        else if (a == "--trigger-lo")
+            args.triggerLo = parseF64(value("--trigger-lo"), "--trigger-lo");
+        else if (a == "--trigger-hi")
+            args.triggerHi = parseF64(value("--trigger-hi"), "--trigger-hi");
+        else if (a == "--trigger-steps")
+            args.triggerSteps =
+                parseU64(value("--trigger-steps"), "--trigger-steps");
+        else if (a == "--anchor-stride")
+            args.anchorStride =
+                parseU64(value("--anchor-stride"), "--anchor-stride");
+        else if (a == "--fit-cycles")
+            args.fitCycles = parseU64(value("--fit-cycles"), "--fit-cycles");
+        else if (a == "--fit-interval")
+            args.fitInterval =
+                parseU64(value("--fit-interval"), "--fit-interval");
         else if (a == "--connect")
             args.connect = value("--connect");
         else if (a == "--deadline-ms")
@@ -323,25 +375,120 @@ dtmOptionsOf(const Args &args)
     return opts;
 }
 
-int
-cmdDtm(const Args &args)
+/** Resolve the single --benchmarks entry of @p cmd (default mpeg2). */
+std::string
+singleBenchmark(const Args &args, const char *cmd)
 {
-    System sys = makeSystem(args);
-    const DtmOptions opts = dtmOptionsOf(args);
-
     const std::vector<std::string> benchmarks =
         splitList(args.benchmarks);
     if (benchmarks.size() > 1)
-        usage("dtm takes a single --benchmarks entry");
+        usage(strformat("%s takes a single --benchmarks entry",
+                        cmd).c_str());
     const std::string benchmark =
         benchmarks.empty() ? System::kPowerReferenceBenchmark
                            : benchmarks[0];
     if (!hasBenchmark(benchmark))
         usage(strformat("unknown benchmark '%s'",
                         benchmark.c_str()).c_str());
+    return benchmark;
+}
 
-    const DtmStudyData data = runDtmStudy(sys, benchmark, opts);
+IntervalOptions
+intervalOptionsOf(const Args &args)
+{
+    IntervalOptions iopts;
+    if (args.fitCycles > 0)
+        iopts.fitCycles = args.fitCycles;
+    if (args.fitInterval > 0)
+        iopts.fitIntervalCycles = args.fitInterval;
+    return iopts;
+}
+
+int
+cmdDtm(const Args &args)
+{
+    System sys = makeSystem(args);
+    const DtmOptions opts = dtmOptionsOf(args);
+    const std::string benchmark = singleBenchmark(args, "dtm");
+
+    // --fast replays fitted interval models instead of stepping the
+    // cycle-accurate core; the report grows a measured error line. The
+    // default path is byte-identical to before the fast path existed.
+    const DtmStudyData data = args.fast
+        ? runDtmStudyFast(sys, benchmark, opts, intervalOptionsOf(args))
+        : runDtmStudy(sys, benchmark, opts);
     std::fputs(renderDtm(data, opts).c_str(), stdout);
+    printCounters(sys);
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// Interval fast-path commands.
+// -------------------------------------------------------------------
+
+/** The config a family command targets: --config, else the naive 3D
+ *  stack (the family that actually trips DTM across the sweep). */
+ConfigKind
+familyConfigOf(const Args &args)
+{
+    return args.configGiven ? configByName(args.config)
+                            : ConfigKind::ThreeDNoTH;
+}
+
+int
+cmdFit(const Args &args)
+{
+    System sys = makeSystem(args);
+    const std::string benchmark = singleBenchmark(args, "fit");
+    const ConfigKind kind = familyConfigOf(args);
+    const IntervalModel m =
+        sys.runIntervalFit(benchmark, kind, intervalOptionsOf(args));
+    std::printf("fitted %s on %s: %zu phases over %llu cycles "
+                "(%llu instructions), family %016llx\n",
+                benchmark.c_str(), configName(kind), m.phases.size(),
+                (unsigned long long)m.totalCycles,
+                (unsigned long long)m.totalInstructions,
+                (unsigned long long)m.familyHash);
+    printCounters(sys);
+    return 0;
+}
+
+int
+cmdFamilySweep(const Args &args)
+{
+    System sys = makeSystem(args);
+    const std::string benchmark = singleBenchmark(args, "sweep");
+
+    FamilySweepOptions opts;
+    opts.fast = !args.exact;
+    opts.config = familyConfigOf(args);
+    opts.dtm = dtmOptionsOf(args);
+    // The family grid steps the transient solver hundreds of times;
+    // default to a coarse thermal grid unless --grid asks otherwise
+    // (applied to both modes so fast and exact stay comparable).
+    if (args.grid == 0)
+        opts.dtm.gridN = 8;
+    if (args.triggerLo > 0.0)
+        opts.triggerLoK = args.triggerLo;
+    if (args.triggerHi > 0.0)
+        opts.triggerHiK = args.triggerHi;
+    if (args.triggerSteps > 0)
+        opts.triggerSteps = static_cast<int>(args.triggerSteps);
+    if (args.anchorStride > 0)
+        opts.anchorStride = static_cast<int>(args.anchorStride);
+    opts.interval = intervalOptionsOf(args);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const FamilySweepData data = runFamilySweep(sys, benchmark, opts);
+    const auto t1 = std::chrono::steady_clock::now();
+    std::fputs(renderFamilySweep(data, opts).c_str(), stdout);
+    // Wall-clock lives here in the tools layer, outside the
+    // deterministic renderers; CI's speedup assertion greps this line.
+    std::printf("sweep wall ms: %lld\n",
+                static_cast<long long>(
+                    std::chrono::duration_cast<std::chrono::milliseconds>(
+                        t1 - t0)
+                        .count()));
     printCounters(sys);
     return 0;
 }
@@ -538,6 +685,7 @@ cmdClient(const Args &args)
         req.dtmDilation = args.dilation;
         req.dtmGridN = static_cast<std::uint32_t>(args.grid);
         req.dtmSolver = args.solver;
+        req.fastPath = args.fast ? 1 : 0;
         return callServer(client, req, args);
     }
     usage(strformat("command '%s' cannot run against a server",
@@ -573,6 +721,8 @@ cmdStore(const Args &args)
     if (what == "ls") {
         Table t({"Benchmark", "Config hash", "Format", "Bytes", "State"});
         std::uint64_t total = 0;
+        std::size_t entries = 0;
+        std::map<std::string, int> kinds; // Sorted: stable output.
         for (const auto &e : store.list()) {
             t.addRow({e.benchmark.empty() ? "?" : e.benchmark,
                       e.quarantined
@@ -582,14 +732,39 @@ cmdStore(const Args &args)
                       e.format.empty() ? "?" : e.format,
                       std::to_string(e.bytes),
                       e.quarantined ? "quarantined" : "ok"});
+            ++kinds[e.format.empty() ? "?" : e.format];
             total += e.bytes;
+            ++entries;
         }
         t.print(std::cout);
-        std::printf("%zu entries, %llu bytes in %s\n", store.list().size(),
+        std::string by_kind;
+        for (const auto &[kind, n] : kinds)
+            by_kind += strformat("%s%s %d", by_kind.empty() ? "" : ", ",
+                                 kind.c_str(), n);
+        if (!by_kind.empty())
+            std::printf("formats: %s\n", by_kind.c_str());
+        std::printf("%zu entries, %llu bytes in %s\n", entries,
                     (unsigned long long)total, opts.dir.c_str());
         return 0;
     }
     if (what == "gc") {
+        if (args.dryRun) {
+            const auto plan = store.gcPlan(args.maxBytes);
+            std::uint64_t bytes = 0;
+            for (const auto &e : plan) {
+                std::printf("would evict %s (%s, %llu bytes, %s)\n",
+                            e.path.c_str(),
+                            e.format.empty() ? "?" : e.format.c_str(),
+                            (unsigned long long)e.bytes,
+                            e.quarantined ? "quarantined" : "ok");
+                bytes += e.bytes;
+            }
+            std::printf("gc --dry-run: would remove %zu files, %llu "
+                        "bytes (cap %llu bytes)\n",
+                        plan.size(), (unsigned long long)bytes,
+                        (unsigned long long)args.maxBytes);
+            return 0;
+        }
         const int removed = store.gc(args.maxBytes);
         std::printf("gc: removed %d files (cap %llu bytes)\n", removed,
                     (unsigned long long)args.maxBytes);
@@ -620,6 +795,11 @@ main(int argc, char **argv)
     if (cmd == "ping" || cmd == "metrics")
         usage(strformat("'%s' needs --connect host:port",
                         cmd.c_str()).c_str());
+    if (cmd == "sweep" && (args.fast || args.exact)) {
+        if (args.fast && args.exact)
+            usage("sweep takes --fast or --exact, not both");
+        return cmdFamilySweep(args);
+    }
     if (cmd == "fig8" || cmd == "fig9" || cmd == "fig10" ||
         cmd == "width" || cmd == "sweep")
         return cmdExperiment(cmd, args);
@@ -627,6 +807,8 @@ main(int argc, char **argv)
         return cmdCore(args);
     if (cmd == "dtm")
         return cmdDtm(args);
+    if (cmd == "fit")
+        return cmdFit(args);
     if (cmd == "trace") {
         if (args.pos.size() < 2)
             usage("trace needs a subcommand (record, info, run)");
