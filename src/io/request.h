@@ -22,8 +22,9 @@
 namespace th {
 
 /** Schema version of the SimRequest/SimResponse encodings.
- *  v2: SimRequest grew dtmSolver. v3: SimRequest grew fastPath. */
-inline constexpr std::uint32_t kWireSchemaVersion = 3;
+ *  v2: SimRequest grew dtmSolver. v3: SimRequest grew fastPath.
+ *  v4: SimStatus grew Unavailable (cluster mode: shard down). */
+inline constexpr std::uint32_t kWireSchemaVersion = 4;
 
 /** What the client is asking the server to do. */
 enum class SimRequestKind : std::uint8_t {
@@ -48,6 +49,8 @@ enum class SimStatus : std::uint8_t {
     DeadlineExceeded = 3, ///< Deadline elapsed before completion.
     ShuttingDown = 4,     ///< Server is draining; no new work admitted.
     Internal = 5,         ///< Unexpected server-side failure.
+    Unavailable = 6,      ///< Cluster mode: the shard owning this key is
+                          ///< down (reconnect backoff in progress).
 };
 
 /** Name of a status ("ok", "overloaded", ...). */

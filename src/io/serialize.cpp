@@ -479,6 +479,7 @@ simStatusName(SimStatus s)
     case SimStatus::DeadlineExceeded: return "deadline-exceeded";
     case SimStatus::ShuttingDown:     return "shutting-down";
     case SimStatus::Internal:         return "internal";
+    case SimStatus::Unavailable:      return "unavailable";
     }
     return "unknown";
 }
@@ -548,7 +549,7 @@ bool
 decodeSimResponse(Decoder &dec, SimResponse &rsp)
 {
     const std::uint8_t status = dec.u8();
-    if (status > static_cast<std::uint8_t>(SimStatus::Internal))
+    if (status > static_cast<std::uint8_t>(SimStatus::Unavailable))
         return false;
     rsp.status = static_cast<SimStatus>(status);
     rsp.error = dec.str();

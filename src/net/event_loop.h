@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Readiness-driven connection front-end for the TSRV protocol. One
+ * epoll thread owns every accepted connection: it accepts, performs
+ * the handshake, assembles CRC-framed request chunks from the read
+ * buffer, and hands complete SimRequests to an EventHandler. Replies
+ * are appended to a per-connection write buffer and flushed on
+ * writability, so a slow reader never blocks anything but its own
+ * socket. An idle connection costs a registered fd and two small
+ * buffers — never a thread.
+ *
+ * Threading contract:
+ *  - handler callbacks (onRequest / onDeadline / onConnClosed /
+ *    badFrameResponse) run on the loop thread and must not block;
+ *  - postResponse() is thread-safe and is how worker threads deliver
+ *    the result of an Async dispatch;
+ *  - the busy/drain invariant: a connection is busy from the moment a
+ *    complete frame is consumed (including a bad frame that provokes
+ *    an error reply) until its reply bytes are fully flushed.
+ *    waitQuiescent() blocks on a condition variable until no
+ *    connection is busy, so drain can never truncate an in-flight
+ *    reply and never spins.
+ */
+
+#ifndef TH_NET_EVENT_LOOP_H
+#define TH_NET_EVENT_LOOP_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_annotations.h"
+#include "io/request.h"
+#include "net/socket.h"
+
+namespace th {
+
+/** Consumer of decoded requests arriving on an EventLoop. */
+class EventHandler
+{
+  public:
+    virtual ~EventHandler() = default;
+
+    /** How onRequest disposed of a request. */
+    enum class Dispatch {
+        Reply, ///< @p rsp is filled; the loop sends it now.
+        Async, ///< Handler will postResponse(conn_id) later.
+    };
+
+    /**
+     * One complete request arrived on @p conn_id (loop thread; must
+     * not block). Exactly one response per request: either fill
+     * @p rsp and return Reply, or return Async and deliver through
+     * EventLoop::postResponse.
+     */
+    virtual Dispatch onRequest(std::uint64_t conn_id, SimRequest &&req,
+                               SimResponse &rsp) = 0;
+
+    /**
+     * A corrupt/unparseable frame arrived; fill the best-effort error
+     * reply that is sent before the connection is hung up (the chunk
+     * stream cannot be resynchronized).
+     */
+    virtual void badFrameResponse(std::uint64_t conn_id,
+                                  const std::string &err,
+                                  SimResponse &rsp) = 0;
+
+    /**
+     * The deadline armed for @p conn_id's pending request fired before
+     * a response was posted (loop thread). The handler must eventually
+     * postResponse for the connection (typically right here).
+     */
+    virtual void onDeadline(std::uint64_t /*conn_id*/) {}
+
+    /**
+     * @p conn_id closed (peer hung up or drain cut it) while a request
+     * was pending; the handler should drop any waiter state it holds.
+     * postResponse to a dead id is a safe no-op either way.
+     */
+    virtual void onConnClosed(std::uint64_t /*conn_id*/) {}
+};
+
+/**
+ * The epoll loop. Lifecycle: construct, start() with a listening fd
+ * (borrowed, not owned), then stopAccepting() / waitQuiescent() /
+ * closeAllConns() / stop() in drain order. All public methods are
+ * thread-safe.
+ */
+class EventLoop
+{
+  public:
+    /**
+     * @param handler  Receives decoded requests; outlives the loop.
+     * @param build    Build string sent in this side's HELO.
+     */
+    EventLoop(EventHandler &handler, std::string build);
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /**
+     * Launch the loop thread over @p listen_fd (stays owned by the
+     * caller's Listener; the loop only polls and accepts on it).
+     */
+    bool start(int listen_fd, std::string &err);
+
+    /** Deregister the listener: no further connections are accepted. */
+    void stopAccepting();
+
+    /**
+     * Deliver the response of an Async dispatch. Wakes the loop; a
+     * no-op if the connection died in the meantime.
+     */
+    void postResponse(std::uint64_t conn_id, SimResponse rsp);
+
+    /**
+     * Arm a one-shot deadline for @p conn_id's pending request; fires
+     * handler.onDeadline unless a response is posted first. Loop
+     * thread only (call from inside onRequest).
+     */
+    void armDeadline(std::uint64_t conn_id, std::uint32_t ms);
+
+    /**
+     * Block until no connection is busy (no pending request, no
+     * unflushed reply bytes) and no queued completions remain. CV-
+     * based — drain does not burn a core waiting.
+     */
+    void waitQuiescent();
+
+    /** Shut down and discard every connection (after waitQuiescent). */
+    void closeAllConns();
+
+    /** Stop and join the loop thread. Idempotent. */
+    void stop();
+
+    /** Live connection count (gauge; for tests and metrics). */
+    std::uint64_t connCount() const { return conn_count_.load(); }
+
+  private:
+    /** Per-connection state; owned and touched by the loop thread only. */
+    struct Conn
+    {
+        std::uint64_t id = 0;
+        Socket sock;
+        std::vector<std::uint8_t> inbuf;
+        std::vector<std::uint8_t> outbuf;
+        std::size_t out_off = 0; ///< Flushed prefix of outbuf.
+        bool hello_done = false; ///< Peer's container header + HELO seen.
+        bool header_done = false; ///< Peer's container header seen.
+        bool pending = false;    ///< A dispatched request awaits its reply.
+        bool close_after_flush = false;
+        bool want_write = false; ///< EPOLLOUT currently armed.
+        bool reading = true;     ///< EPOLLIN currently armed.
+        std::uint64_t generation = 0; ///< Invalidates stale timers.
+    };
+
+    /** Cross-thread ops executed on the loop thread. */
+    struct Op
+    {
+        enum class Kind { Response, StopAccept, CloseAll } kind;
+        std::uint64_t conn_id = 0;
+        SimResponse rsp;
+    };
+
+    /** An armed deadline (min-sorted scan; at most one per conn). */
+    struct Timer
+    {
+        std::chrono::steady_clock::time_point when;
+        std::uint64_t conn_id;
+        std::uint64_t generation;
+    };
+
+    void loop();
+    void wake();
+    void acceptReady();
+    void readReady(Conn &c);
+    void writeReady(Conn &c);
+    /** Parse complete frames out of c.inbuf; dispatch at most one. */
+    void parseFrames(Conn &c);
+    /** Serialize @p rsp and append its SRSP frame to c.outbuf. */
+    void enqueueResponse(Conn &c, const SimResponse &rsp);
+    void flush(Conn &c);
+    void updateInterest(Conn &c);
+    void destroyConn(std::uint64_t id, bool notify_handler);
+    void runOps();
+    void fireTimers();
+    /** Next timer expiry as an epoll timeout (ms; -1 = none). */
+    int timeoutMs() const;
+    bool connBusy(const Conn &c) const;
+    /** Notify waitQuiescent waiters if nothing is busy. */
+    void checkQuiescent();
+
+    EventHandler &handler_;
+    const std::string build_;
+    std::vector<std::uint8_t> hello_bytes_; ///< Header + HELO, precomputed.
+
+    int epoll_fd_ = -1;
+    int wake_fd_ = -1;
+    int listen_fd_ = -1;
+    bool accepting_ = false;
+
+    std::map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+    std::uint64_t next_conn_id_ = 2; ///< 0/1 reserved for listener/wake.
+    std::atomic<std::uint64_t> conn_count_{0};
+    std::vector<Timer> timers_;
+
+    Mutex ops_mu_;
+    std::vector<Op> ops_ TH_GUARDED_BY(ops_mu_);
+
+    Mutex quiesce_mu_;
+    /// _any variant: waits on the annotated th::UniqueLock.
+    std::condition_variable_any quiesce_cv_;
+    int quiesce_waiters_ TH_GUARDED_BY(quiesce_mu_) = 0;
+    bool quiescent_ TH_GUARDED_BY(quiesce_mu_) = false;
+
+    std::thread thread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopped_{false};
+};
+
+} // namespace th
+
+#endif // TH_NET_EVENT_LOOP_H

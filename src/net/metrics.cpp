@@ -12,9 +12,8 @@ void ServerMetrics::sampleLatencyUs(std::uint64_t micros)
     latency_.sample(micros);
 }
 
-std::string ServerMetrics::renderText(const System &sys,
-                                      std::uint64_t in_flight,
-                                      std::uint64_t queue_depth) const
+std::string ServerMetrics::renderCounters(std::uint64_t in_flight,
+                                          std::uint64_t queue_depth) const
 {
     std::uint64_t count, p50, p99;
     {
@@ -37,6 +36,15 @@ std::string ServerMetrics::renderText(const System &sys,
     os << "latency_samples " << count << '\n';
     os << "latency_p50_us_le " << p50 << '\n';
     os << "latency_p99_us_le " << p99 << '\n';
+    return os.str();
+}
+
+std::string ServerMetrics::renderText(const System &sys,
+                                      std::uint64_t in_flight,
+                                      std::uint64_t queue_depth) const
+{
+    std::ostringstream os;
+    os << renderCounters(in_flight, queue_depth);
 
     System::CacheStats cache = sys.coreCacheStats();
     os << "core_cache_hits " << cache.hits << '\n';

@@ -63,6 +63,14 @@ class ServerMetrics
     std::string renderText(const System &sys, std::uint64_t in_flight,
                            std::uint64_t queue_depth) const;
 
+    /**
+     * The request-counter and latency block alone, without the System
+     * cache/store lines — the router has no System of its own and
+     * renders its backends' snapshots instead.
+     */
+    std::string renderCounters(std::uint64_t in_flight,
+                               std::uint64_t queue_depth) const;
+
   private:
     std::atomic<std::uint64_t> requests_served_{0};
     std::atomic<std::uint64_t> dedup_hits_{0};

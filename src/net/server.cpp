@@ -1,6 +1,6 @@
 #include "net/server.h"
 
-#include <chrono>
+#include <climits>
 #include <utility>
 
 #include "common/version.h"
@@ -29,7 +29,9 @@ bool configKindByName(const std::string &name, ConfigKind &out)
     return false;
 }
 
-/** Map request DTM knobs onto DtmOptions (0 / empty = defaults). */
+/** Map request DTM knobs onto DtmOptions (0 / empty = defaults).
+ *  The narrowing casts are safe because validate() rejected anything
+ *  above INT_MAX before the request was admitted. */
 DtmOptions dtmOptionsFrom(const SimRequest &req)
 {
     DtmOptions opts;
@@ -53,7 +55,7 @@ DtmOptions dtmOptionsFrom(const SimRequest &req)
 } // namespace
 
 SimServer::SimServer(const ServerOptions &opts)
-    : opts_(opts), queue_(opts.queueCapacity)
+    : opts_(opts), loop_(*this, buildInfo()), queue_(opts.queueCapacity)
 {
     LockGuard lock(pause_mu_);
     paused_ = opts.startWorkersPaused;
@@ -73,10 +75,11 @@ bool SimServer::start(std::string &err)
     sys_ = std::make_unique<System>(opts_.sim);
     if (!listener_.listenOn(opts_.host, opts_.port, err))
         return false;
+    if (!loop_.start(listener_.fd(), err))
+        return false;
     const int n = opts_.workers < 1 ? 1 : opts_.workers;
     for (int i = 0; i < n; ++i)
         workers_.emplace_back([this] { workerLoop(); });
-    acceptor_ = std::thread([this] { acceptLoop(); });
     return true;
 }
 
@@ -91,40 +94,24 @@ void SimServer::shutdown()
         return;
     // Ordering matters. (1) Flag the drain so request handlers answer
     // ShuttingDown; (2) stop accepting; (3) close the queue — workers
-    // finish every already-admitted simulation, publish its result,
-    // then exit; (4) with all flights resolved, kick idle connection
-    // reads and join the connection threads.
+    // finish every already-admitted simulation, publish its result to
+    // the waiting connections, then exit; (4) wait (CV, not a spin)
+    // until the event loop has flushed every reply — structured error
+    // replies included — then cut the sockets and stop the loop.
     draining_.store(true);
+    loop_.stopAccepting();
     listener_.close();
-    if (acceptor_.joinable())
-        acceptor_.join();
     queue_.close();
     resumeWorkers(); // a paused pool must not deadlock the drain
     for (std::thread &w : workers_)
         if (w.joinable())
             w.join();
-    // Workers published every flight's result, but a connection thread
-    // may still be between waking on its flight and writing the reply.
-    // Wait for those replies to hit the wire before cutting sockets;
-    // this terminates because every flight is resolved by now, so no
-    // handler can block again.
-    for (;;) {
-        bool any_busy = false;
-        {
-            LockGuard lock(conns_mu_);
-            for (const std::unique_ptr<Conn> &c : conns_)
-                any_busy = any_busy || c->busy.load();
-        }
-        if (!any_busy)
-            break;
-        std::this_thread::yield();
-    }
-    {
-        LockGuard lock(conns_mu_);
-        for (const std::unique_ptr<Conn> &c : conns_)
-            c->wire->shutdownBoth();
-    }
-    reapConns(true);
+    // Every flight is resolved; its responses may still be queued or
+    // buffered. The loop signals quiescence once nothing is pending
+    // and every write buffer is empty, so no reply is ever truncated.
+    loop_.waitQuiescent();
+    loop_.closeAllConns();
+    loop_.stop();
 }
 
 void SimServer::resumeWorkers()
@@ -143,95 +130,56 @@ void SimServer::waitUntilResumed()
         pause_cv_.wait(lock);
 }
 
-void SimServer::acceptLoop()
+void SimServer::badFrameResponse(std::uint64_t, const std::string &err,
+                                 SimResponse &rsp)
 {
-    for (;;) {
-        Socket s = listener_.accept();
-        if (!s.valid())
-            break; // listener closed: drain in progress
-        if (draining_.load())
-            continue; // refuse late arrivals; RAII closes the socket
-        auto conn = std::make_unique<Conn>();
-        conn->wire = std::make_shared<WireConn>(std::move(s));
-        Conn *c = conn.get();
-        {
-            LockGuard lock(conns_mu_);
-            conns_.push_back(std::move(conn));
-        }
-        c->thread = std::thread([this, c] {
-            connLoop(c);
-            c->finished.store(true);
-        });
-        reapConns(false);
-    }
+    // Corrupt/oversize/garbage frame: say why, then the loop hangs
+    // up — the stream cannot be resynchronized.
+    metrics_.noteBadRequest();
+    rsp.status = SimStatus::BadRequest;
+    rsp.error = err;
 }
 
-void SimServer::connLoop(Conn *conn)
+EventHandler::Dispatch SimServer::onRequest(std::uint64_t conn_id,
+                                            SimRequest &&req,
+                                            SimResponse &rsp)
 {
     using Clock = std::chrono::steady_clock;
-    WireConn &wire = *conn->wire;
-    std::string peer_build, err;
-    if (!wire.helloAsServer(buildInfo(), peer_build, err))
-        return;
-    for (;;) {
-        SimRequest req;
-        bool clean_eof = false;
-        if (!wire.recvRequest(req, clean_eof, err)) {
-            if (!clean_eof) {
-                // Corrupt/oversize/garbage frame: try to say why, then
-                // hang up — the stream cannot be resynchronized.
-                metrics_.noteBadRequest();
-                SimResponse rsp;
-                rsp.status = SimStatus::BadRequest;
-                rsp.error = err;
-                wire.sendResponse(rsp);
-            }
-            break;
-        }
-        conn->busy.store(true);
-        const Clock::time_point t0 = Clock::now();
-        const SimResponse rsp = handle(req);
+    const Clock::time_point t0 = Clock::now();
+    auto replied = [&] {
         const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
                             Clock::now() - t0)
                             .count();
         metrics_.sampleLatencyUs(static_cast<std::uint64_t>(us));
         metrics_.noteServed();
-        const bool sent = wire.sendResponse(rsp);
-        conn->busy.store(false);
-        if (!sent)
-            break;
-    }
-}
-
-SimResponse SimServer::handle(const SimRequest &req)
-{
-    SimResponse rsp;
+        return Dispatch::Reply;
+    };
 
     std::string verr;
     if (!validate(req, verr)) {
         metrics_.noteBadRequest();
         rsp.status = SimStatus::BadRequest;
         rsp.error = verr;
-        return rsp;
+        return replied();
     }
 
     // Control-plane kinds are answered inline — they must work even
     // when the admission queue is full or the server is draining.
     if (req.kind == SimRequestKind::Ping) {
         rsp.text = std::string(buildInfo()) + "\n";
-        return rsp;
+        return replied();
     }
     if (req.kind == SimRequestKind::Metrics) {
         rsp.text = metrics_.renderText(*sys_, in_flight_.load(),
                                        queue_.size());
-        return rsp;
+        return replied();
     }
 
     if (draining_.load()) {
         metrics_.noteRejectedShutdown();
         rsp.status = SimStatus::ShuttingDown;
         rsp.error = "server is draining";
-        return rsp;
+        return replied();
     }
 
     // Single-flight: identical requests (deadline aside) coalesce onto
@@ -254,27 +202,28 @@ SimResponse SimServer::handle(const SimRequest &req)
     if (!created)
         metrics_.noteDedupHit();
     {
-        LockGuard lock(flight->mu);
-        ++flight->waiters;
+        LockGuard lock(pending_mu_);
+        pending_.emplace(conn_id, Pending{flight, key, t0});
     }
+    {
+        LockGuard lock(flight->mu);
+        flight->waiters.push_back(conn_id);
+    }
+    if (req.deadlineMs != 0)
+        loop_.armDeadline(conn_id, req.deadlineMs);
 
     if (created) {
         Work work;
         work.flight = flight;
-        work.request = req;
+        work.request = std::move(req);
         work.key = key;
         if (!queue_.tryPush(std::move(work))) {
             // Admission failed. Other requests may already have
             // attached to this flight, so publish the rejection as the
             // flight's result instead of just erasing it — every
-            // waiter (including us, below) receives the structured
-            // reject and nobody blocks on a flight that never runs.
-            {
-                LockGuard lock(flights_mu_);
-                auto it = flights_.find(key);
-                if (it != flights_.end() && it->second == flight)
-                    flights_.erase(it);
-            }
+            // waiter (including this connection) receives the
+            // structured reject and nobody waits on a flight that
+            // never runs.
             SimResponse reject;
             if (draining_.load()) {
                 metrics_.noteRejectedShutdown();
@@ -287,58 +236,137 @@ SimResponse SimServer::handle(const SimRequest &req)
                                std::to_string(queue_.capacity()) +
                                "); retry later";
             }
-            {
-                LockGuard lock(flight->mu);
-                flight->result = std::move(reject);
-                flight->done = true;
-            }
-            flight->cv.notify_all();
+            publishFlight(flight, key, reject);
         }
     }
+    return Dispatch::Async;
+}
 
-    // Wait for the flight's result, bounded by this request's deadline.
-    using Clock = std::chrono::steady_clock;
-    const Clock::time_point deadline =
-        Clock::now() + std::chrono::milliseconds(req.deadlineMs);
-    bool expired = false;
+void SimServer::onDeadline(std::uint64_t conn_id)
+{
+    std::shared_ptr<Flight> flight;
+    Pending entry;
     bool last_waiter = false;
     {
-        UniqueLock lock(flight->mu);
-        while (!flight->done) {
-            if (req.deadlineMs == 0) {
-                flight->cv.wait(lock);
-            } else if (flight->cv.wait_until(lock, deadline) ==
-                           std::cv_status::timeout &&
-                       !flight->done) {
-                --flight->waiters;
-                last_waiter = flight->waiters == 0;
-                expired = true;
-                break;
+        LockGuard lock(pending_mu_);
+        auto it = pending_.find(conn_id);
+        if (it == pending_.end())
+            return; // answered in the same loop round
+        flight = it->second.flight;
+        {
+            LockGuard flock(flight->mu);
+            if (flight->done)
+                return; // result published; delivery is on its way
+            auto &w = flight->waiters;
+            for (auto wit = w.begin(); wit != w.end(); ++wit) {
+                if (*wit == conn_id) {
+                    w.erase(wit);
+                    break;
+                }
+            }
+            last_waiter = w.empty();
+        }
+        entry = it->second;
+        pending_.erase(it);
+    }
+    if (last_waiter) {
+        // Nobody wants this result anymore: fire the token so the
+        // cycle loop unwinds, and unmap the key immediately so a
+        // fresh request starts a fresh (uncancelled) flight.
+        flight->cancel.cancel();
+        LockGuard lock(flights_mu_);
+        auto it = flights_.find(entry.key);
+        if (it != flights_.end() && it->second == flight)
+            flights_.erase(it);
+    }
+    metrics_.noteDeadlineExpired();
+    SimResponse rsp;
+    rsp.status = SimStatus::DeadlineExceeded;
+    rsp.error = "deadline expired before the simulation completed";
+    finishRequest(conn_id, entry, rsp);
+}
+
+void SimServer::onConnClosed(std::uint64_t conn_id)
+{
+    // The peer vanished mid-flight: detach its waiter; if it was the
+    // last one, cancel the simulation nobody is waiting for.
+    std::shared_ptr<Flight> flight;
+    std::string key;
+    bool last_waiter = false;
+    {
+        LockGuard lock(pending_mu_);
+        auto it = pending_.find(conn_id);
+        if (it == pending_.end())
+            return;
+        flight = it->second.flight;
+        key = it->second.key;
+        {
+            LockGuard flock(flight->mu);
+            if (!flight->done) {
+                auto &w = flight->waiters;
+                for (auto wit = w.begin(); wit != w.end(); ++wit) {
+                    if (*wit == conn_id) {
+                        w.erase(wit);
+                        break;
+                    }
+                }
+                last_waiter = w.empty();
             }
         }
-        if (!expired) {
-            rsp = flight->result;
-            --flight->waiters;
-        }
+        pending_.erase(it);
     }
-    if (expired) {
-        if (last_waiter) {
-            // Nobody wants this result anymore: fire the token so the
-            // cycle loop unwinds, and unmap the key immediately so a
-            // fresh request starts a fresh (uncancelled) flight.
-            flight->cancel.cancel();
-            LockGuard lock(flights_mu_);
-            auto it = flights_.find(key);
-            if (it != flights_.end() && it->second == flight)
-                flights_.erase(it);
-        }
-        metrics_.noteDeadlineExpired();
-        rsp.status = SimStatus::DeadlineExceeded;
-        rsp.error = "deadline of " + std::to_string(req.deadlineMs) +
-                    " ms elapsed before the simulation completed";
-        rsp.text.clear();
+    if (last_waiter) {
+        flight->cancel.cancel();
+        LockGuard lock(flights_mu_);
+        auto it = flights_.find(key);
+        if (it != flights_.end() && it->second == flight)
+            flights_.erase(it);
     }
-    return rsp;
+}
+
+void SimServer::finishRequest(std::uint64_t conn_id, const Pending &p,
+                              const SimResponse &rsp)
+{
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - p.t0)
+                        .count();
+    metrics_.sampleLatencyUs(static_cast<std::uint64_t>(us));
+    metrics_.noteServed();
+    loop_.postResponse(conn_id, rsp);
+}
+
+void SimServer::publishFlight(const std::shared_ptr<Flight> &flight,
+                              const std::string &key,
+                              const SimResponse &rsp)
+{
+    // Unmap BEFORE publishing: once a waiter sees its response it may
+    // immediately send another identical request, and that one must
+    // start a fresh flight (the System memo/store answers it
+    // instantly) rather than attach to this finished one.
+    {
+        LockGuard lock(flights_mu_);
+        auto it = flights_.find(key);
+        if (it != flights_.end() && it->second == flight)
+            flights_.erase(it);
+    }
+    std::vector<std::uint64_t> waiters;
+    {
+        LockGuard lock(flight->mu);
+        flight->done = true;
+        waiters.swap(flight->waiters);
+    }
+    for (std::uint64_t conn_id : waiters) {
+        Pending entry;
+        {
+            LockGuard lock(pending_mu_);
+            auto it = pending_.find(conn_id);
+            if (it == pending_.end())
+                continue; // deadline or disconnect beat us to it
+            entry = it->second;
+            pending_.erase(it);
+        }
+        finishRequest(conn_id, entry, rsp);
+    }
 }
 
 bool SimServer::validate(const SimRequest &req, std::string &err) const
@@ -399,6 +427,20 @@ bool SimServer::validate(const SimRequest &req, std::string &err) const
             !solverKindByName(req.dtmSolver, &solver)) {
             err = "unknown solver '" + req.dtmSolver +
                   "' (sor, multigrid)";
+            return false;
+        }
+        // The wire carries these as unsigned; DtmOptions holds ints. A
+        // hostile value above INT_MAX would wrap negative through the
+        // narrowing cast and sail past the > 0 default-selection
+        // guards, so reject it here with a structured error.
+        if (req.dtmIntervals > static_cast<std::uint32_t>(INT_MAX)) {
+            err = "dtmIntervals " + std::to_string(req.dtmIntervals) +
+                  " out of range (max " + std::to_string(INT_MAX) + ")";
+            return false;
+        }
+        if (req.dtmGridN > static_cast<std::uint32_t>(INT_MAX)) {
+            err = "dtmGridN " + std::to_string(req.dtmGridN) +
+                  " out of range (max " + std::to_string(INT_MAX) + ")";
             return false;
         }
     }
@@ -486,43 +528,9 @@ void SimServer::workerLoop()
                 rsp.error = e.what();
             }
         }
-        {
-            // Unmap BEFORE publishing: once a waiter sees done it may
-            // immediately send another identical request, and that one
-            // must start a fresh flight (the System memo/store answers
-            // it instantly) rather than attach to this finished one.
-            LockGuard lock(flights_mu_);
-            auto it = flights_.find(work.key);
-            if (it != flights_.end() && it->second == work.flight)
-                flights_.erase(it);
-        }
-        {
-            LockGuard lock(work.flight->mu);
-            work.flight->result = std::move(rsp);
-            work.flight->done = true;
-        }
-        work.flight->cv.notify_all();
+        publishFlight(work.flight, work.key, rsp);
         in_flight_.fetch_sub(1);
     }
-}
-
-void SimServer::reapConns(bool all)
-{
-    std::list<std::unique_ptr<Conn>> dead;
-    {
-        LockGuard lock(conns_mu_);
-        for (auto it = conns_.begin(); it != conns_.end();) {
-            if (all || (*it)->finished.load()) {
-                dead.push_back(std::move(*it));
-                it = conns_.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
-    for (const std::unique_ptr<Conn> &c : dead)
-        if (c->thread.joinable())
-            c->thread.join();
 }
 
 } // namespace th

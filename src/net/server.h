@@ -8,21 +8,25 @@
  * returning (never abandons a waiter).
  *
  * Concurrency shape:
- *  - one acceptor thread, one thread per connection (requests on a
- *    connection are served in order, as the protocol requires);
- *  - a Flight per distinct simulation key; connection threads wait on
- *    the Flight, worker threads run it and publish the result;
- *  - deadline expiry cancels the underlying simulation only when the
- *    last waiter gives up (a CancelToken polled by the cycle loop).
+ *  - one epoll event-loop thread (net/event_loop.h) owns every
+ *    connection: idle connections cost a registered fd, not a thread,
+ *    and replies are buffered/flushed on writability so a slow reader
+ *    never blocks a worker;
+ *  - a Flight per distinct simulation key; connections attach to the
+ *    Flight as waiters, worker threads run it and publish the result
+ *    back to each waiting connection through the loop;
+ *  - deadline expiry is an event-loop timer; the underlying simulation
+ *    is cancelled only when the last waiter gives up (a CancelToken
+ *    polled by the cycle loop).
  */
 
 #ifndef TH_NET_SERVER_H
 #define TH_NET_SERVER_H
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
-#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -32,6 +36,7 @@
 #include "common/bounded_queue.h"
 #include "common/cancel.h"
 #include "common/thread_annotations.h"
+#include "net/event_loop.h"
 #include "net/metrics.h"
 #include "net/protocol.h"
 #include "sim/system.h"
@@ -58,16 +63,16 @@ struct ServerOptions
     bool startWorkersPaused = false;
 };
 
-class SimServer
+class SimServer : public EventHandler
 {
   public:
     explicit SimServer(const ServerOptions &opts);
-    ~SimServer();
+    ~SimServer() override;
 
     SimServer(const SimServer &) = delete;
     SimServer &operator=(const SimServer &) = delete;
 
-    /** Bind, listen, and launch the worker/acceptor threads. */
+    /** Bind, listen, and launch the event loop + worker threads. */
     bool start(std::string &err);
 
     /** The bound port (after start(); resolves ephemeral requests). */
@@ -76,8 +81,10 @@ class SimServer
     /**
      * Graceful drain: stop accepting connections and admitting work,
      * answer queued-behind requests with ShuttingDown, finish every
-     * admitted simulation and deliver its responses, then tear down
-     * connections. Idempotent; safe from a signal-watcher thread.
+     * admitted simulation, wait (on a condition variable, not a spin)
+     * until every reply — including error replies — is flushed, then
+     * tear down connections. Idempotent; safe from a signal-watcher
+     * thread.
      */
     void shutdown();
 
@@ -87,22 +94,30 @@ class SimServer
     const ServerMetrics &metrics() const { return metrics_; }
     /** The server-owned System (tests compare its counters). */
     System &system() { return *sys_; }
+    /** Live connection count (tests assert no thread-per-connection). */
+    std::uint64_t connCount() const { return loop_.connCount(); }
+
+    // EventHandler interface (event-loop thread).
+    Dispatch onRequest(std::uint64_t conn_id, SimRequest &&req,
+                       SimResponse &rsp) override;
+    void badFrameResponse(std::uint64_t conn_id, const std::string &err,
+                          SimResponse &rsp) override;
+    void onDeadline(std::uint64_t conn_id) override;
+    void onConnClosed(std::uint64_t conn_id) override;
 
   private:
     /**
      * One coalesced simulation: the first request creates it, identical
      * concurrent requests attach as extra waiters, a worker publishes
-     * the shared result.
+     * the shared result to every waiting connection.
      */
     struct Flight
     {
         CancelToken cancel;
         Mutex mu;
-        /// _any variant: waits on the annotated th::UniqueLock.
-        std::condition_variable_any cv;
         bool done TH_GUARDED_BY(mu) = false;
-        SimResponse result TH_GUARDED_BY(mu);
-        int waiters TH_GUARDED_BY(mu) = 0;
+        /** Connections awaiting this flight's result. */
+        std::vector<std::uint64_t> waiters TH_GUARDED_BY(mu);
     };
 
     /** One admitted work item: the flight plus its representative request. */
@@ -113,38 +128,37 @@ class SimServer
         std::string key;
     };
 
-    /** One accepted connection and the thread serving it. */
-    struct Conn
+    /** Book-keeping for one connection's in-flight request. */
+    struct Pending
     {
-        std::shared_ptr<WireConn> wire;
-        std::thread thread;
-        std::atomic<bool> finished{false};
-        /** True between receiving a request and sending its response;
-         *  shutdown() waits for this to clear before cutting the
-         *  socket, so an in-flight reply is never truncated. */
-        std::atomic<bool> busy{false};
+        std::shared_ptr<Flight> flight;
+        std::string key;
+        std::chrono::steady_clock::time_point t0;
     };
 
-    void acceptLoop();
-    void connLoop(Conn *conn);
     void workerLoop();
     /** Park until resumeWorkers() when started paused. */
     void waitUntilResumed();
 
-    /** Full request lifecycle: validate, coalesce, wait, reply. */
-    SimResponse handle(const SimRequest &req);
     /** Semantic validation; false fills @p err. */
     bool validate(const SimRequest &req, std::string &err) const;
     /** Execute the simulation behind @p req (worker thread). */
     SimResponse execute(const SimRequest &req, const CancelToken *cancel);
-
-    /** Join and drop connection threads that have finished. */
-    void reapConns(bool all);
+    /**
+     * Unmap @p key, mark @p flight done, and deliver @p rsp to every
+     * waiting connection (any thread).
+     */
+    void publishFlight(const std::shared_ptr<Flight> &flight,
+                       const std::string &key, const SimResponse &rsp);
+    /** Deliver @p rsp to @p conn_id, sampling served/latency metrics. */
+    void finishRequest(std::uint64_t conn_id, const Pending &p,
+                       const SimResponse &rsp);
 
     ServerOptions opts_;
     std::unique_ptr<System> sys_;
     ServerMetrics metrics_;
     Listener listener_;
+    EventLoop loop_;
     BoundedQueue<Work> queue_;
 
     std::atomic<bool> draining_{false};
@@ -159,11 +173,10 @@ class SimServer
     std::map<std::string, std::shared_ptr<Flight>>
         flights_ TH_GUARDED_BY(flights_mu_);
 
-    Mutex conns_mu_;
-    std::list<std::unique_ptr<Conn>> conns_ TH_GUARDED_BY(conns_mu_);
+    Mutex pending_mu_;
+    std::map<std::uint64_t, Pending> pending_ TH_GUARDED_BY(pending_mu_);
 
     std::vector<std::thread> workers_;
-    std::thread acceptor_;
     std::atomic<bool> started_{false};
     std::atomic<bool> stopped_{false};
 };

@@ -86,6 +86,9 @@ class Listener
     void close();
 
     bool listening() const { return fd_.load() >= 0; }
+    /** The listening descriptor (for event-loop registration); -1 when
+     *  closed. Borrowed — the Listener keeps ownership. */
+    int fd() const { return fd_.load(); }
     /** The bound port (resolved after listenOn with port 0). */
     std::uint16_t port() const { return port_; }
 

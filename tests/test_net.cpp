@@ -15,12 +15,18 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <climits>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
+#include <sys/resource.h>
+
 #include "common/version.h"
+#include "io/serialize.h"
 #include "net/client.h"
+#include "net/protocol.h"
 #include "net/server.h"
 #include "sim/report.h"
 
@@ -377,6 +383,181 @@ TEST(NetTest, MetricsSnapshotExposesTheServingCounters)
         EXPECT_NE(rsp.text.find(key), std::string::npos)
             << "metrics text lacks '" << key << "':\n" << rsp.text;
     EXPECT_NE(rsp.text.find("simulations_run 1\n"), std::string::npos);
+}
+
+TEST(NetTest, HostileDtmKnobsAreRejectedNotWrapped)
+{
+    // Workers stay parked: validation rejects run inline on the event
+    // loop, and the boundary probe below must never actually execute.
+    ServerOptions opts = testOptionsNoStore();
+    opts.startWorkersPaused = true;
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+
+    // Regression: dtmIntervals/dtmGridN ride the wire as u32 but land
+    // in int-typed DtmOptions fields. A value above INT_MAX used to
+    // wrap negative through the narrowing cast, sail past the "> 0"
+    // default-selection guards, and reach the engine. It must be a
+    // structured reject instead.
+    SimRequest req;
+    req.kind = SimRequestKind::Dtm;
+    req.dtmIntervals = static_cast<std::uint32_t>(INT_MAX) + 1u;
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(req, rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+    EXPECT_NE(rsp.error.find("out of range"), std::string::npos)
+        << rsp.error;
+
+    req.dtmIntervals = 0;
+    req.dtmGridN = 0xFFFFFFFFu;
+    ASSERT_TRUE(client.call(req, rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+    EXPECT_NE(rsp.error.find("out of range"), std::string::npos)
+        << rsp.error;
+
+    // Nothing hostile reached the worker pool.
+    EXPECT_EQ(server.metrics().simulationsRun(), 0u);
+
+    // The exact INT_MAX boundary passes validation (the guard rejects
+    // only values that would wrap). The request is admitted against
+    // the parked pool and its 1 ms deadline abandons it — cancelled,
+    // never executed — so the probe is cheap.
+    req.dtmGridN = static_cast<std::uint32_t>(INT_MAX);
+    req.deadlineMs = 1;
+    ASSERT_TRUE(client.call(req, rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::DeadlineExceeded) << rsp.error;
+    EXPECT_EQ(server.metrics().simulationsRun(), 0u);
+}
+
+TEST(NetTest, ShutdownDoesNotTruncateErrorReplyInFlight)
+{
+    SimServer server(testOptionsNoStore());
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    Socket sock = Socket::connectTo("127.0.0.1", server.port(), err);
+    ASSERT_TRUE(sock.valid()) << err;
+
+    // Handshake plus one deliberately corrupted request frame, crafted
+    // as raw bytes: flipping the last payload byte breaks the CRC.
+    MemSink out;
+    ChunkWriter writer(out);
+    ASSERT_TRUE(writer.begin(kServerFormatTag, kWireSchemaVersion));
+    Encoder hello;
+    hello.str("drain-race-regression");
+    ASSERT_TRUE(writer.chunk(kHelloTag, hello));
+    Encoder body;
+    encodeSimRequest(body, SimRequest{});
+    ASSERT_TRUE(writer.chunk(kRequestTag, body));
+    out.data().back() ^= 0x01;
+    SocketSink sink(sock);
+    ASSERT_TRUE(sink.write(out.data().data(), out.data().size()));
+
+    // The loop counts the bad request before the error reply reaches
+    // the connection's write buffer; once the counter ticks the reply
+    // is in flight.
+    ASSERT_TRUE(waitFor([&] {
+        return server.metrics().badRequests() == 1;
+    }));
+
+    // Regression: the reply write used to run with the connection not
+    // marked busy, so a concurrent drain could cut the socket mid-way
+    // through the error reply. The drain must flush it completely.
+    server.shutdown();
+
+    // Read the server's whole stream (header + HELO + the reply); the
+    // drain's teardown provides the EOF.
+    std::vector<std::uint8_t> bytes(64 * 1024);
+    SocketSource source(sock);
+    bytes.resize(source.read(bytes.data(), bytes.size()));
+    ASSERT_GT(bytes.size(), 0u) << "error reply was dropped entirely";
+
+    MemSource replay(bytes);
+    ChunkReader reader(replay);
+    std::uint32_t schema = 0;
+    ASSERT_TRUE(reader.readHeader(kServerFormatTag, schema, err)) << err;
+    std::string tag;
+    std::vector<std::uint8_t> payload;
+    ASSERT_EQ(reader.next(tag, payload, err), ChunkReader::Next::Chunk)
+        << err;
+    ASSERT_EQ(tag, kHelloTag);
+    ASSERT_EQ(reader.next(tag, payload, err), ChunkReader::Next::Chunk)
+        << "error reply truncated by the drain: " << err;
+    ASSERT_EQ(tag, kResponseTag);
+    Decoder dec(payload);
+    SimResponse rsp;
+    ASSERT_TRUE(decodeSimResponse(dec, rsp));
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+    EXPECT_FALSE(rsp.error.empty());
+}
+
+/** Live thread count of this process (Linux: /proc/self/task). */
+int
+countThreads()
+{
+    DIR *dir = ::opendir("/proc/self/task");
+    if (dir == nullptr)
+        return -1;
+    int n = 0;
+    while (dirent *entry = ::readdir(dir))
+        if (entry->d_name[0] != '.')
+            ++n;
+    ::closedir(dir);
+    return n;
+}
+
+TEST(NetTest, IdleConnectionsCostNoThreads)
+{
+    // ~1000 client sockets plus their server-side peers; make sure the
+    // fd budget allows it before committing to the assertion.
+    constexpr int kConns = 1000;
+    rlimit rl{};
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &rl), 0);
+    if (rl.rlim_cur < 2 * kConns + 128) {
+        rl.rlim_cur = 2 * kConns + 128;
+        if (rl.rlim_max != RLIM_INFINITY && rl.rlim_cur > rl.rlim_max)
+            rl.rlim_cur = rl.rlim_max;
+        if (::setrlimit(RLIMIT_NOFILE, &rl) != 0 ||
+            rl.rlim_cur < 2 * kConns + 128)
+            GTEST_SKIP() << "RLIMIT_NOFILE too low for " << kConns
+                         << " connections";
+    }
+
+    ServerOptions opts = testOptionsNoStore();
+    opts.workers = 2;
+    SimServer server(opts);
+    std::string err;
+    ASSERT_TRUE(server.start(err)) << err;
+
+    const int threads_before = countThreads();
+    ASSERT_GT(threads_before, 0);
+
+    std::vector<Socket> conns;
+    conns.reserve(kConns);
+    for (int i = 0; i < kConns; ++i) {
+        Socket s = Socket::connectTo("127.0.0.1", server.port(), err);
+        ASSERT_TRUE(s.valid()) << "connection " << i << ": " << err;
+        conns.push_back(std::move(s));
+    }
+    ASSERT_TRUE(waitFor([&] {
+        return server.connCount() >= static_cast<std::uint64_t>(kConns);
+    })) << "accepted " << server.connCount() << " of " << kConns;
+
+    // The whole point of the event loop: an idle connection is a
+    // registered fd, not a parked thread.
+    EXPECT_EQ(countThreads(), threads_before);
+
+    // And the loop still serves real traffic among the idle herd.
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), err)) << err;
+    SimRequest ping;
+    ping.kind = SimRequestKind::Ping;
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(ping, rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::Ok);
 }
 
 } // namespace

@@ -1,0 +1,301 @@
+/**
+ * Cluster-mode loopback tests: real SimServer backends plus a real
+ * RouterServer front-end, all in-process on ephemeral ports. Covers
+ * the cluster acceptance contract — routed responses are byte-
+ * identical to direct local runs, identical requests from many clients
+ * coalesce onto one shard's single flight (cluster-wide dedup), a dead
+ * shard is a structured Unavailable reply with reconnect backoff
+ * (never a hang), and the router aggregates every shard's metrics.
+ *
+ * routeOf() makes the placement tests deterministic: the test asks the
+ * ring where a request will land instead of guessing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "net/router.h"
+#include "net/server.h"
+#include "sim/report.h"
+#include "trace/suites.h"
+
+namespace th {
+namespace {
+
+/** Backend options sized for test speed (see test_net.cpp). */
+ServerOptions
+backendOptions()
+{
+    ::unsetenv("TH_STORE_DIR");
+    ServerOptions opts;
+    opts.host = "127.0.0.1";
+    opts.port = 0;
+    opts.sim.instructions = 20000;
+    opts.sim.warmupInstructions = 5000;
+    return opts;
+}
+
+/** A Core request for @p benchmark on @p config. */
+SimRequest
+coreRequest(const std::string &benchmark, const std::string &config)
+{
+    SimRequest req;
+    req.kind = SimRequestKind::Core;
+    req.benchmarks = {benchmark};
+    req.config = config;
+    return req;
+}
+
+/** Spin until @p cond or @p ms elapse; true when the condition held. */
+template <typename Cond>
+bool
+waitFor(Cond cond, int ms = 5000)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    while (!cond()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return true;
+}
+
+/** Two started backends plus a started router in front of them. */
+struct Cluster
+{
+    std::unique_ptr<SimServer> backends[2];
+    std::unique_ptr<RouterServer> router;
+
+    bool start(ServerOptions backend_opts, RouterOptions router_opts,
+               std::string &err)
+    {
+        for (auto &b : backends) {
+            b = std::make_unique<SimServer>(backend_opts);
+            if (!b->start(err))
+                return false;
+            router_opts.backends.push_back(
+                "127.0.0.1:" + std::to_string(b->port()));
+        }
+        router_opts.host = "127.0.0.1";
+        router_opts.port = 0;
+        router = std::make_unique<RouterServer>(router_opts);
+        return router->start(err);
+    }
+};
+
+/**
+ * A registered benchmark whose Core/@p config request the router
+ * places on shard @p want. The ring hashes the backends' ephemeral
+ * ports, so placement varies per run — scanning the full registry
+ * (~100 profiles) makes a miss practically impossible.
+ */
+std::string
+benchmarkOnShard(const RouterServer &router, std::size_t want,
+                 const std::string &config)
+{
+    for (const BenchmarkProfile &p : allBenchmarks())
+        if (router.routeOf(coreRequest(p.name, config)) == want)
+            return p.name;
+    return "";
+}
+
+TEST(RouterTest, RoutedRunIsByteIdenticalToDirectRun)
+{
+    const ServerOptions opts = backendOptions();
+    Cluster cluster;
+    std::string err;
+    ASSERT_TRUE(cluster.start(opts, RouterOptions{}, err)) << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", cluster.router->port(), err))
+        << err;
+
+    // One benchmark per shard, so the test exercises both routes.
+    for (std::size_t shard : {std::size_t{0}, std::size_t{1}}) {
+        const std::string bench =
+            benchmarkOnShard(*cluster.router, shard, "TH");
+        ASSERT_FALSE(bench.empty()) << "no candidate routed to " << shard;
+        SimResponse rsp;
+        ASSERT_TRUE(client.call(coreRequest(bench, "TH"), rsp, err)) << err;
+        ASSERT_EQ(rsp.status, SimStatus::Ok) << rsp.error;
+
+        System direct(opts.sim);
+        const CoreResult r = direct.runCore(bench, ConfigKind::TH);
+        EXPECT_EQ(rsp.text, renderCoreRun(bench, "TH", r))
+            << "routed bytes diverge for " << bench;
+        EXPECT_EQ(cluster.backends[shard]->metrics().simulationsRun(), 1u)
+            << bench << " did not land on the predicted shard";
+    }
+
+    // A structured backend error also passes through byte-exactly.
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(coreRequest("no-such-app", "Base"), rsp, err));
+    EXPECT_EQ(rsp.status, SimStatus::BadRequest);
+    EXPECT_NE(rsp.error.find("unknown benchmark"), std::string::npos);
+}
+
+TEST(RouterTest, IdenticalRequestsFromManyClientsCoalesceOnOneShard)
+{
+    ServerOptions opts = backendOptions();
+    opts.startWorkersPaused = true; // park both shards' pools
+    Cluster cluster;
+    std::string err;
+    ASSERT_TRUE(cluster.start(opts, RouterOptions{}, err)) << err;
+
+    const SimRequest req = coreRequest("gcc", "Base");
+    const std::size_t shard = cluster.router->routeOf(req);
+
+    constexpr int kClients = 4;
+    std::vector<std::thread> threads;
+    std::vector<SimResponse> responses(kClients);
+    std::vector<std::string> errors(kClients);
+    for (int i = 0; i < kClients; ++i) {
+        threads.emplace_back([&, i] {
+            SimClient client;
+            std::string cerr;
+            if (!client.connect("127.0.0.1", cluster.router->port(),
+                                cerr)) {
+                errors[i] = cerr;
+                return;
+            }
+            SimResponse rsp;
+            if (!client.call(req, rsp, cerr))
+                errors[i] = cerr;
+            else
+                responses[i] = rsp;
+        });
+    }
+
+    // Every client hashed to the same shard, whose single-flight layer
+    // stacked them onto one parked flight — dedup is cluster-wide.
+    ASSERT_TRUE(waitFor([&] {
+        return cluster.backends[shard]->metrics().dedupHits() ==
+               kClients - 1;
+    })) << "dedupHits=" << cluster.backends[shard]->metrics().dedupHits();
+    EXPECT_EQ(cluster.backends[0]->metrics().simulationsRun(), 0u);
+    EXPECT_EQ(cluster.backends[1]->metrics().simulationsRun(), 0u);
+
+    for (auto &b : cluster.backends)
+        b->resumeWorkers();
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(cluster.backends[shard]->metrics().simulationsRun(), 1u);
+    EXPECT_EQ(cluster.backends[1 - shard]->metrics().simulationsRun(), 0u);
+    for (int i = 0; i < kClients; ++i) {
+        ASSERT_TRUE(errors[i].empty()) << errors[i];
+        EXPECT_EQ(responses[i].status, SimStatus::Ok) << responses[i].error;
+        EXPECT_EQ(responses[i].text, responses[0].text);
+    }
+}
+
+TEST(RouterTest, DeadShardIsStructuredUnavailableNotAHang)
+{
+    RouterOptions ropts;
+    ropts.backoffInitialMs = 60000; // the shard must stay benched
+    Cluster cluster;
+    std::string err;
+    ASSERT_TRUE(cluster.start(backendOptions(), ropts, err)) << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", cluster.router->port(), err))
+        << err;
+
+    // Kill one shard, then aim a request straight at the corpse.
+    const std::string dead_bench =
+        benchmarkOnShard(*cluster.router, 0, "Base");
+    const std::string live_bench =
+        benchmarkOnShard(*cluster.router, 1, "Base");
+    ASSERT_FALSE(dead_bench.empty());
+    ASSERT_FALSE(live_bench.empty());
+    cluster.backends[0]->shutdown();
+
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(coreRequest(dead_bench, "Base"), rsp, err))
+        << err;
+    EXPECT_EQ(rsp.status, SimStatus::Unavailable) << rsp.error;
+    EXPECT_NE(rsp.error.find("unavailable"), std::string::npos)
+        << rsp.error;
+
+    // Within the backoff window the shard is not even dialled: the
+    // reject is immediate and says the shard is benched.
+    ASSERT_TRUE(client.call(coreRequest(dead_bench, "Base"), rsp, err))
+        << err;
+    EXPECT_EQ(rsp.status, SimStatus::Unavailable);
+    EXPECT_NE(rsp.error.find("down"), std::string::npos) << rsp.error;
+
+    // The healthy shard keeps serving around the outage.
+    ASSERT_TRUE(client.call(coreRequest(live_bench, "Base"), rsp, err))
+        << err;
+    EXPECT_EQ(rsp.status, SimStatus::Ok) << rsp.error;
+}
+
+TEST(RouterTest, BackoffExpiryRedialsTheShard)
+{
+    RouterOptions ropts;
+    ropts.backoffInitialMs = 30;
+    Cluster cluster;
+    std::string err;
+    ASSERT_TRUE(cluster.start(backendOptions(), ropts, err)) << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", cluster.router->port(), err))
+        << err;
+
+    const std::string bench = benchmarkOnShard(*cluster.router, 0, "Base");
+    ASSERT_FALSE(bench.empty());
+    cluster.backends[0]->shutdown();
+
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(coreRequest(bench, "Base"), rsp, err)) << err;
+    EXPECT_EQ(rsp.status, SimStatus::Unavailable);
+
+    // After the backoff elapses the router dials again (and fails
+    // again — the shard is still dead — but the error proves a fresh
+    // connect was attempted rather than the benched fast-reject).
+    ASSERT_TRUE(waitFor([&] {
+        SimResponse probe;
+        std::string perr;
+        if (!client.call(coreRequest(bench, "Base"), probe, perr))
+            return false;
+        return probe.status == SimStatus::Unavailable &&
+               probe.error.find("unavailable:") != std::string::npos;
+    })) << "backoff never expired into a redial";
+}
+
+TEST(RouterTest, MetricsAggregateEveryShard)
+{
+    Cluster cluster;
+    std::string err;
+    ASSERT_TRUE(cluster.start(backendOptions(), RouterOptions{}, err))
+        << err;
+
+    SimClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", cluster.router->port(), err))
+        << err;
+    SimResponse rsp;
+    ASSERT_TRUE(client.call(coreRequest("gcc", "Base"), rsp, err)) << err;
+    ASSERT_EQ(rsp.status, SimStatus::Ok) << rsp.error;
+
+    SimRequest m;
+    m.kind = SimRequestKind::Metrics;
+    ASSERT_TRUE(client.call(m, rsp, err)) << err;
+    ASSERT_EQ(rsp.status, SimStatus::Ok);
+    for (const char *key :
+         {"requests_served ", "queue_depth ", "backends 2",
+          "backend_0_up 1", "backend_0_requests_served ",
+          "backend_0_simulations_run ", "backend_0_core_cache_hits ",
+          "backend_1_up 1", "backend_1_simulations_run "})
+        EXPECT_NE(rsp.text.find(key), std::string::npos)
+            << "aggregated metrics lack '" << key << "':\n" << rsp.text;
+}
+
+} // namespace
+} // namespace th
