@@ -96,6 +96,7 @@ class BoundedQueue
     const std::size_t cap_;
     mutable Mutex mu_;
     /// _any variant: waits on the annotated th::UniqueLock.
+    // th_lint: guards(items_ non-empty or closed_, under mu_)
     std::condition_variable_any cv_;
     std::deque<T> items_ TH_GUARDED_BY(mu_);
     bool closed_ TH_GUARDED_BY(mu_) = false;

@@ -114,7 +114,9 @@ class ThreadPool
     std::vector<std::thread> workers_;
     Mutex mu_;
     /// _any variants: they wait on the annotated th::UniqueLock.
+    // th_lint: guards(job_ != nullptr or stop_, under mu_)
     std::condition_variable_any work_cv_; ///< Workers wait for a job.
+    // th_lint: guards(job completion - pending chunk count, under mu_)
     std::condition_variable_any done_cv_; ///< Caller waits for done.
     Job *job_ TH_GUARDED_BY(mu_) = nullptr;           ///< Active job.
     std::uint64_t generation_ TH_GUARDED_BY(mu_) = 0; ///< Bumped per job.

@@ -216,6 +216,7 @@ class EventLoop
 
     Mutex quiesce_mu_;
     /// _any variant: waits on the annotated th::UniqueLock.
+    // th_lint: guards(quiescent_, under quiesce_mu_)
     std::condition_variable_any quiesce_cv_;
     int quiesce_waiters_ TH_GUARDED_BY(quiesce_mu_) = 0;
     bool quiescent_ TH_GUARDED_BY(quiesce_mu_) = false;

@@ -167,6 +167,7 @@ class SimServer : public EventHandler
     Mutex pause_mu_;
     bool paused_ TH_GUARDED_BY(pause_mu_) = false;
     /// _any variant: waits on the annotated th::UniqueLock.
+    // th_lint: guards(paused_, under pause_mu_)
     std::condition_variable_any pause_cv_;
 
     Mutex flights_mu_;

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Event-loop blocking pass: everything reachable from the epoll
+ * thread — `EventLoop::loop` and the `EventHandler` dispatch
+ * callbacks — must never block. One stalled callback stalls every
+ * connection, so this pass pins the invariant mechanically: a
+ * blocking primitive in loop-reachable code is an error unless a
+ * `// th_lint: blocking-ok(<reason>)` marker covers the call site or
+ * the function's definition line.
+ *
+ * Blocking primitives recognised:
+ *  - condition-variable waits: `.wait(` / `.wait_for(` /
+ *    `.wait_until(` (and the `->` forms);
+ *  - thread joins: `.join(` / `->join(`;
+ *  - sleeps: `sleep_for`, `sleep_until`, `usleep`, `nanosleep`;
+ *  - simulation entry points (seconds of CPU per call): `runCore`,
+ *    `runDtm`, `runDtmStudy`, `runTrace`, `runIntervalFit`,
+ *    `runIntervalDtm`;
+ *  - blocking socket helpers by qualified name: `SimClient::connect`,
+ *    `SimClient::call` (the loop's own sockets are non-blocking; the
+ *    client wrapper's are not).
+ */
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "callgraph.h"
+#include "internal.h"
+
+namespace th_lint {
+
+namespace {
+
+/** Dispatch roots: the loop itself plus every handler callback that
+ *  the loop invokes on its own thread. */
+const std::vector<FnRef> &
+loopRoots()
+{
+    static const std::vector<FnRef> roots = {
+        {"EventLoop::loop", "src/net/event_loop.cpp"},
+        {"onRequest", ""},
+        {"badFrameResponse", ""},
+        {"onDeadline", ""},
+        {"onConnClosed", ""},
+    };
+    return roots;
+}
+
+bool
+isSleepName(const std::string &t)
+{
+    return t == "sleep_for" || t == "sleep_until" || t == "usleep" ||
+           t == "nanosleep";
+}
+
+bool
+isSimEntryName(const std::string &t)
+{
+    return t == "runCore" || t == "runDtm" || t == "runDtmStudy" ||
+           t == "runTrace" || t == "runIntervalFit" ||
+           t == "runIntervalDtm";
+}
+
+/** Qualified names whose definitions block internally even though
+ *  their bodies show no primitive this pass recognises. */
+bool
+isBlockingDef(const FunctionDef &fn)
+{
+    static const std::set<std::string> names = {
+        "SimClient::connect",
+        "SimClient::call",
+        "BoundedQueue::pop",
+    };
+    return names.count(fn.qualified) != 0;
+}
+
+struct Primitive
+{
+    int line = 0;
+    std::string what;
+};
+
+/** Direct blocking primitives in @p fn's body (marker-suppressed
+ *  sites excluded). */
+std::vector<Primitive>
+directPrimitives(const SourceFile &sf, const FunctionDef &fn)
+{
+    std::vector<Primitive> out;
+    const auto &toks = sf.tokens;
+    auto allowed = [&](int line) {
+        return hasMarker(sf, line, "blocking-ok") ||
+               hasMarker(sf, fn.line, "blocking-ok");
+    };
+    for (std::size_t j = fn.bodyBegin; j < fn.bodyEnd; ++j) {
+        const Token &t = toks[j];
+        if (t.kind != Tok::Ident)
+            continue;
+        const bool calledOn =
+            j > fn.bodyBegin &&
+            (toks[j - 1].text == "." || toks[j - 1].text == "->");
+        const bool isCall =
+            j + 1 < fn.bodyEnd && toks[j + 1].text == "(";
+        if (!isCall)
+            continue;
+        std::string what;
+        if (calledOn && (t.text == "wait" || t.text == "wait_for" ||
+                         t.text == "wait_until"))
+            what = "condition-variable " + t.text + "()";
+        else if (calledOn && t.text == "join")
+            what = "thread join()";
+        else if (isSleepName(t.text))
+            what = t.text + "()";
+        else if (isSimEntryName(t.text))
+            what = "simulation entry point " + t.text + "()";
+        if (!what.empty() && !allowed(t.line))
+            out.push_back({t.line, what});
+    }
+    return out;
+}
+
+} // namespace
+
+void
+checkEventLoopBlocking(FileSet &files, const CallGraph &graph,
+                       const Options &opts,
+                       std::vector<Diagnostic> &diags)
+{
+    const auto &fns = graph.functions();
+
+    // Seed the worklist with the dispatch roots.
+    std::vector<std::size_t> work;
+    std::map<std::size_t, std::size_t> parent; // callee -> caller
+    std::set<std::size_t> seen;
+    bool anyRoot = false;
+    for (const FnRef &root : loopRoots()) {
+        const std::string name = root.name;
+        const bool qualified = name.find("::") != std::string::npos;
+        const auto idx = qualified ? graph.lookupQualified(name)
+                                   : graph.lookup(name);
+        if (qualified && idx.empty() && !opts.fixtureMode) {
+            diags.push_back(
+                {root.file, 1, "event-loop-blocking",
+                 std::string("dispatch root ") + name +
+                     " not found; update the rule table in "
+                     "tools/th_lint/blocking.cpp"});
+            continue;
+        }
+        for (std::size_t k : idx) {
+            if (seen.insert(k).second)
+                work.push_back(k);
+            anyRoot = true;
+        }
+    }
+    if (!anyRoot)
+        return; // fixture without any loop code: pass is silent
+
+    // BFS over the call graph, keeping one witness parent per node so
+    // findings can show how the loop reaches the offender.
+    std::deque<std::size_t> queue(work.begin(), work.end());
+    while (!queue.empty()) {
+        const std::size_t cur = queue.front();
+        queue.pop_front();
+        const FunctionDef &fn = fns[cur];
+        const SourceFile &sf = files.get(fn.file);
+        // A blocking-ok marker on the definition stops propagation:
+        // the author vouches for everything beneath it.
+        if (hasMarker(sf, fn.line, "blocking-ok"))
+            continue;
+        for (const CallSite &call : fn.calls) {
+            for (std::size_t callee : graph.resolve(fn, call)) {
+                if (!seen.insert(callee).second)
+                    continue;
+                parent[callee] = cur;
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    auto pathTo = [&](std::size_t idx) {
+        std::vector<std::string> hops;
+        std::size_t cur = idx;
+        hops.push_back(fns[cur].qualified);
+        while (parent.count(cur)) {
+            cur = parent.at(cur);
+            hops.push_back(fns[cur].qualified);
+            if (hops.size() > 12)
+                break; // defensive: graphs are approximate
+        }
+        std::reverse(hops.begin(), hops.end());
+        std::string s;
+        for (std::size_t k = 0; k < hops.size(); ++k)
+            s += (k ? " -> " : "") + hops[k];
+        return s;
+    };
+
+    for (std::size_t idx : seen) {
+        const FunctionDef &fn = fns[idx];
+        const SourceFile &sf = files.get(fn.file);
+        if (hasMarker(sf, fn.line, "blocking-ok"))
+            continue;
+        if (isBlockingDef(fn)) {
+            std::ostringstream msg;
+            msg << fn.qualified
+                << " blocks internally but is reachable from the "
+                   "event loop (" << pathTo(idx)
+                << "); move the call to a worker thread or mark it "
+                   "// th_lint: blocking-ok(<reason>)";
+            diags.push_back(
+                {fn.file, fn.line, "event-loop-blocking", msg.str()});
+            continue;
+        }
+        for (const Primitive &p : directPrimitives(sf, fn)) {
+            std::ostringstream msg;
+            msg << fn.qualified << " calls " << p.what
+                << " but is reachable from the event loop ("
+                << pathTo(idx)
+                << "); move the call to a worker thread or mark it "
+                   "// th_lint: blocking-ok(<reason>)";
+            diags.push_back(
+                {fn.file, p.line, "event-loop-blocking", msg.str()});
+        }
+    }
+}
+
+} // namespace th_lint

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Heuristic call-graph construction over the token streams. One
+ * forward scan per file finds function definitions (at namespace and
+ * class scope; bodies are skipped wholesale, so statement-level code
+ * never confuses the definition matcher), records each body's call
+ * sites and `th::LockGuard`/`th::UniqueLock` acquisition sites, and
+ * collects `TH_REQUIRES(...)` clauses from both declarations and
+ * definitions.
+ *
+ * Known, accepted approximations:
+ *  - call sites resolve by *simple* name to every definition sharing
+ *    it (no overload or namespace resolution) — reachability is an
+ *    over-approximation, which is the safe direction for the passes;
+ *  - lambdas are not separate nodes; their bodies belong to the
+ *    enclosing function, which matches how the repo uses them (always
+ *    invoked synchronously or on the thread pool by the caller);
+ *  - a lock is identified by its canonical spelling: single
+ *    identifiers are qualified by the enclosing class
+ *    ("SimServer::pending_mu_"), member expressions are kept textually
+ *    ("flight->mu"). Two spellings of one mutex can split a node
+ *    (missing an edge), never merge two mutexes into one.
+ */
+
+#include "callgraph.h"
+
+#include <algorithm>
+
+namespace th_lint {
+
+namespace {
+
+bool
+isKeyword(const std::string &t)
+{
+    static const std::set<std::string> kw = {
+        "if",      "while",    "for",        "switch",   "catch",
+        "return",  "sizeof",   "alignof",    "new",      "delete",
+        "throw",   "do",       "else",       "case",     "default",
+        "goto",    "using",    "namespace",  "template", "typename",
+        "decltype", "alignas", "static_assert", "operator",
+        "constexpr", "requires", "co_await", "co_return", "co_yield",
+        "assert",  "defined",
+    };
+    return kw.count(t) != 0;
+}
+
+bool
+isTHMacro(const std::string &t)
+{
+    return t.rfind("TH_", 0) == 0;
+}
+
+/** Join an expression's tokens into a canonical lock spelling. */
+std::string
+canonLock(const std::vector<Token> &expr, const std::string &klass)
+{
+    std::string s;
+    bool plainIdent = true;
+    for (const Token &t : expr) {
+        if (t.kind == Tok::Punct)
+            plainIdent = false;
+        if (t.text == "&" || t.text == "*")
+            continue; // address-of / deref never disambiguates a lock
+        s += t.text;
+    }
+    if (plainIdent && expr.size() == 1 && !klass.empty())
+        return klass + "::" + s;
+    return s;
+}
+
+/** Skip a balanced (), {}, or [] group; @p j points at the opener on
+ *  entry and one past the closer on exit. */
+void
+skipGroup(const std::vector<Token> &toks, std::size_t &j)
+{
+    const std::string open = toks[j].text;
+    const std::string close =
+        open == "(" ? ")" : (open == "{" ? "}" : "]");
+    int d = 0;
+    while (j < toks.size()) {
+        if (toks[j].kind == Tok::Punct) {
+            if (toks[j].text == open)
+                ++d;
+            else if (toks[j].text == close && --d == 0) {
+                ++j;
+                return;
+            }
+        }
+        ++j;
+    }
+}
+
+struct Scope
+{
+    bool isClass = false;
+    std::string name;
+};
+
+} // namespace
+
+CallGraph
+CallGraph::build(FileSet &files)
+{
+    return buildFrom(files, sourcesUnder(files.root(), "src"));
+}
+
+CallGraph
+CallGraph::buildFrom(FileSet &files, const std::vector<std::string> &rels)
+{
+    CallGraph g;
+    // Qualified name -> locks required at entry, merged from
+    // declarations (headers) and definitions.
+    std::map<std::string, std::vector<std::string>> requiresMap;
+
+    for (const std::string &rel : rels) {
+        const SourceFile &sf = files.get(rel);
+        if (!sf.loaded)
+            continue;
+        g.scanFile(sf);
+    }
+
+    // Second pass: fold TH_REQUIRES collected on body-less
+    // declarations (typically in headers) into the definitions.
+    for (FunctionDef &fn : g.fns_) {
+        for (const std::string &q : {fn.qualified, fn.simple}) {
+            auto it = g.declRequires_.find(q);
+            if (it == g.declRequires_.end())
+                continue;
+            for (const std::string &lock : it->second)
+                if (std::find(fn.requires_.begin(), fn.requires_.end(),
+                              lock) == fn.requires_.end())
+                    fn.requires_.push_back(lock);
+            break; // qualified match wins; don't also apply simple
+        }
+    }
+
+    for (std::size_t i = 0; i < g.fns_.size(); ++i) {
+        g.bySimple_[g.fns_[i].simple].push_back(i);
+        g.byQualified_[g.fns_[i].qualified].push_back(i);
+    }
+    return g;
+}
+
+std::vector<std::size_t>
+CallGraph::lookup(const std::string &simple) const
+{
+    auto it = bySimple_.find(simple);
+    return it == bySimple_.end() ? std::vector<std::size_t>{}
+                                 : it->second;
+}
+
+std::vector<std::size_t>
+CallGraph::lookupQualified(const std::string &qualified) const
+{
+    auto it = byQualified_.find(qualified);
+    return it == byQualified_.end() ? std::vector<std::size_t>{}
+                                    : it->second;
+}
+
+std::vector<std::size_t>
+CallGraph::resolve(const FunctionDef &caller, const CallSite &site) const
+{
+    if (!site.qualifier.empty())
+        return lookupQualified(site.qualifier + "::" + site.callee);
+    std::vector<std::size_t> out = lookup(site.callee);
+    if (site.hasReceiver && site.receiver != "this" &&
+        !caller.klass.empty()) {
+        out.erase(std::remove_if(out.begin(), out.end(),
+                                 [&](std::size_t k) {
+                                     return fns_[k].klass ==
+                                            caller.klass;
+                                 }),
+                  out.end());
+    }
+    return out;
+}
+
+void
+CallGraph::scanBody(const SourceFile &sf, FunctionDef &fn)
+{
+    const auto &toks = sf.tokens;
+    std::size_t depth = 1;
+    for (std::size_t j = fn.bodyBegin; j < fn.bodyEnd; ++j) {
+        const Token &t = toks[j];
+        if (t.kind == Tok::Punct) {
+            if (t.text == "{")
+                ++depth;
+            else if (t.text == "}")
+                --depth;
+            continue;
+        }
+        if (t.text == "LockGuard" || t.text == "UniqueLock") {
+            std::size_t k = j + 1;
+            if (k < fn.bodyEnd && toks[k].kind == Tok::Ident)
+                ++k; // the guard variable's name
+            if (k < fn.bodyEnd && toks[k].text == "(") {
+                std::vector<Token> expr;
+                int d = 1;
+                std::size_t e = k + 1;
+                while (e < fn.bodyEnd && d > 0) {
+                    if (toks[e].text == "(")
+                        ++d;
+                    else if (toks[e].text == ")" && --d == 0)
+                        break;
+                    expr.push_back(toks[e]);
+                    ++e;
+                }
+                fn.locks.push_back({canonLock(expr, fn.klass),
+                                    t.line, depth, j});
+                j = e; // skip the guard's ctor expression
+            }
+            continue;
+        }
+        if (j + 1 < fn.bodyEnd && toks[j + 1].text == "(" &&
+            !isKeyword(t.text) && !isTHMacro(t.text)) {
+            CallSite site;
+            site.callee = t.text;
+            site.line = t.line;
+            site.tokenIndex = j;
+            if (j > fn.bodyBegin) {
+                const Token &prev = toks[j - 1];
+                if (prev.text == "::") {
+                    if (j - 1 > fn.bodyBegin &&
+                        toks[j - 2].kind == Tok::Ident)
+                        site.qualifier = toks[j - 2].text;
+                    else
+                        continue; // `::f(...)`: a libc/global call
+                } else if (prev.text == "." || prev.text == "->") {
+                    site.hasReceiver = true;
+                    if (j - 1 > fn.bodyBegin &&
+                        toks[j - 2].kind == Tok::Ident)
+                        site.receiver = toks[j - 2].text;
+                }
+            }
+            fn.calls.push_back(std::move(site));
+        }
+    }
+}
+
+void
+CallGraph::scanFile(const SourceFile &sf)
+{
+    const auto &toks = sf.tokens;
+    std::vector<Scope> scopes;
+
+    auto currentClass = [&]() -> std::string {
+        for (auto it = scopes.rbegin(); it != scopes.rend(); ++it)
+            if (it->isClass)
+                return it->name;
+        return {};
+    };
+
+    std::size_t i = 0;
+    while (i < toks.size()) {
+        const Token &t = toks[i];
+
+        if (t.kind == Tok::Punct) {
+            if (t.text == "{")
+                scopes.push_back({false, ""});
+            else if (t.text == "}" && !scopes.empty())
+                scopes.pop_back();
+            ++i;
+            continue;
+        }
+
+        // `struct X ... {` opens a class scope; `enum ... { }` bodies
+        // are skipped outright (enumerators are not members).
+        if (t.text == "enum") {
+            std::size_t j = i + 1;
+            while (j < toks.size() && toks[j].text != "{" &&
+                   toks[j].text != ";")
+                ++j;
+            if (j < toks.size() && toks[j].text == "{")
+                skipGroup(toks, j);
+            i = j < toks.size() && toks[j].text == ";" ? j + 1 : j;
+            continue;
+        }
+        if ((t.text == "struct" || t.text == "class" ||
+             t.text == "union") &&
+            i + 1 < toks.size() && toks[i + 1].kind == Tok::Ident) {
+            std::size_t j = i + 2;
+            // Skip attributes/base clause up to the body or a ';'
+            // (forward declaration) or '(' (a declarator like
+            // `struct stat st;` never has one in this repo).
+            while (j < toks.size() && toks[j].text != "{" &&
+                   toks[j].text != ";" && toks[j].text != "(" &&
+                   toks[j].text != ")" && toks[j].text != ",")
+                ++j;
+            if (j < toks.size() && toks[j].text == "{") {
+                scopes.push_back({true, toks[i + 1].text});
+                i = j + 1;
+                continue;
+            }
+            i = i + 2;
+            continue;
+        }
+
+        if (isKeyword(t.text) || isTHMacro(t.text)) {
+            ++i;
+            continue;
+        }
+
+        // Candidate function declarator: Ident '(' ... ')'.
+        if (!(i + 1 < toks.size() && toks[i + 1].text == "(")) {
+            ++i;
+            continue;
+        }
+
+        std::size_t j = i + 1;
+        skipGroup(toks, j); // parameter list
+        const std::size_t afterParams = j;
+
+        // Swallow trailing qualifiers, collecting TH_REQUIRES locks.
+        std::vector<std::vector<Token>> reqArgs;
+        bool declarator = true;
+        while (j < toks.size() && declarator) {
+            const Token &q = toks[j];
+            if (q.kind == Tok::Ident &&
+                (q.text == "const" || q.text == "noexcept" ||
+                 q.text == "override" || q.text == "final" ||
+                 q.text == "mutable" || q.text == "throw")) {
+                ++j;
+                if (j < toks.size() && toks[j].text == "(")
+                    skipGroup(toks, j);
+                continue;
+            }
+            if (q.kind == Tok::Ident && isTHMacro(q.text)) {
+                const bool isReq = q.text == "TH_REQUIRES";
+                ++j;
+                if (j < toks.size() && toks[j].text == "(") {
+                    if (!isReq) {
+                        skipGroup(toks, j);
+                        continue;
+                    }
+                    // Split the argument list at top-level commas.
+                    int d = 1;
+                    std::size_t e = j + 1;
+                    reqArgs.emplace_back();
+                    while (e < toks.size() && d > 0) {
+                        const Token &a = toks[e];
+                        if (a.text == "(")
+                            ++d;
+                        else if (a.text == ")" && --d == 0)
+                            break;
+                        else if (a.text == "," && d == 1)
+                            reqArgs.emplace_back();
+                        else
+                            reqArgs.back().push_back(a);
+                        ++e;
+                    }
+                    j = e < toks.size() ? e + 1 : e;
+                }
+                continue;
+            }
+            if (q.kind == Tok::Punct && q.text == "->") {
+                // Trailing return type: skip to the body or ';'.
+                ++j;
+                while (j < toks.size() && toks[j].text != "{" &&
+                       toks[j].text != ";") {
+                    if (toks[j].text == "(")
+                        skipGroup(toks, j);
+                    else
+                        ++j;
+                }
+                continue;
+            }
+            if (q.kind == Tok::Punct && q.text == ":") {
+                // Constructor initializer list: Ident group [, ...] {
+                ++j;
+                while (j < toks.size()) {
+                    while (j < toks.size() &&
+                           (toks[j].kind == Tok::Ident ||
+                            toks[j].text == "::"))
+                        ++j;
+                    if (j < toks.size() && (toks[j].text == "(" ||
+                                            toks[j].text == "{"))
+                        skipGroup(toks, j);
+                    else
+                        break;
+                    if (j < toks.size() && toks[j].text == ",")
+                        ++j;
+                    else
+                        break;
+                }
+                continue;
+            }
+            break;
+        }
+
+        const bool isDef = j < toks.size() && toks[j].text == "{";
+        const bool isDecl =
+            !isDef && j < toks.size() && toks[j].text == ";";
+
+        if (!isDef && !(isDecl && !reqArgs.empty())) {
+            // Neither a definition nor a declaration we care about
+            // (e.g. a macro invocation, an initializer, `= delete`).
+            i = afterParams;
+            continue;
+        }
+
+        // Resolve the name: `A::name` wins over the class scope.
+        std::string klass;
+        if (i >= 2 && toks[i - 1].text == "::" &&
+            toks[i - 2].kind == Tok::Ident)
+            klass = toks[i - 2].text;
+        else
+            klass = currentClass();
+        const std::string simple = t.text;
+        const std::string qualified =
+            klass.empty() ? simple : klass + "::" + simple;
+
+        std::vector<std::string> reqLocks;
+        for (const auto &arg : reqArgs)
+            if (!arg.empty())
+                reqLocks.push_back(canonLock(arg, klass));
+
+        if (isDecl) {
+            auto &dst = declRequires_[qualified];
+            for (const std::string &lock : reqLocks)
+                if (std::find(dst.begin(), dst.end(), lock) ==
+                    dst.end())
+                    dst.push_back(lock);
+            i = j + 1;
+            continue;
+        }
+
+        FunctionDef fn;
+        fn.qualified = qualified;
+        fn.simple = simple;
+        fn.klass = klass;
+        fn.file = sf.relPath;
+        fn.line = t.line;
+        fn.requires_ = std::move(reqLocks);
+        fn.bodyBegin = j + 1;
+        std::size_t e = j;
+        skipGroup(toks, e);
+        fn.bodyEnd = e > 0 ? e - 1 : e; // exclude the closing '}'
+        scanBody(sf, fn);
+        fns_.push_back(std::move(fn));
+        i = e;
+    }
+}
+
+} // namespace th_lint

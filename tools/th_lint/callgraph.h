@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Function-level call graph over the tokenized sources. Built once per
+ * run and shared by the event-loop-blocking and lock-order passes.
+ *
+ * The builder is heuristic by design (no name lookup, no overload
+ * resolution): a call site `foo(` resolves to *every* definition named
+ * `foo`, so reachability is an over-approximation — safe for the
+ * passes built on it, which look for "must never happen" facts.
+ */
+
+#ifndef TH_LINT_CALLGRAPH_H
+#define TH_LINT_CALLGRAPH_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "internal.h"
+
+namespace th_lint {
+
+/** One lock acquisition site inside a function body. */
+struct LockSite
+{
+    std::string lock;  ///< Canonical lock name, e.g. "SimServer::mu_".
+    int line = 0;
+    std::size_t depth = 0; ///< Brace depth where the guard lives.
+    std::size_t tokenIndex = 0; ///< Position within the file's tokens.
+};
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string callee; ///< Simple (unqualified) name.
+    int line = 0;
+    std::size_t tokenIndex = 0;
+    /** For `A::callee(...)`: the explicit qualifier A ("std", a class
+     *  name, ...). Empty for unqualified calls. */
+    std::string qualifier;
+    /** True for `expr.callee(...)` / `expr->callee(...)`. */
+    bool hasReceiver = false;
+    /** The receiver when it is a single identifier ("this", "queue_");
+     *  empty for chained/compound receivers. */
+    std::string receiver;
+};
+
+struct FunctionDef
+{
+    std::string qualified; ///< "Class::name" or plain "name".
+    std::string simple;    ///< Unqualified name.
+    std::string klass;     ///< Enclosing/explicit class, or empty.
+    std::string file;      ///< Root-relative path.
+    int line = 0;
+
+    std::vector<CallSite> calls;
+    std::vector<LockSite> locks;
+    /** Locks named by TH_REQUIRES on the declaration: held at entry. */
+    std::vector<std::string> requires_;
+    /** Body token range [begin, end) within the file's token stream. */
+    std::size_t bodyBegin = 0;
+    std::size_t bodyEnd = 0;
+};
+
+class CallGraph
+{
+  public:
+    /** Scan every .h/.cpp under root/src (plus tools/th_serve if
+     *  present) and build the graph. */
+    static CallGraph build(FileSet &files);
+
+    /** Scan only the given root-relative files (fixture use). */
+    static CallGraph buildFrom(FileSet &files,
+                               const std::vector<std::string> &rels);
+
+    const std::vector<FunctionDef> &functions() const { return fns_; }
+
+    /** Indices of every definition with this simple name. */
+    std::vector<std::size_t>
+    lookup(const std::string &simple) const;
+
+    /** Indices of every definition with this qualified name. */
+    std::vector<std::size_t>
+    lookupQualified(const std::string &qualified) const;
+
+    /**
+     * Resolve a call site made from @p caller:
+     *  - `A::f(...)` resolves against qualified names only (so
+     *    `std::max(...)` resolves to nothing instead of everything);
+     *  - `obj.f(...)` with an explicit non-`this` receiver never
+     *    resolves back into the caller's own class — calling a
+     *    *member object's* method is how `items_.size()` would
+     *    otherwise alias `BoundedQueue::size()`;
+     *  - plain `f(...)` resolves to every definition named f.
+     */
+    std::vector<std::size_t>
+    resolve(const FunctionDef &caller, const CallSite &site) const;
+
+  private:
+    void scanFile(const SourceFile &sf);
+    void scanBody(const SourceFile &sf, FunctionDef &fn);
+
+    std::vector<FunctionDef> fns_;
+    std::map<std::string, std::vector<std::size_t>> bySimple_;
+    std::map<std::string, std::vector<std::size_t>> byQualified_;
+    /** TH_REQUIRES collected from body-less declarations, keyed by
+     *  qualified name, folded into definitions after the scan. */
+    std::map<std::string, std::vector<std::string>> declRequires_;
+};
+
+} // namespace th_lint
+
+#endif // TH_LINT_CALLGRAPH_H

@@ -1,0 +1,19 @@
+#include "cache.h"
+
+namespace th {
+
+void Cache::promote(const std::string &key)
+{
+    LockGuard index_lock(index_mu_);
+    LockGuard data_lock(data_mu_);
+    touch(key);
+}
+
+void Cache::evict(const std::string &key)
+{
+    LockGuard data_lock(data_mu_);
+    LockGuard index_lock(index_mu_);
+    drop(key);
+}
+
+} // namespace th

@@ -1,0 +1,11 @@
+#include "event_loop.h"
+
+namespace th {
+
+void EventLoop::loop()
+{
+    while (running_)
+        handler_.onRequest(nextConn());
+}
+
+} // namespace th

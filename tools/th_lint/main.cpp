@@ -1,8 +1,16 @@
 /**
  * @file
- * th_lint CLI. `th_lint --root DIR` lints the repository at DIR (exit
- * 0 clean, 1 on diagnostics); `th_lint --self-test DIR` runs the
- * fixture suite. See lint.h for what the checks enforce.
+ * th_lint CLI.
+ *
+ *   th_lint [--root DIR] [--json] [--github]   lint the repo at DIR
+ *   th_lint --root DIR --write-schema-lock     regenerate schema.lock
+ *   th_lint --self-test FIXTURES_DIR           run the fixture suite
+ *
+ * Exit status: 0 clean, 1 on findings (or a failed self-test), 2 on
+ * usage errors. `--json` prints the findings as a JSON array instead
+ * of the human format; `--github` additionally prints one GitHub
+ * Actions `::error` workflow command per finding so CI failures are
+ * annotated inline on PRs. See lint.h for what the passes enforce.
  */
 
 #include <cstdio>
@@ -17,7 +25,8 @@ int
 usage(const char *argv0)
 {
     std::fprintf(stderr,
-                 "usage: %s [--root DIR] | --self-test FIXTURES_DIR\n",
+                 "usage: %s [--root DIR] [--json] [--github] "
+                 "[--write-schema-lock] | --self-test FIXTURES_DIR\n",
                  argv0);
     return 2;
 }
@@ -29,12 +38,21 @@ main(int argc, char **argv)
 {
     std::string root = ".";
     std::string fixtures;
+    bool json = false;
+    bool github = false;
+    bool writeLock = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
             root = argv[++i];
         } else if (std::strcmp(argv[i], "--self-test") == 0 &&
                    i + 1 < argc) {
             fixtures = argv[++i];
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            json = true;
+        } else if (std::strcmp(argv[i], "--github") == 0) {
+            github = true;
+        } else if (std::strcmp(argv[i], "--write-schema-lock") == 0) {
+            writeLock = true;
         } else {
             return usage(argv[0]);
         }
@@ -45,13 +63,35 @@ main(int argc, char **argv)
 
     th_lint::Options opts;
     opts.root = root;
+
+    if (writeLock) {
+        std::string err;
+        if (!th_lint::writeSchemaLock(opts, err)) {
+            std::fprintf(stderr, "th_lint: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("th_lint: wrote %s/tools/th_lint/schema.lock\n",
+                    root.c_str());
+        return 0;
+    }
+
     const auto diags = th_lint::runChecks(opts);
-    for (const auto &d : diags)
-        std::printf("%s\n", th_lint::formatDiagnostic(d).c_str());
+    if (json) {
+        std::printf("%s\n", th_lint::formatFindingsJson(diags).c_str());
+    } else {
+        for (const auto &d : diags)
+            std::printf("%s\n", th_lint::formatDiagnostic(d).c_str());
+    }
+    if (github)
+        for (const auto &d : diags)
+            std::printf("%s\n",
+                        th_lint::formatDiagnosticGithub(d).c_str());
     if (!diags.empty()) {
-        std::printf("th_lint: %zu diagnostic(s)\n", diags.size());
+        if (!json)
+            std::printf("th_lint: %zu diagnostic(s)\n", diags.size());
         return 1;
     }
-    std::printf("th_lint: clean\n");
+    if (!json)
+        std::printf("th_lint: clean\n");
     return 0;
 }
