@@ -83,8 +83,6 @@ constexpr RelBlock kCoreLayout[] = {
 
 constexpr double kCoreW = 6.0;
 constexpr double kCoreH = 7.0;
-constexpr double kChipW = 12.0;
-constexpr double kChipH = 12.0;
 constexpr double kL2H = 5.0;
 
 void
@@ -107,27 +105,11 @@ placeCore(Floorplan &fp, int core, double ox, double oy, double scale)
 Floorplan
 FloorplanBuilder::planar()
 {
-    Floorplan fp;
-    fp.chipW = kChipW;
-    fp.chipH = kChipH;
-    fp.numCores = 2;
-
     // L2 across the bottom of the chip; cores side by side above it,
     // mirrored about the chip's vertical centerline would be typical —
     // a plain translation keeps the block map simple and does not
     // change any power density.
-    BlockRect l2;
-    l2.id = BlockId::L2;
-    l2.core = -1;
-    l2.x = 0.0;
-    l2.y = 0.0;
-    l2.w = kChipW;
-    l2.h = kL2H;
-    fp.blocks.push_back(l2);
-
-    placeCore(fp, 0, 0.0, kL2H, 1.0);
-    placeCore(fp, 1, kCoreW, kL2H, 1.0);
-    return fp;
+    return generate(2, 1, false);
 }
 
 Floorplan
@@ -135,22 +117,58 @@ FloorplanBuilder::stacked()
 {
     // Quarter footprint: every linear dimension halves; the same
     // relative layout appears on each of the four dies.
+    return generate(2, 1, true);
+}
+
+Floorplan
+FloorplanBuilder::generate(int num_cores, int l2_banks, bool stacked)
+{
+    if (num_cores < 1)
+        fatal("floorplan generator needs at least 1 core (got %d)",
+              num_cores);
+    if (l2_banks < 1)
+        fatal("floorplan generator needs at least 1 L2 bank (got %d)",
+              l2_banks);
+
+    // Near-square tiling with no empty tile: rows is the largest
+    // divisor of num_cores not exceeding sqrt(num_cores), so
+    // rows * cols == num_cores exactly and every tile holds a core
+    // (full-die coverage; primes degrade to a single row).
+    int rows = 1;
+    for (int r = 1; r * r <= num_cores; ++r)
+        if (num_cores % r == 0)
+            rows = r;
+    const int cols = num_cores / rows;
+
+    const double s = stacked ? 0.5 : 1.0;
     Floorplan fp;
-    fp.chipW = kChipW / 2.0;
-    fp.chipH = kChipH / 2.0;
-    fp.numCores = 2;
+    fp.numCores = num_cores;
+    fp.chipW = static_cast<double>(cols) * kCoreW * s;
+    const double l2_h = kL2H * static_cast<double>(rows) * s;
+    fp.chipH = static_cast<double>(rows) * kCoreH * s + l2_h;
 
-    BlockRect l2;
-    l2.id = BlockId::L2;
-    l2.core = -1;
-    l2.x = 0.0;
-    l2.y = 0.0;
-    l2.w = kChipW / 2.0;
-    l2.h = kL2H / 2.0;
-    fp.blocks.push_back(l2);
+    // L2 strip across the bottom, split into equal-width banks (bank
+    // order = block order). The strip height scales with the core
+    // rows so the per-core L2 share of the dual-core chip (30 mm^2
+    // planar) is conserved at every N.
+    const double bank_w = fp.chipW / static_cast<double>(l2_banks);
+    for (int b = 0; b < l2_banks; ++b) {
+        BlockRect l2;
+        l2.id = BlockId::L2;
+        l2.core = -1;
+        l2.x = static_cast<double>(b) * bank_w;
+        l2.y = 0.0;
+        l2.w = bank_w;
+        l2.h = l2_h;
+        fp.blocks.push_back(l2);
+    }
 
-    placeCore(fp, 0, 0.0, kL2H / 2.0, 0.5);
-    placeCore(fp, 1, kCoreW / 2.0, kL2H / 2.0, 0.5);
+    for (int k = 0; k < num_cores; ++k) {
+        const int r = k / cols;
+        const int c = k % cols;
+        placeCore(fp, k, static_cast<double>(c) * kCoreW * s,
+                  l2_h + static_cast<double>(r) * kCoreH * s, s);
+    }
     return fp;
 }
 

@@ -79,7 +79,8 @@ struct Floorplan
  *
  * The planar chip is 12 x 12 mm (Core-2-class dual core + 4MB L2 at
  * 65nm); the 3D chip folds the same layout onto a 6 x 6 mm, 4-die
- * footprint.
+ * footprint. Both are the N=2 single-bank case of the parameterized
+ * generator below.
  */
 struct FloorplanBuilder
 {
@@ -88,6 +89,18 @@ struct FloorplanBuilder
 
     /** 4-die stacked floorplan (per-die view), Figure 7(b). */
     static Floorplan stacked();
+
+    /**
+     * Generate an N-core floorplan: core tiles in a near-square
+     * rows x cols grid (rows * cols == N exactly, so every tile holds
+     * a core) above an L2 strip split into @p l2_banks equal-width
+     * bank rectangles (bank order = block order; all banks have
+     * core == -1). The L2 strip height scales with the core rows, so
+     * the per-core L2 share of the Figure 7 chip is conserved at
+     * every N and the layout is area-conserving with no overlap.
+     * generate(2, 1, s) reproduces planar()/stacked() exactly.
+     */
+    static Floorplan generate(int num_cores, int l2_banks, bool stacked);
 };
 
 } // namespace th

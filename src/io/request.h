@@ -23,8 +23,11 @@ namespace th {
 
 /** Schema version of the SimRequest/SimResponse encodings.
  *  v2: SimRequest grew dtmSolver. v3: SimRequest grew fastPath.
- *  v4: SimStatus grew Unavailable (cluster mode: shard down). */
-inline constexpr std::uint32_t kWireSchemaVersion = 4;
+ *  v4: SimStatus grew Unavailable (cluster mode: shard down).
+ *  v5: SimRequestKind grew Multicore; SimRequest grew
+ *      mcCores/mcL2Banks (many-core stacks; benchmarks doubles as the
+ *      per-core mix). */
+inline constexpr std::uint32_t kWireSchemaVersion = 5;
 
 /** What the client is asking the server to do. */
 enum class SimRequestKind : std::uint8_t {
@@ -36,6 +39,7 @@ enum class SimRequestKind : std::uint8_t {
     Dtm = 5,     ///< Closed-loop DTM comparison.
     Core = 6,    ///< Single (benchmark, config) core run.
     Metrics = 7, ///< Plain-text server metrics snapshot.
+    Multicore = 8, ///< Many-core stack run (N cores, mixed benchmarks).
 };
 
 /** Name of a request kind ("fig8", "metrics", ...). */
@@ -99,6 +103,14 @@ struct SimRequest
      * never coalesce.
      */
     std::uint8_t fastPath = 0;
+
+    // Many-core knobs, meaningful for kind == Multicore (0 =
+    // defaults). The per-core benchmark mix rides in @c benchmarks
+    // (cycled over the cores).
+    /** Core count of the stack (kind == Multicore only). */
+    std::uint32_t mcCores = 0;
+    /** Shared-L2 bank count (kind == Multicore only). */
+    std::uint32_t mcL2Banks = 0;
 };
 
 /** One response; @p text is the same report a local th_run prints. */

@@ -453,6 +453,108 @@ serializeIntervalModel(const IntervalModel &m)
     return enc.data();
 }
 
+void
+encodeMulticoreReport(Encoder &enc, const MulticoreReport &rep)
+{
+    enc.str(rep.config);
+    enc.str(rep.policy);
+    enc.f64(rep.triggerK);
+    enc.f64(rep.freqGhz);
+    enc.u32(rep.numCores);
+    enc.u32(rep.l2Banks);
+    enc.u32(rep.intervals);
+    enc.f64(rep.startPeakK);
+    enc.f64(rep.peakK);
+    enc.f64(rep.finalPeakK);
+    enc.f64(rep.totalTimeS);
+    enc.f64(rep.timeAboveTriggerS);
+    enc.f64(rep.throughputIpc);
+    enc.u32(static_cast<std::uint32_t>(rep.cores.size()));
+    for (const MulticoreCoreStats &c : rep.cores) {
+        enc.str(c.benchmark);
+        enc.f64(c.ipcFree);
+        enc.f64(c.ipcEffective);
+        enc.f64(c.throttleDuty);
+        enc.f64(c.perfLost);
+        enc.f64(c.startPeakK);
+        enc.f64(c.peakK);
+        enc.f64(c.finalPeakK);
+        enc.u64(c.wallCycles);
+        enc.u64(c.committed);
+        enc.u64(c.l2Accesses);
+        enc.f64(c.extraMissCycles);
+        enc.f64(c.contentionStallFrac);
+        enc.f64(c.timeAboveTriggerS);
+    }
+    enc.u32(static_cast<std::uint32_t>(rep.banks.size()));
+    for (const MulticoreBankStats &b : rep.banks) {
+        enc.u64(b.accesses);
+        enc.f64(b.occupancy);
+        enc.f64(b.peakOccupancy);
+    }
+}
+
+bool
+decodeMulticoreReport(Decoder &dec, MulticoreReport &rep)
+{
+    rep.config = dec.str();
+    rep.policy = dec.str();
+    rep.triggerK = dec.f64();
+    rep.freqGhz = dec.f64();
+    rep.numCores = dec.u32();
+    rep.l2Banks = dec.u32();
+    rep.intervals = dec.u32();
+    rep.startPeakK = dec.f64();
+    rep.peakK = dec.f64();
+    rep.finalPeakK = dec.f64();
+    rep.totalTimeS = dec.f64();
+    rep.timeAboveTriggerS = dec.f64();
+    rep.throughputIpc = dec.f64();
+    const std::uint32_t nc = dec.u32();
+    // A per-core row is >= 112 payload bytes, so a sane count can
+    // never exceed the remaining payload; this rejects corrupt counts
+    // before the assign instead of allocating gigabytes.
+    if (!dec.ok() || nc > dec.remaining())
+        return false;
+    rep.cores.assign(nc, MulticoreCoreStats{});
+    for (std::uint32_t i = 0; i < nc; ++i) {
+        MulticoreCoreStats &c = rep.cores[i];
+        c.benchmark = dec.str();
+        c.ipcFree = dec.f64();
+        c.ipcEffective = dec.f64();
+        c.throttleDuty = dec.f64();
+        c.perfLost = dec.f64();
+        c.startPeakK = dec.f64();
+        c.peakK = dec.f64();
+        c.finalPeakK = dec.f64();
+        c.wallCycles = dec.u64();
+        c.committed = dec.u64();
+        c.l2Accesses = dec.u64();
+        c.extraMissCycles = dec.f64();
+        c.contentionStallFrac = dec.f64();
+        c.timeAboveTriggerS = dec.f64();
+    }
+    const std::uint32_t nb = dec.u32();
+    if (!dec.ok() || nb > dec.remaining())
+        return false;
+    rep.banks.assign(nb, MulticoreBankStats{});
+    for (std::uint32_t i = 0; i < nb; ++i) {
+        MulticoreBankStats &b = rep.banks[i];
+        b.accesses = dec.u64();
+        b.occupancy = dec.f64();
+        b.peakOccupancy = dec.f64();
+    }
+    return dec.ok();
+}
+
+std::vector<std::uint8_t>
+serializeMulticoreReport(const MulticoreReport &rep)
+{
+    Encoder enc;
+    encodeMulticoreReport(enc, rep);
+    return enc.data();
+}
+
 const char *
 simRequestKindName(SimRequestKind k)
 {
@@ -465,6 +567,7 @@ simRequestKindName(SimRequestKind k)
     case SimRequestKind::Dtm:     return "dtm";
     case SimRequestKind::Core:    return "core";
     case SimRequestKind::Metrics: return "metrics";
+    case SimRequestKind::Multicore: return "multicore";
     }
     return "unknown";
 }
@@ -503,13 +606,15 @@ encodeSimRequest(Encoder &enc, const SimRequest &req)
     enc.u32(req.dtmGridN);
     enc.str(req.dtmSolver);
     enc.u8(req.fastPath);
+    enc.u32(req.mcCores);
+    enc.u32(req.mcL2Banks);
 }
 
 bool
 decodeSimRequest(Decoder &dec, SimRequest &req)
 {
     const std::uint8_t kind = dec.u8();
-    if (kind > static_cast<std::uint8_t>(SimRequestKind::Metrics))
+    if (kind > static_cast<std::uint8_t>(SimRequestKind::Multicore))
         return false;
     req.kind = static_cast<SimRequestKind>(kind);
     const std::uint32_t n = dec.u32();
@@ -534,6 +639,8 @@ decodeSimRequest(Decoder &dec, SimRequest &req)
     req.dtmGridN = dec.u32();
     req.dtmSolver = dec.str();
     req.fastPath = dec.u8();
+    req.mcCores = dec.u32();
+    req.mcL2Banks = dec.u32();
     return dec.ok();
 }
 

@@ -18,6 +18,7 @@
 #include "interval/model.h"
 #include "io/chunkio.h"
 #include "io/request.h"
+#include "multicore/multicore.h"
 
 namespace th {
 
@@ -29,6 +30,9 @@ inline constexpr std::uint32_t kDtmReportSchemaVersion = 1;
 
 /** Schema version of the IntervalModel encoding below. */
 inline constexpr std::uint32_t kIntervalModelSchemaVersion = 1;
+
+/** Schema version of the MulticoreReport encoding below. */
+inline constexpr std::uint32_t kMulticoreReportSchemaVersion = 1;
 
 /** Append @p h to @p enc (range, moments, and bucket counts). */
 void encodeHistogram(Encoder &enc, const Histogram &h);
@@ -70,6 +74,15 @@ bool decodeIntervalModel(Decoder &dec, IntervalModel &m);
 /** Canonical byte representation of an IntervalModel (round-trip
  *  tests, store integrity checks) — mirrors serializeCoreResult(). */
 std::vector<std::uint8_t> serializeIntervalModel(const IntervalModel &m);
+
+/** Append a full MulticoreReport (header, per-core rows, bank rows). */
+void encodeMulticoreReport(Encoder &enc, const MulticoreReport &rep);
+bool decodeMulticoreReport(Decoder &dec, MulticoreReport &rep);
+
+/** Canonical byte representation of a MulticoreReport (round-trip
+ *  tests, store integrity checks) — mirrors serializeCoreResult(). */
+std::vector<std::uint8_t>
+serializeMulticoreReport(const MulticoreReport &rep);
 
 /** Append every SimRequest field in wire-schema order. */
 void encodeSimRequest(Encoder &enc, const SimRequest &req);

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Banked shared-L2 contention model for the many-core stack.
+ *
+ * The cycle cores keep their private hierarchies (coherence-free
+ * sharing: no inter-core invalidations exist in the trace-driven
+ * model), so sharing cost is modelled analytically per control
+ * interval from each core's observed L2 access count: accesses
+ * interleave across @c banks equal banks, each bank serves one access
+ * per @c serviceCycles cycles, and a core's requests queue behind the
+ * other cores' bank occupancy. The model never perturbs the cycle
+ * cores — contention surfaces as per-core extra miss latency and
+ * per-bank occupancy statistics, and is exactly zero when a core has
+ * the stack to itself (the single-core and, per bank-private slicing,
+ * the dual-core paper baseline).
+ */
+
+#ifndef TH_MULTICORE_CONTENTION_H
+#define TH_MULTICORE_CONTENTION_H
+
+#include <cstdint>
+#include <vector>
+
+namespace th {
+
+/** One interval's contention outcome for a single core. */
+struct CoreContention
+{
+    /** Mean extra queueing latency per L2 access (cycles). */
+    double extraPerAccess = 0.0;
+    /** Stall cycles charged to the core after MSHR overlap hiding. */
+    double stallCycles = 0.0;
+};
+
+/**
+ * Deterministic queueing model of a banked shared L2. Feed it one
+ * vector of per-core L2 access counts per control interval; it
+ * returns the per-core contention share and accumulates per-bank
+ * occupancy statistics across the run. Pure arithmetic on the access
+ * counts — bit-identical for any thread count or evaluation order.
+ */
+class BankedL2Model
+{
+  public:
+    /**
+     * @param banks            Number of L2 banks (>= 1).
+     * @param service_cycles   Bank busy cycles per access.
+     * @param mshr_per_core    Outstanding-miss window per core; the
+     *                         memory-level parallelism that overlaps
+     *                         queueing delay (>= 1).
+     */
+    BankedL2Model(int banks, int service_cycles, int mshr_per_core);
+
+    /**
+     * Account one control interval. @p accesses holds each core's L2
+     * access count for the interval; @p interval_cycles its length.
+     * Returns one CoreContention per core, in core order.
+     */
+    std::vector<CoreContention>
+    step(const std::vector<std::uint64_t> &accesses,
+         std::uint64_t interval_cycles);
+
+    int banks() const { return banks_; }
+
+    /** Total accesses routed to bank @p b so far (round-robin split). */
+    std::uint64_t bankAccesses(int b) const;
+    /** Mean busy fraction of bank @p b over the stepped intervals. */
+    double bankOccupancy(int b) const;
+    /** Highest single-interval busy fraction of bank @p b. */
+    double bankPeakOccupancy(int b) const;
+    /** Share of the last interval's accesses landing on bank @p b
+     *  (1/banks when the interval had no accesses). */
+    double bankShare(int b) const;
+
+  private:
+    int banks_;
+    double service_;
+    double mshr_;
+    std::uint64_t intervals_ = 0;
+    std::vector<std::uint64_t> bank_accesses_;
+    std::vector<double> occ_sum_;
+    std::vector<double> occ_peak_;
+    std::vector<double> last_share_;
+};
+
+} // namespace th
+
+#endif // TH_MULTICORE_CONTENTION_H

@@ -406,15 +406,46 @@ bool SimServer::validate(const SimRequest &req, std::string &err) const
                   "' (Base, TH, Pipe, Fast, 3D, 3D-noTH)";
             return false;
         }
-    } else if (!req.config.empty()) {
-        err = "config is only meaningful for core requests";
-        return false;
-    }
-    if (req.kind == SimRequestKind::Dtm) {
-        if (req.benchmarks.size() > 1) {
-            err = "dtm requests take at most one benchmark";
+    } else if (req.kind == SimRequestKind::Multicore) {
+        ConfigKind kind;
+        if (!req.config.empty() && !configKindByName(req.config, kind)) {
+            err = "unknown config '" + req.config +
+                  "' (Base, TH, Pipe, Fast, 3D, 3D-noTH)";
             return false;
         }
+    } else if (!req.config.empty()) {
+        err = "config is only meaningful for core and multicore "
+              "requests";
+        return false;
+    }
+    if (req.kind == SimRequestKind::Multicore) {
+        // The generated floorplan and thermal grid scale with the core
+        // count; cap both axes so a hostile request cannot ask for an
+        // absurd stack (and so the int casts below never wrap).
+        if (req.mcCores > 64) {
+            err = "mcCores " + std::to_string(req.mcCores) +
+                  " out of range (max 64)";
+            return false;
+        }
+        if (req.mcL2Banks > 64) {
+            err = "mcL2Banks " + std::to_string(req.mcL2Banks) +
+                  " out of range (max 64)";
+            return false;
+        }
+    } else if (req.mcCores != 0 || req.mcL2Banks != 0) {
+        err = "mcCores/mcL2Banks are only meaningful for multicore "
+              "requests";
+        return false;
+    }
+    if (req.kind == SimRequestKind::Dtm &&
+        req.benchmarks.size() > 1) {
+        err = "dtm requests take at most one benchmark";
+        return false;
+    }
+    // Multicore requests reuse the DTM knobs for their per-core
+    // policies, so both kinds get the same validation.
+    if (req.kind == SimRequestKind::Dtm ||
+        req.kind == SimRequestKind::Multicore) {
         DtmPolicyKind policy;
         if (!req.dtmPolicy.empty() &&
             !dtmPolicyByName(req.dtmPolicy, policy)) {
@@ -492,6 +523,28 @@ SimResponse SimServer::execute(const SimRequest &req,
         configKindByName(req.config, kind); // validated on admission
         const CoreResult r = sys_->runCore(req.benchmarks[0], kind, cancel);
         rsp.text = renderCoreRun(req.benchmarks[0], req.config, r);
+        break;
+    }
+    case SimRequestKind::Multicore: {
+        MulticoreConfig mc;
+        mc.benchmarks = req.benchmarks;
+        mc.dtm = dtmOptionsFrom(req);
+        if (req.mcL2Banks > 0)
+            mc.l2Banks = static_cast<int>(req.mcL2Banks);
+        if (req.mcCores > 0) {
+            // Single stack at the requested core count (config
+            // defaults to the full 3D design).
+            mc.numCores = static_cast<int>(req.mcCores);
+            ConfigKind kind = ConfigKind::ThreeD;
+            if (!req.config.empty())
+                configKindByName(req.config, kind); // validated on admission
+            rsp.text = renderMulticore(
+                sys_->runMulticore(kind, mc, cancel));
+        } else {
+            // No core count: the full neighbor-coupling study.
+            rsp.text = renderMulticoreStudy(
+                runMulticoreStudy(*sys_, mc, {}, cancel));
+        }
         break;
     }
     case SimRequestKind::Ping:

@@ -249,4 +249,34 @@ intervalModelKey(const CoreConfig &cfg, const IntervalOptions &opts)
     return h.h;
 }
 
+std::uint64_t
+multicoreConfigHash(const CoreConfig &cfg, const MulticoreConfig &mc)
+{
+    Hasher h;
+    h.add(configHash(cfg));
+    h.add(static_cast<std::uint64_t>(kMulticoreReportSchemaVersion));
+    h.add(mc.numCores);
+    h.add(mc.l2Banks);
+    h.add(mc.l2BankServiceCycles);
+    h.add(mc.l2MshrPerCore);
+    // The per-core mix shapes every stream: fold names and order.
+    h.add(static_cast<std::uint64_t>(mc.benchmarks.size()));
+    for (const std::string &b : mc.benchmarks) {
+        h.add(static_cast<std::uint64_t>(b.size()));
+        h.bytes(b.data(), b.size());
+    }
+    // Embedded per-core DTM knobs: same set dtmConfigHash folds.
+    h.add(mc.dtm.intervalCycles);
+    h.add(mc.dtm.maxIntervals);
+    h.add(mc.dtm.warmupInstructions);
+    h.add(static_cast<int>(mc.dtm.policy));
+    h.add(mc.dtm.triggers.triggerK);
+    h.add(mc.dtm.triggers.hysteresisK);
+    h.add(mc.dtm.timeDilation);
+    h.add(mc.dtm.gridN);
+    h.add(mc.dtm.maxDtS);
+    h.add(static_cast<int>(mc.dtm.solver));
+    return h.h;
+}
+
 } // namespace th

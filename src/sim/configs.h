@@ -16,6 +16,7 @@
 #include "core/params.h"
 #include "dtm/engine.h"
 #include "interval/model.h"
+#include "multicore/multicore.h"
 
 namespace th {
 
@@ -81,6 +82,17 @@ std::uint64_t intervalFamilyHash(const CoreConfig &cfg);
  */
 std::uint64_t intervalModelKey(const CoreConfig &cfg,
                                const IntervalOptions &opts);
+
+/**
+ * Store key of a many-core run: configHash(cfg) folded with every
+ * MulticoreConfig field (core count, bank geometry, queue model, the
+ * per-core benchmark mix, and the embedded DtmOptions via
+ * dtmConfigHash's knob set) and the MulticoreReport schema version —
+ * two runs share a persisted artifact iff every input that shapes the
+ * report matches. th_lint enforces the MulticoreConfig field coverage.
+ */
+std::uint64_t multicoreConfigHash(const CoreConfig &cfg,
+                                  const MulticoreConfig &mc);
 
 } // namespace th
 

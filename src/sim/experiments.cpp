@@ -446,4 +446,31 @@ runFamilySweep(System &sys, const std::string &benchmark,
     return data;
 }
 
+MulticoreStudyData
+runMulticoreStudy(System &sys, const MulticoreConfig &base,
+                  const std::vector<int> &core_counts,
+                  const CancelToken *cancel)
+{
+    MulticoreStudyData data;
+    data.mix = base.benchmarks;
+    data.coreCounts = core_counts.empty() ? std::vector<int>{1, 2, 4, 8}
+                                          : core_counts;
+    const ConfigKind kinds[] = {ConfigKind::ThreeDNoTH,
+                                ConfigKind::ThreeD};
+    // Each cell owns its cores, floorplan, grid, and stepper; like
+    // runDtmStudy, only the calibrated power model is shared, so the
+    // whole grid fans out (cells reduce in grid order).
+    data.cases = ThreadPool::global().parallelMap(
+        data.coreCounts.size() * 2, [&](size_t i) {
+            MulticoreCase c;
+            c.cores = data.coreCounts[i / 2];
+            c.config = kinds[i % 2];
+            MulticoreConfig mc = base;
+            mc.numCores = c.cores;
+            c.report = sys.runMulticore(c.config, mc, cancel);
+            return c;
+        });
+    return data;
+}
+
 } // namespace th

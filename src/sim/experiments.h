@@ -209,6 +209,38 @@ DtmStudyData runDtmStudyFast(System &sys, const std::string &benchmark,
                              const IntervalOptions &iopts,
                              const CancelToken *cancel = nullptr);
 
+/** One (core count, config) cell of the neighbor-coupling study. */
+struct MulticoreCase
+{
+    int cores = 0;
+    ConfigKind config = ConfigKind::ThreeD;
+    MulticoreReport report;
+};
+
+/** Everything behind the many-core neighbor-coupling experiment. */
+struct MulticoreStudyData
+{
+    /** Requested mix (cycled over each stack's cores by the runs). */
+    std::vector<std::string> mix;
+    /** Core counts swept (the N axis). */
+    std::vector<int> coreCounts;
+    /** Count-major, config-minor: (N₀ noTH), (N₀ TH), (N₁ noTH)... */
+    std::vector<MulticoreCase> cases;
+};
+
+/**
+ * Many-core neighbor-coupling study: each core count in @p core_counts
+ * (empty = 1/2/4/8) runs the mixed-benchmark stack twice — 3D without
+ * herding and full 3D — so the per-core tables expose how neighbour
+ * cores heat each other as the stack fills and how much the per-core
+ * DTM ladder claws back. @p base supplies the mix, bank geometry, and
+ * DTM knobs; its numCores is overridden by each grid cell.
+ */
+MulticoreStudyData
+runMulticoreStudy(System &sys, const MulticoreConfig &base,
+                  const std::vector<int> &core_counts = {},
+                  const CancelToken *cancel = nullptr);
+
 /**
  * Knobs of a config-family trigger sweep — the interval fast path's
  * headline workload: many DTM runs of one (benchmark, config-family),

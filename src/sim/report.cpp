@@ -103,6 +103,30 @@ anchorErrorLine(double ipc_err, double peak_err_k, double duty_err_pp,
                      fmtDouble(duty_err_pp, 2).c_str(), anchors);
 }
 
+/**
+ * Shared DTM-outcome table shape, now core-count-aware: renderDtm
+ * labels rows by configuration, renderMulticore by core (one row per
+ * core plus a stack-aggregate row). One renderer means the single-core
+ * study's bytes never drift from the many-core per-core rows.
+ */
+Table
+dtmOutcomeTable(const char *entity)
+{
+    return Table({entity, "Start K", "Peak K", "Final K",
+                  "Throttle duty", "t>trig ms", "Perf lost"});
+}
+
+/** One DTM-outcome row (single-core config or many-core core). */
+void
+addDtmOutcomeRow(Table &t, const std::string &label, double start_k,
+                 double peak_k, double final_k, double duty,
+                 double t_above_s, double perf_lost)
+{
+    t.addRow({label, fmtDouble(start_k, 1), fmtDouble(peak_k, 1),
+              fmtDouble(final_k, 1), fmtPercent(duty),
+              fmtDouble(t_above_s * 1e3, 1), fmtPercent(perf_lost)});
+}
+
 } // namespace
 
 std::string
@@ -113,16 +137,12 @@ renderDtm(const DtmStudyData &data, const DtmOptions &opts)
                      "===\n", data.benchmark.c_str(),
                      dtmPolicyName(opts.policy),
                      fmtDouble(opts.triggers.triggerK, 1).c_str());
-    Table t({"Config", "Start K", "Peak K", "Final K", "Throttle duty",
-             "t>trig ms", "Perf lost"});
+    Table t = dtmOutcomeTable("Config");
     for (const DtmCase &c : data.cases)
-        t.addRow({configName(c.config),
-                  fmtDouble(c.report.startPeakK, 1),
-                  fmtDouble(c.report.peakK, 1),
-                  fmtDouble(c.report.finalPeakK, 1),
-                  fmtPercent(c.report.throttleDuty),
-                  fmtDouble(c.report.timeAboveTriggerS * 1e3, 1),
-                  fmtPercent(c.report.perfLost)});
+        addDtmOutcomeRow(t, configName(c.config), c.report.startPeakK,
+                         c.report.peakK, c.report.finalPeakK,
+                         c.report.throttleDuty,
+                         c.report.timeAboveTriggerS, c.report.perfLost);
     t.print(out);
     // Only fast studies carry an error bound; the exact rendering stays
     // byte-identical to the pre-fast-path output.
@@ -175,6 +195,113 @@ renderFamilySweep(const FamilySweepData &data,
     if (data.fast)
         out << anchorErrorLine(data.maxIpcErr, data.maxPeakErrK,
                                data.maxDutyErrPp, data.anchors);
+    return out.str();
+}
+
+std::string
+renderMulticore(const MulticoreReport &rep)
+{
+    std::ostringstream out;
+    out << strformat("=== Many-core stack: %u cores, %u L2 banks on "
+                     "%s, policy %s, trigger %s K ===\n",
+                     rep.numCores, rep.l2Banks, rep.config.c_str(),
+                     rep.policy.c_str(),
+                     fmtDouble(rep.triggerK, 1).c_str());
+    Table t = dtmOutcomeTable("Core");
+    double duty_sum = 0.0, free_sum = 0.0;
+    for (std::size_t c = 0; c < rep.cores.size(); ++c) {
+        const MulticoreCoreStats &row = rep.cores[c];
+        addDtmOutcomeRow(t, strformat("%zu:%s", c, row.benchmark.c_str()),
+                         row.startPeakK, row.peakK, row.finalPeakK,
+                         row.throttleDuty, row.timeAboveTriggerS,
+                         row.perfLost);
+        duty_sum += row.throttleDuty;
+        free_sum += row.ipcFree;
+    }
+    const double n = rep.cores.empty()
+        ? 1.0 : static_cast<double>(rep.cores.size());
+    const double agg_lost = free_sum > 0.0
+        ? std::max(0.0, 1.0 - rep.throughputIpc / free_sum)
+        : 0.0;
+    addDtmOutcomeRow(t, "stack", rep.startPeakK, rep.peakK,
+                     rep.finalPeakK, duty_sum / n, rep.timeAboveTriggerS,
+                     agg_lost);
+    t.print(out);
+    Table ct({"Core", "IPC free", "IPC eff", "L2 accesses",
+              "Extra miss cyc", "Stall frac"});
+    for (std::size_t c = 0; c < rep.cores.size(); ++c) {
+        const MulticoreCoreStats &row = rep.cores[c];
+        ct.addRow({strformat("%zu:%s", c, row.benchmark.c_str()),
+                   fmtDouble(row.ipcFree, 3),
+                   fmtDouble(row.ipcEffective, 3),
+                   strformat("%llu",
+                             (unsigned long long)row.l2Accesses),
+                   fmtDouble(row.extraMissCycles, 2),
+                   fmtPercent(row.contentionStallFrac)});
+    }
+    ct.print(out);
+    Table bt({"Bank", "Accesses", "Occupancy", "Peak occ"});
+    for (std::size_t b = 0; b < rep.banks.size(); ++b)
+        bt.addRow({strformat("%zu", b),
+                   strformat("%llu",
+                             (unsigned long long)rep.banks[b].accesses),
+                   fmtPercent(rep.banks[b].occupancy),
+                   fmtPercent(rep.banks[b].peakOccupancy)});
+    bt.print(out);
+    out << strformat("stack throughput: %s IPC over %u intervals, "
+                     "%s ms simulated\n",
+                     fmtDouble(rep.throughputIpc, 3).c_str(),
+                     rep.intervals,
+                     fmtDouble(rep.totalTimeS * 1e3, 2).c_str());
+    return out.str();
+}
+
+std::string
+renderMulticoreStudy(const MulticoreStudyData &data)
+{
+    std::ostringstream out;
+    out << "=== Many-core neighbor coupling ===\n";
+    Table t({"Cores", "Config", "Stack peak K", "Hot core K",
+             "Cool core K", "Max duty", "IPC loss", "Throughput"});
+    // Hottest core at the smallest and largest no-herding stacks: the
+    // delta between them is the neighbour-coupling signal CI asserts.
+    double lo_hot = 0.0, hi_hot = 0.0;
+    int lo_cores = 0, hi_cores = 0;
+    for (const MulticoreCase &c : data.cases) {
+        double hot = 0.0, cool = 0.0, duty = 0.0, free_sum = 0.0;
+        for (std::size_t i = 0; i < c.report.cores.size(); ++i) {
+            const MulticoreCoreStats &row = c.report.cores[i];
+            hot = i == 0 ? row.peakK : std::max(hot, row.peakK);
+            cool = i == 0 ? row.peakK : std::min(cool, row.peakK);
+            duty = std::max(duty, row.throttleDuty);
+            free_sum += row.ipcFree;
+        }
+        const double lost = free_sum > 0.0
+            ? std::max(0.0, 1.0 - c.report.throughputIpc / free_sum)
+            : 0.0;
+        t.addRow({strformat("%d", c.cores), configName(c.config),
+                  fmtDouble(c.report.peakK, 1), fmtDouble(hot, 1),
+                  fmtDouble(cool, 1), fmtPercent(duty),
+                  fmtPercent(lost),
+                  fmtDouble(c.report.throughputIpc, 3)});
+        if (c.config == ConfigKind::ThreeDNoTH) {
+            if (lo_cores == 0 || c.cores < lo_cores) {
+                lo_cores = c.cores;
+                lo_hot = hot;
+            }
+            if (c.cores > hi_cores) {
+                hi_cores = c.cores;
+                hi_hot = hot;
+            }
+        }
+    }
+    t.print(out);
+    if (lo_cores != 0 && hi_cores != lo_cores)
+        out << strformat("neighbor coupling (no herding): hottest core "
+                         "%s K at N=%d vs %s K at N=%d (delta %s K)\n",
+                         fmtDouble(hi_hot, 2).c_str(), hi_cores,
+                         fmtDouble(lo_hot, 2).c_str(), lo_cores,
+                         fmtDouble(hi_hot - lo_hot, 2).c_str());
     return out.str();
 }
 

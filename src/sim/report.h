@@ -44,6 +44,23 @@ std::string renderDtm(const DtmStudyData &data, const DtmOptions &opts);
 std::string renderFamilySweep(const FamilySweepData &data,
                               const FamilySweepOptions &opts);
 
+/**
+ * "=== Many-core stack ... ===" header + per-core DTM-outcome rows, a
+ * "stack" aggregate row, the per-core contention table, and the L2
+ * bank table. The DTM-outcome rows come from the same core-count-aware
+ * renderer renderDtm uses, so the single-core study's output stays
+ * byte-identical while many-core reports scale rows with the stack.
+ */
+std::string renderMulticore(const MulticoreReport &rep);
+
+/**
+ * "=== Many-core neighbor coupling ===" header + one summary row per
+ * (core count, config) cell, ending with the stable line
+ * "neighbor coupling (no herding): hottest core ... (delta X K)"
+ * that CI greps its coupling assertion from.
+ */
+std::string renderMulticoreStudy(const MulticoreStudyData &data);
+
 /** One-line summary of a single (benchmark, config) core run. */
 std::string renderCoreRun(const std::string &benchmark,
                           const std::string &config,

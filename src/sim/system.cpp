@@ -210,6 +210,70 @@ System::runDtm(const std::string &benchmark, ConfigKind kind,
     return rep;
 }
 
+MulticoreReport
+System::runMulticore(ConfigKind kind, const MulticoreConfig &mc,
+                     const CancelToken *cancel)
+{
+    if (mc.numCores < 1)
+        fatal("runMulticore: numCores must be >= 1 (got %d)",
+              mc.numCores);
+    // Resolve the per-core mix up front so the cache key, the store
+    // key, and the report rows all see the same canonical list: the
+    // requested mix cycled over the cores, or the power-reference
+    // benchmark everywhere when no mix is given.
+    MulticoreConfig resolved = mc;
+    resolved.benchmarks.clear();
+    resolved.benchmarks.reserve(static_cast<std::size_t>(mc.numCores));
+    for (int c = 0; c < mc.numCores; ++c) {
+        std::string name = kPowerReferenceBenchmark;
+        if (!mc.benchmarks.empty())
+            name = mc.benchmarks[static_cast<std::size_t>(c) %
+                                 mc.benchmarks.size()];
+        if (!hasBenchmark(name))
+            fatal("runMulticore: unknown benchmark '%s'", name.c_str());
+        resolved.benchmarks.push_back(std::move(name));
+    }
+    std::string mix;
+    for (std::size_t i = 0; i < resolved.benchmarks.size(); ++i) {
+        if (i != 0)
+            mix += '+';
+        mix += resolved.benchmarks[i];
+    }
+
+    const CoreConfig cfg = makeConfig(kind, lib_);
+    const std::uint64_t key_hash = multicoreConfigHash(cfg, resolved);
+    const std::string key = mix + '\0' + std::to_string(key_hash);
+    {
+        LockGuard lock(multicore_mu_);
+        auto it = multicore_cache_.find(key);
+        if (it != multicore_cache_.end())
+            return it->second;
+    }
+
+    // Like runDtm: the persistent lookup precedes power calibration,
+    // so a warm rerun of a many-core sweep performs zero simulations.
+    MulticoreReport rep;
+    const bool from_store =
+        store_ && store_->loadMulticoreReport(mix, key_hash, rep);
+    if (!from_store) {
+        ensureCalibrated(cancel);
+        std::vector<BenchmarkProfile> profiles;
+        profiles.reserve(resolved.benchmarks.size());
+        for (const std::string &b : resolved.benchmarks)
+            profiles.push_back(benchmarkByName(b));
+        const MulticoreSystem engine(power_, hotspot_);
+        rep = engine.run(profiles, cfg, configName(kind), resolved,
+                         cancel);
+        if (store_)
+            store_->storeMulticoreReport(mix, key_hash, rep);
+    }
+    {
+        LockGuard lock(multicore_mu_);
+        multicore_cache_.emplace(key, rep);
+    }
+    return rep;
+}
+
 IntervalModel
 System::runIntervalFit(const std::string &benchmark, ConfigKind kind,
                        const IntervalOptions &iopts,

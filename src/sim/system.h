@@ -119,6 +119,21 @@ class System
                                  const CancelToken *cancel = nullptr);
 
     /**
+     * Many-core stack run: N cycle cores with private L1s and per-core
+     * trace streams over a banked shared L2 and a generated floorplan,
+     * per-core DTM on top (see multicore/multicore.h). The per-core
+     * mix comes from @p mc.benchmarks cycled over the cores (empty =
+     * kPowerReferenceBenchmark everywhere). Results are memoized in
+     * memory and, when a store is configured, persisted under
+     * multicoreConfigHash with the resolved mix joined by '+' as the
+     * benchmark key; like runDtm, the persistent lookup happens before
+     * power calibration so a warm rerun performs zero simulations.
+     */
+    MulticoreReport runMulticore(ConfigKind kind,
+                                 const MulticoreConfig &mc,
+                                 const CancelToken *cancel = nullptr);
+
+    /**
      * Closed-loop DTM run on the interval fast path: replays the
      * fitted model of (benchmark, config-family) through the DtmEngine
      * instead of stepping the cycle-accurate core — 100-1000x faster,
@@ -201,6 +216,9 @@ class System
     mutable Mutex interval_mu_;
     mutable std::unordered_map<std::string, IntervalModel> // th_lint: excluded(lookup-only cache; never iterated)
         interval_cache_ TH_GUARDED_BY(interval_mu_);
+    mutable Mutex multicore_mu_;
+    mutable std::unordered_map<std::string, MulticoreReport> // th_lint: excluded(lookup-only cache; never iterated)
+        multicore_cache_ TH_GUARDED_BY(multicore_mu_);
     mutable std::atomic<std::uint64_t> cache_hits_{0};
     mutable std::atomic<std::uint64_t> cache_misses_{0};
 

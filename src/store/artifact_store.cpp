@@ -22,6 +22,8 @@ constexpr const char *kEntryExt = ".cr";
 constexpr const char *kDtmExt = ".dtm";
 /** Extension of committed IntervalModel artifacts. */
 constexpr const char *kIntervalExt = ".imdl";
+/** Extension of committed MulticoreReport artifacts. */
+constexpr const char *kMulticoreExt = ".mc";
 /** Extension quarantined (corrupt) artifacts are renamed to. */
 constexpr const char *kBadExt = ".bad";
 
@@ -98,6 +100,17 @@ ArtifactStore::intervalEntryPath(const std::string &benchmark,
             strformat("%s-%016llx%s", sanitize(benchmark).c_str(),
                       static_cast<unsigned long long>(key),
                       kIntervalExt))
+        .string();
+}
+
+std::string
+ArtifactStore::multicoreEntryPath(const std::string &benchmark,
+                                  std::uint64_t key) const
+{
+    return (fs::path(opts_.dir) /
+            strformat("%s-%016llx%s", sanitize(benchmark).c_str(),
+                      static_cast<unsigned long long>(key),
+                      kMulticoreExt))
         .string();
 }
 
@@ -222,6 +235,49 @@ ArtifactStore::readIntervalEntry(const std::string &path,
                 return false;
             if (out)
                 *out = std::move(m);
+            result_ok = true;
+        }
+    }
+    return meta_ok && result_ok;
+}
+
+bool
+ArtifactStore::readMulticoreEntry(const std::string &path,
+                                  const std::string &benchmark,
+                                  std::uint64_t key,
+                                  MulticoreReport *out) const
+{
+    std::uint32_t schema = 0;
+    std::string err;
+    ChunkFileReader reader;
+    if (!reader.open(path, kMulticoreReportFormatTag, schema, err))
+        return false;
+    if (schema != kStoreSchemaVersion)
+        return false;
+
+    bool meta_ok = false, result_ok = false;
+    std::string tag;
+    std::vector<std::uint8_t> payload;
+    for (;;) {
+        const ChunkReader::Next what = reader.next(tag, payload, err);
+        if (what == ChunkReader::Next::End)
+            break;
+        if (what == ChunkReader::Next::Corrupt)
+            return false;
+        if (tag == "META") {
+            Decoder d(payload);
+            const std::string bench = d.str();
+            const std::uint64_t hash = d.u64();
+            if (!d.ok() || bench != benchmark || hash != key)
+                return false;
+            meta_ok = true;
+        } else if (tag == "MCRE") {
+            Decoder d(payload);
+            MulticoreReport r;
+            if (!decodeMulticoreReport(d, r) || !d.atEnd())
+                return false;
+            if (out)
+                *out = std::move(r);
             result_ok = true;
         }
     }
@@ -366,6 +422,83 @@ ArtifactStore::loadIntervalModel(const std::string &benchmark,
     if (!touchEntry(path) && !noteIfRaceLost(path))
         noteTouchFailure(path);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::loadMulticoreReport(const std::string &benchmark,
+                                   std::uint64_t key,
+                                   MulticoreReport &out)
+{
+    if (!enabled())
+        return false;
+    const std::string path = multicoreEntryPath(benchmark, key);
+
+    LockGuard lock(mu_);
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!readMulticoreEntry(path, benchmark, key, &out)) {
+        if (noteIfRaceLost(path)) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+        warn("artifact store: corrupt entry '%s'; quarantined, "
+             "recomputing", path.c_str());
+        quarantine(path);
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    if (!touchEntry(path) && !noteIfRaceLost(path))
+        noteTouchFailure(path);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+bool
+ArtifactStore::storeMulticoreReport(const std::string &benchmark,
+                                    std::uint64_t key,
+                                    const MulticoreReport &rep)
+{
+    if (!enabled())
+        return false;
+    const std::string path = multicoreEntryPath(benchmark, key);
+    const std::string tmp = strformat(
+        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(getpid()),
+        static_cast<unsigned long long>(
+            tmp_counter.fetch_add(1, std::memory_order_relaxed)));
+
+    Encoder meta;
+    meta.str(benchmark);
+    meta.u64(key);
+    Encoder body;
+    encodeMulticoreReport(body, rep);
+
+    LockGuard lock(mu_);
+    ChunkFileWriter writer;
+    bool ok = writer.open(tmp, kMulticoreReportFormatTag,
+                          kStoreSchemaVersion);
+    ok = ok && writer.chunk("META", meta);
+    ok = ok && writer.chunk("MCRE", body);
+    ok = writer.close() && ok;
+    if (!ok) {
+        warn("artifact store: failed to write '%s'", tmp.c_str());
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return false;
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec); // Atomic commit.
+    if (ec) {
+        warn("artifact store: cannot commit '%s' (%s)", path.c_str(),
+             ec.message().c_str());
+        fs::remove(tmp, ec);
+        return false;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+    enforceCapLocked();
     return true;
 }
 
@@ -530,7 +663,8 @@ ArtifactStore::list() const
         const bool core = !bad && p.extension() == kEntryExt;
         const bool dtm = !bad && p.extension() == kDtmExt;
         const bool imdl = !bad && p.extension() == kIntervalExt;
-        if (!bad && !core && !dtm && !imdl)
+        const bool mcre = !bad && p.extension() == kMulticoreExt;
+        if (!bad && !core && !dtm && !imdl && !mcre)
             continue; // Temp files and strangers.
         Entry e;
         e.path = p.string();
@@ -538,11 +672,12 @@ ArtifactStore::list() const
         std::error_code sec;
         e.bytes = fs::file_size(p, sec);
         e.mtimeNs = mtimeNsOf(p);
-        if (core || dtm || imdl) {
+        if (core || dtm || imdl || mcre) {
             // Best-effort metadata read (for display only).
             const char *format = core ? kCoreResultFormatTag
-                                 : dtm ? kDtmReportFormatTag
-                                       : kIntervalModelFormatTag;
+                                 : dtm  ? kDtmReportFormatTag
+                                 : imdl ? kIntervalModelFormatTag
+                                        : kMulticoreReportFormatTag;
             std::uint32_t schema = 0;
             std::string err, tag;
             std::vector<std::uint8_t> payload;
@@ -637,6 +772,9 @@ ArtifactStore::verify()
         else if (e.format == kIntervalModelFormatTag)
             valid = readIntervalEntry(e.path, e.benchmark, e.cfgHash,
                                       nullptr);
+        else if (e.format == kMulticoreReportFormatTag)
+            valid = readMulticoreEntry(e.path, e.benchmark, e.cfgHash,
+                                       nullptr);
         else
             valid = readEntry(e.path, e.benchmark, e.cfgHash, nullptr);
         if (!valid) {

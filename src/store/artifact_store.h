@@ -37,6 +37,7 @@
 #include "core/pipeline.h"
 #include "dtm/engine.h"
 #include "interval/model.h"
+#include "multicore/multicore.h"
 
 namespace th {
 
@@ -57,6 +58,9 @@ inline constexpr const char *kDtmReportFormatTag = "DTMR";
 
 /** Container format tag of persisted IntervalModel artifacts. */
 inline constexpr const char *kIntervalModelFormatTag = "IMDL";
+
+/** Container format tag of persisted MulticoreReport artifacts. */
+inline constexpr const char *kMulticoreReportFormatTag = "MCRE";
 
 /** Store configuration. */
 struct StoreOptions
@@ -129,6 +133,18 @@ class ArtifactStore
     bool storeIntervalModel(const std::string &benchmark,
                             std::uint64_t key, const IntervalModel &m);
 
+    /**
+     * MulticoreReport variants — same contract as the CoreResult pair.
+     * @p key is multicoreConfigHash(cfg, mc) (sim/configs.h); the
+     * @p benchmark string names the whole per-core mix (the resolved
+     * benchmark names joined with '+'), so distinct mixes never alias.
+     */
+    bool loadMulticoreReport(const std::string &benchmark,
+                             std::uint64_t key, MulticoreReport &out);
+    bool storeMulticoreReport(const std::string &benchmark,
+                              std::uint64_t key,
+                              const MulticoreReport &rep);
+
     StoreStats stats() const;
 
     /** One store entry as seen by maintenance commands. */
@@ -140,7 +156,7 @@ class ArtifactStore
         std::uint64_t bytes = 0;
         std::int64_t mtimeNs = 0; ///< For LRU ordering / display.
         bool quarantined = false; ///< *.bad leftover.
-        /** "CRES"/"DTMR"/"IMDL"; "" if unreadable. */
+        /** "CRES"/"DTMR"/"IMDL"/"MCRE"; "" if unreadable. */
         std::string format;
     };
 
@@ -185,6 +201,8 @@ class ArtifactStore
                              std::uint64_t key) const;
     std::string intervalEntryPath(const std::string &benchmark,
                                   std::uint64_t key) const;
+    std::string multicoreEntryPath(const std::string &benchmark,
+                                   std::uint64_t key) const;
     bool readEntry(const std::string &path, const std::string &benchmark,
                    std::uint64_t cfg_hash, CoreResult *out) const
         TH_REQUIRES(mu_);
@@ -195,6 +213,10 @@ class ArtifactStore
                            const std::string &benchmark,
                            std::uint64_t key, IntervalModel *out) const
         TH_REQUIRES(mu_);
+    bool readMulticoreEntry(const std::string &path,
+                            const std::string &benchmark,
+                            std::uint64_t key, MulticoreReport *out)
+        const TH_REQUIRES(mu_);
     void quarantine(const std::string &path) TH_REQUIRES(mu_);
     /** Count a failed touchEntry and warn the first time. */
     void noteTouchFailure(const std::string &path) TH_REQUIRES(mu_);

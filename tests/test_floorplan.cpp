@@ -116,5 +116,149 @@ TEST(Floorplan, BlockNamesAreStable)
     EXPECT_STREQ(blockName(BlockId::L2), "L2");
 }
 
+// ------------------------------------------------------------------
+// Parameterized generator (many-core stacks)
+// ------------------------------------------------------------------
+
+void
+expectSameLayout(const Floorplan &a, const Floorplan &b)
+{
+    EXPECT_DOUBLE_EQ(a.chipW, b.chipW);
+    EXPECT_DOUBLE_EQ(a.chipH, b.chipH);
+    EXPECT_EQ(a.numCores, b.numCores);
+    ASSERT_EQ(a.blocks.size(), b.blocks.size());
+    for (size_t i = 0; i < a.blocks.size(); ++i) {
+        EXPECT_EQ(a.blocks[i].id, b.blocks[i].id) << i;
+        EXPECT_EQ(a.blocks[i].core, b.blocks[i].core) << i;
+        EXPECT_DOUBLE_EQ(a.blocks[i].x, b.blocks[i].x) << i;
+        EXPECT_DOUBLE_EQ(a.blocks[i].y, b.blocks[i].y) << i;
+        EXPECT_DOUBLE_EQ(a.blocks[i].w, b.blocks[i].w) << i;
+        EXPECT_DOUBLE_EQ(a.blocks[i].h, b.blocks[i].h) << i;
+    }
+}
+
+TEST(FloorplanGenerator, ReproducesLegacyLayouts)
+{
+    expectSameLayout(FloorplanBuilder::generate(2, 1, false),
+                     FloorplanBuilder::planar());
+    expectSameLayout(FloorplanBuilder::generate(2, 1, true),
+                     FloorplanBuilder::stacked());
+}
+
+TEST(FloorplanGenerator, DeterministicPlacement)
+{
+    for (int n = 1; n <= 8; ++n)
+        expectSameLayout(FloorplanBuilder::generate(n, 4, true),
+                         FloorplanBuilder::generate(n, 4, true));
+}
+
+TEST(FloorplanGenerator, BlockCountsScaleWithCores)
+{
+    for (int n = 1; n <= 8; ++n) {
+        const int banks = (n + 1) / 2;
+        const Floorplan fp = FloorplanBuilder::generate(n, banks, true);
+        EXPECT_EQ(fp.numCores, n);
+        ASSERT_EQ(fp.blocks.size(),
+                  static_cast<size_t>(n * kNumCoreBlocks + banks));
+        std::vector<int> per_core(static_cast<size_t>(n), 0);
+        int l2 = 0;
+        for (const auto &b : fp.blocks) {
+            if (b.id == BlockId::L2) {
+                EXPECT_EQ(b.core, -1);
+                ++l2;
+            } else {
+                ASSERT_GE(b.core, 0);
+                ASSERT_LT(b.core, n);
+                ++per_core[static_cast<size_t>(b.core)];
+            }
+        }
+        EXPECT_EQ(l2, banks);
+        for (int c = 0; c < n; ++c)
+            EXPECT_EQ(per_core[static_cast<size_t>(c)], kNumCoreBlocks)
+                << "core " << c << " at N=" << n;
+    }
+}
+
+TEST(FloorplanGenerator, NoOverlapAtAnyCoreCount)
+{
+    for (int n = 1; n <= 8; ++n) {
+        for (const int banks : {1, 4}) {
+            const Floorplan fp =
+                FloorplanBuilder::generate(n, banks, n > 2);
+            for (size_t i = 0; i < fp.blocks.size(); ++i) {
+                for (size_t j = i + 1; j < fp.blocks.size(); ++j) {
+                    const auto &a = fp.blocks[i];
+                    const auto &b = fp.blocks[j];
+                    const double ox = std::min(a.x + a.w, b.x + b.w) -
+                        std::max(a.x, b.x);
+                    const double oy = std::min(a.y + a.h, b.y + b.h) -
+                        std::max(a.y, b.y);
+                    EXPECT_FALSE(ox > 1e-9 && oy > 1e-9)
+                        << "N=" << n << " banks=" << banks << ": "
+                        << blockName(a.id) << "/" << a.core
+                        << " overlaps " << blockName(b.id) << "/"
+                        << b.core;
+                }
+            }
+        }
+    }
+}
+
+TEST(FloorplanGenerator, BlocksInsideChipAtAnyCoreCount)
+{
+    for (int n = 1; n <= 8; ++n) {
+        const Floorplan fp = FloorplanBuilder::generate(n, 2, true);
+        for (const auto &b : fp.blocks) {
+            EXPECT_GE(b.x, -1e-9);
+            EXPECT_GE(b.y, -1e-9);
+            EXPECT_LE(b.x + b.w, fp.chipW + 1e-9) << blockName(b.id);
+            EXPECT_LE(b.y + b.h, fp.chipH + 1e-9) << blockName(b.id);
+        }
+    }
+}
+
+TEST(FloorplanGenerator, AreaConservedPerCore)
+{
+    // The per-core silicon budget and the coverage fraction of the
+    // dual-core Figure 7 chip must carry over to every stack size:
+    // tiles are translated copies, never squeezed.
+    const Floorplan base = FloorplanBuilder::planar();
+    double base_core = 0.0;
+    for (const auto &b : base.blocks)
+        if (b.core == 0)
+            base_core += b.area();
+    const double base_frac =
+        base.blockArea() / (base.chipW * base.chipH);
+
+    for (int n = 1; n <= 8; ++n) {
+        const Floorplan fp = FloorplanBuilder::generate(n, 4, false);
+        std::vector<double> core_area(static_cast<size_t>(n), 0.0);
+        for (const auto &b : fp.blocks)
+            if (b.core >= 0)
+                core_area[static_cast<size_t>(b.core)] += b.area();
+        for (int c = 0; c < n; ++c)
+            EXPECT_NEAR(core_area[static_cast<size_t>(c)], base_core,
+                        1e-9)
+                << "core " << c << " at N=" << n;
+        EXPECT_NEAR(fp.blockArea() / (fp.chipW * fp.chipH), base_frac,
+                    1e-9)
+            << "coverage fraction at N=" << n;
+    }
+}
+
+TEST(FloorplanGenerator, BanksSpanTheL2Strip)
+{
+    const Floorplan fp = FloorplanBuilder::generate(4, 4, true);
+    double covered = 0.0;
+    for (const auto &b : fp.blocks) {
+        if (b.id != BlockId::L2)
+            continue;
+        EXPECT_DOUBLE_EQ(b.y, 0.0);
+        EXPECT_NEAR(b.w, fp.chipW / 4.0, 1e-12);
+        covered += b.w;
+    }
+    EXPECT_NEAR(covered, fp.chipW, 1e-9);
+}
+
 } // namespace
 } // namespace th

@@ -88,6 +88,21 @@ coverageRules()
          {{"encodeIntervalModel", "src/io/serialize.cpp"},
           {"decodeIntervalModel", "src/io/serialize.cpp"}},
          "serializer-coverage"},
+        {"MulticoreConfig", "src/multicore/multicore.h",
+         {{"multicoreConfigHash", "src/sim/configs.cpp"}},
+         "hash-coverage"},
+        {"MulticoreReport", "src/multicore/multicore.h",
+         {{"encodeMulticoreReport", "src/io/serialize.cpp"},
+          {"decodeMulticoreReport", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"MulticoreCoreStats", "src/multicore/multicore.h",
+         {{"encodeMulticoreReport", "src/io/serialize.cpp"},
+          {"decodeMulticoreReport", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
+        {"MulticoreBankStats", "src/multicore/multicore.h",
+         {{"encodeMulticoreReport", "src/io/serialize.cpp"},
+          {"decodeMulticoreReport", "src/io/serialize.cpp"}},
+         "serializer-coverage"},
         {"SimRequest", "src/io/request.h",
          {{"encodeSimRequest", "src/io/serialize.cpp"},
           {"decodeSimRequest", "src/io/serialize.cpp"}},
@@ -160,7 +175,8 @@ checkCoverage(FileSet &files, const Options &opts,
 
 const char *const kResultDirs[] = {"src/core",     "src/thermal",
                                    "src/power",    "src/dtm",
-                                   "src/interval", "src/sim"};
+                                   "src/interval", "src/multicore",
+                                   "src/sim"};
 
 bool
 isBannedRandomIdent(const std::string &t)

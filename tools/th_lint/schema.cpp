@@ -65,6 +65,8 @@ schemaGuards()
                                     "src/io/serialize.h"};
     static const GuardConst imdl = {"kIntervalModelSchemaVersion",
                                     "src/io/serialize.h"};
+    static const GuardConst mcre = {"kMulticoreReportSchemaVersion",
+                                    "src/io/serialize.h"};
     static const std::vector<SchemaGuard> guards = {
         {"SimRequest", {wire}},
         {"SimResponse", {wire}},
@@ -78,6 +80,9 @@ schemaGuards()
         {"IntervalTick", {imdl}},
         {"IntervalThrottlePoint", {imdl}},
         {"IntervalThrottleBin", {imdl}},
+        {"MulticoreReport", {store, mcre}},
+        {"MulticoreCoreStats", {store, mcre}},
+        {"MulticoreBankStats", {store, mcre}},
     };
     return guards;
 }

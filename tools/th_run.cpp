@@ -9,6 +9,7 @@
  *   th_run fig8|fig9|fig10|width|sweep [--benchmarks a,b,c]
  *          [--insts N] [--warmup N] [--store DIR]
  *   th_run core [--benchmarks b] [--config NAME]
+ *   th_run multicore [--cores N] [--banks N] [--benchmarks a,b]
  *   th_run trace record <benchmark> <out.thtrace> [--records N]
  *   th_run trace info <file.thtrace>
  *   th_run trace run <file.thtrace> [--config NAME] [--insts N]
@@ -95,6 +96,10 @@ struct Args
     std::uint64_t fitCycles = 0;
     std::uint64_t fitInterval = 0;
 
+    // Many-core knobs (0 = multicore runs the full coupling study).
+    std::uint64_t cores = 0;
+    std::uint64_t banks = 0;
+
     // Store maintenance.
     bool dryRun = false; ///< store gc: print the plan, evict nothing.
 
@@ -127,6 +132,10 @@ usage(const char *msg = nullptr)
         "         [--anchor-stride N] [--fit-cycles N] [--fit-interval N]\n"
         "         [--intervals N] [--interval-cycles N] [--grid N]\n"
         "  th_run core [--benchmarks b] [--config NAME]\n"
+        "  th_run multicore [--cores N] [--banks N] [--benchmarks a,b]\n"
+        "         [--config NAME] [--policy ...] [--trigger K]\n"
+        "         [--intervals N] [--interval-cycles N] [--grid N]\n"
+        "         [--store DIR]\n"
         "  th_run store ls|gc|verify [--dir DIR] [--max-bytes N]\n"
         "         [--dry-run]\n"
         "  th_run <experiment> --connect host:port [--deadline-ms N]\n"
@@ -140,7 +149,10 @@ usage(const char *msg = nullptr)
         "rerun replays the cached reports without any simulation.\n"
         "th_run fit builds a config-family interval model; sweep --fast\n"
         "replays it over a (policy x trigger) DTM grid with measured\n"
-        "error bounds; sweep --exact runs the same grid cycle-exactly.\n");
+        "error bounds; sweep --exact runs the same grid cycle-exactly.\n"
+        "th_run multicore --cores N runs one N-core stack (the mix in\n"
+        "--benchmarks cycles over the cores); without --cores it runs\n"
+        "the full neighbor-coupling study (N=1/2/4/8, herding off/on).\n");
     std::exit(2);
 }
 
@@ -207,6 +219,10 @@ parseArgs(int argc, char **argv)
             args.dilation = parseF64(value("--dilation"), "--dilation");
         else if (a == "--grid")
             args.grid = parseU64(value("--grid"), "--grid");
+        else if (a == "--cores")
+            args.cores = parseU64(value("--cores"), "--cores");
+        else if (a == "--banks")
+            args.banks = parseU64(value("--banks"), "--banks");
         else if (a == "--fast")
             args.fast = true;
         else if (a == "--exact")
@@ -418,6 +434,43 @@ cmdDtm(const Args &args)
         ? runDtmStudyFast(sys, benchmark, opts, intervalOptionsOf(args))
         : runDtmStudy(sys, benchmark, opts);
     std::fputs(renderDtm(data, opts).c_str(), stdout);
+    printCounters(sys);
+    return 0;
+}
+
+// -------------------------------------------------------------------
+// Many-core command.
+// -------------------------------------------------------------------
+
+int
+cmdMulticore(const Args &args)
+{
+    if (args.cores > 64)
+        usage("--cores out of range (max 64)");
+    if (args.banks > 64)
+        usage("--banks out of range (max 64)");
+    MulticoreConfig mc;
+    mc.benchmarks = splitList(args.benchmarks);
+    for (const std::string &b : mc.benchmarks)
+        if (!hasBenchmark(b))
+            usage(strformat("unknown benchmark '%s'", b.c_str()).c_str());
+    if (args.banks > 0)
+        mc.l2Banks = static_cast<int>(args.banks);
+    mc.dtm = dtmOptionsOf(args);
+
+    System sys = makeSystem(args);
+    if (args.cores > 0) {
+        // One stack at the requested core count (default: full 3D).
+        mc.numCores = static_cast<int>(args.cores);
+        const ConfigKind kind = args.configGiven
+            ? configByName(args.config) : ConfigKind::ThreeD;
+        std::fputs(renderMulticore(sys.runMulticore(kind, mc)).c_str(),
+                   stdout);
+    } else {
+        std::fputs(renderMulticoreStudy(runMulticoreStudy(sys, mc))
+                       .c_str(),
+                   stdout);
+    }
     printCounters(sys);
     return 0;
 }
@@ -676,8 +729,9 @@ cmdClient(const Args &args)
         req.config = args.config;
         return callServer(client, req, args);
     }
-    if (cmd == "dtm") {
-        req.kind = SimRequestKind::Dtm;
+    if (cmd == "dtm" || cmd == "multicore") {
+        req.kind = cmd == "dtm" ? SimRequestKind::Dtm
+                                : SimRequestKind::Multicore;
         req.dtmPolicy = args.policy;
         req.dtmTriggerK = args.trigger;
         req.dtmIntervals = static_cast<std::uint32_t>(args.intervals);
@@ -685,7 +739,14 @@ cmdClient(const Args &args)
         req.dtmDilation = args.dilation;
         req.dtmGridN = static_cast<std::uint32_t>(args.grid);
         req.dtmSolver = args.solver;
-        req.fastPath = args.fast ? 1 : 0;
+        if (cmd == "dtm") {
+            req.fastPath = args.fast ? 1 : 0;
+        } else {
+            req.mcCores = static_cast<std::uint32_t>(args.cores);
+            req.mcL2Banks = static_cast<std::uint32_t>(args.banks);
+            if (args.configGiven)
+                req.config = args.config;
+        }
         return callServer(client, req, args);
     }
     usage(strformat("command '%s' cannot run against a server",
@@ -807,6 +868,8 @@ main(int argc, char **argv)
         return cmdCore(args);
     if (cmd == "dtm")
         return cmdDtm(args);
+    if (cmd == "multicore")
+        return cmdMulticore(args);
     if (cmd == "fit")
         return cmdFit(args);
     if (cmd == "trace") {
